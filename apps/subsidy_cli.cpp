@@ -1,0 +1,12 @@
+// Command-line entry point for the subsidization-competition toolbox; all
+// logic lives in subsidy::cli (src/cli) so it stays unit-testable.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "subsidy/cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return subsidy::cli::run_cli(args, std::cout, std::cerr);
+}

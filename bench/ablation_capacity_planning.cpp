@@ -1,0 +1,87 @@
+// Ablation A4 — capacity planning (the paper's stated future work).
+//
+// Closes the investment-incentive loop of Section 6: subsidization raises
+// utilization and revenue (Corollary 1); this bench quantifies how the
+// revenue gain translates into capacity expansion and whether expansion
+// relieves the congestion losers of Figure 10.
+#include "bench_common.hpp"
+
+#include "subsidy/core/capacity.hpp"
+
+int main() {
+  using namespace bench;
+
+  heading("Ablation A4 — ISP capacity planning under subsidization");
+  const econ::Market mkt = market::section5_market();
+  const auto params = market::section5_parameters();
+  ShapeChecks checks;
+
+  core::CapacityPlanOptions options;
+  options.capacity_min = 0.5;
+  options.capacity_max = 4.0;
+  options.grid_points = 12;
+  options.refine_tolerance = 1e-3;
+  options.price_search.price_min = 0.05;
+  options.price_search.price_max = 2.5;
+  options.price_search.grid_points = 15;
+  const core::CapacityPlanner planner(mkt, options);
+
+  heading("Profit-maximizing capacity by policy cap (cost 0.15 / unit)");
+  io::SweepTable table({"q", "mu*", "p*", "revenue", "profit", "utilization"});
+  std::vector<double> chosen_capacity;
+  std::vector<double> chosen_profit;
+  for (double q : {0.0, 1.0, 2.0}) {
+    const core::CapacityPlan plan = planner.optimize(q, 0.15);
+    table.add_row({q, plan.capacity, plan.price, plan.revenue, plan.profit,
+                   plan.state.utilization});
+    chosen_capacity.push_back(plan.capacity);
+    chosen_profit.push_back(plan.profit);
+  }
+  io::print_table(std::cout, table, 4);
+
+  checks.check(chosen_profit.back() >= chosen_profit.front() - 1e-6,
+               "deregulation raises the ISP's achievable profit (investment incentive)");
+  checks.check(chosen_capacity.back() >= chosen_capacity.front() - 1e-6,
+               "deregulation supports at least as much capacity");
+
+  heading("Reinvestment dynamics (q = 2, 40% of the gain reinvested)");
+  const auto path = planner.reinvestment_path(2.0, 0.5, 0.4, 6);
+  io::SweepTable path_table({"round", "capacity", "revenue", "utilization", "welfare"});
+  for (const auto& step : path) {
+    path_table.add_row({static_cast<double>(step.round), step.capacity, step.revenue,
+                        step.utilization, step.welfare});
+  }
+  io::print_table(std::cout, path_table, 4);
+  checks.check(path.back().capacity > path.front().capacity,
+               "the reinvestment loop grows capacity");
+  checks.check(path.back().welfare >= path.front().welfare - 1e-9,
+               "welfare weakly rises along the reinvestment path");
+  checks.check(path.back().utilization <= path.front().utilization + 1e-9,
+               "congestion is relieved along the reinvestment path");
+
+  heading("Does expansion rescue the Figure 10 losers? (fixed p = 0.8)");
+  std::size_t loser = params.size();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].alpha == 2.0 && params[i].beta == 5.0 && params[i].profitability == 0.5) {
+      loser = i;
+    }
+  }
+  const double p = 0.8;
+  const core::NashResult base = core::solve_nash(core::SubsidizationGame(mkt, p, 0.0));
+  io::Series loser_throughput("theta_loser(mu)");
+  for (double mu : num::linspace(1.0, 4.0, 13)) {
+    const core::NashResult r =
+        core::solve_nash(core::SubsidizationGame(mkt.with_capacity(mu), p, 2.0));
+    loser_throughput.add(mu, r.state.providers[loser].throughput);
+  }
+  chart_and_csv("startup-like CP (a=2,b=5,v=0.5) throughput vs capacity, q=2", "mu",
+                {loser_throughput}, 10);
+  checks.check(loser_throughput.non_decreasing(1e-9),
+               "the loser's throughput rises monotonically with capacity");
+  checks.check(loser_throughput.y.back() >
+                   base.state.providers[loser].throughput,
+               "enough capacity restores the loser above its pre-deregulation level");
+  std::cout << "\nbaseline (q=0, mu=1) loser throughput: "
+            << base.state.providers[loser].throughput << "\n";
+  return checks.exit_code();
+}

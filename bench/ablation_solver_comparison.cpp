@@ -1,0 +1,102 @@
+// Ablation A1 — equilibrium solver comparison.
+//
+// Question: do the two independent Nash solvers (Gauss-Seidel best response
+// vs projected extragradient on the VI formulation) find the same equilibria
+// (Theorem 4 uniqueness in practice), and at what computational cost? Also
+// sweeps damping factors and multistart initializations.
+#include <chrono>
+
+#include "bench_common.hpp"
+
+#include "subsidy/core/uniqueness.hpp"
+#include "subsidy/numerics/rng.hpp"
+
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(clock::now().time_since_epoch()).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace bench;
+
+  heading("Ablation A1 — Nash solver comparison (best response vs extragradient)");
+  const econ::Market mkt = market::section5_market();
+  ShapeChecks checks;
+
+  io::SweepTable table({"p", "q", "br_iters", "br_ms", "eg_iters", "eg_ms", "max_diff",
+                        "kkt_residual"});
+
+  for (double p : {0.4, 0.8, 1.2, 1.6}) {
+    for (double q : {0.5, 1.0, 2.0}) {
+      const core::SubsidizationGame game(mkt, p, q);
+
+      const double t0 = now_ms();
+      const core::NashResult br = core::BestResponseSolver{}.solve(game);
+      const double t1 = now_ms();
+      const core::NashResult eg = core::ExtragradientSolver{}.solve(game);
+      const double t2 = now_ms();
+
+      double max_diff = 0.0;
+      for (std::size_t i = 0; i < br.subsidies.size(); ++i) {
+        max_diff = std::max(max_diff, std::abs(br.subsidies[i] - eg.subsidies[i]));
+      }
+      const core::KktReport kkt = core::verify_kkt(game, br.subsidies);
+      table.add_row({p, q, static_cast<double>(br.iterations), t1 - t0,
+                     static_cast<double>(eg.iterations), t2 - t1, max_diff,
+                     kkt.max_residual});
+
+      checks.check(br.converged && eg.converged,
+                   "both solvers converge at p=" + io::format_double(p, 1) +
+                       " q=" + io::format_double(q, 1));
+      checks.check(max_diff < 1e-4, "equilibria agree (max diff " +
+                                        io::format_double(max_diff, 6) + ")");
+    }
+  }
+
+  std::cout << "\n";
+  io::print_table(std::cout, table, 4);
+
+  heading("Damping sweep (best-response stability)");
+  io::SweepTable damp_table({"damping", "iterations", "converged"});
+  const core::SubsidizationGame game(mkt, 0.8, 1.0);
+  for (double d : {0.25, 0.5, 0.75, 1.0}) {
+    core::BestResponseOptions opt;
+    opt.damping = d;
+    const core::NashResult r = core::BestResponseSolver(opt).solve(game);
+    damp_table.add_row({d, static_cast<double>(r.iterations), r.converged ? 1.0 : 0.0});
+    checks.check(r.converged, "damping " + io::format_double(d, 2) + " converges");
+  }
+  io::print_table(std::cout, damp_table, 2);
+
+  heading("Multistart agreement (Theorem 4 in practice)");
+  num::Rng rng(321);
+  const core::NashResult reference = core::BestResponseSolver{}.solve(game);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> start(game.num_players());
+    for (auto& s : start) s = rng.uniform(0.0, game.policy_cap());
+    const core::NashResult r = core::BestResponseSolver{}.solve(game, start);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < start.size(); ++i) {
+      diff = std::max(diff, std::abs(r.subsidies[i] - reference.subsidies[i]));
+    }
+    checks.check(diff < 1e-7,
+                 "multistart trial " + std::to_string(trial) + " agrees (diff " +
+                     io::format_double(diff, 9) + ")");
+  }
+
+  heading("Hypothesis checks (P-function / M-matrix at the equilibrium)");
+  const core::UniquenessAnalyzer analyzer(game);
+  const core::JacobianCheck jac = analyzer.jacobian_check(reference.subsidies);
+  checks.check(jac.p_matrix, "negated Jacobian of u is a P-matrix (Theorem 4 hypothesis)");
+  checks.check(jac.off_diagonal_monotone,
+               "u is off-diagonally monotone (Corollary 1 hypothesis)");
+  num::Rng prng(99);
+  const core::PFunctionCheck pf = analyzer.sample_p_function(prng, 100);
+  checks.check(pf.holds, "sampled condition (10) holds on 100 random profile pairs");
+
+  return checks.exit_code();
+}

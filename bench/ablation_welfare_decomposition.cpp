@@ -1,0 +1,91 @@
+// Ablation A6 — welfare decomposition.
+//
+// The paper measures system welfare as the CPs' gross profit W = sum v_i
+// theta_i and argues it "also serves as an estimate for user welfare". This
+// ablation computes the full surplus decomposition (user surplus + CP profit
+// + ISP revenue) across the Figure 7 grid and checks whether the paper's
+// proxy orders policy regimes the same way as total surplus.
+#include "bench_common.hpp"
+
+#include "subsidy/core/surplus.hpp"
+
+int main() {
+  using namespace bench;
+
+  heading("Ablation A6 — full surplus decomposition vs the paper's W proxy");
+  const econ::Market mkt = market::section5_market();
+  const core::ModelEvaluator evaluator(mkt);
+  ShapeChecks checks;
+
+  const std::vector<double> caps = paper_policy_levels();
+  const std::vector<double> prices{0.4, 0.8, 1.2, 1.6};
+
+  io::SweepTable table({"p", "q", "user", "cp_profit", "isp", "total", "paper_W"});
+  for (double p : prices) {
+    std::vector<double> warm;
+    for (double q : caps) {
+      const core::SubsidizationGame game(mkt, p, q);
+      const core::NashResult nash = core::solve_nash(game, warm);
+      warm = nash.subsidies;
+      const core::SurplusReport report = core::surplus_decomposition(evaluator, nash.state);
+      table.add_row({p, q, report.user_surplus, report.cp_profit, report.isp_revenue,
+                     report.total_surplus, report.paper_welfare});
+    }
+  }
+  io::print_table(std::cout, table, 4);
+
+  heading("Shape checks");
+  // 1. All components and the total are non-decreasing in q at fixed p.
+  bool user_up = true;
+  bool total_up = true;
+  bool proxy_agrees = true;
+  for (std::size_t row = 0; row + 1 < table.num_rows(); ++row) {
+    const bool same_price = table.cell(row, 0) == table.cell(row + 1, 0);
+    if (!same_price) continue;
+    if (table.cell(row + 1, 2) < table.cell(row, 2) - 1e-8) user_up = false;
+    if (table.cell(row + 1, 5) < table.cell(row, 5) - 1e-8) total_up = false;
+    // Proxy agreement: sign of delta(paper W) matches sign of delta(total).
+    const double d_total = table.cell(row + 1, 5) - table.cell(row, 5);
+    const double d_proxy = table.cell(row + 1, 6) - table.cell(row, 6);
+    if (d_total * d_proxy < -1e-10) proxy_agrees = false;
+  }
+  checks.check(user_up, "user surplus rises with q at every fixed price");
+  checks.check(total_up, "total surplus rises with q at every fixed price");
+  checks.check(proxy_agrees,
+               "the paper's W proxy ranks policy regimes like total surplus");
+
+  // 2. Users as a group capture a substantial share of the deregulation gain.
+  const core::NashResult base = core::solve_nash(core::SubsidizationGame(mkt, 0.8, 0.0));
+  const core::NashResult dereg = core::solve_nash(core::SubsidizationGame(mkt, 0.8, 2.0));
+  const core::SurplusReport base_report = core::surplus_decomposition(evaluator, base.state);
+  const core::SurplusReport dereg_report = core::surplus_decomposition(evaluator, dereg.state);
+  const double user_gain = dereg_report.user_surplus - base_report.user_surplus;
+  const double total_gain = dereg_report.total_surplus - base_report.total_surplus;
+  std::cout << "\nderegulation gain split at p=0.8 (q: 0 -> 2):\n"
+            << "  users " << user_gain << ", CPs "
+            << dereg_report.cp_profit - base_report.cp_profit << ", ISP "
+            << dereg_report.isp_revenue - base_report.isp_revenue << ", total " << total_gain
+            << "\n";
+  checks.check(user_gain > 0.0, "users gain from deregulation (subsidized prices)");
+  checks.check(total_gain > 0.0, "total surplus gain is positive");
+
+  // 3. Per-price charts of the regime split.
+  std::vector<io::Series> split;
+  for (const char* column : {"user", "cp_profit", "isp"}) {
+    io::Series s(column);
+    std::vector<double> warm;
+    for (double q : num::linspace(0.0, 2.0, 21)) {
+      const core::SubsidizationGame game(mkt, 0.8, q);
+      const core::NashResult nash = core::solve_nash(game, warm);
+      warm = nash.subsidies;
+      const core::SurplusReport report = core::surplus_decomposition(evaluator, nash.state);
+      const double value = std::string(column) == "user"        ? report.user_surplus
+                           : std::string(column) == "cp_profit" ? report.cp_profit
+                                                                : report.isp_revenue;
+      s.add(q, value);
+    }
+    split.push_back(std::move(s));
+  }
+  chart_and_csv("surplus components vs policy cap (p = 0.8)", "q", split, 12);
+  return checks.exit_code();
+}

@@ -1,0 +1,142 @@
+// Shared plumbing for the figure-reproduction benches: the paper's parameter
+// grids, equilibrium sweeps with warm-start continuation, shape checks and
+// console rendering.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "subsidy/core/core.hpp"
+#include "subsidy/io/ascii_chart.hpp"
+#include "subsidy/io/csv.hpp"
+#include "subsidy/io/series.hpp"
+#include "subsidy/io/table.hpp"
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/numerics/grid.hpp"
+
+namespace bench {
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace io = subsidy::io;
+namespace market = subsidy::market;
+namespace num = subsidy::num;
+
+/// The q levels of Figures 7-11.
+inline std::vector<double> paper_policy_levels() { return {0.0, 0.5, 1.0, 1.5, 2.0}; }
+
+/// The price axis of the paper's figures ([0, 2]; starts slightly above zero
+/// because p = 0 yields zero revenue and an uninformative equilibrium).
+inline std::vector<double> paper_price_grid(std::size_t points = 41) {
+  return num::linspace(0.05, 2.0, points);
+}
+
+/// One equilibrium row of a (p, q) sweep.
+struct EquilibriumPoint {
+  double price = 0.0;
+  double policy_cap = 0.0;
+  core::SystemState state;
+  std::vector<double> subsidies;
+};
+
+/// Solves the Nash equilibrium along a price grid at fixed policy cap, with
+/// warm-start continuation in p.
+inline std::vector<EquilibriumPoint> sweep_prices(const econ::Market& mkt, double policy_cap,
+                                                  const std::vector<double>& prices) {
+  std::vector<EquilibriumPoint> rows;
+  rows.reserve(prices.size());
+  std::vector<double> warm;
+  for (double p : prices) {
+    const core::SubsidizationGame game(mkt, p, policy_cap);
+    const core::NashResult nash = core::solve_nash(game, warm);
+    if (!nash.converged) {
+      std::cerr << "WARNING: equilibrium did not converge at p=" << p
+                << " q=" << policy_cap << " (residual " << nash.residual << ")\n";
+    }
+    warm = nash.subsidies;
+    rows.push_back({p, policy_cap, nash.state, nash.subsidies});
+  }
+  return rows;
+}
+
+/// Full (q -> price sweep) map for the Figure 7-11 family.
+inline std::map<double, std::vector<EquilibriumPoint>> sweep_policy_grid(
+    const econ::Market& mkt, const std::vector<double>& policy_levels,
+    const std::vector<double>& prices) {
+  std::map<double, std::vector<EquilibriumPoint>> result;
+  for (double q : policy_levels) result[q] = sweep_prices(mkt, q, prices);
+  return result;
+}
+
+/// Label for a CP class, e.g. "a=2 b=5 v=1.0".
+inline std::string cp_label(const market::CpParameters& p, bool with_value = true) {
+  std::ostringstream ss;
+  ss << "a=" << p.alpha << " b=" << p.beta;
+  if (with_value) ss << " v=" << p.profitability;
+  return ss.str();
+}
+
+/// Prints a section header.
+inline void heading(const std::string& title) {
+  std::cout << "\n" << std::string(78, '=') << "\n" << title << "\n"
+            << std::string(78, '=') << "\n";
+}
+
+/// Prints a PASS/FAIL shape-check line and tracks the global outcome.
+class ShapeChecks {
+ public:
+  void check(bool ok, const std::string& description) {
+    std::cout << (ok ? "  [PASS] " : "  [FAIL] ") << description << "\n";
+    if (!ok) failures_ += 1;
+  }
+
+  /// Exit code for main(): 0 when all checks passed.
+  [[nodiscard]] int exit_code() const { return failures_ == 0 ? 0 : 1; }
+
+  [[nodiscard]] int failures() const { return failures_; }
+
+ private:
+  int failures_ = 0;
+};
+
+/// Renders the Figure 8-11 family: one panel per CP class, each carrying one
+/// series per policy level, extracted from a (q -> sweep) grid.
+template <typename Extractor>
+void render_cp_panels(const std::map<double, std::vector<EquilibriumPoint>>& grid,
+                      const std::vector<market::CpParameters>& params,
+                      const std::string& quantity, Extractor extract) {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::vector<io::Series> panel;
+    for (const auto& [q, rows] : grid) {
+      io::Series s("q=" + io::format_double(q, 1));
+      for (const auto& point : rows) s.add(point.price, extract(point, i));
+      panel.push_back(std::move(s));
+    }
+    std::cout << "\n-- " << quantity << " of CP " << cp_label(params[i]) << " --\n";
+    io::ChartOptions opts;
+    opts.width = 64;
+    opts.height = 9;
+    opts.x_label = "p";
+    io::render_chart(std::cout, panel, opts);
+    std::cout << "\ncsv:\n";
+    io::write_csv(std::cout, "p", panel, 6);
+  }
+}
+
+/// Renders a chart followed by the CSV block of the same series.
+inline void chart_and_csv(const std::string& title, const std::string& x_name,
+                          const std::vector<io::Series>& series, int height = 14) {
+  std::cout << "\n-- " << title << " --\n";
+  io::ChartOptions opts;
+  opts.width = 64;
+  opts.height = height;
+  opts.x_label = x_name;
+  io::render_chart(std::cout, series, opts);
+  std::cout << "\ncsv:\n";
+  io::write_csv(std::cout, x_name, series, 6);
+}
+
+}  // namespace bench

@@ -1,0 +1,75 @@
+// Figure 10 reproduction: equilibrium per-CP throughput theta_i(p) of the
+// eight Section 5 CP classes, one panel per class, one curve per policy cap.
+//
+// Paper's observed shape: CPs with higher profitability (v = 1) or lower
+// congestion elasticity (beta = 2) achieve higher throughput; relative to the
+// q = 0 baseline the high-value CPs gain, with the noted exception of
+// (alpha, beta, v) = (2, 5, 1) at small p, where extra congestion from
+// system-wide subsidization hurts this congestion-sensitive class.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bench;
+
+  heading("Figure 10 — equilibrium throughput theta_i(p) by policy cap");
+  const econ::Market mkt = market::section5_market();
+  const auto params = market::section5_parameters();
+  const std::vector<double> prices = paper_price_grid(41);
+  const auto grid = sweep_policy_grid(mkt, paper_policy_levels(), prices);
+
+  render_cp_panels(grid, params, "throughput theta_i",
+                   [](const EquilibriumPoint& pt, std::size_t i) {
+                     return pt.state.providers[i].throughput;
+                   });
+
+  heading("Shape checks against the paper");
+  ShapeChecks checks;
+  auto find = [&](double v, double a, double b) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (params[i].profitability == v && params[i].alpha == a && params[i].beta == b) return i;
+    }
+    return params.size();
+  };
+
+  const auto& base = grid.at(0.0);
+  const auto& dereg = grid.at(2.0);
+  const std::size_t mid = prices.size() / 2;  // p ~ 1
+
+  // Higher v or lower beta => higher throughput under deregulation.
+  for (double a : {2.0, 5.0}) {
+    for (double b : {2.0, 5.0}) {
+      checks.check(dereg[mid].state.providers[find(1.0, a, b)].throughput >=
+                       dereg[mid].state.providers[find(0.5, a, b)].throughput - 1e-9,
+                   "v=1 outperforms v=0.5 at (a=" + io::format_double(a, 0) +
+                       ", b=" + io::format_double(b, 0) + ")");
+    }
+    for (double v : {0.5, 1.0}) {
+      checks.check(dereg[mid].state.providers[find(v, a, 2.0)].throughput >=
+                       dereg[mid].state.providers[find(v, a, 5.0)].throughput - 1e-9,
+                   "beta=2 outperforms beta=5 at (v=" + io::format_double(v, 1) +
+                       ", a=" + io::format_double(a, 0) + ")");
+    }
+  }
+
+  // High-value CPs gain vs baseline at mid prices...
+  for (double a : {2.0, 5.0}) {
+    const std::size_t i = find(1.0, a, 2.0);
+    checks.check(dereg[mid].state.providers[i].throughput >
+                     base[mid].state.providers[i].throughput,
+                 "high-value low-beta CP (a=" + io::format_double(a, 0) +
+                     ") gains from deregulation at p~1");
+  }
+
+  // ...with the paper's exception: (2, 5, 1) at small p loses to congestion.
+  const std::size_t exception_cp = find(1.0, 2.0, 5.0);
+  checks.check(dereg.front().state.providers[exception_cp].throughput <
+                   base.front().state.providers[exception_cp].throughput,
+               "(alpha,beta,v)=(2,5,1) loses at small p (paper's noted exception)");
+
+  // And the low-value congestion-sensitive class loses at p~1.
+  const std::size_t startup_cp = find(0.5, 2.0, 5.0);
+  checks.check(dereg[mid].state.providers[startup_cp].throughput <
+                   base[mid].state.providers[startup_cp].throughput,
+               "(alpha,beta,v)=(2,5,0.5) loses under deregulation (startup squeeze)");
+  return checks.exit_code();
+}

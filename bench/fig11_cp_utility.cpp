@@ -1,0 +1,76 @@
+// Figure 11 reproduction: equilibrium utilities U_i(p) = (v_i - s_i) theta_i
+// of the eight Section 5 CP classes, one panel per class, one curve per
+// policy cap.
+//
+// Paper's observed shape: with larger q, CPs with high demand elasticity and
+// value (alpha = 5, v = 1) achieve higher utility via higher subsidies,
+// populations and throughput; CPs with low demand elasticity and high
+// congestion elasticity (alpha = 2, beta = 5) achieve lower utility; other
+// classes are roughly unchanged.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bench;
+
+  heading("Figure 11 — equilibrium utilities U_i(p) by policy cap");
+  const econ::Market mkt = market::section5_market();
+  const auto params = market::section5_parameters();
+  const std::vector<double> prices = paper_price_grid(41);
+  const auto grid = sweep_policy_grid(mkt, paper_policy_levels(), prices);
+
+  render_cp_panels(grid, params, "utility U_i",
+                   [](const EquilibriumPoint& pt, std::size_t i) {
+                     return pt.state.providers[i].utility;
+                   });
+
+  heading("Shape checks against the paper");
+  ShapeChecks checks;
+  auto find = [&](double v, double a, double b) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (params[i].profitability == v && params[i].alpha == a && params[i].beta == b) return i;
+    }
+    return params.size();
+  };
+
+  const auto& base = grid.at(0.0);
+  const auto& dereg = grid.at(2.0);
+  const std::size_t mid = prices.size() / 2;  // p ~ 1
+
+  // Winners: alpha = 5, v = 1.
+  for (double b : {2.0, 5.0}) {
+    const std::size_t i = find(1.0, 5.0, b);
+    checks.check(
+        dereg[mid].state.providers[i].utility > base[mid].state.providers[i].utility,
+        "(a=5, b=" + io::format_double(b, 0) + ", v=1) gains utility under deregulation");
+  }
+
+  // Losers: alpha = 2, beta = 5.
+  for (double v : {0.5, 1.0}) {
+    const std::size_t i = find(v, 2.0, 5.0);
+    checks.check(
+        dereg[mid].state.providers[i].utility < base[mid].state.providers[i].utility,
+        "(a=2, b=5, v=" + io::format_double(v, 1) + ") loses utility under deregulation");
+  }
+
+  // "Comparable" classes: (a=2, b=2) utilities stay within a modest band.
+  for (double v : {0.5, 1.0}) {
+    const std::size_t i = find(v, 2.0, 2.0);
+    const double u0 = base[mid].state.providers[i].utility;
+    const double u2 = dereg[mid].state.providers[i].utility;
+    checks.check(std::abs(u2 - u0) < 0.5 * u0,
+                 "(a=2, b=2, v=" + io::format_double(v, 1) +
+                     ") utility comparable across policies (|delta| < 50%)");
+  }
+
+  // Utilities are non-negative at equilibrium (no CP subsidizes at a loss).
+  bool non_negative = true;
+  for (const auto& [q, rows] : grid) {
+    for (const auto& pt : rows) {
+      for (const auto& cp : pt.state.providers) {
+        if (cp.utility < -1e-9) non_negative = false;
+      }
+    }
+  }
+  checks.check(non_negative, "equilibrium utilities are non-negative everywhere");
+  return checks.exit_code();
+}

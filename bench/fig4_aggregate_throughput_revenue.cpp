@@ -1,0 +1,54 @@
+// Figure 4 reproduction: aggregate throughput theta(p) (left panel) and ISP
+// revenue R(p) = p * theta(p) (right panel) under one-sided pricing.
+//
+// Setting (paper Section 3): Phi = theta/mu, mu = 1, nine CP classes with
+// (alpha_i, beta_i) in {1,3,5}^2, m_i = e^{-alpha_i t}, lambda_i = e^{-beta_i phi}.
+//
+// Paper's observed shape: theta strictly decreasing in p; R single-peaked.
+#include "bench_common.hpp"
+
+#include "subsidy/core/one_sided.hpp"
+
+int main() {
+  using namespace bench;
+
+  heading("Figure 4 — aggregate throughput theta(p) and ISP revenue R(p)");
+  std::cout << "Market: Section 3 (9 CPs, alpha,beta in {1,3,5}^2, mu=1, Phi=theta/mu)\n";
+
+  const econ::Market mkt = market::section3_market();
+  const core::OneSidedPricingModel model(mkt);
+  const std::vector<double> prices = paper_price_grid(81);
+  const std::vector<core::SystemState> states = model.sweep(prices);
+
+  io::Series theta("theta");
+  io::Series revenue("revenue");
+  io::Series utilization("phi");
+  for (std::size_t k = 0; k < prices.size(); ++k) {
+    theta.add(prices[k], states[k].aggregate_throughput);
+    revenue.add(prices[k], states[k].revenue);
+    utilization.add(prices[k], states[k].utilization);
+  }
+
+  chart_and_csv("aggregate throughput theta (left panel)", "p", {theta});
+  chart_and_csv("ISP revenue R = p * theta (right panel)", "p", {revenue});
+  chart_and_csv("system utilization phi (diagnostic)", "p", {utilization});
+
+  heading("Shape checks against the paper");
+  ShapeChecks checks;
+  checks.check(theta.non_increasing(1e-9), "theta(p) is decreasing (Theorem 2)");
+  const std::size_t peak = revenue.argmax();
+  checks.check(peak > 0 && peak + 1 < revenue.size(),
+               "revenue is single-peaked with an interior maximum");
+  bool rising_then_falling = true;
+  for (std::size_t k = 1; k <= peak; ++k) {
+    if (revenue.y[k] < revenue.y[k - 1] - 1e-9) rising_then_falling = false;
+  }
+  for (std::size_t k = peak + 1; k < revenue.size(); ++k) {
+    if (revenue.y[k] > revenue.y[k - 1] + 1e-9) rising_then_falling = false;
+  }
+  checks.check(rising_then_falling, "revenue rises to the peak and falls after it");
+  checks.check(utilization.non_increasing(1e-9), "utilization decreases with price");
+  std::cout << "\nrevenue peak at p = " << revenue.x[peak] << " with R = " << revenue.max_y()
+            << "\n";
+  return checks.exit_code();
+}

@@ -1,0 +1,75 @@
+// Figure 5 reproduction: per-CP throughput theta_i(p) for the nine Section 3
+// CP classes (the paper shows a 3x3 grid of sub-figures indexed by
+// (alpha_i, beta_i)).
+//
+// Paper's observed shape: CPs with a small alpha/beta ratio (price-tolerant,
+// congestion-sensitive users) show an increasing trend at small p before
+// eventually decreasing; every theta_i decreases at large p; throughput is
+// lowest for large (alpha_i, beta_i).
+#include "bench_common.hpp"
+
+#include "subsidy/core/one_sided.hpp"
+
+int main() {
+  using namespace bench;
+
+  heading("Figure 5 — per-CP throughput theta_i(p), one-sided pricing");
+  const econ::Market mkt = market::section3_market();
+  const auto params = market::section3_parameters();
+  const core::OneSidedPricingModel model(mkt);
+  const std::vector<double> prices = paper_price_grid(81);
+  const std::vector<core::SystemState> states = model.sweep(prices);
+
+  std::vector<io::Series> series;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    io::Series s(cp_label(params[i], /*with_value=*/false));
+    for (std::size_t k = 0; k < prices.size(); ++k) {
+      s.add(prices[k], states[k].providers[i].throughput);
+    }
+    series.push_back(std::move(s));
+  }
+
+  // Render each "sub-figure" as its own small chart (mirrors the 3x3 grid).
+  for (const auto& s : series) {
+    chart_and_csv("theta_i(p) for CP " + s.name, "p", {s}, 8);
+  }
+
+  heading("Shape checks against the paper");
+  ShapeChecks checks;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto& s = series[i];
+    const double ratio = params[i].alpha / params[i].beta;
+    const bool initially_rising = s.y[1] > s.y[0];
+    if (ratio < 1.0) {
+      checks.check(initially_rising,
+                   "CP " + s.name + " (alpha/beta < 1) rises at small p");
+    }
+    if (ratio > 1.0) {
+      checks.check(!initially_rising,
+                   "CP " + s.name + " (alpha/beta > 1) falls from the start");
+    }
+  }
+
+  // Eventually decreasing (Theorem 2): the analytic dtheta_i/dp is negative
+  // for every CP at the right edge of the figure (for (a=1, b=5) the
+  // turnover sits only just inside the plotted range).
+  const core::PriceEffects tail_fx = model.price_effects(prices.back());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    checks.check(tail_fx.dtheta_i_dp[i] < 0.0,
+                 "CP " + series[i].name + " has dtheta/dp < 0 at p=2");
+  }
+
+  // Ordering: the (1,1) class dominates the (5,5) class everywhere.
+  std::size_t best = 0;
+  std::size_t worst = 0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].alpha == 1.0 && params[i].beta == 1.0) best = i;
+    if (params[i].alpha == 5.0 && params[i].beta == 5.0) worst = i;
+  }
+  bool dominated = true;
+  for (std::size_t k = 0; k < prices.size(); ++k) {
+    if (series[best].y[k] < series[worst].y[k]) dominated = false;
+  }
+  checks.check(dominated, "low-(alpha,beta) CP dominates high-(alpha,beta) CP throughout");
+  return checks.exit_code();
+}

@@ -1,0 +1,79 @@
+// Figure 7 reproduction: ISP revenue R (left panel) and system welfare W
+// (right panel) as functions of the price p, for policy caps
+// q in {0, 0.5, 1, 1.5, 2}, with CPs playing the Nash equilibrium of the
+// subsidization game at every point.
+//
+// Setting (paper Section 5): mu = 1, eight CP classes with alpha, beta in
+// {2, 5} and v in {0.5, 1}.
+//
+// Paper's observed shape: at any fixed p, both R and W increase with q;
+// W decreases with p at any fixed q; with q = 2 the ISP's revenue peak sits a
+// bit below p = 1.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bench;
+
+  heading("Figure 7 — ISP revenue R(p; q) and system welfare W(p; q)");
+  std::cout << "Market: Section 5 (8 CPs, alpha,beta in {2,5}, v in {0.5,1}, mu=1)\n";
+
+  const econ::Market mkt = market::section5_market();
+  const std::vector<double> prices = paper_price_grid(41);
+  const std::vector<double> caps = paper_policy_levels();
+  const auto grid = sweep_policy_grid(mkt, caps, prices);
+
+  std::vector<io::Series> revenue_series;
+  std::vector<io::Series> welfare_series;
+  for (double q : caps) {
+    io::Series r("R q=" + io::format_double(q, 1));
+    io::Series w("W q=" + io::format_double(q, 1));
+    for (const auto& point : grid.at(q)) {
+      r.add(point.price, point.state.revenue);
+      w.add(point.price, point.state.welfare);
+    }
+    revenue_series.push_back(std::move(r));
+    welfare_series.push_back(std::move(w));
+  }
+
+  chart_and_csv("ISP revenue R(p) by policy cap (left panel)", "p", revenue_series, 16);
+  chart_and_csv("system welfare W(p) by policy cap (right panel)", "p", welfare_series, 16);
+
+  heading("Shape checks against the paper");
+  ShapeChecks checks;
+
+  // Pointwise ordering in q for both metrics.
+  bool revenue_ordered = true;
+  bool welfare_ordered = true;
+  for (std::size_t k = 0; k < prices.size(); ++k) {
+    for (std::size_t c = 1; c < caps.size(); ++c) {
+      if (revenue_series[c].y[k] < revenue_series[c - 1].y[k] - 1e-8) revenue_ordered = false;
+      if (welfare_series[c].y[k] < welfare_series[c - 1].y[k] - 1e-8) welfare_ordered = false;
+    }
+  }
+  checks.check(revenue_ordered, "R increases with q at every fixed p (Corollary 1)");
+  checks.check(welfare_ordered, "W increases with q at every fixed p (Corollary 2 regime)");
+
+  for (std::size_t c = 0; c < caps.size(); ++c) {
+    checks.check(welfare_series[c].non_increasing(1e-8),
+                 "W decreases with p at q=" + io::format_double(caps[c], 1));
+  }
+
+  const io::Series& r_q2 = revenue_series.back();
+  const double peak_price = r_q2.x[r_q2.argmax()];
+  checks.check(peak_price > 0.6 && peak_price < 1.05,
+               "q=2 revenue peak sits a bit below p=1 (got p=" +
+                   io::format_double(peak_price, 3) + ")");
+
+  // Quantified deregulation gain at the revenue-relevant price p = 0.9.
+  std::size_t k09 = 0;
+  for (std::size_t k = 0; k < prices.size(); ++k) {
+    if (std::abs(prices[k] - 0.9) < std::abs(prices[k09] - 0.9)) k09 = k;
+  }
+  std::cout << "\nderegulation gain at p=" << prices[k09] << ": R "
+            << revenue_series.front().y[k09] << " -> " << revenue_series.back().y[k09]
+            << " (x" << revenue_series.back().y[k09] / revenue_series.front().y[k09]
+            << "), W " << welfare_series.front().y[k09] << " -> "
+            << welfare_series.back().y[k09] << " (x"
+            << welfare_series.back().y[k09] / welfare_series.front().y[k09] << ")\n";
+  return checks.exit_code();
+}

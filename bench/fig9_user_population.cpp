@@ -1,0 +1,77 @@
+// Figure 9 reproduction: equilibrium user populations m_i(p) of the eight
+// Section 5 CP classes, one panel per class, one curve per policy cap q.
+//
+// Paper's observed shape: populations of high-alpha CPs fall steeply in p;
+// high-value CPs retain users much better (via higher subsidies); every CP's
+// population is (weakly) larger under a more relaxed policy q.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bench;
+
+  heading("Figure 9 — equilibrium user populations m_i(p) by policy cap");
+  const econ::Market mkt = market::section5_market();
+  const auto params = market::section5_parameters();
+  const std::vector<double> prices = paper_price_grid(41);
+  const std::vector<double> caps = paper_policy_levels();
+  const auto grid = sweep_policy_grid(mkt, caps, prices);
+
+  render_cp_panels(grid, params, "population m_i",
+                   [](const EquilibriumPoint& pt, std::size_t i) {
+                     return pt.state.providers[i].population;
+                   });
+
+  heading("Shape checks against the paper");
+  ShapeChecks checks;
+
+  // Policy ordering: every CP, every price: m_i weakly increases with q.
+  bool ordered = true;
+  for (std::size_t k = 0; k < prices.size(); ++k) {
+    for (std::size_t c = 1; c < caps.size(); ++c) {
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        if (grid.at(caps[c])[k].state.providers[i].population <
+            grid.at(caps[c - 1])[k].state.providers[i].population - 1e-8) {
+          ordered = false;
+        }
+      }
+    }
+  }
+  checks.check(ordered, "every population rises with the policy cap at every price");
+
+  // Steepness: high-alpha populations decay faster in p than low-alpha ones
+  // (same v, beta) on the q = 0 baseline (no subsidy to mask the elasticity).
+  const auto& base = grid.at(0.0);
+  auto find = [&](double v, double a, double b) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (params[i].profitability == v && params[i].alpha == a && params[i].beta == b) return i;
+    }
+    return params.size();
+  };
+  for (double v : {0.5, 1.0}) {
+    for (double b : {2.0, 5.0}) {
+      const std::size_t lo = find(v, 2.0, b);
+      const std::size_t hi = find(v, 5.0, b);
+      const double drop_lo = base.front().state.providers[lo].population /
+                             base.back().state.providers[lo].population;
+      const double drop_hi = base.front().state.providers[hi].population /
+                             base.back().state.providers[hi].population;
+      checks.check(drop_hi > drop_lo,
+                   "alpha=5 population decays faster than alpha=2 (v=" +
+                       io::format_double(v, 1) + ", b=" + io::format_double(b, 0) + ")");
+    }
+  }
+
+  // Retention via subsidies: under q=2 at mid prices, the high-value CP keeps
+  // a larger population than its v=0.5 twin.
+  const auto& dereg = grid.at(2.0);
+  const std::size_t mid = prices.size() / 2;
+  for (double a : {2.0, 5.0}) {
+    for (double b : {2.0, 5.0}) {
+      checks.check(dereg[mid].state.providers[find(1.0, a, b)].population >=
+                       dereg[mid].state.providers[find(0.5, a, b)].population - 1e-9,
+                   "v=1 retains at least the population of v=0.5 at (a=" +
+                       io::format_double(a, 0) + ", b=" + io::format_double(b, 0) + ")");
+    }
+  }
+  return checks.exit_code();
+}

@@ -1,0 +1,207 @@
+// google-benchmark microbenchmarks for the hot paths of the library: the
+// utilization fixed point, marginal utilities, best responses, full Nash
+// solves, sensitivity analysis and figure-scale sweeps.
+#include <benchmark/benchmark.h>
+
+#include "subsidy/core/core.hpp"
+#include "subsidy/core/surplus.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+
+namespace {
+
+const econ::Market& section5() {
+  static const econ::Market mkt = market::section5_market();
+  return mkt;
+}
+
+const econ::Market& section3() {
+  static const econ::Market mkt = market::section3_market();
+  return mkt;
+}
+
+void BM_UtilizationSolve(benchmark::State& state) {
+  const core::ModelEvaluator evaluator(section5());
+  const std::vector<double> s(8, 0.2);
+  const std::vector<double> m = evaluator.populations(0.8, s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.solver().solve(m));
+  }
+}
+BENCHMARK(BM_UtilizationSolve);
+
+void BM_UtilizationSolveWarmStart(benchmark::State& state) {
+  const core::ModelEvaluator evaluator(section5());
+  const std::vector<double> s(8, 0.2);
+  const std::vector<double> m = evaluator.populations(0.8, s);
+  const double hint = evaluator.solver().solve(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.solver().solve(m, hint));
+  }
+}
+BENCHMARK(BM_UtilizationSolveWarmStart);
+
+void BM_StateEvaluation(benchmark::State& state) {
+  const core::ModelEvaluator evaluator(section5());
+  const std::vector<double> s(8, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(0.8, s));
+  }
+}
+BENCHMARK(BM_StateEvaluation);
+
+void BM_MarginalUtilities(benchmark::State& state) {
+  const core::SubsidizationGame game(section5(), 0.8, 1.0);
+  const std::vector<double> s(8, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game.marginal_utilities(s));
+  }
+}
+BENCHMARK(BM_MarginalUtilities);
+
+void BM_BestResponse(benchmark::State& state) {
+  const core::SubsidizationGame game(section5(), 0.8, 1.0);
+  const std::vector<double> s(8, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game.best_response(5, s));
+  }
+}
+BENCHMARK(BM_BestResponse);
+
+void BM_NashSolveColdStart(benchmark::State& state) {
+  const core::SubsidizationGame game(section5(), 0.8, 1.0);
+  const core::BestResponseSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(game));
+  }
+}
+BENCHMARK(BM_NashSolveColdStart);
+
+void BM_NashSolveWarmStart(benchmark::State& state) {
+  const core::SubsidizationGame game(section5(), 0.8, 1.0);
+  const core::BestResponseSolver solver;
+  const core::NashResult reference = solver.solve(game);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(game, reference.subsidies));
+  }
+}
+BENCHMARK(BM_NashSolveWarmStart);
+
+void BM_ExtragradientSolve(benchmark::State& state) {
+  const core::SubsidizationGame game(section5(), 0.8, 1.0);
+  core::ExtragradientOptions opt;
+  opt.tolerance = 1e-7;
+  const core::ExtragradientSolver solver(opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(game));
+  }
+}
+BENCHMARK(BM_ExtragradientSolve);
+
+void BM_EquilibriumSensitivity(benchmark::State& state) {
+  const core::SubsidizationGame game(section5(), 0.8, 0.6);
+  const core::NashResult nash = core::solve_nash(game);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::equilibrium_sensitivity(game, nash.subsidies));
+  }
+}
+BENCHMARK(BM_EquilibriumSensitivity);
+
+void BM_PriceEffectsOneSided(benchmark::State& state) {
+  const core::OneSidedPricingModel model(section3());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.price_effects(0.8));
+  }
+}
+BENCHMARK(BM_PriceEffectsOneSided);
+
+void BM_Figure7Column(benchmark::State& state) {
+  // One full column of the Figure 7 sweep: 5 policy caps at one price, with
+  // warm-start continuation across caps.
+  for (auto _ : state) {
+    std::vector<double> warm;
+    double total = 0.0;
+    for (double q : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+      const core::SubsidizationGame game(section5(), 0.9, q);
+      const core::NashResult nash = core::solve_nash(game, warm);
+      warm = nash.subsidies;
+      total += nash.state.revenue;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_Figure7Column);
+
+void BM_PriceOptimizer(benchmark::State& state) {
+  core::PriceSearchOptions options;
+  options.price_min = 0.05;
+  options.price_max = 2.0;
+  options.grid_points = 11;
+  options.refine_tolerance = 1e-3;
+  const core::IspPriceOptimizer optimizer(section5(), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(1.0));
+  }
+}
+BENCHMARK(BM_PriceOptimizer);
+
+void BM_SurplusDecomposition(benchmark::State& state) {
+  const core::ModelEvaluator evaluator(section5());
+  const std::vector<double> s(8, 0.2);
+  const core::SystemState solved = evaluator.evaluate(0.8, s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::surplus_decomposition(evaluator, solved));
+  }
+}
+BENCHMARK(BM_SurplusDecomposition);
+
+void BM_DuopolyEvaluate(benchmark::State& state) {
+  const core::DuopolyModel model(
+      core::DuopolySpec(econ::Market::exponential(1.0, {2.0, 5.0, 3.0}, {3.0, 2.0, 4.0},
+                                                  {1.0, 0.8, 0.5}),
+                        0.6, 0.6));
+  const std::vector<double> s(3, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(0.8, 0.9, s));
+  }
+}
+BENCHMARK(BM_DuopolyEvaluate);
+
+void BM_DuopolySubsidyEquilibrium(benchmark::State& state) {
+  const core::DuopolyModel model(
+      core::DuopolySpec(econ::Market::exponential(1.0, {2.0, 5.0, 3.0}, {3.0, 2.0, 4.0},
+                                                  {1.0, 0.8, 0.5}),
+                        0.6, 0.6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.solve_subsidies(0.8, 0.9, 0.5));
+  }
+}
+BENCHMARK(BM_DuopolySubsidyEquilibrium);
+
+void BM_MarketScaling(benchmark::State& state) {
+  // Nash solve cost as the number of CP classes grows.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> alphas;
+  std::vector<double> betas;
+  std::vector<double> profits;
+  for (std::size_t i = 0; i < n; ++i) {
+    alphas.push_back(1.0 + static_cast<double>(i % 5));
+    betas.push_back(1.0 + static_cast<double>((i * 2) % 5));
+    profits.push_back(0.5 + 0.1 * static_cast<double>(i % 6));
+  }
+  const econ::Market mkt = econ::Market::exponential(1.0, alphas, betas, profits);
+  const core::SubsidizationGame game(mkt, 0.8, 1.0);
+  const core::BestResponseSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(game));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_MarketScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Scenario: calibrating the model from (synthetic) sponsored-data market
+// records — the measurement pipeline the paper anticipates in Section 6
+// ("with the emerging sponsored data plan from AT&T, we expect this type of
+// market data could be available for regulatory authorities").
+//
+//   1. a ground-truth market generates a noisy observation window
+//      (per-provider daily usage records under a wandering posted price);
+//   2. the estimator recovers every provider's demand elasticity alpha,
+//      congestion elasticity beta and profitability v by regression;
+//   3. the rebuilt model answers the regulator's question — what would
+//      deregulating subsidization do to revenue and welfare? — and the answer
+//      is compared against the (normally unknowable) ground truth.
+#include <iostream>
+
+#include "subsidy/core/core.hpp"
+#include "subsidy/econ/market.hpp"
+#include "subsidy/io/table.hpp"
+#include "subsidy/market/estimator.hpp"
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/market/traces.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace io = subsidy::io;
+namespace market = subsidy::market;
+namespace num = subsidy::num;
+
+int main() {
+  // --- 1. Observation window over the ground-truth market ------------------
+  const econ::Market truth = market::section5_market();
+  market::TraceConfig config;
+  config.days = 365;               // one year of billing records
+  config.measurement_noise = 0.04; // ~4% lognormal measurement error
+  num::Rng rng(20140610);          // the paper's arXiv date as seed
+  const std::vector<market::UsageRecord> trace = market::generate_trace(truth, config, rng);
+  std::cout << "observation window: " << config.days << " days, " << trace.size()
+            << " provider-day records, noise sigma " << config.measurement_noise << "\n\n";
+
+  // --- 2. Parameter recovery ------------------------------------------------
+  const market::ParameterEstimator estimator;
+  const std::vector<market::EstimatedCp> estimates = estimator.fit(trace);
+  const auto params = market::section5_parameters();
+
+  io::ConsoleTable fit({"CP", "alpha true", "alpha est", "beta true", "beta est",
+                        "v true", "v est", "R2(demand)"});
+  for (const auto& est : estimates) {
+    const auto& p = params[est.provider];
+    fit.add_row({"cp" + std::to_string(est.provider), io::format_double(p.alpha, 2),
+                 io::format_double(est.alpha, 3), io::format_double(p.beta, 2),
+                 io::format_double(est.beta, 3), io::format_double(p.profitability, 2),
+                 io::format_double(est.profitability, 3),
+                 io::format_double(est.demand_r_squared, 4)});
+  }
+  fit.print(std::cout);
+  const market::EstimationError err = market::compare_estimates(truth, estimates);
+  std::cout << "\nworst relative errors: alpha " << io::format_double(err.max_alpha_error, 4)
+            << ", beta " << io::format_double(err.max_beta_error, 4) << ", v "
+            << io::format_double(err.max_profit_error, 4) << "\n\n";
+
+  // --- 3. Policy question on the rebuilt model -----------------------------
+  const econ::Market rebuilt = estimator.build_market(estimates, /*capacity=*/1.0);
+  const double p = 0.8;  // current (regulated) access price
+
+  io::ConsoleTable policy({"q", "R (estimated)", "R (truth)", "W (estimated)", "W (truth)"});
+  std::vector<double> warm_est;
+  std::vector<double> warm_true;
+  for (double q : {0.0, 0.5, 1.0, 2.0}) {
+    const core::NashResult est_nash =
+        core::solve_nash(core::SubsidizationGame(rebuilt, p, q), warm_est);
+    const core::NashResult true_nash =
+        core::solve_nash(core::SubsidizationGame(truth, p, q), warm_true);
+    warm_est = est_nash.subsidies;
+    warm_true = true_nash.subsidies;
+    policy.add_row({io::format_double(q, 1), io::format_double(est_nash.state.revenue, 4),
+                    io::format_double(true_nash.state.revenue, 4),
+                    io::format_double(est_nash.state.welfare, 4),
+                    io::format_double(true_nash.state.welfare, 4)});
+  }
+  policy.print(std::cout);
+
+  std::cout << "\nthe calibrated model reproduces the ground truth's policy ranking:\n"
+               "deregulation raises both ISP revenue and content welfare at the\n"
+               "regulated price — a conclusion a regulator could reach from billing\n"
+               "records alone, without access to the providers' private economics.\n";
+  return err.max_alpha_error < 0.15 && err.max_beta_error < 0.2 ? 0 : 1;
+}

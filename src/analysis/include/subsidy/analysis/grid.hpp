@@ -1,0 +1,77 @@
+// Experiment grids: the (price x policy-cap) equilibrium sweeps behind the
+// paper's Figures 7-11, run once with warm-start continuation and then
+// queried for any per-provider or aggregate quantity as named series.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "subsidy/core/nash.hpp"
+#include "subsidy/econ/market.hpp"
+#include "subsidy/io/series.hpp"
+
+namespace subsidy::analysis {
+
+/// Grid specification.
+struct GridSpec {
+  std::vector<double> prices;       ///< The x-axis of the figures.
+  std::vector<double> policy_caps;  ///< One curve per cap.
+};
+
+/// One solved grid cell.
+struct GridCell {
+  double price = 0.0;
+  double policy_cap = 0.0;
+  core::SystemState state;
+  std::vector<double> subsidies;
+  bool converged = false;
+};
+
+/// Extractor signature: a scalar read off a solved cell.
+using CellExtractor = std::function<double(const GridCell&)>;
+
+/// Common extractors.
+[[nodiscard]] CellExtractor extract_revenue();
+[[nodiscard]] CellExtractor extract_welfare();
+[[nodiscard]] CellExtractor extract_utilization();
+[[nodiscard]] CellExtractor extract_aggregate_throughput();
+[[nodiscard]] CellExtractor extract_subsidy(std::size_t provider);
+[[nodiscard]] CellExtractor extract_population(std::size_t provider);
+[[nodiscard]] CellExtractor extract_throughput(std::size_t provider);
+[[nodiscard]] CellExtractor extract_utility(std::size_t provider);
+
+/// A fully solved (p, q) equilibrium grid over one market.
+class EquilibriumGrid {
+ public:
+  /// Solves every cell (warm-started along the price axis per cap). Cells
+  /// that fail to converge are kept with converged = false and reported via
+  /// failures().
+  EquilibriumGrid(const econ::Market& market, GridSpec spec,
+                  const core::BestResponseOptions& solver_options = {});
+
+  [[nodiscard]] const GridSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t num_cells() const noexcept;
+  [[nodiscard]] int failures() const noexcept { return failures_; }
+
+  /// Cell at (price index, cap index). Throws std::out_of_range.
+  [[nodiscard]] const GridCell& cell(std::size_t price_index, std::size_t cap_index) const;
+
+  /// One series per policy cap of the extracted quantity vs price; series are
+  /// named "q=<cap>" unless a prefix is supplied.
+  [[nodiscard]] std::vector<io::Series> series_by_cap(const CellExtractor& extract,
+                                                      const std::string& name_prefix = "q=") const;
+
+  /// A single series along the price axis at one cap index.
+  [[nodiscard]] io::Series series_at_cap(std::size_t cap_index,
+                                         const CellExtractor& extract,
+                                         const std::string& name) const;
+
+ private:
+  GridSpec spec_;
+  std::vector<GridCell> cells_;  ///< Row-major: cap index major, price minor.
+  int failures_ = 0;
+};
+
+}  // namespace subsidy::analysis

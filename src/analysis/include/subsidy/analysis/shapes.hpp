@@ -1,0 +1,72 @@
+// Shape expectations: declarative checks of the qualitative claims a paper
+// figure makes (monotonicity, single-peakedness, pointwise ordering,
+// crossovers), evaluated against Series and reported with context.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "subsidy/io/series.hpp"
+
+namespace subsidy::analysis {
+
+/// Outcome of one expectation.
+struct ShapeResult {
+  bool ok = false;
+  std::string description;
+  std::string detail;  ///< Where/why it failed, or the measured quantity.
+};
+
+/// Collects expectation results; renders a PASS/FAIL report.
+class ShapeReport {
+ public:
+  void add(ShapeResult result);
+
+  [[nodiscard]] bool all_ok() const noexcept { return failures_ == 0; }
+  [[nodiscard]] int failures() const noexcept { return failures_; }
+  [[nodiscard]] const std::vector<ShapeResult>& results() const noexcept { return results_; }
+
+  /// Multi-line "[PASS]/[FAIL] description (detail)" text.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<ShapeResult> results_;
+  int failures_ = 0;
+};
+
+/// y non-increasing along the series (within slack).
+[[nodiscard]] ShapeResult expect_non_increasing(const io::Series& series,
+                                                const std::string& description,
+                                                double slack = 1e-9);
+
+/// y non-decreasing along the series (within slack).
+[[nodiscard]] ShapeResult expect_non_decreasing(const io::Series& series,
+                                                const std::string& description,
+                                                double slack = 1e-9);
+
+/// Single interior peak: rises (weakly) to argmax, falls (weakly) after, and
+/// the argmax is not an endpoint.
+[[nodiscard]] ShapeResult expect_single_peaked(const io::Series& series,
+                                               const std::string& description,
+                                               double slack = 1e-9);
+
+/// The peak location lies in [lo, hi].
+[[nodiscard]] ShapeResult expect_peak_in(const io::Series& series, double lo, double hi,
+                                         const std::string& description);
+
+/// upper(x) >= lower(x) - slack at every shared grid point.
+[[nodiscard]] ShapeResult expect_dominates(const io::Series& upper, const io::Series& lower,
+                                           const std::string& description,
+                                           double slack = 1e-9);
+
+/// The two series cross an expected number of times (sign changes of the
+/// difference); pass expected = std::nullopt to merely report the count.
+[[nodiscard]] ShapeResult expect_crossings(const io::Series& a, const io::Series& b,
+                                           std::optional<int> expected,
+                                           const std::string& description);
+
+/// First x at which series a rises above series b (nullopt when never).
+[[nodiscard]] std::optional<double> first_crossing(const io::Series& a, const io::Series& b);
+
+}  // namespace subsidy::analysis

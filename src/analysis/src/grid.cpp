@@ -1,0 +1,112 @@
+#include "subsidy/analysis/grid.hpp"
+
+#include <stdexcept>
+
+#include "subsidy/io/table.hpp"
+
+namespace subsidy::analysis {
+
+CellExtractor extract_revenue() {
+  return [](const GridCell& c) { return c.state.revenue; };
+}
+
+CellExtractor extract_welfare() {
+  return [](const GridCell& c) { return c.state.welfare; };
+}
+
+CellExtractor extract_utilization() {
+  return [](const GridCell& c) { return c.state.utilization; };
+}
+
+CellExtractor extract_aggregate_throughput() {
+  return [](const GridCell& c) { return c.state.aggregate_throughput; };
+}
+
+namespace {
+
+CellExtractor provider_field(std::size_t provider, double core::CpState::* field) {
+  return [provider, field](const GridCell& c) {
+    if (provider >= c.state.providers.size()) {
+      throw std::out_of_range("grid extractor: provider index out of range");
+    }
+    return c.state.providers[provider].*field;
+  };
+}
+
+}  // namespace
+
+CellExtractor extract_subsidy(std::size_t provider) {
+  return provider_field(provider, &core::CpState::subsidy);
+}
+
+CellExtractor extract_population(std::size_t provider) {
+  return provider_field(provider, &core::CpState::population);
+}
+
+CellExtractor extract_throughput(std::size_t provider) {
+  return provider_field(provider, &core::CpState::throughput);
+}
+
+CellExtractor extract_utility(std::size_t provider) {
+  return provider_field(provider, &core::CpState::utility);
+}
+
+EquilibriumGrid::EquilibriumGrid(const econ::Market& market, GridSpec spec,
+                                 const core::BestResponseOptions& solver_options)
+    : spec_(std::move(spec)) {
+  if (spec_.prices.empty() || spec_.policy_caps.empty()) {
+    throw std::invalid_argument("EquilibriumGrid: empty grid specification");
+  }
+  cells_.reserve(spec_.prices.size() * spec_.policy_caps.size());
+  for (double q : spec_.policy_caps) {
+    std::vector<double> warm;
+    for (double p : spec_.prices) {
+      const core::SubsidizationGame game(market, p, q);
+      const core::NashResult nash = core::solve_nash(game, warm, solver_options);
+      warm = nash.subsidies;
+      GridCell cell;
+      cell.price = p;
+      cell.policy_cap = q;
+      cell.state = nash.state;
+      cell.subsidies = nash.subsidies;
+      cell.converged = nash.converged;
+      if (!nash.converged) ++failures_;
+      cells_.push_back(std::move(cell));
+    }
+  }
+}
+
+std::size_t EquilibriumGrid::num_cells() const noexcept { return cells_.size(); }
+
+const GridCell& EquilibriumGrid::cell(std::size_t price_index, std::size_t cap_index) const {
+  if (price_index >= spec_.prices.size() || cap_index >= spec_.policy_caps.size()) {
+    throw std::out_of_range("EquilibriumGrid::cell: index out of range");
+  }
+  return cells_[cap_index * spec_.prices.size() + price_index];
+}
+
+std::vector<io::Series> EquilibriumGrid::series_by_cap(const CellExtractor& extract,
+                                                       const std::string& name_prefix) const {
+  std::vector<io::Series> out;
+  out.reserve(spec_.policy_caps.size());
+  for (std::size_t c = 0; c < spec_.policy_caps.size(); ++c) {
+    out.push_back(series_at_cap(
+        c, extract, name_prefix + io::format_double(spec_.policy_caps[c], 1)));
+  }
+  return out;
+}
+
+io::Series EquilibriumGrid::series_at_cap(std::size_t cap_index, const CellExtractor& extract,
+                                          const std::string& name) const {
+  if (cap_index >= spec_.policy_caps.size()) {
+    throw std::out_of_range("EquilibriumGrid::series_at_cap: cap index out of range");
+  }
+  io::Series s(name);
+  for (std::size_t p = 0; p < spec_.prices.size(); ++p) {
+    const GridCell& c = cell(p, cap_index);
+    s.add(c.price, extract(c));
+  }
+  return s;
+}
+
+}  // namespace subsidy::analysis

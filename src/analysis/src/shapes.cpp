@@ -1,0 +1,164 @@
+#include "subsidy/analysis/shapes.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace subsidy::analysis {
+
+namespace {
+
+std::string at(double x, double y) {
+  std::ostringstream ss;
+  ss << "at x=" << x << " (y=" << y << ")";
+  return ss.str();
+}
+
+}  // namespace
+
+void ShapeReport::add(ShapeResult result) {
+  if (!result.ok) ++failures_;
+  results_.push_back(std::move(result));
+}
+
+std::string ShapeReport::to_string() const {
+  std::ostringstream ss;
+  for (const auto& r : results_) {
+    ss << (r.ok ? "  [PASS] " : "  [FAIL] ") << r.description;
+    if (!r.detail.empty()) ss << " (" << r.detail << ")";
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+ShapeResult expect_non_increasing(const io::Series& series, const std::string& description,
+                                  double slack) {
+  ShapeResult result;
+  result.description = description;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series.y[i] > series.y[i - 1] + slack) {
+      result.ok = false;
+      result.detail = "rises " + at(series.x[i], series.y[i]);
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+ShapeResult expect_non_decreasing(const io::Series& series, const std::string& description,
+                                  double slack) {
+  ShapeResult result;
+  result.description = description;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series.y[i] < series.y[i - 1] - slack) {
+      result.ok = false;
+      result.detail = "falls " + at(series.x[i], series.y[i]);
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+ShapeResult expect_single_peaked(const io::Series& series, const std::string& description,
+                                 double slack) {
+  ShapeResult result;
+  result.description = description;
+  if (series.size() < 3) {
+    result.ok = false;
+    result.detail = "series too short";
+    return result;
+  }
+  const std::size_t peak = series.argmax();
+  if (peak == 0 || peak + 1 == series.size()) {
+    result.ok = false;
+    result.detail = "peak at the boundary x=" + std::to_string(series.x[peak]);
+    return result;
+  }
+  for (std::size_t i = 1; i <= peak; ++i) {
+    if (series.y[i] < series.y[i - 1] - slack) {
+      result.ok = false;
+      result.detail = "dips before the peak " + at(series.x[i], series.y[i]);
+      return result;
+    }
+  }
+  for (std::size_t i = peak + 1; i < series.size(); ++i) {
+    if (series.y[i] > series.y[i - 1] + slack) {
+      result.ok = false;
+      result.detail = "rises after the peak " + at(series.x[i], series.y[i]);
+      return result;
+    }
+  }
+  result.ok = true;
+  result.detail = "peak at x=" + std::to_string(series.x[peak]);
+  return result;
+}
+
+ShapeResult expect_peak_in(const io::Series& series, double lo, double hi,
+                           const std::string& description) {
+  ShapeResult result;
+  result.description = description;
+  if (series.empty()) {
+    result.ok = false;
+    result.detail = "empty series";
+    return result;
+  }
+  const double peak_x = series.x[series.argmax()];
+  result.ok = peak_x >= lo && peak_x <= hi;
+  result.detail = "peak at x=" + std::to_string(peak_x);
+  return result;
+}
+
+ShapeResult expect_dominates(const io::Series& upper, const io::Series& lower,
+                             const std::string& description, double slack) {
+  ShapeResult result;
+  result.description = description;
+  if (upper.x != lower.x) {
+    result.ok = false;
+    result.detail = "series grids differ";
+    return result;
+  }
+  for (std::size_t i = 0; i < upper.size(); ++i) {
+    if (upper.y[i] < lower.y[i] - slack) {
+      result.ok = false;
+      result.detail = "dominated " + at(upper.x[i], upper.y[i]);
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+ShapeResult expect_crossings(const io::Series& a, const io::Series& b,
+                             std::optional<int> expected, const std::string& description) {
+  ShapeResult result;
+  result.description = description;
+  if (a.x != b.x || a.size() < 2) {
+    result.ok = false;
+    result.detail = "series grids differ or too short";
+    return result;
+  }
+  int crossings = 0;
+  double prev = a.y[0] - b.y[0];
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const double diff = a.y[i] - b.y[i];
+    if (diff * prev < 0.0) ++crossings;
+    if (diff != 0.0) prev = diff;
+  }
+  result.detail = std::to_string(crossings) + " crossings";
+  result.ok = !expected || crossings == *expected;
+  return result;
+}
+
+std::optional<double> first_crossing(const io::Series& a, const io::Series& b) {
+  if (a.x != b.x || a.size() < 2) return std::nullopt;
+  double prev = a.y[0] - b.y[0];
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const double diff = a.y[i] - b.y[i];
+    if (prev <= 0.0 && diff > 0.0) return a.x[i];
+    prev = diff;
+  }
+  return std::nullopt;
+}
+
+}  // namespace subsidy::analysis

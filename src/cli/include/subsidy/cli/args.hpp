@@ -1,0 +1,52 @@
+// Minimal command-line argument parsing for the subsidy_cli tool: a
+// subcommand followed by --key value pairs and boolean --flags. Kept in a
+// library so the parsing rules are unit-testable.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace subsidy::cli {
+
+/// Parsed command line: `tool <command> [--key value]... [--flag]...`.
+class Args {
+ public:
+  /// Parses argv (excluding argv[0]). Throws std::invalid_argument on
+  /// malformed input (missing value, unknown shape).
+  static Args parse(const std::vector<std::string>& argv,
+                    const std::vector<std::string>& known_flags = {});
+
+  [[nodiscard]] const std::string& command() const noexcept { return command_; }
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] bool flag(const std::string& name) const;
+
+  /// Required string option; throws std::invalid_argument when absent.
+  [[nodiscard]] std::string get(const std::string& key) const;
+
+  /// Optional string option with default.
+  [[nodiscard]] std::string get_or(const std::string& key, const std::string& fallback) const;
+
+  /// Numeric option; throws std::invalid_argument when absent or non-numeric.
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] double get_double_or(const std::string& key, double fallback) const;
+  [[nodiscard]] int get_int_or(const std::string& key, int fallback) const;
+
+  /// Comma-separated list of doubles, e.g. "0,0.5,1".
+  [[nodiscard]] std::vector<double> get_double_list(const std::string& key) const;
+
+  /// Options that were provided but never read (for typo warnings).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> flags_;
+};
+
+/// Parses "a,b,c" into doubles. Throws std::invalid_argument on bad cells.
+[[nodiscard]] std::vector<double> parse_double_list(const std::string& text);
+
+}  // namespace subsidy::cli

@@ -1,0 +1,33 @@
+// The subsidy_cli subcommands, factored out of main() so that each command is
+// unit-testable against an in-memory stream.
+//
+//   evaluate        solved state at (market, price, subsidies)
+//   nash            Nash equilibrium + KKT report at (market, price, cap)
+//   sweep           price sweep at fixed cap -> CSV
+//   optimize-price  revenue-maximizing price at a cap
+//   policy          policy-cap sweep (fixed or monopoly price response)
+//   surplus         welfare decomposition at an equilibrium
+//   generate-trace  synthetic usage records -> CSV
+//   calibrate       fit alpha/beta/v from a trace CSV
+//   validate        Assumption 1/2 conformance report
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "subsidy/cli/args.hpp"
+
+namespace subsidy::cli {
+
+/// Dispatches a parsed command line; writes human-readable output to `out`
+/// and returns a process exit code (0 on success, 2 on usage errors).
+int run_command(const Args& args, std::ostream& out, std::ostream& err);
+
+/// Full usage text.
+[[nodiscard]] std::string usage();
+
+/// Convenience for main(): parse + dispatch with error reporting.
+int run_cli(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err);
+
+}  // namespace subsidy::cli

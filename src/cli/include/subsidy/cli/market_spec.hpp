@@ -1,0 +1,23 @@
+// Textual market specifications for the CLI:
+//   "section3"                          — the paper's Section 3 market,
+//   "section5"                          — the paper's Section 5 market,
+//   "exp:mu=1;alpha=1,2;beta=2,1;v=1,1" — custom exponential-family market
+//                                          (alpha/beta/v lists equal length),
+// with an optional "+delay" / "+power:<gamma>" suffix swapping the
+// utilization model (e.g. "section5+delay").
+#pragma once
+
+#include <string>
+
+#include "subsidy/econ/market.hpp"
+
+namespace subsidy::cli {
+
+/// Parses a market specification. Throws std::invalid_argument with a
+/// human-readable message on malformed specs.
+[[nodiscard]] econ::Market parse_market_spec(const std::string& spec);
+
+/// One-line description of the accepted grammar (for --help output).
+[[nodiscard]] std::string market_spec_help();
+
+}  // namespace subsidy::cli

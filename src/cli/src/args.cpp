@@ -1,0 +1,108 @@
+#include "subsidy/cli/args.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace subsidy::cli {
+
+std::vector<double> parse_double_list(const std::string& text) {
+  std::vector<double> values;
+  std::string cell;
+  auto flush = [&] {
+    if (cell.empty()) throw std::invalid_argument("empty cell in list '" + text + "'");
+    std::size_t consumed = 0;
+    const double value = std::stod(cell, &consumed);
+    if (consumed != cell.size()) {
+      throw std::invalid_argument("non-numeric cell '" + cell + "' in list '" + text + "'");
+    }
+    values.push_back(value);
+    cell.clear();
+  };
+  for (char c : text) {
+    if (c == ',') {
+      flush();
+    } else {
+      cell.push_back(c);
+    }
+  }
+  flush();
+  return values;
+}
+
+Args Args::parse(const std::vector<std::string>& argv,
+                 const std::vector<std::string>& known_flags) {
+  Args args;
+  if (argv.empty()) throw std::invalid_argument("missing command");
+  args.command_ = argv[0];
+
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument '" + token + "'");
+    }
+    const std::string name = token.substr(2);
+    if (name.empty()) throw std::invalid_argument("empty option name '--'");
+    if (std::find(known_flags.begin(), known_flags.end(), name) != known_flags.end()) {
+      args.flags_.push_back(name);
+      continue;
+    }
+    if (i + 1 >= argv.size()) {
+      throw std::invalid_argument("option --" + name + " is missing its value");
+    }
+    args.options_[name] = argv[++i];
+  }
+  return args;
+}
+
+bool Args::has(const std::string& key) const { return options_.count(key) > 0; }
+
+bool Args::flag(const std::string& name) const {
+  return std::find(flags_.begin(), flags_.end(), name) != flags_.end();
+}
+
+std::string Args::get(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) throw std::invalid_argument("missing required option --" + key);
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& key, const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double Args::get_double(const std::string& key) const {
+  const std::string text = get(key);
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + key + " expects a number, got '" + text + "'");
+  }
+}
+
+double Args::get_double_or(const std::string& key, double fallback) const {
+  return has(key) ? get_double(key) : fallback;
+}
+
+int Args::get_int_or(const std::string& key, int fallback) const {
+  return has(key) ? static_cast<int>(get_double(key)) : fallback;
+}
+
+std::vector<double> Args::get_double_list(const std::string& key) const {
+  try {
+    return parse_double_list(get(key));
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("option --" + key + ": " + e.what());
+  }
+}
+
+std::vector<std::string> Args::keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : options_) out.push_back(key);
+  return out;
+}
+
+}  // namespace subsidy::cli

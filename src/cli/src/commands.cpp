@@ -1,0 +1,269 @@
+#include "subsidy/cli/commands.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "subsidy/cli/market_spec.hpp"
+#include "subsidy/core/core.hpp"
+#include "subsidy/core/surplus.hpp"
+#include "subsidy/io/csv.hpp"
+#include "subsidy/io/table.hpp"
+#include "subsidy/market/estimator.hpp"
+#include "subsidy/market/traces.hpp"
+#include "subsidy/numerics/grid.hpp"
+
+namespace subsidy::cli {
+
+namespace {
+
+void print_state(std::ostream& out, const econ::Market& market,
+                 const core::SystemState& state) {
+  out << "price=" << state.price << " capacity=" << state.capacity
+      << " phi=" << state.utilization << " theta=" << state.aggregate_throughput
+      << " revenue=" << state.revenue << " welfare=" << state.welfare << "\n\n";
+  io::ConsoleTable table({"CP", "subsidy", "t_i", "m_i", "lambda_i", "theta_i", "U_i"});
+  for (std::size_t i = 0; i < state.providers.size(); ++i) {
+    const auto& cp = state.providers[i];
+    table.add_row({market.provider(i).name, io::format_double(cp.subsidy, 4),
+                   io::format_double(cp.effective_price, 4),
+                   io::format_double(cp.population, 4),
+                   io::format_double(cp.per_user_rate, 4),
+                   io::format_double(cp.throughput, 4), io::format_double(cp.utility, 4)});
+  }
+  table.print(out);
+}
+
+core::NashResult solve_equilibrium(const econ::Market& market, double price, double cap,
+                                   const std::string& solver) {
+  const core::SubsidizationGame game(market, price, cap);
+  if (solver == "br") return core::BestResponseSolver{}.solve(game);
+  if (solver == "eg") return core::ExtragradientSolver{}.solve(game);
+  if (solver == "auto") return core::solve_nash(game);
+  throw std::invalid_argument("unknown solver '" + solver + "' (expected br, eg or auto)");
+}
+
+int cmd_evaluate(const Args& args, std::ostream& out) {
+  const econ::Market market = parse_market_spec(args.get_or("market", "section5"));
+  const double price = args.get_double("price");
+  std::vector<double> subsidies(market.num_providers(), 0.0);
+  if (args.has("subsidies")) {
+    subsidies = args.get_double_list("subsidies");
+    if (subsidies.size() != market.num_providers()) {
+      throw std::invalid_argument("--subsidies needs " +
+                                  std::to_string(market.num_providers()) + " values");
+    }
+  }
+  const core::ModelEvaluator evaluator(market);
+  print_state(out, market, evaluator.evaluate(price, subsidies));
+  return 0;
+}
+
+int cmd_nash(const Args& args, std::ostream& out) {
+  const econ::Market market = parse_market_spec(args.get_or("market", "section5"));
+  const double price = args.get_double("price");
+  const double cap = args.get_double("cap");
+  const core::NashResult nash =
+      solve_equilibrium(market, price, cap, args.get_or("solver", "auto"));
+  out << "converged=" << (nash.converged ? "yes" : "NO") << " iterations=" << nash.iterations
+      << " residual=" << nash.residual << "\n";
+  const core::SubsidizationGame game(market, price, cap);
+  const core::KktReport kkt = core::verify_kkt(game, nash.subsidies);
+  out << "kkt=" << (kkt.satisfied ? "satisfied" : "VIOLATED")
+      << " max_residual=" << kkt.max_residual << "\n";
+  for (std::size_t i = 0; i < kkt.entries.size(); ++i) {
+    out << "  " << market.provider(i).name << ": " << core::to_string(kkt.entries[i].active_set)
+        << " u_i=" << kkt.entries[i].marginal_utility << "\n";
+  }
+  out << "\n";
+  print_state(out, market, nash.state);
+  return nash.converged && kkt.satisfied ? 0 : 1;
+}
+
+int cmd_sweep(const Args& args, std::ostream& out) {
+  const econ::Market market = parse_market_spec(args.get_or("market", "section5"));
+  const double cap = args.get_double_or("cap", 0.0);
+  const auto prices = num::linspace(args.get_double_or("pmin", 0.05),
+                                    args.get_double_or("pmax", 2.0),
+                                    static_cast<std::size_t>(args.get_int_or("points", 41)));
+  io::SweepTable table({"p", "phi", "theta", "revenue", "welfare"});
+  std::vector<double> warm;
+  for (double p : prices) {
+    const core::SubsidizationGame game(market, p, cap);
+    const core::NashResult nash = core::solve_nash(game, warm);
+    warm = nash.subsidies;
+    table.add_row({p, nash.state.utilization, nash.state.aggregate_throughput,
+                   nash.state.revenue, nash.state.welfare});
+  }
+  if (args.has("out")) {
+    io::write_csv_file(args.get("out"), table);
+    out << "wrote " << table.num_rows() << " rows to " << args.get("out") << "\n";
+  } else {
+    io::write_csv(out, table, 8);
+  }
+  return 0;
+}
+
+int cmd_optimize_price(const Args& args, std::ostream& out) {
+  const econ::Market market = parse_market_spec(args.get_or("market", "section5"));
+  core::PriceSearchOptions options;
+  options.price_min = args.get_double_or("pmin", 0.05);
+  options.price_max = args.get_double_or("pmax", 2.5);
+  options.grid_points = args.get_int_or("points", 25);
+  const core::IspPriceOptimizer optimizer(market, options);
+  const core::OptimalPrice best = optimizer.optimize(args.get_double("cap"));
+  out << "p*=" << best.price << " revenue=" << best.revenue
+      << " welfare=" << best.state.welfare << "\n\n";
+  print_state(out, market, best.state);
+  return 0;
+}
+
+int cmd_policy(const Args& args, std::ostream& out) {
+  const econ::Market market = parse_market_spec(args.get_or("market", "section5"));
+  const std::vector<double> caps =
+      args.has("caps") ? args.get_double_list("caps")
+                       : std::vector<double>{0.0, 0.5, 1.0, 1.5, 2.0};
+  const core::PriceResponse response =
+      args.has("price") ? core::PriceResponse::fixed(args.get_double("price"))
+                        : core::PriceResponse::monopoly();
+  const core::PolicyAnalyzer analyzer(market, response);
+  io::SweepTable table({"q", "price", "phi", "revenue", "welfare"});
+  for (const core::PolicyPoint& point : analyzer.sweep(caps)) {
+    table.add_row({point.policy_cap, point.price, point.state.utilization,
+                   point.state.revenue, point.state.welfare});
+  }
+  io::print_table(out, table, 4);
+  return 0;
+}
+
+int cmd_surplus(const Args& args, std::ostream& out) {
+  const econ::Market market = parse_market_spec(args.get_or("market", "section5"));
+  const double price = args.get_double("price");
+  const double cap = args.get_double_or("cap", 0.0);
+  const core::NashResult nash = solve_equilibrium(market, price, cap, "auto");
+  const core::ModelEvaluator evaluator(market);
+  const core::SurplusReport report = core::surplus_decomposition(evaluator, nash.state);
+  io::ConsoleTable table({"CP", "user surplus", "cp profit", "isp receipts"});
+  for (std::size_t i = 0; i < report.providers.size(); ++i) {
+    const auto& slice = report.providers[i];
+    table.add_row({market.provider(i).name, io::format_double(slice.user_surplus, 4),
+                   io::format_double(slice.cp_profit, 4),
+                   io::format_double(slice.isp_receipts, 4)});
+  }
+  table.print(out);
+  out << "\nuser=" << report.user_surplus << " cp=" << report.cp_profit
+      << " isp=" << report.isp_revenue << " total=" << report.total_surplus
+      << " (paper W=" << report.paper_welfare << ")\n";
+  return 0;
+}
+
+int cmd_generate_trace(const Args& args, std::ostream& out) {
+  const econ::Market market = parse_market_spec(args.get_or("market", "section5"));
+  market::TraceConfig config;
+  config.days = args.get_int_or("days", 120);
+  config.measurement_noise = args.get_double_or("noise", 0.05);
+  config.price_min = args.get_double_or("pmin", 0.2);
+  config.price_max = args.get_double_or("pmax", 1.8);
+  num::Rng rng(static_cast<std::uint64_t>(args.get_int_or("seed", 1)));
+  const auto trace = market::generate_trace(market, config, rng);
+  if (args.has("out")) {
+    market::write_trace_csv_file(args.get("out"), trace);
+    out << "wrote " << trace.size() << " records to " << args.get("out") << "\n";
+  } else {
+    market::write_trace_csv(out, trace);
+  }
+  return 0;
+}
+
+int cmd_calibrate(const Args& args, std::ostream& out) {
+  const auto trace = market::read_trace_csv_file(args.get("trace"));
+  const market::ParameterEstimator estimator;
+  const auto estimates = estimator.fit(trace);
+  io::ConsoleTable table({"CP", "alpha", "beta", "v", "R2(demand)", "R2(throughput)", "obs"});
+  for (const auto& est : estimates) {
+    table.add_row({"cp" + std::to_string(est.provider), io::format_double(est.alpha, 4),
+                   io::format_double(est.beta, 4), io::format_double(est.profitability, 4),
+                   io::format_double(est.demand_r_squared, 4),
+                   io::format_double(est.throughput_r_squared, 4),
+                   std::to_string(est.observations)});
+  }
+  table.print(out);
+  if (args.has("price") && args.has("cap")) {
+    const econ::Market rebuilt =
+        estimator.build_market(estimates, args.get_double_or("capacity", 1.0));
+    out << "\npolicy answer on the calibrated market:\n";
+    const core::NashResult nash =
+        solve_equilibrium(rebuilt, args.get_double("price"), args.get_double("cap"), "auto");
+    print_state(out, rebuilt, nash.state);
+  }
+  return 0;
+}
+
+int cmd_validate(const Args& args, std::ostream& out) {
+  const econ::Market market = parse_market_spec(args.get_or("market", "section5"));
+  const econ::ValidationReport report = market.validate();
+  out << "assumptions 1 & 2: " << (report.ok ? "satisfied" : "VIOLATED") << "\n";
+  for (const auto& violation : report.violations) out << "  - " << violation << "\n";
+  return report.ok ? 0 : 1;
+}
+
+}  // namespace
+
+std::string usage() {
+  std::ostringstream ss;
+  ss << "subsidy_cli — subsidization competition toolbox\n\n"
+        "usage: subsidy_cli <command> [options]\n\n"
+        "commands:\n"
+        "  evaluate        --market M --price P [--subsidies s1,s2,...]\n"
+        "  nash            --market M --price P --cap Q [--solver br|eg|auto]\n"
+        "  sweep           --market M [--cap Q --pmin A --pmax B --points N --out F]\n"
+        "  optimize-price  --market M --cap Q [--pmin A --pmax B --points N]\n"
+        "  policy          --market M [--price P | (monopoly)] [--caps 0,0.5,...]\n"
+        "  surplus         --market M --price P [--cap Q]\n"
+        "  generate-trace  --market M [--days N --noise X --seed S --out F]\n"
+        "  calibrate       --trace F [--capacity MU --price P --cap Q]\n"
+        "  validate        --market M\n\n"
+        "market spec: "
+     << market_spec_help() << "\n";
+  return ss.str();
+}
+
+int run_command(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string& command = args.command();
+  try {
+    if (command == "evaluate") return cmd_evaluate(args, out);
+    if (command == "nash") return cmd_nash(args, out);
+    if (command == "sweep") return cmd_sweep(args, out);
+    if (command == "optimize-price") return cmd_optimize_price(args, out);
+    if (command == "policy") return cmd_policy(args, out);
+    if (command == "surplus") return cmd_surplus(args, out);
+    if (command == "generate-trace") return cmd_generate_trace(args, out);
+    if (command == "calibrate") return cmd_calibrate(args, out);
+    if (command == "validate") return cmd_validate(args, out);
+    if (command == "help" || command == "--help") {
+      out << usage();
+      return 0;
+    }
+    err << "unknown command '" << command << "'\n\n" << usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int run_cli(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
+  if (argv.empty()) {
+    err << usage();
+    return 2;
+  }
+  try {
+    const Args args = Args::parse(argv);
+    return run_command(args, out, err);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n\n" << usage();
+    return 2;
+  }
+}
+
+}  // namespace subsidy::cli

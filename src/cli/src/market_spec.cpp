@@ -1,0 +1,92 @@
+#include "subsidy/cli/market_spec.hpp"
+
+#include <stdexcept>
+
+#include "subsidy/cli/args.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace subsidy::cli {
+
+namespace {
+
+econ::Market parse_exponential_spec(const std::string& body) {
+  // body: "mu=1;alpha=1,2;beta=2,1;v=1,1"
+  double mu = 1.0;
+  std::vector<double> alphas;
+  std::vector<double> betas;
+  std::vector<double> profits;
+
+  std::string field;
+  auto consume = [&](const std::string& chunk) {
+    const std::size_t eq = chunk.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("market spec: field '" + chunk + "' is missing '='");
+    }
+    const std::string key = chunk.substr(0, eq);
+    const std::string value = chunk.substr(eq + 1);
+    if (key == "mu") {
+      mu = parse_double_list(value).at(0);
+    } else if (key == "alpha") {
+      alphas = parse_double_list(value);
+    } else if (key == "beta") {
+      betas = parse_double_list(value);
+    } else if (key == "v") {
+      profits = parse_double_list(value);
+    } else {
+      throw std::invalid_argument("market spec: unknown field '" + key + "'");
+    }
+  };
+  for (char c : body) {
+    if (c == ';') {
+      consume(field);
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (!field.empty()) consume(field);
+
+  if (alphas.empty() || alphas.size() != betas.size() || alphas.size() != profits.size()) {
+    throw std::invalid_argument(
+        "market spec: alpha/beta/v must be non-empty lists of equal length");
+  }
+  return econ::Market::exponential(mu, alphas, betas, profits);
+}
+
+}  // namespace
+
+econ::Market parse_market_spec(const std::string& spec) {
+  // Split an optional "+<model>" suffix off the base spec.
+  std::string base = spec;
+  std::string suffix;
+  const std::size_t plus = spec.find('+');
+  if (plus != std::string::npos) {
+    base = spec.substr(0, plus);
+    suffix = spec.substr(plus + 1);
+  }
+
+  econ::Market market = [&]() {
+    if (base == "section3") return market::section3_market();
+    if (base == "section5") return market::section5_market();
+    if (base.rfind("exp:", 0) == 0) return parse_exponential_spec(base.substr(4));
+    throw std::invalid_argument("unknown market spec '" + base + "'; " + market_spec_help());
+  }();
+
+  if (suffix.empty()) return market;
+  if (suffix == "delay") {
+    return market.with_utilization_model(std::make_shared<econ::DelayUtilization>());
+  }
+  if (suffix.rfind("power:", 0) == 0) {
+    const double gamma = parse_double_list(suffix.substr(6)).at(0);
+    return market.with_utilization_model(std::make_shared<econ::PowerUtilization>(gamma));
+  }
+  throw std::invalid_argument("unknown utilization suffix '+" + suffix + "'; " +
+                              market_spec_help());
+}
+
+std::string market_spec_help() {
+  return "expected 'section3', 'section5' or 'exp:mu=<x>;alpha=<list>;beta=<list>;v=<list>',"
+         " optionally followed by '+delay' or '+power:<gamma>'";
+}
+
+}  // namespace subsidy::cli

@@ -1,0 +1,70 @@
+// Capacity planning — the paper's stated future work (Section 6).
+//
+// Subsidization raises the ISP's utilization and revenue (Corollary 1); the
+// paper argues this strengthens the incentive to expand capacity, relieving
+// the congestion externality that hurts congestion-sensitive providers in the
+// short run. This module closes that loop with two models:
+//
+//  * profit-maximizing capacity: the ISP chooses mu to maximize
+//    R(p*(mu), mu) - cost_per_unit * mu, re-optimizing price at each mu;
+//  * reinvestment dynamics: a myopic ISP repeatedly invests a fraction of its
+//    revenue gain (relative to the q = 0 baseline) into new capacity.
+#pragma once
+
+#include <vector>
+
+#include "subsidy/core/price_optimizer.hpp"
+#include "subsidy/econ/market.hpp"
+
+namespace subsidy::core {
+
+/// Result of the profit-maximizing capacity choice.
+struct CapacityPlan {
+  double capacity = 0.0;   ///< Chosen mu.
+  double price = 0.0;      ///< Revenue-maximizing price at that mu.
+  double revenue = 0.0;
+  double profit = 0.0;     ///< revenue - cost_per_unit * mu.
+  SystemState state;
+};
+
+/// One step of the reinvestment dynamic.
+struct ReinvestmentStep {
+  int round = 0;
+  double capacity = 0.0;
+  double revenue = 0.0;
+  double utilization = 0.0;
+  double welfare = 0.0;
+};
+
+/// Options for capacity optimization.
+struct CapacityPlanOptions {
+  double capacity_min = 0.25;
+  double capacity_max = 8.0;
+  int grid_points = 24;
+  double refine_tolerance = 1e-4;
+  PriceSearchOptions price_search;
+};
+
+/// ISP capacity planning under a subsidization policy cap.
+class CapacityPlanner {
+ public:
+  CapacityPlanner(econ::Market market, CapacityPlanOptions options = {});
+
+  /// Profit-maximizing capacity under policy cap q and linear capacity cost.
+  [[nodiscard]] CapacityPlan optimize(double policy_cap, double cost_per_unit) const;
+
+  /// Runs `rounds` of the reinvestment dynamic: each round the ISP invests
+  /// `reinvest_fraction` of (current revenue - baseline revenue) at
+  /// `cost_per_unit` per unit of new capacity. Price is re-optimized each
+  /// round. Returns the trajectory.
+  [[nodiscard]] std::vector<ReinvestmentStep> reinvestment_path(double policy_cap,
+                                                                double cost_per_unit,
+                                                                double reinvest_fraction,
+                                                                int rounds) const;
+
+ private:
+  econ::Market market_;
+  CapacityPlanOptions options_;
+};
+
+}  // namespace subsidy::core

@@ -1,0 +1,36 @@
+// Theorem 1 (capacity and user effect): closed-form sensitivities of the
+// utilization fixed point and of each provider's throughput with respect to
+// capacity mu and the user populations m, evaluated at a solved state.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/numerics/linalg.hpp"
+
+namespace subsidy::core {
+
+/// All Theorem 1 quantities at a solved state (m, phi).
+struct CapacityUserEffects {
+  double phi = 0.0;
+  double gap_derivative = 0.0;              ///< dg/dphi > 0.
+  double dphi_dmu = 0.0;                    ///< < 0 (eq. (3)).
+  std::vector<double> dphi_dm;              ///< > 0 per provider (eq. (4)).
+  std::vector<double> dtheta_dmu;           ///< > 0 per provider.
+  num::Matrix dtheta_dm;                    ///< (i, j) = dtheta_i / dm_j.
+};
+
+/// Computes every Theorem 1 sensitivity analytically. `populations` must be
+/// the populations the state was solved with.
+[[nodiscard]] CapacityUserEffects capacity_user_effects(const ModelEvaluator& evaluator,
+                                                        std::span<const double> populations,
+                                                        double phi);
+
+/// phi-elasticity decomposition of equation (14):
+/// eps^lambda_m_j = eps^phi_m_j * eps^lambda_phi = m_j lambda_j'(phi) / (dg/dphi).
+[[nodiscard]] std::vector<double> lambda_population_elasticities(
+    const ModelEvaluator& evaluator, std::span<const double> populations, double phi);
+
+}  // namespace subsidy::core

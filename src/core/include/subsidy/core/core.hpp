@@ -1,0 +1,19 @@
+// Umbrella header for the subsidization-competition core library.
+#pragma once
+
+#include "subsidy/core/capacity.hpp"
+#include "subsidy/core/comparative_statics.hpp"
+#include "subsidy/core/duopoly.hpp"
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/game.hpp"
+#include "subsidy/core/kkt.hpp"
+#include "subsidy/core/nash.hpp"
+#include "subsidy/core/one_sided.hpp"
+#include "subsidy/core/policy.hpp"
+#include "subsidy/core/price_optimizer.hpp"
+#include "subsidy/core/revenue.hpp"
+#include "subsidy/core/sensitivity.hpp"
+#include "subsidy/core/surplus.hpp"
+#include "subsidy/core/system_state.hpp"
+#include "subsidy/core/uniqueness.hpp"
+#include "subsidy/core/utilization_solver.hpp"

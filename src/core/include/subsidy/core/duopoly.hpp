@@ -1,0 +1,144 @@
+// ISP competition — the paper's second Section 6 future-work direction:
+// "competition between ISPs will also incentivize them to adopt
+// subsidization schemes, through which users can obtain subsidized services".
+//
+// Model. Two access ISPs A and B with capacities mu_A, mu_B and usage prices
+// p_A, p_B serve the same region. Each content provider i chooses a single
+// subsidy s_i in [0, q] applied on both networks (the neutrality norm of
+// Section 6: the subsidization option is identical everywhere). A user of CP
+// i picks an ISP — or stays offline — by a multinomial-logit rule whose
+// attraction weights reuse the provider's demand curve:
+//
+//   m_iX = m_max_i * w_i(t_iX) / (1 + w_i(t_iA) + w_i(t_iB)),
+//   w_i(t) = m_i(t) / m_i(0),   t_iX = p_X - s_i,
+//
+// so a price cut on one ISP both steals subscribers from the rival and grows
+// the market against the outside option, and demand vanishes as both prices
+// rise (Assumption 2 carries over). Given populations, each ISP's utilization
+// solves its own Lemma 1 fixed point; CP utilities sum over both networks.
+//
+// On top sit two games solved in layers, mirroring the paper's Section 5
+// structure: the CPs' subsidization equilibrium at fixed prices (inner), and
+// the ISPs' alternating best-response pricing game (outer).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "subsidy/core/nash.hpp"
+#include "subsidy/econ/market.hpp"
+
+namespace subsidy::core {
+
+/// Static description of the duopoly: provider classes are shared with the
+/// single-ISP model; each ISP brings its own capacity.
+struct DuopolySpec {
+  econ::Market base;        ///< Providers + utilization model (base capacity unused).
+  double capacity_a = 1.0;
+  double capacity_b = 1.0;
+
+  DuopolySpec(econ::Market base_market, double mu_a, double mu_b);
+};
+
+/// Solved state of the duopoly at (p_A, p_B, s).
+struct DuopolyState {
+  double price_a = 0.0;
+  double price_b = 0.0;
+  double utilization_a = 0.0;
+  double utilization_b = 0.0;
+  std::vector<double> population_a;   ///< Per provider, ISP A.
+  std::vector<double> population_b;
+  std::vector<double> throughput_a;
+  std::vector<double> throughput_b;
+  double revenue_a = 0.0;             ///< p_A * sum_i theta_iA.
+  double revenue_b = 0.0;
+  double welfare = 0.0;               ///< sum_i v_i (theta_iA + theta_iB).
+  std::vector<double> subsidies;
+  std::vector<double> cp_utilities;   ///< (v_i - s_i)(theta_iA + theta_iB).
+
+  [[nodiscard]] double total_revenue() const noexcept { return revenue_a + revenue_b; }
+  [[nodiscard]] double total_subscribers() const;
+};
+
+/// Evaluates duopoly states and the CPs' subsidization game at fixed prices.
+class DuopolyModel {
+ public:
+  explicit DuopolyModel(DuopolySpec spec, UtilizationSolveOptions options = {});
+
+  [[nodiscard]] const DuopolySpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t num_providers() const noexcept {
+    return spec_.base.num_providers();
+  }
+
+  /// Full state at prices (p_A, p_B) and subsidies s.
+  [[nodiscard]] DuopolyState evaluate(double price_a, double price_b,
+                                      std::span<const double> subsidies) const;
+
+  /// CP i's utility at (p_A, p_B, s).
+  [[nodiscard]] double cp_utility(std::size_t i, double price_a, double price_b,
+                                  std::span<const double> subsidies) const;
+
+  /// Best response of CP i (scalar maximization over [0, min(q, v_i)]).
+  [[nodiscard]] double cp_best_response(std::size_t i, double price_a, double price_b,
+                                        std::span<const double> subsidies,
+                                        double policy_cap) const;
+
+  /// Gauss-Seidel equilibrium of the CPs' subsidy game at fixed prices.
+  [[nodiscard]] NashResult solve_subsidies(double price_a, double price_b, double policy_cap,
+                                           std::vector<double> initial = {},
+                                           const BestResponseOptions& options = {}) const;
+
+ private:
+  /// Populations per ISP given effective prices.
+  void populations(double price_a, double price_b, std::span<const double> subsidies,
+                   std::vector<double>& m_a, std::vector<double>& m_b) const;
+
+  DuopolySpec spec_;
+  UtilizationSolveOptions solve_options_;
+  std::vector<double> weight_at_zero_;  ///< m_i(0) per provider (logit normalizer).
+};
+
+/// Result of the ISPs' alternating best-response pricing game.
+struct DuopolyPricingResult {
+  double price_a = 0.0;
+  double price_b = 0.0;
+  DuopolyState state;
+  int rounds = 0;
+  bool converged = false;
+};
+
+/// Options for the pricing game.
+struct DuopolyPricingOptions {
+  double price_min = 0.05;
+  double price_max = 2.5;
+  int grid_points = 17;
+  double refine_tolerance = 1e-3;
+  double tolerance = 1e-3;  ///< Convergence on max price change per round.
+  int max_rounds = 40;
+  BestResponseOptions subsidy_solver;
+};
+
+/// Alternating best-response pricing between the two ISPs, with the CPs'
+/// subsidy equilibrium re-solved inside every revenue evaluation.
+class DuopolyPricingGame {
+ public:
+  DuopolyPricingGame(DuopolyModel model, double policy_cap,
+                     DuopolyPricingOptions options = {});
+
+  [[nodiscard]] DuopolyPricingResult solve(double initial_price_a = 1.0,
+                                           double initial_price_b = 1.0) const;
+
+  /// One ISP's best-response price to the rival's current price.
+  [[nodiscard]] double best_response_price(bool isp_a, double rival_price,
+                                           double own_current_price) const;
+
+  [[nodiscard]] const DuopolyModel& model() const noexcept { return model_; }
+
+ private:
+  DuopolyModel model_;
+  double policy_cap_;
+  DuopolyPricingOptions options_;
+};
+
+}  // namespace subsidy::core

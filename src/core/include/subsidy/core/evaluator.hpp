@@ -1,0 +1,57 @@
+// ModelEvaluator: the shared workhorse that turns (price p, subsidies s) into
+// a fully solved SystemState, and exposes the analytic partial derivatives of
+// the utilization fixed point that every theorem's comparative statics are
+// built from.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "subsidy/core/system_state.hpp"
+#include "subsidy/core/utilization_solver.hpp"
+#include "subsidy/econ/market.hpp"
+
+namespace subsidy::core {
+
+/// Evaluates market states and the analytic building blocks dg/dphi,
+/// dphi/dm_i, dphi/dmu at solved states. Holds the market by value so
+/// evaluators can be freely copied into sweep harnesses.
+class ModelEvaluator {
+ public:
+  explicit ModelEvaluator(econ::Market market, UtilizationSolveOptions options = {});
+
+  [[nodiscard]] const econ::Market& market() const noexcept { return market_; }
+  [[nodiscard]] std::size_t num_providers() const noexcept { return market_.num_providers(); }
+
+  /// Populations induced by price p and subsidies s: m_i(p - s_i).
+  [[nodiscard]] std::vector<double> populations(double price,
+                                                std::span<const double> subsidies) const;
+
+  /// Full state at (p, s). `phi_hint` (>= 0) warm-starts the inner solve.
+  [[nodiscard]] SystemState evaluate(double price, std::span<const double> subsidies,
+                                     double phi_hint = -1.0) const;
+
+  /// Full state under one-sided pricing (all subsidies zero).
+  [[nodiscard]] SystemState evaluate_unsubsidized(double price, double phi_hint = -1.0) const;
+
+  /// The inner solver (exposed for gap-function access in tests/benches).
+  [[nodiscard]] const UtilizationSolver& solver() const noexcept { return solver_; }
+
+  // --- Analytic partials at a solved state (populations m, utilization phi) ---
+
+  /// dg/dphi, equation (2): dTheta/dphi - sum_k m_k dlambda_k/dphi.
+  [[nodiscard]] double gap_derivative(double phi, std::span<const double> populations) const;
+
+  /// dphi/dmu = -(dg/dphi)^{-1} dTheta/dmu < 0 (Theorem 1, eq. (3)).
+  [[nodiscard]] double dphi_dmu(double phi, std::span<const double> populations) const;
+
+  /// dphi/dm_i = (dg/dphi)^{-1} lambda_i > 0 (Theorem 1, eq. (4)).
+  [[nodiscard]] double dphi_dm(double phi, std::span<const double> populations,
+                               std::size_t i) const;
+
+ private:
+  econ::Market market_;
+  UtilizationSolver solver_;
+};
+
+}  // namespace subsidy::core

@@ -1,0 +1,86 @@
+// Section 4: the subsidization competition game.
+//
+// Given a fixed ISP price p and a policy cap q, each content provider i
+// chooses a per-unit subsidy s_i in [0, q] for its own traffic; users of i
+// then pay t_i = p - s_i, populations react, the utilization fixed point
+// shifts, and provider i earns U_i(s) = (v_i - s_i) * theta_i(s).
+//
+// The class exposes utilities, *analytic* marginal utilities u_i = dU_i/ds_i
+// (assembled from the Theorem 1 building blocks), best responses, and the
+// Theorem 3 threshold tau_i used in the KKT characterization.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/system_state.hpp"
+
+namespace subsidy::core {
+
+/// The subsidization competition game at fixed (p, q).
+class SubsidizationGame {
+ public:
+  /// `price` >= 0, `policy_cap` >= 0 (q = 0 reproduces the no-subsidy
+  /// baseline exactly).
+  SubsidizationGame(econ::Market market, double price, double policy_cap,
+                    UtilizationSolveOptions options = {});
+
+  [[nodiscard]] const econ::Market& market() const noexcept { return evaluator_.market(); }
+  [[nodiscard]] double price() const noexcept { return price_; }
+  [[nodiscard]] double policy_cap() const noexcept { return policy_cap_; }
+  [[nodiscard]] std::size_t num_players() const noexcept { return evaluator_.num_providers(); }
+
+  /// A copy of the game at a different price (used by price sweeps and by the
+  /// sensitivity analysis' finite differences in p).
+  [[nodiscard]] SubsidizationGame with_price(double price) const;
+
+  /// A copy of the game at a different policy cap.
+  [[nodiscard]] SubsidizationGame with_policy_cap(double policy_cap) const;
+
+  /// Full solved state at strategy profile s.
+  [[nodiscard]] SystemState state(std::span<const double> subsidies,
+                                  double phi_hint = -1.0) const;
+
+  /// U_i(s) = (v_i - s_i) * theta_i(s).
+  [[nodiscard]] double utility(std::size_t i, std::span<const double> subsidies) const;
+
+  /// Analytic marginal utility u_i(s) = dU_i/ds_i:
+  ///   u_i = -theta_i + (v_i - s_i) * dtheta_i/ds_i,
+  ///   dtheta_i/ds_i = (dm_i/ds_i) lambda_i + m_i lambda_i'(phi) dphi/ds_i,
+  ///   dm_i/ds_i = -m_i'(t_i),   dphi/ds_i = dphi/dm_i * dm_i/ds_i.
+  /// Evaluated without clamping s to [0, q] (the VI sensitivity analysis
+  /// differentiates u across the boundary).
+  [[nodiscard]] double marginal_utility(std::size_t i, std::span<const double> subsidies,
+                                        double phi_hint = -1.0) const;
+
+  /// All marginal utilities at s (one inner solve shared across players).
+  [[nodiscard]] std::vector<double> marginal_utilities(std::span<const double> subsidies,
+                                                       double phi_hint = -1.0) const;
+
+  /// dtheta_i/ds_i > 0 at s (Lemma 3's strict monotonicity).
+  [[nodiscard]] double dtheta_i_dsi(std::size_t i, std::span<const double> subsidies) const;
+
+  /// Best response of player i to s_{-i}: argmax of U_i over
+  /// [0, min(q, v_i)]. Uses the monotone root of u_i when u is decreasing in
+  /// s_i, with a grid+golden fallback for safety.
+  [[nodiscard]] double best_response(std::size_t i, std::span<const double> subsidies) const;
+
+  /// Theorem 3 threshold tau_i(s) = (v_i - s_i) * eps^m_s * (1 + eps^lambda_phi * eps^phi_m).
+  /// At an interior equilibrium s_i = tau_i(s); at a capped equilibrium
+  /// tau_i >= q.
+  [[nodiscard]] double threshold_tau(std::size_t i, std::span<const double> subsidies) const;
+
+  /// Upper bound of the effective strategy interval for player i:
+  /// min(q, v_i) — subsidizing beyond one's own profitability is dominated.
+  [[nodiscard]] double strategy_upper_bound(std::size_t i) const;
+
+  [[nodiscard]] const ModelEvaluator& evaluator() const noexcept { return evaluator_; }
+
+ private:
+  ModelEvaluator evaluator_;
+  double price_;
+  double policy_cap_;
+};
+
+}  // namespace subsidy::core

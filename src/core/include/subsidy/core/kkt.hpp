@@ -1,0 +1,60 @@
+// Theorem 3: KKT characterization of Nash equilibria.
+//
+// A profile s is an equilibrium only if, for every provider i,
+//   u_i(s) <= 0 when s_i = 0,
+//   u_i(s)  = 0 when 0 < s_i < q,
+//   u_i(s) >= 0 when s_i = q,
+// equivalently s_i = min{tau_i(s), q}. The verifier classifies each player
+// into the paper's sets N- (at zero), N~ (interior) and N+ (at the cap) and
+// reports the worst KKT residual, which the solvers' outputs are tested
+// against.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "subsidy/core/game.hpp"
+
+namespace subsidy::core {
+
+/// Player classification at an equilibrium candidate.
+enum class ActiveSet {
+  at_zero,   ///< i in N-: s_i = 0 (u_i <= 0 required).
+  interior,  ///< i in N~: 0 < s_i < q (u_i = 0 required).
+  at_cap,    ///< i in N+: s_i = q (u_i >= 0 required).
+};
+
+[[nodiscard]] std::string to_string(ActiveSet set);
+
+/// Per-player KKT diagnostics.
+struct KktEntry {
+  ActiveSet active_set = ActiveSet::interior;
+  double subsidy = 0.0;
+  double marginal_utility = 0.0;  ///< u_i(s).
+  double threshold_tau = 0.0;     ///< Theorem 3's tau_i(s).
+  double residual = 0.0;          ///< Violation magnitude (0 = exact).
+};
+
+/// Full KKT report for a profile.
+struct KktReport {
+  std::vector<KktEntry> entries;
+  double max_residual = 0.0;
+  bool satisfied = false;  ///< max_residual <= tolerance used in verify().
+
+  [[nodiscard]] std::vector<std::size_t> players_in(ActiveSet set) const;
+};
+
+/// Options for KKT verification.
+struct KktOptions {
+  double boundary_tolerance = 1e-7;  ///< |s_i - 0| or |s_i - q| below => boundary.
+  double residual_tolerance = 1e-6;  ///< Acceptable |u_i| violation.
+};
+
+/// Verifies the Theorem 3 conditions at `subsidies`.
+[[nodiscard]] KktReport verify_kkt(const SubsidizationGame& game,
+                                   std::span<const double> subsidies,
+                                   const KktOptions& options = {});
+
+}  // namespace subsidy::core

@@ -1,0 +1,78 @@
+// Nash equilibrium solvers for the subsidization game.
+//
+// Two independent algorithms are provided so results can cross-validate:
+//
+//  * BestResponseSolver — damped Gauss-Seidel iteration on exact best
+//    responses. Fast and robust on the paper's markets; the natural
+//    "learning dynamics" interpretation (Section 4.2).
+//  * ExtragradientSolver — Korpelevich's projected extragradient method on
+//    the variational inequality VI(F, [0,q]^N) with F = -u, the formulation
+//    the paper's Theorem 6 sensitivity analysis is built on. Converges for
+//    monotone F.
+#pragma once
+
+#include <vector>
+
+#include "subsidy/core/game.hpp"
+#include "subsidy/core/system_state.hpp"
+
+namespace subsidy::core {
+
+/// Result of a Nash equilibrium computation.
+struct NashResult {
+  std::vector<double> subsidies;  ///< The equilibrium profile s*.
+  SystemState state;              ///< Full solved state at s*.
+  int iterations = 0;
+  bool converged = false;
+  double residual = 0.0;          ///< max_i |update_i| at the last iteration.
+};
+
+/// Options for the best-response solver.
+struct BestResponseOptions {
+  double tolerance = 1e-10;   ///< Convergence on max|s_new - s_old|.
+  int max_iterations = 500;
+  double damping = 1.0;       ///< s <- (1-d) s + d BR(s); 1 = undamped.
+};
+
+/// Damped Gauss-Seidel best-response iteration.
+class BestResponseSolver {
+ public:
+  explicit BestResponseSolver(BestResponseOptions options = {});
+
+  /// Solves from `initial` (empty = all zeros).
+  [[nodiscard]] NashResult solve(const SubsidizationGame& game,
+                                 std::vector<double> initial = {}) const;
+
+ private:
+  BestResponseOptions options_;
+};
+
+/// Options for the extragradient solver.
+struct ExtragradientOptions {
+  double tolerance = 1e-8;   ///< Convergence on the natural-residual norm.
+  int max_iterations = 30000;
+  double initial_step = 0.25;
+  double step_decrease = 0.5;  ///< Step shrink factor when progress stalls.
+  double min_step = 1e-6;
+};
+
+/// Projected extragradient method on VI(-u, [0, q]^N).
+class ExtragradientSolver {
+ public:
+  explicit ExtragradientSolver(ExtragradientOptions options = {});
+
+  [[nodiscard]] NashResult solve(const SubsidizationGame& game,
+                                 std::vector<double> initial = {}) const;
+
+ private:
+  ExtragradientOptions options_;
+};
+
+/// Convenience: solves with best response, falling back to extragradient when
+/// the iteration fails to converge (e.g. oscillation without damping).
+[[nodiscard]] NashResult solve_nash(const SubsidizationGame& game,
+                                    std::vector<double> initial = {},
+                                    const BestResponseOptions& br_options = {},
+                                    const ExtragradientOptions& eg_options = {});
+
+}  // namespace subsidy::core

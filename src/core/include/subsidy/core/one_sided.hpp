@@ -1,0 +1,51 @@
+// Section 3.2: the status-quo one-sided pricing model, where the access ISP
+// charges every unit of traffic the uniform price p and no provider
+// subsidizes (t_i = p for all i). Implements the Theorem 2 price effects and
+// the throughput-increase condition (7)/(8), and produces the sweeps behind
+// Figures 4 and 5.
+#pragma once
+
+#include <vector>
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/system_state.hpp"
+
+namespace subsidy::core {
+
+/// Theorem 2 quantities at price p.
+struct PriceEffects {
+  double phi = 0.0;
+  double dphi_dp = 0.0;                    ///< <= 0 (eq. (5)).
+  double dtheta_dp = 0.0;                  ///< <= 0 (eq. (6)).
+  std::vector<double> dtheta_i_dp;         ///< Per provider; sign varies.
+  std::vector<double> condition7_lhs;      ///< eps^m_p / eps^lambda_phi.
+  double condition7_rhs = 0.0;             ///< -eps^phi_p.
+};
+
+/// One-sided pricing model over a fixed market.
+class OneSidedPricingModel {
+ public:
+  explicit OneSidedPricingModel(econ::Market market, UtilizationSolveOptions options = {});
+
+  [[nodiscard]] const econ::Market& market() const noexcept { return evaluator_.market(); }
+
+  /// Solved state at price p (s = 0). `phi_hint` warm-starts the inner solve.
+  [[nodiscard]] SystemState evaluate(double price, double phi_hint = -1.0) const;
+
+  /// Analytic Theorem 2 sensitivities at price p.
+  [[nodiscard]] PriceEffects price_effects(double price) const;
+
+  /// True when provider i's throughput increases with p at price p
+  /// (condition (7): eps^m_p / eps^lambda_phi < -eps^phi_p).
+  [[nodiscard]] bool throughput_increases_with_price(double price, std::size_t provider) const;
+
+  /// Sweeps prices and returns the solved states (warm-started in order).
+  [[nodiscard]] std::vector<SystemState> sweep(const std::vector<double>& prices) const;
+
+  [[nodiscard]] const ModelEvaluator& evaluator() const noexcept { return evaluator_; }
+
+ private:
+  ModelEvaluator evaluator_;
+};
+
+}  // namespace subsidy::core

@@ -1,0 +1,92 @@
+// Section 5.2 / Theorem 8 / Corollary 2: the effect of the regulatory policy
+// cap q on the system when both the CPs' equilibrium subsidies s(p, q) and
+// the ISP's price response p(q) are taken into account, and the welfare
+// criterion W(q) = sum_i v_i theta_i(q).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "subsidy/core/game.hpp"
+#include "subsidy/core/nash.hpp"
+#include "subsidy/core/price_optimizer.hpp"
+#include "subsidy/core/sensitivity.hpp"
+
+namespace subsidy::core {
+
+/// How the ISP's price responds to the policy cap in a policy experiment.
+struct PriceResponse {
+  /// Fixed price (competitive or regulated access market, Corollary 1 regime).
+  [[nodiscard]] static PriceResponse fixed(double price);
+
+  /// Revenue-maximizing monopoly price p(q) (Theorem 8 regime).
+  [[nodiscard]] static PriceResponse monopoly(PriceSearchOptions options = {});
+
+  /// Revenue-maximizing price clamped to a regulatory cap.
+  [[nodiscard]] static PriceResponse capped_monopoly(double price_cap,
+                                                     PriceSearchOptions options = {});
+
+  std::optional<double> fixed_price;            ///< Set for fixed().
+  std::optional<double> price_cap;              ///< Set for capped_monopoly().
+  std::optional<PriceSearchOptions> search;     ///< Set for monopoly modes.
+};
+
+/// One row of a policy sweep.
+struct PolicyPoint {
+  double policy_cap = 0.0;
+  double price = 0.0;      ///< The ISP price in effect at this q.
+  SystemState state;       ///< Equilibrium state.
+  std::vector<double> subsidies;
+};
+
+/// Theorem 8 analytic quantities at a policy cap q.
+struct PolicyEffects {
+  double dp_dq = 0.0;                    ///< ISP price response (0 when fixed).
+  std::vector<double> dt_dq;             ///< Effective-price responses, eq. (15) inner.
+  std::vector<double> dm_dq;             ///< Population responses, eq. (15).
+  double dphi_dq = 0.0;                  ///< Utilization response, eq. (16).
+  std::vector<double> dtheta_dq;         ///< Throughput responses.
+  std::vector<double> condition17_lhs;   ///< eps^m_t eps^t_q / eps^lambda_phi.
+  double condition17_rhs = 0.0;          ///< -eps^phi_q.
+  double dW_dq = 0.0;                    ///< Marginal welfare.
+  double corollary2_lhs = 0.0;           ///< Weighted-value increase term.
+  double corollary2_rhs = 0.0;           ///< Physical decrease term.
+};
+
+/// Policy analysis over a market: equilibrium states, welfare and the
+/// Theorem 8 / Corollary 2 decompositions as q varies.
+class PolicyAnalyzer {
+ public:
+  PolicyAnalyzer(econ::Market market, PriceResponse price_response,
+                 UtilizationSolveOptions options = {});
+
+  /// Equilibrium at policy cap q (price from the configured response).
+  [[nodiscard]] PolicyPoint evaluate(double policy_cap) const;
+
+  /// Sweep over policy caps (warm-started in order).
+  [[nodiscard]] std::vector<PolicyPoint> sweep(const std::vector<double>& policy_caps) const;
+
+  /// Welfare W(q) at the equilibrium.
+  [[nodiscard]] double welfare(double policy_cap) const;
+
+  /// Theorem 8 quantities at q. `dq_step` is the finite-difference step used
+  /// for dp/dq and ds/dq of the *composed* response (the inner ds/dp, ds/dq
+  /// at fixed p use the analytic Theorem 6 formulas).
+  [[nodiscard]] PolicyEffects policy_effects(double policy_cap, double dq_step = 1e-4) const;
+
+  /// Numeric dW/dq by central difference (cross-check; tests compare it with
+  /// the analytic decomposition).
+  [[nodiscard]] double marginal_welfare_numeric(double policy_cap, double step = 1e-4) const;
+
+  [[nodiscard]] const econ::Market& market() const noexcept { return market_; }
+
+ private:
+  [[nodiscard]] double price_at(double policy_cap) const;
+
+  econ::Market market_;
+  PriceResponse price_response_;
+  UtilizationSolveOptions solve_options_;
+};
+
+}  // namespace subsidy::core

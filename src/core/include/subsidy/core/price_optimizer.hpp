@@ -1,0 +1,50 @@
+// The ISP's pricing problem: choose p to maximize equilibrium revenue
+// R(p) = p * theta(s(p)) under a given policy cap q (Section 5). The
+// optimizer sweeps a coarse price grid with warm-started equilibrium
+// continuation and refines around the best cell with golden section.
+#pragma once
+
+#include <vector>
+
+#include "subsidy/core/nash.hpp"
+#include "subsidy/core/system_state.hpp"
+#include "subsidy/econ/market.hpp"
+
+namespace subsidy::core {
+
+/// Result of the ISP revenue maximization.
+struct OptimalPrice {
+  double price = 0.0;
+  double revenue = 0.0;
+  SystemState state;               ///< Equilibrium state at the optimum.
+  std::vector<double> subsidies;   ///< Equilibrium subsidies at the optimum.
+};
+
+/// Options for the price search.
+struct PriceSearchOptions {
+  double price_min = 0.0;
+  double price_max = 3.0;
+  int grid_points = 31;
+  double refine_tolerance = 1e-6;
+  BestResponseOptions nash;  ///< Inner equilibrium solver options.
+};
+
+/// Revenue-maximizing price under policy cap q.
+class IspPriceOptimizer {
+ public:
+  IspPriceOptimizer(econ::Market market, PriceSearchOptions options = {});
+
+  /// Maximizes equilibrium revenue over the configured price interval.
+  [[nodiscard]] OptimalPrice optimize(double policy_cap) const;
+
+  /// The optimal-price function p(q) evaluated on a policy grid (used by the
+  /// Theorem 8 / Corollary 2 analyses, where dp/dq matters).
+  [[nodiscard]] std::vector<OptimalPrice> price_response(
+      const std::vector<double>& policy_caps) const;
+
+ private:
+  econ::Market market_;
+  PriceSearchOptions options_;
+};
+
+}  // namespace subsidy::core

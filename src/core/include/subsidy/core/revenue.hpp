@@ -1,0 +1,56 @@
+// Theorem 7: the ISP's marginal revenue under equilibrium subsidies,
+//
+//   dR/dp = sum_i theta_i + Upsilon * sum_i eps^{m_i}_p theta_i,
+//   Upsilon = 1 + sum_j eps^{lambda_j}_{m_j},
+//   eps^{m_i}_p = (p / m_i) (dm_i/dt_i) (1 - ds_i/dp),
+//
+// which isolates the effect of subsidization into the demand elasticities via
+// the equilibrium response ds_i/dp of Theorem 6.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "subsidy/core/game.hpp"
+#include "subsidy/core/nash.hpp"
+#include "subsidy/core/sensitivity.hpp"
+
+namespace subsidy::core {
+
+/// The decomposed Theorem 7 marginal revenue at a price p.
+struct MarginalRevenue {
+  double value = 0.0;                      ///< dR/dp from formula (13).
+  double aggregate_throughput = 0.0;       ///< First term, sum_i theta_i.
+  double upsilon = 0.0;                    ///< The physical-model factor.
+  std::vector<double> price_elasticities;  ///< eps^{m_i}_p per provider.
+  std::vector<double> ds_dp;               ///< Equilibrium subsidy responses.
+};
+
+/// Revenue analysis of a market under a fixed policy cap q: at each price the
+/// CPs play the Nash equilibrium and the ISP earns R(p) = p * theta(p).
+class RevenueModel {
+ public:
+  RevenueModel(econ::Market market, double policy_cap,
+               UtilizationSolveOptions options = {});
+
+  /// Equilibrium revenue at price p (solves the Nash equilibrium).
+  [[nodiscard]] double revenue(double price) const;
+
+  /// Theorem 7 marginal revenue at p, assembled from formula (13) with the
+  /// analytic state and the Theorem 6 sensitivity ds/dp.
+  [[nodiscard]] MarginalRevenue marginal_revenue(double price) const;
+
+  /// Numeric d R / d p by central difference on re-solved equilibria
+  /// (cross-check for the formula; used heavily in tests).
+  [[nodiscard]] double marginal_revenue_numeric(double price, double step = 1e-5) const;
+
+  [[nodiscard]] double policy_cap() const noexcept { return policy_cap_; }
+  [[nodiscard]] const econ::Market& market() const noexcept { return market_; }
+
+ private:
+  econ::Market market_;
+  double policy_cap_;
+  UtilizationSolveOptions solve_options_;
+};
+
+}  // namespace subsidy::core

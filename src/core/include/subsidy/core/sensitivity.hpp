@@ -1,0 +1,68 @@
+// Theorem 6 (equilibrium dynamics): how the Nash equilibrium s(p, q) moves
+// with the ISP price p and the policy cap q, via the sensitivity analysis of
+// the underlying variational inequality:
+//
+//   ds_i/dq = 0                                  for i in N-,
+//   ds_i/dq = 1                                  for i in N+,
+//   ds~/dq  = -Psi * (d u~ / d s_{N+}) * 1       for the interior set N~,
+//   ds~/dp  = -Psi * (d u~ / d p),
+//
+// where Psi is the inverse Jacobian of the interior marginal utilities.
+// Corollary 1 consequences (dphi/dq >= 0, dR/dq >= 0) are assembled on top.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "subsidy/core/game.hpp"
+#include "subsidy/core/kkt.hpp"
+#include "subsidy/numerics/linalg.hpp"
+
+namespace subsidy::core {
+
+/// Equilibrium sensitivities at a Nash equilibrium s(p, q).
+struct SensitivityReport {
+  std::vector<double> ds_dq;  ///< Per player, equation (11).
+  std::vector<double> ds_dp;  ///< Per player, equation (12).
+  double dphi_dq = 0.0;       ///< Utilization response to deregulation (fixed p).
+  double dR_dq = 0.0;         ///< ISP revenue response to deregulation (fixed p).
+  double dphi_dp = 0.0;       ///< Utilization response to price (with subsidy response).
+  KktReport classification;   ///< The N-/N~/N+ split used.
+  num::Matrix interior_jacobian;  ///< grad_s~ u~ (for diagnostics).
+  bool valid = false;         ///< False when the interior Jacobian is singular.
+};
+
+/// Options for the sensitivity computation.
+struct SensitivityOptions {
+  double fd_step = 1e-6;        ///< Step for the marginal-utility derivatives.
+  KktOptions kkt;               ///< Boundary classification tolerances.
+};
+
+/// Computes the Theorem 6 sensitivities at an equilibrium profile.
+[[nodiscard]] SensitivityReport equilibrium_sensitivity(const SubsidizationGame& game,
+                                                        std::span<const double> equilibrium,
+                                                        const SensitivityOptions& options = {});
+
+/// Theorem 5, quantified: the equilibrium response to a unilateral change in
+/// provider i's profitability v_i. Only u_i depends on v_i directly, with the
+/// analytic partial du_i/dv_i = dtheta_i/ds_i > 0, so by the same VI
+/// sensitivity calculus as Theorem 6,
+///
+///   ds~/dv_i = -Psi * e_i * (dtheta_i/ds_i)   (interior players),
+///   ds_j/dv_i = 0 for players pinned at 0 or q.
+///
+/// Theorem 5's statement (s_i non-decreasing in v_i) appears here as
+/// ds_i/dv_i >= 0 whenever -grad u is a P-matrix.
+struct ProfitabilitySensitivity {
+  std::vector<double> ds_dv;     ///< Per player, d s_j / d v_i.
+  double du_i_dv = 0.0;          ///< The driving partial dtheta_i/ds_i.
+  double dtheta_i_dv = 0.0;      ///< Own-throughput response (Lemma 3 follow-on).
+  KktReport classification;
+  bool valid = false;
+};
+
+[[nodiscard]] ProfitabilitySensitivity profitability_sensitivity(
+    const SubsidizationGame& game, std::span<const double> equilibrium, std::size_t provider,
+    const SensitivityOptions& options = {});
+
+}  // namespace subsidy::core

@@ -1,0 +1,51 @@
+// Welfare decomposition beyond the paper's W = sum v_i theta_i.
+//
+// The paper measures system welfare as the CPs' gross profit and argues it
+// "also serves as an estimate for user welfare". This module computes the
+// full decomposition under the valuation interpretation of Assumption 2
+// (m_i(t) = users whose per-unit valuation is at least t):
+//
+//   user surplus_i = lambda_i(phi) * S_i(t_i),  S_i(t) = int_t^inf m_i(x) dx,
+//   cp profit_i    = (v_i - s_i) * theta_i      (the paper's U_i),
+//   isp revenue    = p * theta                  (collected from users + CPs),
+//   total surplus  = user + cp + isp.
+//
+// Every transfer nets out: users pay t_i, CPs pay s_i, the ISP receives p per
+// unit, so the total counts only the created value v_i plus user valuations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/system_state.hpp"
+
+namespace subsidy::core {
+
+/// Per-provider welfare slice.
+struct ProviderSurplus {
+  double user_surplus = 0.0;  ///< lambda_i * S_i(t_i).
+  double cp_profit = 0.0;     ///< (v_i - s_i) * theta_i.
+  double isp_receipts = 0.0;  ///< p * theta_i (the ISP's take on i's traffic).
+};
+
+/// Full decomposition at a solved state.
+struct SurplusReport {
+  std::vector<ProviderSurplus> providers;
+  double user_surplus = 0.0;
+  double cp_profit = 0.0;     ///< The paper's W (gross of subsidies it equals
+                              ///< sum v_i theta_i minus subsidy transfers to the
+                              ///< ISP; both variants are reported below).
+  double paper_welfare = 0.0; ///< W = sum v_i theta_i (transfers internalized).
+  double isp_revenue = 0.0;
+  double total_surplus = 0.0; ///< user + cp_profit + isp_revenue.
+  bool finite = true;         ///< False when a demand tail is not integrable.
+};
+
+/// Computes the decomposition for a solved state of `evaluator`'s market.
+/// `state` must have been produced by the same market (provider counts are
+/// checked).
+[[nodiscard]] SurplusReport surplus_decomposition(const ModelEvaluator& evaluator,
+                                                  const SystemState& state);
+
+}  // namespace subsidy::core

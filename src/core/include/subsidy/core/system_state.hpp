@@ -1,0 +1,44 @@
+// The full macroscopic state of a market at given ISP price and CP subsidies:
+// the solved utilization equilibrium and every per-provider and aggregate
+// quantity the paper reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace subsidy::core {
+
+/// Per-content-provider slice of a solved system state.
+struct CpState {
+  double subsidy = 0.0;          ///< s_i in [0, q].
+  double effective_price = 0.0;  ///< t_i = p - s_i, what the user pays per unit.
+  double population = 0.0;       ///< m_i = m_i(t_i).
+  double per_user_rate = 0.0;    ///< lambda_i = lambda_i(phi).
+  double throughput = 0.0;       ///< theta_i = m_i * lambda_i.
+  double utility = 0.0;          ///< U_i = (v_i - s_i) * theta_i.
+  double profitability = 0.0;    ///< v_i (copied from the spec for convenience).
+};
+
+/// A solved market state at (p, s).
+struct SystemState {
+  double price = 0.0;                 ///< ISP usage price p.
+  double capacity = 0.0;              ///< mu.
+  double utilization = 0.0;           ///< phi, the Lemma 1 fixed point.
+  double aggregate_throughput = 0.0;  ///< theta = sum_i theta_i.
+  double revenue = 0.0;               ///< R = p * theta (ISP receives p per unit).
+  double welfare = 0.0;               ///< W = sum_i v_i * theta_i (gross CP profit).
+  std::vector<CpState> providers;
+
+  [[nodiscard]] std::size_t size() const noexcept { return providers.size(); }
+
+  /// Subsidy vector (one entry per provider).
+  [[nodiscard]] std::vector<double> subsidies() const;
+
+  /// Population vector.
+  [[nodiscard]] std::vector<double> populations() const;
+
+  /// Throughput vector.
+  [[nodiscard]] std::vector<double> throughputs() const;
+};
+
+}  // namespace subsidy::core

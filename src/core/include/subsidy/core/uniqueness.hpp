@@ -1,0 +1,56 @@
+// Theorem 4 (uniqueness) and Corollary 1 (stability) hypothesis checks.
+//
+// Theorem 4 requires -u to be a P-function on the strategy space: for any
+// distinct s, s' there is a player i with (s'_i - s_i)(u_i(s') - u_i(s)) < 0.
+// Corollary 1 additionally requires off-diagonal monotonicity
+// (du_i/ds_j >= 0 for j != i), which makes the negated Jacobian an M-matrix
+// (Leontief type). These are *assumptions* in the paper; this module lets the
+// library check them on concrete markets, both by random sampling of the
+// P-function inequality and by testing the Jacobian P-matrix property.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "subsidy/core/game.hpp"
+#include "subsidy/numerics/linalg.hpp"
+#include "subsidy/numerics/rng.hpp"
+
+namespace subsidy::core {
+
+/// Outcome of the sampled P-function check (condition (10)).
+struct PFunctionCheck {
+  bool holds = true;            ///< No violated pair found.
+  int pairs_tested = 0;
+  std::vector<double> witness_s;        ///< A violating pair, when found.
+  std::vector<double> witness_s_prime;
+};
+
+/// Jacobian-based diagnostics at a profile.
+struct JacobianCheck {
+  num::Matrix negated_jacobian;        ///< -du/ds (the VI map's Jacobian).
+  bool p_matrix = false;               ///< P-matrix => local uniqueness.
+  bool off_diagonal_monotone = false;  ///< du_i/ds_j >= 0, i != j (Corollary 1).
+  bool m_matrix = false;               ///< Z + P: Leontief-type stability.
+  bool diagonally_dominant = false;    ///< Sufficient condition, easy to read.
+};
+
+/// Hypothesis checker for the subsidization game.
+class UniquenessAnalyzer {
+ public:
+  explicit UniquenessAnalyzer(const SubsidizationGame& game);
+
+  /// Randomly samples strategy pairs in [0, q]^N and tests condition (10).
+  [[nodiscard]] PFunctionCheck sample_p_function(num::Rng& rng, int pairs = 200,
+                                                 double tolerance = 1e-9) const;
+
+  /// Builds -du/ds at `subsidies` by central differences of the analytic
+  /// marginal utilities and evaluates the matrix-class predicates.
+  [[nodiscard]] JacobianCheck jacobian_check(std::span<const double> subsidies,
+                                             double fd_step = 1e-6) const;
+
+ private:
+  const SubsidizationGame* game_;  ///< Non-owning; must outlive the analyzer.
+};
+
+}  // namespace subsidy::core

@@ -1,0 +1,57 @@
+// The inner equilibrium of the paper: given user populations m and capacity
+// mu, the system operates at the unique utilization phi satisfying
+//
+//   phi = Phi( sum_k m_k lambda_k(phi), mu )            (Definition 1)
+//
+// equivalently the unique zero of the strictly increasing gap function
+//
+//   g(phi) = Theta(phi, mu) - sum_k m_k lambda_k(phi)   (Lemma 1).
+//
+// Every quantity in the library (throughputs, revenue, utilities, welfare,
+// all comparative statics) is evaluated at this fixed point, so the solver is
+// the innermost and hottest loop.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "subsidy/econ/market.hpp"
+
+namespace subsidy::core {
+
+/// Options for the utilization equilibrium solver.
+struct UtilizationSolveOptions {
+  double tolerance = 1e-13;     ///< Absolute tolerance on phi.
+  int max_iterations = 200;
+  double initial_bracket = 0.5; ///< First upper-bracket guess width.
+};
+
+/// Solves the Lemma 1 fixed point for a fixed market. Stateless apart from
+/// the market reference; safe to share across const calls.
+class UtilizationSolver {
+ public:
+  explicit UtilizationSolver(const econ::Market& market, UtilizationSolveOptions options = {});
+
+  /// Gap g(phi) = Theta(phi, mu) - sum_k m_k lambda_k(phi).
+  [[nodiscard]] double gap(double phi, std::span<const double> populations) const;
+
+  /// dg/dphi = dTheta/dphi - sum_k m_k dlambda_k/dphi > 0 (equation (2)).
+  [[nodiscard]] double gap_derivative(double phi, std::span<const double> populations) const;
+
+  /// The unique utilization phi(m, mu). `hint` (if >= 0) seeds the bracket
+  /// around a previously solved nearby equilibrium, which the sweep harnesses
+  /// exploit for warm starts. Throws std::runtime_error when the root search
+  /// fails to converge.
+  [[nodiscard]] double solve(std::span<const double> populations, double hint = -1.0) const;
+
+  /// Aggregate demand sum_k m_k lambda_k(phi).
+  [[nodiscard]] double aggregate_demand(double phi, std::span<const double> populations) const;
+
+  [[nodiscard]] const econ::Market& market() const noexcept { return *market_; }
+
+ private:
+  const econ::Market* market_;  ///< Non-owning; the market must outlive the solver.
+  UtilizationSolveOptions options_;
+};
+
+}  // namespace subsidy::core

@@ -1,0 +1,82 @@
+#include "subsidy/core/capacity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "subsidy/numerics/optimize.hpp"
+
+namespace subsidy::core {
+
+CapacityPlanner::CapacityPlanner(econ::Market market, CapacityPlanOptions options)
+    : market_(std::move(market)), options_(options) {
+  if (!(options_.capacity_min > 0.0) || !(options_.capacity_min < options_.capacity_max)) {
+    throw std::invalid_argument("CapacityPlanner: need 0 < capacity_min < capacity_max");
+  }
+}
+
+CapacityPlan CapacityPlanner::optimize(double policy_cap, double cost_per_unit) const {
+  if (cost_per_unit < 0.0) {
+    throw std::invalid_argument("CapacityPlanner: cost_per_unit must be >= 0");
+  }
+  auto profit_at = [&](double mu) {
+    const IspPriceOptimizer optimizer(market_.with_capacity(mu), options_.price_search);
+    const OptimalPrice best = optimizer.optimize(policy_cap);
+    return best.revenue - cost_per_unit * mu;
+  };
+
+  num::MaximizeOptions opt;
+  opt.grid_points = options_.grid_points;
+  opt.x_tol = options_.refine_tolerance;
+  const num::MaximizeResult best =
+      num::grid_refine_maximize(profit_at, options_.capacity_min, options_.capacity_max, opt);
+
+  CapacityPlan plan;
+  plan.capacity = best.arg;
+  const IspPriceOptimizer optimizer(market_.with_capacity(plan.capacity),
+                                    options_.price_search);
+  const OptimalPrice price = optimizer.optimize(policy_cap);
+  plan.price = price.price;
+  plan.revenue = price.revenue;
+  plan.profit = price.revenue - cost_per_unit * plan.capacity;
+  plan.state = price.state;
+  return plan;
+}
+
+std::vector<ReinvestmentStep> CapacityPlanner::reinvestment_path(double policy_cap,
+                                                                 double cost_per_unit,
+                                                                 double reinvest_fraction,
+                                                                 int rounds) const {
+  if (cost_per_unit <= 0.0) {
+    throw std::invalid_argument("CapacityPlanner: reinvestment needs cost_per_unit > 0");
+  }
+  if (reinvest_fraction < 0.0 || reinvest_fraction > 1.0) {
+    throw std::invalid_argument("CapacityPlanner: reinvest_fraction must be in [0, 1]");
+  }
+
+  // Baseline: the no-subsidization revenue at the initial capacity. Revenue
+  // above this is the "gain from deregulation" the ISP reinvests.
+  const IspPriceOptimizer baseline_optimizer(market_, options_.price_search);
+  const double baseline_revenue = baseline_optimizer.optimize(0.0).revenue;
+
+  std::vector<ReinvestmentStep> path;
+  double mu = market_.capacity();
+  for (int round = 0; round < rounds; ++round) {
+    const econ::Market current = market_.with_capacity(mu);
+    const IspPriceOptimizer optimizer(current, options_.price_search);
+    const OptimalPrice best = optimizer.optimize(policy_cap);
+
+    ReinvestmentStep step;
+    step.round = round;
+    step.capacity = mu;
+    step.revenue = best.revenue;
+    step.utilization = best.state.utilization;
+    step.welfare = best.state.welfare;
+    path.push_back(step);
+
+    const double gain = std::max(0.0, best.revenue - baseline_revenue);
+    mu += reinvest_fraction * gain / cost_per_unit;
+  }
+  return path;
+}
+
+}  // namespace subsidy::core

@@ -1,0 +1,65 @@
+#include "subsidy/core/comparative_statics.hpp"
+
+#include <stdexcept>
+
+namespace subsidy::core {
+
+CapacityUserEffects capacity_user_effects(const ModelEvaluator& evaluator,
+                                          std::span<const double> populations, double phi) {
+  const auto& market = evaluator.market();
+  const std::size_t n = market.num_providers();
+  if (populations.size() != n) {
+    throw std::invalid_argument("capacity_user_effects: population vector size mismatch");
+  }
+
+  CapacityUserEffects fx;
+  fx.phi = phi;
+  fx.gap_derivative = evaluator.gap_derivative(phi, populations);
+  fx.dphi_dmu = evaluator.dphi_dmu(phi, populations);
+
+  fx.dphi_dm.resize(n);
+  std::vector<double> lambda(n);
+  std::vector<double> dlambda(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lambda[i] = market.provider(i).throughput->rate(phi);
+    dlambda[i] = market.provider(i).throughput->derivative(phi);
+    fx.dphi_dm[i] = lambda[i] / fx.gap_derivative;
+  }
+
+  // dtheta_i/dmu = m_i lambda_i'(phi) dphi/dmu  (> 0 since both factors < 0).
+  fx.dtheta_dmu.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fx.dtheta_dmu[i] = populations[i] * dlambda[i] * fx.dphi_dmu;
+  }
+
+  // dtheta_i/dm_j: own effect lambda_i + m_i lambda_i' dphi/dm_i; cross effect
+  // m_i lambda_i' dphi/dm_j (negative externality).
+  fx.dtheta_dm = num::Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double value = populations[i] * dlambda[i] * fx.dphi_dm[j];
+      if (i == j) value += lambda[i];
+      fx.dtheta_dm(i, j) = value;
+    }
+  }
+  return fx;
+}
+
+std::vector<double> lambda_population_elasticities(const ModelEvaluator& evaluator,
+                                                   std::span<const double> populations,
+                                                   double phi) {
+  const auto& market = evaluator.market();
+  const std::size_t n = market.num_providers();
+  if (populations.size() != n) {
+    throw std::invalid_argument("lambda_population_elasticities: size mismatch");
+  }
+  const double dg = evaluator.gap_derivative(phi, populations);
+  std::vector<double> eps(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // Equation (14): eps^lambda_m = m_j lambda_j'(phi) / (dg/dphi).
+    eps[j] = populations[j] * market.provider(j).throughput->derivative(phi) / dg;
+  }
+  return eps;
+}
+
+}  // namespace subsidy::core

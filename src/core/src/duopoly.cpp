@@ -1,0 +1,231 @@
+#include "subsidy/core/duopoly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "subsidy/core/utilization_solver.hpp"
+#include "subsidy/numerics/optimize.hpp"
+#include "subsidy/numerics/tolerances.hpp"
+
+namespace subsidy::core {
+
+DuopolySpec::DuopolySpec(econ::Market base_market, double mu_a, double mu_b)
+    : base(std::move(base_market)),
+      capacity_a(num::require_positive(mu_a, "duopoly capacity A")),
+      capacity_b(num::require_positive(mu_b, "duopoly capacity B")) {}
+
+double DuopolyState::total_subscribers() const {
+  double total = 0.0;
+  for (double m : population_a) total += m;
+  for (double m : population_b) total += m;
+  return total;
+}
+
+DuopolyModel::DuopolyModel(DuopolySpec spec, UtilizationSolveOptions options)
+    : spec_(std::move(spec)), solve_options_(options) {
+  weight_at_zero_.reserve(spec_.base.num_providers());
+  for (const auto& cp : spec_.base.providers()) {
+    const double at_zero = cp.demand->population(0.0);
+    if (!(at_zero > 0.0)) {
+      throw std::invalid_argument("DuopolyModel: provider '" + cp.name +
+                                  "' has no demand at zero price");
+    }
+    weight_at_zero_.push_back(at_zero);
+  }
+}
+
+void DuopolyModel::populations(double price_a, double price_b,
+                               std::span<const double> subsidies, std::vector<double>& m_a,
+                               std::vector<double>& m_b) const {
+  const std::size_t n = num_providers();
+  if (subsidies.size() != n) {
+    throw std::invalid_argument("DuopolyModel: subsidy vector size mismatch");
+  }
+  m_a.resize(n);
+  m_b.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cp = spec_.base.provider(i);
+    // Attraction weights normalized so w(0) = 1: the outside option carries
+    // weight 1, making the share model scale-free in the demand curve.
+    const double w_a = cp.demand->population(price_a - subsidies[i]) / weight_at_zero_[i];
+    const double w_b = cp.demand->population(price_b - subsidies[i]) / weight_at_zero_[i];
+    const double denom = 1.0 + w_a + w_b;
+    // m_max is the provider's population at zero price (its addressable base).
+    m_a[i] = weight_at_zero_[i] * w_a / denom;
+    m_b[i] = weight_at_zero_[i] * w_b / denom;
+  }
+}
+
+DuopolyState DuopolyModel::evaluate(double price_a, double price_b,
+                                    std::span<const double> subsidies) const {
+  num::require_finite(price_a, "duopoly price A");
+  num::require_finite(price_b, "duopoly price B");
+  const std::size_t n = num_providers();
+
+  DuopolyState state;
+  state.price_a = price_a;
+  state.price_b = price_b;
+  state.subsidies.assign(subsidies.begin(), subsidies.end());
+  populations(price_a, price_b, subsidies, state.population_a, state.population_b);
+
+  // Each network's congestion equilibrates independently given who joined it.
+  const econ::Market market_a = spec_.base.with_capacity(spec_.capacity_a);
+  const econ::Market market_b = spec_.base.with_capacity(spec_.capacity_b);
+  const UtilizationSolver solver_a(market_a, solve_options_);
+  const UtilizationSolver solver_b(market_b, solve_options_);
+  state.utilization_a = solver_a.solve(state.population_a);
+  state.utilization_b = solver_b.solve(state.population_b);
+
+  state.throughput_a.resize(n);
+  state.throughput_b.resize(n);
+  state.cp_utilities.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cp = spec_.base.provider(i);
+    state.throughput_a[i] = state.population_a[i] * cp.throughput->rate(state.utilization_a);
+    state.throughput_b[i] = state.population_b[i] * cp.throughput->rate(state.utilization_b);
+    const double theta_i = state.throughput_a[i] + state.throughput_b[i];
+    state.revenue_a += price_a * state.throughput_a[i];
+    state.revenue_b += price_b * state.throughput_b[i];
+    state.welfare += cp.profitability * theta_i;
+    state.cp_utilities[i] = (cp.profitability - subsidies[i]) * theta_i;
+  }
+  return state;
+}
+
+double DuopolyModel::cp_utility(std::size_t i, double price_a, double price_b,
+                                std::span<const double> subsidies) const {
+  if (i >= num_providers()) throw std::out_of_range("DuopolyModel::cp_utility: bad provider");
+  return evaluate(price_a, price_b, subsidies).cp_utilities[i];
+}
+
+double DuopolyModel::cp_best_response(std::size_t i, double price_a, double price_b,
+                                      std::span<const double> subsidies,
+                                      double policy_cap) const {
+  if (i >= num_providers()) {
+    throw std::out_of_range("DuopolyModel::cp_best_response: bad provider");
+  }
+  const double hi = std::min(policy_cap, spec_.base.provider(i).profitability);
+  if (hi <= 0.0) return 0.0;
+  std::vector<double> trial(subsidies.begin(), subsidies.end());
+  auto objective = [&](double s_i) {
+    trial[i] = s_i;
+    return evaluate(price_a, price_b, trial).cp_utilities[i];
+  };
+  num::MaximizeOptions opt;
+  opt.x_tol = 1e-10;
+  opt.grid_points = 33;
+  return num::grid_refine_maximize(objective, 0.0, hi, opt).arg;
+}
+
+NashResult DuopolyModel::solve_subsidies(double price_a, double price_b, double policy_cap,
+                                         std::vector<double> initial,
+                                         const BestResponseOptions& options) const {
+  const std::size_t n = num_providers();
+  std::vector<double> s = initial.empty() ? std::vector<double>(n, 0.0) : std::move(initial);
+  if (s.size() != n) {
+    throw std::invalid_argument("DuopolyModel::solve_subsidies: initial size mismatch");
+  }
+  for (auto& x : s) x = std::clamp(x, 0.0, policy_cap);
+
+  // The best responses come from a derivative-free scalar maximizer, so the
+  // fixed point cannot be resolved below that precision: clamp the requested
+  // tolerance accordingly.
+  const double tolerance = std::max(options.tolerance, 1e-8);
+
+  NashResult result;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double br = cp_best_response(i, price_a, price_b, s, policy_cap);
+      const double next = (1.0 - options.damping) * s[i] + options.damping * br;
+      max_change = std::max(max_change, std::fabs(next - s[i]));
+      s[i] = next;
+    }
+    result.iterations = iter;
+    result.residual = max_change;
+    if (max_change <= tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.subsidies = s;
+  // Surface the solved duopoly aggregates through the shared NashResult type:
+  // the combined system (both networks) fills the SystemState totals.
+  const DuopolyState duo = evaluate(price_a, price_b, s);
+  result.state.price = 0.5 * (price_a + price_b);
+  result.state.capacity = spec_.capacity_a + spec_.capacity_b;
+  result.state.utilization = 0.5 * (duo.utilization_a + duo.utilization_b);
+  result.state.revenue = duo.total_revenue();
+  result.state.welfare = duo.welfare;
+  result.state.providers.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CpState& cp = result.state.providers[i];
+    cp.subsidy = s[i];
+    cp.population = duo.population_a[i] + duo.population_b[i];
+    cp.throughput = duo.throughput_a[i] + duo.throughput_b[i];
+    cp.utility = duo.cp_utilities[i];
+    cp.profitability = spec_.base.provider(i).profitability;
+    result.state.aggregate_throughput += cp.throughput;
+  }
+  return result;
+}
+
+DuopolyPricingGame::DuopolyPricingGame(DuopolyModel model, double policy_cap,
+                                       DuopolyPricingOptions options)
+    : model_(std::move(model)),
+      policy_cap_(num::require_non_negative(policy_cap, "duopoly policy cap")),
+      options_(options) {
+  if (!(options_.price_min < options_.price_max)) {
+    throw std::invalid_argument("DuopolyPricingGame: price_min must be < price_max");
+  }
+}
+
+double DuopolyPricingGame::best_response_price(bool isp_a, double rival_price,
+                                               double own_current_price) const {
+  std::vector<double> warm;
+  auto revenue_at = [&](double own_price) {
+    const double pa = isp_a ? own_price : rival_price;
+    const double pb = isp_a ? rival_price : own_price;
+    const NashResult subsidies =
+        model_.solve_subsidies(pa, pb, policy_cap_, warm, options_.subsidy_solver);
+    warm = subsidies.subsidies;
+    const DuopolyState state = model_.evaluate(pa, pb, subsidies.subsidies);
+    return isp_a ? state.revenue_a : state.revenue_b;
+  };
+  num::MaximizeOptions opt;
+  opt.grid_points = options_.grid_points;
+  opt.x_tol = options_.refine_tolerance;
+  const num::MaximizeResult best =
+      num::grid_refine_maximize(revenue_at, options_.price_min, options_.price_max, opt);
+  (void)own_current_price;
+  return best.arg;
+}
+
+DuopolyPricingResult DuopolyPricingGame::solve(double initial_price_a,
+                                               double initial_price_b) const {
+  DuopolyPricingResult result;
+  double pa = std::clamp(initial_price_a, options_.price_min, options_.price_max);
+  double pb = std::clamp(initial_price_b, options_.price_min, options_.price_max);
+
+  for (int round = 1; round <= options_.max_rounds; ++round) {
+    const double new_pa = best_response_price(/*isp_a=*/true, pb, pa);
+    const double new_pb = best_response_price(/*isp_a=*/false, new_pa, pb);
+    const double change = std::max(std::fabs(new_pa - pa), std::fabs(new_pb - pb));
+    pa = new_pa;
+    pb = new_pb;
+    result.rounds = round;
+    if (change <= options_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.price_a = pa;
+  result.price_b = pb;
+  const NashResult subsidies =
+      model_.solve_subsidies(pa, pb, policy_cap_, {}, options_.subsidy_solver);
+  result.state = model_.evaluate(pa, pb, subsidies.subsidies);
+  return result;
+}
+
+}  // namespace subsidy::core

@@ -1,0 +1,99 @@
+#include "subsidy/core/evaluator.hpp"
+
+#include <stdexcept>
+
+#include "subsidy/numerics/tolerances.hpp"
+
+namespace subsidy::core {
+
+std::vector<double> SystemState::subsidies() const {
+  std::vector<double> out;
+  out.reserve(providers.size());
+  for (const auto& cp : providers) out.push_back(cp.subsidy);
+  return out;
+}
+
+std::vector<double> SystemState::populations() const {
+  std::vector<double> out;
+  out.reserve(providers.size());
+  for (const auto& cp : providers) out.push_back(cp.population);
+  return out;
+}
+
+std::vector<double> SystemState::throughputs() const {
+  std::vector<double> out;
+  out.reserve(providers.size());
+  for (const auto& cp : providers) out.push_back(cp.throughput);
+  return out;
+}
+
+ModelEvaluator::ModelEvaluator(econ::Market market, UtilizationSolveOptions options)
+    : market_(std::move(market)), solver_(market_, options) {}
+
+std::vector<double> ModelEvaluator::populations(double price,
+                                                std::span<const double> subsidies) const {
+  const auto& providers = market_.providers();
+  if (subsidies.size() != providers.size()) {
+    throw std::invalid_argument("ModelEvaluator: subsidy vector size mismatch");
+  }
+  std::vector<double> m(providers.size());
+  for (std::size_t i = 0; i < providers.size(); ++i) {
+    m[i] = providers[i].demand->population(price - subsidies[i]);
+  }
+  return m;
+}
+
+SystemState ModelEvaluator::evaluate(double price, std::span<const double> subsidies,
+                                     double phi_hint) const {
+  num::require_finite(price, "price");
+  const auto& providers = market_.providers();
+  const std::vector<double> m = populations(price, subsidies);
+  const double phi = solver_.solve(m, phi_hint);
+
+  SystemState state;
+  state.price = price;
+  state.capacity = market_.capacity();
+  state.utilization = phi;
+  state.providers.resize(providers.size());
+  for (std::size_t i = 0; i < providers.size(); ++i) {
+    CpState& cp = state.providers[i];
+    cp.subsidy = subsidies[i];
+    cp.effective_price = price - subsidies[i];
+    cp.population = m[i];
+    cp.per_user_rate = providers[i].throughput->rate(phi);
+    cp.throughput = cp.population * cp.per_user_rate;
+    cp.profitability = providers[i].profitability;
+    cp.utility = (cp.profitability - cp.subsidy) * cp.throughput;
+    state.aggregate_throughput += cp.throughput;
+    state.welfare += cp.profitability * cp.throughput;
+  }
+  state.revenue = price * state.aggregate_throughput;
+  return state;
+}
+
+SystemState ModelEvaluator::evaluate_unsubsidized(double price, double phi_hint) const {
+  const std::vector<double> zeros(market_.num_providers(), 0.0);
+  return evaluate(price, zeros, phi_hint);
+}
+
+double ModelEvaluator::gap_derivative(double phi, std::span<const double> populations) const {
+  return solver_.gap_derivative(phi, populations);
+}
+
+double ModelEvaluator::dphi_dmu(double phi, std::span<const double> populations) const {
+  const double dg = gap_derivative(phi, populations);
+  const double dtheta_dmu =
+      market_.utilization_model().inverse_throughput_dmu(phi, market_.capacity());
+  return -dtheta_dmu / dg;
+}
+
+double ModelEvaluator::dphi_dm(double phi, std::span<const double> populations,
+                               std::size_t i) const {
+  if (i >= market_.num_providers()) {
+    throw std::out_of_range("ModelEvaluator::dphi_dm: provider index out of range");
+  }
+  const double dg = gap_derivative(phi, populations);
+  return market_.provider(i).throughput->rate(phi) / dg;
+}
+
+}  // namespace subsidy::core

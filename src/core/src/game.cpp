@@ -1,0 +1,177 @@
+#include "subsidy/core/game.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "subsidy/numerics/optimize.hpp"
+#include "subsidy/numerics/roots.hpp"
+#include "subsidy/numerics/tolerances.hpp"
+
+namespace subsidy::core {
+
+SubsidizationGame::SubsidizationGame(econ::Market market, double price, double policy_cap,
+                                     UtilizationSolveOptions options)
+    : evaluator_(std::move(market), options),
+      price_(num::require_non_negative(price, "SubsidizationGame price")),
+      policy_cap_(num::require_non_negative(policy_cap, "SubsidizationGame policy cap")) {}
+
+SubsidizationGame SubsidizationGame::with_price(double price) const {
+  SubsidizationGame copy = *this;
+  copy.price_ = num::require_non_negative(price, "SubsidizationGame price");
+  return copy;
+}
+
+SubsidizationGame SubsidizationGame::with_policy_cap(double policy_cap) const {
+  SubsidizationGame copy = *this;
+  copy.policy_cap_ = num::require_non_negative(policy_cap, "SubsidizationGame policy cap");
+  return copy;
+}
+
+SystemState SubsidizationGame::state(std::span<const double> subsidies, double phi_hint) const {
+  return evaluator_.evaluate(price_, subsidies, phi_hint);
+}
+
+double SubsidizationGame::utility(std::size_t i, std::span<const double> subsidies) const {
+  if (i >= num_players()) throw std::out_of_range("SubsidizationGame::utility: bad player");
+  const SystemState s = state(subsidies);
+  return s.providers[i].utility;
+}
+
+double SubsidizationGame::marginal_utility(std::size_t i, std::span<const double> subsidies,
+                                           double phi_hint) const {
+  if (i >= num_players()) {
+    throw std::out_of_range("SubsidizationGame::marginal_utility: bad player");
+  }
+  const auto& market = evaluator_.market();
+  const std::vector<double> m = evaluator_.populations(price_, subsidies);
+  const double phi = evaluator_.solver().solve(m, phi_hint);
+
+  const auto& cp = market.provider(i);
+  const double t_i = price_ - subsidies[i];
+  const double lambda_i = cp.throughput->rate(phi);
+  const double dlambda_i = cp.throughput->derivative(phi);
+  const double theta_i = m[i] * lambda_i;
+  const double dm_dsi = -cp.demand->derivative(t_i);  // dm_i/ds_i = -m'(t_i) >= 0.
+  const double dphi_dsi = evaluator_.dphi_dm(phi, m, i) * dm_dsi;
+  const double dtheta_dsi = dm_dsi * lambda_i + m[i] * dlambda_i * dphi_dsi;
+  return -theta_i + (cp.profitability - subsidies[i]) * dtheta_dsi;
+}
+
+std::vector<double> SubsidizationGame::marginal_utilities(std::span<const double> subsidies,
+                                                          double phi_hint) const {
+  const auto& market = evaluator_.market();
+  const std::size_t n = num_players();
+  const std::vector<double> m = evaluator_.populations(price_, subsidies);
+  const double phi = evaluator_.solver().solve(m, phi_hint);
+  const double dg = evaluator_.gap_derivative(phi, m);
+
+  std::vector<double> u(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cp = market.provider(i);
+    const double t_i = price_ - subsidies[i];
+    const double lambda_i = cp.throughput->rate(phi);
+    const double dlambda_i = cp.throughput->derivative(phi);
+    const double theta_i = m[i] * lambda_i;
+    const double dm_dsi = -cp.demand->derivative(t_i);
+    const double dphi_dsi = (lambda_i / dg) * dm_dsi;
+    const double dtheta_dsi = dm_dsi * lambda_i + m[i] * dlambda_i * dphi_dsi;
+    u[i] = -theta_i + (cp.profitability - subsidies[i]) * dtheta_dsi;
+  }
+  return u;
+}
+
+double SubsidizationGame::dtheta_i_dsi(std::size_t i, std::span<const double> subsidies) const {
+  if (i >= num_players()) throw std::out_of_range("SubsidizationGame::dtheta_i_dsi: bad player");
+  const auto& market = evaluator_.market();
+  const std::vector<double> m = evaluator_.populations(price_, subsidies);
+  const double phi = evaluator_.solver().solve(m);
+  const auto& cp = market.provider(i);
+  const double lambda_i = cp.throughput->rate(phi);
+  const double dlambda_i = cp.throughput->derivative(phi);
+  const double dm_dsi = -cp.demand->derivative(price_ - subsidies[i]);
+  const double dphi_dsi = evaluator_.dphi_dm(phi, m, i) * dm_dsi;
+  return dm_dsi * lambda_i + m[i] * dlambda_i * dphi_dsi;
+}
+
+double SubsidizationGame::strategy_upper_bound(std::size_t i) const {
+  if (i >= num_players()) {
+    throw std::out_of_range("SubsidizationGame::strategy_upper_bound: bad player");
+  }
+  return std::min(policy_cap_, evaluator_.market().provider(i).profitability);
+}
+
+double SubsidizationGame::best_response(std::size_t i,
+                                        std::span<const double> subsidies) const {
+  if (i >= num_players()) throw std::out_of_range("SubsidizationGame::best_response: bad player");
+  const double hi = strategy_upper_bound(i);
+  if (hi <= 0.0) return 0.0;
+
+  std::vector<double> trial(subsidies.begin(), subsidies.end());
+
+  auto u_i = [&](double s_i) {
+    trial[i] = s_i;
+    return marginal_utility(i, trial);
+  };
+
+  // U_i is concave in s_i on the paper's markets, so u_i is decreasing: the
+  // best response is 0 when u_i(0) <= 0, hi when u_i(hi) >= 0, and the root
+  // of u_i otherwise.
+  const double u_lo = u_i(0.0);
+  if (u_lo <= 0.0) return 0.0;
+  const double u_hi = u_i(hi);
+  if (u_hi >= 0.0) return hi;
+
+  num::RootOptions root_options;
+  root_options.x_tol = 1e-12;
+  const num::RootResult root = num::brent_root(u_i, 0.0, hi, root_options);
+  if (root.converged) {
+    // Safety net against non-concave utilities: accept the stationary point
+    // only if it beats the endpoints.
+    auto utility_at = [&](double s_i) {
+      trial[i] = s_i;
+      const SystemState st = state(trial);
+      return st.providers[i].utility;
+    };
+    const double u_root = utility_at(root.root);
+    const double u_zero = utility_at(0.0);
+    const double u_cap = utility_at(hi);
+    if (u_root >= u_zero && u_root >= u_cap) return root.root;
+    return (u_zero >= u_cap) ? 0.0 : hi;
+  }
+
+  // Fallback: direct maximization of the utility.
+  auto objective = [&](double s_i) {
+    trial[i] = s_i;
+    const SystemState st = state(trial);
+    return st.providers[i].utility;
+  };
+  num::MaximizeOptions opt;
+  opt.x_tol = 1e-11;
+  opt.grid_points = 65;
+  return num::grid_refine_maximize(objective, 0.0, hi, opt).arg;
+}
+
+double SubsidizationGame::threshold_tau(std::size_t i, std::span<const double> subsidies) const {
+  if (i >= num_players()) throw std::out_of_range("SubsidizationGame::threshold_tau: bad player");
+  const auto& market = evaluator_.market();
+  const std::vector<double> m = evaluator_.populations(price_, subsidies);
+  const double phi = evaluator_.solver().solve(m);
+  const auto& cp = market.provider(i);
+  const double s_i = subsidies[i];
+  const double t_i = price_ - s_i;
+  const double m_i = m[i];
+  if (m_i <= 0.0) return 0.0;
+
+  // eps^m_s = (dm_i/ds_i) * s_i / m_i; dm_i/ds_i = -m'(t_i).
+  const double eps_m_s = (-cp.demand->derivative(t_i)) * s_i / m_i;
+  // eps^lambda_phi at the solved utilization.
+  const double eps_lambda_phi = cp.throughput->elasticity(phi);
+  // eps^phi_m = (dphi/dm_i) * m_i / phi.
+  const double dphi_dmi = evaluator_.dphi_dm(phi, m, i);
+  const double eps_phi_m = (phi > 0.0) ? dphi_dmi * m_i / phi : 0.0;
+
+  return (cp.profitability - s_i) * eps_m_s * (1.0 + eps_lambda_phi * eps_phi_m);
+}
+
+}  // namespace subsidy::core

@@ -1,0 +1,61 @@
+#include "subsidy/core/kkt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace subsidy::core {
+
+std::string to_string(ActiveSet set) {
+  switch (set) {
+    case ActiveSet::at_zero:
+      return "N-";
+    case ActiveSet::interior:
+      return "N~";
+    case ActiveSet::at_cap:
+      return "N+";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> KktReport::players_in(ActiveSet set) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].active_set == set) out.push_back(i);
+  }
+  return out;
+}
+
+KktReport verify_kkt(const SubsidizationGame& game, std::span<const double> subsidies,
+                     const KktOptions& options) {
+  const std::size_t n = game.num_players();
+  const double q = game.policy_cap();
+  const std::vector<double> u = game.marginal_utilities(subsidies);
+
+  KktReport report;
+  report.entries.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    KktEntry& e = report.entries[i];
+    e.subsidy = subsidies[i];
+    e.marginal_utility = u[i];
+    e.threshold_tau = game.threshold_tau(i, subsidies);
+
+    if (subsidies[i] <= options.boundary_tolerance) {
+      e.active_set = ActiveSet::at_zero;
+      // Requirement: u_i <= 0 (no incentive to start subsidizing).
+      e.residual = std::max(0.0, u[i]);
+    } else if (q - subsidies[i] <= options.boundary_tolerance) {
+      e.active_set = ActiveSet::at_cap;
+      // Requirement: u_i >= 0 (the cap binds).
+      e.residual = std::max(0.0, -u[i]);
+    } else {
+      e.active_set = ActiveSet::interior;
+      // Requirement: stationarity.
+      e.residual = std::fabs(u[i]);
+    }
+    report.max_residual = std::max(report.max_residual, e.residual);
+  }
+  report.satisfied = report.max_residual <= options.residual_tolerance;
+  return report;
+}
+
+}  // namespace subsidy::core

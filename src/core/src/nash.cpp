@@ -1,0 +1,139 @@
+#include "subsidy/core/nash.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "subsidy/numerics/linalg.hpp"
+
+namespace subsidy::core {
+
+namespace {
+
+std::vector<double> initial_profile(const SubsidizationGame& game, std::vector<double> initial) {
+  const std::size_t n = game.num_players();
+  if (initial.empty()) return std::vector<double>(n, 0.0);
+  if (initial.size() != n) {
+    throw std::invalid_argument("nash solver: initial profile size mismatch");
+  }
+  for (auto& s : initial) s = std::clamp(s, 0.0, game.policy_cap());
+  return initial;
+}
+
+}  // namespace
+
+BestResponseSolver::BestResponseSolver(BestResponseOptions options) : options_(options) {
+  if (options_.damping <= 0.0 || options_.damping > 1.0) {
+    throw std::invalid_argument("BestResponseSolver: damping must be in (0, 1]");
+  }
+}
+
+NashResult BestResponseSolver::solve(const SubsidizationGame& game,
+                                     std::vector<double> initial) const {
+  NashResult result;
+  std::vector<double> s = initial_profile(game, std::move(initial));
+  const std::size_t n = game.num_players();
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double br = game.best_response(i, s);
+      const double next = (1.0 - options_.damping) * s[i] + options_.damping * br;
+      max_change = std::max(max_change, std::fabs(next - s[i]));
+      s[i] = next;  // Gauss-Seidel: later players see the updated value.
+    }
+    result.iterations = iter;
+    result.residual = max_change;
+    if (max_change <= options_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.subsidies = s;
+  result.state = game.state(s);
+  return result;
+}
+
+ExtragradientSolver::ExtragradientSolver(ExtragradientOptions options) : options_(options) {
+  if (options_.initial_step <= 0.0) {
+    throw std::invalid_argument("ExtragradientSolver: step must be > 0");
+  }
+}
+
+NashResult ExtragradientSolver::solve(const SubsidizationGame& game,
+                                      std::vector<double> initial) const {
+  NashResult result;
+  std::vector<double> s = initial_profile(game, std::move(initial));
+  const double q = game.policy_cap();
+  double step = options_.initial_step;
+
+  auto project = [q](std::vector<double> v) { return num::clamp(v, 0.0, q); };
+
+  // Natural residual ||s - proj(s + u(s))||_inf: zero exactly at a solution
+  // of VI(-u, [0,q]^N).
+  auto natural_residual = [&](const std::vector<double>& point,
+                              const std::vector<double>& u) {
+    const std::vector<double> moved = project(num::axpy(point, 1.0, u));
+    return num::distance_inf(point, moved);
+  };
+
+  // Khobotov/Marcotte adaptive extragradient: the predictor step is accepted
+  // only when the field passes the local Lipschitz test
+  //   step * ||u(mid) - u(s)|| <= kappa * ||mid - s||,
+  // otherwise the step shrinks and the iteration retries. The natural
+  // residual itself is NOT monotone along extragradient iterates, so it is
+  // used only as the convergence measure, never as an acceptance rule.
+  constexpr double kappa = 0.9;
+  std::vector<double> u = game.marginal_utilities(s);
+  double residual = natural_residual(s, u);
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    result.iterations = iter;
+    if (residual <= options_.tolerance) {
+      result.converged = true;
+      break;
+    }
+    // Predictor (ascent directions: F = -u, the VI step is s - step*F).
+    const std::vector<double> mid = project(num::axpy(s, step, u));
+    const std::vector<double> u_mid = game.marginal_utilities(mid);
+
+    const double move = num::distance_inf(mid, s);
+    const double field_change = num::distance_inf(u_mid, u);
+    if (move > 0.0 && step * field_change > kappa * move &&
+        step > options_.min_step) {
+      step *= options_.step_decrease;
+      continue;  // field too steep for this step; retry without moving
+    }
+
+    // Corrector uses the predictor's field.
+    s = project(num::axpy(s, step, u_mid));
+    u = game.marginal_utilities(s);
+    residual = natural_residual(s, u);
+    // Cautious step recovery keeps the method fast once past a stiff region.
+    step = std::min(step * 1.1, options_.initial_step);
+  }
+  result.residual = residual;
+  result.converged = result.converged || residual <= options_.tolerance;
+  result.subsidies = s;
+  result.state = game.state(s);
+  return result;
+}
+
+NashResult solve_nash(const SubsidizationGame& game, std::vector<double> initial,
+                      const BestResponseOptions& br_options,
+                      const ExtragradientOptions& eg_options) {
+  const BestResponseSolver br(br_options);
+  NashResult result = br.solve(game, initial);
+  if (result.converged) return result;
+
+  // Retry with damping before switching algorithms: undamped best-response
+  // iterations can 2-cycle on strongly coupled players.
+  BestResponseOptions damped = br_options;
+  damped.damping = 0.5;
+  result = BestResponseSolver(damped).solve(game, result.subsidies);
+  if (result.converged) return result;
+
+  return ExtragradientSolver(eg_options).solve(game, result.subsidies);
+}
+
+}  // namespace subsidy::core

@@ -1,0 +1,87 @@
+#include "subsidy/core/one_sided.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace subsidy::core {
+
+OneSidedPricingModel::OneSidedPricingModel(econ::Market market, UtilizationSolveOptions options)
+    : evaluator_(std::move(market), options) {}
+
+SystemState OneSidedPricingModel::evaluate(double price, double phi_hint) const {
+  return evaluator_.evaluate_unsubsidized(price, phi_hint);
+}
+
+PriceEffects OneSidedPricingModel::price_effects(double price) const {
+  const auto& market = evaluator_.market();
+  const std::size_t n = market.num_providers();
+
+  const SystemState state = evaluate(price);
+  const std::vector<double> m = state.populations();
+  const double phi = state.utilization;
+
+  PriceEffects fx;
+  fx.phi = phi;
+  const double dg = evaluator_.gap_derivative(phi, m);
+
+  // Equation (5): dphi/dp = (dg/dphi)^{-1} sum_k m_k'(p) lambda_k.
+  double demand_shift = 0.0;
+  std::vector<double> lambda(n);
+  std::vector<double> dlambda(n);
+  std::vector<double> dm_dp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto& cp = market.provider(k);
+    lambda[k] = cp.throughput->rate(phi);
+    dlambda[k] = cp.throughput->derivative(phi);
+    dm_dp[k] = cp.demand->derivative(price);
+    demand_shift += dm_dp[k] * lambda[k];
+  }
+  fx.dphi_dp = demand_shift / dg;
+
+  // Per-provider dtheta_i/dp = m_i'(p) lambda_i + m_i lambda_i'(phi) dphi/dp.
+  fx.dtheta_i_dp.resize(n);
+  fx.condition7_lhs.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    fx.dtheta_i_dp[i] = dm_dp[i] * lambda[i] + m[i] * dlambda[i] * fx.dphi_dp;
+    total += fx.dtheta_i_dp[i];
+  }
+  fx.dtheta_dp = total;
+
+  // Condition (7): theta_i increases with p iff
+  //   eps^m_p / eps^lambda_phi < -eps^phi_p.
+  const double eps_phi_p = (phi > 0.0) ? fx.dphi_dp * price / phi : 0.0;
+  fx.condition7_rhs = -eps_phi_p;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cp = market.provider(i);
+    const double eps_m_p = cp.demand->elasticity(price);
+    const double eps_lambda_phi = cp.throughput->elasticity(phi);
+    fx.condition7_lhs[i] =
+        (eps_lambda_phi != 0.0) ? eps_m_p / eps_lambda_phi
+                                : std::numeric_limits<double>::infinity();
+  }
+  return fx;
+}
+
+bool OneSidedPricingModel::throughput_increases_with_price(double price,
+                                                           std::size_t provider) const {
+  const PriceEffects fx = price_effects(price);
+  if (provider >= fx.condition7_lhs.size()) {
+    throw std::out_of_range("throughput_increases_with_price: provider index out of range");
+  }
+  return fx.condition7_lhs[provider] < fx.condition7_rhs;
+}
+
+std::vector<SystemState> OneSidedPricingModel::sweep(const std::vector<double>& prices) const {
+  std::vector<SystemState> states;
+  states.reserve(prices.size());
+  double hint = -1.0;
+  for (double p : prices) {
+    SystemState s = evaluate(p, hint);
+    hint = s.utilization;
+    states.push_back(std::move(s));
+  }
+  return states;
+}
+
+}  // namespace subsidy::core

@@ -1,0 +1,182 @@
+#include "subsidy/core/policy.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "subsidy/core/comparative_statics.hpp"
+
+namespace subsidy::core {
+
+PriceResponse PriceResponse::fixed(double price) {
+  PriceResponse r;
+  r.fixed_price = price;
+  return r;
+}
+
+PriceResponse PriceResponse::monopoly(PriceSearchOptions options) {
+  PriceResponse r;
+  r.search = options;
+  return r;
+}
+
+PriceResponse PriceResponse::capped_monopoly(double price_cap, PriceSearchOptions options) {
+  PriceResponse r;
+  r.price_cap = price_cap;
+  r.search = options;
+  return r;
+}
+
+PolicyAnalyzer::PolicyAnalyzer(econ::Market market, PriceResponse price_response,
+                               UtilizationSolveOptions options)
+    : market_(std::move(market)),
+      price_response_(std::move(price_response)),
+      solve_options_(options) {
+  if (!price_response_.fixed_price && !price_response_.search) {
+    throw std::invalid_argument("PolicyAnalyzer: price response must be fixed or monopoly");
+  }
+}
+
+double PolicyAnalyzer::price_at(double policy_cap) const {
+  if (price_response_.fixed_price) return *price_response_.fixed_price;
+  const IspPriceOptimizer optimizer(market_, *price_response_.search);
+  double p = optimizer.optimize(policy_cap).price;
+  if (price_response_.price_cap) p = std::min(p, *price_response_.price_cap);
+  return p;
+}
+
+PolicyPoint PolicyAnalyzer::evaluate(double policy_cap) const {
+  PolicyPoint point;
+  point.policy_cap = policy_cap;
+  point.price = price_at(policy_cap);
+  const SubsidizationGame game(market_, point.price, policy_cap, solve_options_);
+  const NashResult nash = solve_nash(game);
+  point.state = nash.state;
+  point.subsidies = nash.subsidies;
+  return point;
+}
+
+std::vector<PolicyPoint> PolicyAnalyzer::sweep(const std::vector<double>& policy_caps) const {
+  std::vector<PolicyPoint> out;
+  out.reserve(policy_caps.size());
+  std::vector<double> warm;
+  for (double q : policy_caps) {
+    PolicyPoint point;
+    point.policy_cap = q;
+    point.price = price_at(q);
+    const SubsidizationGame game(market_, point.price, q, solve_options_);
+    const NashResult nash = solve_nash(game, warm);
+    warm = nash.subsidies;
+    point.state = nash.state;
+    point.subsidies = nash.subsidies;
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+double PolicyAnalyzer::welfare(double policy_cap) const {
+  return evaluate(policy_cap).state.welfare;
+}
+
+PolicyEffects PolicyAnalyzer::policy_effects(double policy_cap, double dq_step) const {
+  const PolicyPoint point = evaluate(policy_cap);
+  const double p = point.price;
+  const double q = policy_cap;
+  const SubsidizationGame game(market_, p, q, solve_options_);
+  const std::size_t n = market_.num_providers();
+
+  PolicyEffects fx;
+
+  // dp/dq: zero for a fixed price; finite difference of the optimizer's
+  // response otherwise (the paper only assumes p(q) differentiable).
+  if (price_response_.fixed_price) {
+    fx.dp_dq = 0.0;
+  } else {
+    const double h = dq_step * std::max(1.0, q);
+    const double lo_q = std::max(0.0, q - h);
+    const double p_hi = price_at(q + h);
+    const double p_lo = price_at(lo_q);
+    fx.dp_dq = (p_hi - p_lo) / (q + h - lo_q);
+  }
+
+  // Inner equilibrium responses at fixed (p, q) via Theorem 6.
+  const SensitivityReport sens = equilibrium_sensitivity(game, point.subsidies);
+
+  const SystemState& state = point.state;
+  const std::vector<double> m = state.populations();
+  const double phi = state.utilization;
+  const ModelEvaluator& evaluator = game.evaluator();
+  const double dg = evaluator.gap_derivative(phi, m);
+
+  fx.dt_dq.resize(n);
+  fx.dm_dq.resize(n);
+  fx.dtheta_dq.resize(n);
+  fx.condition17_lhs.resize(n);
+
+  // Equation (15): dm_i/dq = m'(t_i) * [ (1 - ds_i/dp) dp/dq - ds_i/dq ].
+  double dphi_dq = 0.0;
+  std::vector<double> lambda(n);
+  std::vector<double> dlambda(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cp = market_.provider(i);
+    const double t_i = p - point.subsidies[i];
+    lambda[i] = cp.throughput->rate(phi);
+    dlambda[i] = cp.throughput->derivative(phi);
+    fx.dt_dq[i] = (1.0 - sens.ds_dp[i]) * fx.dp_dq - sens.ds_dq[i];
+    fx.dm_dq[i] = cp.demand->derivative(t_i) * fx.dt_dq[i];
+    dphi_dq += fx.dm_dq[i] * lambda[i];
+  }
+  dphi_dq /= dg;  // Equation (16).
+  fx.dphi_dq = dphi_dq;
+
+  double dW_dq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dlambda_dq = dlambda[i] * dphi_dq;
+    fx.dtheta_dq[i] = fx.dm_dq[i] * lambda[i] + m[i] * dlambda_dq;
+    dW_dq += market_.provider(i).profitability * fx.dtheta_dq[i];
+  }
+  fx.dW_dq = dW_dq;
+
+  // Condition (17): theta_i increases with q iff
+  //   eps^m_t * eps^t_q / eps^lambda_phi < -eps^phi_q.
+  const double eps_phi_q = (phi > 0.0 && q > 0.0) ? dphi_dq * q / phi : 0.0;
+  fx.condition17_rhs = -eps_phi_q;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cp = market_.provider(i);
+    const double t_i = p - point.subsidies[i];
+    const double eps_m_t = cp.demand->elasticity(t_i);
+    const double eps_t_q = (t_i != 0.0 && q > 0.0) ? fx.dt_dq[i] * q / t_i : 0.0;
+    const double eps_lambda_phi = cp.throughput->elasticity(phi);
+    fx.condition17_lhs[i] = (eps_lambda_phi != 0.0)
+                                ? eps_m_t * eps_t_q / eps_lambda_phi
+                                : std::numeric_limits<double>::infinity();
+  }
+
+  // Corollary 2 decomposition: with w_i = lambda_i dm_i/dq,
+  //   dW/dq > 0  <=>  sum_i (w_i / sum_k w_k) v_i > sum_i (-eps^lambda_m_i) v_i,
+  // valid when dphi/dq > 0 (so sum w > 0).
+  const std::vector<double> eps_lambda_m = lambda_population_elasticities(evaluator, m, phi);
+  double w_total = 0.0;
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = lambda[i] * fx.dm_dq[i];
+    w_total += w[i];
+  }
+  fx.corollary2_lhs = 0.0;
+  fx.corollary2_rhs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (w_total != 0.0) fx.corollary2_lhs += (w[i] / w_total) * market_.provider(i).profitability;
+    fx.corollary2_rhs += (-eps_lambda_m[i]) * market_.provider(i).profitability;
+  }
+  return fx;
+}
+
+double PolicyAnalyzer::marginal_welfare_numeric(double policy_cap, double step) const {
+  const double h = step * std::max(1.0, policy_cap);
+  const double lo_q = std::max(0.0, policy_cap - h);
+  const double w_hi = welfare(policy_cap + h);
+  const double w_lo = welfare(lo_q);
+  return (w_hi - w_lo) / (policy_cap + h - lo_q);
+}
+
+}  // namespace subsidy::core

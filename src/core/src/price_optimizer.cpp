@@ -1,0 +1,76 @@
+#include "subsidy/core/price_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "subsidy/numerics/optimize.hpp"
+
+namespace subsidy::core {
+
+IspPriceOptimizer::IspPriceOptimizer(econ::Market market, PriceSearchOptions options)
+    : market_(std::move(market)), options_(options) {
+  if (options_.grid_points < 3) {
+    throw std::invalid_argument("IspPriceOptimizer: need >= 3 grid points");
+  }
+  if (!(options_.price_min < options_.price_max)) {
+    throw std::invalid_argument("IspPriceOptimizer: price_min must be < price_max");
+  }
+}
+
+OptimalPrice IspPriceOptimizer::optimize(double policy_cap) const {
+  const BestResponseSolver solver(options_.nash);
+
+  // Coarse grid with equilibrium continuation: each price point's Nash solve
+  // starts from the previous equilibrium.
+  const int n = options_.grid_points;
+  const double step =
+      (options_.price_max - options_.price_min) / static_cast<double>(n - 1);
+  std::vector<double> warm;
+  double best_price = options_.price_min;
+  double best_revenue = -1.0;
+  std::vector<double> best_subsidies;
+  for (int i = 0; i < n; ++i) {
+    const double p = options_.price_min + step * i;
+    const SubsidizationGame game(market_, p, policy_cap);
+    NashResult nash = solve_nash(game, warm, options_.nash);
+    warm = nash.subsidies;
+    if (nash.state.revenue > best_revenue) {
+      best_revenue = nash.state.revenue;
+      best_price = p;
+      best_subsidies = nash.subsidies;
+    }
+  }
+
+  // Golden-section refinement around the best cell, warm-starting every inner
+  // equilibrium from the best grid solution.
+  const double lo = std::max(options_.price_min, best_price - step);
+  const double hi = std::min(options_.price_max, best_price + step);
+  auto objective = [&](double p) {
+    const SubsidizationGame game(market_, p, policy_cap);
+    return solve_nash(game, best_subsidies, options_.nash).state.revenue;
+  };
+  num::MaximizeOptions opt;
+  opt.x_tol = options_.refine_tolerance;
+  opt.grid_points = 9;
+  const num::MaximizeResult refined = num::grid_refine_maximize(objective, lo, hi, opt);
+
+  OptimalPrice result;
+  result.price = refined.value >= best_revenue ? refined.arg : best_price;
+  const SubsidizationGame final_game(market_, result.price, policy_cap);
+  const NashResult final_nash = solve_nash(final_game, best_subsidies, options_.nash);
+  result.revenue = final_nash.state.revenue;
+  result.state = final_nash.state;
+  result.subsidies = final_nash.subsidies;
+  return result;
+}
+
+std::vector<OptimalPrice> IspPriceOptimizer::price_response(
+    const std::vector<double>& policy_caps) const {
+  std::vector<OptimalPrice> out;
+  out.reserve(policy_caps.size());
+  for (double q : policy_caps) out.push_back(optimize(q));
+  return out;
+}
+
+}  // namespace subsidy::core

@@ -1,0 +1,68 @@
+#include "subsidy/core/revenue.hpp"
+
+#include <cmath>
+
+#include "subsidy/core/comparative_statics.hpp"
+
+namespace subsidy::core {
+
+RevenueModel::RevenueModel(econ::Market market, double policy_cap,
+                           UtilizationSolveOptions options)
+    : market_(std::move(market)), policy_cap_(policy_cap), solve_options_(options) {}
+
+double RevenueModel::revenue(double price) const {
+  const SubsidizationGame game(market_, price, policy_cap_, solve_options_);
+  return solve_nash(game).state.revenue;
+}
+
+MarginalRevenue RevenueModel::marginal_revenue(double price) const {
+  const SubsidizationGame game(market_, price, policy_cap_, solve_options_);
+  const NashResult nash = solve_nash(game);
+  const SystemState& state = nash.state;
+  const std::size_t n = market_.num_providers();
+
+  const SensitivityReport sens = equilibrium_sensitivity(game, nash.subsidies);
+
+  MarginalRevenue mr;
+  mr.ds_dp = sens.ds_dp;
+  mr.aggregate_throughput = state.aggregate_throughput;
+
+  // Upsilon = 1 + sum_j eps^{lambda_j}_{m_j}, with the elasticities factored
+  // through the physical model via equation (14).
+  const std::vector<double> m = state.populations();
+  const std::vector<double> eps_lambda_m =
+      lambda_population_elasticities(game.evaluator(), m, state.utilization);
+  mr.upsilon = 1.0;
+  for (double e : eps_lambda_m) mr.upsilon += e;
+
+  // eps^{m_i}_p = (p / m_i) (dm_i/dt_i) (1 - ds_i/dp).
+  mr.price_elasticities.resize(n);
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cp = market_.provider(i);
+    const double t_i = price - nash.subsidies[i];
+    const double m_i = state.providers[i].population;
+    const double eps =
+        (m_i > 0.0) ? (price / m_i) * cp.demand->derivative(t_i) * (1.0 - sens.ds_dp[i]) : 0.0;
+    mr.price_elasticities[i] = eps;
+    weighted += eps * state.providers[i].throughput;
+  }
+  mr.value = mr.aggregate_throughput + mr.upsilon * weighted;
+  return mr;
+}
+
+double RevenueModel::marginal_revenue_numeric(double price, double step) const {
+  const double h = step * std::max(1.0, std::fabs(price));
+  // Warm-start both sides from the equilibrium at the center price so the
+  // difference is not polluted by solver path effects.
+  const SubsidizationGame center(market_, price, policy_cap_, solve_options_);
+  const NashResult base = solve_nash(center);
+
+  const SubsidizationGame hi_game(market_, price + h, policy_cap_, solve_options_);
+  const SubsidizationGame lo_game(market_, price - h, policy_cap_, solve_options_);
+  const double r_hi = solve_nash(hi_game, base.subsidies).state.revenue;
+  const double r_lo = solve_nash(lo_game, base.subsidies).state.revenue;
+  return (r_hi - r_lo) / (2.0 * h);
+}
+
+}  // namespace subsidy::core

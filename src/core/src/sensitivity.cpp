@@ -1,0 +1,192 @@
+#include "subsidy/core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace subsidy::core {
+
+namespace {
+
+/// d u_k / d s_j by central difference of the analytic marginal utilities.
+/// Evaluated without clamping: the VI sensitivity framework differentiates
+/// the field across the active constraints.
+num::Matrix marginal_utility_jacobian(const SubsidizationGame& game,
+                                      std::span<const double> subsidies, double fd_step) {
+  const std::size_t n = game.num_players();
+  num::Matrix jac(n, n);
+  std::vector<double> base(subsidies.begin(), subsidies.end());
+  for (std::size_t j = 0; j < n; ++j) {
+    const double h = fd_step * std::max(1.0, std::fabs(base[j]));
+    std::vector<double> hi = base;
+    std::vector<double> lo = base;
+    hi[j] += h;
+    lo[j] -= h;
+    const std::vector<double> u_hi = game.marginal_utilities(hi);
+    const std::vector<double> u_lo = game.marginal_utilities(lo);
+    for (std::size_t i = 0; i < n; ++i) {
+      jac(i, j) = (u_hi[i] - u_lo[i]) / (2.0 * h);
+    }
+  }
+  return jac;
+}
+
+/// d u / d p by central difference in the price.
+std::vector<double> marginal_utility_dp(const SubsidizationGame& game,
+                                        std::span<const double> subsidies, double fd_step) {
+  const double p = game.price();
+  const double h = fd_step * std::max(1.0, std::fabs(p));
+  const std::vector<double> u_hi = game.with_price(p + h).marginal_utilities(subsidies);
+  const std::vector<double> u_lo = game.with_price(p - h).marginal_utilities(subsidies);
+  std::vector<double> out(u_hi.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = (u_hi[i] - u_lo[i]) / (2.0 * h);
+  return out;
+}
+
+}  // namespace
+
+SensitivityReport equilibrium_sensitivity(const SubsidizationGame& game,
+                                          std::span<const double> equilibrium,
+                                          const SensitivityOptions& options) {
+  const std::size_t n = game.num_players();
+  if (equilibrium.size() != n) {
+    throw std::invalid_argument("equilibrium_sensitivity: profile size mismatch");
+  }
+
+  SensitivityReport report;
+  report.classification = verify_kkt(game, equilibrium, options.kkt);
+  const auto interior = report.classification.players_in(ActiveSet::interior);
+  const auto at_cap = report.classification.players_in(ActiveSet::at_cap);
+
+  report.ds_dq.assign(n, 0.0);
+  report.ds_dp.assign(n, 0.0);
+  // Equation (11), boundary cases: N- stays at zero, N+ tracks the cap 1:1.
+  for (std::size_t j : at_cap) report.ds_dq[j] = 1.0;
+
+  const num::Matrix full_jacobian = marginal_utility_jacobian(game, equilibrium, options.fd_step);
+  report.interior_jacobian = full_jacobian.principal_submatrix(interior);
+
+  if (!interior.empty()) {
+    const num::LuDecomposition lu(report.interior_jacobian);
+    if (lu.singular()) {
+      report.valid = false;
+      return report;
+    }
+    // ds~/dq = -(grad_s~ u~)^{-1} * (d u~ / d s_{N+}) * 1   (equation (11)).
+    num::Vector cap_influence(interior.size(), 0.0);
+    for (std::size_t a = 0; a < interior.size(); ++a) {
+      for (std::size_t j : at_cap) {
+        cap_influence[a] += full_jacobian(interior[a], j);
+      }
+    }
+    const num::Vector dsq = lu.solve(cap_influence);
+    for (std::size_t a = 0; a < interior.size(); ++a) {
+      report.ds_dq[interior[a]] = -dsq[a];
+    }
+
+    // ds~/dp = -(grad_s~ u~)^{-1} * (d u~ / d p)   (equation (12)).
+    const std::vector<double> du_dp = marginal_utility_dp(game, equilibrium, options.fd_step);
+    num::Vector dp_vec(interior.size());
+    for (std::size_t a = 0; a < interior.size(); ++a) dp_vec[a] = du_dp[interior[a]];
+    const num::Vector dsp = lu.solve(dp_vec);
+    for (std::size_t a = 0; a < interior.size(); ++a) {
+      report.ds_dp[interior[a]] = -dsp[a];
+    }
+  }
+  report.valid = true;
+
+  // Assemble the Corollary 1 aggregates at the solved state.
+  const auto& market = game.market();
+  const ModelEvaluator& evaluator = game.evaluator();
+  const SystemState state = game.state(equilibrium);
+  const std::vector<double> m = state.populations();
+  const double phi = state.utilization;
+  const double dg = evaluator.gap_derivative(phi, m);
+
+  double dphi_dq = 0.0;
+  double dphi_dp = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cp = market.provider(i);
+    const double lambda_i = cp.throughput->rate(phi);
+    const double dm_dt = cp.demand->derivative(game.price() - equilibrium[i]);
+    // Fixed p: t_i = p - s_i so dm_i/dq = -m'(t_i) ds_i/dq.
+    dphi_dq += (lambda_i / dg) * (-dm_dt * report.ds_dq[i]);
+    // Price change with equilibrium subsidy response: dt_i/dp = 1 - ds_i/dp.
+    dphi_dp += (lambda_i / dg) * (dm_dt * (1.0 - report.ds_dp[i]));
+  }
+  report.dphi_dq = dphi_dq;
+  report.dphi_dp = dphi_dp;
+
+  // dR/dq = p * dTheta/dphi * dphi/dq (R = p * Theta(phi, mu) at equilibrium).
+  const double dtheta_dphi =
+      market.utilization_model().inverse_throughput_dphi(phi, market.capacity());
+  report.dR_dq = game.price() * dtheta_dphi * dphi_dq;
+  return report;
+}
+
+ProfitabilitySensitivity profitability_sensitivity(const SubsidizationGame& game,
+                                                   std::span<const double> equilibrium,
+                                                   std::size_t provider,
+                                                   const SensitivityOptions& options) {
+  const std::size_t n = game.num_players();
+  if (equilibrium.size() != n) {
+    throw std::invalid_argument("profitability_sensitivity: profile size mismatch");
+  }
+  if (provider >= n) {
+    throw std::out_of_range("profitability_sensitivity: provider index out of range");
+  }
+
+  ProfitabilitySensitivity report;
+  report.classification = verify_kkt(game, equilibrium, options.kkt);
+  report.ds_dv.assign(n, 0.0);
+  // The only direct dependence of the marginal-utility field on v_i:
+  // u_i = -theta_i + (v_i - s_i) dtheta_i/ds_i, so du_i/dv_i = dtheta_i/ds_i.
+  report.du_i_dv = game.dtheta_i_dsi(provider, equilibrium);
+
+  const auto interior = report.classification.players_in(ActiveSet::interior);
+  const bool provider_interior =
+      std::find(interior.begin(), interior.end(), provider) != interior.end();
+  if (provider_interior && !interior.empty()) {
+    const num::Matrix full_jacobian =
+        marginal_utility_jacobian(game, equilibrium, options.fd_step);
+    const num::LuDecomposition lu(full_jacobian.principal_submatrix(interior));
+    if (lu.singular()) return report;  // valid stays false
+
+    // Right-hand side: -e_a * du_i/dv_i on the interior block, where a is
+    // provider i's position within the interior set.
+    num::Vector rhs(interior.size(), 0.0);
+    for (std::size_t a = 0; a < interior.size(); ++a) {
+      if (interior[a] == provider) rhs[a] = report.du_i_dv;
+    }
+    const num::Vector ds = lu.solve(rhs);
+    for (std::size_t a = 0; a < interior.size(); ++a) {
+      report.ds_dv[interior[a]] = -ds[a];
+    }
+  }
+  // Players pinned at 0 (u < 0) or at the cap (u > 0) do not move for a
+  // marginal profitability change — including provider i itself.
+  report.valid = true;
+
+  // Own-throughput response: dtheta_i/dv = sum_j (dtheta_i/ds_j) ds_j/dv_i,
+  // with the cross partials evaluated by finite differences of the state.
+  const ModelEvaluator& evaluator = game.evaluator();
+  std::vector<double> base(equilibrium.begin(), equilibrium.end());
+  double dtheta = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (report.ds_dv[j] == 0.0) continue;
+    const double h = options.fd_step * std::max(1.0, std::fabs(base[j]));
+    std::vector<double> hi = base;
+    std::vector<double> lo = base;
+    hi[j] += h;
+    lo[j] -= h;
+    const double theta_hi =
+        evaluator.evaluate(game.price(), hi).providers[provider].throughput;
+    const double theta_lo =
+        evaluator.evaluate(game.price(), lo).providers[provider].throughput;
+    dtheta += (theta_hi - theta_lo) / (2.0 * h) * report.ds_dv[j];
+  }
+  report.dtheta_i_dv = dtheta;
+  return report;
+}
+
+}  // namespace subsidy::core

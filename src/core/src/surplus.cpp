@@ -1,0 +1,42 @@
+#include "subsidy/core/surplus.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace subsidy::core {
+
+SurplusReport surplus_decomposition(const ModelEvaluator& evaluator,
+                                    const SystemState& state) {
+  const auto& market = evaluator.market();
+  if (state.providers.size() != market.num_providers()) {
+    throw std::invalid_argument("surplus_decomposition: state/market provider mismatch");
+  }
+
+  SurplusReport report;
+  report.providers.resize(state.providers.size());
+  for (std::size_t i = 0; i < state.providers.size(); ++i) {
+    const CpState& cp = state.providers[i];
+    ProviderSurplus& slice = report.providers[i];
+
+    const double tail = market.provider(i).demand->surplus_integral(cp.effective_price);
+    if (!std::isfinite(tail)) {
+      report.finite = false;
+      slice.user_surplus = tail;
+    } else {
+      slice.user_surplus = cp.per_user_rate * tail;
+    }
+    slice.cp_profit = cp.utility;
+    slice.isp_receipts = state.price * cp.throughput;
+
+    if (report.finite) report.user_surplus += slice.user_surplus;
+    report.cp_profit += slice.cp_profit;
+    report.paper_welfare += cp.profitability * cp.throughput;
+    report.isp_revenue += slice.isp_receipts;
+  }
+  report.total_surplus = report.finite
+                             ? report.user_surplus + report.cp_profit + report.isp_revenue
+                             : std::numeric_limits<double>::infinity();
+  return report;
+}
+
+}  // namespace subsidy::core

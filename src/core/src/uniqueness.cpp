@@ -1,0 +1,86 @@
+#include "subsidy/core/uniqueness.hpp"
+
+#include <cmath>
+
+#include "subsidy/numerics/matrix_props.hpp"
+
+namespace subsidy::core {
+
+UniquenessAnalyzer::UniquenessAnalyzer(const SubsidizationGame& game) : game_(&game) {}
+
+PFunctionCheck UniquenessAnalyzer::sample_p_function(num::Rng& rng, int pairs,
+                                                     double tolerance) const {
+  PFunctionCheck check;
+  const std::size_t n = game_->num_players();
+  const double q = game_->policy_cap();
+
+  for (int pair = 0; pair < pairs; ++pair) {
+    std::vector<double> s(n);
+    std::vector<double> s_prime(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s[i] = rng.uniform(0.0, q);
+      s_prime[i] = rng.uniform(0.0, q);
+    }
+    // Skip (numerically) identical profiles.
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      max_diff = std::max(max_diff, std::fabs(s[i] - s_prime[i]));
+    }
+    if (max_diff < 1e-9) continue;
+
+    const std::vector<double> u = game_->marginal_utilities(s);
+    const std::vector<double> u_prime = game_->marginal_utilities(s_prime);
+
+    // Condition (10): there exists i with (s'_i - s_i)(u_i(s') - u_i(s)) < 0.
+    bool found = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double product = (s_prime[i] - s[i]) * (u_prime[i] - u[i]);
+      if (product < -tolerance) {
+        found = true;
+        break;
+      }
+    }
+    ++check.pairs_tested;
+    if (!found) {
+      check.holds = false;
+      check.witness_s = s;
+      check.witness_s_prime = s_prime;
+      return check;
+    }
+  }
+  return check;
+}
+
+JacobianCheck UniquenessAnalyzer::jacobian_check(std::span<const double> subsidies,
+                                                 double fd_step) const {
+  const std::size_t n = game_->num_players();
+  JacobianCheck check;
+  check.negated_jacobian = num::Matrix(n, n);
+
+  // Central differences of the analytic marginal utilities. The negated
+  // Jacobian -du_i/ds_j is the Jacobian of the VI map F = -u.
+  std::vector<double> base(subsidies.begin(), subsidies.end());
+  for (std::size_t j = 0; j < n; ++j) {
+    const double h = fd_step * std::max(1.0, std::fabs(base[j]));
+    std::vector<double> hi = base;
+    std::vector<double> lo = base;
+    hi[j] += h;
+    lo[j] -= h;
+    const std::vector<double> u_hi = game_->marginal_utilities(hi);
+    const std::vector<double> u_lo = game_->marginal_utilities(lo);
+    for (std::size_t i = 0; i < n; ++i) {
+      check.negated_jacobian(i, j) = -(u_hi[i] - u_lo[i]) / (2.0 * h);
+    }
+  }
+
+  check.p_matrix = num::is_p_matrix(check.negated_jacobian);
+  check.m_matrix = num::is_m_matrix(check.negated_jacobian);
+  check.diagonally_dominant = num::is_strictly_diagonally_dominant(check.negated_jacobian);
+
+  // Corollary 1's hypothesis: du_i/ds_j >= 0 for i != j, i.e. the negated
+  // Jacobian has non-positive off-diagonal entries (Z-matrix).
+  check.off_diagonal_monotone = num::is_z_matrix(check.negated_jacobian, 1e-9);
+  return check;
+}
+
+}  // namespace subsidy::core

@@ -1,0 +1,85 @@
+#include "subsidy/core/utilization_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "subsidy/numerics/roots.hpp"
+
+namespace subsidy::core {
+
+UtilizationSolver::UtilizationSolver(const econ::Market& market, UtilizationSolveOptions options)
+    : market_(&market), options_(options) {
+  if (options_.tolerance <= 0.0) {
+    throw std::invalid_argument("UtilizationSolver: tolerance must be > 0");
+  }
+}
+
+double UtilizationSolver::aggregate_demand(double phi,
+                                           std::span<const double> populations) const {
+  const auto& providers = market_->providers();
+  if (populations.size() != providers.size()) {
+    throw std::invalid_argument("UtilizationSolver: population vector size mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < providers.size(); ++i) {
+    total += populations[i] * providers[i].throughput->rate(phi);
+  }
+  return total;
+}
+
+double UtilizationSolver::gap(double phi, std::span<const double> populations) const {
+  return market_->utilization_model().inverse_throughput(phi, market_->capacity()) -
+         aggregate_demand(phi, populations);
+}
+
+double UtilizationSolver::gap_derivative(double phi, std::span<const double> populations) const {
+  const auto& providers = market_->providers();
+  if (populations.size() != providers.size()) {
+    throw std::invalid_argument("UtilizationSolver: population vector size mismatch");
+  }
+  double demand_slope = 0.0;
+  for (std::size_t i = 0; i < providers.size(); ++i) {
+    demand_slope += populations[i] * providers[i].throughput->derivative(phi);
+  }
+  return market_->utilization_model().inverse_throughput_dphi(phi, market_->capacity()) -
+         demand_slope;
+}
+
+double UtilizationSolver::solve(std::span<const double> populations, double hint) const {
+  // Degenerate case: no demand at all => phi = 0 exactly (g(0) = 0).
+  const double demand_at_zero = aggregate_demand(0.0, populations);
+  if (demand_at_zero <= 0.0) return 0.0;
+
+  auto g = [this, populations](double phi) { return gap(phi, populations); };
+
+  num::RootOptions root_options;
+  root_options.x_tol = options_.tolerance;
+  root_options.max_iterations = options_.max_iterations;
+
+  // Warm start: try a small bracket around the hint first. The sweeps move
+  // the equilibrium smoothly, so this usually succeeds within one expansion.
+  if (hint >= 0.0) {
+    const double width = std::max(0.05, 0.25 * hint);
+    const double lo = std::max(0.0, hint - width);
+    const double hi = hint + width;
+    const double g_lo = g(lo);
+    const double g_hi = g(hi);
+    if (g_lo == 0.0) return lo;
+    if (g_hi == 0.0) return hi;
+    if (std::signbit(g_lo) != std::signbit(g_hi)) {
+      return num::brent_root(g, lo, hi, root_options).value_or_throw();
+    }
+  }
+
+  const num::RootResult result =
+      num::find_increasing_root(g, 0.0, options_.initial_bracket, root_options);
+  if (!result.converged) {
+    throw std::runtime_error(
+        "UtilizationSolver: failed to bracket/solve the utilization fixed point (capacity " +
+        std::to_string(market_->capacity()) + ")");
+  }
+  return result.root;
+}
+
+}  // namespace subsidy::core

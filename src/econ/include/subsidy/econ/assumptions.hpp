@@ -1,0 +1,62 @@
+// Validators for the paper's structural assumptions.
+//
+// Assumption 1: Phi(theta, mu) differentiable, strictly increasing in theta,
+//   strictly decreasing in mu, Phi -> 0 as theta -> 0; lambda(phi)
+//   differentiable, strictly decreasing, lambda -> 0 as phi -> inf.
+// Assumption 2: m(t) continuously differentiable, decreasing,
+//   m -> 0 as t -> inf.
+//
+// The validators sample the curves over configurable ranges and report every
+// violation found, so user-supplied functional forms can be vetted before an
+// experiment rather than producing silent nonsense.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "subsidy/econ/demand.hpp"
+#include "subsidy/econ/throughput.hpp"
+#include "subsidy/econ/utilization.hpp"
+
+namespace subsidy::econ {
+
+/// Outcome of an assumption check: empty `violations` means conformant on the
+/// sampled range (not a proof — sampling only).
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void add_violation(std::string description);
+};
+
+/// Sampling ranges used by the validators.
+struct ValidationRange {
+  double phi_max = 5.0;      ///< Utilization range [~0, phi_max].
+  double theta_max = 10.0;   ///< Throughput range (0, theta_max].
+  double mu_min = 0.25;      ///< Capacity range [mu_min, mu_max].
+  double mu_max = 4.0;
+  double t_min = -1.0;       ///< Effective price range [t_min, t_max].
+  double t_max = 8.0;
+  int samples = 64;          ///< Samples per axis.
+  double decay_tolerance = 1e-3;  ///< "-> 0 at the far end" threshold.
+};
+
+/// Checks the Phi part of Assumption 1 (monotonicity in both arguments, zero
+/// limit, inverse consistency Theta(Phi(theta)) == theta).
+[[nodiscard]] ValidationReport validate_utilization_model(const UtilizationModel& model,
+                                                          const ValidationRange& range = {});
+
+/// Checks the lambda part of Assumption 1 (positive, strictly decreasing,
+/// decaying toward zero).
+[[nodiscard]] ValidationReport validate_throughput_curve(const ThroughputCurve& curve,
+                                                         const ValidationRange& range = {});
+
+/// Checks Assumption 2 on a demand curve (non-negative, decreasing, decaying
+/// toward zero, derivative consistent with secants).
+[[nodiscard]] ValidationReport validate_demand_curve(const DemandCurve& curve,
+                                                     const ValidationRange& range = {});
+
+/// Merges several reports into one.
+[[nodiscard]] ValidationReport merge(std::vector<ValidationReport> reports);
+
+}  // namespace subsidy::econ

@@ -1,0 +1,131 @@
+// User-demand curves m_i(t): the population of a content provider's users as
+// a function of the effective per-unit usage price t = p - s (ISP price minus
+// the provider's subsidy).
+//
+// Assumption 2 of the paper requires m(t) continuously differentiable,
+// decreasing, with m(t) -> 0 as t -> inf. The exponential family is the form
+// used in the paper's numerical evaluation (m_i(t) = e^{-alpha_i t}); the
+// other families exercise the theory's generality and the validators in
+// assumptions.hpp check conformance of any user-supplied curve.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace subsidy::econ {
+
+/// Interface for a user-demand curve m(t).
+///
+/// Implementations must be valid for every finite t (subsidies can push the
+/// effective price below zero, so curves are evaluated on t < 0 as well).
+class DemandCurve {
+ public:
+  virtual ~DemandCurve() = default;
+
+  /// Population m(t) at effective per-unit price t. Must be >= 0.
+  [[nodiscard]] virtual double population(double t) const = 0;
+
+  /// dm/dt. Default implementation: central finite difference.
+  [[nodiscard]] virtual double derivative(double t) const;
+
+  /// Price elasticity of demand, eps^m_t = (dm/dt) * (t / m).
+  /// Returns 0 when m(t) == 0.
+  [[nodiscard]] virtual double elasticity(double t) const;
+
+  /// The demand tail integral S(t) = integral of m(x) dx over [t, inf).
+  /// Under the valuation interpretation of Assumption 2 (m(t) = number of
+  /// users valuing a unit of traffic at >= t), S(t) is the users' aggregate
+  /// net surplus per unit of traffic at price t. Returns +inf when the tail
+  /// is not integrable. Default: geometric-panel numeric quadrature;
+  /// families with closed forms override.
+  [[nodiscard]] virtual double surplus_integral(double t) const;
+
+  /// Human-readable family name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<DemandCurve> clone() const = 0;
+
+ protected:
+  DemandCurve() = default;
+  DemandCurve(const DemandCurve&) = default;
+  DemandCurve& operator=(const DemandCurve&) = default;
+};
+
+/// m(t) = scale * exp(-alpha * t). The paper's evaluation family:
+/// p-elasticity is exactly -alpha * t.
+class ExponentialDemand final : public DemandCurve {
+ public:
+  /// alpha > 0 (price sensitivity), scale > 0 (population at t = 0).
+  explicit ExponentialDemand(double alpha, double scale = 1.0);
+
+  [[nodiscard]] double population(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] double elasticity(double t) const override;
+  [[nodiscard]] double surplus_integral(double t) const override;  ///< m(t)/alpha.
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DemandCurve> clone() const override;
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  double alpha_;
+  double scale_;
+};
+
+/// m(t) = m0 / (1 + exp(k * (t - t0))): a smooth population with a soft
+/// "adoption threshold" at t0. Satisfies Assumption 2 strictly.
+class LogitDemand final : public DemandCurve {
+ public:
+  /// m0 > 0 saturation population, k > 0 steepness, t0 threshold price.
+  LogitDemand(double m0, double k, double t0);
+
+  [[nodiscard]] double population(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DemandCurve> clone() const override;
+
+ private:
+  double m0_;
+  double k_;
+  double t0_;
+};
+
+/// m(t) = m0 * (1 + max(t, 0))^{-eps}: isoelastic in (1 + t) for t >= 0 and
+/// saturated at m0 for t <= 0 (a subsidy beyond free service cannot create
+/// more users than the addressable population).
+class IsoelasticDemand final : public DemandCurve {
+ public:
+  /// m0 > 0 population at zero price, eps > 0 elasticity parameter.
+  IsoelasticDemand(double m0, double eps);
+
+  [[nodiscard]] double population(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DemandCurve> clone() const override;
+
+ private:
+  double m0_;
+  double eps_;
+};
+
+/// m(t) = m0 * max(0, 1 - t / t_max) for t >= 0, saturated at m0 below zero.
+/// Piecewise-linear valuation model (uniform valuation distribution on
+/// [0, t_max]); violates *strict* monotonicity beyond t_max, which the
+/// Assumption-2 validator reports — included deliberately as a boundary case.
+class LinearDemand final : public DemandCurve {
+ public:
+  LinearDemand(double m0, double t_max);
+
+  [[nodiscard]] double population(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] double surplus_integral(double t) const override;  ///< Triangle area.
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DemandCurve> clone() const override;
+
+ private:
+  double m0_;
+  double t_max_;
+};
+
+}  // namespace subsidy::econ

@@ -1,0 +1,78 @@
+// Market entities: content providers, the access ISP and the Market aggregate
+// that the core model operates on.
+//
+// A Market is the static description (m, mu) of the paper's basic system
+// model extended with the ISP price and each provider's profitability; the
+// dynamic quantities (utilization, populations under subsidy, equilibria) are
+// computed by subsidy::core.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "subsidy/econ/assumptions.hpp"
+#include "subsidy/econ/demand.hpp"
+#include "subsidy/econ/throughput.hpp"
+#include "subsidy/econ/utilization.hpp"
+
+namespace subsidy::econ {
+
+/// One content provider class: by Lemma 2, a "provider" here stands for the
+/// aggregate of all CPs with similar traffic characteristics.
+struct ContentProviderSpec {
+  std::string name;                                     ///< Label used in reports.
+  std::shared_ptr<const DemandCurve> demand;            ///< m_i(t).
+  std::shared_ptr<const ThroughputCurve> throughput;    ///< lambda_i(phi).
+  double profitability = 0.0;                           ///< v_i, per-unit traffic profit.
+};
+
+/// Access ISP parameters.
+struct IspSpec {
+  double capacity = 1.0;  ///< mu > 0.
+};
+
+/// The static market description: one access ISP, a set of CP classes and a
+/// utilization model tying them together. Cheap to copy (curves are shared
+/// immutable objects).
+class Market {
+ public:
+  Market(IspSpec isp, std::shared_ptr<const UtilizationModel> utilization,
+         std::vector<ContentProviderSpec> providers);
+
+  /// Convenience factory for the paper's exponential family:
+  /// m_i = e^{-alpha_i t}, lambda_i = e^{-beta_i phi}, Phi = theta / mu.
+  /// `alphas`, `betas` and `profits` must have equal length.
+  [[nodiscard]] static Market exponential(double capacity, const std::vector<double>& alphas,
+                                          const std::vector<double>& betas,
+                                          const std::vector<double>& profits);
+
+  [[nodiscard]] const IspSpec& isp() const noexcept { return isp_; }
+  [[nodiscard]] double capacity() const noexcept { return isp_.capacity; }
+  [[nodiscard]] const UtilizationModel& utilization_model() const noexcept { return *utilization_; }
+  [[nodiscard]] const std::vector<ContentProviderSpec>& providers() const noexcept {
+    return providers_;
+  }
+  [[nodiscard]] const ContentProviderSpec& provider(std::size_t i) const;
+  [[nodiscard]] std::size_t num_providers() const noexcept { return providers_.size(); }
+
+  /// Returns a copy with a different capacity (used by capacity planning).
+  [[nodiscard]] Market with_capacity(double capacity) const;
+
+  /// Returns a copy with provider `i`'s profitability replaced (Theorem 5
+  /// experiments).
+  [[nodiscard]] Market with_profitability(std::size_t i, double profitability) const;
+
+  /// Returns a copy with a different utilization model (ablations).
+  [[nodiscard]] Market with_utilization_model(std::shared_ptr<const UtilizationModel> model) const;
+
+  /// Runs the Assumption 1/2 validators across every component.
+  [[nodiscard]] ValidationReport validate(const ValidationRange& range = {}) const;
+
+ private:
+  IspSpec isp_;
+  std::shared_ptr<const UtilizationModel> utilization_;
+  std::vector<ContentProviderSpec> providers_;
+};
+
+}  // namespace subsidy::econ

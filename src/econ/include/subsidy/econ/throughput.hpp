@@ -1,0 +1,96 @@
+// Per-user throughput curves lambda_i(phi): the average throughput a content
+// provider's user achieves as a function of system utilization phi.
+//
+// Assumption 1 of the paper requires lambda(phi) differentiable, strictly
+// decreasing, with lambda -> 0 as phi -> inf. The exponential family is the
+// paper's evaluation form (lambda_i = e^{-beta_i phi}).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace subsidy::econ {
+
+/// Interface for a per-user throughput curve lambda(phi), phi >= 0.
+class ThroughputCurve {
+ public:
+  virtual ~ThroughputCurve() = default;
+
+  /// Average per-user throughput at utilization phi. Must be > 0 and
+  /// decreasing in phi.
+  [[nodiscard]] virtual double rate(double phi) const = 0;
+
+  /// d(lambda)/d(phi). Default: central finite difference.
+  [[nodiscard]] virtual double derivative(double phi) const;
+
+  /// Utilization elasticity of throughput, eps^lambda_phi =
+  /// (dlambda/dphi) * (phi / lambda).
+  [[nodiscard]] virtual double elasticity(double phi) const;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<ThroughputCurve> clone() const = 0;
+
+ protected:
+  ThroughputCurve() = default;
+  ThroughputCurve(const ThroughputCurve&) = default;
+  ThroughputCurve& operator=(const ThroughputCurve&) = default;
+};
+
+/// lambda(phi) = lambda0 * exp(-beta * phi). The paper's form; phi-elasticity
+/// is exactly -beta * phi.
+class ExponentialThroughput final : public ThroughputCurve {
+ public:
+  /// beta > 0 congestion sensitivity, lambda0 > 0 uncongested throughput.
+  explicit ExponentialThroughput(double beta, double lambda0 = 1.0);
+
+  [[nodiscard]] double rate(double phi) const override;
+  [[nodiscard]] double derivative(double phi) const override;
+  [[nodiscard]] double elasticity(double phi) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ThroughputCurve> clone() const override;
+
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+  [[nodiscard]] double lambda0() const noexcept { return lambda0_; }
+
+ private:
+  double beta_;
+  double lambda0_;
+};
+
+/// lambda(phi) = lambda0 * (1 + phi)^{-beta}: heavy-tailed congestion decay;
+/// elasticity -beta * phi / (1 + phi) saturates at -beta.
+class PowerLawThroughput final : public ThroughputCurve {
+ public:
+  explicit PowerLawThroughput(double beta, double lambda0 = 1.0);
+
+  [[nodiscard]] double rate(double phi) const override;
+  [[nodiscard]] double derivative(double phi) const override;
+  [[nodiscard]] double elasticity(double phi) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ThroughputCurve> clone() const override;
+
+ private:
+  double beta_;
+  double lambda0_;
+};
+
+/// lambda(phi) = lambda0 / (1 + beta * phi): rate inversely proportional to a
+/// linear delay factor (an M/M/1-flavoured form: throughput ~ 1 / sojourn
+/// time with delay growing linearly in load).
+class DelayThroughput final : public ThroughputCurve {
+ public:
+  explicit DelayThroughput(double beta, double lambda0 = 1.0);
+
+  [[nodiscard]] double rate(double phi) const override;
+  [[nodiscard]] double derivative(double phi) const override;
+  [[nodiscard]] double elasticity(double phi) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ThroughputCurve> clone() const override;
+
+ private:
+  double beta_;
+  double lambda0_;
+};
+
+}  // namespace subsidy::econ

@@ -1,0 +1,99 @@
+// Utilization models Phi(theta, mu): how aggregate throughput theta and
+// capacity mu map to the system utilization (congestion) level phi, together
+// with the inverse map Theta(phi, mu) = Phi^{-1} used by the gap-function
+// formulation of the equilibrium (Definition 1 / Lemma 1).
+//
+// Assumption 1 requires Phi strictly increasing in theta, strictly decreasing
+// in mu, and Phi -> 0 as theta -> 0. The paper's evaluation uses the linear
+// form Phi = theta / mu; the others provide ablations on the physical model.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace subsidy::econ {
+
+/// Interface for a utilization model. Implementations supply the inverse
+/// Theta(phi, mu) and its partial derivatives analytically because the core
+/// solver leans on them heavily (they appear in dg/dphi and every
+/// comparative-static formula).
+class UtilizationModel {
+ public:
+  virtual ~UtilizationModel() = default;
+
+  /// Phi(theta, mu): utilization induced by aggregate throughput theta under
+  /// capacity mu. Requires theta >= 0, mu > 0.
+  [[nodiscard]] virtual double utilization(double theta, double mu) const = 0;
+
+  /// Theta(phi, mu) = Phi^{-1}(phi; mu): the throughput that induces
+  /// utilization phi. Requires phi >= 0, mu > 0.
+  [[nodiscard]] virtual double inverse_throughput(double phi, double mu) const = 0;
+
+  /// d(Theta)/d(phi) > 0 (throughput supply slope in the gap function).
+  [[nodiscard]] virtual double inverse_throughput_dphi(double phi, double mu) const = 0;
+
+  /// d(Theta)/d(mu) > 0 (capacity effect on feasible throughput).
+  [[nodiscard]] virtual double inverse_throughput_dmu(double phi, double mu) const = 0;
+
+  /// Largest utilization this model can represent (finite for saturating
+  /// models; +inf for the linear model). The equilibrium bracket search stays
+  /// below this bound.
+  [[nodiscard]] virtual double max_utilization() const;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<UtilizationModel> clone() const = 0;
+
+ protected:
+  UtilizationModel() = default;
+  UtilizationModel(const UtilizationModel&) = default;
+  UtilizationModel& operator=(const UtilizationModel&) = default;
+};
+
+/// Phi = theta / mu (the paper's evaluation model): utilization is load per
+/// unit capacity; Theta = phi * mu.
+class LinearUtilization final : public UtilizationModel {
+ public:
+  LinearUtilization() = default;
+
+  [[nodiscard]] double utilization(double theta, double mu) const override;
+  [[nodiscard]] double inverse_throughput(double phi, double mu) const override;
+  [[nodiscard]] double inverse_throughput_dphi(double phi, double mu) const override;
+  [[nodiscard]] double inverse_throughput_dmu(double phi, double mu) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<UtilizationModel> clone() const override;
+};
+
+/// Phi = theta / (mu - theta) for theta < mu: utilization read as a queueing
+/// delay factor that blows up at saturation; Theta = mu * phi / (1 + phi),
+/// which approaches capacity asymptotically. phi spans [0, inf).
+class DelayUtilization final : public UtilizationModel {
+ public:
+  DelayUtilization() = default;
+
+  [[nodiscard]] double utilization(double theta, double mu) const override;
+  [[nodiscard]] double inverse_throughput(double phi, double mu) const override;
+  [[nodiscard]] double inverse_throughput_dphi(double phi, double mu) const override;
+  [[nodiscard]] double inverse_throughput_dmu(double phi, double mu) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<UtilizationModel> clone() const override;
+};
+
+/// Phi = (theta / mu)^gamma, gamma > 0: convex (gamma > 1) or concave
+/// (gamma < 1) load mapping; Theta = mu * phi^{1/gamma}.
+class PowerUtilization final : public UtilizationModel {
+ public:
+  explicit PowerUtilization(double gamma);
+
+  [[nodiscard]] double utilization(double theta, double mu) const override;
+  [[nodiscard]] double inverse_throughput(double phi, double mu) const override;
+  [[nodiscard]] double inverse_throughput_dphi(double phi, double mu) const override;
+  [[nodiscard]] double inverse_throughput_dmu(double phi, double mu) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<UtilizationModel> clone() const override;
+
+ private:
+  double gamma_;
+};
+
+}  // namespace subsidy::econ

@@ -1,0 +1,133 @@
+// Micro-founded demand: populations derived from a user-valuation
+// distribution.
+//
+// The paper grounds Assumption 2 in the standard two-sided-market models
+// (Armstrong 2006; Rochet-Tirole 2003): users are heterogeneous in their
+// per-unit valuation W of data traffic, and exactly the users with W >= t
+// consume at effective price t. With N addressable users,
+//
+//   m(t) = N * P(W >= t) = N * S(t),
+//
+// so any valuation distribution induces a demand curve satisfying
+// Assumption 2, and the consumer-surplus integral is N * int_t^inf S(w) dw —
+// the mean excess valuation. This module provides the distribution interface,
+// four standard families, and the DemandCurve adapter.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "subsidy/econ/demand.hpp"
+
+namespace subsidy::econ {
+
+/// A non-negative user-valuation distribution, described by its survival
+/// function S(w) = P(W >= w).
+class ValuationDistribution {
+ public:
+  virtual ~ValuationDistribution() = default;
+
+  /// S(w) = P(W >= w). Must be 1 for w <= 0 (valuations are non-negative),
+  /// non-increasing, with S -> 0 as w -> inf.
+  [[nodiscard]] virtual double survival(double w) const = 0;
+
+  /// Density -dS/dw. Default: central finite difference of the survival.
+  [[nodiscard]] virtual double density(double w) const;
+
+  /// Tail integral int_t^inf S(w) dw (the mean excess value above t times
+  /// the survival mass). Default: numeric; +inf when not integrable.
+  [[nodiscard]] virtual double tail_integral(double t) const;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<ValuationDistribution> clone() const = 0;
+
+ protected:
+  ValuationDistribution() = default;
+  ValuationDistribution(const ValuationDistribution&) = default;
+  ValuationDistribution& operator=(const ValuationDistribution&) = default;
+};
+
+/// W ~ Exponential(rate): S(w) = e^{-rate w}. Induces exactly the paper's
+/// exponential demand family with alpha = rate.
+class ExponentialValuation final : public ValuationDistribution {
+ public:
+  explicit ExponentialValuation(double rate);
+  [[nodiscard]] double survival(double w) const override;
+  [[nodiscard]] double density(double w) const override;
+  [[nodiscard]] double tail_integral(double t) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ValuationDistribution> clone() const override;
+
+ private:
+  double rate_;
+};
+
+/// W ~ Uniform[0, hi]: S(w) = 1 - w/hi on [0, hi]. Induces the linear
+/// (kinked) demand family.
+class UniformValuation final : public ValuationDistribution {
+ public:
+  explicit UniformValuation(double hi);
+  [[nodiscard]] double survival(double w) const override;
+  [[nodiscard]] double density(double w) const override;
+  [[nodiscard]] double tail_integral(double t) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ValuationDistribution> clone() const override;
+
+ private:
+  double hi_;
+};
+
+/// W ~ Pareto(scale, shape): S(w) = (scale / w)^shape for w >= scale, 1
+/// below. Heavy-tailed valuations; the tail integral diverges for
+/// shape <= 1 (reported as +inf).
+class ParetoValuation final : public ValuationDistribution {
+ public:
+  ParetoValuation(double scale, double shape);
+  [[nodiscard]] double survival(double w) const override;
+  [[nodiscard]] double density(double w) const override;
+  [[nodiscard]] double tail_integral(double t) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ValuationDistribution> clone() const override;
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+/// W ~ LogNormal(mu, sigma) (parameters of the underlying normal). No closed
+/// tail integral; uses the numeric default.
+class LognormalValuation final : public ValuationDistribution {
+ public:
+  LognormalValuation(double mu, double sigma);
+  [[nodiscard]] double survival(double w) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ValuationDistribution> clone() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// DemandCurve adapter: m(t) = population_size * S(t).
+class ValuationDemand final : public DemandCurve {
+ public:
+  /// population_size > 0 addressable users; distribution must not be null.
+  ValuationDemand(double population_size,
+                  std::shared_ptr<const ValuationDistribution> distribution);
+
+  [[nodiscard]] double population(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] double surplus_integral(double t) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DemandCurve> clone() const override;
+
+  [[nodiscard]] const ValuationDistribution& distribution() const noexcept {
+    return *distribution_;
+  }
+
+ private:
+  double population_size_;
+  std::shared_ptr<const ValuationDistribution> distribution_;
+};
+
+}  // namespace subsidy::econ

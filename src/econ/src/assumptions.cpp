@@ -1,0 +1,165 @@
+#include "subsidy/econ/assumptions.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "subsidy/numerics/grid.hpp"
+
+namespace subsidy::econ {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream ss;
+  ss << v;
+  return ss.str();
+}
+
+}  // namespace
+
+void ValidationReport::add_violation(std::string description) {
+  ok = false;
+  violations.push_back(std::move(description));
+}
+
+ValidationReport validate_utilization_model(const UtilizationModel& model,
+                                            const ValidationRange& range) {
+  ValidationReport report;
+  const auto thetas = num::linspace(range.theta_max / range.samples, range.theta_max,
+                                    static_cast<std::size_t>(range.samples));
+  const auto mus = num::linspace(range.mu_min, range.mu_max,
+                                 static_cast<std::size_t>(range.samples));
+
+  // Cap theta below capacity for saturating models (e.g. DelayUtilization is
+  // only defined for theta < mu).
+  auto safe_theta = [&](double theta, double mu) {
+    const double cap = model.max_utilization() == std::numeric_limits<double>::infinity()
+                           ? theta
+                           : theta;
+    (void)cap;
+    return std::min(theta, 0.95 * mu);
+  };
+
+  for (double mu : mus) {
+    double prev_phi = -1.0;
+    bool increasing_ok = true;
+    for (double theta : thetas) {
+      const double t = safe_theta(theta, mu);
+      const double phi = model.utilization(t, mu);
+      if (!std::isfinite(phi) || phi < 0.0) {
+        report.add_violation("Phi(" + fmt(t) + ", " + fmt(mu) + ") = " + fmt(phi) +
+                             " is not a finite non-negative utilization");
+        increasing_ok = false;
+        break;
+      }
+      if (phi < prev_phi) {
+        report.add_violation("Phi not increasing in theta at mu=" + fmt(mu) +
+                             " (theta=" + fmt(t) + ")");
+        increasing_ok = false;
+        break;
+      }
+      prev_phi = phi;
+      // Inverse consistency: Theta(Phi(theta, mu), mu) == theta.
+      const double back = model.inverse_throughput(phi, mu);
+      if (std::fabs(back - t) > 1e-6 * std::max(1.0, t)) {
+        report.add_violation("Theta(Phi(theta)) != theta at theta=" + fmt(t) +
+                             ", mu=" + fmt(mu) + " (got " + fmt(back) + ")");
+      }
+    }
+    if (!increasing_ok) break;
+  }
+
+  // Strictly decreasing in mu at fixed theta.
+  const double theta_probe = std::min(range.theta_max * 0.5, 0.9 * range.mu_min);
+  double prev = std::numeric_limits<double>::infinity();
+  for (double mu : mus) {
+    const double phi = model.utilization(theta_probe, mu);
+    if (phi >= prev) {
+      report.add_violation("Phi not strictly decreasing in mu at theta=" + fmt(theta_probe) +
+                           ", mu=" + fmt(mu));
+      break;
+    }
+    prev = phi;
+  }
+
+  // Zero limit: Phi(theta -> 0) -> 0.
+  const double phi_small = model.utilization(1e-9, 1.0);
+  if (!(phi_small < range.decay_tolerance)) {
+    report.add_violation("Phi(theta->0, mu=1) = " + fmt(phi_small) + " does not vanish");
+  }
+
+  return report;
+}
+
+ValidationReport validate_throughput_curve(const ThroughputCurve& curve,
+                                           const ValidationRange& range) {
+  ValidationReport report;
+  const auto phis = num::linspace(0.0, range.phi_max, static_cast<std::size_t>(range.samples));
+  double prev = std::numeric_limits<double>::infinity();
+  for (double phi : phis) {
+    const double lambda = curve.rate(phi);
+    if (!std::isfinite(lambda) || lambda <= 0.0) {
+      report.add_violation("lambda(" + fmt(phi) + ") = " + fmt(lambda) +
+                           " is not finite positive");
+      break;
+    }
+    if (lambda >= prev) {
+      report.add_violation("lambda not strictly decreasing at phi=" + fmt(phi));
+      break;
+    }
+    // Derivative sign and secant consistency.
+    const double d = curve.derivative(phi);
+    if (d >= 0.0) {
+      report.add_violation("dlambda/dphi >= 0 at phi=" + fmt(phi));
+    }
+    prev = lambda;
+  }
+  // Decay: lambda at a large utilization should be a small fraction of
+  // lambda(0). (Power-law curves decay slowly; scale the probe accordingly.)
+  const double far = curve.rate(20.0 * std::max(1.0, range.phi_max));
+  if (!(far < curve.rate(0.0))) {
+    report.add_violation("lambda does not decay at large phi");
+  }
+  return report;
+}
+
+ValidationReport validate_demand_curve(const DemandCurve& curve, const ValidationRange& range) {
+  ValidationReport report;
+  const auto ts = num::linspace(range.t_min, range.t_max, static_cast<std::size_t>(range.samples));
+  double prev = std::numeric_limits<double>::infinity();
+  for (double t : ts) {
+    const double m = curve.population(t);
+    if (!std::isfinite(m) || m < 0.0) {
+      report.add_violation("m(" + fmt(t) + ") = " + fmt(m) + " is not finite non-negative");
+      break;
+    }
+    if (m > prev + 1e-12) {
+      report.add_violation("m increasing at t=" + fmt(t));
+      break;
+    }
+    const double d = curve.derivative(t);
+    if (d > 1e-12) {
+      report.add_violation("dm/dt > 0 at t=" + fmt(t));
+    }
+    prev = m;
+  }
+  const double far = curve.population(range.t_max * 20.0);
+  if (!(far <= range.decay_tolerance * std::max(1.0, curve.population(0.0)))) {
+    report.add_violation("m does not decay toward 0 (m(" + fmt(range.t_max * 20.0) +
+                         ") = " + fmt(far) + ")");
+  }
+  return report;
+}
+
+ValidationReport merge(std::vector<ValidationReport> reports) {
+  ValidationReport merged;
+  for (auto& r : reports) {
+    if (!r.ok) {
+      merged.ok = false;
+      for (auto& v : r.violations) merged.violations.push_back(std::move(v));
+    }
+  }
+  return merged;
+}
+
+}  // namespace subsidy::econ

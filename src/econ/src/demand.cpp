@@ -1,0 +1,126 @@
+#include "subsidy/econ/demand.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "subsidy/numerics/differentiate.hpp"
+#include "subsidy/numerics/integrate.hpp"
+#include "subsidy/numerics/tolerances.hpp"
+
+namespace subsidy::econ {
+
+double DemandCurve::derivative(double t) const {
+  return num::central_difference([this](double x) { return population(x); }, t);
+}
+
+double DemandCurve::elasticity(double t) const {
+  const double m = population(t);
+  if (m == 0.0) return 0.0;
+  return derivative(t) * t / m;
+}
+
+double DemandCurve::surplus_integral(double t) const {
+  const num::IntegrateResult tail =
+      num::integrate_to_infinity([this](double x) { return population(x); }, t);
+  if (!tail.converged) return std::numeric_limits<double>::infinity();
+  return tail.value;
+}
+
+ExponentialDemand::ExponentialDemand(double alpha, double scale)
+    : alpha_(num::require_positive(alpha, "ExponentialDemand alpha")),
+      scale_(num::require_positive(scale, "ExponentialDemand scale")) {}
+
+double ExponentialDemand::population(double t) const { return scale_ * std::exp(-alpha_ * t); }
+
+double ExponentialDemand::derivative(double t) const { return -alpha_ * population(t); }
+
+double ExponentialDemand::elasticity(double t) const { return -alpha_ * t; }
+
+double ExponentialDemand::surplus_integral(double t) const { return population(t) / alpha_; }
+
+std::string ExponentialDemand::name() const {
+  return "exp-demand(alpha=" + std::to_string(alpha_) + ")";
+}
+
+std::unique_ptr<DemandCurve> ExponentialDemand::clone() const {
+  return std::make_unique<ExponentialDemand>(*this);
+}
+
+LogitDemand::LogitDemand(double m0, double k, double t0)
+    : m0_(num::require_positive(m0, "LogitDemand m0")),
+      k_(num::require_positive(k, "LogitDemand k")),
+      t0_(num::require_finite(t0, "LogitDemand t0")) {}
+
+double LogitDemand::population(double t) const {
+  return m0_ / (1.0 + std::exp(k_ * (t - t0_)));
+}
+
+double LogitDemand::derivative(double t) const {
+  const double e = std::exp(k_ * (t - t0_));
+  const double denom = (1.0 + e) * (1.0 + e);
+  return -m0_ * k_ * e / denom;
+}
+
+std::string LogitDemand::name() const {
+  return "logit-demand(k=" + std::to_string(k_) + ", t0=" + std::to_string(t0_) + ")";
+}
+
+std::unique_ptr<DemandCurve> LogitDemand::clone() const {
+  return std::make_unique<LogitDemand>(*this);
+}
+
+IsoelasticDemand::IsoelasticDemand(double m0, double eps)
+    : m0_(num::require_positive(m0, "IsoelasticDemand m0")),
+      eps_(num::require_positive(eps, "IsoelasticDemand eps")) {}
+
+double IsoelasticDemand::population(double t) const {
+  if (t <= 0.0) return m0_;
+  return m0_ * std::pow(1.0 + t, -eps_);
+}
+
+double IsoelasticDemand::derivative(double t) const {
+  if (t <= 0.0) return 0.0;
+  return -eps_ * m0_ * std::pow(1.0 + t, -eps_ - 1.0);
+}
+
+std::string IsoelasticDemand::name() const {
+  return "isoelastic-demand(eps=" + std::to_string(eps_) + ")";
+}
+
+std::unique_ptr<DemandCurve> IsoelasticDemand::clone() const {
+  return std::make_unique<IsoelasticDemand>(*this);
+}
+
+LinearDemand::LinearDemand(double m0, double t_max)
+    : m0_(num::require_positive(m0, "LinearDemand m0")),
+      t_max_(num::require_positive(t_max, "LinearDemand t_max")) {}
+
+double LinearDemand::population(double t) const {
+  if (t <= 0.0) return m0_;
+  if (t >= t_max_) return 0.0;
+  return m0_ * (1.0 - t / t_max_);
+}
+
+double LinearDemand::derivative(double t) const {
+  if (t <= 0.0 || t >= t_max_) return 0.0;
+  return -m0_ / t_max_;
+}
+
+double LinearDemand::surplus_integral(double t) const {
+  // Below zero the curve is flat at m0: rectangle down to 0 plus the triangle
+  // above it; above t_max the tail is empty.
+  if (t >= t_max_) return 0.0;
+  if (t <= 0.0) return -t * m0_ + 0.5 * m0_ * t_max_;
+  const double remaining = t_max_ - t;
+  return 0.5 * population(t) * remaining;
+}
+
+std::string LinearDemand::name() const {
+  return "linear-demand(t_max=" + std::to_string(t_max_) + ")";
+}
+
+std::unique_ptr<DemandCurve> LinearDemand::clone() const {
+  return std::make_unique<LinearDemand>(*this);
+}
+
+}  // namespace subsidy::econ

@@ -1,0 +1,82 @@
+#include "subsidy/econ/market.hpp"
+
+#include <stdexcept>
+
+#include "subsidy/numerics/tolerances.hpp"
+
+namespace subsidy::econ {
+
+Market::Market(IspSpec isp, std::shared_ptr<const UtilizationModel> utilization,
+               std::vector<ContentProviderSpec> providers)
+    : isp_(isp), utilization_(std::move(utilization)), providers_(std::move(providers)) {
+  num::require_positive(isp_.capacity, "Market capacity");
+  if (!utilization_) throw std::invalid_argument("Market: utilization model must not be null");
+  if (providers_.empty()) throw std::invalid_argument("Market: need at least one provider");
+  for (const auto& cp : providers_) {
+    if (!cp.demand) throw std::invalid_argument("Market: provider '" + cp.name +
+                                                "' has no demand curve");
+    if (!cp.throughput) throw std::invalid_argument("Market: provider '" + cp.name +
+                                                    "' has no throughput curve");
+    num::require_non_negative(cp.profitability, "profitability of provider '" + cp.name + "'");
+  }
+}
+
+Market Market::exponential(double capacity, const std::vector<double>& alphas,
+                           const std::vector<double>& betas,
+                           const std::vector<double>& profits) {
+  if (alphas.size() != betas.size() || alphas.size() != profits.size()) {
+    throw std::invalid_argument("Market::exponential: alphas/betas/profits size mismatch");
+  }
+  std::vector<ContentProviderSpec> providers;
+  providers.reserve(alphas.size());
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    ContentProviderSpec cp;
+    cp.name = "cp" + std::to_string(i) + "(a=" + std::to_string(alphas[i]).substr(0, 4) +
+              ",b=" + std::to_string(betas[i]).substr(0, 4) + ")";
+    cp.demand = std::make_shared<ExponentialDemand>(alphas[i]);
+    cp.throughput = std::make_shared<ExponentialThroughput>(betas[i]);
+    cp.profitability = profits[i];
+    providers.push_back(std::move(cp));
+  }
+  return Market(IspSpec{capacity}, std::make_shared<LinearUtilization>(), std::move(providers));
+}
+
+const ContentProviderSpec& Market::provider(std::size_t i) const {
+  if (i >= providers_.size()) throw std::out_of_range("Market::provider: index out of range");
+  return providers_[i];
+}
+
+Market Market::with_capacity(double capacity) const {
+  Market copy = *this;
+  copy.isp_.capacity = num::require_positive(capacity, "Market capacity");
+  return copy;
+}
+
+Market Market::with_profitability(std::size_t i, double profitability) const {
+  Market copy = *this;
+  if (i >= copy.providers_.size()) {
+    throw std::out_of_range("Market::with_profitability: index out of range");
+  }
+  copy.providers_[i].profitability =
+      num::require_non_negative(profitability, "profitability");
+  return copy;
+}
+
+Market Market::with_utilization_model(std::shared_ptr<const UtilizationModel> model) const {
+  if (!model) throw std::invalid_argument("Market::with_utilization_model: null model");
+  Market copy = *this;
+  copy.utilization_ = std::move(model);
+  return copy;
+}
+
+ValidationReport Market::validate(const ValidationRange& range) const {
+  std::vector<ValidationReport> reports;
+  reports.push_back(validate_utilization_model(*utilization_, range));
+  for (const auto& cp : providers_) {
+    reports.push_back(validate_throughput_curve(*cp.throughput, range));
+    reports.push_back(validate_demand_curve(*cp.demand, range));
+  }
+  return merge(std::move(reports));
+}
+
+}  // namespace subsidy::econ

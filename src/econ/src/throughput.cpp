@@ -1,0 +1,83 @@
+#include "subsidy/econ/throughput.hpp"
+
+#include <cmath>
+
+#include "subsidy/numerics/differentiate.hpp"
+#include "subsidy/numerics/tolerances.hpp"
+
+namespace subsidy::econ {
+
+double ThroughputCurve::derivative(double phi) const {
+  return num::central_difference([this](double x) { return rate(x); }, phi);
+}
+
+double ThroughputCurve::elasticity(double phi) const {
+  const double lambda = rate(phi);
+  if (lambda == 0.0) return 0.0;
+  return derivative(phi) * phi / lambda;
+}
+
+ExponentialThroughput::ExponentialThroughput(double beta, double lambda0)
+    : beta_(num::require_positive(beta, "ExponentialThroughput beta")),
+      lambda0_(num::require_positive(lambda0, "ExponentialThroughput lambda0")) {}
+
+double ExponentialThroughput::rate(double phi) const { return lambda0_ * std::exp(-beta_ * phi); }
+
+double ExponentialThroughput::derivative(double phi) const { return -beta_ * rate(phi); }
+
+double ExponentialThroughput::elasticity(double phi) const { return -beta_ * phi; }
+
+std::string ExponentialThroughput::name() const {
+  return "exp-throughput(beta=" + std::to_string(beta_) + ")";
+}
+
+std::unique_ptr<ThroughputCurve> ExponentialThroughput::clone() const {
+  return std::make_unique<ExponentialThroughput>(*this);
+}
+
+PowerLawThroughput::PowerLawThroughput(double beta, double lambda0)
+    : beta_(num::require_positive(beta, "PowerLawThroughput beta")),
+      lambda0_(num::require_positive(lambda0, "PowerLawThroughput lambda0")) {}
+
+double PowerLawThroughput::rate(double phi) const {
+  return lambda0_ * std::pow(1.0 + phi, -beta_);
+}
+
+double PowerLawThroughput::derivative(double phi) const {
+  return -beta_ * lambda0_ * std::pow(1.0 + phi, -beta_ - 1.0);
+}
+
+double PowerLawThroughput::elasticity(double phi) const { return -beta_ * phi / (1.0 + phi); }
+
+std::string PowerLawThroughput::name() const {
+  return "powerlaw-throughput(beta=" + std::to_string(beta_) + ")";
+}
+
+std::unique_ptr<ThroughputCurve> PowerLawThroughput::clone() const {
+  return std::make_unique<PowerLawThroughput>(*this);
+}
+
+DelayThroughput::DelayThroughput(double beta, double lambda0)
+    : beta_(num::require_positive(beta, "DelayThroughput beta")),
+      lambda0_(num::require_positive(lambda0, "DelayThroughput lambda0")) {}
+
+double DelayThroughput::rate(double phi) const { return lambda0_ / (1.0 + beta_ * phi); }
+
+double DelayThroughput::derivative(double phi) const {
+  const double denom = 1.0 + beta_ * phi;
+  return -lambda0_ * beta_ / (denom * denom);
+}
+
+double DelayThroughput::elasticity(double phi) const {
+  return -beta_ * phi / (1.0 + beta_ * phi);
+}
+
+std::string DelayThroughput::name() const {
+  return "delay-throughput(beta=" + std::to_string(beta_) + ")";
+}
+
+std::unique_ptr<ThroughputCurve> DelayThroughput::clone() const {
+  return std::make_unique<DelayThroughput>(*this);
+}
+
+}  // namespace subsidy::econ

@@ -1,0 +1,120 @@
+#include "subsidy/econ/utilization.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "subsidy/numerics/tolerances.hpp"
+
+namespace subsidy::econ {
+
+namespace {
+
+void check_args(double theta, double mu, const char* who) {
+  if (!(theta >= 0.0)) throw std::invalid_argument(std::string(who) + ": theta must be >= 0");
+  if (!(mu > 0.0)) throw std::invalid_argument(std::string(who) + ": mu must be > 0");
+}
+
+void check_phi(double phi, double mu, const char* who) {
+  if (!(phi >= 0.0)) throw std::invalid_argument(std::string(who) + ": phi must be >= 0");
+  if (!(mu > 0.0)) throw std::invalid_argument(std::string(who) + ": mu must be > 0");
+}
+
+}  // namespace
+
+double UtilizationModel::max_utilization() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+double LinearUtilization::utilization(double theta, double mu) const {
+  check_args(theta, mu, "LinearUtilization");
+  return theta / mu;
+}
+
+double LinearUtilization::inverse_throughput(double phi, double mu) const {
+  check_phi(phi, mu, "LinearUtilization");
+  return phi * mu;
+}
+
+double LinearUtilization::inverse_throughput_dphi(double phi, double mu) const {
+  check_phi(phi, mu, "LinearUtilization");
+  return mu;
+}
+
+double LinearUtilization::inverse_throughput_dmu(double phi, double mu) const {
+  check_phi(phi, mu, "LinearUtilization");
+  return phi;
+}
+
+std::string LinearUtilization::name() const { return "linear-utilization(theta/mu)"; }
+
+std::unique_ptr<UtilizationModel> LinearUtilization::clone() const {
+  return std::make_unique<LinearUtilization>(*this);
+}
+
+double DelayUtilization::utilization(double theta, double mu) const {
+  check_args(theta, mu, "DelayUtilization");
+  if (theta >= mu) {
+    throw std::domain_error("DelayUtilization: theta must be below capacity mu");
+  }
+  return theta / (mu - theta);
+}
+
+double DelayUtilization::inverse_throughput(double phi, double mu) const {
+  check_phi(phi, mu, "DelayUtilization");
+  return mu * phi / (1.0 + phi);
+}
+
+double DelayUtilization::inverse_throughput_dphi(double phi, double mu) const {
+  check_phi(phi, mu, "DelayUtilization");
+  const double denom = (1.0 + phi) * (1.0 + phi);
+  return mu / denom;
+}
+
+double DelayUtilization::inverse_throughput_dmu(double phi, double mu) const {
+  check_phi(phi, mu, "DelayUtilization");
+  return phi / (1.0 + phi);
+}
+
+std::string DelayUtilization::name() const { return "delay-utilization(theta/(mu-theta))"; }
+
+std::unique_ptr<UtilizationModel> DelayUtilization::clone() const {
+  return std::make_unique<DelayUtilization>(*this);
+}
+
+PowerUtilization::PowerUtilization(double gamma)
+    : gamma_(num::require_positive(gamma, "PowerUtilization gamma")) {}
+
+double PowerUtilization::utilization(double theta, double mu) const {
+  check_args(theta, mu, "PowerUtilization");
+  return std::pow(theta / mu, gamma_);
+}
+
+double PowerUtilization::inverse_throughput(double phi, double mu) const {
+  check_phi(phi, mu, "PowerUtilization");
+  return mu * std::pow(phi, 1.0 / gamma_);
+}
+
+double PowerUtilization::inverse_throughput_dphi(double phi, double mu) const {
+  check_phi(phi, mu, "PowerUtilization");
+  if (phi == 0.0) {
+    // One-sided limit: infinite slope for gamma > 1, mu for gamma == 1.
+    return gamma_ == 1.0 ? mu : (gamma_ > 1.0 ? std::numeric_limits<double>::infinity() : 0.0);
+  }
+  return mu * std::pow(phi, 1.0 / gamma_ - 1.0) / gamma_;
+}
+
+double PowerUtilization::inverse_throughput_dmu(double phi, double mu) const {
+  check_phi(phi, mu, "PowerUtilization");
+  return std::pow(phi, 1.0 / gamma_);
+}
+
+std::string PowerUtilization::name() const {
+  return "power-utilization(gamma=" + std::to_string(gamma_) + ")";
+}
+
+std::unique_ptr<UtilizationModel> PowerUtilization::clone() const {
+  return std::make_unique<PowerUtilization>(*this);
+}
+
+}  // namespace subsidy::econ

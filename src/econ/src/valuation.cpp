@@ -1,0 +1,157 @@
+#include "subsidy/econ/valuation.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "subsidy/numerics/differentiate.hpp"
+#include "subsidy/numerics/integrate.hpp"
+#include "subsidy/numerics/tolerances.hpp"
+
+namespace subsidy::econ {
+
+double ValuationDistribution::density(double w) const {
+  return -num::central_difference([this](double x) { return survival(x); }, w);
+}
+
+double ValuationDistribution::tail_integral(double t) const {
+  const double start = std::max(t, 0.0);
+  const num::IntegrateResult tail =
+      num::integrate_to_infinity([this](double x) { return survival(x); }, start);
+  if (!tail.converged) return std::numeric_limits<double>::infinity();
+  // Below zero the survival is 1: add the rectangle [t, 0).
+  return tail.value + (t < 0.0 ? -t : 0.0);
+}
+
+ExponentialValuation::ExponentialValuation(double rate)
+    : rate_(num::require_positive(rate, "ExponentialValuation rate")) {}
+
+double ExponentialValuation::survival(double w) const {
+  return w <= 0.0 ? 1.0 : std::exp(-rate_ * w);
+}
+
+double ExponentialValuation::density(double w) const {
+  return w <= 0.0 ? 0.0 : rate_ * std::exp(-rate_ * w);
+}
+
+double ExponentialValuation::tail_integral(double t) const {
+  if (t <= 0.0) return -t + 1.0 / rate_;
+  return std::exp(-rate_ * t) / rate_;
+}
+
+std::string ExponentialValuation::name() const {
+  return "exp-valuation(rate=" + std::to_string(rate_) + ")";
+}
+
+std::unique_ptr<ValuationDistribution> ExponentialValuation::clone() const {
+  return std::make_unique<ExponentialValuation>(*this);
+}
+
+UniformValuation::UniformValuation(double hi)
+    : hi_(num::require_positive(hi, "UniformValuation hi")) {}
+
+double UniformValuation::survival(double w) const {
+  if (w <= 0.0) return 1.0;
+  if (w >= hi_) return 0.0;
+  return 1.0 - w / hi_;
+}
+
+double UniformValuation::density(double w) const {
+  return (w <= 0.0 || w >= hi_) ? 0.0 : 1.0 / hi_;
+}
+
+double UniformValuation::tail_integral(double t) const {
+  if (t >= hi_) return 0.0;
+  if (t <= 0.0) return -t + 0.5 * hi_;
+  const double remaining = hi_ - t;
+  return 0.5 * survival(t) * remaining;
+}
+
+std::string UniformValuation::name() const {
+  return "uniform-valuation(hi=" + std::to_string(hi_) + ")";
+}
+
+std::unique_ptr<ValuationDistribution> UniformValuation::clone() const {
+  return std::make_unique<UniformValuation>(*this);
+}
+
+ParetoValuation::ParetoValuation(double scale, double shape)
+    : scale_(num::require_positive(scale, "ParetoValuation scale")),
+      shape_(num::require_positive(shape, "ParetoValuation shape")) {}
+
+double ParetoValuation::survival(double w) const {
+  if (w <= scale_) return 1.0;
+  return std::pow(scale_ / w, shape_);
+}
+
+double ParetoValuation::density(double w) const {
+  if (w <= scale_) return 0.0;
+  return shape_ * std::pow(scale_, shape_) * std::pow(w, -shape_ - 1.0);
+}
+
+double ParetoValuation::tail_integral(double t) const {
+  if (shape_ <= 1.0) return std::numeric_limits<double>::infinity();
+  const double start = std::max(t, scale_);
+  // int_start^inf (scale/w)^shape dw = scale^shape start^{1-shape}/(shape-1).
+  const double above = std::pow(scale_, shape_) * std::pow(start, 1.0 - shape_) /
+                       (shape_ - 1.0);
+  // Below the scale the survival is 1: rectangle [t, scale).
+  return above + (t < scale_ ? scale_ - std::max(t, 0.0) : 0.0) + (t < 0.0 ? -t : 0.0);
+}
+
+std::string ParetoValuation::name() const {
+  return "pareto-valuation(scale=" + std::to_string(scale_) +
+         ", shape=" + std::to_string(shape_) + ")";
+}
+
+std::unique_ptr<ValuationDistribution> ParetoValuation::clone() const {
+  return std::make_unique<ParetoValuation>(*this);
+}
+
+LognormalValuation::LognormalValuation(double mu, double sigma)
+    : mu_(num::require_finite(mu, "LognormalValuation mu")),
+      sigma_(num::require_positive(sigma, "LognormalValuation sigma")) {}
+
+double LognormalValuation::survival(double w) const {
+  if (w <= 0.0) return 1.0;
+  const double z = (std::log(w) - mu_) / sigma_;
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+std::string LognormalValuation::name() const {
+  return "lognormal-valuation(mu=" + std::to_string(mu_) +
+         ", sigma=" + std::to_string(sigma_) + ")";
+}
+
+std::unique_ptr<ValuationDistribution> LognormalValuation::clone() const {
+  return std::make_unique<LognormalValuation>(*this);
+}
+
+ValuationDemand::ValuationDemand(double population_size,
+                                 std::shared_ptr<const ValuationDistribution> distribution)
+    : population_size_(num::require_positive(population_size, "ValuationDemand population")),
+      distribution_(std::move(distribution)) {
+  if (!distribution_) throw std::invalid_argument("ValuationDemand: null distribution");
+}
+
+double ValuationDemand::population(double t) const {
+  return population_size_ * distribution_->survival(t);
+}
+
+double ValuationDemand::derivative(double t) const {
+  return -population_size_ * distribution_->density(t);
+}
+
+double ValuationDemand::surplus_integral(double t) const {
+  return population_size_ * distribution_->tail_integral(t);
+}
+
+std::string ValuationDemand::name() const {
+  return "valuation-demand(" + distribution_->name() + ")";
+}
+
+std::unique_ptr<DemandCurve> ValuationDemand::clone() const {
+  return std::make_unique<ValuationDemand>(*this);
+}
+
+}  // namespace subsidy::econ

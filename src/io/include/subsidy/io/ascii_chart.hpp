@@ -1,0 +1,31 @@
+// Terminal line charts. The figure-reproduction benches render each paper
+// figure as an ASCII chart so the qualitative shape (monotonicity, peaks,
+// crossovers) is visible directly in the bench output without plotting tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "subsidy/io/series.hpp"
+
+namespace subsidy::io {
+
+/// Options controlling chart geometry.
+struct ChartOptions {
+  int width = 72;    ///< Plot area columns (>= 16).
+  int height = 18;   ///< Plot area rows (>= 4).
+  bool legend = true;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders one or more series on a shared canvas. Each series gets a distinct
+/// glyph; the legend maps glyphs to names. Series may have different x grids.
+void render_chart(std::ostream& os, const std::vector<Series>& series,
+                  const ChartOptions& options = {});
+
+/// Single-series convenience overload.
+void render_chart(std::ostream& os, const Series& series, const ChartOptions& options = {});
+
+}  // namespace subsidy::io

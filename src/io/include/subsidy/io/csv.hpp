@@ -1,0 +1,34 @@
+// CSV output for sweep results, so the benchmark harness output can be loaded
+// into any plotting tool to redraw the paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "subsidy/io/series.hpp"
+
+namespace subsidy::io {
+
+/// Writes a SweepTable as CSV (header row + data rows).
+void write_csv(std::ostream& os, const SweepTable& table, int precision = 10);
+
+/// Writes multiple aligned series (shared x) as CSV: x, name1, name2, ...
+/// All series must have identical x vectors. Throws std::invalid_argument
+/// otherwise.
+void write_csv(std::ostream& os, const std::string& x_name, const std::vector<Series>& series,
+               int precision = 10);
+
+/// Writes a SweepTable to a file; creates/truncates. Throws std::runtime_error
+/// when the file cannot be opened.
+void write_csv_file(const std::string& path, const SweepTable& table, int precision = 10);
+
+/// Parses numeric CSV (one header row, comma-separated doubles) into a
+/// SweepTable. Throws std::runtime_error on ragged rows or non-numeric cells
+/// (with the offending line number in the message).
+[[nodiscard]] SweepTable read_csv(std::istream& is);
+
+/// File overload; throws std::runtime_error when the file cannot be opened.
+[[nodiscard]] SweepTable read_csv_file(const std::string& path);
+
+}  // namespace subsidy::io

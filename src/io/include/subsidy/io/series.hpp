@@ -1,0 +1,76 @@
+// Result containers for parameter sweeps: a named (x, y) series and a tabular
+// sweep with named columns. The benchmark harnesses fill these and hand them
+// to the CSV writer / console table / ASCII chart renderers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace subsidy::io {
+
+/// A named sequence of (x, y) points, e.g. one curve of a paper figure.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  Series() = default;
+  explicit Series(std::string series_name) : name(std::move(series_name)) {}
+
+  void add(double x_value, double y_value) {
+    x.push_back(x_value);
+    y.push_back(y_value);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+  [[nodiscard]] bool empty() const noexcept { return x.empty(); }
+
+  /// Index of the maximal y value. Throws std::logic_error when empty.
+  [[nodiscard]] std::size_t argmax() const;
+
+  /// Maximal y value. Throws std::logic_error when empty.
+  [[nodiscard]] double max_y() const;
+
+  /// Minimal y value. Throws std::logic_error when empty.
+  [[nodiscard]] double min_y() const;
+
+  /// True when y is non-increasing along the series (within slack).
+  [[nodiscard]] bool non_increasing(double slack = 0.0) const noexcept;
+
+  /// True when y is non-decreasing along the series (within slack).
+  [[nodiscard]] bool non_decreasing(double slack = 0.0) const noexcept;
+};
+
+/// A rectangular sweep result: one row per parameter point, named columns.
+class SweepTable {
+ public:
+  SweepTable() = default;
+  explicit SweepTable(std::vector<std::string> column_names);
+
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept { return columns_; }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const noexcept { return columns_.size(); }
+
+  /// Appends a row; must match the column count.
+  void add_row(std::vector<double> row);
+
+  [[nodiscard]] const std::vector<double>& row(std::size_t r) const;
+  [[nodiscard]] double cell(std::size_t r, std::size_t c) const;
+
+  /// Column index by name; throws std::out_of_range when absent.
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+
+  /// Extracts a column by name as a vector.
+  [[nodiscard]] std::vector<double> column(const std::string& name) const;
+
+  /// Builds a Series from two named columns.
+  [[nodiscard]] Series series(const std::string& x_column, const std::string& y_column,
+                              const std::string& series_name = "") const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace subsidy::io

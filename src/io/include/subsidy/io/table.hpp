@@ -1,0 +1,35 @@
+// Aligned console tables for benchmark and example output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "subsidy/io/series.hpp"
+
+namespace subsidy::io {
+
+/// Renders rows of strings as an aligned console table with a header rule.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 4);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by table/chart code).
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+/// Prints a SweepTable as an aligned console table.
+void print_table(std::ostream& os, const SweepTable& table, int precision = 4);
+
+}  // namespace subsidy::io

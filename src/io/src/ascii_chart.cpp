@@ -1,0 +1,109 @@
+#include "subsidy/io/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace subsidy::io {
+
+namespace {
+
+constexpr const char* glyphs = "*o+x#@%&$~";
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    if (!std::isfinite(v)) return;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+
+  [[nodiscard]] bool valid() const { return lo <= hi; }
+
+  [[nodiscard]] double span() const { return hi - lo; }
+};
+
+}  // namespace
+
+void render_chart(std::ostream& os, const std::vector<Series>& series,
+                  const ChartOptions& options) {
+  if (series.empty()) throw std::invalid_argument("render_chart: no series");
+  const int width = std::max(options.width, 16);
+  const int height = std::max(options.height, 4);
+
+  Range xr;
+  Range yr;
+  for (const auto& s : series) {
+    for (double v : s.x) xr.include(v);
+    for (double v : s.y) yr.include(v);
+  }
+  if (!xr.valid() || !yr.valid()) {
+    os << "(no finite data to chart)\n";
+    return;
+  }
+  if (xr.span() == 0.0) xr.hi = xr.lo + 1.0;
+  if (yr.span() == 0.0) {
+    yr.lo -= 0.5;
+    yr.hi += 0.5;
+  }
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = glyphs[si % 10];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      const double fx = (s.x[i] - xr.lo) / xr.span();
+      const double fy = (s.y[i] - yr.lo) / yr.span();
+      int col = static_cast<int>(std::lround(fx * (width - 1)));
+      int row = static_cast<int>(std::lround((1.0 - fy) * (height - 1)));
+      col = std::clamp(col, 0, width - 1);
+      row = std::clamp(row, 0, height - 1);
+      canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  auto label = [](double v) {
+    std::ostringstream ss;
+    ss << std::setw(10) << std::setprecision(4) << v;
+    return ss.str();
+  };
+
+  if (!options.y_label.empty()) os << options.y_label << "\n";
+  for (int row = 0; row < height; ++row) {
+    if (row == 0) {
+      os << label(yr.hi);
+    } else if (row == height - 1) {
+      os << label(yr.lo);
+    } else {
+      os << std::string(10, ' ');
+    }
+    os << " |" << canvas[static_cast<std::size_t>(row)] << "\n";
+  }
+  os << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(width), '-') << "\n";
+  os << std::string(12, ' ') << label(xr.lo) << std::string(std::max(1, width - 22), ' ')
+     << label(xr.hi);
+  if (!options.x_label.empty()) os << "  (" << options.x_label << ")";
+  os << "\n";
+  if (options.legend) {
+    os << std::string(12, ' ');
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      os << "[" << glyphs[si % 10] << "] " << series[si].name
+         << (si + 1 < series.size() ? "   " : "");
+    }
+    os << "\n";
+  }
+}
+
+void render_chart(std::ostream& os, const Series& series, const ChartOptions& options) {
+  render_chart(os, std::vector<Series>{series}, options);
+}
+
+}  // namespace subsidy::io

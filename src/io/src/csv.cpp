@@ -1,0 +1,106 @@
+#include "subsidy/io/csv.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+namespace subsidy::io {
+
+void write_csv(std::ostream& os, const SweepTable& table, int precision) {
+  const auto& cols = table.columns();
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    os << cols[c] << (c + 1 < cols.size() ? "," : "\n");
+  }
+  os << std::setprecision(precision);
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const auto& row = table.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << (c + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+void write_csv(std::ostream& os, const std::string& x_name, const std::vector<Series>& series,
+               int precision) {
+  if (series.empty()) throw std::invalid_argument("write_csv: no series");
+  const auto& x = series.front().x;
+  for (const auto& s : series) {
+    if (s.x != x) throw std::invalid_argument("write_csv: series x grids differ");
+  }
+  os << x_name;
+  for (const auto& s : series) os << "," << s.name;
+  os << "\n" << std::setprecision(precision);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    os << x[i];
+    for (const auto& s : series) os << "," << s.y[i];
+    os << "\n";
+  }
+}
+
+void write_csv_file(const std::string& path, const SweepTable& table, int precision) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("write_csv_file: cannot open '" + path + "'");
+  write_csv(file, table, precision);
+}
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char c : line) {
+    if (c == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+}  // namespace
+
+SweepTable read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) throw std::runtime_error("read_csv: empty input");
+  SweepTable table(split_line(line));
+
+  std::size_t line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split_line(line);
+    if (cells.size() != table.num_columns()) {
+      throw std::runtime_error("read_csv: line " + std::to_string(line_number) + " has " +
+                               std::to_string(cells.size()) + " cells, expected " +
+                               std::to_string(table.num_columns()));
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& cell : cells) {
+      try {
+        std::size_t consumed = 0;
+        const double value = std::stod(cell, &consumed);
+        if (consumed != cell.size()) throw std::invalid_argument(cell);
+        row.push_back(value);
+      } catch (const std::exception&) {
+        throw std::runtime_error("read_csv: non-numeric cell '" + cell + "' at line " +
+                                 std::to_string(line_number));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+SweepTable read_csv_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("read_csv_file: cannot open '" + path + "'");
+  return read_csv(file);
+}
+
+}  // namespace subsidy::io

@@ -1,0 +1,84 @@
+#include "subsidy/io/series.hpp"
+
+#include <algorithm>
+
+namespace subsidy::io {
+
+std::size_t Series::argmax() const {
+  if (empty()) throw std::logic_error("Series::argmax: empty series");
+  return static_cast<std::size_t>(
+      std::distance(y.begin(), std::max_element(y.begin(), y.end())));
+}
+
+double Series::max_y() const {
+  if (empty()) throw std::logic_error("Series::max_y: empty series");
+  return *std::max_element(y.begin(), y.end());
+}
+
+double Series::min_y() const {
+  if (empty()) throw std::logic_error("Series::min_y: empty series");
+  return *std::min_element(y.begin(), y.end());
+}
+
+bool Series::non_increasing(double slack) const noexcept {
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    if (y[i] > y[i - 1] + slack) return false;
+  }
+  return true;
+}
+
+bool Series::non_decreasing(double slack) const noexcept {
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    if (y[i] < y[i - 1] - slack) return false;
+  }
+  return true;
+}
+
+SweepTable::SweepTable(std::vector<std::string> column_names)
+    : columns_(std::move(column_names)) {
+  if (columns_.empty()) throw std::invalid_argument("SweepTable: need at least one column");
+}
+
+void SweepTable::add_row(std::vector<double> row) {
+  if (row.size() != columns_.size()) {
+    throw std::invalid_argument("SweepTable::add_row: expected " +
+                                std::to_string(columns_.size()) + " cells, got " +
+                                std::to_string(row.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<double>& SweepTable::row(std::size_t r) const {
+  if (r >= rows_.size()) throw std::out_of_range("SweepTable::row: index out of range");
+  return rows_[r];
+}
+
+double SweepTable::cell(std::size_t r, std::size_t c) const {
+  if (c >= columns_.size()) throw std::out_of_range("SweepTable::cell: column out of range");
+  return row(r)[c];
+}
+
+std::size_t SweepTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  throw std::out_of_range("SweepTable: no column named '" + name + "'");
+}
+
+std::vector<double> SweepTable::column(const std::string& name) const {
+  const std::size_t c = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[c]);
+  return out;
+}
+
+Series SweepTable::series(const std::string& x_column, const std::string& y_column,
+                          const std::string& series_name) const {
+  Series s(series_name.empty() ? y_column : series_name);
+  s.x = column(x_column);
+  s.y = column(y_column);
+  return s;
+}
+
+}  // namespace subsidy::io

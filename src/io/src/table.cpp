@@ -1,0 +1,62 @@
+#include "subsidy/io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace subsidy::io {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("ConsoleTable: need at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("ConsoleTable::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::add_numeric_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double c : cells) formatted.push_back(format_double(c, precision));
+  add_row(std::move(formatted));
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_table(std::ostream& os, const SweepTable& table, int precision) {
+  ConsoleTable console(table.columns());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    console.add_numeric_row(table.row(r), precision);
+  }
+  console.print(os);
+}
+
+}  // namespace subsidy::io

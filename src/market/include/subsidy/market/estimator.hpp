@@ -1,0 +1,62 @@
+// Calibration: recovering the exponential-family market parameters
+// (alpha_i, beta_i, v_i, scales) from a usage trace by ordinary least squares
+// in log space:
+//
+//   log m_i = log(scale_i) - alpha_i * t     (records of provider i)
+//   log lambda_i = log(lambda0_i) - beta_i * phi
+//   v_i ~ mean(content_profit / total_volume)
+//
+// This closes the paper's "no market data" gap end-to-end: trace ->
+// estimation -> model -> policy analysis.
+#pragma once
+
+#include <vector>
+
+#include "subsidy/econ/market.hpp"
+#include "subsidy/market/traces.hpp"
+
+namespace subsidy::market {
+
+/// Per-provider estimation result with goodness-of-fit diagnostics.
+struct EstimatedCp {
+  std::size_t provider = 0;
+  double alpha = 0.0;
+  double demand_scale = 0.0;
+  double demand_r_squared = 0.0;
+  double beta = 0.0;
+  double lambda0 = 0.0;
+  double throughput_r_squared = 0.0;
+  double profitability = 0.0;
+  std::size_t observations = 0;
+};
+
+/// Fits every provider in a trace. Throws std::invalid_argument when a
+/// provider has fewer than `min_observations` usable records.
+class ParameterEstimator {
+ public:
+  explicit ParameterEstimator(std::size_t min_observations = 8);
+
+  [[nodiscard]] std::vector<EstimatedCp> fit(const std::vector<UsageRecord>& trace) const;
+
+  /// Builds a ready-to-use exponential market from estimates (Phi = theta/mu;
+  /// the capacity must be supplied — it is the ISP's own known quantity).
+  [[nodiscard]] econ::Market build_market(const std::vector<EstimatedCp>& estimates,
+                                          double capacity) const;
+
+ private:
+  std::size_t min_observations_;
+};
+
+/// Relative estimation errors against a ground-truth market (testing aid).
+struct EstimationError {
+  double max_alpha_error = 0.0;   ///< max_i |alpha_hat - alpha| / alpha.
+  double max_beta_error = 0.0;
+  double max_profit_error = 0.0;
+};
+
+/// Compares estimates against a ground-truth exponential market. Throws when
+/// the ground truth is not of the exponential family.
+[[nodiscard]] EstimationError compare_estimates(const econ::Market& ground_truth,
+                                                const std::vector<EstimatedCp>& estimates);
+
+}  // namespace subsidy::market

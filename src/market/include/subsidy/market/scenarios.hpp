@@ -1,0 +1,57 @@
+// Canonical market scenarios: the two parameterizations used by the paper's
+// numerical evaluations, plus a seeded random market generator for
+// property-based testing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "subsidy/econ/market.hpp"
+#include "subsidy/numerics/rng.hpp"
+
+namespace subsidy::market {
+
+/// Section 3 example (Figures 4-5): Phi = theta/mu, mu = 1, nine CP classes
+/// with (alpha_i, beta_i) drawn from {1, 3, 5} x {1, 3, 5},
+/// m_i = e^{-alpha_i t}, lambda_i = e^{-beta_i phi}. Profitabilities are not
+/// used in Section 3; they default to 1 so the market also works in game
+/// experiments. Order: row-major over (alpha, beta).
+[[nodiscard]] econ::Market section3_market();
+
+/// Section 5 example (Figures 7-11): mu = 1, eight CP classes with
+/// alpha_i, beta_i in {2, 5} and v_i in {0.5, 1}. Order: row-major over
+/// (v, alpha, beta) with v slowest, matching the paper's 2 x 4 panel layout
+/// (upper row v = 0.5, lower row v = 1).
+[[nodiscard]] econ::Market section5_market();
+
+/// The parameter tuple behind each provider of the canonical scenarios.
+struct CpParameters {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double profitability = 0.0;
+};
+
+/// Parameters of the section 3 market, in provider order.
+[[nodiscard]] std::vector<CpParameters> section3_parameters();
+
+/// Parameters of the section 5 market, in provider order.
+[[nodiscard]] std::vector<CpParameters> section5_parameters();
+
+/// Bounds for random market generation.
+struct RandomMarketSpec {
+  std::size_t min_providers = 2;
+  std::size_t max_providers = 8;
+  double alpha_min = 0.5;
+  double alpha_max = 6.0;
+  double beta_min = 0.5;
+  double beta_max = 6.0;
+  double profit_min = 0.25;
+  double profit_max = 2.0;
+  double capacity_min = 0.5;
+  double capacity_max = 2.0;
+};
+
+/// Seeded random exponential-family market (Phi = theta/mu).
+[[nodiscard]] econ::Market random_market(num::Rng& rng, const RandomMarketSpec& spec = {});
+
+}  // namespace subsidy::market

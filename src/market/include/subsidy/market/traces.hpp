@@ -1,0 +1,60 @@
+// Synthetic market-data generation.
+//
+// The paper (Section 6) notes that no market data exists to calibrate CP
+// characteristics — "with the emerging sponsored data plan from AT&T, we
+// expect this type of market data could be available". This module plays the
+// role of that future dataset: it simulates an ISP's measurement pipeline
+// over an observation window in which the posted price varies, producing
+// noisy per-provider usage records from which the estimator recovers the
+// model parameters (ground truth known => recovery is testable).
+#pragma once
+
+#include <vector>
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/econ/market.hpp"
+#include "subsidy/numerics/rng.hpp"
+
+namespace subsidy::market {
+
+/// One observation period (a "billing day") for one provider.
+struct UsageRecord {
+  int day = 0;
+  std::size_t provider = 0;
+  double posted_price = 0.0;      ///< ISP price p in effect.
+  double subsidy = 0.0;           ///< Provider's subsidy that day.
+  double effective_price = 0.0;   ///< t = p - s, what users paid.
+  double utilization = 0.0;       ///< Measured system utilization (noisy).
+  double active_users = 0.0;      ///< Measured population (noisy).
+  double per_user_volume = 0.0;   ///< Measured per-user throughput (noisy).
+  double total_volume = 0.0;      ///< active_users * per_user_volume.
+  double content_profit = 0.0;    ///< Provider's reported gross profit (noisy).
+};
+
+/// Noise / schedule configuration for the generator.
+struct TraceConfig {
+  int days = 120;
+  double price_min = 0.2;         ///< The posted price wanders in this band...
+  double price_max = 1.8;
+  double measurement_noise = 0.05;  ///< Lognormal sigma on every measurement.
+  bool randomize_subsidies = false; ///< Jitter subsidies (exercises t != p data).
+  double subsidy_max = 0.5;         ///< Max jittered subsidy when enabled.
+};
+
+/// Generates a full observation window over the given ground-truth market:
+/// each day draws a posted price, solves the utilization equilibrium and
+/// emits one noisy record per provider.
+[[nodiscard]] std::vector<UsageRecord> generate_trace(const econ::Market& ground_truth,
+                                                      const TraceConfig& config,
+                                                      num::Rng& rng);
+
+/// Persists a trace as CSV (one row per record, stable column set).
+void write_trace_csv(std::ostream& os, const std::vector<UsageRecord>& trace);
+void write_trace_csv_file(const std::string& path, const std::vector<UsageRecord>& trace);
+
+/// Loads a trace written by write_trace_csv. Throws std::runtime_error on
+/// malformed input (missing columns, non-numeric cells).
+[[nodiscard]] std::vector<UsageRecord> read_trace_csv(std::istream& is);
+[[nodiscard]] std::vector<UsageRecord> read_trace_csv_file(const std::string& path);
+
+}  // namespace subsidy::market

@@ -1,0 +1,110 @@
+#include "subsidy/market/estimator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "subsidy/numerics/stats.hpp"
+
+namespace subsidy::market {
+
+ParameterEstimator::ParameterEstimator(std::size_t min_observations)
+    : min_observations_(min_observations) {
+  if (min_observations_ < 3) {
+    throw std::invalid_argument("ParameterEstimator: need at least 3 observations");
+  }
+}
+
+std::vector<EstimatedCp> ParameterEstimator::fit(const std::vector<UsageRecord>& trace) const {
+  if (trace.empty()) throw std::invalid_argument("ParameterEstimator: empty trace");
+
+  std::size_t n = 0;
+  for (const auto& rec : trace) n = std::max(n, rec.provider + 1);
+
+  std::vector<EstimatedCp> estimates;
+  estimates.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> t;            // effective price
+    std::vector<double> log_m;        // log active users
+    std::vector<double> phi;          // measured utilization
+    std::vector<double> log_lambda;   // log per-user volume
+    std::vector<double> profit_rate;  // profit per unit volume
+    for (const auto& rec : trace) {
+      if (rec.provider != i) continue;
+      if (rec.active_users <= 0.0 || rec.per_user_volume <= 0.0) continue;
+      t.push_back(rec.effective_price);
+      log_m.push_back(std::log(rec.active_users));
+      phi.push_back(rec.utilization);
+      log_lambda.push_back(std::log(rec.per_user_volume));
+      if (rec.total_volume > 0.0) profit_rate.push_back(rec.content_profit / rec.total_volume);
+    }
+    if (t.size() < min_observations_) {
+      throw std::invalid_argument("ParameterEstimator: provider " + std::to_string(i) +
+                                  " has only " + std::to_string(t.size()) + " usable records");
+    }
+
+    // log m = log(scale) - alpha * t.
+    const num::LinearFit demand_fit = num::fit_linear(t, log_m);
+    // log lambda = log(lambda0) - beta * phi.
+    const num::LinearFit throughput_fit = num::fit_linear(phi, log_lambda);
+
+    EstimatedCp est;
+    est.provider = i;
+    est.alpha = -demand_fit.slope;
+    est.demand_scale = std::exp(demand_fit.intercept);
+    est.demand_r_squared = demand_fit.r_squared;
+    est.beta = -throughput_fit.slope;
+    est.lambda0 = std::exp(throughput_fit.intercept);
+    est.throughput_r_squared = throughput_fit.r_squared;
+    est.profitability = profit_rate.empty() ? 0.0 : num::mean(profit_rate);
+    est.observations = t.size();
+    estimates.push_back(est);
+  }
+  return estimates;
+}
+
+econ::Market ParameterEstimator::build_market(const std::vector<EstimatedCp>& estimates,
+                                              double capacity) const {
+  if (estimates.empty()) throw std::invalid_argument("build_market: no estimates");
+  std::vector<econ::ContentProviderSpec> providers;
+  providers.reserve(estimates.size());
+  for (const auto& est : estimates) {
+    if (est.alpha <= 0.0 || est.beta <= 0.0) {
+      throw std::invalid_argument("build_market: provider " + std::to_string(est.provider) +
+                                  " has non-positive fitted elasticity");
+    }
+    econ::ContentProviderSpec cp;
+    cp.name = "estimated-cp" + std::to_string(est.provider);
+    cp.demand = std::make_shared<econ::ExponentialDemand>(est.alpha, est.demand_scale);
+    cp.throughput = std::make_shared<econ::ExponentialThroughput>(est.beta, est.lambda0);
+    cp.profitability = std::max(0.0, est.profitability);
+    providers.push_back(std::move(cp));
+  }
+  return econ::Market(econ::IspSpec{capacity}, std::make_shared<econ::LinearUtilization>(),
+                      std::move(providers));
+}
+
+EstimationError compare_estimates(const econ::Market& ground_truth,
+                                  const std::vector<EstimatedCp>& estimates) {
+  EstimationError err;
+  for (const auto& est : estimates) {
+    const auto& cp = ground_truth.provider(est.provider);
+    const auto* demand = dynamic_cast<const econ::ExponentialDemand*>(cp.demand.get());
+    const auto* throughput =
+        dynamic_cast<const econ::ExponentialThroughput*>(cp.throughput.get());
+    if (!demand || !throughput) {
+      throw std::invalid_argument("compare_estimates: ground truth is not exponential-family");
+    }
+    err.max_alpha_error =
+        std::max(err.max_alpha_error, std::fabs(est.alpha - demand->alpha()) / demand->alpha());
+    err.max_beta_error = std::max(err.max_beta_error,
+                                  std::fabs(est.beta - throughput->beta()) / throughput->beta());
+    if (cp.profitability > 0.0) {
+      err.max_profit_error =
+          std::max(err.max_profit_error,
+                   std::fabs(est.profitability - cp.profitability) / cp.profitability);
+    }
+  }
+  return err;
+}
+
+}  // namespace subsidy::market

@@ -1,0 +1,64 @@
+#include "subsidy/market/scenarios.hpp"
+
+namespace subsidy::market {
+
+std::vector<CpParameters> section3_parameters() {
+  std::vector<CpParameters> params;
+  for (double alpha : {1.0, 3.0, 5.0}) {
+    for (double beta : {1.0, 3.0, 5.0}) {
+      params.push_back({alpha, beta, 1.0});
+    }
+  }
+  return params;
+}
+
+std::vector<CpParameters> section5_parameters() {
+  std::vector<CpParameters> params;
+  // Upper panel row first (v = 0.5), then the high-value row (v = 1), with
+  // alpha varying slower than beta inside each row — matching the paper's
+  // left-to-right, top-to-bottom panel order.
+  for (double v : {0.5, 1.0}) {
+    for (double alpha : {2.0, 5.0}) {
+      for (double beta : {2.0, 5.0}) {
+        params.push_back({alpha, beta, v});
+      }
+    }
+  }
+  return params;
+}
+
+namespace {
+
+econ::Market from_parameters(double capacity, const std::vector<CpParameters>& params) {
+  std::vector<double> alphas;
+  std::vector<double> betas;
+  std::vector<double> profits;
+  for (const auto& p : params) {
+    alphas.push_back(p.alpha);
+    betas.push_back(p.beta);
+    profits.push_back(p.profitability);
+  }
+  return econ::Market::exponential(capacity, alphas, betas, profits);
+}
+
+}  // namespace
+
+econ::Market section3_market() { return from_parameters(1.0, section3_parameters()); }
+
+econ::Market section5_market() { return from_parameters(1.0, section5_parameters()); }
+
+econ::Market random_market(num::Rng& rng, const RandomMarketSpec& spec) {
+  const std::size_t n = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<int>(spec.min_providers), static_cast<int>(spec.max_providers)));
+  std::vector<CpParameters> params;
+  params.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    params.push_back({rng.uniform(spec.alpha_min, spec.alpha_max),
+                      rng.uniform(spec.beta_min, spec.beta_max),
+                      rng.uniform(spec.profit_min, spec.profit_max)});
+  }
+  const double capacity = rng.uniform(spec.capacity_min, spec.capacity_max);
+  return from_parameters(capacity, params);
+}
+
+}  // namespace subsidy::market

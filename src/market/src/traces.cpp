@@ -1,0 +1,117 @@
+#include "subsidy/market/traces.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "subsidy/io/csv.hpp"
+
+namespace subsidy::market {
+
+std::vector<UsageRecord> generate_trace(const econ::Market& ground_truth,
+                                        const TraceConfig& config, num::Rng& rng) {
+  if (config.days < 1) throw std::invalid_argument("generate_trace: need >= 1 day");
+  if (config.measurement_noise < 0.0) {
+    throw std::invalid_argument("generate_trace: noise must be >= 0");
+  }
+  const core::ModelEvaluator evaluator(ground_truth);
+  const std::size_t n = ground_truth.num_providers();
+
+  std::vector<UsageRecord> trace;
+  trace.reserve(static_cast<std::size_t>(config.days) * n);
+
+  auto noisy = [&](double value) {
+    if (config.measurement_noise == 0.0) return value;
+    return value * rng.lognormal(0.0, config.measurement_noise);
+  };
+
+  double phi_hint = -1.0;
+  for (int day = 0; day < config.days; ++day) {
+    // The posted price wanders over the observation band; spreading prices
+    // across the band is what makes the demand regression identifiable.
+    const double price = rng.uniform(config.price_min, config.price_max);
+    std::vector<double> subsidies(n, 0.0);
+    if (config.randomize_subsidies) {
+      for (auto& s : subsidies) s = rng.uniform(0.0, config.subsidy_max);
+    }
+    const core::SystemState state = evaluator.evaluate(price, subsidies, phi_hint);
+    phi_hint = state.utilization;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      UsageRecord rec;
+      rec.day = day;
+      rec.provider = i;
+      rec.posted_price = price;
+      rec.subsidy = subsidies[i];
+      rec.effective_price = price - subsidies[i];
+      rec.utilization = noisy(state.utilization);
+      rec.active_users = noisy(state.providers[i].population);
+      rec.per_user_volume = noisy(state.providers[i].per_user_rate);
+      rec.total_volume = rec.active_users * rec.per_user_volume;
+      rec.content_profit =
+          noisy(ground_truth.provider(i).profitability * state.providers[i].throughput);
+      trace.push_back(rec);
+    }
+  }
+  return trace;
+}
+
+namespace {
+
+const std::vector<std::string>& trace_columns() {
+  static const std::vector<std::string> columns{
+      "day",           "provider",   "posted_price",    "subsidy",
+      "effective_price", "utilization", "active_users",  "per_user_volume",
+      "total_volume",  "content_profit"};
+  return columns;
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& os, const std::vector<UsageRecord>& trace) {
+  io::SweepTable table(trace_columns());
+  for (const auto& r : trace) {
+    table.add_row({static_cast<double>(r.day), static_cast<double>(r.provider),
+                   r.posted_price, r.subsidy, r.effective_price, r.utilization,
+                   r.active_users, r.per_user_volume, r.total_volume, r.content_profit});
+  }
+  io::write_csv(os, table, 12);
+}
+
+void write_trace_csv_file(const std::string& path, const std::vector<UsageRecord>& trace) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("write_trace_csv_file: cannot open '" + path + "'");
+  write_trace_csv(file, trace);
+}
+
+std::vector<UsageRecord> read_trace_csv(std::istream& is) {
+  const io::SweepTable table = io::read_csv(is);
+  for (const auto& column : trace_columns()) {
+    (void)table.column_index(column);  // throws std::out_of_range when missing
+  }
+  std::vector<UsageRecord> trace;
+  trace.reserve(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    UsageRecord rec;
+    rec.day = static_cast<int>(table.cell(r, table.column_index("day")));
+    rec.provider = static_cast<std::size_t>(table.cell(r, table.column_index("provider")));
+    rec.posted_price = table.cell(r, table.column_index("posted_price"));
+    rec.subsidy = table.cell(r, table.column_index("subsidy"));
+    rec.effective_price = table.cell(r, table.column_index("effective_price"));
+    rec.utilization = table.cell(r, table.column_index("utilization"));
+    rec.active_users = table.cell(r, table.column_index("active_users"));
+    rec.per_user_volume = table.cell(r, table.column_index("per_user_volume"));
+    rec.total_volume = table.cell(r, table.column_index("total_volume"));
+    rec.content_profit = table.cell(r, table.column_index("content_profit"));
+    trace.push_back(rec);
+  }
+  return trace;
+}
+
+std::vector<UsageRecord> read_trace_csv_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("read_trace_csv_file: cannot open '" + path + "'");
+  return read_trace_csv(file);
+}
+
+}  // namespace subsidy::market

@@ -1,0 +1,39 @@
+// Damped fixed-point iteration for scalar and vector maps.
+//
+// Used by the off-equilibrium market dynamics simulator and as an alternative
+// inner solver for the utilization equilibrium (the default solver uses the
+// gap-function root formulation, which is globally safe; see roots.hpp).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "subsidy/numerics/tolerances.hpp"
+
+namespace subsidy::num {
+
+/// Outcome of a fixed-point iteration x* = f(x*).
+struct FixedPointResult {
+  std::vector<double> point;  ///< Final iterate (size 1 for scalar maps).
+  int iterations = 0;
+  bool converged = false;
+  double residual = 0.0;  ///< max-abs of f(x) - x at the final iterate.
+};
+
+/// Options for fixed-point iterations.
+struct FixedPointOptions {
+  double tol = default_iter_tol;  ///< Convergence on max|f(x) - x|.
+  int max_iterations = 10000;
+  double damping = 1.0;  ///< x <- (1-d) x + d f(x); d in (0, 1].
+};
+
+/// Scalar damped fixed-point iteration.
+[[nodiscard]] FixedPointResult fixed_point_scalar(const std::function<double(double)>& f,
+                                                  double x0, const FixedPointOptions& options = {});
+
+/// Vector damped fixed-point iteration.
+[[nodiscard]] FixedPointResult fixed_point_vector(
+    const std::function<std::vector<double>(const std::vector<double>&)>& f,
+    std::vector<double> x0, const FixedPointOptions& options = {});
+
+}  // namespace subsidy::num

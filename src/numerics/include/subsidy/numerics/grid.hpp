@@ -1,0 +1,33 @@
+// Grid construction helpers for parameter sweeps.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace subsidy::num {
+
+/// `count` evenly spaced points from lo to hi inclusive. count >= 2, or
+/// count == 1 returning {lo}.
+[[nodiscard]] inline std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  if (count == 0) throw std::invalid_argument("linspace: count must be >= 1");
+  if (count == 1) return {lo};
+  std::vector<double> out;
+  out.reserve(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(lo + step * static_cast<double>(i));
+  }
+  out.back() = hi;  // exact endpoint despite rounding
+  return out;
+}
+
+/// `count` log-spaced points from lo to hi inclusive; requires 0 < lo <= hi.
+[[nodiscard]] inline std::vector<double> logspace(double lo, double hi, std::size_t count) {
+  if (lo <= 0.0 || hi < lo) throw std::invalid_argument("logspace: need 0 < lo <= hi");
+  auto logs = linspace(std::log(lo), std::log(hi), count);
+  for (auto& x : logs) x = std::exp(x);
+  return logs;
+}
+
+}  // namespace subsidy::num

@@ -1,0 +1,42 @@
+// Numerical quadrature: adaptive Simpson on finite intervals and a
+// tail-truncating wrapper for integrals over [a, inf) of decaying functions.
+//
+// Used by the welfare decomposition: consumer surplus is the integral of the
+// demand curve above the effective price, which is finite exactly when the
+// demand tail decays fast enough (Assumption 2 guarantees decay, not
+// integrability — the wrapper reports divergence instead of looping).
+#pragma once
+
+#include <functional>
+
+namespace subsidy::num {
+
+/// Outcome of a quadrature call.
+struct IntegrateResult {
+  double value = 0.0;
+  double error_estimate = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+/// Options for the adaptive Simpson integrator.
+struct IntegrateOptions {
+  double tolerance = 1e-10;  ///< Absolute tolerance on the interval estimate.
+  int max_depth = 40;        ///< Recursion depth cap.
+};
+
+/// Adaptive Simpson quadrature of f over [a, b] (a <= b required).
+[[nodiscard]] IntegrateResult integrate(const std::function<double(double)>& f, double a,
+                                        double b, const IntegrateOptions& options = {});
+
+/// Integral of a non-negative decaying f over [a, inf): sums panels of
+/// doubling width until a panel contributes less than `tail_tolerance`.
+/// Reports converged = false (value = best partial sum) when the tail fails
+/// to die off within `max_panels` panels — the caller decides whether to
+/// treat that as divergence.
+[[nodiscard]] IntegrateResult integrate_to_infinity(const std::function<double(double)>& f,
+                                                    double a, double tail_tolerance = 1e-10,
+                                                    int max_panels = 64,
+                                                    const IntegrateOptions& options = {});
+
+}  // namespace subsidy::num

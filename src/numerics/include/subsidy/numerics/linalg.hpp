@@ -1,0 +1,128 @@
+// Small dense linear algebra: vectors, row-major matrices and an LU
+// decomposition with partial pivoting.
+//
+// The equilibrium sensitivity analysis of Theorem 6 inverts the Jacobian of
+// the interior players' marginal utilities — a dense matrix whose order is
+// the number of content-provider classes (single digits in the paper's
+// evaluation). The implementation therefore favours clarity and numerical
+// robustness over asymptotic tricks.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace subsidy::num {
+
+using Vector = std::vector<double>;
+
+/// Euclidean inner product. Throws std::invalid_argument on size mismatch.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(const Vector& v) noexcept;
+
+/// Max-abs norm.
+[[nodiscard]] double norm_inf(const Vector& v) noexcept;
+
+/// Componentwise a + scale * b. Throws on size mismatch.
+[[nodiscard]] Vector axpy(const Vector& a, double scale, const Vector& b);
+
+/// Componentwise difference a - b. Throws on size mismatch.
+[[nodiscard]] Vector subtract(const Vector& a, const Vector& b);
+
+/// Max-abs distance between two vectors. Throws on size mismatch.
+[[nodiscard]] double distance_inf(const Vector& a, const Vector& b);
+
+/// Clamps every component of v into [lo, hi].
+[[nodiscard]] Vector clamp(const Vector& v, double lo, double hi);
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Construction from nested initializer lists; all rows must agree in size.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] bool square() const noexcept { return rows_ == cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c);
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const;
+
+  /// Bounds-checked access; throws std::out_of_range.
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Vector row(std::size_t r) const;
+  [[nodiscard]] Vector col(std::size_t c) const;
+
+  /// Principal submatrix selecting the given row/column indices (in order).
+  [[nodiscard]] Matrix principal_submatrix(const std::vector<std::size_t>& indices) const;
+
+  /// Matrix-vector product. Throws on size mismatch.
+  [[nodiscard]] Vector multiply(const Vector& v) const;
+
+  /// Matrix-matrix product. Throws on size mismatch.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  [[nodiscard]] Matrix scaled(double factor) const;
+  [[nodiscard]] Matrix plus(const Matrix& other) const;
+  [[nodiscard]] Matrix minus(const Matrix& other) const;
+
+  /// Max-abs entry.
+  [[nodiscard]] double norm_max() const noexcept;
+
+  friend std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU decomposition with partial pivoting (Doolittle). Construction performs
+/// the factorization once; solve/inverse/determinant reuse it.
+class LuDecomposition {
+ public:
+  /// Factorizes `a`. Throws std::invalid_argument when `a` is not square.
+  explicit LuDecomposition(const Matrix& a);
+
+  /// True when a pivot below `tol` was met (matrix numerically singular).
+  [[nodiscard]] bool singular(double tol = 1e-13) const noexcept;
+
+  /// Solves A x = b. Throws std::runtime_error when singular.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// A^{-1}. Throws std::runtime_error when singular.
+  [[nodiscard]] Matrix inverse() const;
+
+  /// det(A) including the pivot sign.
+  [[nodiscard]] double determinant() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  Matrix lu_;
+  std::vector<std::size_t> pivot_;
+  int pivot_sign_ = 1;
+  double min_pivot_ = 0.0;
+};
+
+/// Convenience wrappers over LuDecomposition.
+[[nodiscard]] Vector solve_linear_system(const Matrix& a, const Vector& b);
+[[nodiscard]] Matrix invert(const Matrix& a);
+[[nodiscard]] double determinant(const Matrix& a);
+
+}  // namespace subsidy::num

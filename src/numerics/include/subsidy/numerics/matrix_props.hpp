@@ -1,0 +1,45 @@
+// Matrix-class predicates from the paper's equilibrium theory.
+//
+// Theorem 4 requires -u to be a P-function (its Jacobian a P-matrix on the
+// relevant domain); Corollary 1 additionally requires off-diagonal
+// monotonicity, making the negated Jacobian an M-matrix (Leontief type).
+// These predicates let the library *check* those hypotheses on concrete
+// markets instead of assuming them.
+#pragma once
+
+#include <vector>
+
+#include "subsidy/numerics/linalg.hpp"
+
+namespace subsidy::num {
+
+/// True when every entry is finite.
+[[nodiscard]] bool all_finite(const Matrix& m) noexcept;
+
+/// P-matrix: every principal minor is strictly positive. Exponential in the
+/// order (2^n minors) — fine for the single-digit player counts used here.
+/// `tol` guards against calling a numerically-zero minor positive.
+[[nodiscard]] bool is_p_matrix(const Matrix& m, double tol = 1e-12);
+
+/// Z-matrix: all off-diagonal entries <= tol.
+[[nodiscard]] bool is_z_matrix(const Matrix& m, double tol = 1e-12);
+
+/// (Nonsingular) M-matrix: a Z-matrix that is also a P-matrix.
+[[nodiscard]] bool is_m_matrix(const Matrix& m, double tol = 1e-12);
+
+/// Strict row diagonal dominance: |a_ii| > sum_{j != i} |a_ij| for all i.
+[[nodiscard]] bool is_strictly_diagonally_dominant(const Matrix& m) noexcept;
+
+/// Symmetric part (M + M^T) / 2.
+[[nodiscard]] Matrix symmetric_part(const Matrix& m);
+
+/// True when the symmetric part of m is positive definite (checked via
+/// principal minors on the symmetric part). A sufficient condition for the
+/// P-matrix property that is cheap to interpret.
+[[nodiscard]] bool is_positive_definite_symmetric_part(const Matrix& m, double tol = 1e-12);
+
+/// Spectral radius estimate by power iteration on |m| (entrywise absolute
+/// values); used to reason about convergence of best-response dynamics.
+[[nodiscard]] double spectral_radius_estimate(const Matrix& m, int iterations = 200);
+
+}  // namespace subsidy::num

@@ -1,0 +1,50 @@
+// Scalar optimization on closed intervals.
+//
+// Used for (a) each content provider's best-response subsidy, which maximizes
+// a one-dimensional utility over [0, min(q, v_i)], and (b) the ISP's
+// revenue-maximizing price. Both objective families are smooth but not
+// guaranteed concave, so the public entry point combines a coarse grid scan
+// (global view) with golden-section refinement (local polish).
+#pragma once
+
+#include <functional>
+
+#include "subsidy/numerics/tolerances.hpp"
+
+namespace subsidy::num {
+
+/// Outcome of a scalar maximization.
+struct MaximizeResult {
+  double arg = 0.0;        ///< Maximizing argument.
+  double value = 0.0;      ///< Objective value at `arg`.
+  int evaluations = 0;     ///< Number of objective evaluations.
+  bool converged = false;  ///< True when the argument tolerance was met.
+};
+
+/// Options for scalar maximization.
+struct MaximizeOptions {
+  double x_tol = default_opt_tol;  ///< Argument resolution of the refinement.
+  int grid_points = 33;            ///< Coarse scan density (>= 2).
+  int max_iterations = 200;        ///< Refinement iteration cap.
+};
+
+/// Golden-section search for the maximum of f on [lo, hi]. Assumes f is
+/// unimodal on the interval; on multimodal inputs it converges to *a* local
+/// maximum inside the bracket.
+[[nodiscard]] MaximizeResult golden_section_maximize(const std::function<double(double)>& f,
+                                                     double lo, double hi,
+                                                     const MaximizeOptions& options = {});
+
+/// Grid scan over [lo, hi] followed by golden-section refinement around the
+/// best grid cell. Robust default for the smooth, possibly multimodal
+/// objectives in this library. Endpoints are always candidates.
+[[nodiscard]] MaximizeResult grid_refine_maximize(const std::function<double(double)>& f,
+                                                  double lo, double hi,
+                                                  const MaximizeOptions& options = {});
+
+/// Minimization adapters (negate the objective).
+[[nodiscard]] MaximizeResult grid_refine_minimize(const std::function<double(double)>& f,
+                                                  double lo, double hi,
+                                                  const MaximizeOptions& options = {});
+
+}  // namespace subsidy::num

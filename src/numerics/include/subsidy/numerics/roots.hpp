@@ -1,0 +1,68 @@
+// Scalar root finding: bracketing, bisection and Brent's method.
+//
+// The core model solves the utilization fixed point of Lemma 1 by finding the
+// unique zero of the strictly increasing gap function g(phi); these routines
+// are the workhorse underneath every equilibrium evaluation in the library.
+#pragma once
+
+#include <functional>
+
+#include "subsidy/numerics/tolerances.hpp"
+
+namespace subsidy::num {
+
+/// Outcome of a scalar root search.
+struct RootResult {
+  double root = 0.0;       ///< Argument at which |f| is (approximately) zero.
+  double f_root = 0.0;     ///< Residual f(root).
+  int iterations = 0;      ///< Iterations consumed.
+  bool converged = false;  ///< True when the tolerance was met.
+
+  /// Returns the root, throwing std::runtime_error when not converged.
+  [[nodiscard]] double value_or_throw() const;
+};
+
+/// Options controlling the scalar root finders.
+struct RootOptions {
+  double x_tol = default_root_tol;  ///< Absolute tolerance on the bracket width.
+  double f_tol = 0.0;               ///< Early-exit tolerance on |f| (0 = disabled).
+  int max_iterations = 200;
+};
+
+/// A sign-changing bracket [lo, hi] with the function values at the ends.
+struct Bracket {
+  double lo = 0.0;
+  double hi = 0.0;
+  double f_lo = 0.0;
+  double f_hi = 0.0;
+  bool valid = false;  ///< True when f_lo and f_hi have opposite signs.
+};
+
+/// Expands `hi` geometrically (factor `growth`) from `lo + initial_width`
+/// until f changes sign or `max_expansions` is hit. Requires f(lo) != 0 sign
+/// to be meaningful; if f(lo) == 0 the bracket degenerates to [lo, lo].
+///
+/// Designed for the strictly increasing gap function g(phi), where g(lo) < 0
+/// near zero and g grows without bound.
+[[nodiscard]] Bracket expand_bracket_upward(const std::function<double(double)>& f,
+                                            double lo, double initial_width = 1.0,
+                                            double growth = 2.0, int max_expansions = 200);
+
+/// Classic bisection on a valid bracket. Robust, linear convergence.
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                                const RootOptions& options = {});
+
+/// Brent's method (inverse quadratic interpolation + secant + bisection) on a
+/// sign-changing bracket [lo, hi]. Superlinear convergence, never worse than
+/// bisection. Throws std::invalid_argument when the bracket does not change
+/// sign.
+[[nodiscard]] RootResult brent_root(const std::function<double(double)>& f, double lo, double hi,
+                                    const RootOptions& options = {});
+
+/// Convenience: expands a bracket upward from `lo` and runs Brent on it.
+/// Intended for monotone increasing functions with f(lo) <= 0.
+[[nodiscard]] RootResult find_increasing_root(const std::function<double(double)>& f, double lo,
+                                              double initial_width = 1.0,
+                                              const RootOptions& options = {});
+
+}  // namespace subsidy::num

@@ -1,0 +1,40 @@
+// Elementary statistics and least-squares regression.
+//
+// The market-calibration pipeline fits demand/throughput elasticities from
+// synthetic usage traces via ordinary least squares in log space; the flow
+// simulator fits Assumption-1 curve parameters from measured samples.
+#pragma once
+
+#include <vector>
+
+#include "subsidy/numerics/linalg.hpp"
+
+namespace subsidy::num {
+
+[[nodiscard]] double mean(const std::vector<double>& xs);
+[[nodiscard]] double variance(const std::vector<double>& xs);  ///< Population variance.
+[[nodiscard]] double standard_deviation(const std::vector<double>& xs);
+[[nodiscard]] double median(std::vector<double> xs);  ///< By-value: sorts a copy.
+[[nodiscard]] double quantile(std::vector<double> xs, double q);  ///< Linear interpolation.
+
+/// Pearson correlation coefficient. Returns 0 when either side is constant.
+[[nodiscard]] double correlation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Simple linear regression y ~ intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+};
+
+/// Ordinary least squares for the simple model. Throws std::invalid_argument
+/// on size mismatch or fewer than two points.
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Multiple linear regression y ~ X beta via the normal equations
+/// (X^T X) beta = X^T y, solved with the library's LU decomposition.
+/// X is n x k with n >= k. Returns the k coefficients.
+[[nodiscard]] Vector fit_least_squares(const Matrix& x, const Vector& y);
+
+}  // namespace subsidy::num

@@ -1,0 +1,66 @@
+// Common numeric tolerances and floating-point comparison helpers shared by
+// the root finders, optimizers and equilibrium solvers of the library.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace subsidy::num {
+
+/// Default absolute tolerance for scalar root finding and fixed points.
+inline constexpr double default_root_tol = 1e-12;
+
+/// Default tolerance for scalar optimization (argument resolution).
+inline constexpr double default_opt_tol = 1e-10;
+
+/// Default step used by central finite differences when none is supplied.
+inline constexpr double default_fd_step = 1e-6;
+
+/// Default convergence tolerance for Nash/fixed-point iterations.
+inline constexpr double default_iter_tol = 1e-10;
+
+/// Relative difference |a-b| / max(1, |a|, |b|).
+[[nodiscard]] inline double relative_error(double a, double b) noexcept {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) / scale;
+}
+
+/// True when a and b agree within an absolute-or-relative tolerance.
+[[nodiscard]] inline bool almost_equal(double a, double b, double tol = 1e-9) noexcept {
+  return relative_error(a, b) <= tol;
+}
+
+/// True when x is a finite (non-NaN, non-infinite) double.
+[[nodiscard]] inline bool is_finite(double x) noexcept { return std::isfinite(x); }
+
+/// Throws std::invalid_argument when x is not finite. Returns x otherwise,
+/// so it can be used inline in expressions: `use(require_finite(v, "v"))`.
+inline double require_finite(double x, const std::string& what) {
+  if (!std::isfinite(x)) {
+    throw std::invalid_argument(what + " must be finite, got " + std::to_string(x));
+  }
+  return x;
+}
+
+/// Throws std::invalid_argument when x is not strictly positive.
+inline double require_positive(double x, const std::string& what) {
+  require_finite(x, what);
+  if (x <= 0.0) {
+    throw std::invalid_argument(what + " must be > 0, got " + std::to_string(x));
+  }
+  return x;
+}
+
+/// Throws std::invalid_argument when x is negative.
+inline double require_non_negative(double x, const std::string& what) {
+  require_finite(x, what);
+  if (x < 0.0) {
+    throw std::invalid_argument(what + " must be >= 0, got " + std::to_string(x));
+  }
+  return x;
+}
+
+}  // namespace subsidy::num

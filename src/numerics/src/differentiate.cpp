@@ -1,0 +1,83 @@
+#include "subsidy/numerics/differentiate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace subsidy::num {
+
+namespace {
+
+/// Step scaled to the magnitude of x so that x + h differs from x in floating
+/// point even for large |x|.
+double scaled_step(double x, double step) {
+  return step * std::max(1.0, std::fabs(x));
+}
+
+}  // namespace
+
+double central_difference(const std::function<double(double)>& f, double x, double step) {
+  const double h = scaled_step(x, step);
+  return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+double richardson_derivative(const std::function<double(double)>& f, double x, double step) {
+  const double h = scaled_step(x, step);
+  const double d_h = (f(x + h) - f(x - h)) / (2.0 * h);
+  const double d_h2 = (f(x + 0.5 * h) - f(x - 0.5 * h)) / h;
+  // Central difference error is O(h^2): Richardson combination cancels it.
+  return (4.0 * d_h2 - d_h) / 3.0;
+}
+
+double second_derivative(const std::function<double(double)>& f, double x, double step) {
+  const double h = scaled_step(x, step);
+  return (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+}
+
+double forward_difference(const std::function<double(double)>& f, double x, double step) {
+  const double h = scaled_step(x, step);
+  return (f(x + h) - f(x)) / h;
+}
+
+double partial_derivative(const std::function<double(const std::vector<double>&)>& f,
+                          const std::vector<double>& x, std::size_t index, double step) {
+  if (index >= x.size()) throw std::invalid_argument("partial_derivative: index out of range");
+  const double h = scaled_step(x[index], step);
+  std::vector<double> hi = x;
+  std::vector<double> lo = x;
+  hi[index] += h;
+  lo[index] -= h;
+  return (f(hi) - f(lo)) / (2.0 * h);
+}
+
+std::vector<double> gradient(const std::function<double(const std::vector<double>&)>& f,
+                             const std::vector<double>& x, double step) {
+  std::vector<double> g(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    g[i] = partial_derivative(f, x, i, step);
+  }
+  return g;
+}
+
+Matrix jacobian(const std::function<std::vector<double>(const std::vector<double>&)>& f,
+                const std::vector<double>& x, double step) {
+  const std::vector<double> f0 = f(x);
+  Matrix j(f0.size(), x.size());
+  for (std::size_t col = 0; col < x.size(); ++col) {
+    const double h = scaled_step(x[col], step);
+    std::vector<double> hi = x;
+    std::vector<double> lo = x;
+    hi[col] += h;
+    lo[col] -= h;
+    const std::vector<double> f_hi = f(hi);
+    const std::vector<double> f_lo = f(lo);
+    if (f_hi.size() != f0.size() || f_lo.size() != f0.size()) {
+      throw std::invalid_argument("jacobian: function output size is not constant");
+    }
+    for (std::size_t row = 0; row < f0.size(); ++row) {
+      j(row, col) = (f_hi[row] - f_lo[row]) / (2.0 * h);
+    }
+  }
+  return j;
+}
+
+}  // namespace subsidy::num

@@ -1,0 +1,60 @@
+#include "subsidy/numerics/fixed_point.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "subsidy/numerics/linalg.hpp"
+
+namespace subsidy::num {
+
+FixedPointResult fixed_point_scalar(const std::function<double(double)>& f, double x0,
+                                    const FixedPointOptions& options) {
+  if (options.damping <= 0.0 || options.damping > 1.0) {
+    throw std::invalid_argument("fixed_point_scalar: damping must be in (0, 1]");
+  }
+  double x = x0;
+  FixedPointResult result;
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    const double fx = f(x);
+    const double residual = std::fabs(fx - x);
+    result.iterations = it;
+    result.residual = residual;
+    x = (1.0 - options.damping) * x + options.damping * fx;
+    if (residual <= options.tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.point = {x};
+  return result;
+}
+
+FixedPointResult fixed_point_vector(
+    const std::function<std::vector<double>(const std::vector<double>&)>& f,
+    std::vector<double> x0, const FixedPointOptions& options) {
+  if (options.damping <= 0.0 || options.damping > 1.0) {
+    throw std::invalid_argument("fixed_point_vector: damping must be in (0, 1]");
+  }
+  FixedPointResult result;
+  std::vector<double> x = std::move(x0);
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    const std::vector<double> fx = f(x);
+    if (fx.size() != x.size()) {
+      throw std::invalid_argument("fixed_point_vector: map changed dimension");
+    }
+    const double residual = distance_inf(fx, x);
+    result.iterations = it;
+    result.residual = residual;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = (1.0 - options.damping) * x[i] + options.damping * fx[i];
+    }
+    if (residual <= options.tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.point = std::move(x);
+  return result;
+}
+
+}  // namespace subsidy::num

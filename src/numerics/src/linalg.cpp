@@ -1,0 +1,280 @@
+#include "subsidy/numerics/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace subsidy::num {
+
+namespace {
+
+void require_same_size(const Vector& a, const Vector& b, const char* what) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(what) + ": size mismatch (" +
+                                std::to_string(a.size()) + " vs " + std::to_string(b.size()) +
+                                ")");
+  }
+}
+
+}  // namespace
+
+double dot(const Vector& a, const Vector& b) {
+  require_same_size(a, b, "dot");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(const Vector& v) noexcept {
+  double sum = 0.0;
+  for (double x : v) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double norm_inf(const Vector& v) noexcept {
+  double best = 0.0;
+  for (double x : v) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+Vector axpy(const Vector& a, double scale, const Vector& b) {
+  require_same_size(a, b, "axpy");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + scale * b[i];
+  return out;
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+  require_same_size(a, b, "subtract");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double distance_inf(const Vector& a, const Vector& b) {
+  require_same_size(a, b, "distance_inf");
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) best = std::max(best, std::fabs(a[i] - b[i]));
+  return best;
+}
+
+Vector clamp(const Vector& v, double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("clamp: lo > hi");
+  Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = std::clamp(v[i], lo, hi);
+  return out;
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+
+double Matrix::operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at: index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Vector Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row: index out of range");
+  Vector out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  if (c >= cols_) throw std::out_of_range("Matrix::col: index out of range");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::principal_submatrix(const std::vector<std::size_t>& indices) const {
+  Matrix sub(indices.size(), indices.size());
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    for (std::size_t c = 0; c < indices.size(); ++c) {
+      sub(r, c) = at(indices[r], indices[c]);
+    }
+  }
+  return sub;
+}
+
+Vector Matrix::multiply(const Vector& v) const {
+  if (v.size() != cols_) throw std::invalid_argument("Matrix::multiply: vector size mismatch");
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += (*this)(r, c) * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  Matrix out(rows_, other.cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::scaled(double factor) const {
+  Matrix out = *this;
+  for (auto& x : out.data_) x *= factor;
+  return out;
+}
+
+Matrix Matrix::plus(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::plus: shape mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::minus(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::minus: shape mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+double Matrix::norm_max() const noexcept {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << m(r, c) << (c + 1 < m.cols() ? ", " : "");
+    }
+    os << (r + 1 < m.rows() ? ";\n" : "]");
+  }
+  return os;
+}
+
+LuDecomposition::LuDecomposition(const Matrix& a) : n_(a.rows()), lu_(a), pivot_(a.rows()) {
+  if (!a.square()) throw std::invalid_argument("LuDecomposition: matrix must be square");
+  min_pivot_ = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n_; ++i) pivot_[i] = i;
+
+  for (std::size_t col = 0; col < n_; ++col) {
+    // Partial pivoting: choose the largest magnitude entry in this column.
+    std::size_t best_row = col;
+    double best_mag = std::fabs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const double mag = std::fabs(lu_(r, col));
+      if (mag > best_mag) {
+        best_mag = mag;
+        best_row = r;
+      }
+    }
+    if (best_row != col) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(lu_(col, c), lu_(best_row, c));
+      std::swap(pivot_[col], pivot_[best_row]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double pivot = lu_(col, col);
+    min_pivot_ = std::min(min_pivot_, std::fabs(pivot));
+    if (pivot == 0.0) continue;  // singular; recorded via min_pivot_
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const double factor = lu_(r, col) / pivot;
+      lu_(r, col) = factor;
+      for (std::size_t c = col + 1; c < n_; ++c) {
+        lu_(r, c) -= factor * lu_(col, c);
+      }
+    }
+  }
+  if (n_ == 0) min_pivot_ = 0.0;
+}
+
+bool LuDecomposition::singular(double tol) const noexcept { return !(min_pivot_ > tol); }
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  if (b.size() != n_) throw std::invalid_argument("LuDecomposition::solve: size mismatch");
+  if (singular()) throw std::runtime_error("LuDecomposition::solve: matrix is singular");
+  Vector x(n_);
+  // Apply the row permutation, then forward-substitute L (unit diagonal).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = b[pivot_[i]];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back-substitute U.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double sum = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) sum -= lu_(ii, j) * x[j];
+    x[ii] = sum / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  if (b.rows() != n_) throw std::invalid_argument("LuDecomposition::solve: shape mismatch");
+  Matrix x(n_, b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vector xc = solve(b.col(c));
+    for (std::size_t r = 0; r < n_; ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+Matrix LuDecomposition::inverse() const { return solve(Matrix::identity(n_)); }
+
+double LuDecomposition::determinant() const noexcept {
+  double det = static_cast<double>(pivot_sign_);
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve_linear_system(const Matrix& a, const Vector& b) {
+  return LuDecomposition(a).solve(b);
+}
+
+Matrix invert(const Matrix& a) { return LuDecomposition(a).inverse(); }
+
+double determinant(const Matrix& a) { return LuDecomposition(a).determinant(); }
+
+}  // namespace subsidy::num

@@ -1,0 +1,99 @@
+#include "subsidy/numerics/matrix_props.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace subsidy::num {
+
+bool all_finite(const Matrix& m) noexcept {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (!std::isfinite(m(r, c))) return false;
+    }
+  }
+  return true;
+}
+
+bool is_p_matrix(const Matrix& m, double tol) {
+  if (!m.square()) throw std::invalid_argument("is_p_matrix: matrix must be square");
+  if (!all_finite(m)) return false;
+  const std::size_t n = m.rows();
+  if (n > 20) throw std::invalid_argument("is_p_matrix: order too large for minor enumeration");
+  // Enumerate all non-empty index subsets; each defines a principal minor.
+  const std::size_t subsets = (std::size_t{1} << n);
+  for (std::size_t mask = 1; mask < subsets; ++mask) {
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) indices.push_back(i);
+    }
+    const double minor = determinant(m.principal_submatrix(indices));
+    if (!(minor > tol)) return false;
+  }
+  return true;
+}
+
+bool is_z_matrix(const Matrix& m, double tol) {
+  if (!m.square()) throw std::invalid_argument("is_z_matrix: matrix must be square");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (r != c && m(r, c) > tol) return false;
+    }
+  }
+  return true;
+}
+
+bool is_m_matrix(const Matrix& m, double tol) {
+  return is_z_matrix(m, tol) && is_p_matrix(m, tol);
+}
+
+bool is_strictly_diagonally_dominant(const Matrix& m) noexcept {
+  if (!m.square()) return false;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double off = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c != r) off += std::fabs(m(r, c));
+    }
+    if (!(std::fabs(m(r, r)) > off)) return false;
+  }
+  return true;
+}
+
+Matrix symmetric_part(const Matrix& m) {
+  if (!m.square()) throw std::invalid_argument("symmetric_part: matrix must be square");
+  return m.plus(m.transpose()).scaled(0.5);
+}
+
+bool is_positive_definite_symmetric_part(const Matrix& m, double tol) {
+  const Matrix s = symmetric_part(m);
+  // Sylvester's criterion on leading principal minors suffices for symmetric
+  // matrices.
+  std::vector<std::size_t> indices;
+  for (std::size_t k = 0; k < s.rows(); ++k) {
+    indices.push_back(k);
+    if (!(determinant(s.principal_submatrix(indices)) > tol)) return false;
+  }
+  return true;
+}
+
+double spectral_radius_estimate(const Matrix& m, int iterations) {
+  if (!m.square()) throw std::invalid_argument("spectral_radius_estimate: matrix must be square");
+  const std::size_t n = m.rows();
+  if (n == 0) return 0.0;
+  Matrix abs_m = m;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) abs_m(r, c) = std::fabs(m(r, c));
+  }
+  Vector v(n, 1.0);
+  double radius = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    Vector next = abs_m.multiply(v);
+    const double scale = norm_inf(next);
+    if (scale == 0.0) return 0.0;
+    for (auto& x : next) x /= scale;
+    radius = scale;
+    v = std::move(next);
+  }
+  return radius;
+}
+
+}  // namespace subsidy::num

@@ -1,0 +1,118 @@
+#include "subsidy/numerics/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace subsidy::num {
+
+namespace {
+
+constexpr double golden_ratio_complement = 0.3819660112501051;  // 2 - phi
+
+}  // namespace
+
+MaximizeResult golden_section_maximize(const std::function<double(double)>& f, double lo,
+                                       double hi, const MaximizeOptions& options) {
+  if (!(lo <= hi)) throw std::invalid_argument("golden_section_maximize: lo must be <= hi");
+  MaximizeResult result;
+  if (hi - lo <= options.x_tol) {
+    const double mid = 0.5 * (lo + hi);
+    result = {mid, f(mid), 1, true};
+    return result;
+  }
+
+  double a = lo;
+  double b = hi;
+  double x1 = a + golden_ratio_complement * (b - a);
+  double x2 = b - golden_ratio_complement * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  int evals = 2;
+
+  for (int iter = 0; iter < options.max_iterations && (b - a) > options.x_tol; ++iter) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = b - golden_ratio_complement * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = a + golden_ratio_complement * (b - a);
+      f1 = f(x1);
+    }
+    ++evals;
+  }
+
+  const double arg = (f1 > f2) ? x1 : x2;
+  result.arg = arg;
+  result.value = std::max(f1, f2);
+  result.evaluations = evals;
+  result.converged = (b - a) <= std::max(options.x_tol, 1e-15 * std::fabs(arg) + 1e-300);
+  // Guard: the interval endpoints themselves may beat the interior points
+  // when f is monotone on [lo, hi].
+  const double f_lo = f(lo);
+  const double f_hi = f(hi);
+  result.evaluations += 2;
+  if (f_lo > result.value) {
+    result.arg = lo;
+    result.value = f_lo;
+  }
+  if (f_hi > result.value) {
+    result.arg = hi;
+    result.value = f_hi;
+  }
+  return result;
+}
+
+MaximizeResult grid_refine_maximize(const std::function<double(double)>& f, double lo, double hi,
+                                    const MaximizeOptions& options) {
+  if (!(lo <= hi)) throw std::invalid_argument("grid_refine_maximize: lo must be <= hi");
+  if (options.grid_points < 2) {
+    throw std::invalid_argument("grid_refine_maximize: need >= 2 grid points");
+  }
+  if (hi - lo <= options.x_tol) {
+    const double mid = 0.5 * (lo + hi);
+    return {mid, f(mid), 1, true};
+  }
+
+  const int n = options.grid_points;
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  double best_x = lo;
+  double best_f = -std::numeric_limits<double>::infinity();
+  int best_index = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = (i == n - 1) ? hi : lo + step * i;
+    const double fx = f(x);
+    if (fx > best_f) {
+      best_f = fx;
+      best_x = x;
+      best_index = i;
+    }
+  }
+
+  // Refine inside the two cells adjacent to the best grid point.
+  const double refine_lo = std::max(lo, best_x - step);
+  const double refine_hi = std::min(hi, best_x + step);
+  MaximizeResult refined = golden_section_maximize(f, refine_lo, refine_hi, options);
+  refined.evaluations += n;
+  if (best_f > refined.value) {
+    refined.arg = best_x;
+    refined.value = best_f;
+  }
+  (void)best_index;
+  return refined;
+}
+
+MaximizeResult grid_refine_minimize(const std::function<double(double)>& f, double lo, double hi,
+                                    const MaximizeOptions& options) {
+  auto negated = [&f](double x) { return -f(x); };
+  MaximizeResult r = grid_refine_maximize(negated, lo, hi, options);
+  r.value = -r.value;
+  return r;
+}
+
+}  // namespace subsidy::num

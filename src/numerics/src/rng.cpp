@@ -1,0 +1,64 @@
+#include "subsidy/numerics/rng.hpp"
+
+#include <stdexcept>
+
+namespace subsidy::num {
+
+double Rng::uniform(double lo, double hi) {
+  if (!(lo <= hi)) throw std::invalid_argument("Rng::uniform: lo must be <= hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo must be <= hi");
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (stddev < 0.0) throw std::invalid_argument("Rng::normal: stddev must be >= 0");
+  if (stddev == 0.0) return mean;
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::lognormal(double log_mean, double log_stddev) {
+  if (log_stddev < 0.0) throw std::invalid_argument("Rng::lognormal: stddev must be >= 0");
+  std::lognormal_distribution<double> dist(log_mean, log_stddev);
+  return dist(engine_);
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("Rng::exponential: rate must be > 0");
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+int Rng::poisson(double mean) {
+  if (mean < 0.0) throw std::invalid_argument("Rng::poisson: mean must be >= 0");
+  if (mean == 0.0) return 0;
+  std::poisson_distribution<int> dist(mean);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p_true) {
+  if (p_true < 0.0 || p_true > 1.0) {
+    throw std::invalid_argument("Rng::bernoulli: probability must be in [0, 1]");
+  }
+  std::bernoulli_distribution dist(p_true);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t size) {
+  if (size == 0) throw std::invalid_argument("Rng::index: size must be > 0");
+  std::uniform_int_distribution<std::size_t> dist(0, size - 1);
+  return dist(engine_);
+}
+
+Rng Rng::split() {
+  const std::uint64_t child_seed = engine_();
+  return Rng(child_seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace subsidy::num

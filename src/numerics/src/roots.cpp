@@ -1,0 +1,189 @@
+#include "subsidy/numerics/roots.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace subsidy::num {
+
+double RootResult::value_or_throw() const {
+  if (!converged) {
+    throw std::runtime_error("root search did not converge (residual " +
+                             std::to_string(f_root) + " after " + std::to_string(iterations) +
+                             " iterations)");
+  }
+  return root;
+}
+
+Bracket expand_bracket_upward(const std::function<double(double)>& f, double lo,
+                              double initial_width, double growth, int max_expansions) {
+  require_finite(lo, "bracket lower bound");
+  require_positive(initial_width, "bracket initial width");
+  if (growth <= 1.0) throw std::invalid_argument("bracket growth must exceed 1");
+
+  Bracket b;
+  b.lo = lo;
+  b.f_lo = f(lo);
+  if (b.f_lo == 0.0) {
+    b.hi = lo;
+    b.f_hi = 0.0;
+    b.valid = true;
+    return b;
+  }
+
+  double width = initial_width;
+  for (int i = 0; i < max_expansions; ++i) {
+    b.hi = lo + width;
+    b.f_hi = f(b.hi);
+    if (!std::isfinite(b.f_hi)) break;
+    if (std::signbit(b.f_hi) != std::signbit(b.f_lo) || b.f_hi == 0.0) {
+      b.valid = true;
+      return b;
+    }
+    width *= growth;
+  }
+  b.valid = false;
+  return b;
+}
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& options) {
+  if (!(lo <= hi)) throw std::invalid_argument("bisect: lo must be <= hi");
+  double f_lo = f(lo);
+  double f_hi = f(hi);
+  RootResult result;
+  if (f_lo == 0.0) {
+    result = {lo, 0.0, 0, true};
+    return result;
+  }
+  if (f_hi == 0.0) {
+    result = {hi, 0.0, 0, true};
+    return result;
+  }
+  if (std::signbit(f_lo) == std::signbit(f_hi)) {
+    throw std::invalid_argument("bisect: bracket does not change sign");
+  }
+  for (int i = 0; i < options.max_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double f_mid = f(mid);
+    result.iterations = i + 1;
+    result.root = mid;
+    result.f_root = f_mid;
+    if (f_mid == 0.0 || (options.f_tol > 0.0 && std::fabs(f_mid) <= options.f_tol) ||
+        (hi - lo) * 0.5 <= options.x_tol) {
+      result.converged = true;
+      return result;
+    }
+    if (std::signbit(f_mid) == std::signbit(f_lo)) {
+      lo = mid;
+      f_lo = f_mid;
+    } else {
+      hi = mid;
+      f_hi = f_mid;
+    }
+  }
+  return result;
+}
+
+RootResult brent_root(const std::function<double(double)>& f, double lo, double hi,
+                      const RootOptions& options) {
+  // Brent's classic algorithm (Numerical Recipes organization): keeps the
+  // best iterate b, the previous iterate a, and a counterpoint c bracketing
+  // the root with b.
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  RootResult result;
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (std::signbit(fa) == std::signbit(fb)) {
+    throw std::invalid_argument("brent_root: bracket does not change sign");
+  }
+
+  double c = a;
+  double fc = fa;
+  double d = b - a;  // current step
+  double e = d;      // previous step
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    if (std::signbit(fb) == std::signbit(fc)) {
+      c = a;
+      fc = fa;
+      d = e = b - a;
+    }
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol1 =
+        2.0 * std::numeric_limits<double>::epsilon() * std::fabs(b) + 0.5 * options.x_tol;
+    const double xm = 0.5 * (c - b);
+    result.iterations = iter;
+    result.root = b;
+    result.f_root = fb;
+    if (std::fabs(xm) <= tol1 || fb == 0.0 ||
+        (options.f_tol > 0.0 && std::fabs(fb) <= options.f_tol)) {
+      result.converged = true;
+      return result;
+    }
+    if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
+      // Attempt inverse quadratic interpolation / secant.
+      const double s = fb / fa;
+      double p;
+      double q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double q1 = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * q1 * (q1 - r) - (b - a) * (r - 1.0));
+        q = (q1 - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      const double min1 = 3.0 * xm * q - std::fabs(tol1 * q);
+      const double min2 = std::fabs(e * q);
+      if (2.0 * p < std::min(min1, min2)) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    if (std::fabs(d) > tol1) {
+      b += d;
+    } else {
+      b += std::copysign(tol1, xm);
+    }
+    fb = f(b);
+  }
+  return result;
+}
+
+RootResult find_increasing_root(const std::function<double(double)>& f, double lo,
+                                double initial_width, const RootOptions& options) {
+  const Bracket bracket = expand_bracket_upward(f, lo, initial_width);
+  if (!bracket.valid) {
+    RootResult failed;
+    failed.root = lo;
+    failed.f_root = f(lo);
+    failed.converged = false;
+    return failed;
+  }
+  if (bracket.lo == bracket.hi) return {bracket.lo, 0.0, 0, true};
+  return brent_root(f, bracket.lo, bracket.hi, options);
+}
+
+}  // namespace subsidy::num

@@ -1,0 +1,91 @@
+// Flow-level access-link simulator.
+//
+// Assumption 1 of the paper axiomatizes the physics of a shared bottleneck:
+// per-user throughput decreases with utilization, utilization rises with
+// offered load and falls with capacity. This simulator derives those
+// properties from first principles instead of assuming them: AIMD (TCP-like)
+// users share an access link under processor-sharing, and the measured
+// (load, per-user rate) pairs trace out an empirical lambda(phi) curve that
+// the tests check for monotonicity and that can be fitted back to the
+// exponential family used in the paper's evaluation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "subsidy/numerics/rng.hpp"
+#include "subsidy/numerics/stats.hpp"
+
+namespace subsidy::sim {
+
+/// A class of users sharing AIMD parameters (mirrors one CP's traffic class).
+struct UserClass {
+  std::size_t user_count = 0;
+  double max_rate = 1.0;       ///< Application-limited peak per-user rate.
+  double aimd_increase = 0.05; ///< Additive window increase per slot.
+  double aimd_decrease = 0.5;  ///< Multiplicative decrease on congestion.
+};
+
+/// Simulator configuration.
+struct FlowSimConfig {
+  double capacity = 1.0;   ///< Link capacity in rate units per slot.
+  int slots = 4000;        ///< Total simulated slots.
+  int warmup_slots = 1000; ///< Excluded from the measured averages.
+  double jitter = 0.05;    ///< Per-slot multiplicative demand jitter (sigma).
+};
+
+/// Measured steady-state statistics of one run.
+struct FlowStats {
+  double demand_load = 0.0;      ///< sum(users x peak rate) / capacity — the
+                                 ///< model's "load" axis theta_demand / mu
+                                 ///< (unbounded, like the paper's phi).
+  double offered_load = 0.0;     ///< mean(sum of AIMD windows) / capacity —
+                                 ///< saturates near 1 because users back off.
+  double served_throughput = 0.0;  ///< mean aggregate goodput (<= capacity).
+  double link_utilization = 0.0;   ///< served / capacity, in [0, 1].
+  std::vector<double> per_user_rate;  ///< Mean achieved rate per user, per class.
+  double congestion_fraction = 0.0;   ///< Fraction of slots with offered > capacity.
+};
+
+/// One empirical sample of the lambda(phi) relation.
+struct LoadSample {
+  double phi = 0.0;      ///< Demand-load congestion measure (theta_demand/mu).
+  double offered = 0.0;  ///< Measured offered load at that demand.
+  double lambda = 0.0;   ///< Achieved per-user rate of the probed class.
+};
+
+/// Discrete-time AIMD / processor-sharing link simulator.
+class FlowSimulator {
+ public:
+  explicit FlowSimulator(FlowSimConfig config);
+
+  /// Runs the configured number of slots with the given user classes.
+  [[nodiscard]] FlowStats run(const std::vector<UserClass>& classes, num::Rng& rng) const;
+
+  /// Sweeps the population of a background class to vary congestion and
+  /// records (phi, lambda) samples for the probe class (index 0 in the
+  /// returned runs). Produces the empirical throughput curve used to validate
+  /// Assumption 1 and to fit beta.
+  [[nodiscard]] std::vector<LoadSample> measure_throughput_curve(
+      UserClass probe, UserClass background, const std::vector<std::size_t>& background_counts,
+      num::Rng& rng) const;
+
+  /// Fits lambda = lambda0 * exp(-beta * phi) to samples by OLS in log space.
+  /// Returns {intercept = log lambda0, slope = -beta, r_squared, n}.
+  [[nodiscard]] static num::LinearFit fit_exponential(const std::vector<LoadSample>& samples);
+
+  /// Fits the delay family lambda = lambda0 / (1 + beta * phi) by OLS on the
+  /// reciprocal (1/lambda = 1/lambda0 + (beta/lambda0) phi). This is the
+  /// natural shape of AIMD users behind a processor-sharing link (achieved
+  /// rate ~ capacity / population ~ 1 / load), so it fits the measured curve
+  /// tightly where the exponential family only captures the trend. Returns
+  /// the reciprocal regression: lambda0 = 1/intercept, beta = slope/intercept.
+  [[nodiscard]] static num::LinearFit fit_delay(const std::vector<LoadSample>& samples);
+
+  [[nodiscard]] const FlowSimConfig& config() const noexcept { return config_; }
+
+ private:
+  FlowSimConfig config_;
+};
+
+}  // namespace subsidy::sim

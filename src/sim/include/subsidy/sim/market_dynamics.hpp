@@ -1,0 +1,92 @@
+// Off-equilibrium market dynamics (the paper's acknowledged limitation,
+// Section 6: the equilibrium model "might not be able to capture short-term
+// off-equilibrium types of system dynamics").
+//
+// A discrete-time adaptation process over the subsidization game:
+//  * users churn toward the demand target m_i(p - s_i) with inertia;
+//  * every `cp_update_period` rounds each provider nudges its subsidy,
+//    either by a damped best response or by a gradient step on its marginal
+//    utility;
+//  * optionally the ISP adjusts its price along its numeric marginal revenue.
+//
+// The trajectory converges to the Nash equilibrium computed by the static
+// solvers on the paper's markets — evidence that the equilibria of Section 4
+// are attractors of natural learning dynamics.
+#pragma once
+
+#include <vector>
+
+#include "subsidy/core/game.hpp"
+#include "subsidy/core/nash.hpp"
+#include "subsidy/numerics/rng.hpp"
+
+namespace subsidy::sim {
+
+/// How providers update their subsidies.
+enum class CpUpdateRule {
+  best_response,  ///< Damped move toward the exact best response.
+  gradient,       ///< Projected gradient step on the marginal utility.
+};
+
+/// Dynamics configuration.
+struct DynamicsConfig {
+  int rounds = 400;
+  double user_inertia = 0.25;      ///< Fraction of the population gap closed per round.
+  CpUpdateRule update_rule = CpUpdateRule::best_response;
+  double cp_damping = 0.5;         ///< Damping of the best-response move.
+  double cp_learning_rate = 0.2;   ///< Step size of the gradient move.
+  int cp_update_period = 1;        ///< Providers act every k-th round.
+  bool isp_adapts_price = false;   ///< Enable the ISP price dynamic.
+  double isp_learning_rate = 0.05;
+  double isp_update_period = 5;
+  double price_floor = 0.0;
+  double price_ceiling = 5.0;
+
+  // Bounded-rationality extensions (require an Rng in run()):
+  double update_probability = 1.0;  ///< Each CP acts with this probability per
+                                    ///< round (asynchronous play when < 1).
+  double decision_noise = 0.0;      ///< Stddev of additive noise on each
+                                    ///< subsidy move (trembling hand).
+};
+
+/// One recorded round.
+struct DynamicsStep {
+  int round = 0;
+  double price = 0.0;
+  std::vector<double> subsidies;
+  std::vector<double> populations;  ///< Actual (inert) populations.
+  double utilization = 0.0;
+  double aggregate_throughput = 0.0;
+  double revenue = 0.0;
+  double welfare = 0.0;
+};
+
+/// Full trajectory of a dynamics run.
+struct Trajectory {
+  std::vector<DynamicsStep> steps;
+
+  [[nodiscard]] const DynamicsStep& final_step() const;
+
+  /// max-abs distance between the final subsidies and a reference profile.
+  [[nodiscard]] double distance_to(const std::vector<double>& reference) const;
+};
+
+/// Discrete-time market dynamics simulator over a subsidization game.
+class MarketDynamicsSimulator {
+ public:
+  explicit MarketDynamicsSimulator(DynamicsConfig config = {});
+
+  /// Runs the dynamic from initial subsidies (empty = zeros) and initial
+  /// populations at the unsubsidized demand level. `rng` drives the
+  /// asynchronous-update and decision-noise features; it may be null only
+  /// when both are disabled (update_probability == 1, decision_noise == 0) —
+  /// otherwise std::invalid_argument is thrown.
+  [[nodiscard]] Trajectory run(const core::SubsidizationGame& game,
+                               std::vector<double> initial_subsidies = {},
+                               num::Rng* rng = nullptr) const;
+
+ private:
+  DynamicsConfig config_;
+};
+
+}  // namespace subsidy::sim

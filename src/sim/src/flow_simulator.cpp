@@ -1,0 +1,134 @@
+#include "subsidy/sim/flow_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace subsidy::sim {
+
+FlowSimulator::FlowSimulator(FlowSimConfig config) : config_(config) {
+  if (config_.capacity <= 0.0) throw std::invalid_argument("FlowSimulator: capacity must be > 0");
+  if (config_.slots <= config_.warmup_slots) {
+    throw std::invalid_argument("FlowSimulator: slots must exceed warmup_slots");
+  }
+  if (config_.jitter < 0.0) throw std::invalid_argument("FlowSimulator: jitter must be >= 0");
+}
+
+FlowStats FlowSimulator::run(const std::vector<UserClass>& classes, num::Rng& rng) const {
+  if (classes.empty()) throw std::invalid_argument("FlowSimulator::run: no user classes");
+  for (const auto& c : classes) {
+    if (c.max_rate <= 0.0 || c.aimd_increase <= 0.0 || c.aimd_decrease <= 0.0 ||
+        c.aimd_decrease >= 1.0) {
+      throw std::invalid_argument("FlowSimulator::run: invalid AIMD parameters");
+    }
+  }
+
+  // Flatten users: window state per user, class index per user.
+  std::vector<double> window;
+  std::vector<std::size_t> user_class;
+  for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+    for (std::size_t u = 0; u < classes[ci].user_count; ++u) {
+      window.push_back(classes[ci].max_rate * rng.uniform(0.1, 0.5));
+      user_class.push_back(ci);
+    }
+  }
+
+  FlowStats stats;
+  stats.per_user_rate.assign(classes.size(), 0.0);
+  if (window.empty()) return stats;
+
+  std::vector<double> class_rate_sum(classes.size(), 0.0);
+  double offered_sum = 0.0;
+  double served_sum = 0.0;
+  int congested_slots = 0;
+  const int measured_slots = config_.slots - config_.warmup_slots;
+
+  for (int slot = 0; slot < config_.slots; ++slot) {
+    // Offered load this slot (with application-level jitter).
+    double offered = 0.0;
+    for (double w : window) offered += w;
+    const double jitter_factor =
+        config_.jitter > 0.0 ? rng.lognormal(0.0, config_.jitter) : 1.0;
+    const double demand = offered * jitter_factor;
+
+    const bool congested = demand > config_.capacity;
+    const double share = congested ? config_.capacity / demand : 1.0;
+
+    double served = 0.0;
+    for (std::size_t u = 0; u < window.size(); ++u) {
+      const UserClass& cls = classes[user_class[u]];
+      const double achieved = window[u] * jitter_factor * share;
+      served += achieved;
+      if (slot >= config_.warmup_slots) {
+        class_rate_sum[user_class[u]] += achieved;
+      }
+      // AIMD: multiplicative decrease under congestion, additive increase
+      // up to the application limit otherwise.
+      if (congested) {
+        window[u] *= cls.aimd_decrease;
+      } else {
+        window[u] = std::min(cls.max_rate, window[u] + cls.aimd_increase);
+      }
+    }
+
+    if (slot >= config_.warmup_slots) {
+      offered_sum += demand;
+      served_sum += std::min(served, config_.capacity);
+      if (congested) ++congested_slots;
+    }
+  }
+
+  double total_demand = 0.0;
+  for (const auto& c : classes) total_demand += static_cast<double>(c.user_count) * c.max_rate;
+  stats.demand_load = total_demand / config_.capacity;
+  stats.offered_load = offered_sum / measured_slots / config_.capacity;
+  stats.served_throughput = served_sum / measured_slots;
+  stats.link_utilization = stats.served_throughput / config_.capacity;
+  stats.congestion_fraction = static_cast<double>(congested_slots) / measured_slots;
+  for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+    const double users = static_cast<double>(classes[ci].user_count);
+    stats.per_user_rate[ci] =
+        users > 0.0 ? class_rate_sum[ci] / measured_slots / users : 0.0;
+  }
+  return stats;
+}
+
+std::vector<LoadSample> FlowSimulator::measure_throughput_curve(
+    UserClass probe, UserClass background, const std::vector<std::size_t>& background_counts,
+    num::Rng& rng) const {
+  if (probe.user_count == 0) {
+    throw std::invalid_argument("measure_throughput_curve: probe class needs users");
+  }
+  std::vector<LoadSample> samples;
+  samples.reserve(background_counts.size());
+  for (std::size_t count : background_counts) {
+    background.user_count = count;
+    const FlowStats stats = run({probe, background}, rng);
+    samples.push_back({stats.demand_load, stats.offered_load, stats.per_user_rate[0]});
+  }
+  return samples;
+}
+
+num::LinearFit FlowSimulator::fit_exponential(const std::vector<LoadSample>& samples) {
+  std::vector<double> phi;
+  std::vector<double> log_lambda;
+  for (const auto& s : samples) {
+    if (s.lambda <= 0.0) continue;
+    phi.push_back(s.phi);
+    log_lambda.push_back(std::log(s.lambda));
+  }
+  return num::fit_linear(phi, log_lambda);
+}
+
+num::LinearFit FlowSimulator::fit_delay(const std::vector<LoadSample>& samples) {
+  std::vector<double> phi;
+  std::vector<double> inv_lambda;
+  for (const auto& s : samples) {
+    if (s.lambda <= 0.0) continue;
+    phi.push_back(s.phi);
+    inv_lambda.push_back(1.0 / s.lambda);
+  }
+  return num::fit_linear(phi, inv_lambda);
+}
+
+}  // namespace subsidy::sim

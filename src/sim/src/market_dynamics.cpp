@@ -1,0 +1,147 @@
+#include "subsidy/sim/market_dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace subsidy::sim {
+
+const DynamicsStep& Trajectory::final_step() const {
+  if (steps.empty()) throw std::logic_error("Trajectory: empty");
+  return steps.back();
+}
+
+double Trajectory::distance_to(const std::vector<double>& reference) const {
+  const DynamicsStep& last = final_step();
+  if (reference.size() != last.subsidies.size()) {
+    throw std::invalid_argument("Trajectory::distance_to: size mismatch");
+  }
+  double d = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    d = std::max(d, std::fabs(last.subsidies[i] - reference[i]));
+  }
+  return d;
+}
+
+MarketDynamicsSimulator::MarketDynamicsSimulator(DynamicsConfig config) : config_(config) {
+  if (config_.rounds < 1) throw std::invalid_argument("MarketDynamicsSimulator: rounds >= 1");
+  if (config_.user_inertia <= 0.0 || config_.user_inertia > 1.0) {
+    throw std::invalid_argument("MarketDynamicsSimulator: user_inertia in (0, 1]");
+  }
+  if (config_.cp_update_period < 1) {
+    throw std::invalid_argument("MarketDynamicsSimulator: cp_update_period >= 1");
+  }
+  if (config_.update_probability <= 0.0 || config_.update_probability > 1.0) {
+    throw std::invalid_argument("MarketDynamicsSimulator: update_probability in (0, 1]");
+  }
+  if (config_.decision_noise < 0.0) {
+    throw std::invalid_argument("MarketDynamicsSimulator: decision_noise >= 0");
+  }
+}
+
+Trajectory MarketDynamicsSimulator::run(const core::SubsidizationGame& game,
+                                        std::vector<double> initial_subsidies,
+                                        num::Rng* rng) const {
+  const bool stochastic =
+      config_.update_probability < 1.0 || config_.decision_noise > 0.0;
+  if (stochastic && rng == nullptr) {
+    throw std::invalid_argument(
+        "MarketDynamicsSimulator: asynchronous/noisy dynamics need an Rng");
+  }
+  const std::size_t n = game.num_players();
+  const double q = game.policy_cap();
+  const auto& market = game.market();
+  const core::ModelEvaluator& evaluator = game.evaluator();
+
+  std::vector<double> s = initial_subsidies.empty() ? std::vector<double>(n, 0.0)
+                                                    : std::move(initial_subsidies);
+  if (s.size() != n) {
+    throw std::invalid_argument("MarketDynamicsSimulator: initial subsidy size mismatch");
+  }
+  for (auto& x : s) x = std::clamp(x, 0.0, q);
+
+  double price = game.price();
+
+  // Actual populations start at the unsubsidized demand level and chase the
+  // demand target with inertia.
+  std::vector<double> m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = market.provider(i).demand->population(price);
+  }
+
+  Trajectory traj;
+  traj.steps.reserve(static_cast<std::size_t>(config_.rounds));
+  double phi_hint = -1.0;
+
+  for (int round = 0; round < config_.rounds; ++round) {
+    // 1. Users churn toward the demand target m_i(p - s_i).
+    for (std::size_t i = 0; i < n; ++i) {
+      const double target = market.provider(i).demand->population(price - s[i]);
+      m[i] += config_.user_inertia * (target - m[i]);
+    }
+
+    // 2. Congestion equilibrates at the (fast) utilization fixed point of the
+    //    *actual* populations.
+    const double phi = evaluator.solver().solve(m, phi_hint);
+    phi_hint = phi;
+
+    // 3. Record the off-equilibrium state.
+    DynamicsStep step;
+    step.round = round;
+    step.price = price;
+    step.subsidies = s;
+    step.populations = m;
+    step.utilization = phi;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double theta_i = m[i] * market.provider(i).throughput->rate(phi);
+      step.aggregate_throughput += theta_i;
+      step.welfare += market.provider(i).profitability * theta_i;
+    }
+    step.revenue = price * step.aggregate_throughput;
+    traj.steps.push_back(std::move(step));
+
+    // 4. Providers adapt (on their update period), using the instant-demand
+    //    game model as their forecast of how users will respond.
+    const core::SubsidizationGame current = game.with_price(price);
+    if (round % config_.cp_update_period == 0) {
+      auto acts = [&](std::size_t) {
+        return config_.update_probability >= 1.0 || rng->bernoulli(config_.update_probability);
+      };
+      auto tremble = [&](double move) {
+        return config_.decision_noise > 0.0 ? move + rng->normal(0.0, config_.decision_noise)
+                                            : move;
+      };
+      if (config_.update_rule == CpUpdateRule::best_response) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!acts(i)) continue;
+          const double br = current.best_response(i, s);
+          const double target = (1.0 - config_.cp_damping) * s[i] + config_.cp_damping * br;
+          s[i] = std::clamp(tremble(target), 0.0, q);
+        }
+      } else {
+        const std::vector<double> u = current.marginal_utilities(s, phi);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!acts(i)) continue;
+          s[i] = std::clamp(tremble(s[i] + config_.cp_learning_rate * u[i]), 0.0, q);
+        }
+      }
+    }
+
+    // 5. Optional ISP price adaptation along numeric marginal revenue of the
+    //    instant-demand model.
+    if (config_.isp_adapts_price &&
+        round % static_cast<int>(config_.isp_update_period) == 0) {
+      const double h = 1e-4 * std::max(1.0, price);
+      auto revenue_at = [&](double p) {
+        const core::SystemState st = game.with_price(p).state(s);
+        return st.revenue;
+      };
+      const double grad = (revenue_at(price + h) - revenue_at(price - h)) / (2.0 * h);
+      price = std::clamp(price + config_.isp_learning_rate * grad, config_.price_floor,
+                         config_.price_ceiling);
+    }
+  }
+  return traj;
+}
+
+}  // namespace subsidy::sim

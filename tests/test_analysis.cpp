@@ -1,0 +1,114 @@
+// Analysis library: the equilibrium grid runner and the shape-expectation
+// checkers.
+#include <gtest/gtest.h>
+
+#include "subsidy/analysis/grid.hpp"
+#include "subsidy/analysis/shapes.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace analysis = subsidy::analysis;
+namespace econ = subsidy::econ;
+namespace io = subsidy::io;
+namespace market = subsidy::market;
+
+namespace {
+
+io::Series make_series(std::vector<double> ys) {
+  io::Series s("s");
+  for (std::size_t i = 0; i < ys.size(); ++i) s.add(static_cast<double>(i), ys[i]);
+  return s;
+}
+
+TEST(Shapes, MonotoneChecks) {
+  EXPECT_TRUE(analysis::expect_non_increasing(make_series({3, 2, 2, 1}), "down").ok);
+  EXPECT_FALSE(analysis::expect_non_increasing(make_series({3, 2, 2.5, 1}), "down").ok);
+  EXPECT_TRUE(analysis::expect_non_decreasing(make_series({1, 1, 2, 3}), "up").ok);
+  EXPECT_FALSE(analysis::expect_non_decreasing(make_series({1, 0.5, 2}), "up").ok);
+  // Failure detail names the offending point.
+  const analysis::ShapeResult r =
+      analysis::expect_non_increasing(make_series({3, 2, 2.5}), "down");
+  EXPECT_NE(r.detail.find("x=2"), std::string::npos);
+}
+
+TEST(Shapes, SinglePeaked) {
+  EXPECT_TRUE(analysis::expect_single_peaked(make_series({1, 2, 3, 2, 1}), "peak").ok);
+  EXPECT_FALSE(analysis::expect_single_peaked(make_series({3, 2, 1}), "peak").ok);
+  EXPECT_FALSE(analysis::expect_single_peaked(make_series({1, 2, 3}), "peak").ok);
+  EXPECT_FALSE(analysis::expect_single_peaked(make_series({1, 3, 2, 3, 1}), "peak").ok);
+  EXPECT_FALSE(analysis::expect_single_peaked(make_series({1, 2}), "peak").ok);
+}
+
+TEST(Shapes, PeakLocation) {
+  const io::Series s = make_series({1, 4, 2, 1});
+  EXPECT_TRUE(analysis::expect_peak_in(s, 0.5, 1.5, "peak near 1").ok);
+  EXPECT_FALSE(analysis::expect_peak_in(s, 2.0, 3.0, "peak near 2.5").ok);
+}
+
+TEST(Shapes, DominanceAndCrossings) {
+  const io::Series hi = make_series({3, 3, 3});
+  const io::Series lo = make_series({1, 2, 2.5});
+  EXPECT_TRUE(analysis::expect_dominates(hi, lo, "hi >= lo").ok);
+  EXPECT_FALSE(analysis::expect_dominates(lo, hi, "lo >= hi").ok);
+
+  const io::Series a = make_series({0, 2, 0, 2});
+  const io::Series b = make_series({1, 1, 1, 1});
+  const analysis::ShapeResult crossings = analysis::expect_crossings(a, b, 3, "3 crossings");
+  EXPECT_TRUE(crossings.ok) << crossings.detail;
+  EXPECT_FALSE(analysis::expect_crossings(a, b, 1, "1 crossing").ok);
+
+  const auto first = analysis::first_crossing(a, b);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(*first, 1.0);
+  EXPECT_FALSE(analysis::first_crossing(lo, hi).has_value());
+}
+
+TEST(Shapes, ReportAggregation) {
+  analysis::ShapeReport report;
+  report.add({true, "fine", ""});
+  report.add({false, "broken", "detail"});
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.failures(), 1);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("[PASS] fine"), std::string::npos);
+  EXPECT_NE(text.find("[FAIL] broken (detail)"), std::string::npos);
+}
+
+TEST(Grid, SolvesAndExtracts) {
+  const econ::Market mkt = econ::Market::exponential(1.0, {2.0, 4.0}, {3.0, 2.0}, {1.0, 0.6});
+  analysis::GridSpec spec;
+  spec.prices = {0.3, 0.6, 0.9};
+  spec.policy_caps = {0.0, 0.5};
+  const analysis::EquilibriumGrid grid(mkt, spec);
+
+  EXPECT_EQ(grid.num_cells(), 6u);
+  EXPECT_EQ(grid.failures(), 0);
+  EXPECT_THROW((void)grid.cell(3, 0), std::out_of_range);
+  EXPECT_THROW((void)grid.cell(0, 2), std::out_of_range);
+
+  // Revenue series: one per cap, ordered q=0 below q=0.5 pointwise.
+  const auto revenue = grid.series_by_cap(analysis::extract_revenue());
+  ASSERT_EQ(revenue.size(), 2u);
+  EXPECT_EQ(revenue[0].name, "q=0.0");
+  EXPECT_TRUE(analysis::expect_dominates(revenue[1], revenue[0], "R ordered in q", 1e-8).ok);
+
+  // Subsidies at q=0 are identically zero.
+  const io::Series s0 = grid.series_at_cap(0, analysis::extract_subsidy(1), "s1");
+  for (double y : s0.y) EXPECT_DOUBLE_EQ(y, 0.0);
+
+  // Per-provider extractors agree with the stored cells.
+  const analysis::GridCell& c = grid.cell(1, 1);
+  EXPECT_DOUBLE_EQ(analysis::extract_population(0)(c), c.state.providers[0].population);
+  EXPECT_DOUBLE_EQ(analysis::extract_throughput(1)(c), c.state.providers[1].throughput);
+  EXPECT_DOUBLE_EQ(analysis::extract_utility(0)(c), c.state.providers[0].utility);
+  EXPECT_DOUBLE_EQ(analysis::extract_utilization()(c), c.state.utilization);
+  EXPECT_DOUBLE_EQ(analysis::extract_aggregate_throughput()(c),
+                   c.state.aggregate_throughput);
+  EXPECT_THROW((void)analysis::extract_subsidy(9)(c), std::out_of_range);
+}
+
+TEST(Grid, RejectsEmptySpec) {
+  const econ::Market mkt = market::section5_market();
+  EXPECT_THROW(analysis::EquilibriumGrid(mkt, analysis::GridSpec{}), std::invalid_argument);
+}
+
+}  // namespace

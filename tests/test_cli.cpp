@@ -1,0 +1,175 @@
+// CLI library tests: argument parsing, market-spec grammar and the command
+// implementations run against in-memory streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "subsidy/cli/args.hpp"
+#include "subsidy/cli/commands.hpp"
+#include "subsidy/cli/market_spec.hpp"
+
+namespace cli = subsidy::cli;
+namespace econ = subsidy::econ;
+
+namespace {
+
+TEST(Args, ParsesCommandOptionsAndFlags) {
+  const cli::Args args =
+      cli::Args::parse({"nash", "--price", "0.8", "--cap", "1.0", "--verbose"}, {"verbose"});
+  EXPECT_EQ(args.command(), "nash");
+  EXPECT_DOUBLE_EQ(args.get_double("price"), 0.8);
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_FALSE(args.flag("quiet"));
+  EXPECT_EQ(args.get_or("solver", "auto"), "auto");
+  EXPECT_DOUBLE_EQ(args.get_double_or("missing", 7.0), 7.0);
+  EXPECT_EQ(args.get_int_or("points", 5), 5);
+}
+
+TEST(Args, ErrorsOnMalformedInput) {
+  EXPECT_THROW((void)cli::Args::parse({}), std::invalid_argument);
+  EXPECT_THROW((void)cli::Args::parse({"nash", "positional"}), std::invalid_argument);
+  EXPECT_THROW((void)cli::Args::parse({"nash", "--price"}), std::invalid_argument);
+  EXPECT_THROW((void)cli::Args::parse({"nash", "--"}), std::invalid_argument);
+
+  const cli::Args args = cli::Args::parse({"nash", "--price", "abc"});
+  EXPECT_THROW((void)args.get_double("price"), std::invalid_argument);
+  EXPECT_THROW((void)args.get("missing"), std::invalid_argument);
+}
+
+TEST(Args, DoubleLists) {
+  EXPECT_EQ(cli::parse_double_list("1,2.5,-3"), (std::vector<double>{1.0, 2.5, -3.0}));
+  EXPECT_THROW((void)cli::parse_double_list("1,,2"), std::invalid_argument);
+  EXPECT_THROW((void)cli::parse_double_list("1,x"), std::invalid_argument);
+}
+
+TEST(MarketSpec, NamedScenarios) {
+  EXPECT_EQ(cli::parse_market_spec("section3").num_providers(), 9u);
+  EXPECT_EQ(cli::parse_market_spec("section5").num_providers(), 8u);
+}
+
+TEST(MarketSpec, CustomExponential) {
+  const econ::Market mkt =
+      cli::parse_market_spec("exp:mu=2;alpha=1,3;beta=2,4;v=0.5,1");
+  EXPECT_EQ(mkt.num_providers(), 2u);
+  EXPECT_DOUBLE_EQ(mkt.capacity(), 2.0);
+  EXPECT_DOUBLE_EQ(mkt.provider(1).profitability, 1.0);
+}
+
+TEST(MarketSpec, UtilizationSuffixes) {
+  EXPECT_EQ(cli::parse_market_spec("section5+delay").utilization_model().name(),
+            econ::DelayUtilization{}.name());
+  EXPECT_EQ(cli::parse_market_spec("section5+power:1.5").utilization_model().name(),
+            econ::PowerUtilization{1.5}.name());
+}
+
+TEST(MarketSpec, Errors) {
+  EXPECT_THROW((void)cli::parse_market_spec("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)cli::parse_market_spec("exp:alpha=1;beta=1,2;v=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)cli::parse_market_spec("exp:mu=1;alpha=1;beta=1;v=1;zzz=2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)cli::parse_market_spec("section5+warp"), std::invalid_argument);
+}
+
+int run(const std::vector<std::string>& argv, std::string* out_text = nullptr) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = cli::run_cli(argv, out, err);
+  if (out_text) *out_text = out.str() + err.str();
+  return code;
+}
+
+TEST(Commands, EvaluatePrintsState) {
+  std::string text;
+  const int code = run({"evaluate", "--market", "section5", "--price", "0.8"}, &text);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(text.find("phi="), std::string::npos);
+  EXPECT_NE(text.find("theta_i"), std::string::npos);
+}
+
+TEST(Commands, EvaluateRejectsWrongSubsidyCount) {
+  std::string text;
+  const int code =
+      run({"evaluate", "--market", "section5", "--price", "0.8", "--subsidies", "0.1"}, &text);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(text.find("8 values"), std::string::npos);
+}
+
+TEST(Commands, NashReportsKkt) {
+  std::string text;
+  const int code =
+      run({"nash", "--market", "section5", "--price", "0.8", "--cap", "1.0"}, &text);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(text.find("kkt=satisfied"), std::string::npos);
+  EXPECT_NE(text.find("N~"), std::string::npos);
+}
+
+TEST(Commands, NashSolverSelection) {
+  std::string text;
+  EXPECT_EQ(run({"nash", "--market", "section5", "--price", "0.8", "--cap", "0.5",
+                 "--solver", "eg"},
+                &text),
+            0);
+  EXPECT_EQ(run({"nash", "--market", "section5", "--price", "0.8", "--cap", "0.5",
+                 "--solver", "zzz"},
+                &text),
+            2);
+}
+
+TEST(Commands, SweepEmitsCsv) {
+  std::string text;
+  const int code = run({"sweep", "--market", "exp:mu=1;alpha=2;beta=2;v=1", "--cap", "0.5",
+                        "--points", "5"},
+                       &text);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(text.find("p,phi,theta,revenue,welfare"), std::string::npos);
+  // Header plus five data rows.
+  EXPECT_EQ(static_cast<int>(std::count(text.begin(), text.end(), '\n')), 6);
+}
+
+TEST(Commands, PolicySweepFixedPrice) {
+  std::string text;
+  const int code = run({"policy", "--market", "section5", "--price", "0.8", "--caps",
+                        "0,1,2"},
+                       &text);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(text.find("welfare"), std::string::npos);
+}
+
+TEST(Commands, SurplusDecomposition) {
+  std::string text;
+  const int code =
+      run({"surplus", "--market", "section5", "--price", "0.8", "--cap", "1.0"}, &text);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(text.find("user surplus"), std::string::npos);
+  EXPECT_NE(text.find("total="), std::string::npos);
+}
+
+TEST(Commands, TraceRoundTripThroughCalibrate) {
+  const std::string path = "/tmp/subsidy_cli_test_trace.csv";
+  std::string text;
+  const int gen = run({"generate-trace", "--market", "exp:mu=1;alpha=2,4;beta=1,3;v=0.5,1",
+                       "--days", "60", "--noise", "0.01", "--seed", "9", "--out", path},
+                      &text);
+  ASSERT_EQ(gen, 0);
+  const int cal = run({"calibrate", "--trace", path}, &text);
+  EXPECT_EQ(cal, 0);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("cp1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Commands, ValidateAndHelpAndUnknown) {
+  std::string text;
+  EXPECT_EQ(run({"validate", "--market", "section3"}, &text), 0);
+  EXPECT_NE(text.find("satisfied"), std::string::npos);
+  EXPECT_EQ(run({"help"}, &text), 0);
+  EXPECT_NE(text.find("subsidy_cli"), std::string::npos);
+  EXPECT_EQ(run({"frobnicate"}, &text), 2);
+  EXPECT_EQ(run({}, &text), 2);
+}
+
+}  // namespace

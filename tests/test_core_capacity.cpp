@@ -1,0 +1,74 @@
+// Capacity planning (the paper's Section 6 future work): profit-maximizing
+// capacity choice and the reinvestment dynamic.
+#include <gtest/gtest.h>
+
+#include "subsidy/core/capacity.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace core = subsidy::core;
+namespace market = subsidy::market;
+
+namespace {
+
+core::CapacityPlanOptions fast_options() {
+  core::CapacityPlanOptions opt;
+  opt.capacity_min = 0.5;
+  opt.capacity_max = 3.0;
+  opt.grid_points = 7;
+  opt.refine_tolerance = 1e-2;
+  opt.price_search.price_min = 0.05;
+  opt.price_search.price_max = 2.0;
+  opt.price_search.grid_points = 9;
+  opt.price_search.refine_tolerance = 1e-3;
+  return opt;
+}
+
+TEST(CapacityPlanner, OptimizeProducesConsistentPlan) {
+  const core::CapacityPlanner planner(market::section5_market(), fast_options());
+  const core::CapacityPlan plan = planner.optimize(1.0, 0.1);
+  EXPECT_GE(plan.capacity, 0.5);
+  EXPECT_LE(plan.capacity, 3.0);
+  EXPECT_NEAR(plan.profit, plan.revenue - 0.1 * plan.capacity, 1e-9);
+  EXPECT_GT(plan.revenue, 0.0);
+}
+
+TEST(CapacityPlanner, HigherCapacityCostLowersChosenCapacity) {
+  const core::CapacityPlanner planner(market::section5_market(), fast_options());
+  const core::CapacityPlan cheap = planner.optimize(1.0, 0.02);
+  const core::CapacityPlan expensive = planner.optimize(1.0, 0.6);
+  EXPECT_GE(cheap.capacity, expensive.capacity - 1e-6);
+}
+
+TEST(CapacityPlanner, DeregulationRaisesOptimalCapacityProfit) {
+  // The paper's investment-incentive argument: under a larger policy cap the
+  // ISP's achievable profit (revenue minus capacity cost) weakly rises.
+  const core::CapacityPlanner planner(market::section5_market(), fast_options());
+  const core::CapacityPlan regulated = planner.optimize(0.0, 0.1);
+  const core::CapacityPlan deregulated = planner.optimize(2.0, 0.1);
+  EXPECT_GE(deregulated.profit, regulated.profit - 1e-6);
+}
+
+TEST(CapacityPlanner, ReinvestmentPathGrowsCapacity) {
+  const core::CapacityPlanner planner(market::section5_market(), fast_options());
+  const std::vector<core::ReinvestmentStep> path =
+      planner.reinvestment_path(2.0, 0.5, 0.5, 4);
+  ASSERT_EQ(path.size(), 4u);
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    EXPECT_GE(path[k].capacity, path[k - 1].capacity - 1e-12) << "k=" << k;
+  }
+  // Capacity expansion relieves congestion along the path.
+  EXPECT_LE(path.back().utilization, path.front().utilization + 1e-9);
+}
+
+TEST(CapacityPlanner, RejectsBadArguments) {
+  const core::CapacityPlanner planner(market::section5_market(), fast_options());
+  EXPECT_THROW((void)planner.optimize(1.0, -0.5), std::invalid_argument);
+  EXPECT_THROW((void)planner.reinvestment_path(1.0, 0.0, 0.5, 3), std::invalid_argument);
+  EXPECT_THROW((void)planner.reinvestment_path(1.0, 0.5, 1.5, 3), std::invalid_argument);
+
+  core::CapacityPlanOptions bad = fast_options();
+  bad.capacity_min = 0.0;
+  EXPECT_THROW(core::CapacityPlanner(market::section5_market(), bad), std::invalid_argument);
+}
+
+}  // namespace

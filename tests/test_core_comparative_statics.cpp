@@ -1,0 +1,164 @@
+// Theorem 1 (capacity and user effect): the analytic sensitivities must carry
+// the signs the theorem proves and agree with finite differences of re-solved
+// equilibria.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/core/comparative_statics.hpp"
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+
+namespace {
+
+struct StaticsFixture {
+  econ::Market mkt;
+  core::ModelEvaluator evaluator;
+  std::vector<double> m;
+  double phi;
+
+  explicit StaticsFixture(econ::Market market_in, std::vector<double> populations)
+      : mkt(std::move(market_in)), evaluator(mkt), m(std::move(populations)),
+        phi(evaluator.solver().solve(m)) {}
+};
+
+StaticsFixture default_fixture() {
+  return StaticsFixture(econ::Market::exponential(1.0, {1.0, 3.0, 5.0}, {2.0, 1.0, 4.0},
+                                                  {1.0, 1.0, 1.0}),
+                        {0.7, 0.5, 0.9});
+}
+
+TEST(Theorem1, SignsOfAllSensitivities) {
+  const StaticsFixture fx = default_fixture();
+  const core::CapacityUserEffects effects =
+      core::capacity_user_effects(fx.evaluator, fx.m, fx.phi);
+
+  EXPECT_GT(effects.gap_derivative, 0.0);
+  EXPECT_LT(effects.dphi_dmu, 0.0);  // more capacity => less congestion
+  for (std::size_t i = 0; i < fx.m.size(); ++i) {
+    EXPECT_GT(effects.dphi_dm[i], 0.0);   // more users => more congestion
+    EXPECT_GT(effects.dtheta_dmu[i], 0.0);  // more capacity => more throughput
+    for (std::size_t j = 0; j < fx.m.size(); ++j) {
+      if (i == j) {
+        EXPECT_GT(effects.dtheta_dm(i, j), 0.0);  // own users help
+      } else {
+        EXPECT_LT(effects.dtheta_dm(i, j), 0.0);  // negative externality
+      }
+    }
+  }
+}
+
+TEST(Theorem1, DphiDmuMatchesFiniteDifference) {
+  const StaticsFixture fx = default_fixture();
+  const double analytic = fx.evaluator.dphi_dmu(fx.phi, fx.m);
+
+  const double h = 1e-6;
+  const double phi_hi = core::UtilizationSolver(fx.mkt.with_capacity(1.0 + h)).solve(fx.m);
+  const double phi_lo = core::UtilizationSolver(fx.mkt.with_capacity(1.0 - h)).solve(fx.m);
+  const double fd = (phi_hi - phi_lo) / (2.0 * h);
+  EXPECT_NEAR(analytic, fd, 1e-5 * std::max(1.0, std::fabs(fd)));
+}
+
+TEST(Theorem1, DphiDmMatchesFiniteDifference) {
+  const StaticsFixture fx = default_fixture();
+  const core::UtilizationSolver& solver = fx.evaluator.solver();
+  for (std::size_t i = 0; i < fx.m.size(); ++i) {
+    const double analytic = fx.evaluator.dphi_dm(fx.phi, fx.m, i);
+    const double h = 1e-6;
+    std::vector<double> hi = fx.m;
+    std::vector<double> lo = fx.m;
+    hi[i] += h;
+    lo[i] -= h;
+    const double fd = (solver.solve(hi) - solver.solve(lo)) / (2.0 * h);
+    EXPECT_NEAR(analytic, fd, 1e-5 * std::max(1.0, std::fabs(fd))) << "i=" << i;
+  }
+}
+
+TEST(Theorem1, DthetaDmMatrixMatchesFiniteDifference) {
+  const StaticsFixture fx = default_fixture();
+  const core::CapacityUserEffects effects =
+      core::capacity_user_effects(fx.evaluator, fx.m, fx.phi);
+  const core::UtilizationSolver& solver = fx.evaluator.solver();
+
+  auto theta_of = [&](const std::vector<double>& m, std::size_t i) {
+    const double phi = solver.solve(m);
+    return m[i] * fx.mkt.provider(i).throughput->rate(phi);
+  };
+
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < fx.m.size(); ++i) {
+    for (std::size_t j = 0; j < fx.m.size(); ++j) {
+      std::vector<double> hi = fx.m;
+      std::vector<double> lo = fx.m;
+      hi[j] += h;
+      lo[j] -= h;
+      const double fd = (theta_of(hi, i) - theta_of(lo, i)) / (2.0 * h);
+      EXPECT_NEAR(effects.dtheta_dm(i, j), fd, 1e-4 * std::max(1.0, std::fabs(fd)))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(Theorem1, UserImpactProportionalToPerUserThroughput) {
+  // The paper notes dphi/dm_i : dphi/dm_j = lambda_i : lambda_j.
+  const StaticsFixture fx = default_fixture();
+  const double l0 = fx.mkt.provider(0).throughput->rate(fx.phi);
+  const double l1 = fx.mkt.provider(1).throughput->rate(fx.phi);
+  const double d0 = fx.evaluator.dphi_dm(fx.phi, fx.m, 0);
+  const double d1 = fx.evaluator.dphi_dm(fx.phi, fx.m, 1);
+  EXPECT_NEAR(d0 / d1, l0 / l1, 1e-9);
+}
+
+TEST(Theorem1, Equation14ElasticityDecomposition) {
+  // eps^lambda_m_j must equal eps^phi_m_j * eps^lambda_phi.
+  const StaticsFixture fx = default_fixture();
+  const std::vector<double> eps =
+      core::lambda_population_elasticities(fx.evaluator, fx.m, fx.phi);
+  for (std::size_t j = 0; j < fx.m.size(); ++j) {
+    const double eps_phi_m = fx.evaluator.dphi_dm(fx.phi, fx.m, j) * fx.m[j] / fx.phi;
+    const double eps_lambda_phi = fx.mkt.provider(j).throughput->elasticity(fx.phi);
+    EXPECT_NEAR(eps[j], eps_phi_m * eps_lambda_phi, 1e-9) << "j=" << j;
+  }
+}
+
+// Property sweep: Theorem 1 signs hold across utilization models and random
+// markets, not just the paper's linear form.
+struct ModelCase {
+  const char* label;
+  std::shared_ptr<const econ::UtilizationModel> model;
+};
+
+class Theorem1ModelSweep : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(Theorem1ModelSweep, SignsHoldAcrossRandomMarkets) {
+  subsidy::num::Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    econ::Market mkt =
+        market::random_market(rng).with_utilization_model(GetParam().model->clone());
+    const core::ModelEvaluator evaluator(mkt);
+    std::vector<double> m(mkt.num_providers());
+    for (auto& x : m) x = rng.uniform(0.05, 0.8);
+    // Keep demand below capacity for saturating models.
+    const double phi = evaluator.solver().solve(m);
+    const core::CapacityUserEffects effects = core::capacity_user_effects(evaluator, m, phi);
+    EXPECT_GT(effects.gap_derivative, 0.0) << GetParam().label;
+    EXPECT_LT(effects.dphi_dmu, 0.0) << GetParam().label;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      EXPECT_GT(effects.dphi_dm[i], 0.0) << GetParam().label;
+      EXPECT_GT(effects.dtheta_dmu[i], 0.0) << GetParam().label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, Theorem1ModelSweep,
+    ::testing::Values(ModelCase{"linear", std::make_shared<econ::LinearUtilization>()},
+                      ModelCase{"delay", std::make_shared<econ::DelayUtilization>()},
+                      ModelCase{"power", std::make_shared<econ::PowerUtilization>(1.25)}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+}  // namespace

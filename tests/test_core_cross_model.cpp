@@ -1,0 +1,119 @@
+// Cross-model theorem suite: the paper's results rely only on Assumptions 1
+// and 2, so every headline property must survive swapping the utilization
+// model and the curve families. Parameterized over physical models; each test
+// replays a theorem's check on the Section 5 market under that model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "subsidy/core/core.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+
+namespace {
+
+struct ModelCase {
+  const char* label;
+  std::shared_ptr<const econ::UtilizationModel> model;
+};
+
+class CrossModelTheorems : public ::testing::TestWithParam<ModelCase> {
+ protected:
+  [[nodiscard]] econ::Market paper_market() const {
+    return market::section5_market().with_utilization_model(GetParam().model->clone());
+  }
+};
+
+TEST_P(CrossModelTheorems, Lemma1UniqueUtilization) {
+  const econ::Market mkt = paper_market();
+  const core::UtilizationSolver solver(mkt);
+  const std::vector<double> m(8, 0.1);
+  const double phi = solver.solve(m);
+  EXPECT_NEAR(solver.gap(phi, m), 0.0, 1e-9);
+  // Same root from a far-off warm start (uniqueness in practice).
+  EXPECT_NEAR(solver.solve(m, phi * 8.0 + 1.0), phi, 1e-9);
+}
+
+TEST_P(CrossModelTheorems, Theorem3KktAtEquilibrium) {
+  const core::SubsidizationGame game(paper_market(), 0.7, 0.8);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged) << GetParam().label;
+  EXPECT_TRUE(core::verify_kkt(game, nash.subsidies).satisfied) << GetParam().label;
+}
+
+TEST_P(CrossModelTheorems, Theorem4SolverAgreement) {
+  const core::SubsidizationGame game(paper_market(), 0.7, 0.8);
+  const core::NashResult br = core::BestResponseSolver{}.solve(game);
+  const core::NashResult eg = core::ExtragradientSolver{}.solve(game);
+  ASSERT_TRUE(br.converged) << GetParam().label;
+  ASSERT_TRUE(eg.converged) << GetParam().label;
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(br.subsidies[i], eg.subsidies[i], 1e-4) << GetParam().label << " i=" << i;
+  }
+}
+
+TEST_P(CrossModelTheorems, Theorem5ProfitabilityMonotone) {
+  const econ::Market mkt = paper_market();
+  const double p = 0.7;
+  const double q = 0.8;
+  const std::size_t cp = 1;  // (alpha=2, beta=5, v=0.5)
+  const core::NashResult low = core::solve_nash(core::SubsidizationGame(mkt, p, q));
+  const core::NashResult high = core::solve_nash(
+      core::SubsidizationGame(mkt.with_profitability(cp, 1.4), p, q), low.subsidies);
+  ASSERT_TRUE(low.converged);
+  ASSERT_TRUE(high.converged);
+  EXPECT_GE(high.subsidies[cp], low.subsidies[cp] - 1e-8) << GetParam().label;
+}
+
+TEST_P(CrossModelTheorems, Corollary1DeregulationSigns) {
+  const econ::Market mkt = paper_market();
+  const core::SubsidizationGame game(mkt, 0.7, 0.5);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+  const core::SensitivityReport sens = core::equilibrium_sensitivity(game, nash.subsidies);
+  if (!sens.valid) GTEST_SKIP() << "degenerate equilibrium under " << GetParam().label;
+  EXPECT_GE(sens.dphi_dq, -1e-10) << GetParam().label;
+  EXPECT_GE(sens.dR_dq, -1e-10) << GetParam().label;
+}
+
+TEST_P(CrossModelTheorems, Theorem7MarginalRevenueIdentity) {
+  const core::RevenueModel model(paper_market(), 0.8);
+  const core::MarginalRevenue mr = model.marginal_revenue(0.7);
+  const double numeric = model.marginal_revenue_numeric(0.7);
+  EXPECT_NEAR(mr.value, numeric, 3e-2 * std::max(0.05, std::fabs(numeric)))
+      << GetParam().label;
+}
+
+TEST_P(CrossModelTheorems, Theorem8WelfareDerivative) {
+  const core::PolicyAnalyzer analyzer(paper_market(), core::PriceResponse::fixed(0.7));
+  const core::PolicyEffects fx = analyzer.policy_effects(0.5);
+  const double numeric = analyzer.marginal_welfare_numeric(0.5, 1e-5);
+  EXPECT_NEAR(fx.dW_dq, numeric, 3e-2 * std::max(0.05, std::fabs(numeric)))
+      << GetParam().label;
+}
+
+TEST_P(CrossModelTheorems, SurplusAccountingHolds) {
+  const econ::Market mkt = paper_market();
+  const core::SubsidizationGame game(mkt, 0.7, 0.8);
+  const core::NashResult nash = core::solve_nash(game);
+  const core::ModelEvaluator evaluator(mkt);
+  const core::SurplusReport report = core::surplus_decomposition(evaluator, nash.state);
+  ASSERT_TRUE(report.finite);
+  EXPECT_NEAR(report.total_surplus,
+              report.user_surplus + report.cp_profit + report.isp_revenue, 1e-10)
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, CrossModelTheorems,
+    ::testing::Values(ModelCase{"linear", std::make_shared<econ::LinearUtilization>()},
+                      ModelCase{"delay", std::make_shared<econ::DelayUtilization>()},
+                      ModelCase{"power_1_5", std::make_shared<econ::PowerUtilization>(1.5)},
+                      ModelCase{"power_0_7", std::make_shared<econ::PowerUtilization>(0.7)}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+}  // namespace

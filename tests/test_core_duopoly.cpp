@@ -1,0 +1,168 @@
+// ISP duopoly extension: state consistency, the CPs' subsidy game across two
+// networks, and the pricing competition between ISPs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/core/duopoly.hpp"
+#include "subsidy/core/price_optimizer.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+
+namespace {
+
+core::DuopolySpec symmetric_spec() {
+  return core::DuopolySpec(econ::Market::exponential(1.0, {2.0, 5.0, 3.0}, {3.0, 2.0, 4.0},
+                                                     {1.0, 0.8, 0.5}),
+                           /*mu_a=*/0.6, /*mu_b=*/0.6);
+}
+
+TEST(Duopoly, SpecValidation) {
+  EXPECT_THROW(core::DuopolySpec(market::section5_market(), 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(core::DuopolySpec(market::section5_market(), 1.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Duopoly, SymmetricPricesSplitUsersEvenly) {
+  const core::DuopolyModel model(symmetric_spec());
+  const std::vector<double> s(3, 0.0);
+  const core::DuopolyState state = model.evaluate(0.8, 0.8, s);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(state.population_a[i], state.population_b[i], 1e-12) << "i=" << i;
+  }
+  EXPECT_NEAR(state.utilization_a, state.utilization_b, 1e-10);
+  EXPECT_NEAR(state.revenue_a, state.revenue_b, 1e-10);
+}
+
+TEST(Duopoly, CheaperIspAttractsMoreUsers) {
+  const core::DuopolyModel model(symmetric_spec());
+  const std::vector<double> s(3, 0.0);
+  const core::DuopolyState state = model.evaluate(0.5, 1.0, s);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(state.population_a[i], state.population_b[i]) << "i=" << i;
+  }
+  EXPECT_GT(state.utilization_a, state.utilization_b);
+}
+
+TEST(Duopoly, PriceCutStealsAndGrows) {
+  // Lowering p_A must raise A's subscribers, lower B's (stealing), and raise
+  // the total (market expansion against the outside option).
+  const core::DuopolyModel model(symmetric_spec());
+  const std::vector<double> s(3, 0.0);
+  const core::DuopolyState before = model.evaluate(0.8, 0.8, s);
+  const core::DuopolyState after = model.evaluate(0.6, 0.8, s);
+  double a_before = 0.0;
+  double a_after = 0.0;
+  double b_before = 0.0;
+  double b_after = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    a_before += before.population_a[i];
+    a_after += after.population_a[i];
+    b_before += before.population_b[i];
+    b_after += after.population_b[i];
+  }
+  EXPECT_GT(a_after, a_before);
+  EXPECT_LT(b_after, b_before);
+  EXPECT_GT(after.total_subscribers(), before.total_subscribers());
+}
+
+TEST(Duopoly, BothPricesHighKillDemand) {
+  const core::DuopolyModel model(symmetric_spec());
+  const std::vector<double> s(3, 0.0);
+  const core::DuopolyState state = model.evaluate(30.0, 30.0, s);
+  EXPECT_LT(state.total_subscribers(), 1e-6);
+}
+
+TEST(Duopoly, SubsidyRaisesOwnThroughputAcrossBothNetworks) {
+  const core::DuopolyModel model(symmetric_spec());
+  std::vector<double> s(3, 0.0);
+  const core::DuopolyState before = model.evaluate(0.8, 0.9, s);
+  s[0] = 0.4;
+  const core::DuopolyState after = model.evaluate(0.8, 0.9, s);
+  EXPECT_GT(after.throughput_a[0] + after.throughput_b[0],
+            before.throughput_a[0] + before.throughput_b[0]);
+  // Rivals lose on both networks (congestion externality).
+  EXPECT_LE(after.throughput_a[1] + after.throughput_b[1],
+            before.throughput_a[1] + before.throughput_b[1] + 1e-12);
+}
+
+TEST(Duopoly, SubsidyEquilibriumConvergesAndRespectsBounds) {
+  const core::DuopolyModel model(symmetric_spec());
+  const core::NashResult nash = model.solve_subsidies(0.7, 0.9, 0.6);
+  ASSERT_TRUE(nash.converged);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(nash.subsidies[i], 0.0);
+    EXPECT_LE(nash.subsidies[i],
+              std::min(0.6, model.spec().base.provider(i).profitability) + 1e-9);
+  }
+  // Each subsidy is a best response at the fixed point.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double br = model.cp_best_response(i, 0.7, 0.9, nash.subsidies, 0.6);
+    EXPECT_NEAR(nash.subsidies[i], br, 1e-5) << "i=" << i;
+  }
+}
+
+TEST(Duopoly, DeregulationRaisesCombinedRevenue) {
+  const core::DuopolyModel model(symmetric_spec());
+  const core::NashResult regulated = model.solve_subsidies(0.8, 0.8, 0.0);
+  const core::NashResult deregulated = model.solve_subsidies(0.8, 0.8, 0.8);
+  EXPECT_GE(deregulated.state.revenue, regulated.state.revenue - 1e-9);
+  EXPECT_GE(deregulated.state.welfare, regulated.state.welfare - 1e-9);
+}
+
+TEST(Duopoly, PricingGameConvergesToSymmetricEquilibrium) {
+  const core::DuopolyModel model(symmetric_spec());
+  core::DuopolyPricingOptions options;
+  options.grid_points = 11;
+  options.refine_tolerance = 5e-3;
+  options.tolerance = 5e-3;
+  const core::DuopolyPricingGame game(model, /*policy_cap=*/0.5, options);
+  const core::DuopolyPricingResult result = game.solve(1.2, 0.4);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.price_a, result.price_b, 2e-2);  // symmetric fundamentals
+  EXPECT_GT(result.price_a, 0.05);
+  EXPECT_LT(result.price_a, 2.0);
+}
+
+TEST(Duopoly, CompetitionUndercutsMonopolyPrice) {
+  // Like-for-like benchmark: the monopoly case is the SAME logit model with
+  // all capacity on ISP A and the rival priced out of the market (its
+  // attraction weight vanishes). Competition must undercut that price.
+  const auto base =
+      econ::Market::exponential(1.0, {2.0, 5.0, 3.0}, {3.0, 2.0, 4.0}, {1.0, 0.8, 0.5});
+  const core::DuopolyModel monopoly_model(core::DuopolySpec(base, 1.2, 1.2));
+  core::DuopolyPricingOptions options;
+  options.grid_points = 11;
+  options.refine_tolerance = 5e-3;
+  options.tolerance = 5e-3;
+  const core::DuopolyPricingGame monopoly_game(monopoly_model, 0.5, options);
+  // Rival price = 50 drives its logit weight to ~0: ISP A is a monopolist.
+  const double monopoly_price = monopoly_game.best_response_price(
+      /*isp_a=*/true, /*rival_price=*/50.0, /*own_current_price=*/1.0);
+
+  const core::DuopolyModel duo_model(core::DuopolySpec(base, 0.6, 0.6));
+  const core::DuopolyPricingResult duopoly =
+      core::DuopolyPricingGame(duo_model, 0.5, options).solve();
+
+  EXPECT_LT(duopoly.price_a, monopoly_price);
+  EXPECT_LT(duopoly.price_b, monopoly_price);
+}
+
+TEST(Duopoly, ErrorsOnBadInput) {
+  const core::DuopolyModel model(symmetric_spec());
+  EXPECT_THROW((void)model.evaluate(0.5, 0.5, std::vector<double>{0.1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)model.cp_utility(7, 0.5, 0.5, std::vector<double>(3, 0.0)),
+               std::out_of_range);
+  EXPECT_THROW((void)model.solve_subsidies(0.5, 0.5, 0.5, std::vector<double>{0.1}),
+               std::invalid_argument);
+  core::DuopolyPricingOptions bad;
+  bad.price_min = 2.0;
+  bad.price_max = 1.0;
+  EXPECT_THROW(core::DuopolyPricingGame(model, 0.5, bad), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Edge cases and failure injection for the core model: degenerate prices and
+// caps, single-provider markets, symmetric players, kinked demand curves,
+// and misbehaving user-supplied curves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "subsidy/core/core.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+
+namespace {
+
+TEST(EdgeCases, ZeroPriceBaseline) {
+  // Free access: maximum demand, zero revenue, positive welfare.
+  const econ::Market mkt = market::section5_market();
+  const core::ModelEvaluator evaluator(mkt);
+  const core::SystemState state = evaluator.evaluate_unsubsidized(0.0);
+  EXPECT_DOUBLE_EQ(state.revenue, 0.0);
+  EXPECT_GT(state.welfare, 0.0);
+  for (const auto& cp : state.providers) EXPECT_DOUBLE_EQ(cp.population, 1.0);
+}
+
+TEST(EdgeCases, ZeroPriceGameStillSolves) {
+  // At p = 0 subsidies push effective prices negative; demand keeps growing
+  // (exponential family), congestion pushes back, and an equilibrium exists.
+  const core::SubsidizationGame game(market::section5_market(), 0.0, 1.0);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+  EXPECT_TRUE(core::verify_kkt(game, nash.subsidies).satisfied);
+}
+
+TEST(EdgeCases, HugeCapIsBoundedByProfitability) {
+  // q = 100: the binding constraint becomes s_i <= v_i everywhere.
+  const core::SubsidizationGame game(market::section5_market(), 0.8, 100.0);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_LE(nash.subsidies[i], game.market().provider(i).profitability + 1e-9) << i;
+  }
+  // And the equilibrium matches the q = 2 one (caps above max v never bind).
+  const core::NashResult nash2 =
+      core::solve_nash(core::SubsidizationGame(market::section5_market(), 0.8, 2.0));
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(nash.subsidies[i], nash2.subsidies[i], 1e-6) << i;
+  }
+}
+
+TEST(EdgeCases, SingleProviderMonopolyGame) {
+  // One CP: the game is a plain optimization. Equilibrium = best response.
+  const econ::Market mkt = econ::Market::exponential(1.0, {3.0}, {2.0}, {1.0});
+  const core::SubsidizationGame game(mkt, 0.8, 1.0);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+  const double br = game.best_response(0, std::vector<double>{nash.subsidies[0]});
+  EXPECT_NEAR(nash.subsidies[0], br, 1e-8);
+  EXPECT_TRUE(core::verify_kkt(game, nash.subsidies).satisfied);
+}
+
+TEST(EdgeCases, SymmetricPlayersGetSymmetricEquilibrium) {
+  const econ::Market mkt =
+      econ::Market::exponential(1.0, {4.0, 4.0, 4.0}, {3.0, 3.0, 3.0}, {1.0, 1.0, 1.0});
+  const core::SubsidizationGame game(mkt, 0.7, 1.0);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+  EXPECT_NEAR(nash.subsidies[0], nash.subsidies[1], 1e-8);
+  EXPECT_NEAR(nash.subsidies[1], nash.subsidies[2], 1e-8);
+}
+
+TEST(EdgeCases, ZeroProfitabilityProviderNeverSubsidizes) {
+  const econ::Market mkt = econ::Market::exponential(1.0, {3.0, 4.0}, {2.0, 2.0}, {0.0, 1.0});
+  const core::SubsidizationGame game(mkt, 0.6, 1.0);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+  EXPECT_DOUBLE_EQ(nash.subsidies[0], 0.0);
+  EXPECT_GT(nash.subsidies[1], 0.0);
+}
+
+TEST(EdgeCases, KinkedLinearDemandStillSolves) {
+  // LinearDemand has derivative kinks at 0 and t_max; the solvers must cope.
+  std::vector<econ::ContentProviderSpec> providers(2);
+  providers[0].name = "linear";
+  providers[0].demand = std::make_shared<econ::LinearDemand>(1.0, 2.0);
+  providers[0].throughput = std::make_shared<econ::ExponentialThroughput>(2.0);
+  providers[0].profitability = 1.0;
+  providers[1].name = "exp";
+  providers[1].demand = std::make_shared<econ::ExponentialDemand>(3.0);
+  providers[1].throughput = std::make_shared<econ::ExponentialThroughput>(3.0);
+  providers[1].profitability = 0.8;
+  const econ::Market mkt(econ::IspSpec{1.0}, std::make_shared<econ::LinearUtilization>(),
+                         providers);
+  const core::SubsidizationGame game(mkt, 0.9, 0.6);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+  const core::KktOptions loose{.boundary_tolerance = 1e-6, .residual_tolerance = 1e-4};
+  EXPECT_TRUE(core::verify_kkt(game, nash.subsidies, loose).satisfied);
+}
+
+TEST(EdgeCases, MixedCurveFamiliesEndToEnd) {
+  // Logit demand + power-law throughput + delay utilization, full pipeline.
+  std::vector<econ::ContentProviderSpec> providers(2);
+  providers[0].name = "logit-powerlaw";
+  providers[0].demand = std::make_shared<econ::LogitDemand>(1.0, 4.0, 0.8);
+  providers[0].throughput = std::make_shared<econ::PowerLawThroughput>(2.0);
+  providers[0].profitability = 1.0;
+  providers[1].name = "iso-delay";
+  providers[1].demand = std::make_shared<econ::IsoelasticDemand>(1.0, 3.0);
+  providers[1].throughput = std::make_shared<econ::DelayThroughput>(2.0);
+  providers[1].profitability = 0.7;
+  const econ::Market mkt(econ::IspSpec{1.0}, std::make_shared<econ::DelayUtilization>(),
+                         providers);
+
+  const core::SubsidizationGame game(mkt, 0.6, 0.5);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+  // Baseline comparison: subsidization cannot reduce utilization or revenue.
+  const core::SystemState base = game.evaluator().evaluate_unsubsidized(0.6);
+  EXPECT_GE(nash.state.utilization, base.utilization - 1e-9);
+  EXPECT_GE(nash.state.revenue, base.revenue - 1e-9);
+}
+
+TEST(FailureInjection, NanDemandCurveSurfacesAsError) {
+  class NanDemand final : public econ::DemandCurve {
+   public:
+    double population(double) const override {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    std::string name() const override { return "nan"; }
+    std::unique_ptr<econ::DemandCurve> clone() const override {
+      return std::make_unique<NanDemand>(*this);
+    }
+  };
+  std::vector<econ::ContentProviderSpec> providers(1);
+  providers[0].name = "nan";
+  providers[0].demand = std::make_shared<NanDemand>();
+  providers[0].throughput = std::make_shared<econ::ExponentialThroughput>(1.0);
+  providers[0].profitability = 1.0;
+  const econ::Market mkt(econ::IspSpec{1.0}, std::make_shared<econ::LinearUtilization>(),
+                         providers);
+  const core::ModelEvaluator evaluator(mkt);
+  EXPECT_THROW((void)evaluator.evaluate_unsubsidized(0.5), std::runtime_error);
+  // The validator catches the same curve statically.
+  EXPECT_FALSE(mkt.validate().ok);
+}
+
+TEST(FailureInjection, ExplosiveThroughputCurveCaughtByValidator) {
+  class ExplosiveThroughput final : public econ::ThroughputCurve {
+   public:
+    double rate(double phi) const override { return 1.0 + phi * phi; }  // increasing!
+    std::string name() const override { return "explosive"; }
+    std::unique_ptr<econ::ThroughputCurve> clone() const override {
+      return std::make_unique<ExplosiveThroughput>(*this);
+    }
+  };
+  const econ::ValidationReport report =
+      econ::validate_throughput_curve(ExplosiveThroughput{});
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(EdgeCases, EvaluatorRejectsNonFinitePrice) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  EXPECT_THROW((void)evaluator.evaluate_unsubsidized(std::nan("")), std::invalid_argument);
+}
+
+TEST(EdgeCases, TinyCapacityStillHasEquilibrium) {
+  // With exponential throughput decay, utilization grows like log(1/mu).
+  const econ::Market mkt = market::section5_market().with_capacity(1e-3);
+  const core::SubsidizationGame game(mkt, 0.8, 1.0);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+  const core::NashResult normal =
+      core::solve_nash(core::SubsidizationGame(market::section5_market(), 0.8, 1.0));
+  EXPECT_GT(nash.state.utilization, 2.0);  // heavily congested...
+  EXPECT_GT(nash.state.utilization, 3.0 * normal.state.utilization);  // ...vs mu = 1
+}
+
+TEST(EdgeCases, HugeCapacityApproachesCongestionFreeThroughput) {
+  const econ::Market mkt = market::section5_market().with_capacity(1e6);
+  const core::ModelEvaluator evaluator(mkt);
+  const core::SystemState state = evaluator.evaluate_unsubsidized(0.8);
+  EXPECT_LT(state.utilization, 1e-5);
+  // theta_i ~ m_i * lambda_i(0).
+  for (const auto& cp : state.providers) {
+    EXPECT_NEAR(cp.per_user_rate, 1.0, 1e-4);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// The subsidization game: Lemma 3 (monotone subsidy effects), marginal
+// utilities vs finite differences, best responses and Theorem 3 thresholds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/core/game.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+
+namespace {
+
+core::SubsidizationGame paper_game(double price = 0.8, double cap = 1.0) {
+  return core::SubsidizationGame(market::section5_market(), price, cap);
+}
+
+TEST(Game, ConstructionAndAccessors) {
+  const core::SubsidizationGame game = paper_game(0.8, 1.0);
+  EXPECT_EQ(game.num_players(), 8u);
+  EXPECT_DOUBLE_EQ(game.price(), 0.8);
+  EXPECT_DOUBLE_EQ(game.policy_cap(), 1.0);
+  EXPECT_THROW(core::SubsidizationGame(market::section5_market(), -1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(core::SubsidizationGame(market::section5_market(), 1.0, -0.1),
+               std::invalid_argument);
+}
+
+TEST(Game, WithPriceAndCapCopies) {
+  const core::SubsidizationGame game = paper_game(0.8, 1.0);
+  EXPECT_DOUBLE_EQ(game.with_price(1.2).price(), 1.2);
+  EXPECT_DOUBLE_EQ(game.with_policy_cap(2.0).policy_cap(), 2.0);
+  EXPECT_DOUBLE_EQ(game.price(), 0.8);  // original untouched
+}
+
+TEST(Game, StateReflectsSubsidies) {
+  const core::SubsidizationGame game = paper_game(0.8, 1.0);
+  std::vector<double> s(8, 0.0);
+  s[3] = 0.4;
+  const core::SystemState state = game.state(s);
+  EXPECT_DOUBLE_EQ(state.providers[3].effective_price, 0.4);
+  EXPECT_DOUBLE_EQ(state.providers[0].effective_price, 0.8);
+  // Subsidized CP retains more users than its unsubsidized twin would.
+  const core::SystemState base = game.state(std::vector<double>(8, 0.0));
+  EXPECT_GT(state.providers[3].population, base.providers[3].population);
+}
+
+TEST(Lemma3, UnilateralSubsidyIncreasesOwnThroughputAndUtilization) {
+  const core::SubsidizationGame game = paper_game(0.8, 1.0);
+  std::vector<double> s(8, 0.1);
+  const core::SystemState before = game.state(s);
+  std::vector<double> s_up = s;
+  s_up[2] += 0.3;
+  const core::SystemState after = game.state(s_up);
+
+  EXPECT_GE(after.utilization, before.utilization);
+  EXPECT_GE(after.providers[2].throughput, before.providers[2].throughput);
+  for (std::size_t j = 0; j < 8; ++j) {
+    if (j == 2) continue;
+    EXPECT_LE(after.providers[j].throughput, before.providers[j].throughput) << "j=" << j;
+    // Other players' utilities weakly decrease as well.
+    EXPECT_LE(after.providers[j].utility, before.providers[j].utility) << "j=" << j;
+  }
+}
+
+TEST(Game, DthetaDsiPositive) {
+  const core::SubsidizationGame game = paper_game(0.8, 1.0);
+  const std::vector<double> s(8, 0.2);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_GT(game.dtheta_i_dsi(i, s), 0.0) << "i=" << i;
+  }
+}
+
+TEST(Game, MarginalUtilityMatchesFiniteDifference) {
+  const core::SubsidizationGame game = paper_game(0.9, 1.5);
+  std::vector<double> s{0.1, 0.3, 0.0, 0.5, 0.2, 0.4, 0.05, 0.6};
+  const double h = 1e-7;
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::vector<double> hi = s;
+    std::vector<double> lo = s;
+    hi[i] += h;
+    lo[i] -= h;
+    const double fd = (game.utility(i, hi) - game.utility(i, lo)) / (2.0 * h);
+    EXPECT_NEAR(game.marginal_utility(i, s), fd, 1e-4 * std::max(1.0, std::fabs(fd)))
+        << "i=" << i;
+  }
+}
+
+TEST(Game, MarginalUtilitiesBatchMatchesSingle) {
+  const core::SubsidizationGame game = paper_game(0.7, 1.0);
+  const std::vector<double> s{0.2, 0.0, 0.4, 0.1, 0.3, 0.2, 0.0, 0.5};
+  const std::vector<double> batch = game.marginal_utilities(s);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(batch[i], game.marginal_utility(i, s), 1e-12) << "i=" << i;
+  }
+}
+
+TEST(Game, BestResponseIsAMaximizer) {
+  const core::SubsidizationGame game = paper_game(0.8, 1.0);
+  const std::vector<double> s(8, 0.25);
+  for (std::size_t i : {std::size_t{0}, std::size_t{3}, std::size_t{7}}) {
+    const double br = game.best_response(i, s);
+    std::vector<double> trial = s;
+    trial[i] = br;
+    const double best = game.utility(i, trial);
+    // No probe point beats the best response.
+    for (double probe : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+      trial[i] = probe;
+      EXPECT_LE(game.utility(i, trial), best + 1e-8) << "i=" << i << " probe=" << probe;
+    }
+  }
+}
+
+TEST(Game, BestResponseNeverExceedsProfitabilityOrCap) {
+  // Low-profit CPs (v = 0.5) never subsidize beyond v even when q is huge.
+  const core::SubsidizationGame game = paper_game(0.5, 10.0);
+  const std::vector<double> s(8, 0.0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double v = game.market().provider(i).profitability;
+    const double br = game.best_response(i, s);
+    EXPECT_LE(br, std::min(v, 10.0) + 1e-9) << "i=" << i;
+  }
+}
+
+TEST(Game, ZeroCapForcesZeroSubsidy) {
+  const core::SubsidizationGame game = paper_game(0.8, 0.0);
+  const std::vector<double> s(8, 0.0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(game.best_response(i, s), 0.0);
+  }
+}
+
+TEST(Theorem3, ThresholdTauEqualsSubsidyAtInteriorStationaryPoint) {
+  // Construct an interior stationary point for player i by best response,
+  // then check tau_i(s) == s_i (the interior case of Theorem 3).
+  const core::SubsidizationGame game = paper_game(0.8, 5.0);  // large cap => interior
+  std::vector<double> s(8, 0.1);
+  const std::size_t i = 7;  // (alpha=5, beta=5, v=1): strong subsidizer
+  const double br = game.best_response(i, s);
+  ASSERT_GT(br, 1e-4);
+  ASSERT_LT(br, game.strategy_upper_bound(i) - 1e-6);
+  s[i] = br;
+  EXPECT_NEAR(game.threshold_tau(i, s), s[i], 1e-5);
+}
+
+TEST(Theorem3, NonSubsidizerHasNonPositiveMarginalUtility) {
+  // At p large, the profit margin shrinks; v=0.5 CPs should not subsidize.
+  const core::SubsidizationGame game = paper_game(1.8, 1.0);
+  std::vector<double> s(8, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) {  // the v = 0.5 row
+    const double br = game.best_response(i, s);
+    if (br == 0.0) {
+      EXPECT_LE(game.marginal_utility(i, s), 1e-9) << "i=" << i;
+      // Equivalent Theorem 3 statement: v_i <= theta_i / (dtheta_i/ds_i).
+      const core::SystemState state = game.state(s);
+      EXPECT_LE(game.market().provider(i).profitability,
+                state.providers[i].throughput / game.dtheta_i_dsi(i, s) + 1e-6);
+    }
+  }
+}
+
+TEST(Game, UtilityThrowsOnBadPlayer) {
+  const core::SubsidizationGame game = paper_game();
+  const std::vector<double> s(8, 0.0);
+  EXPECT_THROW((void)game.utility(8, s), std::out_of_range);
+  EXPECT_THROW((void)game.marginal_utility(8, s), std::out_of_range);
+  EXPECT_THROW((void)game.best_response(8, s), std::out_of_range);
+  EXPECT_THROW((void)game.threshold_tau(8, s), std::out_of_range);
+}
+
+// Property: across prices and caps, a unilateral subsidy increase never hurts
+// the subsidizer's throughput and never helps a rival's (Lemma 3 sweep).
+class Lemma3Sweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(Lemma3Sweep, MonotoneThroughputResponses) {
+  const auto [price, cap] = GetParam();
+  const core::SubsidizationGame game = paper_game(price, cap);
+  std::vector<double> s(8, 0.05);
+  const core::SystemState before = game.state(s);
+  s[5] = std::min(cap, 0.6);
+  const core::SystemState after = game.state(s);
+  EXPECT_GE(after.providers[5].throughput, before.providers[5].throughput - 1e-12);
+  EXPECT_GE(after.utilization, before.utilization - 1e-12);
+  for (std::size_t j = 0; j < 8; ++j) {
+    if (j != 5) {
+      EXPECT_LE(after.providers[j].throughput, before.providers[j].throughput + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Lemma3Sweep,
+                         ::testing::Combine(::testing::Values(0.3, 0.8, 1.4),
+                                            ::testing::Values(0.6, 1.0, 2.0)));
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Nash equilibrium computation: KKT verification (Theorem 3), solver
+// cross-agreement and multistart uniqueness (Theorem 4), profitability
+// monotonicity (Theorem 5), and the P-function / M-matrix hypothesis checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/core/kkt.hpp"
+#include "subsidy/core/nash.hpp"
+#include "subsidy/core/uniqueness.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+namespace num = subsidy::num;
+
+namespace {
+
+core::SubsidizationGame paper_game(double price = 0.8, double cap = 1.0) {
+  return core::SubsidizationGame(market::section5_market(), price, cap);
+}
+
+TEST(BestResponseSolver, ConvergesAndSatisfiesKkt) {
+  const core::SubsidizationGame game = paper_game(0.8, 1.0);
+  const core::NashResult nash = core::BestResponseSolver{}.solve(game);
+  ASSERT_TRUE(nash.converged);
+  const core::KktReport kkt = core::verify_kkt(game, nash.subsidies);
+  EXPECT_TRUE(kkt.satisfied) << "max residual " << kkt.max_residual;
+}
+
+TEST(BestResponseSolver, ZeroCapGivesBaseline) {
+  const core::SubsidizationGame game = paper_game(0.8, 0.0);
+  const core::NashResult nash = core::BestResponseSolver{}.solve(game);
+  ASSERT_TRUE(nash.converged);
+  for (double s : nash.subsidies) EXPECT_DOUBLE_EQ(s, 0.0);
+  // State equals the unsubsidized evaluation.
+  const core::SystemState base = game.evaluator().evaluate_unsubsidized(0.8);
+  EXPECT_NEAR(nash.state.utilization, base.utilization, 1e-12);
+}
+
+TEST(BestResponseSolver, RejectsBadOptionsAndInitial) {
+  core::BestResponseOptions opt;
+  opt.damping = 0.0;
+  EXPECT_THROW(core::BestResponseSolver{opt}, std::invalid_argument);
+  const core::SubsidizationGame game = paper_game();
+  EXPECT_THROW((void)core::BestResponseSolver{}.solve(game, std::vector<double>{0.1}),
+               std::invalid_argument);
+}
+
+TEST(ExtragradientSolver, AgreesWithBestResponse) {
+  const core::SubsidizationGame game = paper_game(0.8, 1.0);
+  const core::NashResult br = core::BestResponseSolver{}.solve(game);
+  const core::NashResult eg = core::ExtragradientSolver{}.solve(game);
+  ASSERT_TRUE(br.converged);
+  ASSERT_TRUE(eg.converged);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(br.subsidies[i], eg.subsidies[i], 5e-5) << "i=" << i;
+  }
+}
+
+TEST(Theorem4, MultistartConvergesToSameEquilibrium) {
+  const core::SubsidizationGame game = paper_game(0.9, 1.2);
+  const core::NashResult from_zero = core::BestResponseSolver{}.solve(game);
+  const core::NashResult from_cap =
+      core::BestResponseSolver{}.solve(game, std::vector<double>(8, 1.2));
+  num::Rng rng(17);
+  std::vector<double> random_start(8);
+  for (auto& s : random_start) s = rng.uniform(0.0, 1.2);
+  const core::NashResult from_random = core::BestResponseSolver{}.solve(game, random_start);
+
+  ASSERT_TRUE(from_zero.converged);
+  ASSERT_TRUE(from_cap.converged);
+  ASSERT_TRUE(from_random.converged);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(from_zero.subsidies[i], from_cap.subsidies[i], 1e-7) << "i=" << i;
+    EXPECT_NEAR(from_zero.subsidies[i], from_random.subsidies[i], 1e-7) << "i=" << i;
+  }
+}
+
+TEST(Theorem4, PFunctionConditionHoldsOnPaperMarket) {
+  const core::SubsidizationGame game = paper_game(0.8, 1.0);
+  const core::UniquenessAnalyzer analyzer(game);
+  num::Rng rng(5);
+  const core::PFunctionCheck check = analyzer.sample_p_function(rng, 60);
+  EXPECT_TRUE(check.holds) << "violated after " << check.pairs_tested << " pairs";
+  EXPECT_GT(check.pairs_tested, 0);
+}
+
+TEST(Corollary1Hypotheses, JacobianIsLeontiefTypeAtEquilibrium) {
+  const core::SubsidizationGame game = paper_game(0.8, 1.0);
+  const core::NashResult nash = core::BestResponseSolver{}.solve(game);
+  const core::UniquenessAnalyzer analyzer(game);
+  const core::JacobianCheck check = analyzer.jacobian_check(nash.subsidies);
+  EXPECT_TRUE(check.p_matrix);
+  EXPECT_TRUE(check.off_diagonal_monotone);  // du_i/ds_j >= 0 for i != j
+  EXPECT_TRUE(check.m_matrix);
+}
+
+TEST(Theorem5, HigherProfitabilityRaisesOwnEquilibriumSubsidy) {
+  const econ::Market base = market::section5_market();
+  const double price = 0.8;
+  const double cap = 1.0;
+  const std::size_t cp = 0;  // (alpha=2, beta=2, v=0.5)
+
+  const core::SubsidizationGame game_low(base, price, cap);
+  const core::NashResult low = core::BestResponseSolver{}.solve(game_low);
+
+  const core::SubsidizationGame game_high(base.with_profitability(cp, 1.5), price, cap);
+  const core::NashResult high = core::BestResponseSolver{}.solve(game_high);
+
+  ASSERT_TRUE(low.converged);
+  ASSERT_TRUE(high.converged);
+  EXPECT_GE(high.subsidies[cp], low.subsidies[cp] - 1e-9);
+  EXPECT_GT(high.subsidies[cp], low.subsidies[cp] + 1e-4);  // strictly more here
+  // Lemma 3 follow-on: its throughput weakly increases too.
+  EXPECT_GE(high.state.providers[cp].throughput, low.state.providers[cp].throughput - 1e-9);
+}
+
+TEST(Kkt, ClassifiesActiveSets) {
+  const core::SubsidizationGame game = paper_game(0.5, 0.3);  // low cap: many at cap
+  const core::NashResult nash = core::BestResponseSolver{}.solve(game);
+  const core::KktReport kkt = core::verify_kkt(game, nash.subsidies);
+  ASSERT_TRUE(kkt.satisfied);
+
+  const auto at_cap = kkt.players_in(core::ActiveSet::at_cap);
+  EXPECT_FALSE(at_cap.empty());  // cheap cap binds for profitable CPs
+  for (std::size_t i : at_cap) {
+    EXPECT_NEAR(nash.subsidies[i], 0.3, 1e-6);
+    EXPECT_GE(kkt.entries[i].marginal_utility, -1e-6);
+  }
+  for (std::size_t i : kkt.players_in(core::ActiveSet::at_zero)) {
+    EXPECT_LE(kkt.entries[i].marginal_utility, 1e-6);
+  }
+  for (std::size_t i : kkt.players_in(core::ActiveSet::interior)) {
+    EXPECT_NEAR(kkt.entries[i].marginal_utility, 0.0, 1e-6);
+    // Theorem 3: interior subsidies satisfy s_i = tau_i(s).
+    EXPECT_NEAR(kkt.entries[i].threshold_tau, nash.subsidies[i], 1e-4);
+  }
+}
+
+TEST(Kkt, DetectsNonEquilibrium) {
+  const core::SubsidizationGame game = paper_game(0.8, 1.0);
+  // An arbitrary non-equilibrium profile must violate KKT.
+  const std::vector<double> bogus{0.9, 0.0, 0.9, 0.0, 0.9, 0.0, 0.9, 0.0};
+  const core::KktReport kkt = core::verify_kkt(game, bogus);
+  EXPECT_FALSE(kkt.satisfied);
+  EXPECT_GT(kkt.max_residual, 1e-3);
+}
+
+TEST(ActiveSetToString, Labels) {
+  EXPECT_EQ(core::to_string(core::ActiveSet::at_zero), "N-");
+  EXPECT_EQ(core::to_string(core::ActiveSet::interior), "N~");
+  EXPECT_EQ(core::to_string(core::ActiveSet::at_cap), "N+");
+}
+
+TEST(SolveNash, FallbackWrapperProducesEquilibrium) {
+  const core::SubsidizationGame game = paper_game(1.1, 1.7);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+  EXPECT_TRUE(core::verify_kkt(game, nash.subsidies).satisfied);
+}
+
+// Property sweep: across the (p, q) grid of Figures 7-11, the solver output
+// always satisfies the Theorem 3 conditions, both solvers agree, and random
+// markets behave as well.
+class NashGridTest : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(NashGridTest, KktSatisfiedOnPaperGrid) {
+  const auto [price, cap] = GetParam();
+  const core::SubsidizationGame game = paper_game(price, cap);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged) << "p=" << price << " q=" << cap;
+  EXPECT_TRUE(core::verify_kkt(game, nash.subsidies).satisfied)
+      << "p=" << price << " q=" << cap;
+  for (double s : nash.subsidies) {
+    EXPECT_GE(s, -1e-12);
+    EXPECT_LE(s, cap + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrid, NashGridTest,
+                         ::testing::Combine(::testing::Values(0.2, 0.6, 1.0, 1.5, 2.0),
+                                            ::testing::Values(0.5, 1.0, 1.5, 2.0)));
+
+class NashRandomMarketTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NashRandomMarketTest, SolversAgreeOnRandomMarkets) {
+  num::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const econ::Market mkt = market::random_market(rng);
+  const double price = rng.uniform(0.3, 1.5);
+  const double cap = rng.uniform(0.3, 1.5);
+  const core::SubsidizationGame game(mkt, price, cap);
+
+  const core::NashResult br = core::solve_nash(game);
+  ASSERT_TRUE(br.converged);
+  EXPECT_TRUE(core::verify_kkt(game, br.subsidies).satisfied);
+
+  const core::NashResult eg = core::ExtragradientSolver{}.solve(game);
+  ASSERT_TRUE(eg.converged);
+  for (std::size_t i = 0; i < mkt.num_providers(); ++i) {
+    EXPECT_NEAR(br.subsidies[i], eg.subsidies[i], 1e-4) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NashRandomMarketTest, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace

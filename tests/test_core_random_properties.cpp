@@ -1,0 +1,136 @@
+// Randomized property suites: the paper's structural results exercised on
+// seeded random markets rather than the two canonical scenarios. Conditional
+// properties (Corollary 1 needs off-diagonal monotonicity) are tested as
+// implications: whenever the hypothesis holds on the sampled market, the
+// conclusion must too.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/core/core.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+namespace num = subsidy::num;
+
+namespace {
+
+struct RandomCase {
+  econ::Market mkt;
+  double price;
+  double cap;
+};
+
+RandomCase make_case(int seed) {
+  num::Rng rng(static_cast<std::uint64_t>(seed) * 2654435761u + 17u);
+  market::RandomMarketSpec spec;
+  spec.min_providers = 2;
+  spec.max_providers = 6;
+  econ::Market mkt = market::random_market(rng, spec);
+  const double price = rng.uniform(0.2, 1.6);
+  const double cap = rng.uniform(0.2, 1.5);
+  return {std::move(mkt), price, cap};
+}
+
+class RandomMarketProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMarketProperty, EquilibriumExistsAndSatisfiesKkt) {
+  const RandomCase c = make_case(GetParam());
+  const core::SubsidizationGame game(c.mkt, c.price, c.cap);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged) << "price=" << c.price << " cap=" << c.cap;
+  EXPECT_TRUE(core::verify_kkt(game, nash.subsidies).satisfied);
+}
+
+TEST_P(RandomMarketProperty, Theorem5MonotoneInProfitability) {
+  const RandomCase c = make_case(GetParam());
+  const core::SubsidizationGame game(c.mkt, c.price, c.cap);
+  const core::NashResult base = core::solve_nash(game);
+  ASSERT_TRUE(base.converged);
+
+  // Raise one provider's profitability by 50% and re-solve.
+  num::Rng pick(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t i = pick.index(c.mkt.num_providers());
+  const double v = c.mkt.provider(i).profitability;
+  const econ::Market richer = c.mkt.with_profitability(i, 1.5 * v + 0.1);
+  const core::NashResult high =
+      core::solve_nash(core::SubsidizationGame(richer, c.price, c.cap), base.subsidies);
+  ASSERT_TRUE(high.converged);
+  EXPECT_GE(high.subsidies[i], base.subsidies[i] - 1e-7)
+      << "provider " << i << " v " << v << " -> " << 1.5 * v + 0.1;
+}
+
+TEST_P(RandomMarketProperty, DeregulationMonotoneWhenHypothesisHolds) {
+  // Corollary 1 as a conditional property: if the negated Jacobian at the
+  // equilibrium is a Z-matrix (off-diagonal monotone u), then utilization and
+  // revenue must be non-decreasing in q.
+  const RandomCase c = make_case(GetParam());
+  const core::SubsidizationGame game(c.mkt, c.price, c.cap);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+
+  const core::UniquenessAnalyzer analyzer(game);
+  const core::JacobianCheck jac = analyzer.jacobian_check(nash.subsidies);
+  if (!jac.off_diagonal_monotone) GTEST_SKIP() << "hypothesis fails on this market";
+
+  const double h = 1e-4;
+  const core::NashResult wider = core::solve_nash(
+      core::SubsidizationGame(c.mkt, c.price, c.cap + h), nash.subsidies);
+  ASSERT_TRUE(wider.converged);
+  EXPECT_GE(wider.state.utilization, nash.state.utilization - 1e-8);
+  EXPECT_GE(wider.state.revenue, nash.state.revenue - 1e-8);
+  for (std::size_t i = 0; i < nash.subsidies.size(); ++i) {
+    EXPECT_GE(wider.subsidies[i], nash.subsidies[i] - 1e-6) << "i=" << i;
+  }
+}
+
+TEST_P(RandomMarketProperty, Lemma3MonotoneOnRandomMarkets) {
+  const RandomCase c = make_case(GetParam());
+  const core::ModelEvaluator evaluator(c.mkt);
+  num::Rng rng(static_cast<std::uint64_t>(GetParam()) + 999);
+  std::vector<double> s(c.mkt.num_providers());
+  for (auto& x : s) x = rng.uniform(0.0, c.cap * 0.5);
+  const std::size_t i = rng.index(s.size());
+
+  const core::SystemState before = evaluator.evaluate(c.price, s);
+  s[i] += 0.25 * c.cap;
+  const core::SystemState after = evaluator.evaluate(c.price, s);
+  EXPECT_GE(after.utilization, before.utilization - 1e-12);
+  EXPECT_GE(after.providers[i].throughput, before.providers[i].throughput - 1e-12);
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    if (j != i) {
+      EXPECT_LE(after.providers[j].throughput, before.providers[j].throughput + 1e-12);
+    }
+  }
+}
+
+TEST_P(RandomMarketProperty, SurplusAccountingOnRandomMarkets) {
+  const RandomCase c = make_case(GetParam());
+  const core::SubsidizationGame game(c.mkt, c.price, c.cap);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+  const core::ModelEvaluator evaluator(c.mkt);
+  const core::SurplusReport report = core::surplus_decomposition(evaluator, nash.state);
+  ASSERT_TRUE(report.finite);
+  EXPECT_GE(report.user_surplus, 0.0);
+  EXPECT_GE(report.cp_profit, -1e-12);
+  EXPECT_NEAR(report.total_surplus,
+              report.user_surplus + report.cp_profit + report.isp_revenue, 1e-10);
+  EXPECT_NEAR(report.isp_revenue, nash.state.revenue, 1e-10);
+}
+
+TEST_P(RandomMarketProperty, RevenueFormulaOnRandomMarkets) {
+  const RandomCase c = make_case(GetParam());
+  const core::RevenueModel model(c.mkt, c.cap);
+  const core::MarginalRevenue mr = model.marginal_revenue(c.price);
+  const double numeric = model.marginal_revenue_numeric(c.price);
+  EXPECT_NEAR(mr.value, numeric, 5e-2 * std::max(0.05, std::fabs(numeric)))
+      << "price=" << c.price << " cap=" << c.cap;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMarketProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace

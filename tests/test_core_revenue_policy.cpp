@@ -1,0 +1,200 @@
+// Theorem 7 (marginal revenue), Theorem 8 (policy effect with the ISP's price
+// response) and Corollary 2 (welfare): formula-vs-numeric agreement and the
+// paper's qualitative policy findings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/core/policy.hpp"
+#include "subsidy/core/price_optimizer.hpp"
+#include "subsidy/core/revenue.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace core = subsidy::core;
+namespace market = subsidy::market;
+
+namespace {
+
+TEST(Theorem7, MarginalRevenueFormulaMatchesNumericDerivative) {
+  const core::RevenueModel model(market::section5_market(), 1.0);
+  for (double p : {0.5, 0.8, 1.2}) {
+    const core::MarginalRevenue mr = model.marginal_revenue(p);
+    const double numeric = model.marginal_revenue_numeric(p);
+    EXPECT_NEAR(mr.value, numeric, 2e-2 * std::max(1.0, std::fabs(numeric))) << "p=" << p;
+  }
+}
+
+TEST(Theorem7, OneSidedSpecialCaseNoSubsidyResponse) {
+  // With q = 0 the CPs cannot react: ds/dp = 0 and the formula reduces to
+  // one-sided pricing.
+  const core::RevenueModel model(market::section5_market(), 0.0);
+  const core::MarginalRevenue mr = model.marginal_revenue(0.7);
+  for (double d : mr.ds_dp) EXPECT_DOUBLE_EQ(d, 0.0);
+  const double numeric = model.marginal_revenue_numeric(0.7);
+  EXPECT_NEAR(mr.value, numeric, 1e-3 * std::max(1.0, std::fabs(numeric)));
+}
+
+TEST(Theorem7, UpsilonDecomposition) {
+  // Upsilon = 1 + sum_j eps^lambda_m_j must lie in (0, 1]: each elasticity
+  // term is negative but their sum exceeds -1 (dg/dphi dominates).
+  const core::RevenueModel model(market::section5_market(), 1.0);
+  const core::MarginalRevenue mr = model.marginal_revenue(0.8);
+  EXPECT_GT(mr.upsilon, 0.0);
+  EXPECT_LE(mr.upsilon, 1.0);
+  EXPECT_GT(mr.aggregate_throughput, 0.0);
+  for (double e : mr.price_elasticities) EXPECT_LE(e, 1e-12);  // demand falls with p
+}
+
+TEST(PriceOptimizer, FindsInteriorPeak) {
+  const core::IspPriceOptimizer optimizer(market::section5_market(),
+                                          {.price_min = 0.05, .price_max = 2.5});
+  const core::OptimalPrice best = optimizer.optimize(2.0);
+  // Paper: with q = 2 the revenue-maximizing price is a bit below 1.
+  EXPECT_GT(best.price, 0.5);
+  EXPECT_LT(best.price, 1.3);
+  EXPECT_GT(best.revenue, 0.0);
+
+  // The optimum must beat nearby prices.
+  const core::RevenueModel model(market::section5_market(), 2.0);
+  EXPECT_GE(best.revenue, model.revenue(best.price * 0.9) - 1e-6);
+  EXPECT_GE(best.revenue, model.revenue(std::min(2.5, best.price * 1.1)) - 1e-6);
+}
+
+TEST(PriceOptimizer, MonopolyPriceRevenueIncreasesWithCap) {
+  // Corollary 1 extended through the ISP's optimization: the optimized
+  // revenue is monotone in q (a superset of feasible prices can only help).
+  const core::IspPriceOptimizer optimizer(market::section5_market(),
+                                          {.price_min = 0.05, .price_max = 2.5});
+  double last = -1.0;
+  for (double q : {0.0, 0.5, 1.0, 2.0}) {
+    const core::OptimalPrice best = optimizer.optimize(q);
+    EXPECT_GE(best.revenue, last - 1e-7) << "q=" << q;
+    last = best.revenue;
+  }
+}
+
+TEST(PriceOptimizer, RejectsBadOptions) {
+  EXPECT_THROW(core::IspPriceOptimizer(market::section5_market(),
+                                       {.price_min = 1.0, .price_max = 0.5}),
+               std::invalid_argument);
+  core::PriceSearchOptions opt;
+  opt.grid_points = 2;
+  EXPECT_THROW(core::IspPriceOptimizer(market::section5_market(), opt), std::invalid_argument);
+}
+
+TEST(PolicyAnalyzer, FixedPriceWelfareIncreasesWithCap) {
+  // Figure 7's right panel at fixed p: welfare rises with q.
+  const core::PolicyAnalyzer analyzer(market::section5_market(),
+                                      core::PriceResponse::fixed(0.8));
+  double last = -1.0;
+  for (double q : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    const double w = analyzer.welfare(q);
+    EXPECT_GE(w, last - 1e-9) << "q=" << q;
+    last = w;
+  }
+}
+
+TEST(PolicyAnalyzer, SweepIsConsistentWithEvaluate) {
+  const core::PolicyAnalyzer analyzer(market::section5_market(),
+                                      core::PriceResponse::fixed(0.8));
+  const std::vector<double> qs{0.0, 1.0, 2.0};
+  const std::vector<core::PolicyPoint> sweep = analyzer.sweep(qs);
+  ASSERT_EQ(sweep.size(), 3u);
+  for (std::size_t k = 0; k < qs.size(); ++k) {
+    const core::PolicyPoint point = analyzer.evaluate(qs[k]);
+    EXPECT_NEAR(sweep[k].state.welfare, point.state.welfare, 1e-7);
+    EXPECT_NEAR(sweep[k].state.revenue, point.state.revenue, 1e-7);
+  }
+}
+
+TEST(Theorem8, FixedPriceEffectsMatchNumericDerivatives) {
+  const core::PolicyAnalyzer analyzer(market::section5_market(),
+                                      core::PriceResponse::fixed(0.8));
+  const double q = 0.6;
+  const core::PolicyEffects fx = analyzer.policy_effects(q);
+  EXPECT_DOUBLE_EQ(fx.dp_dq, 0.0);
+
+  const double numeric_dW = analyzer.marginal_welfare_numeric(q, 1e-5);
+  EXPECT_NEAR(fx.dW_dq, numeric_dW, 2e-2 * std::max(1.0, std::fabs(numeric_dW)));
+
+  // dphi/dq from the decomposition vs re-solved equilibria.
+  const double h = 1e-5;
+  const core::PolicyPoint hi = analyzer.evaluate(q + h);
+  const core::PolicyPoint lo = analyzer.evaluate(q - h);
+  const double fd_phi = (hi.state.utilization - lo.state.utilization) / (2.0 * h);
+  EXPECT_NEAR(fx.dphi_dq, fd_phi, 2e-2 * std::max(0.1, std::fabs(fd_phi)));
+}
+
+TEST(Theorem8, Condition17ClassifiesThroughputResponse) {
+  const core::PolicyAnalyzer analyzer(market::section5_market(),
+                                      core::PriceResponse::fixed(0.8));
+  const double q = 0.6;
+  const core::PolicyEffects fx = analyzer.policy_effects(q);
+  for (std::size_t i = 0; i < fx.dtheta_dq.size(); ++i) {
+    if (std::fabs(fx.dtheta_dq[i]) < 1e-9) continue;  // boundary of the condition
+    const bool condition = fx.condition17_lhs[i] < fx.condition17_rhs;
+    EXPECT_EQ(condition, fx.dtheta_dq[i] > 0.0) << "i=" << i;
+  }
+}
+
+TEST(Corollary2, WelfareConditionMatchesMarginalWelfareSign) {
+  const core::PolicyAnalyzer analyzer(market::section5_market(),
+                                      core::PriceResponse::fixed(0.8));
+  for (double q : {0.3, 0.6, 1.2}) {
+    const core::PolicyEffects fx = analyzer.policy_effects(q);
+    if (fx.dphi_dq <= 0.0) continue;  // corollary requires dphi/dq > 0
+    const bool condition = fx.corollary2_lhs > fx.corollary2_rhs;
+    EXPECT_EQ(condition, fx.dW_dq > 0.0) << "q=" << q;
+  }
+}
+
+TEST(PolicyAnalyzer, MonopolyResponseEvaluates) {
+  core::PriceSearchOptions search;
+  search.price_min = 0.05;
+  search.price_max = 2.5;
+  search.grid_points = 17;  // keep the test quick
+  const core::PolicyAnalyzer analyzer(market::section5_market(),
+                                      core::PriceResponse::monopoly(search));
+  const core::PolicyPoint point = analyzer.evaluate(1.0);
+  EXPECT_GT(point.price, 0.3);
+  EXPECT_LT(point.price, 1.6);
+  EXPECT_GT(point.state.revenue, 0.0);
+}
+
+TEST(PolicyAnalyzer, CappedMonopolyClampsPrice) {
+  core::PriceSearchOptions search;
+  search.price_min = 0.05;
+  search.price_max = 2.5;
+  search.grid_points = 17;
+  const core::PolicyAnalyzer capped(market::section5_market(),
+                                    core::PriceResponse::capped_monopoly(0.4, search));
+  const core::PolicyPoint point = capped.evaluate(1.0);
+  EXPECT_LE(point.price, 0.4 + 1e-12);
+}
+
+TEST(PolicyAnalyzer, RejectsEmptyPriceResponse) {
+  EXPECT_THROW(core::PolicyAnalyzer(market::section5_market(), core::PriceResponse{}),
+               std::invalid_argument);
+}
+
+// The paper's "high price harms welfare" observation: at fixed q, welfare
+// decreases in p over the figure's range.
+class WelfarePriceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WelfarePriceTest, WelfareDecreasesWithPriceAtFixedCap) {
+  const double q = GetParam();
+  double last = std::numeric_limits<double>::infinity();
+  std::vector<double> warm;
+  for (double p : {0.2, 0.6, 1.0, 1.4, 1.8}) {
+    const core::SubsidizationGame game(market::section5_market(), p, q);
+    const core::NashResult nash = core::solve_nash(game, warm);
+    ASSERT_TRUE(nash.converged);
+    warm = nash.subsidies;
+    EXPECT_LE(nash.state.welfare, last + 1e-9) << "p=" << p << " q=" << q;
+    last = nash.state.welfare;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, WelfarePriceTest, ::testing::Values(0.0, 0.5, 1.0, 2.0));
+
+}  // namespace

@@ -1,0 +1,249 @@
+// Theorem 6 (equilibrium dynamics) and Corollary 1 (deregulation): the
+// analytic sensitivities ds/dq, ds/dp must match finite differences of
+// re-solved equilibria, and the Corollary 1 signs must hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/core/nash.hpp"
+#include "subsidy/core/sensitivity.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace core = subsidy::core;
+namespace market = subsidy::market;
+
+namespace {
+
+struct EquilibriumFixture {
+  core::SubsidizationGame game;
+  core::NashResult nash;
+
+  EquilibriumFixture(double price, double cap)
+      : game(market::section5_market(), price, cap),
+        nash(core::solve_nash(game)) {}
+};
+
+core::NashResult resolve(const core::SubsidizationGame& game,
+                         const std::vector<double>& warm) {
+  return core::solve_nash(game, warm);
+}
+
+TEST(Theorem6, BoundaryPlayersHaveUnitOrZeroPolicyResponse) {
+  // Low cap: profitable players sit at the cap (ds/dq = 1), weak players at
+  // zero (ds/dq = 0).
+  const EquilibriumFixture fx(0.6, 0.25);
+  ASSERT_TRUE(fx.nash.converged);
+  const core::SensitivityReport sens =
+      core::equilibrium_sensitivity(fx.game, fx.nash.subsidies);
+  ASSERT_TRUE(sens.valid);
+
+  const auto at_cap = sens.classification.players_in(core::ActiveSet::at_cap);
+  const auto at_zero = sens.classification.players_in(core::ActiveSet::at_zero);
+  ASSERT_FALSE(at_cap.empty());
+  for (std::size_t i : at_cap) EXPECT_DOUBLE_EQ(sens.ds_dq[i], 1.0);
+  for (std::size_t i : at_zero) {
+    EXPECT_DOUBLE_EQ(sens.ds_dq[i], 0.0);
+    EXPECT_DOUBLE_EQ(sens.ds_dp[i], 0.0);
+  }
+}
+
+TEST(Theorem6, DsDqMatchesFiniteDifferenceOfResolvedEquilibria) {
+  const double p = 0.8;
+  const double q = 0.6;
+  const EquilibriumFixture fx(p, q);
+  ASSERT_TRUE(fx.nash.converged);
+  const core::SensitivityReport sens =
+      core::equilibrium_sensitivity(fx.game, fx.nash.subsidies);
+  ASSERT_TRUE(sens.valid);
+
+  const double h = 1e-5;
+  const core::NashResult hi =
+      resolve(core::SubsidizationGame(market::section5_market(), p, q + h), fx.nash.subsidies);
+  const core::NashResult lo =
+      resolve(core::SubsidizationGame(market::section5_market(), p, q - h), fx.nash.subsidies);
+  ASSERT_TRUE(hi.converged);
+  ASSERT_TRUE(lo.converged);
+
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double fd = (hi.subsidies[i] - lo.subsidies[i]) / (2.0 * h);
+    EXPECT_NEAR(sens.ds_dq[i], fd, 5e-3 * std::max(1.0, std::fabs(fd))) << "i=" << i;
+  }
+}
+
+TEST(Theorem6, DsDpMatchesFiniteDifferenceOfResolvedEquilibria) {
+  const double p = 0.8;
+  const double q = 0.6;
+  const EquilibriumFixture fx(p, q);
+  ASSERT_TRUE(fx.nash.converged);
+  const core::SensitivityReport sens =
+      core::equilibrium_sensitivity(fx.game, fx.nash.subsidies);
+  ASSERT_TRUE(sens.valid);
+
+  const double h = 1e-5;
+  const core::NashResult hi =
+      resolve(core::SubsidizationGame(market::section5_market(), p + h, q), fx.nash.subsidies);
+  const core::NashResult lo =
+      resolve(core::SubsidizationGame(market::section5_market(), p - h, q), fx.nash.subsidies);
+  ASSERT_TRUE(hi.converged);
+  ASSERT_TRUE(lo.converged);
+
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double fd = (hi.subsidies[i] - lo.subsidies[i]) / (2.0 * h);
+    EXPECT_NEAR(sens.ds_dp[i], fd, 5e-3 * std::max(1.0, std::fabs(fd))) << "i=" << i;
+  }
+}
+
+TEST(Corollary1, DeregulationSigns) {
+  // At a fixed competitive price, relaxing the cap raises every subsidy, the
+  // utilization and the ISP's revenue.
+  for (double q : {0.3, 0.6, 0.9}) {
+    const EquilibriumFixture fx(0.8, q);
+    ASSERT_TRUE(fx.nash.converged);
+    const core::SensitivityReport sens =
+        core::equilibrium_sensitivity(fx.game, fx.nash.subsidies);
+    ASSERT_TRUE(sens.valid);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_GE(sens.ds_dq[i], -1e-8) << "q=" << q << " i=" << i;
+    }
+    EXPECT_GE(sens.dphi_dq, 0.0) << "q=" << q;
+    EXPECT_GE(sens.dR_dq, 0.0) << "q=" << q;
+  }
+}
+
+TEST(Corollary1, DphiDqMatchesFiniteDifference) {
+  const double p = 0.8;
+  const double q = 0.6;
+  const EquilibriumFixture fx(p, q);
+  const core::SensitivityReport sens =
+      core::equilibrium_sensitivity(fx.game, fx.nash.subsidies);
+
+  const double h = 1e-5;
+  const core::NashResult hi =
+      resolve(core::SubsidizationGame(market::section5_market(), p, q + h), fx.nash.subsidies);
+  const core::NashResult lo =
+      resolve(core::SubsidizationGame(market::section5_market(), p, q - h), fx.nash.subsidies);
+  const double fd = (hi.state.utilization - lo.state.utilization) / (2.0 * h);
+  EXPECT_NEAR(sens.dphi_dq, fd, 5e-3 * std::max(1.0, std::fabs(fd)));
+
+  const double fd_r = (hi.state.revenue - lo.state.revenue) / (2.0 * h);
+  EXPECT_NEAR(sens.dR_dq, fd_r, 5e-3 * std::max(1.0, std::fabs(fd_r)));
+}
+
+TEST(Theorem6, RevenueIncreasesWithCapAcrossPaperGrid) {
+  // Discrete Corollary 1: R(q) non-decreasing along the paper's q grid at
+  // fixed prices (the Figure 7 observation).
+  for (double p : {0.4, 0.8, 1.2}) {
+    double last_revenue = -1.0;
+    std::vector<double> warm;
+    for (double q : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+      const core::SubsidizationGame game(market::section5_market(), p, q);
+      const core::NashResult nash = core::solve_nash(game, warm);
+      ASSERT_TRUE(nash.converged);
+      warm = nash.subsidies;
+      EXPECT_GE(nash.state.revenue, last_revenue - 1e-9) << "p=" << p << " q=" << q;
+      last_revenue = nash.state.revenue;
+    }
+  }
+}
+
+TEST(Theorem5Quantified, DsDvMatchesFiniteDifference) {
+  // The analytic ds/dv_i must match re-solved equilibria under a small
+  // unilateral profitability change.
+  const double p = 0.8;
+  const double q = 5.0;  // large cap: interior equilibrium
+  const core::SubsidizationGame game(market::section5_market(), p, q);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+
+  const std::size_t i = 7;  // (alpha=5, beta=5, v=1): interior subsidizer
+  const core::ProfitabilitySensitivity sens =
+      core::profitability_sensitivity(game, nash.subsidies, i);
+  ASSERT_TRUE(sens.valid);
+  EXPECT_GT(sens.du_i_dv, 0.0);
+
+  const double h = 1e-5;
+  const double v = game.market().provider(i).profitability;
+  const core::NashResult hi = core::solve_nash(
+      core::SubsidizationGame(game.market().with_profitability(i, v + h), p, q),
+      nash.subsidies);
+  const core::NashResult lo = core::solve_nash(
+      core::SubsidizationGame(game.market().with_profitability(i, v - h), p, q),
+      nash.subsidies);
+  ASSERT_TRUE(hi.converged);
+  ASSERT_TRUE(lo.converged);
+  for (std::size_t j = 0; j < 8; ++j) {
+    const double fd = (hi.subsidies[j] - lo.subsidies[j]) / (2.0 * h);
+    EXPECT_NEAR(sens.ds_dv[j], fd, 5e-3 * std::max(0.05, std::fabs(fd))) << "j=" << j;
+  }
+  // Theorem 5's sign: provider i's own subsidy rises with its profitability,
+  // and so does its throughput (the Lemma 3 follow-on).
+  EXPECT_GT(sens.ds_dv[i], 0.0);
+  EXPECT_GT(sens.dtheta_i_dv, 0.0);
+  const double fd_theta = (hi.state.providers[i].throughput -
+                           lo.state.providers[i].throughput) /
+                          (2.0 * h);
+  EXPECT_NEAR(sens.dtheta_i_dv, fd_theta, 1e-2 * std::max(0.01, std::fabs(fd_theta)));
+}
+
+TEST(Theorem5Quantified, PinnedPlayersDoNotMove) {
+  // A provider at the cap keeps subsidizing q for a marginal v change; a
+  // provider at zero stays at zero.
+  const core::SubsidizationGame game(market::section5_market(), 0.8, 0.25);
+  const core::NashResult nash = core::solve_nash(game);
+  const core::KktReport kkt = core::verify_kkt(game, nash.subsidies);
+  const auto at_cap = kkt.players_in(core::ActiveSet::at_cap);
+  const auto at_zero = kkt.players_in(core::ActiveSet::at_zero);
+  ASSERT_FALSE(at_cap.empty());
+  ASSERT_FALSE(at_zero.empty());
+
+  for (std::size_t i : {at_cap.front(), at_zero.front()}) {
+    const core::ProfitabilitySensitivity sens =
+        core::profitability_sensitivity(game, nash.subsidies, i);
+    ASSERT_TRUE(sens.valid);
+    for (double d : sens.ds_dv) EXPECT_DOUBLE_EQ(d, 0.0);
+    EXPECT_DOUBLE_EQ(sens.dtheta_i_dv, 0.0);
+  }
+}
+
+TEST(Theorem5Quantified, InputValidation) {
+  const core::SubsidizationGame game(market::section5_market(), 0.8, 1.0);
+  const core::NashResult nash = core::solve_nash(game);
+  EXPECT_THROW((void)core::profitability_sensitivity(game, std::vector<double>{0.1}, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::profitability_sensitivity(game, nash.subsidies, 99),
+               std::out_of_range);
+}
+
+TEST(Sensitivity, ProfileSizeMismatchThrows) {
+  const EquilibriumFixture fx(0.8, 0.6);
+  EXPECT_THROW(
+      (void)core::equilibrium_sensitivity(fx.game, std::vector<double>{0.1, 0.2}),
+      std::invalid_argument);
+}
+
+// Property sweep: sensitivities stay consistent with finite differences
+// across the (p, q) grid (where the equilibrium is regular).
+class SensitivityGridTest : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SensitivityGridTest, DphiDqConsistent) {
+  const auto [p, q] = GetParam();
+  const EquilibriumFixture fx(p, q);
+  ASSERT_TRUE(fx.nash.converged);
+  const core::SensitivityReport sens =
+      core::equilibrium_sensitivity(fx.game, fx.nash.subsidies);
+  if (!sens.valid) GTEST_SKIP() << "degenerate equilibrium";
+
+  const double h = 1e-5;
+  const core::NashResult hi =
+      resolve(core::SubsidizationGame(market::section5_market(), p, q + h), fx.nash.subsidies);
+  const core::NashResult lo =
+      resolve(core::SubsidizationGame(market::section5_market(), p, q - h), fx.nash.subsidies);
+  const double fd = (hi.state.utilization - lo.state.utilization) / (2.0 * h);
+  EXPECT_NEAR(sens.dphi_dq, fd, 1e-2 * std::max(0.1, std::fabs(fd)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SensitivityGridTest,
+                         ::testing::Combine(::testing::Values(0.5, 0.9, 1.3),
+                                            ::testing::Values(0.4, 0.8)));
+
+}  // namespace

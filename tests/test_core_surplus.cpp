@@ -1,0 +1,122 @@
+// Welfare decomposition: consumer surplus, CP profit, ISP revenue and their
+// total, plus the demand-curve surplus integrals feeding them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/core/nash.hpp"
+#include "subsidy/core/surplus.hpp"
+#include "subsidy/econ/demand.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+
+namespace {
+
+TEST(SurplusIntegral, ExponentialClosedForm) {
+  const econ::ExponentialDemand d(2.0, 3.0);
+  for (double t : {-0.5, 0.0, 0.7, 2.0}) {
+    EXPECT_NEAR(d.surplus_integral(t), d.population(t) / 2.0, 1e-10) << "t=" << t;
+  }
+}
+
+TEST(SurplusIntegral, LinearTriangle) {
+  const econ::LinearDemand d(2.0, 4.0);
+  // At t = 0 the full triangle: 0.5 * m0 * t_max = 4.
+  EXPECT_NEAR(d.surplus_integral(0.0), 4.0, 1e-12);
+  // At t = 2 half-way: 0.5 * m(2) * (t_max - 2) = 0.5 * 1 * 2 = 1.
+  EXPECT_NEAR(d.surplus_integral(2.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d.surplus_integral(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.surplus_integral(9.0), 0.0);
+  // Below zero: rectangle plus the triangle.
+  EXPECT_NEAR(d.surplus_integral(-1.0), 2.0 + 4.0, 1e-12);
+}
+
+TEST(SurplusIntegral, NumericDefaultMatchesClosedFormOnLogit) {
+  const econ::LogitDemand d(2.0, 3.0, 0.5);
+  // Cross-check the default numeric path against a fine manual sum.
+  const double t = 0.2;
+  double manual = 0.0;
+  const double dx = 1e-4;
+  for (double x = t; x < 12.0; x += dx) manual += d.population(x + 0.5 * dx) * dx;
+  EXPECT_NEAR(d.surplus_integral(t), manual, 1e-4 * manual);
+}
+
+TEST(SurplusIntegral, IsoelasticHeavyTailDiverges) {
+  // eps = 1 tail is not integrable: the report must say so, not hang.
+  const econ::IsoelasticDemand d(1.0, 1.0);
+  EXPECT_TRUE(std::isinf(d.surplus_integral(1.0)));
+}
+
+TEST(SurplusDecomposition, AccountingIdentities) {
+  const econ::Market mkt = market::section5_market();
+  const core::SubsidizationGame game(mkt, 0.8, 1.0);
+  const core::NashResult nash = core::solve_nash(game);
+  const core::ModelEvaluator evaluator(mkt);
+  const core::SurplusReport report = core::surplus_decomposition(evaluator, nash.state);
+
+  ASSERT_TRUE(report.finite);
+  EXPECT_NEAR(report.isp_revenue, nash.state.revenue, 1e-12);
+  EXPECT_NEAR(report.paper_welfare, nash.state.welfare, 1e-12);
+  EXPECT_NEAR(report.total_surplus,
+              report.user_surplus + report.cp_profit + report.isp_revenue, 1e-12);
+
+  double user_sum = 0.0;
+  double cp_sum = 0.0;
+  for (const auto& slice : report.providers) {
+    EXPECT_GE(slice.user_surplus, 0.0);
+    user_sum += slice.user_surplus;
+    cp_sum += slice.cp_profit;
+  }
+  EXPECT_NEAR(user_sum, report.user_surplus, 1e-12);
+  EXPECT_NEAR(cp_sum, report.cp_profit, 1e-12);
+
+  // CP profit gross of subsidies + subsidy payments = paper welfare.
+  double subsidy_payments = 0.0;
+  for (const auto& cp : nash.state.providers) subsidy_payments += cp.subsidy * cp.throughput;
+  EXPECT_NEAR(report.cp_profit + subsidy_payments, report.paper_welfare, 1e-12);
+}
+
+TEST(SurplusDecomposition, DeregulationRaisesTotalSurplusAtFixedPrice) {
+  const econ::Market mkt = market::section5_market();
+  const core::ModelEvaluator evaluator(mkt);
+  double last_total = -1.0;
+  double last_user = -1.0;
+  std::vector<double> warm;
+  for (double q : {0.0, 0.5, 1.0, 2.0}) {
+    const core::SubsidizationGame game(mkt, 0.8, q);
+    const core::NashResult nash = core::solve_nash(game, warm);
+    warm = nash.subsidies;
+    const core::SurplusReport report = core::surplus_decomposition(evaluator, nash.state);
+    EXPECT_GE(report.total_surplus, last_total - 1e-9) << "q=" << q;
+    EXPECT_GE(report.user_surplus, last_user - 1e-9) << "q=" << q;
+    last_total = report.total_surplus;
+    last_user = report.user_surplus;
+  }
+}
+
+TEST(SurplusDecomposition, SizeMismatchThrows) {
+  const econ::Market big = market::section5_market();
+  const econ::Market small = econ::Market::exponential(1.0, {1.0}, {1.0}, {1.0});
+  const core::ModelEvaluator evaluator(big);
+  const core::SystemState state = core::ModelEvaluator(small).evaluate_unsubsidized(0.5);
+  EXPECT_THROW((void)core::surplus_decomposition(evaluator, state), std::invalid_argument);
+}
+
+TEST(SurplusDecomposition, SubsidyShiftsSurplusTowardUsers) {
+  // A CP subsidy lowers t_i: its users' surplus must rise relative to the
+  // unsubsidized state at equal price.
+  const econ::Market mkt = market::section5_market();
+  const core::ModelEvaluator evaluator(mkt);
+  const core::SystemState base = evaluator.evaluate_unsubsidized(0.8);
+  std::vector<double> s(8, 0.0);
+  s[6] = 0.4;  // (alpha=5, beta=2, v=1)
+  const core::SystemState subsidized = evaluator.evaluate(0.8, s);
+  const core::SurplusReport base_report = core::surplus_decomposition(evaluator, base);
+  const core::SurplusReport sub_report = core::surplus_decomposition(evaluator, subsidized);
+  EXPECT_GT(sub_report.providers[6].user_surplus, base_report.providers[6].user_surplus);
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Tests for the Lemma 1 utilization fixed point: existence, uniqueness,
+// closed-form cross-checks, Lemma 2 aggregation invariance and warm starts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/utilization_solver.hpp"
+#include "subsidy/econ/market.hpp"
+#include "subsidy/numerics/rng.hpp"
+#include "subsidy/numerics/roots.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+
+namespace {
+
+econ::Market single_cp_market(double alpha = 1.0, double beta = 2.0, double mu = 1.0) {
+  return econ::Market::exponential(mu, {alpha}, {beta}, {1.0});
+}
+
+TEST(UtilizationSolver, SingleCpClosedFormCrossCheck) {
+  // With Phi = theta/mu, one CP with m users and lambda = e^{-beta phi}:
+  // phi solves mu phi = m e^{-beta phi} => phi = W(beta m / mu) / beta.
+  const econ::Market market = single_cp_market(1.0, 2.0, 1.0);
+  const core::UtilizationSolver solver(market);
+  const double m = 1.0;
+  const double phi = solver.solve(std::vector<double>{m});
+  // Verify the defining equation directly.
+  EXPECT_NEAR(phi, m * std::exp(-2.0 * phi), 1e-11);
+}
+
+TEST(UtilizationSolver, GapIsZeroAtSolutionAndMonotone) {
+  const econ::Market market = econ::Market::exponential(1.0, {1.0, 3.0}, {2.0, 1.0}, {1.0, 1.0});
+  const core::UtilizationSolver solver(market);
+  const std::vector<double> m{0.8, 0.6};
+  const double phi = solver.solve(m);
+  EXPECT_NEAR(solver.gap(phi, m), 0.0, 1e-10);
+  // Strictly increasing gap (Lemma 1).
+  double prev = solver.gap(0.0, m);
+  for (double x = 0.1; x < 3.0; x += 0.1) {
+    const double g = solver.gap(x, m);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+  // dg/dphi positive and consistent with the finite difference of g.
+  const double dg = solver.gap_derivative(phi, m);
+  EXPECT_GT(dg, 0.0);
+  const double fd = (solver.gap(phi + 1e-6, m) - solver.gap(phi - 1e-6, m)) / 2e-6;
+  EXPECT_NEAR(dg, fd, 1e-5 * std::max(1.0, std::fabs(fd)));
+}
+
+TEST(UtilizationSolver, ZeroDemandGivesZeroUtilization) {
+  const econ::Market market = single_cp_market();
+  const core::UtilizationSolver solver(market);
+  EXPECT_DOUBLE_EQ(solver.solve(std::vector<double>{0.0}), 0.0);
+}
+
+TEST(UtilizationSolver, WarmStartAgreesWithColdStart) {
+  const econ::Market market = econ::Market::exponential(1.0, {1.0, 2.0}, {3.0, 1.0}, {1.0, 1.0});
+  const core::UtilizationSolver solver(market);
+  const std::vector<double> m{1.2, 0.4};
+  const double cold = solver.solve(m);
+  const double warm_close = solver.solve(m, cold * 1.05);
+  const double warm_far = solver.solve(m, cold * 10.0);
+  EXPECT_NEAR(cold, warm_close, 1e-10);
+  EXPECT_NEAR(cold, warm_far, 1e-10);
+}
+
+TEST(UtilizationSolver, PopulationSizeMismatchThrows) {
+  const econ::Market market = single_cp_market();
+  const core::UtilizationSolver solver(market);
+  EXPECT_THROW((void)solver.solve(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)solver.gap(0.5, std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(UtilizationSolver, WorksUnderDelayUtilizationModel) {
+  const econ::Market market =
+      single_cp_market().with_utilization_model(std::make_shared<econ::DelayUtilization>());
+  const core::UtilizationSolver solver(market);
+  const double phi = solver.solve(std::vector<double>{2.0});
+  EXPECT_GT(phi, 0.0);
+  EXPECT_NEAR(solver.gap(phi, std::vector<double>{2.0}), 0.0, 1e-9);
+}
+
+TEST(UtilizationSolver, WorksUnderPowerUtilizationModel) {
+  const econ::Market market =
+      single_cp_market().with_utilization_model(std::make_shared<econ::PowerUtilization>(1.5));
+  const core::UtilizationSolver solver(market);
+  const std::vector<double> m{1.5};
+  const double phi = solver.solve(m);
+  EXPECT_NEAR(solver.gap(phi, m), 0.0, 1e-9);
+}
+
+// Lemma 2: replacing CP i by CP j with m_j lambda_j(0) = m_i lambda_i(0) and
+// the same phi-elasticity leaves the utilization unchanged. For the
+// exponential family this means splitting a CP's population across copies.
+class Lemma2Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma2Test, AggregationInvariance) {
+  const double kappa = GetParam();
+  // Original: one CP with population m and lambda0 = 1. Scaled: population
+  // m / kappa with lambda0 = kappa (same beta => same elasticity profile).
+  const double beta = 2.5;
+  const double m = 1.3;
+
+  const econ::Market original = econ::Market::exponential(1.0, {1.0}, {beta}, {1.0});
+  const double phi_original = core::UtilizationSolver(original).solve(std::vector<double>{m});
+
+  std::vector<econ::ContentProviderSpec> providers(1);
+  providers[0].name = "scaled";
+  providers[0].demand = std::make_shared<econ::ExponentialDemand>(1.0);
+  providers[0].throughput = std::make_shared<econ::ExponentialThroughput>(beta, kappa);
+  providers[0].profitability = 1.0;
+  const econ::Market scaled(econ::IspSpec{1.0}, std::make_shared<econ::LinearUtilization>(),
+                            providers);
+  const double phi_scaled =
+      core::UtilizationSolver(scaled).solve(std::vector<double>{m / kappa});
+
+  EXPECT_NEAR(phi_original, phi_scaled, 1e-10) << "kappa=" << kappa;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, Lemma2Test, ::testing::Values(0.25, 0.5, 2.0, 4.0, 10.0));
+
+// Lemma 2, aggregation form: a set of CPs with identical elasticity can be
+// merged into one with the summed peak throughput.
+TEST(Lemma2Aggregation, MergingIdenticalElasticityCpsPreservesPhi) {
+  const double beta = 3.0;
+  const econ::Market split =
+      econ::Market::exponential(1.0, {1.0, 1.0, 1.0}, {beta, beta, beta}, {1.0, 1.0, 1.0});
+  const std::vector<double> m_split{0.5, 0.7, 0.3};
+  const double phi_split = core::UtilizationSolver(split).solve(m_split);
+
+  const econ::Market merged = econ::Market::exponential(1.0, {1.0}, {beta}, {1.0});
+  const double phi_merged =
+      core::UtilizationSolver(merged).solve(std::vector<double>{0.5 + 0.7 + 0.3});
+
+  EXPECT_NEAR(phi_split, phi_merged, 1e-10);
+}
+
+// Property: across random markets, the solved phi satisfies Definition 1
+// (phi == Phi(aggregate demand(phi), mu)) to solver precision.
+class FixedPointConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedPointConsistency, DefinitionOneHolds) {
+  const int seed = GetParam();
+  subsidy::num::Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<double> alphas;
+  std::vector<double> betas;
+  std::vector<double> profits;
+  std::vector<double> m;
+  const int n = rng.uniform_int(1, 6);
+  for (int i = 0; i < n; ++i) {
+    alphas.push_back(rng.uniform(0.5, 5.0));
+    betas.push_back(rng.uniform(0.5, 5.0));
+    profits.push_back(1.0);
+    m.push_back(rng.uniform(0.05, 2.0));
+  }
+  const double mu = rng.uniform(0.5, 2.0);
+  const econ::Market market = econ::Market::exponential(mu, alphas, betas, profits);
+  const core::UtilizationSolver solver(market);
+  const double phi = solver.solve(m);
+  const double theta = solver.aggregate_demand(phi, m);
+  EXPECT_NEAR(phi, market.utilization_model().utilization(theta, mu), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedPointConsistency,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Unit + property tests for the demand-curve families (Assumption 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "subsidy/econ/assumptions.hpp"
+#include "subsidy/econ/demand.hpp"
+#include "subsidy/numerics/differentiate.hpp"
+
+namespace econ = subsidy::econ;
+namespace num = subsidy::num;
+
+namespace {
+
+TEST(ExponentialDemand, MatchesClosedForm) {
+  const econ::ExponentialDemand d(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(d.population(0.0), 3.0);
+  EXPECT_NEAR(d.population(1.0), 3.0 * std::exp(-2.0), 1e-15);
+  EXPECT_NEAR(d.derivative(1.0), -2.0 * 3.0 * std::exp(-2.0), 1e-15);
+  // The paper's p-elasticity for m = e^{-alpha t} is exactly -alpha t.
+  EXPECT_DOUBLE_EQ(d.elasticity(0.7), -2.0 * 0.7);
+}
+
+TEST(ExponentialDemand, DefinedForNegativePrices) {
+  const econ::ExponentialDemand d(1.0);
+  EXPECT_GT(d.population(-0.5), 1.0);  // subsidized below zero => more users
+}
+
+TEST(ExponentialDemand, RejectsBadParameters) {
+  EXPECT_THROW(econ::ExponentialDemand(0.0), std::invalid_argument);
+  EXPECT_THROW(econ::ExponentialDemand(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(LogitDemand, SaturatesAndDecays) {
+  const econ::LogitDemand d(10.0, 2.0, 1.0);
+  EXPECT_NEAR(d.population(-100.0), 10.0, 1e-9);
+  EXPECT_NEAR(d.population(1.0), 5.0, 1e-12);  // half population at threshold
+  EXPECT_LT(d.population(100.0), 1e-9);
+}
+
+TEST(IsoelasticDemand, SaturatedBelowZero) {
+  const econ::IsoelasticDemand d(4.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.population(-1.0), 4.0);
+  EXPECT_DOUBLE_EQ(d.population(0.0), 4.0);
+  EXPECT_NEAR(d.population(1.0), 1.0, 1e-12);  // 4 * 2^-2
+  EXPECT_DOUBLE_EQ(d.derivative(-1.0), 0.0);
+}
+
+TEST(LinearDemand, PiecewiseShape) {
+  const econ::LinearDemand d(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(d.population(-1.0), 2.0);
+  EXPECT_DOUBLE_EQ(d.population(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.population(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.population(9.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.derivative(2.0), -0.5);
+}
+
+TEST(DemandClone, PreservesBehaviour) {
+  const econ::ExponentialDemand original(1.5, 2.0);
+  const std::unique_ptr<econ::DemandCurve> copy = original.clone();
+  for (double t : {-0.5, 0.0, 1.0, 3.0}) {
+    EXPECT_DOUBLE_EQ(copy->population(t), original.population(t));
+  }
+}
+
+TEST(Assumption2Validator, AcceptsConformantCurves) {
+  EXPECT_TRUE(econ::validate_demand_curve(econ::ExponentialDemand(2.0)).ok);
+  EXPECT_TRUE(econ::validate_demand_curve(econ::LogitDemand(1.0, 3.0, 0.5)).ok);
+}
+
+TEST(Assumption2Validator, FlagsNonDecayingCurve) {
+  // A curve that violates the zero-limit requirement of Assumption 2.
+  class ConstantDemand final : public econ::DemandCurve {
+   public:
+    double population(double) const override { return 1.0; }
+    std::string name() const override { return "constant"; }
+    std::unique_ptr<econ::DemandCurve> clone() const override {
+      return std::make_unique<ConstantDemand>(*this);
+    }
+  };
+  const econ::ValidationReport report = econ::validate_demand_curve(ConstantDemand{});
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(Assumption2Validator, FlagsIncreasingCurve) {
+  class IncreasingDemand final : public econ::DemandCurve {
+   public:
+    double population(double t) const override { return std::exp(0.1 * t); }
+    std::string name() const override { return "increasing"; }
+    std::unique_ptr<econ::DemandCurve> clone() const override {
+      return std::make_unique<IncreasingDemand>(*this);
+    }
+  };
+  EXPECT_FALSE(econ::validate_demand_curve(IncreasingDemand{}).ok);
+}
+
+// Property sweep: every family's analytic derivative must agree with a
+// central finite difference, and elasticity must equal derivative * t / m.
+struct DemandCase {
+  const char* label;
+  std::shared_ptr<const econ::DemandCurve> curve;
+};
+
+class DemandDerivativeTest : public ::testing::TestWithParam<DemandCase> {};
+
+TEST_P(DemandDerivativeTest, DerivativeMatchesFiniteDifference) {
+  const auto& curve = *GetParam().curve;
+  for (double t : {0.1, 0.5, 1.0, 2.0, 3.5}) {
+    const double fd =
+        num::central_difference([&](double x) { return curve.population(x); }, t, 1e-7);
+    EXPECT_NEAR(curve.derivative(t), fd, 1e-5 * std::max(1.0, std::fabs(fd)))
+        << GetParam().label << " at t=" << t;
+  }
+}
+
+TEST_P(DemandDerivativeTest, ElasticityIdentity) {
+  const auto& curve = *GetParam().curve;
+  for (double t : {0.25, 1.0, 2.5}) {
+    const double m = curve.population(t);
+    if (m <= 0.0) continue;
+    EXPECT_NEAR(curve.elasticity(t), curve.derivative(t) * t / m, 1e-9)
+        << GetParam().label << " at t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, DemandDerivativeTest,
+    ::testing::Values(
+        DemandCase{"exponential", std::make_shared<econ::ExponentialDemand>(2.0)},
+        DemandCase{"exponential_scaled", std::make_shared<econ::ExponentialDemand>(0.5, 4.0)},
+        DemandCase{"logit", std::make_shared<econ::LogitDemand>(3.0, 2.0, 1.0)},
+        DemandCase{"isoelastic", std::make_shared<econ::IsoelasticDemand>(2.0, 1.5)}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Unit tests for the Market aggregate and its validation.
+#include <gtest/gtest.h>
+
+#include "subsidy/econ/market.hpp"
+
+namespace econ = subsidy::econ;
+
+namespace {
+
+econ::Market small_market() {
+  return econ::Market::exponential(1.0, {1.0, 3.0}, {2.0, 4.0}, {0.5, 1.0});
+}
+
+TEST(Market, ExponentialFactoryWiresEverything) {
+  const econ::Market m = small_market();
+  EXPECT_EQ(m.num_providers(), 2u);
+  EXPECT_DOUBLE_EQ(m.capacity(), 1.0);
+  EXPECT_DOUBLE_EQ(m.provider(0).profitability, 0.5);
+  EXPECT_DOUBLE_EQ(m.provider(1).profitability, 1.0);
+  EXPECT_DOUBLE_EQ(m.provider(0).demand->population(0.0), 1.0);
+  EXPECT_EQ(m.utilization_model().name(), econ::LinearUtilization{}.name());
+}
+
+TEST(Market, FactoryRejectsSizeMismatch) {
+  EXPECT_THROW((void)econ::Market::exponential(1.0, {1.0}, {1.0, 2.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Market, ConstructorValidatesComponents) {
+  std::vector<econ::ContentProviderSpec> providers(1);
+  providers[0].name = "broken";
+  providers[0].demand = nullptr;
+  providers[0].throughput = std::make_shared<econ::ExponentialThroughput>(1.0);
+  EXPECT_THROW(econ::Market(econ::IspSpec{1.0}, std::make_shared<econ::LinearUtilization>(),
+                            providers),
+               std::invalid_argument);
+  EXPECT_THROW(econ::Market(econ::IspSpec{0.0}, std::make_shared<econ::LinearUtilization>(),
+                            providers),
+               std::invalid_argument);
+  EXPECT_THROW(econ::Market(econ::IspSpec{1.0}, nullptr, providers), std::invalid_argument);
+  EXPECT_THROW(econ::Market(econ::IspSpec{1.0}, std::make_shared<econ::LinearUtilization>(),
+                            std::vector<econ::ContentProviderSpec>{}),
+               std::invalid_argument);
+}
+
+TEST(Market, NegativeProfitabilityRejected) {
+  EXPECT_THROW((void)econ::Market::exponential(1.0, {1.0}, {1.0}, {-0.5}),
+               std::invalid_argument);
+}
+
+TEST(Market, WithCapacityReturnsModifiedCopy) {
+  const econ::Market m = small_market();
+  const econ::Market bigger = m.with_capacity(3.0);
+  EXPECT_DOUBLE_EQ(bigger.capacity(), 3.0);
+  EXPECT_DOUBLE_EQ(m.capacity(), 1.0);  // original untouched
+  EXPECT_THROW((void)m.with_capacity(0.0), std::invalid_argument);
+}
+
+TEST(Market, WithProfitabilityReturnsModifiedCopy) {
+  const econ::Market m = small_market();
+  const econ::Market richer = m.with_profitability(0, 2.0);
+  EXPECT_DOUBLE_EQ(richer.provider(0).profitability, 2.0);
+  EXPECT_DOUBLE_EQ(m.provider(0).profitability, 0.5);
+  EXPECT_THROW((void)m.with_profitability(9, 1.0), std::out_of_range);
+}
+
+TEST(Market, WithUtilizationModelSwap) {
+  const econ::Market m = small_market();
+  const econ::Market swapped =
+      m.with_utilization_model(std::make_shared<econ::DelayUtilization>());
+  EXPECT_EQ(swapped.utilization_model().name(), econ::DelayUtilization{}.name());
+  EXPECT_THROW((void)m.with_utilization_model(nullptr), std::invalid_argument);
+}
+
+TEST(Market, ProviderIndexBounds) {
+  const econ::Market m = small_market();
+  EXPECT_THROW((void)m.provider(2), std::out_of_range);
+}
+
+TEST(Market, ValidatePassesForExponentialFamily) {
+  const econ::ValidationReport report = small_market().validate();
+  EXPECT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations.front());
+}
+
+TEST(ValidationReport, MergeCollectsViolations) {
+  econ::ValidationReport a;
+  econ::ValidationReport b;
+  b.add_violation("bad thing");
+  const econ::ValidationReport merged = econ::merge({a, b});
+  EXPECT_FALSE(merged.ok);
+  ASSERT_EQ(merged.violations.size(), 1u);
+  EXPECT_EQ(merged.violations.front(), "bad thing");
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Unit + property tests for the throughput-curve families (Assumption 1,
+// lambda part).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "subsidy/econ/assumptions.hpp"
+#include "subsidy/econ/throughput.hpp"
+#include "subsidy/numerics/differentiate.hpp"
+
+namespace econ = subsidy::econ;
+namespace num = subsidy::num;
+
+namespace {
+
+TEST(ExponentialThroughput, MatchesClosedForm) {
+  const econ::ExponentialThroughput l(3.0, 2.0);
+  EXPECT_DOUBLE_EQ(l.rate(0.0), 2.0);
+  EXPECT_NEAR(l.rate(1.0), 2.0 * std::exp(-3.0), 1e-15);
+  // The paper's phi-elasticity for lambda = e^{-beta phi} is exactly -beta phi.
+  EXPECT_DOUBLE_EQ(l.elasticity(0.4), -3.0 * 0.4);
+}
+
+TEST(PowerLawThroughput, ElasticitySaturates) {
+  const econ::PowerLawThroughput l(2.0);
+  EXPECT_DOUBLE_EQ(l.rate(0.0), 1.0);
+  EXPECT_NEAR(l.rate(1.0), 0.25, 1e-15);
+  EXPECT_NEAR(l.elasticity(1.0), -1.0, 1e-12);       // -beta phi/(1+phi)
+  EXPECT_GT(l.elasticity(100.0), -2.0);               // saturates above -beta
+}
+
+TEST(DelayThroughput, HarmonicDecay) {
+  const econ::DelayThroughput l(4.0, 2.0);
+  EXPECT_DOUBLE_EQ(l.rate(0.0), 2.0);
+  EXPECT_NEAR(l.rate(1.0), 0.4, 1e-15);
+  EXPECT_LT(l.rate(100.0), 0.01);
+}
+
+TEST(ThroughputConstruction, RejectsBadParameters) {
+  EXPECT_THROW(econ::ExponentialThroughput(-1.0), std::invalid_argument);
+  EXPECT_THROW(econ::PowerLawThroughput(0.0), std::invalid_argument);
+  EXPECT_THROW(econ::DelayThroughput(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ThroughputClone, PreservesBehaviour) {
+  const econ::PowerLawThroughput original(2.5, 1.5);
+  const std::unique_ptr<econ::ThroughputCurve> copy = original.clone();
+  for (double phi : {0.0, 0.5, 2.0}) {
+    EXPECT_DOUBLE_EQ(copy->rate(phi), original.rate(phi));
+  }
+}
+
+TEST(Assumption1Validator, AcceptsConformantCurves) {
+  EXPECT_TRUE(econ::validate_throughput_curve(econ::ExponentialThroughput(2.0)).ok);
+  EXPECT_TRUE(econ::validate_throughput_curve(econ::PowerLawThroughput(1.5)).ok);
+  EXPECT_TRUE(econ::validate_throughput_curve(econ::DelayThroughput(2.0)).ok);
+}
+
+TEST(Assumption1Validator, FlagsIncreasingCurve) {
+  class IncreasingThroughput final : public econ::ThroughputCurve {
+   public:
+    double rate(double phi) const override { return 1.0 + phi; }
+    std::string name() const override { return "increasing"; }
+    std::unique_ptr<econ::ThroughputCurve> clone() const override {
+      return std::make_unique<IncreasingThroughput>(*this);
+    }
+  };
+  EXPECT_FALSE(econ::validate_throughput_curve(IncreasingThroughput{}).ok);
+}
+
+// Property sweep over families: derivative vs finite difference, elasticity
+// identity, and strict monotone decay.
+struct ThroughputCase {
+  const char* label;
+  std::shared_ptr<const econ::ThroughputCurve> curve;
+};
+
+class ThroughputPropertyTest : public ::testing::TestWithParam<ThroughputCase> {};
+
+TEST_P(ThroughputPropertyTest, DerivativeMatchesFiniteDifference) {
+  const auto& curve = *GetParam().curve;
+  for (double phi : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    const double fd = num::central_difference([&](double x) { return curve.rate(x); }, phi, 1e-7);
+    EXPECT_NEAR(curve.derivative(phi), fd, 1e-5 * std::max(1.0, std::fabs(fd)))
+        << GetParam().label << " at phi=" << phi;
+  }
+}
+
+TEST_P(ThroughputPropertyTest, ElasticityIdentity) {
+  const auto& curve = *GetParam().curve;
+  for (double phi : {0.2, 1.0, 3.0}) {
+    EXPECT_NEAR(curve.elasticity(phi), curve.derivative(phi) * phi / curve.rate(phi), 1e-9)
+        << GetParam().label;
+  }
+}
+
+TEST_P(ThroughputPropertyTest, StrictlyDecreasingAndPositive) {
+  const auto& curve = *GetParam().curve;
+  double prev = curve.rate(0.0);
+  EXPECT_GT(prev, 0.0);
+  for (double phi = 0.25; phi <= 6.0; phi += 0.25) {
+    const double lambda = curve.rate(phi);
+    EXPECT_GT(lambda, 0.0) << GetParam().label;
+    EXPECT_LT(lambda, prev) << GetParam().label << " at phi=" << phi;
+    prev = lambda;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ThroughputPropertyTest,
+    ::testing::Values(
+        ThroughputCase{"exponential", std::make_shared<econ::ExponentialThroughput>(2.0)},
+        ThroughputCase{"exponential_scaled",
+                       std::make_shared<econ::ExponentialThroughput>(0.5, 3.0)},
+        ThroughputCase{"powerlaw", std::make_shared<econ::PowerLawThroughput>(1.5)},
+        ThroughputCase{"delay", std::make_shared<econ::DelayThroughput>(3.0, 2.0)}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+}  // namespace

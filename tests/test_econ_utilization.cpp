@@ -1,0 +1,127 @@
+// Unit + property tests for the utilization models (Assumption 1, Phi part).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "subsidy/econ/assumptions.hpp"
+#include "subsidy/econ/utilization.hpp"
+#include "subsidy/numerics/differentiate.hpp"
+
+namespace econ = subsidy::econ;
+namespace num = subsidy::num;
+
+namespace {
+
+TEST(LinearUtilization, MatchesClosedForm) {
+  const econ::LinearUtilization u;
+  EXPECT_DOUBLE_EQ(u.utilization(2.0, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.inverse_throughput(0.5, 4.0), 2.0);
+  EXPECT_DOUBLE_EQ(u.inverse_throughput_dphi(0.7, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(u.inverse_throughput_dmu(0.7, 4.0), 0.7);
+  EXPECT_TRUE(std::isinf(u.max_utilization()));
+}
+
+TEST(LinearUtilization, RejectsBadArguments) {
+  const econ::LinearUtilization u;
+  EXPECT_THROW((void)u.utilization(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)u.utilization(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)u.inverse_throughput(-0.1, 1.0), std::invalid_argument);
+}
+
+TEST(DelayUtilization, BlowsUpNearSaturation) {
+  const econ::DelayUtilization u;
+  EXPECT_DOUBLE_EQ(u.utilization(0.5, 1.0), 1.0);
+  EXPECT_GT(u.utilization(0.99, 1.0), 50.0);
+  EXPECT_THROW((void)u.utilization(1.0, 1.0), std::domain_error);
+  // Inverse stays below capacity.
+  EXPECT_LT(u.inverse_throughput(1000.0, 1.0), 1.0);
+}
+
+TEST(PowerUtilization, GammaShapes) {
+  const econ::PowerUtilization convex(2.0);
+  EXPECT_DOUBLE_EQ(convex.utilization(0.5, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(convex.inverse_throughput(0.25, 1.0), 0.5);
+  const econ::PowerUtilization identity(1.0);
+  EXPECT_DOUBLE_EQ(identity.utilization(0.3, 1.0), 0.3);
+  EXPECT_THROW(econ::PowerUtilization(0.0), std::invalid_argument);
+}
+
+TEST(UtilizationValidator, AcceptsAllModels) {
+  EXPECT_TRUE(econ::validate_utilization_model(econ::LinearUtilization{}).ok);
+  EXPECT_TRUE(econ::validate_utilization_model(econ::DelayUtilization{}).ok);
+  EXPECT_TRUE(econ::validate_utilization_model(econ::PowerUtilization{1.5}).ok);
+}
+
+// Property sweep: inverse consistency and analytic dTheta/dphi, dTheta/dmu
+// against finite differences for every model.
+struct UtilizationCase {
+  const char* label;
+  std::shared_ptr<const econ::UtilizationModel> model;
+};
+
+class UtilizationPropertyTest : public ::testing::TestWithParam<UtilizationCase> {};
+
+TEST_P(UtilizationPropertyTest, InverseRoundTrip) {
+  const auto& model = *GetParam().model;
+  for (double mu : {0.5, 1.0, 2.0}) {
+    for (double phi : {0.1, 0.5, 1.0, 2.0}) {
+      const double theta = model.inverse_throughput(phi, mu);
+      EXPECT_NEAR(model.utilization(theta, mu), phi, 1e-10)
+          << GetParam().label << " phi=" << phi << " mu=" << mu;
+    }
+  }
+}
+
+TEST_P(UtilizationPropertyTest, AnalyticDThetaDPhi) {
+  const auto& model = *GetParam().model;
+  for (double mu : {0.5, 2.0}) {
+    for (double phi : {0.2, 1.0, 3.0}) {
+      const double fd = num::central_difference(
+          [&](double x) { return model.inverse_throughput(x, mu); }, phi, 1e-7);
+      EXPECT_NEAR(model.inverse_throughput_dphi(phi, mu), fd, 1e-5 * std::max(1.0, fd))
+          << GetParam().label;
+    }
+  }
+}
+
+TEST_P(UtilizationPropertyTest, AnalyticDThetaDMu) {
+  const auto& model = *GetParam().model;
+  for (double mu : {0.5, 2.0}) {
+    for (double phi : {0.2, 1.0, 3.0}) {
+      const double fd = num::central_difference(
+          [&](double x) { return model.inverse_throughput(phi, x); }, mu, 1e-7);
+      EXPECT_NEAR(model.inverse_throughput_dmu(phi, mu), fd, 1e-5 * std::max(1.0, fd))
+          << GetParam().label;
+    }
+  }
+}
+
+TEST_P(UtilizationPropertyTest, MonotoneInBothArguments) {
+  const auto& model = *GetParam().model;
+  // Increasing in theta at fixed mu (stay below capacity for saturating
+  // models), decreasing in mu at fixed theta.
+  double prev = -1.0;
+  for (double theta = 0.05; theta <= 0.9; theta += 0.05) {
+    const double phi = model.utilization(theta, 1.0);
+    EXPECT_GT(phi, prev) << GetParam().label;
+    prev = phi;
+  }
+  prev = std::numeric_limits<double>::infinity();
+  for (double mu = 1.0; mu <= 3.0; mu += 0.25) {
+    const double phi = model.utilization(0.5, mu);
+    EXPECT_LT(phi, prev) << GetParam().label;
+    prev = phi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, UtilizationPropertyTest,
+    ::testing::Values(UtilizationCase{"linear", std::make_shared<econ::LinearUtilization>()},
+                      UtilizationCase{"delay", std::make_shared<econ::DelayUtilization>()},
+                      UtilizationCase{"power_convex", std::make_shared<econ::PowerUtilization>(2.0)},
+                      UtilizationCase{"power_concave",
+                                      std::make_shared<econ::PowerUtilization>(0.5)}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+}  // namespace

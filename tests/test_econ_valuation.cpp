@@ -1,0 +1,136 @@
+// Valuation-distribution demand: distribution properties, closed-form tail
+// integrals, equivalence with the direct demand families, and end-to-end use
+// in the game.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "subsidy/core/nash.hpp"
+#include "subsidy/econ/assumptions.hpp"
+#include "subsidy/econ/valuation.hpp"
+#include "subsidy/numerics/differentiate.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+
+namespace {
+
+TEST(ExponentialValuation, InducesPaperDemandFamily) {
+  // N * S(t) with S = e^{-rate t} must coincide with ExponentialDemand.
+  const econ::ValuationDemand derived(
+      2.0, std::make_shared<econ::ExponentialValuation>(3.0));
+  const econ::ExponentialDemand direct(3.0, 2.0);
+  for (double t : {0.0, 0.3, 1.0, 2.5}) {
+    EXPECT_NEAR(derived.population(t), direct.population(t), 1e-12) << "t=" << t;
+    EXPECT_NEAR(derived.surplus_integral(t), direct.surplus_integral(t), 1e-9) << "t=" << t;
+    // The derivative agrees strictly above zero; at t = 0 the valuation model
+    // has a kink (populations saturate because valuations are non-negative)
+    // while the direct family keeps growing below zero.
+    if (t > 0.0) {
+      EXPECT_NEAR(derived.derivative(t), direct.derivative(t), 1e-9) << "t=" << t;
+    }
+  }
+}
+
+TEST(UniformValuation, InducesLinearDemandFamily) {
+  const econ::ValuationDemand derived(2.0, std::make_shared<econ::UniformValuation>(4.0));
+  const econ::LinearDemand direct(2.0, 4.0);
+  for (double t : {-0.5, 0.0, 1.0, 3.0, 4.0, 5.0}) {
+    EXPECT_NEAR(derived.population(t), direct.population(t), 1e-12) << "t=" << t;
+    EXPECT_NEAR(derived.surplus_integral(t), direct.surplus_integral(t), 1e-10) << "t=" << t;
+  }
+}
+
+TEST(ParetoValuation, SurvivalAndTail) {
+  const econ::ParetoValuation dist(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(dist.survival(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(dist.survival(1.0), 1.0);
+  EXPECT_NEAR(dist.survival(2.0), 0.25, 1e-12);
+  // int_2^inf (1/w)^2 dw = 1/2.
+  EXPECT_NEAR(dist.tail_integral(2.0), 0.5, 1e-12);
+  // int_1^inf = 1; from 0.5: + rectangle 0.5.
+  EXPECT_NEAR(dist.tail_integral(0.5), 1.0 + 0.5, 1e-12);
+}
+
+TEST(ParetoValuation, HeavyTailReportsInfiniteSurplus) {
+  const econ::ParetoValuation dist(1.0, 0.8);
+  EXPECT_TRUE(std::isinf(dist.tail_integral(1.0)));
+  const econ::ValuationDemand demand(1.0, std::make_shared<econ::ParetoValuation>(1.0, 0.8));
+  EXPECT_TRUE(std::isinf(demand.surplus_integral(1.0)));
+}
+
+TEST(LognormalValuation, SurvivalShape) {
+  const econ::LognormalValuation dist(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(dist.survival(-1.0), 1.0);
+  EXPECT_NEAR(dist.survival(1.0), 0.5, 1e-12);  // median at e^mu = 1
+  EXPECT_LT(dist.survival(10.0), 0.02);
+  // Numeric tail integral converges (lognormal has all moments).
+  EXPECT_LT(dist.tail_integral(0.0), 5.0);
+  EXPECT_GT(dist.tail_integral(0.0), 1.0);  // mean = e^{1/2} ~ 1.65
+}
+
+TEST(ValuationDensity, NumericDefaultMatchesAnalytic) {
+  const econ::ParetoValuation dist(1.0, 2.0);
+  for (double w : {1.5, 2.0, 4.0}) {
+    const double numeric =
+        -subsidy::num::central_difference([&](double x) { return dist.survival(x); }, w);
+    EXPECT_NEAR(dist.density(w), numeric, 1e-5) << "w=" << w;
+  }
+}
+
+TEST(ValuationDemand, SatisfiesAssumption2) {
+  const econ::ValuationDemand exp_demand(1.0,
+                                         std::make_shared<econ::ExponentialValuation>(2.0));
+  EXPECT_TRUE(econ::validate_demand_curve(exp_demand).ok);
+  const econ::ValuationDemand lognormal_demand(
+      1.0, std::make_shared<econ::LognormalValuation>(-0.5, 0.8));
+  EXPECT_TRUE(econ::validate_demand_curve(lognormal_demand).ok);
+}
+
+TEST(ValuationDemand, RejectsBadConstruction) {
+  EXPECT_THROW(econ::ValuationDemand(0.0, std::make_shared<econ::UniformValuation>(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(econ::ValuationDemand(1.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(econ::ExponentialValuation(0.0), std::invalid_argument);
+  EXPECT_THROW(econ::ParetoValuation(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(econ::LognormalValuation(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(ValuationDemand, EndToEndGameWithMixedValuations) {
+  // A market whose demand sides come from three different valuation models.
+  std::vector<econ::ContentProviderSpec> providers(3);
+  providers[0].name = "exp-val";
+  providers[0].demand = std::make_shared<econ::ValuationDemand>(
+      1.0, std::make_shared<econ::ExponentialValuation>(3.0));
+  providers[0].throughput = std::make_shared<econ::ExponentialThroughput>(2.0);
+  providers[0].profitability = 1.0;
+  providers[1].name = "lognormal-val";
+  providers[1].demand = std::make_shared<econ::ValuationDemand>(
+      1.0, std::make_shared<econ::LognormalValuation>(-0.3, 0.7));
+  providers[1].throughput = std::make_shared<econ::ExponentialThroughput>(3.0);
+  providers[1].profitability = 0.8;
+  providers[2].name = "pareto-val";
+  providers[2].demand = std::make_shared<econ::ValuationDemand>(
+      0.8, std::make_shared<econ::ParetoValuation>(0.2, 2.5));
+  providers[2].throughput = std::make_shared<econ::ExponentialThroughput>(2.5);
+  providers[2].profitability = 0.6;
+  const econ::Market mkt(econ::IspSpec{1.0}, std::make_shared<econ::LinearUtilization>(),
+                         providers);
+
+  const core::SubsidizationGame game(mkt, 0.6, 0.5);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+  // Deregulation direction still holds.
+  const core::SystemState base = game.evaluator().evaluate_unsubsidized(0.6);
+  EXPECT_GE(nash.state.revenue, base.revenue - 1e-9);
+}
+
+TEST(ValuationDemand, CloneIsDeep) {
+  const econ::ValuationDemand original(1.5, std::make_shared<econ::UniformValuation>(2.0));
+  const auto copy = original.clone();
+  EXPECT_DOUBLE_EQ(copy->population(1.0), original.population(1.0));
+  EXPECT_EQ(copy->name(), original.name());
+}
+
+}  // namespace

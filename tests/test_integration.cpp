@@ -1,0 +1,223 @@
+// End-to-end integration tests crossing every library boundary: the paper's
+// qualitative findings reproduced through the full pipeline, and the
+// calibration loop (trace -> estimation -> policy conclusion).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/core/core.hpp"
+#include "subsidy/market/estimator.hpp"
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/market/traces.hpp"
+#include "subsidy/numerics/grid.hpp"
+#include "subsidy/sim/market_dynamics.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+namespace num = subsidy::num;
+namespace sim = subsidy::sim;
+
+namespace {
+
+TEST(Integration, Figure7FixedPriceOrderingInQ) {
+  // At every fixed price, both R and W are weakly increasing in q — the
+  // headline finding of Figure 7.
+  const econ::Market mkt = market::section5_market();
+  const std::vector<double> prices = num::linspace(0.2, 1.8, 9);
+  const std::vector<double> caps{0.0, 0.5, 1.0, 1.5, 2.0};
+
+  for (double p : prices) {
+    double last_r = -1.0;
+    double last_w = -1.0;
+    std::vector<double> warm;
+    for (double q : caps) {
+      const core::SubsidizationGame game(mkt, p, q);
+      const core::NashResult nash = core::solve_nash(game, warm);
+      ASSERT_TRUE(nash.converged) << "p=" << p << " q=" << q;
+      warm = nash.subsidies;
+      EXPECT_GE(nash.state.revenue, last_r - 1e-8) << "p=" << p << " q=" << q;
+      EXPECT_GE(nash.state.welfare, last_w - 1e-8) << "p=" << p << " q=" << q;
+      last_r = nash.state.revenue;
+      last_w = nash.state.welfare;
+    }
+  }
+}
+
+TEST(Integration, Figure8HighValueHighElasticityCpsSubsidizeMore) {
+  // Paper: CPs with v = 1 or alpha = 5 provide much higher subsidies.
+  const econ::Market mkt = market::section5_market();
+  const auto params = market::section5_parameters();
+  const core::SubsidizationGame game(mkt, 0.8, 1.0);
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+
+  auto find = [&](double v, double a, double b) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (params[i].profitability == v && params[i].alpha == a && params[i].beta == b) return i;
+    }
+    return params.size();
+  };
+
+  // Same (alpha, beta): higher v subsidizes more.
+  for (double a : {2.0, 5.0}) {
+    for (double b : {2.0, 5.0}) {
+      EXPECT_GE(nash.subsidies[find(1.0, a, b)], nash.subsidies[find(0.5, a, b)] - 1e-9)
+          << "a=" << a << " b=" << b;
+    }
+  }
+  // Same (v, beta): higher alpha subsidizes more.
+  for (double v : {0.5, 1.0}) {
+    for (double b : {2.0, 5.0}) {
+      EXPECT_GE(nash.subsidies[find(v, 5.0, b)], nash.subsidies[find(v, 2.0, b)] - 1e-9)
+          << "v=" << v << " b=" << b;
+    }
+  }
+}
+
+TEST(Integration, Figure9PopulationsRiseWithCap) {
+  // Every CP retains a (weakly) larger population under a more relaxed
+  // policy at fixed price.
+  const econ::Market mkt = market::section5_market();
+  const double p = 0.9;
+  std::vector<double> warm;
+  std::vector<double> last_m(8, -1.0);
+  for (double q : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    const core::SubsidizationGame game(mkt, p, q);
+    const core::NashResult nash = core::solve_nash(game, warm);
+    ASSERT_TRUE(nash.converged);
+    warm = nash.subsidies;
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_GE(nash.state.providers[i].population, last_m[i] - 1e-9) << "q=" << q << " i=" << i;
+      last_m[i] = nash.state.providers[i].population;
+    }
+  }
+}
+
+TEST(Integration, Figure10HighValueCpsGainThroughputLowValueCongestionSensitiveLose) {
+  // Deregulation (q: 0 -> 2) raises throughput for profitable CPs and lowers
+  // it for the (alpha=2, beta=5, v=0.5) class (congestion-sensitive,
+  // price-insensitive, cannot afford to subsidize).
+  const econ::Market mkt = market::section5_market();
+  const auto params = market::section5_parameters();
+  const double p = 0.8;
+
+  const core::NashResult base = core::solve_nash(core::SubsidizationGame(mkt, p, 0.0));
+  const core::NashResult dereg = core::solve_nash(core::SubsidizationGame(mkt, p, 2.0));
+  ASSERT_TRUE(base.converged);
+  ASSERT_TRUE(dereg.converged);
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double delta =
+        dereg.state.providers[i].throughput - base.state.providers[i].throughput;
+    if (params[i].profitability == 1.0 && params[i].alpha == 5.0) {
+      EXPECT_GT(delta, 0.0) << "high-value high-elasticity CP " << i << " should gain";
+    }
+    if (params[i].profitability == 0.5 && params[i].alpha == 2.0 && params[i].beta == 5.0) {
+      EXPECT_LT(delta, 0.0) << "startup-like CP " << i << " loses to congestion";
+    }
+  }
+}
+
+TEST(Integration, Figure11UtilityWinnersAndLosers) {
+  // Paper's Figure 11 observations at moderate price: (alpha=5, v=1) CPs
+  // gain utility under deregulation; (alpha=2, beta=5) CPs lose.
+  const econ::Market mkt = market::section5_market();
+  const auto params = market::section5_parameters();
+  const double p = 0.8;
+
+  const core::NashResult base = core::solve_nash(core::SubsidizationGame(mkt, p, 0.0));
+  const core::NashResult dereg = core::solve_nash(core::SubsidizationGame(mkt, p, 2.0));
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double delta = dereg.state.providers[i].utility - base.state.providers[i].utility;
+    if (params[i].alpha == 5.0 && params[i].profitability == 1.0) {
+      EXPECT_GT(delta, 0.0) << "i=" << i;
+    }
+    if (params[i].alpha == 2.0 && params[i].beta == 5.0) {
+      EXPECT_LT(delta, 0.0) << "i=" << i;
+    }
+  }
+}
+
+TEST(Integration, CalibrationPipelineReachesSamePolicyConclusion) {
+  // trace -> estimator -> rebuilt market -> policy sweep: the rebuilt market
+  // must reproduce the deregulation conclusion (R and W rise with q) and
+  // match the true market's revenue closely.
+  num::Rng rng(7);
+  market::TraceConfig config;
+  config.days = 300;
+  config.measurement_noise = 0.03;
+  const econ::Market truth = market::section5_market();
+  const auto trace = market::generate_trace(truth, config, rng);
+  const market::ParameterEstimator estimator;
+  const econ::Market rebuilt = estimator.build_market(estimator.fit(trace), 1.0);
+
+  const double p = 0.8;
+  double last_r = -1.0;
+  for (double q : {0.0, 1.0, 2.0}) {
+    const core::NashResult nash_true = core::solve_nash(core::SubsidizationGame(truth, p, q));
+    const core::NashResult nash_est = core::solve_nash(core::SubsidizationGame(rebuilt, p, q));
+    ASSERT_TRUE(nash_true.converged);
+    ASSERT_TRUE(nash_est.converged);
+    EXPECT_NEAR(nash_est.state.revenue, nash_true.state.revenue,
+                0.05 * std::max(0.1, nash_true.state.revenue))
+        << "q=" << q;
+    EXPECT_GE(nash_est.state.revenue, last_r - 1e-9);
+    last_r = nash_est.state.revenue;
+  }
+}
+
+TEST(Integration, DynamicsAgreeWithStaticSolverAcrossPolicies) {
+  const econ::Market mkt = market::section5_market();
+  for (double q : {0.5, 1.5}) {
+    const core::SubsidizationGame game(mkt, 0.9, q);
+    const core::NashResult nash = core::solve_nash(game);
+    sim::DynamicsConfig config;
+    config.rounds = 300;
+    config.user_inertia = 0.5;
+    config.cp_damping = 0.5;
+    const sim::Trajectory traj = sim::MarketDynamicsSimulator(config).run(game);
+    EXPECT_LT(traj.distance_to(nash.subsidies), 1e-3) << "q=" << q;
+  }
+}
+
+TEST(Integration, CapacityExpansionRelievesThroughputLosers) {
+  // Section 6's long-run argument: the CPs whose throughput falls under
+  // deregulation recover when the ISP expands capacity.
+  const econ::Market mkt = market::section5_market();
+  const auto params = market::section5_parameters();
+  const double p = 0.8;
+
+  std::size_t loser = params.size();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].alpha == 2.0 && params[i].beta == 5.0 && params[i].profitability == 0.5) {
+      loser = i;
+    }
+  }
+  ASSERT_LT(loser, params.size());
+
+  const core::NashResult base = core::solve_nash(core::SubsidizationGame(mkt, p, 0.0));
+  const core::NashResult dereg = core::solve_nash(core::SubsidizationGame(mkt, p, 2.0));
+  const double lost = base.state.providers[loser].throughput -
+                      dereg.state.providers[loser].throughput;
+  ASSERT_GT(lost, 0.0);
+
+  // Capacity expansion relieves the externality monotonically, and a large
+  // enough build-out restores the loser above its pre-deregulation level.
+  const core::NashResult expanded_some =
+      core::solve_nash(core::SubsidizationGame(mkt.with_capacity(1.5), p, 2.0));
+  EXPECT_GT(expanded_some.state.providers[loser].throughput,
+            dereg.state.providers[loser].throughput);
+  const core::NashResult expanded_big =
+      core::solve_nash(core::SubsidizationGame(mkt.with_capacity(4.0), p, 2.0));
+  EXPECT_GT(expanded_big.state.providers[loser].throughput,
+            base.state.providers[loser].throughput);
+}
+
+TEST(Integration, ValidationGateAcrossScenarioMarkets) {
+  EXPECT_TRUE(market::section3_market().validate().ok);
+  EXPECT_TRUE(market::section5_market().validate().ok);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Unit tests for the io library: series, sweep tables, CSV, console tables
+// and the ASCII chart renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "subsidy/io/ascii_chart.hpp"
+#include "subsidy/io/csv.hpp"
+#include "subsidy/io/series.hpp"
+#include "subsidy/io/table.hpp"
+
+namespace io = subsidy::io;
+
+namespace {
+
+TEST(Series, AddAndStats) {
+  io::Series s("theta");
+  s.add(0.0, 1.0);
+  s.add(1.0, 3.0);
+  s.add(2.0, 2.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.argmax(), 1u);
+  EXPECT_DOUBLE_EQ(s.max_y(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min_y(), 1.0);
+  EXPECT_FALSE(s.non_increasing());
+  EXPECT_FALSE(s.non_decreasing());
+}
+
+TEST(Series, MonotonicityWithSlack) {
+  io::Series s;
+  s.add(0.0, 1.0);
+  s.add(1.0, 0.999);
+  s.add(2.0, 0.9);
+  EXPECT_TRUE(s.non_increasing());
+  EXPECT_TRUE(s.non_decreasing(0.2));   // within generous slack
+  EXPECT_FALSE(s.non_decreasing(0.01));
+}
+
+TEST(Series, EmptyThrows) {
+  const io::Series s;
+  EXPECT_THROW((void)s.argmax(), std::logic_error);
+  EXPECT_THROW((void)s.max_y(), std::logic_error);
+}
+
+TEST(SweepTable, RowColumnAccess) {
+  io::SweepTable t({"p", "theta", "revenue"});
+  t.add_row({0.5, 2.0, 1.0});
+  t.add_row({1.0, 1.5, 1.5});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(t.cell(1, 2), 1.5);
+  EXPECT_EQ(t.column("theta"), (std::vector<double>{2.0, 1.5}));
+  EXPECT_THROW((void)t.column("nope"), std::out_of_range);
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW((void)t.row(5), std::out_of_range);
+}
+
+TEST(SweepTable, SeriesExtraction) {
+  io::SweepTable t({"p", "theta"});
+  t.add_row({0.0, 2.0});
+  t.add_row({1.0, 1.0});
+  const io::Series s = t.series("p", "theta", "agg");
+  EXPECT_EQ(s.name, "agg");
+  EXPECT_EQ(s.x, (std::vector<double>{0.0, 1.0}));
+  EXPECT_TRUE(s.non_increasing());
+}
+
+TEST(Csv, TableRoundTripFormat) {
+  io::SweepTable t({"a", "b"});
+  t.add_row({1.0, 2.5});
+  std::ostringstream out;
+  io::write_csv(out, t);
+  EXPECT_EQ(out.str(), "a,b\n1,2.5\n");
+}
+
+TEST(Csv, AlignedSeries) {
+  io::Series s1("one");
+  io::Series s2("two");
+  s1.add(0.0, 1.0);
+  s2.add(0.0, 2.0);
+  std::ostringstream out;
+  io::write_csv(out, "x", {s1, s2});
+  EXPECT_EQ(out.str(), "x,one,two\n0,1,2\n");
+}
+
+TEST(Csv, MismatchedSeriesGridThrows) {
+  io::Series s1("one");
+  io::Series s2("two");
+  s1.add(0.0, 1.0);
+  s2.add(0.5, 2.0);
+  std::ostringstream out;
+  EXPECT_THROW(io::write_csv(out, "x", {s1, s2}), std::invalid_argument);
+  EXPECT_THROW(io::write_csv(out, "x", {}), std::invalid_argument);
+}
+
+TEST(ConsoleTable, AlignsColumns) {
+  io::ConsoleTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_numeric_row({3.14159, 2.71828}, 2);
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_THROW(t.add_row({"too", "many", "cells"}), std::invalid_argument);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(io::format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(io::format_double(-0.5, 1), "-0.5");
+}
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  io::Series s("revenue");
+  for (int i = 0; i <= 20; ++i) {
+    const double x = i * 0.1;
+    s.add(x, x * (2.0 - x));
+  }
+  std::ostringstream out;
+  io::render_chart(out, s, {.width = 40, .height = 10, .x_label = "p"});
+  const std::string text = out.str();
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find("revenue"), std::string::npos);
+  EXPECT_NE(text.find("(p)"), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesDistinctGlyphs) {
+  io::Series a("up");
+  io::Series b("down");
+  for (int i = 0; i <= 10; ++i) {
+    a.add(i, i);
+    b.add(i, 10 - i);
+  }
+  std::ostringstream out;
+  io::render_chart(out, std::vector<io::Series>{a, b});
+  const std::string text = out.str();
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find('o'), std::string::npos);
+}
+
+TEST(CsvReader, RoundTripsWrittenTable) {
+  io::SweepTable original({"p", "value"});
+  original.add_row({0.5, 1.25});
+  original.add_row({1.0, -3.5});
+  std::stringstream stream;
+  io::write_csv(stream, original, 12);
+  const io::SweepTable parsed = io::read_csv(stream);
+  ASSERT_EQ(parsed.num_rows(), 2u);
+  EXPECT_EQ(parsed.columns(), original.columns());
+  EXPECT_DOUBLE_EQ(parsed.cell(1, 1), -3.5);
+}
+
+TEST(CsvReader, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW((void)io::read_csv(empty), std::runtime_error);
+
+  std::stringstream ragged("a,b\n1,2\n3\n");
+  EXPECT_THROW((void)io::read_csv(ragged), std::runtime_error);
+
+  std::stringstream non_numeric("a,b\n1,oops\n");
+  EXPECT_THROW((void)io::read_csv(non_numeric), std::runtime_error);
+
+  EXPECT_THROW((void)io::read_csv_file("/nonexistent/path.csv"), std::runtime_error);
+}
+
+TEST(CsvReader, SkipsBlankLinesAndHandlesCrLf) {
+  std::stringstream stream("a,b\r\n1,2\r\n\r\n3,4\r\n");
+  const io::SweepTable parsed = io::read_csv(stream);
+  EXPECT_EQ(parsed.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.cell(1, 0), 3.0);
+}
+
+TEST(AsciiChart, HandlesConstantSeriesAndEmptyInput) {
+  io::Series flat("flat");
+  flat.add(0.0, 1.0);
+  flat.add(1.0, 1.0);
+  std::ostringstream out;
+  EXPECT_NO_THROW(io::render_chart(out, flat));
+  EXPECT_THROW(io::render_chart(out, std::vector<io::Series>{}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,247 @@
+// Market scenarios, the synthetic trace generator and the parameter
+// estimator (the paper's missing-market-data substitution).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "subsidy/market/estimator.hpp"
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/market/traces.hpp"
+
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+namespace num = subsidy::num;
+
+namespace {
+
+TEST(Scenarios, Section3MarketMatchesPaper) {
+  const econ::Market mkt = market::section3_market();
+  EXPECT_EQ(mkt.num_providers(), 9u);
+  EXPECT_DOUBLE_EQ(mkt.capacity(), 1.0);
+  const auto params = market::section3_parameters();
+  ASSERT_EQ(params.size(), 9u);
+  // All nine (alpha, beta) combinations of {1,3,5}^2 present exactly once.
+  for (double a : {1.0, 3.0, 5.0}) {
+    for (double b : {1.0, 3.0, 5.0}) {
+      int count = 0;
+      for (const auto& p : params) {
+        if (p.alpha == a && p.beta == b) ++count;
+      }
+      EXPECT_EQ(count, 1) << "(a,b)=(" << a << "," << b << ")";
+    }
+  }
+  // Spec wiring: provider i's demand really uses alpha_i.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double m1 = mkt.provider(i).demand->population(1.0);
+    EXPECT_NEAR(m1, std::exp(-params[i].alpha), 1e-12) << "i=" << i;
+  }
+}
+
+TEST(Scenarios, Section5MarketMatchesPaper) {
+  const econ::Market mkt = market::section5_market();
+  EXPECT_EQ(mkt.num_providers(), 8u);
+  const auto params = market::section5_parameters();
+  // 2 x 2 x 2 grid of (v, alpha, beta).
+  for (double v : {0.5, 1.0}) {
+    for (double a : {2.0, 5.0}) {
+      for (double b : {2.0, 5.0}) {
+        int count = 0;
+        for (const auto& p : params) {
+          if (p.alpha == a && p.beta == b && p.profitability == v) ++count;
+        }
+        EXPECT_EQ(count, 1);
+      }
+    }
+  }
+  // Paper's panel convention: first four CPs are the v = 0.5 row.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(params[i].profitability, 0.5);
+  for (std::size_t i = 4; i < 8; ++i) EXPECT_DOUBLE_EQ(params[i].profitability, 1.0);
+}
+
+TEST(Scenarios, RandomMarketRespectsSpec) {
+  num::Rng rng(11);
+  market::RandomMarketSpec spec;
+  spec.min_providers = 3;
+  spec.max_providers = 5;
+  spec.capacity_min = 0.8;
+  spec.capacity_max = 1.2;
+  for (int trial = 0; trial < 20; ++trial) {
+    const econ::Market mkt = market::random_market(rng, spec);
+    EXPECT_GE(mkt.num_providers(), 3u);
+    EXPECT_LE(mkt.num_providers(), 5u);
+    EXPECT_GE(mkt.capacity(), 0.8);
+    EXPECT_LE(mkt.capacity(), 1.2);
+    EXPECT_TRUE(mkt.validate().ok);
+  }
+}
+
+TEST(Traces, GeneratorProducesOneRecordPerProviderPerDay) {
+  num::Rng rng(3);
+  market::TraceConfig config;
+  config.days = 10;
+  const econ::Market mkt = market::section5_market();
+  const auto trace = market::generate_trace(mkt, config, rng);
+  EXPECT_EQ(trace.size(), 80u);
+  for (const auto& rec : trace) {
+    EXPECT_GE(rec.posted_price, config.price_min);
+    EXPECT_LE(rec.posted_price, config.price_max);
+    EXPECT_GT(rec.active_users, 0.0);
+    EXPECT_GT(rec.per_user_volume, 0.0);
+    EXPECT_NEAR(rec.total_volume, rec.active_users * rec.per_user_volume, 1e-12);
+    EXPECT_DOUBLE_EQ(rec.subsidy, 0.0);
+    EXPECT_DOUBLE_EQ(rec.effective_price, rec.posted_price);
+  }
+}
+
+TEST(Traces, RandomizedSubsidiesShiftEffectivePrice) {
+  num::Rng rng(4);
+  market::TraceConfig config;
+  config.days = 5;
+  config.randomize_subsidies = true;
+  config.subsidy_max = 0.3;
+  const auto trace = market::generate_trace(market::section5_market(), config, rng);
+  bool any_subsidized = false;
+  for (const auto& rec : trace) {
+    EXPECT_GE(rec.subsidy, 0.0);
+    EXPECT_LE(rec.subsidy, 0.3);
+    EXPECT_NEAR(rec.effective_price, rec.posted_price - rec.subsidy, 1e-12);
+    if (rec.subsidy > 0.01) any_subsidized = true;
+  }
+  EXPECT_TRUE(any_subsidized);
+}
+
+TEST(Traces, RejectsBadConfig) {
+  num::Rng rng(1);
+  market::TraceConfig config;
+  config.days = 0;
+  EXPECT_THROW((void)market::generate_trace(market::section5_market(), config, rng),
+               std::invalid_argument);
+}
+
+TEST(Traces, CsvRoundTripPreservesRecords) {
+  num::Rng rng(8);
+  market::TraceConfig config;
+  config.days = 6;
+  config.randomize_subsidies = true;
+  const auto trace = market::generate_trace(market::section5_market(), config, rng);
+
+  std::stringstream stream;
+  market::write_trace_csv(stream, trace);
+  const auto loaded = market::read_trace_csv(stream);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    EXPECT_EQ(loaded[k].day, trace[k].day);
+    EXPECT_EQ(loaded[k].provider, trace[k].provider);
+    EXPECT_NEAR(loaded[k].posted_price, trace[k].posted_price, 1e-9);
+    EXPECT_NEAR(loaded[k].subsidy, trace[k].subsidy, 1e-9);
+    EXPECT_NEAR(loaded[k].active_users, trace[k].active_users, 1e-9);
+    EXPECT_NEAR(loaded[k].content_profit, trace[k].content_profit, 1e-9);
+  }
+}
+
+TEST(Traces, CsvReaderRejectsMissingColumns) {
+  std::stringstream stream("day,provider\n1,0\n");
+  EXPECT_THROW((void)market::read_trace_csv(stream), std::out_of_range);
+  EXPECT_THROW((void)market::read_trace_csv_file("/no/such/file.csv"), std::runtime_error);
+}
+
+TEST(Traces, EstimatorWorksOnReloadedTrace) {
+  num::Rng rng(12);
+  market::TraceConfig config;
+  config.days = 150;
+  config.measurement_noise = 0.02;
+  const econ::Market truth = market::section5_market();
+  const auto trace = market::generate_trace(truth, config, rng);
+  std::stringstream stream;
+  market::write_trace_csv(stream, trace);
+  const auto loaded = market::read_trace_csv(stream);
+  const auto estimates = market::ParameterEstimator{}.fit(loaded);
+  const market::EstimationError err = market::compare_estimates(truth, estimates);
+  EXPECT_LT(err.max_alpha_error, 0.12);
+  EXPECT_LT(err.max_beta_error, 0.15);
+}
+
+TEST(Estimator, RecoversParametersFromCleanTrace) {
+  num::Rng rng(42);
+  market::TraceConfig config;
+  config.days = 200;
+  config.measurement_noise = 0.0;  // noise-free => near-exact recovery
+  const econ::Market truth = market::section5_market();
+  const auto trace = market::generate_trace(truth, config, rng);
+
+  const market::ParameterEstimator estimator;
+  const auto estimates = estimator.fit(trace);
+  ASSERT_EQ(estimates.size(), 8u);
+  const market::EstimationError err = market::compare_estimates(truth, estimates);
+  EXPECT_LT(err.max_alpha_error, 1e-6);
+  EXPECT_LT(err.max_beta_error, 1e-6);
+  EXPECT_LT(err.max_profit_error, 1e-6);
+  for (const auto& est : estimates) {
+    EXPECT_GT(est.demand_r_squared, 0.999);
+    EXPECT_GT(est.throughput_r_squared, 0.999);
+  }
+}
+
+TEST(Estimator, RecoversParametersFromNoisyTrace) {
+  num::Rng rng(43);
+  market::TraceConfig config;
+  config.days = 400;
+  config.measurement_noise = 0.05;
+  const econ::Market truth = market::section5_market();
+  const auto trace = market::generate_trace(truth, config, rng);
+
+  const auto estimates = market::ParameterEstimator{}.fit(trace);
+  const market::EstimationError err = market::compare_estimates(truth, estimates);
+  EXPECT_LT(err.max_alpha_error, 0.10);
+  EXPECT_LT(err.max_beta_error, 0.15);
+  EXPECT_LT(err.max_profit_error, 0.10);
+}
+
+TEST(Estimator, BuildMarketRoundTripsBehaviour) {
+  num::Rng rng(44);
+  market::TraceConfig config;
+  config.days = 300;
+  config.measurement_noise = 0.02;
+  const econ::Market truth = market::section5_market();
+  const auto trace = market::generate_trace(truth, config, rng);
+  const market::ParameterEstimator estimator;
+  const econ::Market rebuilt = estimator.build_market(estimator.fit(trace), 1.0);
+
+  // The rebuilt market reproduces populations within a few percent.
+  for (std::size_t i = 0; i < truth.num_providers(); ++i) {
+    for (double t : {0.3, 0.8, 1.3}) {
+      const double m_true = truth.provider(i).demand->population(t);
+      const double m_est = rebuilt.provider(i).demand->population(t);
+      EXPECT_NEAR(m_est, m_true, 0.08 * std::max(0.05, m_true)) << "i=" << i << " t=" << t;
+    }
+  }
+}
+
+TEST(Estimator, RejectsDegenerateInput) {
+  EXPECT_THROW(market::ParameterEstimator{2}, std::invalid_argument);
+  const market::ParameterEstimator estimator;
+  EXPECT_THROW((void)estimator.fit({}), std::invalid_argument);
+  // Too few records for a provider.
+  num::Rng rng(5);
+  market::TraceConfig config;
+  config.days = 3;
+  const auto tiny = market::generate_trace(market::section5_market(), config, rng);
+  EXPECT_THROW((void)estimator.fit(tiny), std::invalid_argument);
+  EXPECT_THROW((void)estimator.build_market({}, 1.0), std::invalid_argument);
+}
+
+TEST(Estimator, CompareRejectsNonExponentialTruth) {
+  std::vector<econ::ContentProviderSpec> providers(1);
+  providers[0].name = "logit";
+  providers[0].demand = std::make_shared<econ::LogitDemand>(1.0, 2.0, 0.5);
+  providers[0].throughput = std::make_shared<econ::ExponentialThroughput>(1.0);
+  providers[0].profitability = 1.0;
+  const econ::Market truth(econ::IspSpec{1.0}, std::make_shared<econ::LinearUtilization>(),
+                           providers);
+  market::EstimatedCp est;
+  est.provider = 0;
+  EXPECT_THROW((void)market::compare_estimates(truth, {est}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Unit tests for the quadrature routines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/numerics/integrate.hpp"
+
+namespace num = subsidy::num;
+
+namespace {
+
+TEST(Integrate, PolynomialExact) {
+  // Simpson is exact on cubics.
+  auto f = [](double x) { return x * x * x - 2.0 * x + 1.0; };
+  const num::IntegrateResult r = num::integrate(f, 0.0, 2.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 4.0 - 4.0 + 2.0, 1e-12);
+}
+
+TEST(Integrate, TranscendentalAccuracy) {
+  const num::IntegrateResult r = num::integrate([](double x) { return std::sin(x); }, 0.0,
+                                                3.141592653589793);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 2.0, 1e-9);
+}
+
+TEST(Integrate, SharpPeakNeedsAdaptivity) {
+  // Narrow Gaussian at 0.7: uniform panels would miss it.
+  auto f = [](double x) { return std::exp(-1e4 * (x - 0.7) * (x - 0.7)); };
+  const num::IntegrateResult r = num::integrate(f, 0.0, 1.0, {.tolerance = 1e-12});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, std::sqrt(3.141592653589793 / 1e4), 1e-8);
+}
+
+TEST(Integrate, EmptyIntervalAndValidation) {
+  auto f = [](double x) { return x; };
+  const num::IntegrateResult r = num::integrate(f, 1.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_THROW((void)num::integrate(f, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(IntegrateToInfinity, ExponentialTail) {
+  // int_1^inf e^{-2x} dx = e^{-2}/2.
+  const num::IntegrateResult r =
+      num::integrate_to_infinity([](double x) { return std::exp(-2.0 * x); }, 1.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, std::exp(-2.0) / 2.0, 1e-9);
+}
+
+TEST(IntegrateToInfinity, PowerLawTail) {
+  // int_1^inf x^{-3} dx = 1/2.
+  const num::IntegrateResult r =
+      num::integrate_to_infinity([](double x) { return std::pow(x, -3.0); }, 1.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 0.5, 1e-7);
+}
+
+TEST(IntegrateToInfinity, DetectsDivergence) {
+  // int_1^inf 1/x dx diverges: must report non-convergence, not loop.
+  const num::IntegrateResult r =
+      num::integrate_to_infinity([](double x) { return 1.0 / x; }, 1.0, 1e-10, 32);
+  EXPECT_FALSE(r.converged);
+}
+
+// Property: integral of e^{-a x} over [t, inf) equals e^{-a t}/a for a grid
+// of rates and starting points (the consumer-surplus workhorse identity).
+class ExponentialTailTest : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ExponentialTailTest, ClosedFormAgreement) {
+  const auto [a, t] = GetParam();
+  const num::IntegrateResult r =
+      num::integrate_to_infinity([a](double x) { return std::exp(-a * x); }, t);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, std::exp(-a * t) / a, 1e-8 * std::max(1.0, r.value));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ExponentialTailTest,
+                         ::testing::Combine(::testing::Values(0.5, 1.0, 3.0),
+                                            ::testing::Values(-0.5, 0.0, 0.8, 2.0)));
+
+}  // namespace

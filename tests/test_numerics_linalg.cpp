@@ -1,0 +1,151 @@
+// Unit tests for vectors, matrices and the LU decomposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/numerics/linalg.hpp"
+
+namespace num = subsidy::num;
+
+namespace {
+
+TEST(VectorOps, DotAndNorms) {
+  const num::Vector a{1.0, 2.0, 3.0};
+  const num::Vector b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(num::dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(num::norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(num::norm_inf(b), 6.0);
+}
+
+TEST(VectorOps, AxpySubtractDistance) {
+  const num::Vector a{1.0, 2.0};
+  const num::Vector b{3.0, -1.0};
+  const num::Vector c = num::axpy(a, 2.0, b);
+  EXPECT_DOUBLE_EQ(c[0], 7.0);
+  EXPECT_DOUBLE_EQ(c[1], 0.0);
+  const num::Vector d = num::subtract(a, b);
+  EXPECT_DOUBLE_EQ(d[0], -2.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(num::distance_inf(a, b), 3.0);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  EXPECT_THROW((void)num::dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)num::axpy({1.0}, 1.0, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)num::distance_inf({1.0}, {}), std::invalid_argument);
+}
+
+TEST(VectorOps, Clamp) {
+  const num::Vector v = num::clamp({-1.0, 0.5, 2.0}, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
+  EXPECT_DOUBLE_EQ(v[2], 1.0);
+  EXPECT_THROW((void)num::clamp({1.0}, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(MatrixBasics, ConstructionAndAccess) {
+  num::Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((num::Matrix{{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(MatrixBasics, TransposeRowCol) {
+  const num::Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const num::Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(m.row(1), (num::Vector{4.0, 5.0, 6.0}));
+  EXPECT_EQ(m.col(2), (num::Vector{3.0, 6.0}));
+}
+
+TEST(MatrixBasics, MultiplyVectorAndMatrix) {
+  const num::Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const num::Vector v = m.multiply(num::Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+  const num::Matrix p = m.multiply(num::Matrix::identity(2));
+  EXPECT_DOUBLE_EQ(p(1, 0), 3.0);
+  EXPECT_THROW((void)m.multiply(num::Vector{1.0}), std::invalid_argument);
+}
+
+TEST(MatrixBasics, PrincipalSubmatrix) {
+  const num::Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  const num::Matrix s = m.principal_submatrix({0, 2});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(s(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 9.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  const num::Matrix a{{4.0, 3.0}, {6.0, 3.0}};
+  const num::Vector x = num::solve_linear_system(a, {10.0, 12.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  const num::Matrix a{{2.0, 1.0, 1.0}, {1.0, 3.0, 2.0}, {1.0, 0.0, 0.0}};
+  const num::Matrix inv = num::invert(a);
+  const num::Matrix prod = a.multiply(inv);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Lu, DeterminantWithPivoting) {
+  // Requires row swaps; det = -2 for this permutation-ish matrix.
+  const num::Matrix a{{0.0, 1.0}, {2.0, 0.0}};
+  EXPECT_NEAR(num::determinant(a), -2.0, 1e-12);
+}
+
+TEST(Lu, SingularDetectionAndThrow) {
+  const num::Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  const num::LuDecomposition lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_THROW((void)lu.solve(num::Vector{1.0, 1.0}), std::runtime_error);
+  EXPECT_NEAR(lu.determinant(), 0.0, 1e-12);
+}
+
+TEST(Lu, RejectsNonSquare) {
+  const num::Matrix a(2, 3);
+  EXPECT_THROW(num::LuDecomposition{a}, std::invalid_argument);
+}
+
+TEST(Lu, MatrixRhsSolve) {
+  const num::Matrix a{{3.0, 0.0}, {0.0, 2.0}};
+  const num::Matrix b{{6.0, 3.0}, {4.0, 2.0}};
+  const num::Matrix x = num::LuDecomposition(a).solve(b);
+  EXPECT_NEAR(x(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 1.0, 1e-12);
+}
+
+// Property: for random well-conditioned systems, A * solve(A, b) == b.
+class LuRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRoundTripTest, ResidualIsTiny) {
+  const int n = GetParam();
+  num::Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  // Deterministic diagonally dominant matrix: well conditioned by design.
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+          (r == c) ? 10.0 + r : std::sin(1.0 + r * 3 + c);
+    }
+  }
+  num::Vector b(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) b[static_cast<std::size_t>(i)] = std::cos(i * 2.0);
+  const num::Vector x = num::solve_linear_system(a, b);
+  const num::Vector residual = num::subtract(a.multiply(x), b);
+  EXPECT_LT(num::norm_inf(residual), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRoundTripTest, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Unit tests for the matrix-class predicates used by the equilibrium theory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "subsidy/numerics/matrix_props.hpp"
+
+namespace num = subsidy::num;
+
+namespace {
+
+TEST(PMatrix, IdentityIsP) { EXPECT_TRUE(num::is_p_matrix(num::Matrix::identity(3))); }
+
+TEST(PMatrix, NegativeDiagonalIsNotP) {
+  const num::Matrix m{{-1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_FALSE(num::is_p_matrix(m));
+}
+
+TEST(PMatrix, ClassicNonPExample) {
+  // Positive diagonal but a negative 2x2 principal minor.
+  const num::Matrix m{{1.0, 3.0}, {3.0, 1.0}};
+  EXPECT_FALSE(num::is_p_matrix(m));
+}
+
+TEST(PMatrix, AsymmetricPExample) {
+  const num::Matrix m{{2.0, -1.0}, {1.0, 2.0}};
+  EXPECT_TRUE(num::is_p_matrix(m));
+}
+
+TEST(PMatrix, RejectsNonSquareAndHuge) {
+  EXPECT_THROW((void)num::is_p_matrix(num::Matrix(2, 3)), std::invalid_argument);
+  EXPECT_THROW((void)num::is_p_matrix(num::Matrix(21, 21)), std::invalid_argument);
+}
+
+TEST(ZMatrix, Classification) {
+  EXPECT_TRUE(num::is_z_matrix(num::Matrix{{1.0, -2.0}, {0.0, 3.0}}));
+  EXPECT_FALSE(num::is_z_matrix(num::Matrix{{1.0, 0.5}, {0.0, 3.0}}));
+}
+
+TEST(MMatrix, LeontiefExample) {
+  // Strictly diagonally dominant Z-matrix with positive diagonal: M-matrix.
+  const num::Matrix m{{2.0, -0.5}, {-0.5, 2.0}};
+  EXPECT_TRUE(num::is_m_matrix(m));
+  EXPECT_TRUE(num::is_strictly_diagonally_dominant(m));
+}
+
+TEST(MMatrix, ZButNotPIsNotM) {
+  const num::Matrix m{{0.5, -2.0}, {-2.0, 0.5}};
+  EXPECT_TRUE(num::is_z_matrix(m));
+  EXPECT_FALSE(num::is_m_matrix(m));
+}
+
+TEST(DiagonalDominance, Boundaries) {
+  EXPECT_FALSE(num::is_strictly_diagonally_dominant(num::Matrix{{1.0, 1.0}, {0.0, 2.0}}));
+  EXPECT_TRUE(num::is_strictly_diagonally_dominant(num::Matrix{{1.5, 1.0}, {0.0, 2.0}}));
+}
+
+TEST(SymmetricPart, Computation) {
+  const num::Matrix m{{1.0, 2.0}, {0.0, 1.0}};
+  const num::Matrix s = num::symmetric_part(m);
+  EXPECT_DOUBLE_EQ(s(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(s(1, 0), 1.0);
+}
+
+TEST(PositiveDefiniteSymmetricPart, DetectsPositiveDefinite) {
+  EXPECT_TRUE(num::is_positive_definite_symmetric_part(num::Matrix{{2.0, -1.0}, {1.0, 2.0}}));
+  EXPECT_FALSE(num::is_positive_definite_symmetric_part(num::Matrix{{1.0, 3.0}, {3.0, 1.0}}));
+}
+
+TEST(SpectralRadius, DiagonalMatrix) {
+  const num::Matrix m{{0.5, 0.0}, {0.0, -0.25}};
+  EXPECT_NEAR(num::spectral_radius_estimate(m), 0.5, 1e-9);
+}
+
+TEST(SpectralRadius, ZeroMatrix) {
+  EXPECT_DOUBLE_EQ(num::spectral_radius_estimate(num::Matrix(3, 3, 0.0)), 0.0);
+}
+
+TEST(AllFinite, DetectsNan) {
+  num::Matrix m(2, 2, 1.0);
+  EXPECT_TRUE(num::all_finite(m));
+  m(0, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(num::all_finite(m));
+  EXPECT_FALSE(num::is_p_matrix(m));
+}
+
+// Property: every strictly diagonally dominant matrix with positive diagonal
+// entries is a P-matrix (standard sufficient condition).
+class DominantImpliesPTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominantImpliesPTest, Holds) {
+  const int n = GetParam();
+  num::Matrix m(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    double off = 0.0;
+    for (int c = 0; c < n; ++c) {
+      if (r != c) {
+        const double v = 0.3 * std::sin(r * 5.0 + c);
+        m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = v;
+        off += std::fabs(v);
+      }
+    }
+    m(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) = off + 1.0;
+  }
+  ASSERT_TRUE(num::is_strictly_diagonally_dominant(m));
+  EXPECT_TRUE(num::is_p_matrix(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DominantImpliesPTest, ::testing::Values(1, 2, 4, 6, 9));
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Unit tests for differentiation, fixed points, grids, stats and the RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/numerics/differentiate.hpp"
+#include "subsidy/numerics/fixed_point.hpp"
+#include "subsidy/numerics/grid.hpp"
+#include "subsidy/numerics/rng.hpp"
+#include "subsidy/numerics/stats.hpp"
+#include "subsidy/numerics/tolerances.hpp"
+
+namespace num = subsidy::num;
+
+namespace {
+
+TEST(Differentiate, CentralMatchesAnalytic) {
+  auto f = [](double x) { return std::sin(x); };
+  EXPECT_NEAR(num::central_difference(f, 1.0), std::cos(1.0), 1e-8);
+}
+
+TEST(Differentiate, RichardsonIsMoreAccurate) {
+  auto f = [](double x) { return std::exp(2.0 * x); };
+  const double exact = 2.0 * std::exp(2.0);
+  const double central_err = std::fabs(num::central_difference(f, 1.0, 1e-4) - exact);
+  const double richardson_err = std::fabs(num::richardson_derivative(f, 1.0, 1e-4) - exact);
+  EXPECT_LT(richardson_err, central_err);
+}
+
+TEST(Differentiate, SecondDerivative) {
+  auto f = [](double x) { return x * x * x; };
+  EXPECT_NEAR(num::second_derivative(f, 2.0), 12.0, 1e-4);
+}
+
+TEST(Differentiate, PartialAndGradient) {
+  auto f = [](const std::vector<double>& x) { return x[0] * x[0] + 3.0 * x[0] * x[1]; };
+  const std::vector<double> at{2.0, 1.0};
+  EXPECT_NEAR(num::partial_derivative(f, at, 0), 7.0, 1e-6);
+  EXPECT_NEAR(num::partial_derivative(f, at, 1), 6.0, 1e-6);
+  const auto g = num::gradient(f, at);
+  EXPECT_NEAR(g[0], 7.0, 1e-6);
+  EXPECT_NEAR(g[1], 6.0, 1e-6);
+  EXPECT_THROW((void)num::partial_derivative(f, at, 5), std::invalid_argument);
+}
+
+TEST(Differentiate, Jacobian) {
+  auto f = [](const std::vector<double>& x) {
+    return std::vector<double>{x[0] * x[1], x[0] + 2.0 * x[1]};
+  };
+  const num::Matrix j = num::jacobian(f, {3.0, 4.0});
+  EXPECT_NEAR(j(0, 0), 4.0, 1e-6);
+  EXPECT_NEAR(j(0, 1), 3.0, 1e-6);
+  EXPECT_NEAR(j(1, 0), 1.0, 1e-6);
+  EXPECT_NEAR(j(1, 1), 2.0, 1e-6);
+}
+
+TEST(FixedPoint, ScalarContraction) {
+  auto f = [](double x) { return std::cos(x); };  // Dottie number ~0.7390851
+  const num::FixedPointResult r = num::fixed_point_scalar(f, 0.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.point[0], 0.7390851332151607, 1e-8);
+}
+
+TEST(FixedPoint, DampingStabilizesOscillation) {
+  // x -> -x oscillates undamped around the fixed point 0.
+  auto f = [](double x) { return -0.99 * x; };
+  num::FixedPointOptions opt;
+  opt.damping = 0.5;
+  const num::FixedPointResult r = num::fixed_point_scalar(f, 1.0, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.point[0], 0.0, 1e-6);
+}
+
+TEST(FixedPoint, VectorMap) {
+  auto f = [](const std::vector<double>& x) {
+    return std::vector<double>{0.5 * x[0] + 0.1, 0.25 * x[1] + 3.0};
+  };
+  const num::FixedPointResult r = num::fixed_point_vector(f, {0.0, 0.0});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.point[0], 0.2, 1e-8);
+  EXPECT_NEAR(r.point[1], 4.0, 1e-8);
+}
+
+TEST(FixedPoint, RejectsBadDamping) {
+  auto f = [](double x) { return x; };
+  num::FixedPointOptions opt;
+  opt.damping = 0.0;
+  EXPECT_THROW((void)num::fixed_point_scalar(f, 0.0, opt), std::invalid_argument);
+}
+
+TEST(Grid, LinspaceEndpoints) {
+  const auto g = num::linspace(0.0, 2.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 2.0);
+  EXPECT_DOUBLE_EQ(g[2], 1.0);
+  EXPECT_THROW((void)num::linspace(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_EQ(num::linspace(3.0, 9.0, 1), (std::vector<double>{3.0}));
+}
+
+TEST(Grid, Logspace) {
+  const auto g = num::logspace(1.0, 100.0, 3);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_NEAR(g[1], 10.0, 1e-9);
+  EXPECT_THROW((void)num::logspace(0.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(Stats, MeanVarianceMedianQuantile) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(num::mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(num::variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(num::median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(num::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(num::quantile(xs, 1.0), 4.0);
+  EXPECT_THROW((void)num::mean({}), std::invalid_argument);
+  EXPECT_THROW((void)num::quantile({1.0}, 2.0), std::invalid_argument);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i * 0.5);
+    ys.push_back(3.0 - 2.0 * i * 0.5);
+  }
+  const num::LinearFit fit = num::fit_linear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-10);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationSigns) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_NEAR(num::correlation(xs, {2.0, 4.0, 6.0}), 1.0, 1e-12);
+  EXPECT_NEAR(num::correlation(xs, {6.0, 4.0, 2.0}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(num::correlation(xs, {5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, LeastSquaresMultipleRegressors) {
+  // y = 1 + 2 x1 - 3 x2 on a small design.
+  num::Matrix x(6, 3);
+  num::Vector y(6);
+  for (int i = 0; i < 6; ++i) {
+    const double x1 = i;
+    const double x2 = (i % 3) - 1.0;
+    x(static_cast<std::size_t>(i), 0) = 1.0;
+    x(static_cast<std::size_t>(i), 1) = x1;
+    x(static_cast<std::size_t>(i), 2) = x2;
+    y[static_cast<std::size_t>(i)] = 1.0 + 2.0 * x1 - 3.0 * x2;
+  }
+  const num::Vector beta = num::fit_least_squares(x, y);
+  EXPECT_NEAR(beta[0], 1.0, 1e-9);
+  EXPECT_NEAR(beta[1], 2.0, 1e-9);
+  EXPECT_NEAR(beta[2], -3.0, 1e-9);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  num::Rng a(42);
+  num::Rng b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, RangesRespected) {
+  num::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    const int k = rng.uniform_int(-2, 2);
+    EXPECT_GE(k, -2);
+    EXPECT_LE(k, 2);
+    const std::size_t idx = rng.index(5);
+    EXPECT_LT(idx, 5u);
+  }
+  EXPECT_THROW((void)rng.uniform(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  num::Rng parent(99);
+  num::Rng child = parent.split();
+  // Not a statistical test; just checks the streams are not identical.
+  bool differs = false;
+  num::Rng parent2(99);
+  num::Rng child2 = parent2.split();
+  for (int i = 0; i < 5; ++i) {
+    const double c = child.uniform(0.0, 1.0);
+    EXPECT_DOUBLE_EQ(c, child2.uniform(0.0, 1.0));  // reproducible
+    if (std::fabs(c - parent.uniform(0.0, 1.0)) > 1e-12) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Tolerances, Helpers) {
+  EXPECT_TRUE(num::almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(num::almost_equal(1.0, 1.1));
+  EXPECT_THROW((void)num::require_positive(0.0, "x"), std::invalid_argument);
+  EXPECT_THROW((void)num::require_non_negative(-1.0, "x"), std::invalid_argument);
+  EXPECT_THROW((void)num::require_finite(std::nan(""), "x"), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(num::require_positive(2.0, "x"), 2.0);
+}
+
+}  // namespace

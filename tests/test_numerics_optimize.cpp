@@ -1,0 +1,85 @@
+// Unit tests for the scalar maximizers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/numerics/optimize.hpp"
+
+namespace num = subsidy::num;
+
+namespace {
+
+TEST(GoldenSection, FindsQuadraticMaximum) {
+  auto f = [](double x) { return -(x - 2.0) * (x - 2.0) + 5.0; };
+  const num::MaximizeResult r = num::golden_section_maximize(f, 0.0, 4.0);
+  EXPECT_NEAR(r.arg, 2.0, 1e-7);
+  EXPECT_NEAR(r.value, 5.0, 1e-12);
+}
+
+TEST(GoldenSection, MonotoneObjectivePicksEndpoint) {
+  auto f = [](double x) { return 3.0 * x; };
+  const num::MaximizeResult r = num::golden_section_maximize(f, 0.0, 2.0);
+  EXPECT_NEAR(r.arg, 2.0, 1e-6);
+  EXPECT_NEAR(r.value, 6.0, 1e-6);
+}
+
+TEST(GoldenSection, DegenerateIntervalReturnsMidpoint) {
+  auto f = [](double x) { return x; };
+  const num::MaximizeResult r = num::golden_section_maximize(f, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.arg, 1.0);
+}
+
+TEST(GoldenSection, RejectsInvertedInterval) {
+  auto f = [](double x) { return x; };
+  EXPECT_THROW((void)num::golden_section_maximize(f, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(GridRefine, FindsGlobalMaxOfBimodal) {
+  // Two peaks: x = 1 (height 1.0) and x = 4 (height 1.4). Golden section from
+  // a poor start could stick to the lower one; the grid scan must not.
+  auto f = [](double x) {
+    return std::exp(-(x - 1.0) * (x - 1.0)) + 1.4 * std::exp(-(x - 4.0) * (x - 4.0));
+  };
+  const num::MaximizeResult r = num::grid_refine_maximize(f, 0.0, 6.0);
+  EXPECT_NEAR(r.arg, 4.0, 1e-3);
+}
+
+TEST(GridRefine, HandlesPlateau) {
+  auto f = [](double x) { return x < 1.0 ? x : 1.0; };
+  const num::MaximizeResult r = num::grid_refine_maximize(f, 0.0, 3.0);
+  EXPECT_NEAR(r.value, 1.0, 1e-9);
+  EXPECT_GE(r.arg, 1.0 - 1e-6);
+}
+
+TEST(GridRefine, MinimizeAdapter) {
+  auto f = [](double x) { return (x - 1.5) * (x - 1.5); };
+  const num::MaximizeResult r = num::grid_refine_minimize(f, 0.0, 3.0);
+  EXPECT_NEAR(r.arg, 1.5, 1e-6);
+  EXPECT_NEAR(r.value, 0.0, 1e-10);
+}
+
+TEST(GridRefine, RejectsTooFewGridPoints) {
+  auto f = [](double x) { return x; };
+  num::MaximizeOptions opt;
+  opt.grid_points = 1;
+  EXPECT_THROW((void)num::grid_refine_maximize(f, 0.0, 1.0, opt), std::invalid_argument);
+}
+
+// Parameterized property: the maximizer of (v - x) e^{a x} on [0, v] — the
+// exact shape of a provider's utility in own-subsidy direction when the
+// congestion feedback is switched off — is max(0, v - 1/a).
+class BestResponseShapeTest : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(BestResponseShapeTest, MatchesClosedForm) {
+  const auto [v, a] = GetParam();
+  auto f = [v, a](double x) { return (v - x) * std::exp(a * x); };
+  const num::MaximizeResult r = num::grid_refine_maximize(f, 0.0, v);
+  const double expected = std::max(0.0, v - 1.0 / a);
+  EXPECT_NEAR(r.arg, expected, 1e-5) << "v=" << v << " a=" << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BestResponseShapeTest,
+                         ::testing::Combine(::testing::Values(0.5, 1.0, 2.0),
+                                            ::testing::Values(0.5, 2.0, 5.0)));
+
+}  // namespace

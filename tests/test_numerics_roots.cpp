@@ -1,0 +1,117 @@
+// Unit tests for the scalar root finders (bracketing, bisection, Brent).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "subsidy/numerics/roots.hpp"
+
+namespace num = subsidy::num;
+
+namespace {
+
+TEST(ExpandBracket, FindsSignChangeOnIncreasingFunction) {
+  auto f = [](double x) { return x - 10.0; };
+  const num::Bracket b = num::expand_bracket_upward(f, 0.0, 1.0);
+  ASSERT_TRUE(b.valid);
+  EXPECT_LT(b.f_lo, 0.0);
+  EXPECT_GE(b.f_hi, 0.0);
+  EXPECT_GE(b.hi, 10.0);
+}
+
+TEST(ExpandBracket, DegenerateWhenRootAtLowerBound) {
+  auto f = [](double x) { return x; };
+  const num::Bracket b = num::expand_bracket_upward(f, 0.0);
+  ASSERT_TRUE(b.valid);
+  EXPECT_DOUBLE_EQ(b.lo, b.hi);
+}
+
+TEST(ExpandBracket, InvalidWhenNoSignChange) {
+  auto f = [](double) { return -1.0; };
+  const num::Bracket b = num::expand_bracket_upward(f, 0.0, 1.0, 2.0, 10);
+  EXPECT_FALSE(b.valid);
+}
+
+TEST(ExpandBracket, RejectsBadArguments) {
+  auto f = [](double x) { return x; };
+  EXPECT_THROW((void)num::expand_bracket_upward(f, 0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)num::expand_bracket_upward(f, 0.0, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(Bisect, SolvesLinear) {
+  auto f = [](double x) { return 2.0 * x - 3.0; };
+  const num::RootResult r = num::bisect(f, 0.0, 10.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 1.5, 1e-10);
+}
+
+TEST(Bisect, ThrowsOnNonBracketingInterval) {
+  auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW((void)num::bisect(f, -1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Bisect, ExactRootAtEndpointReturnsImmediately) {
+  auto f = [](double x) { return x - 2.0; };
+  const num::RootResult r = num::bisect(f, 2.0, 5.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.root, 2.0);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(BrentRoot, SolvesTranscendental) {
+  // x e^x = 1 has root W(1) ~ 0.5671432904097838.
+  auto f = [](double x) { return x * std::exp(x) - 1.0; };
+  const num::RootResult r = num::brent_root(f, 0.0, 1.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 0.5671432904097838, 1e-10);
+}
+
+TEST(BrentRoot, SolvesSteepFunction) {
+  auto f = [](double x) { return std::exp(20.0 * x) - 5.0; };
+  const num::RootResult r = num::brent_root(f, -1.0, 1.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, std::log(5.0) / 20.0, 1e-10);
+}
+
+TEST(BrentRoot, HandlesFlatRegionNearRoot) {
+  auto f = [](double x) { return std::pow(x - 1.0, 3.0); };
+  const num::RootResult r = num::brent_root(f, -5.0, 5.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 1.0, 1e-4);
+}
+
+TEST(BrentRoot, ThrowsOnNonBracketingInterval) {
+  auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW((void)num::brent_root(f, -1.0, 1.0), std::invalid_argument);
+}
+
+TEST(FindIncreasingRoot, ExpandsAndSolves) {
+  auto f = [](double x) { return std::log1p(x) - 3.0; };
+  const num::RootResult r = num::find_increasing_root(f, 0.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, std::expm1(3.0), 1e-8);
+}
+
+TEST(FindIncreasingRoot, ReportsFailureWhenNoRoot) {
+  auto f = [](double) { return -1.0; };
+  const num::RootResult r = num::find_increasing_root(f, 0.0, 1.0, {.max_iterations = 5});
+  EXPECT_FALSE(r.converged);
+  EXPECT_THROW((void)r.value_or_throw(), std::runtime_error);
+}
+
+// Property sweep: Brent must hit machine-precision roots on a family of
+// shifted monotone functions.
+class BrentFamilyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BrentFamilyTest, SolvesShiftedCubicPlusExp) {
+  const double shift = GetParam();
+  auto f = [shift](double x) { return x * x * x + std::exp(0.5 * x) - shift; };
+  const num::RootResult r = num::find_increasing_root(f, -3.0);
+  ASSERT_TRUE(r.converged) << "shift=" << shift;
+  EXPECT_NEAR(f(r.root), 0.0, 1e-8) << "shift=" << shift;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, BrentFamilyTest,
+                         ::testing::Values(0.75, 1.0, 2.0, 5.0, 10.0, 25.0, 100.0));
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Off-equilibrium market dynamics: convergence to the static Nash
+// equilibrium under best-response and gradient learning, user inertia, and
+// the optional ISP price adaptation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/core/nash.hpp"
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/sim/market_dynamics.hpp"
+
+namespace core = subsidy::core;
+namespace market = subsidy::market;
+namespace sim = subsidy::sim;
+
+namespace {
+
+core::SubsidizationGame paper_game(double price = 0.8, double cap = 1.0) {
+  return core::SubsidizationGame(market::section5_market(), price, cap);
+}
+
+TEST(MarketDynamics, BestResponseLearningConvergesToNash) {
+  const core::SubsidizationGame game = paper_game();
+  const core::NashResult nash = core::solve_nash(game);
+  ASSERT_TRUE(nash.converged);
+
+  sim::DynamicsConfig config;
+  config.rounds = 250;
+  config.user_inertia = 0.5;
+  config.update_rule = sim::CpUpdateRule::best_response;
+  config.cp_damping = 0.5;
+  const sim::Trajectory traj = sim::MarketDynamicsSimulator(config).run(game);
+
+  EXPECT_EQ(traj.steps.size(), 250u);
+  EXPECT_LT(traj.distance_to(nash.subsidies), 1e-4);
+}
+
+TEST(MarketDynamics, GradientLearningConvergesToNash) {
+  const core::SubsidizationGame game = paper_game();
+  const core::NashResult nash = core::solve_nash(game);
+
+  sim::DynamicsConfig config;
+  config.rounds = 1200;
+  config.user_inertia = 0.6;
+  config.update_rule = sim::CpUpdateRule::gradient;
+  config.cp_learning_rate = 0.3;
+  const sim::Trajectory traj = sim::MarketDynamicsSimulator(config).run(game);
+  EXPECT_LT(traj.distance_to(nash.subsidies), 5e-3);
+}
+
+TEST(MarketDynamics, PopulationsTrackDemandTargets) {
+  const core::SubsidizationGame game = paper_game();
+  sim::DynamicsConfig config;
+  config.rounds = 300;
+  config.user_inertia = 0.3;
+  const sim::Trajectory traj = sim::MarketDynamicsSimulator(config).run(game);
+
+  const sim::DynamicsStep& last = traj.final_step();
+  for (std::size_t i = 0; i < last.subsidies.size(); ++i) {
+    const double target =
+        game.market().provider(i).demand->population(last.price - last.subsidies[i]);
+    EXPECT_NEAR(last.populations[i], target, 1e-3 * std::max(0.05, target)) << "i=" << i;
+  }
+}
+
+TEST(MarketDynamics, SubsidiesStayWithinPolicyBounds) {
+  const core::SubsidizationGame game = paper_game(0.6, 0.4);
+  sim::DynamicsConfig config;
+  config.rounds = 150;
+  const sim::Trajectory traj = sim::MarketDynamicsSimulator(config).run(game);
+  for (const auto& step : traj.steps) {
+    for (double s : step.subsidies) {
+      EXPECT_GE(s, -1e-12);
+      EXPECT_LE(s, 0.4 + 1e-12);
+    }
+  }
+}
+
+TEST(MarketDynamics, RevenueRisesAsSubsidiesKickIn) {
+  // Corollary 1's story told dynamically: turning on subsidization raises
+  // utilization and ISP revenue over the trajectory.
+  const core::SubsidizationGame game = paper_game(0.8, 1.0);
+  sim::DynamicsConfig config;
+  config.rounds = 300;
+  const sim::Trajectory traj = sim::MarketDynamicsSimulator(config).run(game);
+  const auto& first = traj.steps.front();
+  const auto& last = traj.final_step();
+  EXPECT_GT(last.revenue, first.revenue);
+  EXPECT_GT(last.utilization, first.utilization);
+}
+
+TEST(MarketDynamics, IspPriceAdaptationMovesTowardRevenuePeak) {
+  core::SubsidizationGame game = paper_game(0.3, 1.0);  // start below the peak
+  sim::DynamicsConfig config;
+  config.rounds = 600;
+  config.isp_adapts_price = true;
+  config.isp_learning_rate = 0.2;
+  const sim::Trajectory traj = sim::MarketDynamicsSimulator(config).run(game);
+  const double final_price = traj.final_step().price;
+  // The Figure 7 revenue peak at q=1 sits around p ~ 0.9-1.1; adaptation from
+  // p=0.3 must move up substantially.
+  EXPECT_GT(final_price, 0.6);
+  EXPECT_LT(final_price, 1.6);
+}
+
+TEST(MarketDynamics, ZeroCapTrajectoryKeepsZeroSubsidies) {
+  const core::SubsidizationGame game = paper_game(0.8, 0.0);
+  sim::DynamicsConfig config;
+  config.rounds = 50;
+  const sim::Trajectory traj = sim::MarketDynamicsSimulator(config).run(game);
+  for (const auto& step : traj.steps) {
+    for (double s : step.subsidies) EXPECT_DOUBLE_EQ(s, 0.0);
+  }
+}
+
+TEST(MarketDynamics, RejectsBadConfigAndInput) {
+  sim::DynamicsConfig bad;
+  bad.rounds = 0;
+  EXPECT_THROW(sim::MarketDynamicsSimulator{bad}, std::invalid_argument);
+  bad = sim::DynamicsConfig{};
+  bad.user_inertia = 0.0;
+  EXPECT_THROW(sim::MarketDynamicsSimulator{bad}, std::invalid_argument);
+  bad = sim::DynamicsConfig{};
+  bad.cp_update_period = 0;
+  EXPECT_THROW(sim::MarketDynamicsSimulator{bad}, std::invalid_argument);
+
+  const core::SubsidizationGame game = paper_game();
+  EXPECT_THROW((void)sim::MarketDynamicsSimulator{}.run(game, std::vector<double>{0.1}),
+               std::invalid_argument);
+
+  const sim::Trajectory empty;
+  EXPECT_THROW((void)empty.final_step(), std::logic_error);
+}
+
+TEST(MarketDynamics, AsynchronousUpdatesStillConverge) {
+  // Each CP only acts with probability 0.4 per round — play is asynchronous
+  // and random, yet the trajectory still finds the Nash profile.
+  const core::SubsidizationGame game = paper_game();
+  const core::NashResult nash = core::solve_nash(game);
+
+  sim::DynamicsConfig config;
+  config.rounds = 600;
+  config.user_inertia = 0.5;
+  config.cp_damping = 0.5;
+  config.update_probability = 0.4;
+  subsidy::num::Rng rng(31);
+  const sim::Trajectory traj = sim::MarketDynamicsSimulator(config).run(game, {}, &rng);
+  EXPECT_LT(traj.distance_to(nash.subsidies), 1e-3);
+}
+
+TEST(MarketDynamics, TremblingHandHoversNearNash) {
+  // Decision noise keeps the system off the exact equilibrium but within a
+  // band proportional to the noise, and never outside the policy bounds.
+  const core::SubsidizationGame game = paper_game();
+  const core::NashResult nash = core::solve_nash(game);
+
+  sim::DynamicsConfig config;
+  config.rounds = 400;
+  config.user_inertia = 0.5;
+  config.cp_damping = 0.5;
+  config.decision_noise = 0.01;
+  subsidy::num::Rng rng(32);
+  const sim::Trajectory traj = sim::MarketDynamicsSimulator(config).run(game, {}, &rng);
+  EXPECT_LT(traj.distance_to(nash.subsidies), 0.1);
+  for (const auto& step : traj.steps) {
+    for (double s : step.subsidies) {
+      EXPECT_GE(s, -1e-12);
+      EXPECT_LE(s, game.policy_cap() + 1e-12);
+    }
+  }
+}
+
+TEST(MarketDynamics, StochasticFeaturesRequireRng) {
+  const core::SubsidizationGame game = paper_game();
+  sim::DynamicsConfig config;
+  config.update_probability = 0.5;
+  EXPECT_THROW((void)sim::MarketDynamicsSimulator(config).run(game), std::invalid_argument);
+
+  sim::DynamicsConfig bad;
+  bad.update_probability = 0.0;
+  EXPECT_THROW(sim::MarketDynamicsSimulator{bad}, std::invalid_argument);
+  bad = sim::DynamicsConfig{};
+  bad.decision_noise = -0.1;
+  EXPECT_THROW(sim::MarketDynamicsSimulator{bad}, std::invalid_argument);
+}
+
+TEST(MarketDynamics, StochasticRunsAreReproducible) {
+  const core::SubsidizationGame game = paper_game();
+  sim::DynamicsConfig config;
+  config.rounds = 50;
+  config.decision_noise = 0.02;
+  subsidy::num::Rng rng_a(77);
+  subsidy::num::Rng rng_b(77);
+  const sim::Trajectory a = sim::MarketDynamicsSimulator(config).run(game, {}, &rng_a);
+  const sim::Trajectory b = sim::MarketDynamicsSimulator(config).run(game, {}, &rng_b);
+  for (std::size_t i = 0; i < a.final_step().subsidies.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.final_step().subsidies[i], b.final_step().subsidies[i]);
+  }
+}
+
+// Property: convergence to the same Nash equilibrium from several initial
+// profiles (dynamic counterpart of Theorem 4's uniqueness).
+class DynamicsMultistartTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DynamicsMultistartTest, ConvergesFromAnyStart) {
+  const double start = GetParam();
+  const core::SubsidizationGame game = paper_game();
+  const core::NashResult nash = core::solve_nash(game);
+
+  sim::DynamicsConfig config;
+  config.rounds = 300;
+  config.user_inertia = 0.5;
+  config.cp_damping = 0.5;
+  const sim::Trajectory traj =
+      sim::MarketDynamicsSimulator(config).run(game, std::vector<double>(8, start));
+  EXPECT_LT(traj.distance_to(nash.subsidies), 1e-3) << "start=" << start;
+}
+
+INSTANTIATE_TEST_SUITE_P(Starts, DynamicsMultistartTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace

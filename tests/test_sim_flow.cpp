@@ -1,0 +1,145 @@
+// Flow-level simulator: first-principles validation of Assumption 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsidy/sim/flow_simulator.hpp"
+
+namespace sim = subsidy::sim;
+namespace num = subsidy::num;
+
+namespace {
+
+sim::FlowSimConfig quick_config() {
+  sim::FlowSimConfig cfg;
+  cfg.capacity = 10.0;
+  cfg.slots = 1500;
+  cfg.warmup_slots = 500;
+  cfg.jitter = 0.02;
+  return cfg;
+}
+
+TEST(FlowSimulator, UncongestedUsersReachApplicationLimit) {
+  const sim::FlowSimulator simulator(quick_config());
+  num::Rng rng(1);
+  // 3 users of peak rate 1 on a capacity-10 link: no congestion.
+  const sim::FlowStats stats = simulator.run({{3, 1.0, 0.05, 0.5}}, rng);
+  EXPECT_LT(stats.congestion_fraction, 0.05);
+  EXPECT_NEAR(stats.per_user_rate[0], 1.0, 0.1);
+  EXPECT_LT(stats.link_utilization, 0.5);
+}
+
+TEST(FlowSimulator, OverloadSharesCapacityFairly) {
+  const sim::FlowSimulator simulator(quick_config());
+  num::Rng rng(2);
+  // 40 users of peak 1 on capacity 10: congested on the AIMD sawtooth
+  // (roughly one congestion slot per backoff-and-regrow cycle).
+  const sim::FlowStats stats = simulator.run({{40, 1.0, 0.05, 0.5}}, rng);
+  EXPECT_GT(stats.congestion_fraction, 0.15);
+  // Served throughput is capped at capacity.
+  EXPECT_LE(stats.served_throughput, 10.0 + 1e-9);
+  // Per-user rate well below the application limit.
+  EXPECT_LT(stats.per_user_rate[0], 0.5);
+}
+
+TEST(FlowSimulator, ServedThroughputNeverExceedsCapacity) {
+  const sim::FlowSimulator simulator(quick_config());
+  num::Rng rng(3);
+  for (std::size_t users : {5u, 15u, 30u, 60u}) {
+    const sim::FlowStats stats = simulator.run({{users, 1.0, 0.05, 0.5}}, rng);
+    EXPECT_LE(stats.link_utilization, 1.0 + 1e-9) << users;
+  }
+}
+
+TEST(FlowSimulator, Assumption1PerUserRateDecreasesWithLoad) {
+  // The core of Assumption 1: lambda decreasing in phi, measured from the
+  // AIMD dynamics rather than assumed.
+  const sim::FlowSimulator simulator(quick_config());
+  num::Rng rng(4);
+  const sim::UserClass probe{4, 1.0, 0.05, 0.5};
+  sim::UserClass background{0, 1.0, 0.05, 0.5};
+  const std::vector<std::size_t> counts{0, 10, 20, 40, 80};
+  const auto samples = simulator.measure_throughput_curve(probe, background, counts, rng);
+  ASSERT_EQ(samples.size(), counts.size());
+  for (std::size_t k = 1; k < samples.size(); ++k) {
+    EXPECT_GT(samples[k].phi, samples[k - 1].phi) << "demand load rises with population";
+    // Offered load (with AIMD backoff) also rises, though it saturates.
+    EXPECT_GE(samples[k].offered, samples[k - 1].offered - 0.05);
+    EXPECT_LT(samples[k].lambda, samples[k - 1].lambda + 1e-6)
+        << "per-user rate must fall with load";
+  }
+}
+
+TEST(FlowSimulator, Assumption1UtilizationFallsWithCapacity) {
+  num::Rng rng(5);
+  const std::vector<sim::UserClass> classes{{20, 1.0, 0.05, 0.5}};
+  sim::FlowSimConfig small = quick_config();
+  small.capacity = 8.0;
+  sim::FlowSimConfig large = quick_config();
+  large.capacity = 16.0;
+  num::Rng rng_a(5);
+  num::Rng rng_b(5);
+  const sim::FlowStats stats_small = sim::FlowSimulator(small).run(classes, rng_a);
+  const sim::FlowStats stats_large = sim::FlowSimulator(large).run(classes, rng_b);
+  EXPECT_GT(stats_small.offered_load, stats_large.offered_load);
+}
+
+TEST(FlowSimulator, CurveFitsMatchAssumption1Families) {
+  const sim::FlowSimulator simulator(quick_config());
+  num::Rng rng(6);
+  const sim::UserClass probe{4, 1.0, 0.05, 0.5};
+  const sim::UserClass background{0, 1.0, 0.05, 0.5};
+  const std::vector<std::size_t> counts{0, 5, 10, 20, 35, 50, 70, 90};
+  const auto samples = simulator.measure_throughput_curve(probe, background, counts, rng);
+
+  // The exponential family captures the decreasing trend (slope < 0)...
+  const num::LinearFit exp_fit = sim::FlowSimulator::fit_exponential(samples);
+  EXPECT_LT(exp_fit.slope, 0.0);  // beta-hat = -slope > 0
+
+  // ...while on the congested branch the delay family lambda0 / (1 + beta phi)
+  // — the analytic shape of fair sharing (rate ~ capacity / population) — is
+  // essentially exact: 1/lambda is linear in the demand load.
+  std::vector<sim::LoadSample> congested;
+  for (const auto& s : samples) {
+    if (s.phi > 1.2) congested.push_back(s);
+  }
+  ASSERT_GE(congested.size(), 4u);
+  const num::LinearFit delay_fit = sim::FlowSimulator::fit_delay(congested);
+  EXPECT_GT(delay_fit.slope, 0.0);  // reciprocal rises with load
+  EXPECT_GT(delay_fit.r_squared, 0.95);
+  // The fit predicts the measured rates within ~15% on the congested branch.
+  for (const auto& s : congested) {
+    const double predicted = 1.0 / (delay_fit.intercept + delay_fit.slope * s.phi);
+    EXPECT_NEAR(predicted, s.lambda, 0.15 * s.lambda) << "phi=" << s.phi;
+  }
+}
+
+TEST(FlowSimulator, RejectsBadConfigAndClasses) {
+  sim::FlowSimConfig bad = quick_config();
+  bad.capacity = 0.0;
+  EXPECT_THROW(sim::FlowSimulator{bad}, std::invalid_argument);
+  bad = quick_config();
+  bad.warmup_slots = bad.slots;
+  EXPECT_THROW(sim::FlowSimulator{bad}, std::invalid_argument);
+
+  const sim::FlowSimulator simulator(quick_config());
+  num::Rng rng(7);
+  EXPECT_THROW((void)simulator.run({}, rng), std::invalid_argument);
+  EXPECT_THROW((void)simulator.run({{1, -1.0, 0.05, 0.5}}, rng), std::invalid_argument);
+  EXPECT_THROW((void)simulator.run({{1, 1.0, 0.05, 1.5}}, rng), std::invalid_argument);
+  EXPECT_THROW(
+      (void)simulator.measure_throughput_curve({0, 1.0, 0.05, 0.5}, {0, 1.0, 0.05, 0.5}, {1}, rng),
+      std::invalid_argument);
+}
+
+TEST(FlowSimulator, DeterministicGivenSeed) {
+  const sim::FlowSimulator simulator(quick_config());
+  num::Rng rng_a(99);
+  num::Rng rng_b(99);
+  const sim::FlowStats a = simulator.run({{12, 1.0, 0.05, 0.5}}, rng_a);
+  const sim::FlowStats b = simulator.run({{12, 1.0, 0.05, 0.5}}, rng_b);
+  EXPECT_DOUBLE_EQ(a.offered_load, b.offered_load);
+  EXPECT_DOUBLE_EQ(a.per_user_rate[0], b.per_user_rate[0]);
+}
+
+}  // namespace
