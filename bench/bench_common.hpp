@@ -3,6 +3,8 @@
 // console rendering.
 #pragma once
 
+#include <cstddef>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -16,6 +18,8 @@
 #include "subsidy/io/table.hpp"
 #include "subsidy/market/scenarios.hpp"
 #include "subsidy/numerics/grid.hpp"
+#include "subsidy/runtime/parallel_sweep.hpp"
+#include "subsidy/runtime/thread_pool.hpp"
 
 namespace bench {
 
@@ -24,6 +28,7 @@ namespace econ = subsidy::econ;
 namespace io = subsidy::io;
 namespace market = subsidy::market;
 namespace num = subsidy::num;
+namespace runtime = subsidy::runtime;
 
 /// The q levels of Figures 7-11.
 inline std::vector<double> paper_policy_levels() { return {0.0, 0.5, 1.0, 1.5, 2.0}; }
@@ -42,32 +47,66 @@ struct EquilibriumPoint {
   std::vector<double> subsidies;
 };
 
-/// Solves the Nash equilibrium along a price grid at fixed policy cap, with
-/// warm-start continuation in p.
-inline std::vector<EquilibriumPoint> sweep_prices(const econ::Market& mkt, double policy_cap,
-                                                  const std::vector<double>& prices) {
-  std::vector<EquilibriumPoint> rows;
-  rows.reserve(prices.size());
-  std::vector<double> warm;
-  for (double p : prices) {
-    const core::SubsidizationGame game(mkt, p, policy_cap);
-    const core::NashResult nash = core::solve_nash(game, warm);
-    if (!nash.converged) {
-      std::cerr << "WARNING: equilibrium did not converge at p=" << p
-                << " q=" << policy_cap << " (residual " << nash.residual << ")\n";
-    }
-    warm = nash.subsidies;
-    rows.push_back({p, policy_cap, nash.state, nash.subsidies});
+/// Worker count for the bench sweeps, taken from the SUBSIDY_JOBS environment
+/// variable: unset, empty or non-numeric means serial, 0 means "use the
+/// hardware".
+inline std::size_t bench_jobs() {
+  const char* env = std::getenv("SUBSIDY_JOBS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') {
+    std::cerr << "WARNING: ignoring non-numeric SUBSIDY_JOBS='" << env << "'\n";
+    return 1;
   }
-  return rows;
+  return runtime::resolve_jobs(static_cast<int>(parsed));
 }
 
-/// Full (q -> price sweep) map for the Figure 7-11 family.
+/// Converts runner rows [begin, begin+count) to bench points, printing the
+/// convergence warnings the serial sweep used to emit (in deterministic row
+/// order).
+inline std::vector<EquilibriumPoint> to_equilibrium_points(
+    const std::vector<runtime::SweepRow>& rows, std::size_t begin, std::size_t count) {
+  std::vector<EquilibriumPoint> points;
+  points.reserve(count);
+  for (std::size_t i = begin; i < begin + count; ++i) {
+    const runtime::SweepRow& row = rows[i];
+    if (!row.result.converged) {
+      std::cerr << "WARNING: equilibrium did not converge at p=" << row.price
+                << " q=" << row.policy_cap << " (residual " << row.result.residual << ")\n";
+    }
+    points.push_back({row.price, row.policy_cap, row.result.state, row.result.subsidies});
+  }
+  return points;
+}
+
+/// Solves the Nash equilibrium along a price grid at fixed policy cap, with
+/// warm-start continuation in p (one chain — identical to the legacy serial
+/// sweep for any job count).
+inline std::vector<EquilibriumPoint> sweep_prices(const econ::Market& mkt, double policy_cap,
+                                                  const std::vector<double>& prices,
+                                                  std::size_t jobs = bench_jobs()) {
+  runtime::SweepOptions options;
+  options.jobs = jobs;
+  const runtime::ParallelSweepRunner runner(mkt, options);
+  const std::vector<runtime::SweepRow> rows = runner.run_prices(policy_cap, prices);
+  return to_equilibrium_points(rows, 0, rows.size());
+}
+
+/// Full (q -> price sweep) map for the Figure 7-11 family. Each policy level
+/// is one warm-start chain, so rows are bit-identical to the serial path;
+/// with jobs > 1 the chains run across a thread pool.
 inline std::map<double, std::vector<EquilibriumPoint>> sweep_policy_grid(
     const econ::Market& mkt, const std::vector<double>& policy_levels,
-    const std::vector<double>& prices) {
+    const std::vector<double>& prices, std::size_t jobs = bench_jobs()) {
+  runtime::SweepOptions options;
+  options.jobs = jobs;
+  const runtime::ParallelSweepRunner runner(mkt, options);
+  const std::vector<runtime::SweepRow> rows = runner.run(policy_levels, prices);
   std::map<double, std::vector<EquilibriumPoint>> result;
-  for (double q : policy_levels) result[q] = sweep_prices(mkt, q, prices);
+  for (std::size_t c = 0; c < policy_levels.size(); ++c) {
+    result[policy_levels[c]] = to_equilibrium_points(rows, c * prices.size(), prices.size());
+  }
   return result;
 }
 

@@ -3,6 +3,9 @@
 // solves, sensitivity analysis and figure-scale sweeps.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "subsidy/core/core.hpp"
 #include "subsidy/core/surplus.hpp"
 #include "subsidy/market/scenarios.hpp"
@@ -204,4 +207,27 @@ BENCHMARK(BM_MarketScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Complexit
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults the reporter to a machine-readable
+// BENCH_core.json in the working directory (console output is unchanged) so
+// the perf trajectory accumulates across runs. Pass --benchmark_out=... to
+// override.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_core.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  bool has_format = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
+    if (arg.rfind("--benchmark_out_format=", 0) == 0) has_format = true;
+  }
+  if (!has_out) args.push_back(out_flag.data());
+  if (!has_out && !has_format) args.push_back(format_flag.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -34,7 +34,6 @@ econ::Market mobile_market(double startup_profitability) {
 
 int main() {
   const double price = 0.7;  // usage price per GB-equivalent
-  const char* names[] = {"incumbent-video", "social-network", "startup-video"};
 
   std::cout << "=== Sponsored data program: sponsorship by program cap ===\n\n";
   io::ConsoleTable sweep({"cap q", "s(incumbent)", "s(social)", "s(startup)",

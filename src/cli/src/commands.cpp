@@ -1,5 +1,6 @@
 #include "subsidy/cli/commands.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -12,6 +13,8 @@
 #include "subsidy/market/estimator.hpp"
 #include "subsidy/market/traces.hpp"
 #include "subsidy/numerics/grid.hpp"
+#include "subsidy/runtime/parallel_sweep.hpp"
+#include "subsidy/runtime/thread_pool.hpp"
 
 namespace subsidy::cli {
 
@@ -86,14 +89,18 @@ int cmd_sweep(const Args& args, std::ostream& out) {
   const auto prices = num::linspace(args.get_double_or("pmin", 0.05),
                                     args.get_double_or("pmax", 2.0),
                                     static_cast<std::size_t>(args.get_int_or("points", 41)));
+  // The chain length is part of the sweep semantics (it decides which solves
+  // are warm-started), so it is independent of --jobs: any job count yields
+  // bit-identical rows. --chain 0 makes the whole price axis one chain.
+  runtime::SweepOptions options;
+  options.jobs = runtime::resolve_jobs(args.get_int_or("jobs", 1));
+  options.chain_length = static_cast<std::size_t>(std::max(0, args.get_int_or("chain", 8)));
+  const runtime::ParallelSweepRunner runner(market, options);
   io::SweepTable table({"p", "phi", "theta", "revenue", "welfare"});
-  std::vector<double> warm;
-  for (double p : prices) {
-    const core::SubsidizationGame game(market, p, cap);
-    const core::NashResult nash = core::solve_nash(game, warm);
-    warm = nash.subsidies;
-    table.add_row({p, nash.state.utilization, nash.state.aggregate_throughput,
-                   nash.state.revenue, nash.state.welfare});
+  for (const runtime::SweepRow& row : runner.run_prices(cap, prices)) {
+    const core::SystemState& state = row.result.state;
+    table.add_row({row.price, state.utilization, state.aggregate_throughput,
+                   state.revenue, state.welfare});
   }
   if (args.has("out")) {
     io::write_csv_file(args.get("out"), table);
@@ -127,8 +134,13 @@ int cmd_policy(const Args& args, std::ostream& out) {
       args.has("price") ? core::PriceResponse::fixed(args.get_double("price"))
                         : core::PriceResponse::monopoly();
   const core::PolicyAnalyzer analyzer(market, response);
+  // Each cap is solved independently (cold), so the rows are identical for
+  // any --jobs value; with jobs > 1 the caps are evaluated across a pool.
+  const std::size_t jobs = runtime::resolve_jobs(args.get_int_or("jobs", 1));
+  const std::vector<core::PolicyPoint> points = runtime::parallel_map(
+      caps, jobs, [&analyzer](const double& cap) { return analyzer.evaluate(cap); });
   io::SweepTable table({"q", "price", "phi", "revenue", "welfare"});
-  for (const core::PolicyPoint& point : analyzer.sweep(caps)) {
+  for (const core::PolicyPoint& point : points) {
     table.add_row({point.policy_cap, point.price, point.state.utilization,
                    point.state.revenue, point.state.welfare});
   }
@@ -217,8 +229,9 @@ std::string usage() {
         "  evaluate        --market M --price P [--subsidies s1,s2,...]\n"
         "  nash            --market M --price P --cap Q [--solver br|eg|auto]\n"
         "  sweep           --market M [--cap Q --pmin A --pmax B --points N --out F]\n"
+        "                  [--jobs N (parallel; 0 = hardware) --chain L (warm-start run)]\n"
         "  optimize-price  --market M --cap Q [--pmin A --pmax B --points N]\n"
-        "  policy          --market M [--price P | (monopoly)] [--caps 0,0.5,...]\n"
+        "  policy          --market M [--price P | (monopoly)] [--caps 0,0.5,...] [--jobs N]\n"
         "  surplus         --market M --price P [--cap Q]\n"
         "  generate-trace  --market M [--days N --noise X --seed S --out F]\n"
         "  calibrate       --trace F [--capacity MU --price P --cap Q]\n"

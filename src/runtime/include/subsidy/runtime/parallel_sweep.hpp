@@ -1,0 +1,71 @@
+// Parallel equilibrium sweeps over (price, policy-cap) grids.
+//
+// The figure-reproduction sweeps of the paper solve a Nash equilibrium at
+// every node of a price x policy-cap grid, warm-starting each solve from the
+// previous price point. That continuation structure is what makes the serial
+// sweep fast — and it is preserved here: the grid is partitioned into
+// *contiguous warm-start chains* (each chain starts cold and continues
+// warm-started within itself), and the chains — which are mutually
+// independent — are evaluated across a thread pool.
+//
+// Determinism: the chain partition depends only on the grid and on
+// `SweepOptions::chain_length`, never on the job count, and every chain is a
+// pure function of its inputs. Running with jobs=1 and jobs=N therefore
+// produces bit-identical rows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "subsidy/core/game.hpp"
+#include "subsidy/core/nash.hpp"
+#include "subsidy/econ/market.hpp"
+
+namespace subsidy::runtime {
+
+/// Tuning knobs for a parallel sweep.
+struct SweepOptions {
+  /// Worker threads; 1 runs inline on the calling thread.
+  std::size_t jobs = 1;
+
+  /// Number of consecutive price points per warm-start chain. 0 means one
+  /// chain per policy level — exactly the legacy serial semantics, where the
+  /// whole price axis is one continuation. Smaller values expose more
+  /// parallelism at the cost of one cold solve per chain. Part of the sweep
+  /// *semantics* (it changes which solves are warm-started), so it is chosen
+  /// independently of `jobs` to keep results jobs-invariant.
+  std::size_t chain_length = 0;
+};
+
+/// One solved grid node.
+struct SweepRow {
+  std::size_t policy_index = 0;  ///< Index into the policy_caps argument.
+  std::size_t price_index = 0;   ///< Index into the prices argument.
+  double price = 0.0;
+  double policy_cap = 0.0;
+  core::NashResult result;
+};
+
+/// Evaluates Nash equilibria over a (policy cap, price) grid, chain-parallel.
+class ParallelSweepRunner {
+ public:
+  explicit ParallelSweepRunner(econ::Market market, SweepOptions options = {});
+
+  /// Solves every (cap, price) node. Rows are returned ordered by
+  /// (policy_index, price_index) regardless of execution order.
+  [[nodiscard]] std::vector<SweepRow> run(const std::vector<double>& policy_caps,
+                                          const std::vector<double>& prices) const;
+
+  /// Single-cap convenience overload.
+  [[nodiscard]] std::vector<SweepRow> run_prices(double policy_cap,
+                                                 const std::vector<double>& prices) const;
+
+  [[nodiscard]] const SweepOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const econ::Market& market() const noexcept { return market_; }
+
+ private:
+  econ::Market market_;
+  SweepOptions options_;
+};
+
+}  // namespace subsidy::runtime

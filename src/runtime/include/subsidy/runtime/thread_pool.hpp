@@ -1,0 +1,89 @@
+// A small fixed-size worker pool used by the parallel sweep runner and any
+// future batch/sharding layers. Tasks are arbitrary callables; submit()
+// returns a std::future carrying the result (or the exception the task
+// threw). The pool joins all workers on destruction after draining the queue.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace subsidy::runtime {
+
+/// Resolves a user-facing `--jobs N` request into a worker count: values
+/// >= 1 are taken verbatim, 0 (or negative) means "use the hardware".
+[[nodiscard]] std::size_t resolve_jobs(int requested);
+
+/// Fixed-size FIFO thread pool.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a callable; the returned future yields its result or rethrows
+  /// the exception it raised.
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& task) {
+    using R = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([packaged]() { (*packaged)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+/// Applies `fn` to every item, preserving input order in the result. With
+/// jobs <= 1 (or fewer than two items) it runs inline on the calling thread;
+/// otherwise items are fanned out over a pool. `fn` must be safe to call
+/// concurrently on distinct items; exceptions propagate to the caller.
+template <typename T, typename F>
+auto parallel_map(const std::vector<T>& items, std::size_t jobs, F&& fn)
+    -> std::vector<std::invoke_result_t<F, const T&>> {
+  using R = std::invoke_result_t<F, const T&>;
+  std::vector<R> results;
+  results.reserve(items.size());
+  if (jobs <= 1 || items.size() <= 1) {
+    for (const T& item : items) results.push_back(fn(item));
+    return results;
+  }
+  ThreadPool pool(std::min(jobs, items.size()));
+  std::vector<std::future<R>> pending;
+  pending.reserve(items.size());
+  for (const T& item : items) {
+    pending.push_back(pool.submit([&fn, &item]() { return fn(item); }));
+  }
+  for (std::future<R>& f : pending) results.push_back(f.get());
+  return results;
+}
+
+}  // namespace subsidy::runtime

@@ -1,0 +1,43 @@
+#include "subsidy/runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace subsidy::runtime {
+
+std::size_t resolve_jobs(int requested) {
+  if (requested >= 1) return static_cast<std::size_t>(requested);
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = std::max<std::size_t>(1, threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions are captured by the packaged_task wrapper
+  }
+}
+
+}  // namespace subsidy::runtime

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the subsidy_cli binary. Usage: smoke_cli.sh <cli>
+# Runs the nash, sweep (serial + parallel) and validate subcommands and
+# checks exit codes and output shape.
+set -u
+
+cli="${1:?usage: smoke_cli.sh <path-to-subsidy_cli>}"
+failures=0
+
+check() {
+  local description="$1"
+  shift
+  if "$@" >/dev/null 2>&1; then
+    echo "  [PASS] ${description}"
+  else
+    echo "  [FAIL] ${description}"
+    failures=$((failures + 1))
+  fi
+}
+
+expect_grep() {
+  local description="$1" pattern="$2" text="$3"
+  if grep -q -- "$pattern" <<<"$text"; then
+    echo "  [PASS] ${description}"
+  else
+    echo "  [FAIL] ${description} (pattern '${pattern}' not found)"
+    failures=$((failures + 1))
+  fi
+}
+
+# --- nash -------------------------------------------------------------------
+nash_out="$("$cli" nash --market section5 --price 0.8 --cap 1.0)"
+check "nash exits 0" test $? -eq 0
+expect_grep "nash reports convergence" "converged=yes" "$nash_out"
+expect_grep "nash reports KKT satisfaction" "kkt=satisfied" "$nash_out"
+
+# --- sweep (serial vs parallel must be byte-identical) ----------------------
+sweep1="$("$cli" sweep --market section5 --cap 1.0 --points 21 --jobs 1)"
+check "sweep --jobs 1 exits 0" test $? -eq 0
+sweep4="$("$cli" sweep --market section5 --cap 1.0 --points 21 --jobs 4)"
+check "sweep --jobs 4 exits 0" test $? -eq 0
+expect_grep "sweep emits the CSV header" "p,phi,theta,revenue,welfare" "$sweep1"
+
+rows=$(printf '%s\n' "$sweep1" | wc -l)
+check "sweep emits header + 21 rows" test "$rows" -eq 22
+
+if [ "$sweep1" = "$sweep4" ]; then
+  echo "  [PASS] sweep --jobs 4 output is byte-identical to --jobs 1"
+else
+  echo "  [FAIL] sweep --jobs 4 output differs from --jobs 1"
+  failures=$((failures + 1))
+fi
+
+# --- validate ---------------------------------------------------------------
+validate_out="$("$cli" validate --market section5)"
+check "validate exits 0" test $? -eq 0
+expect_grep "validate reports the assumptions" "satisfied" "$validate_out"
+
+# --- error path -------------------------------------------------------------
+"$cli" frobnicate >/dev/null 2>&1
+code=$?
+check "unknown command exits 2" test "$code" -eq 2
+
+if [ "$failures" -ne 0 ]; then
+  echo "smoke: ${failures} check(s) failed"
+  exit 1
+fi
+echo "smoke: all checks passed"

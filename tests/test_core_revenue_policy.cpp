@@ -45,9 +45,15 @@ TEST(Theorem7, UpsilonDecomposition) {
   for (double e : mr.price_elasticities) EXPECT_LE(e, 1e-12);  // demand falls with p
 }
 
+core::PriceSearchOptions wide_search() {
+  core::PriceSearchOptions options;
+  options.price_min = 0.05;
+  options.price_max = 2.5;
+  return options;
+}
+
 TEST(PriceOptimizer, FindsInteriorPeak) {
-  const core::IspPriceOptimizer optimizer(market::section5_market(),
-                                          {.price_min = 0.05, .price_max = 2.5});
+  const core::IspPriceOptimizer optimizer(market::section5_market(), wide_search());
   const core::OptimalPrice best = optimizer.optimize(2.0);
   // Paper: with q = 2 the revenue-maximizing price is a bit below 1.
   EXPECT_GT(best.price, 0.5);
@@ -63,8 +69,7 @@ TEST(PriceOptimizer, FindsInteriorPeak) {
 TEST(PriceOptimizer, MonopolyPriceRevenueIncreasesWithCap) {
   // Corollary 1 extended through the ISP's optimization: the optimized
   // revenue is monotone in q (a superset of feasible prices can only help).
-  const core::IspPriceOptimizer optimizer(market::section5_market(),
-                                          {.price_min = 0.05, .price_max = 2.5});
+  const core::IspPriceOptimizer optimizer(market::section5_market(), wide_search());
   double last = -1.0;
   for (double q : {0.0, 0.5, 1.0, 2.0}) {
     const core::OptimalPrice best = optimizer.optimize(q);
@@ -74,8 +79,10 @@ TEST(PriceOptimizer, MonopolyPriceRevenueIncreasesWithCap) {
 }
 
 TEST(PriceOptimizer, RejectsBadOptions) {
-  EXPECT_THROW(core::IspPriceOptimizer(market::section5_market(),
-                                       {.price_min = 1.0, .price_max = 0.5}),
+  core::PriceSearchOptions inverted;
+  inverted.price_min = 1.0;
+  inverted.price_max = 0.5;
+  EXPECT_THROW(core::IspPriceOptimizer(market::section5_market(), inverted),
                std::invalid_argument);
   core::PriceSearchOptions opt;
   opt.grid_points = 2;

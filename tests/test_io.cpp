@@ -117,7 +117,11 @@ TEST(AsciiChart, RendersSeriesAndLegend) {
     s.add(x, x * (2.0 - x));
   }
   std::ostringstream out;
-  io::render_chart(out, s, {.width = 40, .height = 10, .x_label = "p"});
+  io::ChartOptions opts;
+  opts.width = 40;
+  opts.height = 10;
+  opts.x_label = "p";
+  io::render_chart(out, s, opts);
   const std::string text = out.str();
   EXPECT_NE(text.find('*'), std::string::npos);
   EXPECT_NE(text.find("revenue"), std::string::npos);

@@ -1,0 +1,200 @@
+// Runtime module tests: thread-pool semantics and the determinism contract of
+// ParallelSweepRunner — the same grid must yield bit-identical rows whatever
+// the job count, and the chain_length=0 default must reproduce the legacy
+// serial warm-start sweep exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "subsidy/core/core.hpp"
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/numerics/grid.hpp"
+#include "subsidy/runtime/parallel_sweep.hpp"
+#include "subsidy/runtime/thread_pool.hpp"
+
+namespace core = subsidy::core;
+namespace market = subsidy::market;
+namespace num = subsidy::num;
+namespace runtime = subsidy::runtime;
+
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsResults) {
+  runtime::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  futures.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i]() { return i * i; }));
+  }
+  int total = 0;
+  for (auto& f : futures) total += f.get();
+  int expected = 0;
+  for (int i = 0; i < 100; ++i) expected += i * i;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> executed{0};
+  {
+    runtime::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&executed]() { executed.fetch_add(1); return 0; });
+    }
+  }  // destructor must run every queued task before joining
+  EXPECT_EQ(executed.load(), 50);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  runtime::ThreadPool pool(2);
+  auto ok = pool.submit([]() { return 7; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW((void)bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, AtLeastOneWorkerEvenWhenAskedForZero) {
+  runtime::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([]() { return 42; }).get(), 42);
+}
+
+TEST(ThreadPool, ResolveJobs) {
+  EXPECT_EQ(runtime::resolve_jobs(3), 3u);
+  EXPECT_EQ(runtime::resolve_jobs(1), 1u);
+  EXPECT_GE(runtime::resolve_jobs(0), 1u);
+  EXPECT_GE(runtime::resolve_jobs(-2), 1u);
+}
+
+TEST(ParallelMap, PreservesOrderForAnyJobCount) {
+  std::vector<int> items(37);
+  std::iota(items.begin(), items.end(), 0);
+  const auto square = [](const int& x) { return x * x; };
+  const auto serial = runtime::parallel_map(items, 1, square);
+  const auto parallel = runtime::parallel_map(items, 4, square);
+  ASSERT_EQ(serial.size(), items.size());
+  EXPECT_EQ(serial, parallel);
+  for (std::size_t i = 0; i < items.size(); ++i) EXPECT_EQ(serial[i], items[i] * items[i]);
+  EXPECT_TRUE(runtime::parallel_map(std::vector<int>{}, 4, square).empty());
+}
+
+TEST(ParallelMap, PropagatesExceptions) {
+  const std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW((void)runtime::parallel_map(items, 4,
+                                           [](const int& x) -> int {
+                                             if (x == 5) throw std::runtime_error("bad item");
+                                             return x;
+                                           }),
+               std::runtime_error);
+}
+
+void expect_rows_identical(const std::vector<runtime::SweepRow>& a,
+                           const std::vector<runtime::SweepRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("row " + std::to_string(i));
+    EXPECT_EQ(a[i].policy_index, b[i].policy_index);
+    EXPECT_EQ(a[i].price_index, b[i].price_index);
+    EXPECT_EQ(a[i].price, b[i].price);
+    EXPECT_EQ(a[i].policy_cap, b[i].policy_cap);
+    EXPECT_EQ(a[i].result.converged, b[i].result.converged);
+    EXPECT_EQ(a[i].result.iterations, b[i].result.iterations);
+    ASSERT_EQ(a[i].result.subsidies.size(), b[i].result.subsidies.size());
+    for (std::size_t j = 0; j < a[i].result.subsidies.size(); ++j) {
+      EXPECT_EQ(a[i].result.subsidies[j], b[i].result.subsidies[j]);
+    }
+    EXPECT_EQ(a[i].result.state.utilization, b[i].result.state.utilization);
+    EXPECT_EQ(a[i].result.state.aggregate_throughput,
+              b[i].result.state.aggregate_throughput);
+    EXPECT_EQ(a[i].result.state.revenue, b[i].result.state.revenue);
+    EXPECT_EQ(a[i].result.state.welfare, b[i].result.state.welfare);
+  }
+}
+
+TEST(ParallelSweepRunner, ParallelRowsBitIdenticalToSerial) {
+  const auto mkt = market::section5_market();
+  const std::vector<double> caps = {0.0, 1.0, 2.0};
+  const std::vector<double> prices = num::linspace(0.1, 1.5, 11);
+
+  runtime::SweepOptions serial;
+  serial.jobs = 1;
+  serial.chain_length = 4;
+  runtime::SweepOptions parallel;
+  parallel.jobs = 4;
+  parallel.chain_length = 4;
+
+  const auto serial_rows = runtime::ParallelSweepRunner(mkt, serial).run(caps, prices);
+  const auto parallel_rows = runtime::ParallelSweepRunner(mkt, parallel).run(caps, prices);
+  expect_rows_identical(serial_rows, parallel_rows);
+}
+
+TEST(ParallelSweepRunner, DefaultChainingReproducesLegacySerialSweep) {
+  const auto mkt = market::section5_market();
+  const double cap = 1.0;
+  const std::vector<double> prices = num::linspace(0.1, 1.5, 9);
+
+  // The pre-runner serial path: one warm-start continuation over the whole
+  // price axis.
+  std::vector<core::NashResult> legacy;
+  std::vector<double> warm;
+  for (double p : prices) {
+    const core::SubsidizationGame game(mkt, p, cap);
+    const core::NashResult nash = core::solve_nash(game, warm);
+    warm = nash.subsidies;
+    legacy.push_back(nash);
+  }
+
+  runtime::SweepOptions options;
+  options.jobs = 4;  // chain_length=0: one chain per cap, so jobs can't split it
+  const auto rows = runtime::ParallelSweepRunner(mkt, options).run_prices(cap, prices);
+
+  ASSERT_EQ(rows.size(), legacy.size());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    SCOPED_TRACE("price index " + std::to_string(k));
+    EXPECT_EQ(rows[k].result.state.revenue, legacy[k].state.revenue);
+    EXPECT_EQ(rows[k].result.state.welfare, legacy[k].state.welfare);
+    EXPECT_EQ(rows[k].result.state.utilization, legacy[k].state.utilization);
+    ASSERT_EQ(rows[k].result.subsidies.size(), legacy[k].subsidies.size());
+    for (std::size_t j = 0; j < legacy[k].subsidies.size(); ++j) {
+      EXPECT_EQ(rows[k].result.subsidies[j], legacy[k].subsidies[j]);
+    }
+  }
+}
+
+TEST(ParallelSweepRunner, RowsAreOrderedAndConverged) {
+  const auto mkt = market::section5_market();
+  const std::vector<double> caps = {0.5, 1.5};
+  const std::vector<double> prices = num::linspace(0.2, 1.2, 6);
+
+  runtime::SweepOptions options;
+  options.jobs = 4;
+  options.chain_length = 2;
+  const auto rows = runtime::ParallelSweepRunner(mkt, options).run(caps, prices);
+
+  ASSERT_EQ(rows.size(), caps.size() * prices.size());
+  for (std::size_t c = 0; c < caps.size(); ++c) {
+    for (std::size_t k = 0; k < prices.size(); ++k) {
+      const auto& row = rows[c * prices.size() + k];
+      EXPECT_EQ(row.policy_index, c);
+      EXPECT_EQ(row.price_index, k);
+      EXPECT_EQ(row.policy_cap, caps[c]);
+      EXPECT_EQ(row.price, prices[k]);
+      EXPECT_TRUE(row.result.converged);
+      EXPECT_GT(row.result.state.aggregate_throughput, 0.0);
+    }
+  }
+}
+
+TEST(ParallelSweepRunner, EmptyGridsYieldNoRows) {
+  const auto mkt = market::section5_market();
+  runtime::SweepOptions options;
+  options.jobs = 4;
+  const runtime::ParallelSweepRunner runner(mkt, options);
+  EXPECT_TRUE(runner.run({}, num::linspace(0.1, 1.0, 5)).empty());
+  EXPECT_TRUE(runner.run({1.0}, {}).empty());
+}
+
+}  // namespace
