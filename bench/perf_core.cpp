@@ -3,7 +3,9 @@
 // solves, sensitivity analysis and figure-scale sweeps.
 #include <benchmark/benchmark.h>
 
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "subsidy/core/core.hpp"
@@ -46,6 +48,28 @@ void BM_UtilizationSolveWarmStart(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UtilizationSolveWarmStart);
+
+void BM_UtilizationSolveBatch(benchmark::State& state) {
+  // 32 grid nodes solved per solve_many call (unsubsidized price sweep).
+  const core::ModelEvaluator evaluator(section5());
+  const std::size_t n = evaluator.num_providers();
+  const std::vector<double> zeros(n, 0.0);
+  const std::size_t num_nodes = 32;
+  std::vector<double> m(num_nodes * n);
+  std::vector<core::UtilizationNode> nodes(num_nodes);
+  for (std::size_t k = 0; k < num_nodes; ++k) {
+    const double price = 0.05 + 1.95 * static_cast<double>(k) / (num_nodes - 1);
+    const std::span<double> row(m.data() + k * n, n);
+    evaluator.kernel().populations(price, zeros, row);
+    nodes[k].populations = row;
+  }
+  for (auto _ : state) {
+    evaluator.solver().solve_many(nodes);
+    benchmark::DoNotOptimize(nodes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(num_nodes));
+}
+BENCHMARK(BM_UtilizationSolveBatch);
 
 void BM_StateEvaluation(benchmark::State& state) {
   const core::ModelEvaluator evaluator(section5());
@@ -150,6 +174,40 @@ void BM_PriceOptimizer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PriceOptimizer);
+
+void BM_PriceOptimizerParallel(benchmark::State& state) {
+  // Same search as BM_PriceOptimizer, grid phase split into 4-point
+  // warm-start chains across the hardware (results bit-identical to serial).
+  core::PriceSearchOptions options;
+  options.price_min = 0.05;
+  options.price_max = 2.0;
+  options.grid_points = 11;
+  options.refine_tolerance = 1e-3;
+  options.chain_length = 4;
+  options.jobs = std::thread::hardware_concurrency();
+  const core::IspPriceOptimizer optimizer(section5(), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(1.0));
+  }
+}
+BENCHMARK(BM_PriceOptimizerParallel);
+
+void BM_PolicySweep(benchmark::State& state) {
+  // The paper's 5 policy levels with the ISP's monopoly price response: one
+  // warm-started PolicyAnalyzer::sweep per iteration (the Figure 7 outer
+  // loop). The price search is coarse to keep the bench tractable.
+  core::PriceSearchOptions search;
+  search.price_min = 0.05;
+  search.price_max = 2.0;
+  search.grid_points = 7;
+  search.refine_tolerance = 1e-3;
+  const core::PolicyAnalyzer analyzer(section5(), core::PriceResponse::monopoly(search));
+  const std::vector<double> caps{0.0, 0.5, 1.0, 1.5, 2.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.sweep(caps));
+  }
+}
+BENCHMARK(BM_PolicySweep);
 
 void BM_SurplusDecomposition(benchmark::State& state) {
   const core::ModelEvaluator evaluator(section5());

@@ -117,6 +117,11 @@ int cmd_optimize_price(const Args& args, std::ostream& out) {
   options.price_min = args.get_double_or("pmin", 0.05);
   options.price_max = args.get_double_or("pmax", 2.5);
   options.grid_points = args.get_int_or("points", 25);
+  // --chain fixes the warm-start chain length (search semantics, constant
+  // regardless of --jobs so results are identical for any jobs value); the
+  // default 4 keeps the grid parallelizable. --chain 0 = one continuation.
+  options.chain_length = static_cast<std::size_t>(std::max(0, args.get_int_or("chain", 4)));
+  options.jobs = runtime::resolve_jobs(args.get_int_or("jobs", 1));
   const core::IspPriceOptimizer optimizer(market, options);
   const core::OptimalPrice best = optimizer.optimize(args.get_double("cap"));
   out << "p*=" << best.price << " revenue=" << best.revenue
@@ -231,6 +236,7 @@ std::string usage() {
         "  sweep           --market M [--cap Q --pmin A --pmax B --points N --out F]\n"
         "                  [--jobs N (parallel; 0 = hardware) --chain L (warm-start run)]\n"
         "  optimize-price  --market M --cap Q [--pmin A --pmax B --points N]\n"
+        "                  [--jobs N --chain L (parallel grid phase, jobs-invariant)]\n"
         "  policy          --market M [--price P | (monopoly)] [--caps 0,0.5,...] [--jobs N]\n"
         "  surplus         --market M --price P [--cap Q]\n"
         "  generate-trace  --market M [--days N --noise X --seed S --out F]\n"

@@ -1,12 +1,13 @@
 // ModelEvaluator: the shared workhorse that turns (price p, subsidies s) into
 // a fully solved SystemState, and exposes the analytic partial derivatives of
 // the utilization fixed point that every theorem's comparative statics are
-// built from.
+// built from. All hot arithmetic runs through the compiled MarketKernel.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "subsidy/core/market_kernel.hpp"
 #include "subsidy/core/system_state.hpp"
 #include "subsidy/core/utilization_solver.hpp"
 #include "subsidy/econ/market.hpp"
@@ -15,10 +16,16 @@ namespace subsidy::core {
 
 /// Evaluates market states and the analytic building blocks dg/dphi,
 /// dphi/dm_i, dphi/dmu at solved states. Holds the market by value so
-/// evaluators can be freely copied into sweep harnesses.
+/// evaluators can be freely copied into sweep harnesses (the inner solver is
+/// rebound to the copy's own market).
 class ModelEvaluator {
  public:
   explicit ModelEvaluator(econ::Market market, UtilizationSolveOptions options = {});
+
+  ModelEvaluator(const ModelEvaluator& other);
+  ModelEvaluator& operator=(const ModelEvaluator& other);
+  ModelEvaluator(ModelEvaluator&& other);
+  ModelEvaluator& operator=(ModelEvaluator&& other);
 
   [[nodiscard]] const econ::Market& market() const noexcept { return market_; }
   [[nodiscard]] std::size_t num_providers() const noexcept { return market_.num_providers(); }
@@ -34,8 +41,17 @@ class ModelEvaluator {
   /// Full state under one-sided pricing (all subsidies zero).
   [[nodiscard]] SystemState evaluate_unsubsidized(double price, double phi_hint = -1.0) const;
 
+  /// Batched one-sided states: all fixed points are solved through
+  /// UtilizationSolver::solve_many, advancing the whole grid one candidate
+  /// per pass. Element k is bit-identical to evaluate_unsubsidized(prices[k]).
+  [[nodiscard]] std::vector<SystemState> evaluate_unsubsidized_many(
+      std::span<const double> prices) const;
+
   /// The inner solver (exposed for gap-function access in tests/benches).
   [[nodiscard]] const UtilizationSolver& solver() const noexcept { return solver_; }
+
+  /// The compiled coefficient buckets behind the solver.
+  [[nodiscard]] const MarketKernel& kernel() const noexcept { return solver_.kernel(); }
 
   // --- Analytic partials at a solved state (populations m, utilization phi) ---
 
@@ -50,6 +66,10 @@ class ModelEvaluator {
                                std::size_t i) const;
 
  private:
+  /// Assembles the reported state from a solved fixed point.
+  [[nodiscard]] SystemState assemble(double price, std::span<const double> subsidies,
+                                     std::span<const double> m, double phi) const;
+
   econ::Market market_;
   UtilizationSolver solver_;
 };

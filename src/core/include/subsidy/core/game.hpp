@@ -42,8 +42,10 @@ class SubsidizationGame {
   [[nodiscard]] SystemState state(std::span<const double> subsidies,
                                   double phi_hint = -1.0) const;
 
-  /// U_i(s) = (v_i - s_i) * theta_i(s).
-  [[nodiscard]] double utility(std::size_t i, std::span<const double> subsidies) const;
+  /// U_i(s) = (v_i - s_i) * theta_i(s). Computes only player i's terms (one
+  /// inner solve, no full SystemState); `phi_hint` warm-starts the solve.
+  [[nodiscard]] double utility(std::size_t i, std::span<const double> subsidies,
+                               double phi_hint = -1.0) const;
 
   /// Analytic marginal utility u_i(s) = dU_i/ds_i:
   ///   u_i = -theta_i + (v_i - s_i) * dtheta_i/ds_i,
@@ -78,6 +80,16 @@ class SubsidizationGame {
   [[nodiscard]] const ModelEvaluator& evaluator() const noexcept { return evaluator_; }
 
  private:
+  /// Marginal utility plus the solved utilization it was evaluated at (the
+  /// best-response line search chains the phi across nearby evaluations).
+  struct MarginalEval {
+    double u = 0.0;
+    double phi = 0.0;
+  };
+  [[nodiscard]] MarginalEval marginal_utility_eval(std::size_t i,
+                                                   std::span<const double> subsidies,
+                                                   double phi_hint) const;
+
   ModelEvaluator evaluator_;
   double price_;
   double policy_cap_;

@@ -1,0 +1,220 @@
+// MarketKernel: an econ::Market compiled once into family-tagged
+// structure-of-arrays coefficient buckets, so the utilization fixed point
+// g(phi) = Theta(phi, mu) - sum_i m_i lambda_i(phi) and its derivative can be
+// evaluated as fused contiguous loops with no virtual dispatch and at most
+// one transcendental per provider (shared across providers with equal
+// exponential decay rates).
+//
+// The kernel recognises the three built-in throughput families
+// (ExponentialThroughput, PowerLawThroughput, DelayThroughput), the built-in
+// demand families (ExponentialDemand) and the built-in utilization models
+// (Linear/Delay/PowerUtilization). Anything else lands in an *opaque* bucket
+// that calls through the original virtual interface, so arbitrary
+// ThroughputCurve/DemandCurve/UtilizationModel subclasses keep working
+// bit-compatibly with the pre-kernel path.
+//
+// The kernel copies every coefficient and keeps shared ownership of the
+// opaque curves, so it stays valid even if the source Market is destroyed.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "subsidy/econ/market.hpp"
+
+namespace subsidy::core {
+
+/// Per-solve scratch: population-dependent, phi-independent coefficients
+/// (cluster weights w_c = sum m_i lambda0_i and per-slot products) folded out
+/// of the inner root-finding loop. Reusable across bind() calls; the backing
+/// buffer is only reallocated when the provider count grows.
+class PopulationBinding {
+ public:
+  PopulationBinding() = default;
+
+  // data_ points into this object's own inline_ buffer (or heap_), so the
+  // implicit member-wise copy would alias the source; copies rebind and
+  // moves steal the heap buffer (or copy the small inline one).
+  PopulationBinding(const PopulationBinding& other) { assign(other); }
+  PopulationBinding& operator=(const PopulationBinding& other) {
+    if (this != &other) assign(other);
+    return *this;
+  }
+  PopulationBinding(PopulationBinding&& other) noexcept { steal(std::move(other)); }
+  PopulationBinding& operator=(PopulationBinding&& other) noexcept {
+    if (this != &other) steal(std::move(other));
+    return *this;
+  }
+
+ private:
+  friend class MarketKernel;
+
+  double* ensure(std::size_t size) {
+    size_ = size;
+    if (size <= kInlineCapacity) {
+      data_ = inline_;
+    } else {
+      if (heap_.size() < size) heap_.resize(size);
+      data_ = heap_.data();
+    }
+    return data_;
+  }
+
+  void assign(const PopulationBinding& other) {
+    if (other.data_ == nullptr) {
+      data_ = nullptr;
+      size_ = 0;
+      num_slots_ = 0;
+      return;
+    }
+    double* dst = ensure(other.size_);
+    for (std::size_t k = 0; k < other.size_; ++k) dst[k] = other.data_[k];
+    num_slots_ = other.num_slots_;
+  }
+
+  void steal(PopulationBinding&& other) noexcept {
+    heap_ = std::move(other.heap_);
+    if (other.data_ == other.inline_) {
+      for (std::size_t k = 0; k < other.size_; ++k) inline_[k] = other.inline_[k];
+      data_ = inline_;
+    } else {
+      data_ = other.data_ == nullptr ? nullptr : heap_.data();
+    }
+    size_ = other.size_;
+    num_slots_ = other.num_slots_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.num_slots_ = 0;
+  }
+
+  static constexpr std::size_t kInlineCapacity = 48;
+  double inline_[kInlineCapacity];  ///< Filled by bind(); never read before.
+  std::vector<double> heap_;
+  double* data_ = nullptr;        ///< Set by MarketKernel::bind via ensure().
+  std::size_t size_ = 0;          ///< Bound coefficient count.
+  std::size_t num_slots_ = 0;     ///< Providers bound (consistency check).
+};
+
+/// The compiled market. Immutable and thread-safe after construction; safe to
+/// copy (all state is value coefficients plus shared immutable curves).
+class MarketKernel {
+ public:
+  explicit MarketKernel(const econ::Market& market);
+
+  [[nodiscard]] std::size_t num_providers() const noexcept { return n_; }
+  [[nodiscard]] double capacity() const noexcept { return mu_; }
+
+  // --- Gap function (Lemma 1) -------------------------------------------
+
+  /// Value and derivative of the gap at one phi.
+  struct GapValue {
+    double g = 0.0;   ///< Theta(phi, mu) - sum_i m_i lambda_i(phi).
+    double dg = 0.0;  ///< dTheta/dphi - sum_i m_i dlambda_i/dphi.
+  };
+
+  /// Folds the populations into cluster weights; `binding` is reusable
+  /// scratch. Cost O(n); afterwards every *_bound call is O(#clusters).
+  void bind(std::span<const double> populations, PopulationBinding& binding) const;
+
+  [[nodiscard]] double aggregate_demand_bound(double phi, const PopulationBinding& b) const;
+  [[nodiscard]] double gap_bound(double phi, const PopulationBinding& b) const;
+  [[nodiscard]] GapValue gap_with_derivative_bound(double phi, const PopulationBinding& b) const;
+
+  /// Unbound conveniences (bind + evaluate; use the *_bound forms in loops).
+  [[nodiscard]] double aggregate_demand(double phi, std::span<const double> populations) const;
+  [[nodiscard]] double gap(double phi, std::span<const double> populations) const;
+  [[nodiscard]] double gap_derivative(double phi, std::span<const double> populations) const;
+
+  /// Batched gap evaluation: out[k] = g(phis[k]) at fixed populations, one
+  /// bind amortised over the whole candidate set (bracket scans, plots).
+  void gap_many(std::span<const double> phis, std::span<const double> populations,
+                std::span<double> out) const;
+
+  // --- Throughput curves -------------------------------------------------
+
+  /// lambda_i(phi), bit-compatible with provider(i).throughput->rate(phi).
+  [[nodiscard]] double rate(std::size_t i, double phi) const;
+
+  /// lambda_i(phi) and dlambda_i/dphi in one evaluation.
+  void rate_and_slope(std::size_t i, double phi, double& lambda, double& dlambda) const;
+
+  /// All lambda_i(phi) (provider order), one transcendental per *cluster*.
+  void rates(double phi, std::span<double> lambda) const;
+
+  /// All lambda_i(phi) and dlambda_i/dphi in one fused pass.
+  void rates_and_slopes(double phi, std::span<double> lambda,
+                        std::span<double> dlambda) const;
+
+  // --- Demand curves -----------------------------------------------------
+
+  /// m_i(t), bit-compatible with provider(i).demand->population(t).
+  [[nodiscard]] double population(std::size_t i, double t) const;
+
+  /// dm_i/dt, bit-compatible with provider(i).demand->derivative(t).
+  [[nodiscard]] double population_slope(std::size_t i, double t) const;
+
+  /// m_i(p - s_i) for all providers in one fused pass.
+  void populations(double price, std::span<const double> subsidies,
+                   std::span<double> m) const;
+
+  /// m_i(t_i) and m_i'(t_i) in one pass (one transcendental per provider for
+  /// the exponential family: the derivative reuses the population's exp).
+  void populations_and_slopes(double price, std::span<const double> subsidies,
+                              std::span<double> m, std::span<double> dm) const;
+
+  // --- Utilization model -------------------------------------------------
+
+  [[nodiscard]] double inverse_throughput(double phi) const;
+  [[nodiscard]] double inverse_throughput_dphi(double phi) const;
+  [[nodiscard]] double inverse_throughput_dmu(double phi) const;
+  [[nodiscard]] double max_utilization() const;
+
+ private:
+  enum class ThroughputFamily : unsigned char { exponential, power_law, delay, opaque };
+  enum class DemandFamily : unsigned char { exponential, opaque };
+  enum class UtilizationFamily : unsigned char { linear, delay, power, opaque };
+
+  void check_population_size(std::size_t size) const;
+  void check_phi(double phi) const;
+  void check_binding(const PopulationBinding& b) const;
+
+  std::size_t n_ = 0;
+  double mu_ = 1.0;
+
+  // Throughput SoA. Providers are permuted into *slots* ordered by
+  // (family, beta) with a stable sort, so each family occupies one contiguous
+  // range and equal-beta exponential providers are adjacent. Slot ranges:
+  // [0, exp_end_) exponential, [exp_end_, pow_end_) power-law,
+  // [pow_end_, delay_end_) delay, [delay_end_, n_) opaque.
+  std::vector<std::size_t> provider_of_slot_;
+  std::vector<std::size_t> slot_of_provider_;
+  std::vector<double> t_beta_;
+  std::vector<double> t_lambda0_;
+  std::size_t exp_end_ = 0;
+  std::size_t pow_end_ = 0;
+  std::size_t delay_end_ = 0;
+  std::vector<std::shared_ptr<const econ::ThroughputCurve>> opaque_curves_;  ///< Slot delay_end_+k.
+
+  // Exponential clusters: maximal runs of equal beta inside [0, exp_end_).
+  // Cluster c covers slots [cluster_begin_[c], cluster_begin_[c+1]) and has
+  // decay rate cluster_beta_[c]; one exp() serves the whole cluster.
+  std::vector<std::size_t> cluster_begin_;  ///< Size num_clusters + 1.
+  std::vector<double> cluster_beta_;
+
+  // Demand SoA, in provider order (no permutation needed: the demand side is
+  // evaluated per provider at distinct prices, so there is nothing to share).
+  std::vector<DemandFamily> d_family_;
+  std::vector<double> d_alpha_;
+  std::vector<double> d_scale_;
+  std::vector<std::shared_ptr<const econ::DemandCurve>> d_opaque_;  ///< Empty slots null.
+
+  // Utilization model.
+  UtilizationFamily util_family_ = UtilizationFamily::opaque;
+  double gamma_ = 1.0;  ///< Exponent of the power model.
+  std::shared_ptr<const econ::UtilizationModel> util_model_;
+};
+
+}  // namespace subsidy::core

@@ -39,7 +39,9 @@ class OneSidedPricingModel {
   /// (condition (7): eps^m_p / eps^lambda_phi < -eps^phi_p).
   [[nodiscard]] bool throughput_increases_with_price(double price, std::size_t provider) const;
 
-  /// Sweeps prices and returns the solved states (warm-started in order).
+  /// Sweeps prices and returns the solved states. The fixed points are
+  /// solved as one batch (UtilizationSolver::solve_many); each entry equals
+  /// the cold evaluate(p) bit-for-bit.
   [[nodiscard]] std::vector<SystemState> sweep(const std::vector<double>& prices) const;
 
   [[nodiscard]] const ModelEvaluator& evaluator() const noexcept { return evaluator_; }

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "subsidy/core/game.hpp"
@@ -55,16 +57,23 @@ struct PolicyEffects {
 };
 
 /// Policy analysis over a market: equilibrium states, welfare and the
-/// Theorem 8 / Corollary 2 decompositions as q varies.
+/// Theorem 8 / Corollary 2 decompositions as q varies. Holds one persistent
+/// IspPriceOptimizer for the monopoly regimes instead of rebuilding it per
+/// price query.
 class PolicyAnalyzer {
  public:
   PolicyAnalyzer(econ::Market market, PriceResponse price_response,
                  UtilizationSolveOptions options = {});
 
   /// Equilibrium at policy cap q (price from the configured response).
+  /// Stateless and cold-started, so concurrent evaluate() calls (the CLI's
+  /// --jobs policy sweep) stay independent and jobs-invariant.
   [[nodiscard]] PolicyPoint evaluate(double policy_cap) const;
 
-  /// Sweep over policy caps (warm-started in order).
+  /// Sweep over policy caps, warm-started in order: each cap's price search
+  /// starts from the previous cap's optimal subsidies and each Nash solve
+  /// from the previous equilibrium. Equal to per-cap evaluate() within
+  /// solver tolerance (the warm start only reseeds iterations).
   [[nodiscard]] std::vector<PolicyPoint> sweep(const std::vector<double>& policy_caps) const;
 
   /// Welfare W(q) at the equilibrium.
@@ -83,10 +92,13 @@ class PolicyAnalyzer {
 
  private:
   [[nodiscard]] double price_at(double policy_cap) const;
+  [[nodiscard]] double price_at(double policy_cap,
+                                std::span<const double> warm_subsidies) const;
 
   econ::Market market_;
   PriceResponse price_response_;
   UtilizationSolveOptions solve_options_;
+  std::shared_ptr<const IspPriceOptimizer> optimizer_;  ///< Set for monopoly modes.
 };
 
 }  // namespace subsidy::core

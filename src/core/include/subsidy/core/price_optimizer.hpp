@@ -2,13 +2,25 @@
 // R(p) = p * theta(s(p)) under a given policy cap q (Section 5). The
 // optimizer sweeps a coarse price grid with warm-started equilibrium
 // continuation and refines around the best cell with golden section.
+//
+// The grid phase runs as warm-start chains (the shared
+// runtime::partition_chains semantics): the partition depends only on
+// `grid_points` and `chain_length`, never on `jobs`, so results are
+// bit-identical for any worker count.
 #pragma once
 
+#include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "subsidy/core/nash.hpp"
 #include "subsidy/core/system_state.hpp"
 #include "subsidy/econ/market.hpp"
+
+namespace subsidy::runtime {
+class ThreadPool;
+}
 
 namespace subsidy::core {
 
@@ -27,24 +39,56 @@ struct PriceSearchOptions {
   int grid_points = 31;
   double refine_tolerance = 1e-6;
   BestResponseOptions nash;  ///< Inner equilibrium solver options.
+
+  /// Worker threads for the grid phase; <= 1 runs inline. Never affects
+  /// results (the chain partition is fixed by `chain_length`).
+  std::size_t jobs = 1;
+
+  /// Consecutive grid points per warm-start chain. 0 keeps the whole grid as
+  /// one continuation (the legacy serial semantics); smaller values expose
+  /// parallelism at the cost of one cold solve per chain. Changing it changes
+  /// which solves are warm-started (results shift within solver tolerance),
+  /// so it is part of the search semantics and independent of `jobs`.
+  std::size_t chain_length = 0;
 };
 
 /// Revenue-maximizing price under policy cap q.
 class IspPriceOptimizer {
  public:
   IspPriceOptimizer(econ::Market market, PriceSearchOptions options = {});
+  ~IspPriceOptimizer();
+
+  // Copies restart with a fresh (lazily created) worker pool.
+  IspPriceOptimizer(const IspPriceOptimizer& other);
+  IspPriceOptimizer& operator=(const IspPriceOptimizer& other);
 
   /// Maximizes equilibrium revenue over the configured price interval.
   [[nodiscard]] OptimalPrice optimize(double policy_cap) const;
 
+  /// Warm-started variant: `initial_subsidies` (typically a nearby cap's
+  /// equilibrium, may be empty) seeds the first Nash solve of every chain.
+  [[nodiscard]] OptimalPrice optimize(double policy_cap,
+                                      std::span<const double> initial_subsidies) const;
+
   /// The optimal-price function p(q) evaluated on a policy grid (used by the
-  /// Theorem 8 / Corollary 2 analyses, where dp/dq matters).
+  /// Theorem 8 / Corollary 2 analyses, where dp/dq matters). Each cap's
+  /// search is warm-started from the previous cap's optimum.
   [[nodiscard]] std::vector<OptimalPrice> price_response(
       const std::vector<double>& policy_caps) const;
 
+  [[nodiscard]] const PriceSearchOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const econ::Market& market() const noexcept { return market_; }
+
  private:
+  /// The shared grid-phase pool, created on first parallel use so sweeps
+  /// don't pay thread spawn/join once per optimize() call. submit() is
+  /// thread-safe, so concurrent optimize() calls can share it.
+  [[nodiscard]] runtime::ThreadPool& pool() const;
+
   econ::Market market_;
   PriceSearchOptions options_;
+  mutable std::mutex pool_mutex_;
+  mutable std::unique_ptr<runtime::ThreadPool> pool_;
 };
 
 }  // namespace subsidy::core

@@ -9,12 +9,17 @@
 //
 // Every quantity in the library (throughputs, revenue, utilities, welfare,
 // all comparative statics) is evaluated at this fixed point, so the solver is
-// the innermost and hottest loop.
+// the innermost and hottest loop. It runs on a MarketKernel: the market is
+// compiled once into family-tagged SoA coefficient buckets, and every gap
+// evaluation is a fused contiguous loop (no virtual dispatch, one
+// transcendental per exponential cluster) driven by a safeguarded
+// Newton-bisection iteration on the analytic gap derivative.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "subsidy/core/market_kernel.hpp"
 #include "subsidy/econ/market.hpp"
 
 namespace subsidy::core {
@@ -26,8 +31,16 @@ struct UtilizationSolveOptions {
   double initial_bracket = 0.5; ///< First upper-bracket guess width.
 };
 
+/// One fixed-point problem of a batched solve: populations in, phi out.
+struct UtilizationNode {
+  std::span<const double> populations;  ///< m, one entry per provider.
+  double hint = -1.0;                   ///< Warm-start center (< 0 = cold).
+  double phi = 0.0;                     ///< Output: the solved utilization.
+};
+
 /// Solves the Lemma 1 fixed point for a fixed market. Stateless apart from
-/// the market reference; safe to share across const calls.
+/// the market reference and the compiled kernel; safe to share across const
+/// calls from multiple threads.
 class UtilizationSolver {
  public:
   explicit UtilizationSolver(const econ::Market& market, UtilizationSolveOptions options = {});
@@ -44,13 +57,24 @@ class UtilizationSolver {
   /// fails to converge.
   [[nodiscard]] double solve(std::span<const double> populations, double hint = -1.0) const;
 
+  /// Batched solve: each node's fixed point is computed independently, but
+  /// the search advances all nodes one bracketing/Newton candidate per pass,
+  /// keeping the coefficient buckets hot across the whole batch. Node k's
+  /// result is bit-identical to solve(nodes[k].populations, nodes[k].hint).
+  void solve_many(std::span<UtilizationNode> nodes) const;
+
   /// Aggregate demand sum_k m_k lambda_k(phi).
   [[nodiscard]] double aggregate_demand(double phi, std::span<const double> populations) const;
 
   [[nodiscard]] const econ::Market& market() const noexcept { return *market_; }
+  [[nodiscard]] const MarketKernel& kernel() const noexcept { return kernel_; }
+  [[nodiscard]] const UtilizationSolveOptions& options() const noexcept { return options_; }
 
  private:
+  friend class ModelEvaluator;  ///< Repoints market_ on evaluator moves.
+
   const econ::Market* market_;  ///< Non-owning; the market must outlive the solver.
+  MarketKernel kernel_;
   UtilizationSolveOptions options_;
 };
 

@@ -1,6 +1,7 @@
 #include "subsidy/core/evaluator.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "subsidy/numerics/tolerances.hpp"
 
@@ -30,37 +31,64 @@ std::vector<double> SystemState::throughputs() const {
 ModelEvaluator::ModelEvaluator(econ::Market market, UtilizationSolveOptions options)
     : market_(std::move(market)), solver_(market_, options) {}
 
+// Copies and moves rebind the solver (and its compiled kernel) to this
+// object's own market copy; the default member-wise copy would leave the
+// solver referencing the source evaluator's market.
+ModelEvaluator::ModelEvaluator(const ModelEvaluator& other)
+    : market_(other.market_), solver_(market_, other.solver_.options()) {}
+
+ModelEvaluator& ModelEvaluator::operator=(const ModelEvaluator& other) {
+  if (this != &other) {
+    market_ = other.market_;
+    solver_ = UtilizationSolver(market_, other.solver_.options());
+  }
+  return *this;
+}
+
+// Moves steal the compiled kernel (it owns its coefficients independently of
+// any Market) and only repoint the solver at the moved-to market copy.
+ModelEvaluator::ModelEvaluator(ModelEvaluator&& other)
+    : market_(std::move(other.market_)), solver_(std::move(other.solver_)) {
+  solver_.market_ = &market_;
+}
+
+ModelEvaluator& ModelEvaluator::operator=(ModelEvaluator&& other) {
+  if (this != &other) {
+    market_ = std::move(other.market_);
+    solver_ = std::move(other.solver_);
+    solver_.market_ = &market_;
+  }
+  return *this;
+}
+
 std::vector<double> ModelEvaluator::populations(double price,
                                                 std::span<const double> subsidies) const {
-  const auto& providers = market_.providers();
-  if (subsidies.size() != providers.size()) {
+  if (subsidies.size() != market_.num_providers()) {
     throw std::invalid_argument("ModelEvaluator: subsidy vector size mismatch");
   }
-  std::vector<double> m(providers.size());
-  for (std::size_t i = 0; i < providers.size(); ++i) {
-    m[i] = providers[i].demand->population(price - subsidies[i]);
-  }
+  std::vector<double> m(market_.num_providers());
+  kernel().populations(price, subsidies, m);
   return m;
 }
 
-SystemState ModelEvaluator::evaluate(double price, std::span<const double> subsidies,
-                                     double phi_hint) const {
-  num::require_finite(price, "price");
+SystemState ModelEvaluator::assemble(double price, std::span<const double> subsidies,
+                                     std::span<const double> m, double phi) const {
+  const std::size_t n = market_.num_providers();
   const auto& providers = market_.providers();
-  const std::vector<double> m = populations(price, subsidies);
-  const double phi = solver_.solve(m, phi_hint);
 
   SystemState state;
   state.price = price;
   state.capacity = market_.capacity();
   state.utilization = phi;
-  state.providers.resize(providers.size());
-  for (std::size_t i = 0; i < providers.size(); ++i) {
+  state.providers.resize(n);
+  std::vector<double> lambda(n);
+  kernel().rates(phi, lambda);
+  for (std::size_t i = 0; i < n; ++i) {
     CpState& cp = state.providers[i];
     cp.subsidy = subsidies[i];
     cp.effective_price = price - subsidies[i];
     cp.population = m[i];
-    cp.per_user_rate = providers[i].throughput->rate(phi);
+    cp.per_user_rate = lambda[i];
     cp.throughput = cp.population * cp.per_user_rate;
     cp.profitability = providers[i].profitability;
     cp.utility = (cp.profitability - cp.subsidy) * cp.throughput;
@@ -71,9 +99,41 @@ SystemState ModelEvaluator::evaluate(double price, std::span<const double> subsi
   return state;
 }
 
+SystemState ModelEvaluator::evaluate(double price, std::span<const double> subsidies,
+                                     double phi_hint) const {
+  num::require_finite(price, "price");
+  const std::vector<double> m = populations(price, subsidies);
+  const double phi = solver_.solve(m, phi_hint);
+  return assemble(price, subsidies, m, phi);
+}
+
 SystemState ModelEvaluator::evaluate_unsubsidized(double price, double phi_hint) const {
   const std::vector<double> zeros(market_.num_providers(), 0.0);
   return evaluate(price, zeros, phi_hint);
+}
+
+std::vector<SystemState> ModelEvaluator::evaluate_unsubsidized_many(
+    std::span<const double> prices) const {
+  const std::size_t n = market_.num_providers();
+  const std::vector<double> zeros(n, 0.0);
+
+  // Populations for every grid node, then one batched fixed-point solve.
+  std::vector<double> m(prices.size() * n);
+  std::vector<UtilizationNode> nodes(prices.size());
+  for (std::size_t k = 0; k < prices.size(); ++k) {
+    num::require_finite(prices[k], "price");
+    const std::span<double> row(m.data() + k * n, n);
+    kernel().populations(prices[k], zeros, row);
+    nodes[k].populations = row;
+  }
+  solver_.solve_many(nodes);
+
+  std::vector<SystemState> states;
+  states.reserve(prices.size());
+  for (std::size_t k = 0; k < prices.size(); ++k) {
+    states.push_back(assemble(prices[k], zeros, nodes[k].populations, nodes[k].phi));
+  }
+  return states;
 }
 
 double ModelEvaluator::gap_derivative(double phi, std::span<const double> populations) const {
@@ -82,8 +142,7 @@ double ModelEvaluator::gap_derivative(double phi, std::span<const double> popula
 
 double ModelEvaluator::dphi_dmu(double phi, std::span<const double> populations) const {
   const double dg = gap_derivative(phi, populations);
-  const double dtheta_dmu =
-      market_.utilization_model().inverse_throughput_dmu(phi, market_.capacity());
+  const double dtheta_dmu = kernel().inverse_throughput_dmu(phi);
   return -dtheta_dmu / dg;
 }
 
@@ -93,7 +152,7 @@ double ModelEvaluator::dphi_dm(double phi, std::span<const double> populations,
     throw std::out_of_range("ModelEvaluator::dphi_dm: provider index out of range");
   }
   const double dg = gap_derivative(phi, populations);
-  return market_.provider(i).throughput->rate(phi) / dg;
+  return kernel().rate(i, phi) / dg;
 }
 
 }  // namespace subsidy::core

@@ -32,10 +32,35 @@ SystemState SubsidizationGame::state(std::span<const double> subsidies, double p
   return evaluator_.evaluate(price_, subsidies, phi_hint);
 }
 
-double SubsidizationGame::utility(std::size_t i, std::span<const double> subsidies) const {
+double SubsidizationGame::utility(std::size_t i, std::span<const double> subsidies,
+                                  double phi_hint) const {
   if (i >= num_players()) throw std::out_of_range("SubsidizationGame::utility: bad player");
-  const SystemState s = state(subsidies);
-  return s.providers[i].utility;
+  // Only player i's terms are needed: solve the shared fixed point, then read
+  // theta_i = m_i lambda_i directly off the kernel.
+  const std::vector<double> m = evaluator_.populations(price_, subsidies);
+  const double phi = evaluator_.solver().solve(m, phi_hint);
+  const double theta_i = m[i] * evaluator_.kernel().rate(i, phi);
+  const double profitability = evaluator_.market().provider(i).profitability;
+  return (profitability - subsidies[i]) * theta_i;
+}
+
+SubsidizationGame::MarginalEval SubsidizationGame::marginal_utility_eval(
+    std::size_t i, std::span<const double> subsidies, double phi_hint) const {
+  const MarketKernel& kernel = evaluator_.kernel();
+  const std::vector<double> m = evaluator_.populations(price_, subsidies);
+  const double phi = evaluator_.solver().solve(m, phi_hint);
+
+  const double t_i = price_ - subsidies[i];
+  double lambda_i = 0.0;
+  double dlambda_i = 0.0;
+  kernel.rate_and_slope(i, phi, lambda_i, dlambda_i);
+  const double theta_i = m[i] * lambda_i;
+  const double dm_dsi = -kernel.population_slope(i, t_i);  // dm_i/ds_i = -m'(t_i) >= 0.
+  const double dg = kernel.gap_derivative(phi, m);
+  const double dphi_dsi = (lambda_i / dg) * dm_dsi;
+  const double dtheta_dsi = dm_dsi * lambda_i + m[i] * dlambda_i * dphi_dsi;
+  const double profitability = evaluator_.market().provider(i).profitability;
+  return {-theta_i + (profitability - subsidies[i]) * dtheta_dsi, phi};
 }
 
 double SubsidizationGame::marginal_utility(std::size_t i, std::span<const double> subsidies,
@@ -43,53 +68,58 @@ double SubsidizationGame::marginal_utility(std::size_t i, std::span<const double
   if (i >= num_players()) {
     throw std::out_of_range("SubsidizationGame::marginal_utility: bad player");
   }
-  const auto& market = evaluator_.market();
-  const std::vector<double> m = evaluator_.populations(price_, subsidies);
-  const double phi = evaluator_.solver().solve(m, phi_hint);
-
-  const auto& cp = market.provider(i);
-  const double t_i = price_ - subsidies[i];
-  const double lambda_i = cp.throughput->rate(phi);
-  const double dlambda_i = cp.throughput->derivative(phi);
-  const double theta_i = m[i] * lambda_i;
-  const double dm_dsi = -cp.demand->derivative(t_i);  // dm_i/ds_i = -m'(t_i) >= 0.
-  const double dphi_dsi = evaluator_.dphi_dm(phi, m, i) * dm_dsi;
-  const double dtheta_dsi = dm_dsi * lambda_i + m[i] * dlambda_i * dphi_dsi;
-  return -theta_i + (cp.profitability - subsidies[i]) * dtheta_dsi;
+  return marginal_utility_eval(i, subsidies, phi_hint).u;
 }
 
 std::vector<double> SubsidizationGame::marginal_utilities(std::span<const double> subsidies,
                                                           double phi_hint) const {
   const auto& market = evaluator_.market();
+  const MarketKernel& kernel = evaluator_.kernel();
   const std::size_t n = num_players();
-  const std::vector<double> m = evaluator_.populations(price_, subsidies);
+
+  // One scratch block for the four per-provider arrays; stack-allocated for
+  // the common small-market case.
+  double stack_scratch[64];
+  std::vector<double> heap_scratch;
+  double* scratch = stack_scratch;
+  if (4 * n > 64) {
+    heap_scratch.resize(4 * n);
+    scratch = heap_scratch.data();
+  }
+  const std::span<double> m(scratch, n);
+  const std::span<double> dm(scratch + n, n);
+  const std::span<double> lambda(scratch + 2 * n, n);
+  const std::span<double> dlambda(scratch + 3 * n, n);
+
+  kernel.populations_and_slopes(price_, subsidies, m, dm);
   const double phi = evaluator_.solver().solve(m, phi_hint);
-  const double dg = evaluator_.gap_derivative(phi, m);
+  kernel.rates_and_slopes(phi, lambda, dlambda);
+
+  // dg/dphi from the arrays already in hand (no second kernel pass).
+  double demand_slope = 0.0;
+  for (std::size_t i = 0; i < n; ++i) demand_slope += m[i] * dlambda[i];
+  const double dg = kernel.inverse_throughput_dphi(phi) - demand_slope;
 
   std::vector<double> u(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& cp = market.provider(i);
-    const double t_i = price_ - subsidies[i];
-    const double lambda_i = cp.throughput->rate(phi);
-    const double dlambda_i = cp.throughput->derivative(phi);
-    const double theta_i = m[i] * lambda_i;
-    const double dm_dsi = -cp.demand->derivative(t_i);
-    const double dphi_dsi = (lambda_i / dg) * dm_dsi;
-    const double dtheta_dsi = dm_dsi * lambda_i + m[i] * dlambda_i * dphi_dsi;
-    u[i] = -theta_i + (cp.profitability - subsidies[i]) * dtheta_dsi;
+    const double theta_i = m[i] * lambda[i];
+    const double dm_dsi = -dm[i];
+    const double dphi_dsi = (lambda[i] / dg) * dm_dsi;
+    const double dtheta_dsi = dm_dsi * lambda[i] + m[i] * dlambda[i] * dphi_dsi;
+    u[i] = -theta_i + (market.provider(i).profitability - subsidies[i]) * dtheta_dsi;
   }
   return u;
 }
 
 double SubsidizationGame::dtheta_i_dsi(std::size_t i, std::span<const double> subsidies) const {
   if (i >= num_players()) throw std::out_of_range("SubsidizationGame::dtheta_i_dsi: bad player");
-  const auto& market = evaluator_.market();
+  const MarketKernel& kernel = evaluator_.kernel();
   const std::vector<double> m = evaluator_.populations(price_, subsidies);
   const double phi = evaluator_.solver().solve(m);
-  const auto& cp = market.provider(i);
-  const double lambda_i = cp.throughput->rate(phi);
-  const double dlambda_i = cp.throughput->derivative(phi);
-  const double dm_dsi = -cp.demand->derivative(price_ - subsidies[i]);
+  double lambda_i = 0.0;
+  double dlambda_i = 0.0;
+  kernel.rate_and_slope(i, phi, lambda_i, dlambda_i);
+  const double dm_dsi = -kernel.population_slope(i, price_ - subsidies[i]);
   const double dphi_dsi = evaluator_.dphi_dm(phi, m, i) * dm_dsi;
   return dm_dsi * lambda_i + m[i] * dlambda_i * dphi_dsi;
 }
@@ -109,9 +139,14 @@ double SubsidizationGame::best_response(std::size_t i,
 
   std::vector<double> trial(subsidies.begin(), subsidies.end());
 
+  // The line search moves s_i smoothly, so each inner fixed point is close to
+  // the previous one: chain the solved phi through as a warm-start hint.
+  double phi_hint = -1.0;
   auto u_i = [&](double s_i) {
     trial[i] = s_i;
-    return marginal_utility(i, trial);
+    const MarginalEval eval = marginal_utility_eval(i, trial, phi_hint);
+    phi_hint = eval.phi;
+    return eval.u;
   };
 
   // U_i is concave in s_i on the paper's markets, so u_i is decreasing: the
@@ -130,8 +165,7 @@ double SubsidizationGame::best_response(std::size_t i,
     // only if it beats the endpoints.
     auto utility_at = [&](double s_i) {
       trial[i] = s_i;
-      const SystemState st = state(trial);
-      return st.providers[i].utility;
+      return utility(i, trial, phi_hint);
     };
     const double u_root = utility_at(root.root);
     const double u_zero = utility_at(0.0);
@@ -143,8 +177,7 @@ double SubsidizationGame::best_response(std::size_t i,
   // Fallback: direct maximization of the utility.
   auto objective = [&](double s_i) {
     trial[i] = s_i;
-    const SystemState st = state(trial);
-    return st.providers[i].utility;
+    return utility(i, trial, phi_hint);
   };
   num::MaximizeOptions opt;
   opt.x_tol = 1e-11;
@@ -155,6 +188,7 @@ double SubsidizationGame::best_response(std::size_t i,
 double SubsidizationGame::threshold_tau(std::size_t i, std::span<const double> subsidies) const {
   if (i >= num_players()) throw std::out_of_range("SubsidizationGame::threshold_tau: bad player");
   const auto& market = evaluator_.market();
+  const MarketKernel& kernel = evaluator_.kernel();
   const std::vector<double> m = evaluator_.populations(price_, subsidies);
   const double phi = evaluator_.solver().solve(m);
   const auto& cp = market.provider(i);
@@ -164,7 +198,7 @@ double SubsidizationGame::threshold_tau(std::size_t i, std::span<const double> s
   if (m_i <= 0.0) return 0.0;
 
   // eps^m_s = (dm_i/ds_i) * s_i / m_i; dm_i/ds_i = -m'(t_i).
-  const double eps_m_s = (-cp.demand->derivative(t_i)) * s_i / m_i;
+  const double eps_m_s = (-kernel.population_slope(i, t_i)) * s_i / m_i;
   // eps^lambda_phi at the solved utilization.
   const double eps_lambda_phi = cp.throughput->elasticity(phi);
   // eps^phi_m = (dphi/dm_i) * m_i / phi.

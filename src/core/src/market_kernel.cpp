@@ -1,0 +1,489 @@
+#include "subsidy/core/market_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace subsidy::core {
+
+namespace {
+
+/// Stable family rank used to order slots: exponential, power-law, delay,
+/// then opaque curves.
+int family_rank(const econ::ThroughputCurve& curve) {
+  if (dynamic_cast<const econ::ExponentialThroughput*>(&curve) != nullptr) return 0;
+  if (dynamic_cast<const econ::PowerLawThroughput*>(&curve) != nullptr) return 1;
+  if (dynamic_cast<const econ::DelayThroughput*>(&curve) != nullptr) return 2;
+  return 3;
+}
+
+}  // namespace
+
+MarketKernel::MarketKernel(const econ::Market& market)
+    : n_(market.num_providers()), mu_(market.capacity()) {
+  const auto& providers = market.providers();
+
+  // --- Throughput side: permute providers into family-contiguous slots, ---
+  // --- exponential slots sorted by beta so equal betas share one exp().  ---
+  struct SlotKey {
+    int rank = 0;
+    double beta = 0.0;
+    std::size_t provider = 0;
+  };
+  std::vector<SlotKey> keys(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const econ::ThroughputCurve& curve = *providers[i].throughput;
+    keys[i].rank = family_rank(curve);
+    keys[i].provider = i;
+    if (const auto* e = dynamic_cast<const econ::ExponentialThroughput*>(&curve)) {
+      keys[i].beta = e->beta();
+    } else if (const auto* p = dynamic_cast<const econ::PowerLawThroughput*>(&curve)) {
+      keys[i].beta = p->beta();
+    } else if (const auto* d = dynamic_cast<const econ::DelayThroughput*>(&curve)) {
+      keys[i].beta = d->beta();
+    }
+  }
+  std::stable_sort(keys.begin(), keys.end(), [](const SlotKey& a, const SlotKey& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    // Group equal betas inside the exponential bucket only; the other
+    // families gain nothing from reordering, so keep provider order.
+    if (a.rank == 0 && a.beta != b.beta) return a.beta < b.beta;
+    return false;  // stable_sort preserves provider order within the group
+  });
+
+  provider_of_slot_.resize(n_);
+  slot_of_provider_.resize(n_);
+  t_beta_.resize(n_);
+  t_lambda0_.resize(n_);
+  for (std::size_t slot = 0; slot < n_; ++slot) {
+    const std::size_t i = keys[slot].provider;
+    provider_of_slot_[slot] = i;
+    slot_of_provider_[i] = slot;
+    const econ::ThroughputCurve& curve = *providers[i].throughput;
+    switch (keys[slot].rank) {
+      case 0: {
+        const auto& e = static_cast<const econ::ExponentialThroughput&>(curve);
+        t_beta_[slot] = e.beta();
+        t_lambda0_[slot] = e.lambda0();
+        exp_end_ = slot + 1;
+        break;
+      }
+      case 1: {
+        const auto& p = static_cast<const econ::PowerLawThroughput&>(curve);
+        t_beta_[slot] = p.beta();
+        t_lambda0_[slot] = p.lambda0();
+        pow_end_ = slot + 1;
+        break;
+      }
+      case 2: {
+        const auto& d = static_cast<const econ::DelayThroughput&>(curve);
+        t_beta_[slot] = d.beta();
+        t_lambda0_[slot] = d.lambda0();
+        delay_end_ = slot + 1;
+        break;
+      }
+      default:
+        opaque_curves_.push_back(providers[i].throughput);
+        break;
+    }
+  }
+  pow_end_ = std::max(pow_end_, exp_end_);
+  delay_end_ = std::max(delay_end_, pow_end_);
+
+  // Exponential clusters: maximal runs of equal beta.
+  for (std::size_t slot = 0; slot < exp_end_; ++slot) {
+    if (slot == 0 || t_beta_[slot] != t_beta_[slot - 1]) {
+      cluster_begin_.push_back(slot);
+      cluster_beta_.push_back(t_beta_[slot]);
+    }
+  }
+  cluster_begin_.push_back(exp_end_);
+
+  // --- Demand side (provider order). ---
+  d_family_.resize(n_, DemandFamily::opaque);
+  d_alpha_.resize(n_, 0.0);
+  d_scale_.resize(n_, 0.0);
+  d_opaque_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (const auto* e = dynamic_cast<const econ::ExponentialDemand*>(providers[i].demand.get())) {
+      d_family_[i] = DemandFamily::exponential;
+      d_alpha_[i] = e->alpha();
+      d_scale_[i] = e->scale();
+    } else {
+      d_opaque_[i] = providers[i].demand;
+    }
+  }
+
+  // --- Utilization model. ---
+  const econ::UtilizationModel& model = market.utilization_model();
+  if (dynamic_cast<const econ::LinearUtilization*>(&model) != nullptr) {
+    util_family_ = UtilizationFamily::linear;
+  } else if (dynamic_cast<const econ::DelayUtilization*>(&model) != nullptr) {
+    util_family_ = UtilizationFamily::delay;
+  } else if (const auto* p = dynamic_cast<const econ::PowerUtilization*>(&model)) {
+    util_family_ = UtilizationFamily::power;
+    gamma_ = p->gamma();
+  } else {
+    util_family_ = UtilizationFamily::opaque;
+  }
+  util_model_ = market.utilization_model_ptr();
+}
+
+void MarketKernel::check_population_size(std::size_t size) const {
+  if (size != n_) {
+    throw std::invalid_argument("MarketKernel: population vector size mismatch");
+  }
+}
+
+void MarketKernel::check_phi(double phi) const {
+  if (!(phi >= 0.0)) {
+    throw std::invalid_argument("MarketKernel: phi must be >= 0");
+  }
+}
+
+void MarketKernel::check_binding(const PopulationBinding& b) const {
+  if (b.data_ == nullptr || b.num_slots_ != n_) {
+    throw std::invalid_argument(
+        "MarketKernel: binding was not produced by bind() on this kernel");
+  }
+}
+
+// --- Binding -------------------------------------------------------------
+
+void MarketKernel::bind(std::span<const double> populations,
+                        PopulationBinding& binding) const {
+  check_population_size(populations.size());
+  const std::size_t num_clusters = cluster_beta_.size();
+  // Layout: [0, C) exponential cluster weights; [C, C + n - exp_end_)
+  // per-slot weights (m * lambda0) for power-law/delay slots and raw
+  // populations for opaque slots.
+  double* data = binding.ensure(num_clusters + (n_ - exp_end_));
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    double w = 0.0;
+    for (std::size_t slot = cluster_begin_[c]; slot < cluster_begin_[c + 1]; ++slot) {
+      w += populations[provider_of_slot_[slot]] * t_lambda0_[slot];
+    }
+    data[c] = w;
+  }
+  double* tail = data + num_clusters;
+  for (std::size_t slot = exp_end_; slot < delay_end_; ++slot) {
+    tail[slot - exp_end_] = populations[provider_of_slot_[slot]] * t_lambda0_[slot];
+  }
+  for (std::size_t slot = delay_end_; slot < n_; ++slot) {
+    tail[slot - exp_end_] = populations[provider_of_slot_[slot]];
+  }
+  binding.num_slots_ = n_;
+}
+
+double MarketKernel::aggregate_demand_bound(double phi,
+                                            const PopulationBinding& b) const {
+  check_binding(b);
+  const double* w = b.data_;
+  double total = 0.0;
+  const std::size_t num_clusters = cluster_beta_.size();
+  if (phi == 0.0) {
+    // exp(-beta * 0) == 1, pow(1, -beta) == 1 and 1/(1 + beta * 0) == 1
+    // exactly (IEEE), so the cold-start probes at zero skip the
+    // transcendentals while staying bit-identical.
+    for (std::size_t c = 0; c < num_clusters; ++c) total += w[c];
+    const double* tail = w + num_clusters;
+    for (std::size_t slot = exp_end_; slot < delay_end_; ++slot) {
+      total += tail[slot - exp_end_];
+    }
+    for (std::size_t slot = delay_end_; slot < n_; ++slot) {
+      total += tail[slot - exp_end_] * opaque_curves_[slot - delay_end_]->rate(phi);
+    }
+    return total;
+  }
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    total += w[c] * std::exp(-cluster_beta_[c] * phi);
+  }
+  const double* tail = w + num_clusters;
+  for (std::size_t slot = exp_end_; slot < pow_end_; ++slot) {
+    total += tail[slot - exp_end_] * std::pow(1.0 + phi, -t_beta_[slot]);
+  }
+  for (std::size_t slot = pow_end_; slot < delay_end_; ++slot) {
+    total += tail[slot - exp_end_] / (1.0 + t_beta_[slot] * phi);
+  }
+  for (std::size_t slot = delay_end_; slot < n_; ++slot) {
+    total += tail[slot - exp_end_] * opaque_curves_[slot - delay_end_]->rate(phi);
+  }
+  return total;
+}
+
+double MarketKernel::gap_bound(double phi, const PopulationBinding& b) const {
+  return inverse_throughput(phi) - aggregate_demand_bound(phi, b);
+}
+
+MarketKernel::GapValue MarketKernel::gap_with_derivative_bound(
+    double phi, const PopulationBinding& b) const {
+  check_binding(b);
+  const double* w = b.data_;
+  double demand = 0.0;
+  double slope = 0.0;
+  const std::size_t num_clusters = cluster_beta_.size();
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    const double term = w[c] * std::exp(-cluster_beta_[c] * phi);
+    demand += term;
+    slope += -cluster_beta_[c] * term;
+  }
+  const double* tail = w + num_clusters;
+  for (std::size_t slot = exp_end_; slot < pow_end_; ++slot) {
+    const double term = tail[slot - exp_end_] * std::pow(1.0 + phi, -t_beta_[slot]);
+    demand += term;
+    slope += -t_beta_[slot] * term / (1.0 + phi);
+  }
+  for (std::size_t slot = pow_end_; slot < delay_end_; ++slot) {
+    const double denom = 1.0 + t_beta_[slot] * phi;
+    const double term = tail[slot - exp_end_] / denom;
+    demand += term;
+    slope += -t_beta_[slot] * term / denom;
+  }
+  for (std::size_t slot = delay_end_; slot < n_; ++slot) {
+    const econ::ThroughputCurve& curve = *opaque_curves_[slot - delay_end_];
+    const double m = tail[slot - exp_end_];
+    demand += m * curve.rate(phi);
+    slope += m * curve.derivative(phi);
+  }
+  GapValue out;
+  out.g = inverse_throughput(phi) - demand;
+  out.dg = inverse_throughput_dphi(phi) - slope;
+  return out;
+}
+
+double MarketKernel::aggregate_demand(double phi,
+                                      std::span<const double> populations) const {
+  PopulationBinding binding;
+  bind(populations, binding);
+  return aggregate_demand_bound(phi, binding);
+}
+
+double MarketKernel::gap(double phi, std::span<const double> populations) const {
+  PopulationBinding binding;
+  bind(populations, binding);
+  return gap_bound(phi, binding);
+}
+
+double MarketKernel::gap_derivative(double phi, std::span<const double> populations) const {
+  PopulationBinding binding;
+  bind(populations, binding);
+  return gap_with_derivative_bound(phi, binding).dg;
+}
+
+void MarketKernel::gap_many(std::span<const double> phis,
+                            std::span<const double> populations,
+                            std::span<double> out) const {
+  if (out.size() != phis.size()) {
+    throw std::invalid_argument("MarketKernel::gap_many: output size mismatch");
+  }
+  PopulationBinding binding;
+  bind(populations, binding);
+  for (std::size_t k = 0; k < phis.size(); ++k) {
+    out[k] = gap_bound(phis[k], binding);
+  }
+}
+
+// --- Throughput curves ---------------------------------------------------
+
+double MarketKernel::rate(std::size_t i, double phi) const {
+  if (i >= n_) throw std::out_of_range("MarketKernel::rate: provider index out of range");
+  const std::size_t slot = slot_of_provider_[i];
+  if (slot < exp_end_) return t_lambda0_[slot] * std::exp(-t_beta_[slot] * phi);
+  if (slot < pow_end_) return t_lambda0_[slot] * std::pow(1.0 + phi, -t_beta_[slot]);
+  if (slot < delay_end_) return t_lambda0_[slot] / (1.0 + t_beta_[slot] * phi);
+  return opaque_curves_[slot - delay_end_]->rate(phi);
+}
+
+void MarketKernel::rate_and_slope(std::size_t i, double phi, double& lambda,
+                                  double& dlambda) const {
+  if (i >= n_) {
+    throw std::out_of_range("MarketKernel::rate_and_slope: provider index out of range");
+  }
+  const std::size_t slot = slot_of_provider_[i];
+  if (slot < exp_end_) {
+    lambda = t_lambda0_[slot] * std::exp(-t_beta_[slot] * phi);
+    dlambda = -t_beta_[slot] * lambda;
+  } else if (slot < pow_end_) {
+    lambda = t_lambda0_[slot] * std::pow(1.0 + phi, -t_beta_[slot]);
+    dlambda = -t_beta_[slot] * lambda / (1.0 + phi);
+  } else if (slot < delay_end_) {
+    const double denom = 1.0 + t_beta_[slot] * phi;
+    lambda = t_lambda0_[slot] / denom;
+    dlambda = -t_lambda0_[slot] * t_beta_[slot] / (denom * denom);
+  } else {
+    const econ::ThroughputCurve& curve = *opaque_curves_[slot - delay_end_];
+    lambda = curve.rate(phi);
+    dlambda = curve.derivative(phi);
+  }
+}
+
+void MarketKernel::rates(double phi, std::span<double> lambda) const {
+  check_population_size(lambda.size());
+  const std::size_t num_clusters = cluster_beta_.size();
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    const double e = std::exp(-cluster_beta_[c] * phi);
+    for (std::size_t slot = cluster_begin_[c]; slot < cluster_begin_[c + 1]; ++slot) {
+      lambda[provider_of_slot_[slot]] = t_lambda0_[slot] * e;
+    }
+  }
+  for (std::size_t slot = exp_end_; slot < pow_end_; ++slot) {
+    lambda[provider_of_slot_[slot]] = t_lambda0_[slot] * std::pow(1.0 + phi, -t_beta_[slot]);
+  }
+  for (std::size_t slot = pow_end_; slot < delay_end_; ++slot) {
+    lambda[provider_of_slot_[slot]] = t_lambda0_[slot] / (1.0 + t_beta_[slot] * phi);
+  }
+  for (std::size_t slot = delay_end_; slot < n_; ++slot) {
+    lambda[provider_of_slot_[slot]] = opaque_curves_[slot - delay_end_]->rate(phi);
+  }
+}
+
+void MarketKernel::rates_and_slopes(double phi, std::span<double> lambda,
+                                    std::span<double> dlambda) const {
+  check_population_size(lambda.size());
+  check_population_size(dlambda.size());
+  const std::size_t num_clusters = cluster_beta_.size();
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    const double e = std::exp(-cluster_beta_[c] * phi);
+    const double beta = cluster_beta_[c];
+    for (std::size_t slot = cluster_begin_[c]; slot < cluster_begin_[c + 1]; ++slot) {
+      const std::size_t i = provider_of_slot_[slot];
+      lambda[i] = t_lambda0_[slot] * e;
+      dlambda[i] = -beta * lambda[i];
+    }
+  }
+  for (std::size_t slot = exp_end_; slot < pow_end_; ++slot) {
+    const std::size_t i = provider_of_slot_[slot];
+    lambda[i] = t_lambda0_[slot] * std::pow(1.0 + phi, -t_beta_[slot]);
+    dlambda[i] = -t_beta_[slot] * lambda[i] / (1.0 + phi);
+  }
+  for (std::size_t slot = pow_end_; slot < delay_end_; ++slot) {
+    const std::size_t i = provider_of_slot_[slot];
+    const double denom = 1.0 + t_beta_[slot] * phi;
+    lambda[i] = t_lambda0_[slot] / denom;
+    dlambda[i] = -t_lambda0_[slot] * t_beta_[slot] / (denom * denom);
+  }
+  for (std::size_t slot = delay_end_; slot < n_; ++slot) {
+    const std::size_t i = provider_of_slot_[slot];
+    const econ::ThroughputCurve& curve = *opaque_curves_[slot - delay_end_];
+    lambda[i] = curve.rate(phi);
+    dlambda[i] = curve.derivative(phi);
+  }
+}
+
+// --- Demand curves -------------------------------------------------------
+
+double MarketKernel::population(std::size_t i, double t) const {
+  if (i >= n_) {
+    throw std::out_of_range("MarketKernel::population: provider index out of range");
+  }
+  if (d_family_[i] == DemandFamily::exponential) {
+    return d_scale_[i] * std::exp(-d_alpha_[i] * t);
+  }
+  return d_opaque_[i]->population(t);
+}
+
+double MarketKernel::population_slope(std::size_t i, double t) const {
+  if (i >= n_) {
+    throw std::out_of_range("MarketKernel::population_slope: provider index out of range");
+  }
+  if (d_family_[i] == DemandFamily::exponential) {
+    return -d_alpha_[i] * (d_scale_[i] * std::exp(-d_alpha_[i] * t));
+  }
+  return d_opaque_[i]->derivative(t);
+}
+
+void MarketKernel::populations(double price, std::span<const double> subsidies,
+                               std::span<double> m) const {
+  check_population_size(subsidies.size());
+  check_population_size(m.size());
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double t = price - subsidies[i];
+    m[i] = d_family_[i] == DemandFamily::exponential
+               ? d_scale_[i] * std::exp(-d_alpha_[i] * t)
+               : d_opaque_[i]->population(t);
+  }
+}
+
+void MarketKernel::populations_and_slopes(double price, std::span<const double> subsidies,
+                                          std::span<double> m, std::span<double> dm) const {
+  check_population_size(subsidies.size());
+  check_population_size(m.size());
+  check_population_size(dm.size());
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double t = price - subsidies[i];
+    if (d_family_[i] == DemandFamily::exponential) {
+      m[i] = d_scale_[i] * std::exp(-d_alpha_[i] * t);
+      dm[i] = -d_alpha_[i] * m[i];
+    } else {
+      m[i] = d_opaque_[i]->population(t);
+      dm[i] = d_opaque_[i]->derivative(t);
+    }
+  }
+}
+
+// --- Utilization model ---------------------------------------------------
+
+double MarketKernel::inverse_throughput(double phi) const {
+  switch (util_family_) {
+    case UtilizationFamily::linear:
+      check_phi(phi);
+      return phi * mu_;
+    case UtilizationFamily::delay:
+      check_phi(phi);
+      return mu_ * phi / (1.0 + phi);
+    case UtilizationFamily::power:
+      check_phi(phi);
+      return mu_ * std::pow(phi, 1.0 / gamma_);
+    case UtilizationFamily::opaque:
+      break;
+  }
+  return util_model_->inverse_throughput(phi, mu_);
+}
+
+double MarketKernel::inverse_throughput_dphi(double phi) const {
+  switch (util_family_) {
+    case UtilizationFamily::linear:
+      check_phi(phi);
+      return mu_;
+    case UtilizationFamily::delay: {
+      check_phi(phi);
+      const double denom = (1.0 + phi) * (1.0 + phi);
+      return mu_ / denom;
+    }
+    case UtilizationFamily::power: {
+      check_phi(phi);
+      if (phi == 0.0) {
+        // One-sided limit, matching PowerUtilization::inverse_throughput_dphi.
+        return gamma_ == 1.0
+                   ? mu_
+                   : (gamma_ > 1.0 ? std::numeric_limits<double>::infinity() : 0.0);
+      }
+      return mu_ * std::pow(phi, 1.0 / gamma_ - 1.0) / gamma_;
+    }
+    case UtilizationFamily::opaque:
+      break;
+  }
+  return util_model_->inverse_throughput_dphi(phi, mu_);
+}
+
+double MarketKernel::inverse_throughput_dmu(double phi) const {
+  switch (util_family_) {
+    case UtilizationFamily::linear:
+      check_phi(phi);
+      return phi;
+    case UtilizationFamily::delay:
+      check_phi(phi);
+      return phi / (1.0 + phi);
+    case UtilizationFamily::power:
+      check_phi(phi);
+      return std::pow(phi, 1.0 / gamma_);
+    case UtilizationFamily::opaque:
+      break;
+  }
+  return util_model_->inverse_throughput_dmu(phi, mu_);
+}
+
+double MarketKernel::max_utilization() const { return util_model_->max_utilization(); }
+
+}  // namespace subsidy::core

@@ -73,15 +73,10 @@ bool OneSidedPricingModel::throughput_increases_with_price(double price,
 }
 
 std::vector<SystemState> OneSidedPricingModel::sweep(const std::vector<double>& prices) const {
-  std::vector<SystemState> states;
-  states.reserve(prices.size());
-  double hint = -1.0;
-  for (double p : prices) {
-    SystemState s = evaluate(p, hint);
-    hint = s.utilization;
-    states.push_back(std::move(s));
-  }
-  return states;
+  // Batched: the whole grid's fixed points advance one candidate per pass
+  // through UtilizationSolver::solve_many, so every node is bit-identical to
+  // a cold evaluate(p).
+  return evaluator_.evaluate_unsubsidized_many(prices);
 }
 
 }  // namespace subsidy::core

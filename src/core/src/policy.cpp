@@ -35,12 +35,19 @@ PolicyAnalyzer::PolicyAnalyzer(econ::Market market, PriceResponse price_response
   if (!price_response_.fixed_price && !price_response_.search) {
     throw std::invalid_argument("PolicyAnalyzer: price response must be fixed or monopoly");
   }
+  if (price_response_.search) {
+    optimizer_ = std::make_shared<IspPriceOptimizer>(market_, *price_response_.search);
+  }
 }
 
 double PolicyAnalyzer::price_at(double policy_cap) const {
+  return price_at(policy_cap, std::span<const double>{});
+}
+
+double PolicyAnalyzer::price_at(double policy_cap,
+                                std::span<const double> warm_subsidies) const {
   if (price_response_.fixed_price) return *price_response_.fixed_price;
-  const IspPriceOptimizer optimizer(market_, *price_response_.search);
-  double p = optimizer.optimize(policy_cap).price;
+  double p = optimizer_->optimize(policy_cap, warm_subsidies).price;
   if (price_response_.price_cap) p = std::min(p, *price_response_.price_cap);
   return p;
 }
@@ -63,7 +70,9 @@ std::vector<PolicyPoint> PolicyAnalyzer::sweep(const std::vector<double>& policy
   for (double q : policy_caps) {
     PolicyPoint point;
     point.policy_cap = q;
-    point.price = price_at(q);
+    // The previous cap's equilibrium seeds both the monopoly price search
+    // and the Nash solve at the chosen price.
+    point.price = price_at(q, warm);
     const SubsidizationGame game(market_, point.price, q, solve_options_);
     const NashResult nash = solve_nash(game, warm);
     warm = nash.subsidies;

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 #include <stdexcept>
+#include <utility>
 
 #include "subsidy/numerics/optimize.hpp"
+#include "subsidy/runtime/chain_partition.hpp"
+#include "subsidy/runtime/thread_pool.hpp"
 
 namespace subsidy::core {
 
@@ -18,27 +22,87 @@ IspPriceOptimizer::IspPriceOptimizer(econ::Market market, PriceSearchOptions opt
   }
 }
 
-OptimalPrice IspPriceOptimizer::optimize(double policy_cap) const {
-  const BestResponseSolver solver(options_.nash);
+IspPriceOptimizer::~IspPriceOptimizer() = default;
 
-  // Coarse grid with equilibrium continuation: each price point's Nash solve
-  // starts from the previous equilibrium.
-  const int n = options_.grid_points;
+IspPriceOptimizer::IspPriceOptimizer(const IspPriceOptimizer& other)
+    : market_(other.market_), options_(other.options_) {}
+
+IspPriceOptimizer& IspPriceOptimizer::operator=(const IspPriceOptimizer& other) {
+  if (this != &other) {
+    market_ = other.market_;
+    options_ = other.options_;
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool_.reset();
+  }
+  return *this;
+}
+
+runtime::ThreadPool& IspPriceOptimizer::pool() const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (!pool_) pool_ = std::make_unique<runtime::ThreadPool>(options_.jobs);
+  return *pool_;
+}
+
+OptimalPrice IspPriceOptimizer::optimize(double policy_cap) const {
+  return optimize(policy_cap, std::span<const double>{});
+}
+
+OptimalPrice IspPriceOptimizer::optimize(double policy_cap,
+                                         std::span<const double> initial_subsidies) const {
+  // Coarse grid as warm-start chains: each chain's first Nash solve starts
+  // from `initial_subsidies` (empty = cold), and continuation proceeds within
+  // the chain. The partition never depends on `jobs`, so the grid results are
+  // bit-identical for any worker count.
+  const std::size_t n = static_cast<std::size_t>(options_.grid_points);
   const double step =
       (options_.price_max - options_.price_min) / static_cast<double>(n - 1);
-  std::vector<double> warm;
+  std::vector<NashResult> grid(n);
+  const std::vector<runtime::Chain> chains =
+      runtime::partition_chains(1, n, options_.chain_length);
+
+  const auto solve_chain = [&](const runtime::Chain& chain) {
+    std::vector<double> warm(initial_subsidies.begin(), initial_subsidies.end());
+    for (std::size_t k = chain.begin; k < chain.end; ++k) {
+      const double p = options_.price_min + step * static_cast<double>(k);
+      const SubsidizationGame game(market_, p, policy_cap);
+      NashResult nash = solve_nash(game, warm, options_.nash);
+      warm = nash.subsidies;
+      grid[k] = std::move(nash);
+    }
+  };
+
+  if (options_.jobs <= 1 || chains.size() <= 1) {
+    for (const runtime::Chain& chain : chains) solve_chain(chain);
+  } else {
+    runtime::ThreadPool& workers = pool();
+    std::vector<std::future<void>> pending;
+    pending.reserve(chains.size());
+    for (const runtime::Chain& chain : chains) {
+      pending.push_back(workers.submit([&solve_chain, chain]() { solve_chain(chain); }));
+    }
+    // Drain every future before rethrowing: the pool outlives this call, so
+    // unwinding while chains still run would leave them referencing destroyed
+    // stack locals.
+    std::exception_ptr first_failure;
+    for (std::future<void>& f : pending) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_failure) first_failure = std::current_exception();
+      }
+    }
+    if (first_failure) std::rethrow_exception(first_failure);
+  }
+
+  // Best cell, scanned in ascending price order (deterministic tie-break).
   double best_price = options_.price_min;
   double best_revenue = -1.0;
   std::vector<double> best_subsidies;
-  for (int i = 0; i < n; ++i) {
-    const double p = options_.price_min + step * i;
-    const SubsidizationGame game(market_, p, policy_cap);
-    NashResult nash = solve_nash(game, warm, options_.nash);
-    warm = nash.subsidies;
-    if (nash.state.revenue > best_revenue) {
-      best_revenue = nash.state.revenue;
-      best_price = p;
-      best_subsidies = nash.subsidies;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (grid[k].state.revenue > best_revenue) {
+      best_revenue = grid[k].state.revenue;
+      best_price = options_.price_min + step * static_cast<double>(k);
+      best_subsidies = grid[k].subsidies;
     }
   }
 
@@ -69,7 +133,11 @@ std::vector<OptimalPrice> IspPriceOptimizer::price_response(
     const std::vector<double>& policy_caps) const {
   std::vector<OptimalPrice> out;
   out.reserve(policy_caps.size());
-  for (double q : policy_caps) out.push_back(optimize(q));
+  std::vector<double> warm;
+  for (double q : policy_caps) {
+    out.push_back(optimize(q, warm));
+    warm = out.back().subsidies;
+  }
   return out;
 }
 

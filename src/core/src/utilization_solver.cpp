@@ -3,13 +3,183 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "subsidy/numerics/roots.hpp"
 
 namespace subsidy::core {
 
+namespace {
+
+/// Per-node search state shared by solve() and solve_many(): both advance the
+/// same candidate sequence, so a batched node is bit-identical to a single
+/// solve of the same (populations, hint).
+struct NodeWork {
+  enum class Stage : unsigned char { expanding, bracketed, done, failed };
+
+  PopulationBinding binding;
+  double lo = 0.0;
+  double hi = 0.0;
+  double g_lo = 0.0;
+  double g_hi = 0.0;
+  double width = 0.0;
+  double phi = 0.0;  ///< Result when stage == done.
+  int expansions = 0;
+  Stage stage = Stage::expanding;
+  bool from_hint = false;  ///< Bracket came from the warm-start window.
+};
+
+constexpr int kMaxExpansions = 200;
+constexpr double kBracketGrowth = 2.0;
+
+/// Binds the populations, handles the zero-demand degenerate case and the
+/// warm-start window, and leaves the node either done, bracketed, or ready
+/// for upward expansion from zero.
+void init_node(const MarketKernel& kernel, const UtilizationSolveOptions& options,
+               std::span<const double> populations, double hint, NodeWork& work) {
+  kernel.bind(populations, work.binding);
+
+  // Degenerate case: no demand at all => phi = 0 exactly (g(0) = 0).
+  const double demand0 = kernel.aggregate_demand_bound(0.0, work.binding);
+  if (demand0 <= 0.0) {
+    work.phi = 0.0;
+    work.stage = NodeWork::Stage::done;
+    return;
+  }
+
+  // Warm start: try a small bracket around the hint first. The sweeps move
+  // the equilibrium smoothly, so this usually succeeds immediately.
+  if (hint >= 0.0) {
+    const double width = std::max(0.05, 0.25 * hint);
+    const double lo = std::max(0.0, hint - width);
+    const double hi = hint + width;
+    const double g_lo = kernel.gap_bound(lo, work.binding);
+    const double g_hi = kernel.gap_bound(hi, work.binding);
+    if (g_lo == 0.0) {
+      work.phi = lo;
+      work.stage = NodeWork::Stage::done;
+      return;
+    }
+    if (g_hi == 0.0) {
+      work.phi = hi;
+      work.stage = NodeWork::Stage::done;
+      return;
+    }
+    if (std::signbit(g_lo) != std::signbit(g_hi)) {
+      work.lo = lo;
+      work.hi = hi;
+      work.g_lo = g_lo;
+      work.g_hi = g_hi;
+      work.stage = NodeWork::Stage::bracketed;
+      work.from_hint = true;
+      return;
+    }
+  }
+
+  // Cold start: expand an upper bracket geometrically from zero, reusing the
+  // zero-demand probe (g(0) = Theta(0, mu) - demand0 by definition).
+  work.lo = 0.0;
+  work.g_lo = kernel.inverse_throughput(0.0) - demand0;
+  if (work.g_lo == 0.0) {
+    work.phi = 0.0;
+    work.stage = NodeWork::Stage::done;
+    return;
+  }
+  work.width = options.initial_bracket;
+  work.expansions = 0;
+  work.stage = NodeWork::Stage::expanding;
+}
+
+/// One bracketing candidate: probes hi = lo + width. Returns true while the
+/// node still needs more expansion passes.
+bool expand_step(const MarketKernel& kernel, NodeWork& work) {
+  work.hi = work.lo + work.width;
+  work.g_hi = kernel.gap_bound(work.hi, work.binding);
+  if (!std::isfinite(work.g_hi)) {
+    work.stage = NodeWork::Stage::failed;
+    return false;
+  }
+  if (work.g_hi == 0.0) {
+    work.phi = work.hi;
+    work.stage = NodeWork::Stage::done;
+    return false;
+  }
+  if (std::signbit(work.g_hi) != std::signbit(work.g_lo)) {
+    work.stage = NodeWork::Stage::bracketed;
+    return false;
+  }
+  work.width *= kBracketGrowth;
+  if (++work.expansions >= kMaxExpansions) {
+    work.stage = NodeWork::Stage::failed;
+    return false;
+  }
+  return true;
+}
+
+/// Safeguarded Newton-bisection on a sign-changing bracket: one fused
+/// gap + derivative evaluation per iteration, bisection whenever the Newton
+/// candidate leaves the bracket (or the derivative is unusable, e.g. the
+/// infinite dTheta/dphi of the power model at phi = 0).
+double newton_polish(const MarketKernel& kernel, const UtilizationSolveOptions& options,
+                     NodeWork& work) {
+  double lo = work.lo;
+  double hi = work.hi;
+  const bool lo_sign = std::signbit(work.g_lo);
+  // Warm-start brackets are centered on the hint, so their midpoint is the
+  // caller's best guess; cold brackets start from the secant point instead
+  // (the gap is near-linear over one expansion step).
+  double x = 0.5 * (lo + hi);
+  if (!work.from_hint) {
+    const double secant = lo - work.g_lo * (hi - lo) / (work.g_hi - work.g_lo);
+    if (secant > lo && secant < hi) x = secant;
+  }
+  for (int it = 0; it < options.max_iterations; ++it) {
+    const MarketKernel::GapValue v = kernel.gap_with_derivative_bound(x, work.binding);
+    if (v.g == 0.0) return x;
+    const bool newton_usable = std::isfinite(v.dg) && v.dg > 0.0;
+    const double newton = newton_usable ? x - v.g / v.dg : 0.0;
+    // Newton termination before the bracket update: once the step is inside
+    // tolerance the monotone gap bounds the remaining error by the step
+    // length. Checking here also catches roots sitting exactly on a bracket
+    // boundary, where the containment test below would reject the step and
+    // degrade to linear-rate bisection.
+    if (newton_usable && std::fabs(newton - x) <= options.tolerance) return newton;
+    if (std::signbit(v.g) == lo_sign) {
+      lo = x;
+    } else {
+      hi = x;
+    }
+    double next = 0.5 * (lo + hi);
+    if (newton_usable && newton > lo && newton < hi) next = newton;
+    const double dx = std::fabs(next - x);
+    x = next;
+    if (dx <= options.tolerance || (hi - lo) <= options.tolerance) return x;
+  }
+
+  // Robustness net: Brent on the (much narrowed) maintained bracket.
+  num::RootOptions root_options;
+  root_options.x_tol = options.tolerance;
+  root_options.max_iterations = options.max_iterations;
+  auto g = [&](double phi) { return kernel.gap_bound(phi, work.binding); };
+  const num::RootResult result = num::brent_root(g, lo, hi, root_options);
+  if (!result.converged) {
+    work.stage = NodeWork::Stage::failed;
+    return 0.0;
+  }
+  return result.root;
+}
+
+[[noreturn]] void throw_solve_failure(double capacity) {
+  throw std::runtime_error(
+      "UtilizationSolver: failed to bracket/solve the utilization fixed point (capacity " +
+      std::to_string(capacity) + ")");
+}
+
+}  // namespace
+
 UtilizationSolver::UtilizationSolver(const econ::Market& market, UtilizationSolveOptions options)
-    : market_(&market), options_(options) {
+    : market_(&market), kernel_(market), options_(options) {
   if (options_.tolerance <= 0.0) {
     throw std::invalid_argument("UtilizationSolver: tolerance must be > 0");
   }
@@ -17,69 +187,54 @@ UtilizationSolver::UtilizationSolver(const econ::Market& market, UtilizationSolv
 
 double UtilizationSolver::aggregate_demand(double phi,
                                            std::span<const double> populations) const {
-  const auto& providers = market_->providers();
-  if (populations.size() != providers.size()) {
-    throw std::invalid_argument("UtilizationSolver: population vector size mismatch");
-  }
-  double total = 0.0;
-  for (std::size_t i = 0; i < providers.size(); ++i) {
-    total += populations[i] * providers[i].throughput->rate(phi);
-  }
-  return total;
+  return kernel_.aggregate_demand(phi, populations);
 }
 
 double UtilizationSolver::gap(double phi, std::span<const double> populations) const {
-  return market_->utilization_model().inverse_throughput(phi, market_->capacity()) -
-         aggregate_demand(phi, populations);
+  return kernel_.gap(phi, populations);
 }
 
 double UtilizationSolver::gap_derivative(double phi, std::span<const double> populations) const {
-  const auto& providers = market_->providers();
-  if (populations.size() != providers.size()) {
-    throw std::invalid_argument("UtilizationSolver: population vector size mismatch");
-  }
-  double demand_slope = 0.0;
-  for (std::size_t i = 0; i < providers.size(); ++i) {
-    demand_slope += populations[i] * providers[i].throughput->derivative(phi);
-  }
-  return market_->utilization_model().inverse_throughput_dphi(phi, market_->capacity()) -
-         demand_slope;
+  return kernel_.gap_derivative(phi, populations);
 }
 
 double UtilizationSolver::solve(std::span<const double> populations, double hint) const {
-  // Degenerate case: no demand at all => phi = 0 exactly (g(0) = 0).
-  const double demand_at_zero = aggregate_demand(0.0, populations);
-  if (demand_at_zero <= 0.0) return 0.0;
+  NodeWork work;
+  init_node(kernel_, options_, populations, hint, work);
+  while (work.stage == NodeWork::Stage::expanding) {
+    expand_step(kernel_, work);
+  }
+  if (work.stage == NodeWork::Stage::bracketed) {
+    work.phi = newton_polish(kernel_, options_, work);
+  }
+  if (work.stage == NodeWork::Stage::failed) throw_solve_failure(kernel_.capacity());
+  return work.phi;
+}
 
-  auto g = [this, populations](double phi) { return gap(phi, populations); };
+void UtilizationSolver::solve_many(std::span<UtilizationNode> nodes) const {
+  std::vector<NodeWork> work(nodes.size());
 
-  num::RootOptions root_options;
-  root_options.x_tol = options_.tolerance;
-  root_options.max_iterations = options_.max_iterations;
+  std::size_t expanding = 0;
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    init_node(kernel_, options_, nodes[k].populations, nodes[k].hint, work[k]);
+    if (work[k].stage == NodeWork::Stage::expanding) ++expanding;
+  }
 
-  // Warm start: try a small bracket around the hint first. The sweeps move
-  // the equilibrium smoothly, so this usually succeeds within one expansion.
-  if (hint >= 0.0) {
-    const double width = std::max(0.05, 0.25 * hint);
-    const double lo = std::max(0.0, hint - width);
-    const double hi = hint + width;
-    const double g_lo = g(lo);
-    const double g_hi = g(hi);
-    if (g_lo == 0.0) return lo;
-    if (g_hi == 0.0) return hi;
-    if (std::signbit(g_lo) != std::signbit(g_hi)) {
-      return num::brent_root(g, lo, hi, root_options).value_or_throw();
+  // Bracketing: every still-unbracketed node probes its next upper candidate,
+  // one gap evaluation per node per pass over the batch.
+  while (expanding > 0) {
+    for (NodeWork& w : work) {
+      if (w.stage == NodeWork::Stage::expanding && !expand_step(kernel_, w)) --expanding;
     }
   }
 
-  const num::RootResult result =
-      num::find_increasing_root(g, 0.0, options_.initial_bracket, root_options);
-  if (!result.converged) {
-    throw std::runtime_error(
-        "UtilizationSolver: failed to bracket/solve the utilization fixed point (capacity " +
-        std::to_string(market_->capacity()) + ")");
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    if (work[k].stage == NodeWork::Stage::bracketed) {
+      work[k].phi = newton_polish(kernel_, options_, work[k]);
+    }
+    if (work[k].stage == NodeWork::Stage::failed) throw_solve_failure(kernel_.capacity());
+    nodes[k].phi = work[k].phi;
   }
-  return result.root;
 }
 
 }  // namespace subsidy::core

@@ -50,6 +50,12 @@ class Market {
   [[nodiscard]] const IspSpec& isp() const noexcept { return isp_; }
   [[nodiscard]] double capacity() const noexcept { return isp_.capacity; }
   [[nodiscard]] const UtilizationModel& utilization_model() const noexcept { return *utilization_; }
+  /// Shared ownership of the utilization model (compiled kernels keep the
+  /// model alive independently of the market's lifetime).
+  [[nodiscard]] const std::shared_ptr<const UtilizationModel>& utilization_model_ptr()
+      const noexcept {
+    return utilization_;
+  }
   [[nodiscard]] const std::vector<ContentProviderSpec>& providers() const noexcept {
     return providers_;
   }

@@ -70,6 +70,9 @@ class PowerLawThroughput final : public ThroughputCurve {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<ThroughputCurve> clone() const override;
 
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+  [[nodiscard]] double lambda0() const noexcept { return lambda0_; }
+
  private:
   double beta_;
   double lambda0_;
@@ -87,6 +90,9 @@ class DelayThroughput final : public ThroughputCurve {
   [[nodiscard]] double elasticity(double phi) const override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<ThroughputCurve> clone() const override;
+
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+  [[nodiscard]] double lambda0() const noexcept { return lambda0_; }
 
  private:
   double beta_;

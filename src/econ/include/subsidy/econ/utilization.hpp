@@ -92,6 +92,8 @@ class PowerUtilization final : public UtilizationModel {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<UtilizationModel> clone() const override;
 
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+
  private:
   double gamma_;
 };

@@ -1,0 +1,46 @@
+// The warm-start chain partition shared by every parallel sweep in the
+// library (ParallelSweepRunner, IspPriceOptimizer's grid phase).
+//
+// A sweep axis is split into *contiguous chains*: each chain starts cold and
+// continues warm-started within itself, and the chains — which are mutually
+// independent — can be evaluated across a thread pool. The partition depends
+// only on the grid shape and the chain length, never on the job count, so
+// results are bit-identical for any number of workers. Header-only and free
+// of model dependencies so low-level libraries can share it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace subsidy::runtime {
+
+/// A contiguous run of sweep indices solved as one warm-start continuation.
+struct Chain {
+  std::size_t group = 0;  ///< Outer index (e.g. the policy level).
+  std::size_t begin = 0;  ///< First inner index (inclusive).
+  std::size_t end = 0;    ///< Past-the-end inner index.
+};
+
+/// Splits a (num_groups x num_items) grid into chains of at most
+/// `chain_length` consecutive inner items. 0 means one chain per group —
+/// exactly the legacy serial semantics, where the whole inner axis is one
+/// continuation. Smaller values expose more parallelism at the cost of one
+/// cold solve per chain. Part of the sweep *semantics* (it changes which
+/// solves are warm-started), so callers choose it independently of the job
+/// count to keep results jobs-invariant.
+[[nodiscard]] inline std::vector<Chain> partition_chains(std::size_t num_groups,
+                                                         std::size_t num_items,
+                                                         std::size_t chain_length) {
+  const std::size_t length =
+      chain_length == 0 ? std::max<std::size_t>(1, num_items) : chain_length;
+  std::vector<Chain> chains;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    for (std::size_t begin = 0; begin < num_items; begin += length) {
+      chains.push_back({g, begin, std::min(begin + length, num_items)});
+    }
+  }
+  return chains;
+}
+
+}  // namespace subsidy::runtime

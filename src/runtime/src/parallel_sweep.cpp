@@ -4,33 +4,10 @@
 #include <future>
 #include <utility>
 
+#include "subsidy/runtime/chain_partition.hpp"
 #include "subsidy/runtime/thread_pool.hpp"
 
 namespace subsidy::runtime {
-
-namespace {
-
-/// A contiguous run of price indices solved as one warm-start continuation.
-struct Chain {
-  std::size_t policy_index = 0;
-  std::size_t begin = 0;  ///< First price index (inclusive).
-  std::size_t end = 0;    ///< Past-the-end price index.
-};
-
-std::vector<Chain> partition(std::size_t num_caps, std::size_t num_prices,
-                             std::size_t chain_length) {
-  const std::size_t length =
-      chain_length == 0 ? std::max<std::size_t>(1, num_prices) : chain_length;
-  std::vector<Chain> chains;
-  for (std::size_t c = 0; c < num_caps; ++c) {
-    for (std::size_t begin = 0; begin < num_prices; begin += length) {
-      chains.push_back({c, begin, std::min(begin + length, num_prices)});
-    }
-  }
-  return chains;
-}
-
-}  // namespace
 
 ParallelSweepRunner::ParallelSweepRunner(econ::Market market, SweepOptions options)
     : market_(std::move(market)), options_(options) {}
@@ -40,19 +17,19 @@ std::vector<SweepRow> ParallelSweepRunner::run(const std::vector<double>& policy
   const std::size_t num_prices = prices.size();
   std::vector<SweepRow> rows(policy_caps.size() * num_prices);
   const std::vector<Chain> chains =
-      partition(policy_caps.size(), num_prices, options_.chain_length);
+      partition_chains(policy_caps.size(), num_prices, options_.chain_length);
 
   // Each chain writes a disjoint slice of `rows`, so no synchronization is
   // needed beyond joining the futures.
   const auto solve_chain = [&](const Chain& chain) {
-    const double cap = policy_caps[chain.policy_index];
+    const double cap = policy_caps[chain.group];
     std::vector<double> warm;
     for (std::size_t k = chain.begin; k < chain.end; ++k) {
       const core::SubsidizationGame game(market_, prices[k], cap);
       core::NashResult nash = core::solve_nash(game, warm);
       warm = nash.subsidies;
-      rows[chain.policy_index * num_prices + k] =
-          SweepRow{chain.policy_index, k, prices[k], cap, std::move(nash)};
+      rows[chain.group * num_prices + k] =
+          SweepRow{chain.group, k, prices[k], cap, std::move(nash)};
     }
   };
 

@@ -1,0 +1,382 @@
+// Equivalence suite for the compiled MarketKernel: the kernel-path gap,
+// gap derivative, rates, populations and solve must match the virtual-path
+// reference (direct calls through the ThroughputCurve / DemandCurve /
+// UtilizationModel interfaces) to <= 1e-12 across all three throughput
+// families x all three utilization models, plus the opaque fallback bucket
+// for arbitrary subclasses; batched solve_many must be bit-identical to
+// per-node solve().
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/market_kernel.hpp"
+#include "subsidy/core/one_sided.hpp"
+#include "subsidy/core/utilization_solver.hpp"
+#include "subsidy/econ/market.hpp"
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/numerics/roots.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+namespace num = subsidy::num;
+
+namespace {
+
+// --- Opaque subclasses: deliberately outside the compiled families. ---
+
+/// lambda(phi) = lambda0 * 2^{-beta phi}; decreasing to zero, but not an
+/// ExponentialThroughput, so the kernel must route it through the opaque
+/// bucket (including the default finite-difference derivative).
+class Base2Throughput final : public econ::ThroughputCurve {
+ public:
+  explicit Base2Throughput(double beta, double lambda0 = 1.0)
+      : beta_(beta), lambda0_(lambda0) {}
+  [[nodiscard]] double rate(double phi) const override {
+    return lambda0_ * std::exp2(-beta_ * phi);
+  }
+  [[nodiscard]] std::string name() const override { return "base2-throughput"; }
+  [[nodiscard]] std::unique_ptr<econ::ThroughputCurve> clone() const override {
+    return std::make_unique<Base2Throughput>(*this);
+  }
+
+ private:
+  double beta_;
+  double lambda0_;
+};
+
+/// Theta(phi, mu) = 2 mu (sqrt(1 + phi) - 1): strictly increasing, Theta(0)=0,
+/// not one of the compiled utilization families.
+class SqrtUtilization final : public econ::UtilizationModel {
+ public:
+  [[nodiscard]] double utilization(double theta, double mu) const override {
+    const double r = theta / (2.0 * mu) + 1.0;
+    return r * r - 1.0;
+  }
+  [[nodiscard]] double inverse_throughput(double phi, double mu) const override {
+    return 2.0 * mu * (std::sqrt(1.0 + phi) - 1.0);
+  }
+  [[nodiscard]] double inverse_throughput_dphi(double phi, double mu) const override {
+    return mu / std::sqrt(1.0 + phi);
+  }
+  [[nodiscard]] double inverse_throughput_dmu(double phi, double mu) const override {
+    (void)mu;
+    return 2.0 * (std::sqrt(1.0 + phi) - 1.0);
+  }
+  [[nodiscard]] std::string name() const override { return "sqrt-utilization"; }
+  [[nodiscard]] std::unique_ptr<econ::UtilizationModel> clone() const override {
+    return std::make_unique<SqrtUtilization>(*this);
+  }
+};
+
+std::shared_ptr<const econ::ThroughputCurve> make_curve(const std::string& family,
+                                                        double beta, double lambda0) {
+  if (family == "exp") return std::make_shared<econ::ExponentialThroughput>(beta, lambda0);
+  if (family == "powerlaw") return std::make_shared<econ::PowerLawThroughput>(beta, lambda0);
+  if (family == "delay") return std::make_shared<econ::DelayThroughput>(beta, lambda0);
+  return std::make_shared<Base2Throughput>(beta, lambda0);
+}
+
+std::shared_ptr<const econ::UtilizationModel> make_model(const std::string& model) {
+  if (model == "linear") return std::make_shared<econ::LinearUtilization>();
+  if (model == "delay") return std::make_shared<econ::DelayUtilization>();
+  if (model == "power") return std::make_shared<econ::PowerUtilization>(1.5);
+  return std::make_shared<SqrtUtilization>();
+}
+
+/// Four providers of one throughput family (with a repeated beta so the
+/// exponential bucket exercises its equal-beta clustering) under the given
+/// utilization model.
+econ::Market family_market(const std::string& family, const std::string& model) {
+  const std::vector<double> betas{2.0, 5.0, 2.0, 3.5};
+  const std::vector<double> lambda0s{1.0, 0.8, 1.2, 1.0};
+  const std::vector<double> alphas{1.0, 3.0, 2.0, 4.0};
+  std::vector<econ::ContentProviderSpec> providers;
+  for (std::size_t i = 0; i < betas.size(); ++i) {
+    econ::ContentProviderSpec cp;
+    cp.name = family + std::to_string(i);
+    cp.demand = std::make_shared<econ::ExponentialDemand>(alphas[i]);
+    cp.throughput = make_curve(family, betas[i], lambda0s[i]);
+    cp.profitability = 1.0;
+    providers.push_back(std::move(cp));
+  }
+  return econ::Market(econ::IspSpec{1.0}, make_model(model), std::move(providers));
+}
+
+/// Every throughput family mixed in one market (opaque bucket included).
+econ::Market mixed_market(const std::string& model) {
+  std::vector<econ::ContentProviderSpec> providers;
+  int k = 0;
+  for (const std::string family : {"exp", "powerlaw", "delay", "opaque", "exp"}) {
+    econ::ContentProviderSpec cp;
+    cp.name = family + std::to_string(k);
+    cp.demand = k % 2 == 0
+                    ? std::shared_ptr<const econ::DemandCurve>(
+                          std::make_shared<econ::ExponentialDemand>(1.0 + k))
+                    : std::shared_ptr<const econ::DemandCurve>(
+                          std::make_shared<econ::LogitDemand>(1.0, 4.0, 0.5));
+    cp.throughput = make_curve(family, 2.0 + 0.5 * k, 1.0);
+    cp.profitability = 1.0;
+    providers.push_back(std::move(cp));
+    ++k;
+  }
+  return econ::Market(econ::IspSpec{1.0}, make_model(model), std::move(providers));
+}
+
+// --- Virtual-path references (the pre-kernel arithmetic). ---
+
+double ref_aggregate_demand(const econ::Market& mkt, double phi,
+                            const std::vector<double>& m) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < mkt.num_providers(); ++i) {
+    total += m[i] * mkt.provider(i).throughput->rate(phi);
+  }
+  return total;
+}
+
+double ref_gap(const econ::Market& mkt, double phi, const std::vector<double>& m) {
+  return mkt.utilization_model().inverse_throughput(phi, mkt.capacity()) -
+         ref_aggregate_demand(mkt, phi, m);
+}
+
+double ref_gap_derivative(const econ::Market& mkt, double phi,
+                          const std::vector<double>& m) {
+  double slope = 0.0;
+  for (std::size_t i = 0; i < mkt.num_providers(); ++i) {
+    slope += m[i] * mkt.provider(i).throughput->derivative(phi);
+  }
+  return mkt.utilization_model().inverse_throughput_dphi(phi, mkt.capacity()) - slope;
+}
+
+double ref_solve(const econ::Market& mkt, const std::vector<double>& m) {
+  if (ref_aggregate_demand(mkt, 0.0, m) <= 0.0) return 0.0;
+  num::RootOptions options;
+  options.x_tol = 1e-13;
+  auto g = [&](double phi) { return ref_gap(mkt, phi, m); };
+  return num::find_increasing_root(g, 0.0, 0.5, options).value_or_throw();
+}
+
+std::vector<double> test_populations(const econ::Market& mkt) {
+  std::vector<double> m;
+  for (std::size_t i = 0; i < mkt.num_providers(); ++i) {
+    m.push_back(0.4 + 0.2 * static_cast<double>(i % 3));
+  }
+  return m;
+}
+
+const std::vector<std::string> kFamilies{"exp", "powerlaw", "delay", "opaque"};
+const std::vector<std::string> kModels{"linear", "delay", "power", "opaque"};
+
+TEST(MarketKernel, GapMatchesVirtualPathAcrossFamiliesAndModels) {
+  for (const auto& family : kFamilies) {
+    for (const auto& model : kModels) {
+      const econ::Market mkt = family_market(family, model);
+      const core::MarketKernel kernel(mkt);
+      const std::vector<double> m = test_populations(mkt);
+      for (double phi : {0.0, 0.1, 0.5, 1.0, 2.5}) {
+        const double expected = ref_gap(mkt, phi, m);
+        EXPECT_NEAR(kernel.gap(phi, m), expected,
+                    1e-12 * std::max(1.0, std::fabs(expected)))
+            << family << "/" << model << " phi=" << phi;
+      }
+    }
+  }
+}
+
+TEST(MarketKernel, GapDerivativeMatchesVirtualPathAcrossFamiliesAndModels) {
+  for (const auto& family : kFamilies) {
+    for (const auto& model : kModels) {
+      const econ::Market mkt = family_market(family, model);
+      const core::MarketKernel kernel(mkt);
+      const std::vector<double> m = test_populations(mkt);
+      for (double phi : {0.1, 0.5, 1.0, 2.5}) {
+        const double expected = ref_gap_derivative(mkt, phi, m);
+        EXPECT_NEAR(kernel.gap_derivative(phi, m), expected,
+                    1e-12 * std::max(1.0, std::fabs(expected)))
+            << family << "/" << model << " phi=" << phi;
+      }
+    }
+  }
+}
+
+TEST(MarketKernel, SolveMatchesVirtualPathAcrossFamiliesAndModels) {
+  for (const auto& family : kFamilies) {
+    for (const auto& model : kModels) {
+      const econ::Market mkt = family_market(family, model);
+      const core::UtilizationSolver solver(mkt);
+      const std::vector<double> m = test_populations(mkt);
+      const double expected = ref_solve(mkt, m);
+      const double phi = solver.solve(m);
+      EXPECT_NEAR(phi, expected, 1e-12 * std::max(1.0, expected))
+          << family << "/" << model;
+      // The solution satisfies the virtual-path defining equation too.
+      EXPECT_NEAR(ref_gap(mkt, phi, m), 0.0, 1e-10) << family << "/" << model;
+    }
+  }
+}
+
+TEST(MarketKernel, MixedMarketIncludingOpaqueBucket) {
+  for (const auto& model : kModels) {
+    const econ::Market mkt = mixed_market(model);
+    const core::UtilizationSolver solver(mkt);
+    const std::vector<double> m = test_populations(mkt);
+    for (double phi : {0.0, 0.3, 1.2}) {
+      EXPECT_NEAR(solver.gap(phi, m), ref_gap(mkt, phi, m), 1e-12) << model;
+    }
+    EXPECT_NEAR(solver.solve(m), ref_solve(mkt, m), 1e-12) << model;
+  }
+}
+
+TEST(MarketKernel, RatesBitIdenticalToVirtualCalls) {
+  for (const auto& family : kFamilies) {
+    const econ::Market mkt = family_market(family, "linear");
+    const core::MarketKernel kernel(mkt);
+    const double phi = 0.7;
+    std::vector<double> lambda(mkt.num_providers());
+    std::vector<double> dlambda(mkt.num_providers());
+    kernel.rates(phi, lambda);
+    kernel.rates_and_slopes(phi, lambda, dlambda);
+    for (std::size_t i = 0; i < mkt.num_providers(); ++i) {
+      // rate() replicates the family's expression exactly.
+      EXPECT_DOUBLE_EQ(kernel.rate(i, phi), mkt.provider(i).throughput->rate(phi))
+          << family << " i=" << i;
+      EXPECT_DOUBLE_EQ(lambda[i], mkt.provider(i).throughput->rate(phi))
+          << family << " i=" << i;
+      EXPECT_NEAR(dlambda[i], mkt.provider(i).throughput->derivative(phi),
+                  1e-12 * std::max(1.0, std::fabs(dlambda[i])))
+          << family << " i=" << i;
+    }
+  }
+}
+
+TEST(MarketKernel, PopulationsBitIdenticalToVirtualCalls) {
+  const econ::Market mkt = mixed_market("linear");
+  const core::MarketKernel kernel(mkt);
+  const std::size_t n = mkt.num_providers();
+  const std::vector<double> s{0.0, 0.1, 0.2, 0.3, 0.4};
+  const double price = 0.8;
+  std::vector<double> m(n);
+  std::vector<double> dm(n);
+  kernel.populations(price, s, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(m[i], mkt.provider(i).demand->population(price - s[i])) << i;
+    EXPECT_DOUBLE_EQ(kernel.population(i, price - s[i]),
+                     mkt.provider(i).demand->population(price - s[i]))
+        << i;
+  }
+  kernel.populations_and_slopes(price, s, m, dm);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(m[i], mkt.provider(i).demand->population(price - s[i])) << i;
+    EXPECT_DOUBLE_EQ(dm[i], mkt.provider(i).demand->derivative(price - s[i])) << i;
+  }
+}
+
+TEST(MarketKernel, GapManyMatchesScalarGap) {
+  const econ::Market mkt = market::section5_market();
+  const core::MarketKernel kernel(mkt);
+  const std::vector<double> m(8, 0.5);
+  const std::vector<double> phis{0.0, 0.25, 0.5, 1.0, 2.0, 4.0};
+  std::vector<double> out(phis.size());
+  kernel.gap_many(phis, m, out);
+  for (std::size_t k = 0; k < phis.size(); ++k) {
+    EXPECT_DOUBLE_EQ(out[k], kernel.gap(phis[k], m)) << "k=" << k;
+  }
+}
+
+TEST(MarketKernel, SolveManyBitIdenticalToScalarSolve) {
+  const econ::Market mkt = market::section5_market();
+  const core::ModelEvaluator evaluator(mkt);
+  const core::UtilizationSolver& solver = evaluator.solver();
+
+  // A batch with varied populations, hints and a zero-demand degenerate node.
+  std::vector<std::vector<double>> pops;
+  std::vector<double> hints;
+  for (int k = 0; k < 12; ++k) {
+    std::vector<double> m(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      m[i] = 0.1 + 0.05 * static_cast<double>((k + 1) * (i + 1) % 17);
+    }
+    pops.push_back(std::move(m));
+    hints.push_back(k % 3 == 0 ? -1.0 : 0.3 + 0.05 * k);
+  }
+  pops.push_back(std::vector<double>(8, 0.0));  // degenerate: phi = 0
+  hints.push_back(-1.0);
+
+  std::vector<core::UtilizationNode> nodes(pops.size());
+  for (std::size_t k = 0; k < pops.size(); ++k) {
+    nodes[k].populations = pops[k];
+    nodes[k].hint = hints[k];
+  }
+  solver.solve_many(nodes);
+  for (std::size_t k = 0; k < pops.size(); ++k) {
+    const double expected = solver.solve(pops[k], hints[k]);
+    EXPECT_EQ(nodes[k].phi, expected) << "node " << k;  // bit-identical
+  }
+}
+
+TEST(MarketKernel, EvaluateUnsubsidizedManyBitIdenticalToScalar) {
+  const econ::Market mkt = market::section3_market();
+  const core::ModelEvaluator evaluator(mkt);
+  const std::vector<double> prices{0.1, 0.4, 0.8, 1.2, 1.9};
+  const std::vector<core::SystemState> batch = evaluator.evaluate_unsubsidized_many(prices);
+  ASSERT_EQ(batch.size(), prices.size());
+  for (std::size_t k = 0; k < prices.size(); ++k) {
+    const core::SystemState one = evaluator.evaluate_unsubsidized(prices[k]);
+    EXPECT_EQ(batch[k].utilization, one.utilization) << "k=" << k;
+    EXPECT_EQ(batch[k].revenue, one.revenue) << "k=" << k;
+    EXPECT_EQ(batch[k].welfare, one.welfare) << "k=" << k;
+  }
+}
+
+TEST(MarketKernel, OneSidedSweepBitIdenticalToEvaluate) {
+  const core::OneSidedPricingModel model(market::section3_market());
+  const std::vector<double> prices{0.2, 0.5, 1.0, 1.5};
+  const std::vector<core::SystemState> swept = model.sweep(prices);
+  ASSERT_EQ(swept.size(), prices.size());
+  for (std::size_t k = 0; k < prices.size(); ++k) {
+    EXPECT_EQ(swept[k].utilization, model.evaluate(prices[k]).utilization) << "k=" << k;
+  }
+}
+
+TEST(MarketKernel, PowerModelInfiniteSlopeAtZeroStillSolves) {
+  // gamma > 1 makes dTheta/dphi infinite at phi = 0: the Newton safeguard
+  // must fall back to bisection instead of producing NaN.
+  const econ::Market mkt = family_market("exp", "power");
+  const core::UtilizationSolver solver(mkt);
+  const std::vector<double> tiny(mkt.num_providers(), 1e-6);
+  const double phi = solver.solve(tiny);
+  EXPECT_TRUE(std::isfinite(phi));
+  EXPECT_GE(phi, 0.0);
+  EXPECT_NEAR(ref_gap(mkt, phi, tiny), 0.0, 1e-10);
+}
+
+TEST(MarketKernel, SurvivesSourceMarketDestruction) {
+  // The kernel copies coefficients and shares curve ownership: computing
+  // through an evaluator whose market was moved-from/destroyed is safe.
+  std::unique_ptr<econ::Market> mkt =
+      std::make_unique<econ::Market>(mixed_market("linear"));
+  const core::MarketKernel kernel(*mkt);
+  const std::vector<double> m = test_populations(*mkt);
+  const double before = kernel.gap(0.5, m);
+  mkt.reset();
+  EXPECT_DOUBLE_EQ(kernel.gap(0.5, m), before);
+}
+
+TEST(MarketKernel, EvaluatorCopyReboundToOwnMarket) {
+  // Copying a ModelEvaluator must rebind the solver to the copy's market.
+  std::unique_ptr<core::ModelEvaluator> original =
+      std::make_unique<core::ModelEvaluator>(market::section5_market());
+  const core::ModelEvaluator copy = *original;
+  const std::vector<double> s(8, 0.2);
+  const core::SystemState expected = original->evaluate(0.8, s);
+  original.reset();
+  const core::SystemState via_copy = copy.evaluate(0.8, s);
+  EXPECT_EQ(via_copy.utilization, expected.utilization);
+  EXPECT_EQ(via_copy.revenue, expected.revenue);
+}
+
+}  // namespace

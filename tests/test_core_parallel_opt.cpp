@@ -1,0 +1,138 @@
+// The second kernel layer: IspPriceOptimizer's chain-parallel grid phase and
+// PolicyAnalyzer's warm-started sweeps. The determinism contract from PR 1
+// carries over: results are bit-identical for any job count, and warm starts
+// only reseed iterations (results equal the cold path within solver
+// tolerance).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "subsidy/core/policy.hpp"
+#include "subsidy/core/price_optimizer.hpp"
+#include "subsidy/market/scenarios.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+
+namespace {
+
+core::PriceSearchOptions fast_search(std::size_t jobs, std::size_t chain_length) {
+  core::PriceSearchOptions options;
+  options.price_min = 0.05;
+  options.price_max = 2.0;
+  options.grid_points = 13;
+  options.refine_tolerance = 1e-4;
+  options.jobs = jobs;
+  options.chain_length = chain_length;
+  return options;
+}
+
+TEST(IspPriceOptimizer, BitIdenticalForAnyJobCount) {
+  const econ::Market mkt = market::section5_market();
+  const core::IspPriceOptimizer serial(mkt, fast_search(1, 4));
+  const core::IspPriceOptimizer parallel(mkt, fast_search(8, 4));
+  for (double q : {0.0, 0.6, 1.5}) {
+    const core::OptimalPrice a = serial.optimize(q);
+    const core::OptimalPrice b = parallel.optimize(q);
+    EXPECT_EQ(a.price, b.price) << "q=" << q;
+    EXPECT_EQ(a.revenue, b.revenue) << "q=" << q;
+    ASSERT_EQ(a.subsidies.size(), b.subsidies.size());
+    for (std::size_t i = 0; i < a.subsidies.size(); ++i) {
+      EXPECT_EQ(a.subsidies[i], b.subsidies[i]) << "q=" << q << " i=" << i;
+    }
+  }
+}
+
+TEST(IspPriceOptimizer, ChainedGridMatchesLegacySerialSemantics) {
+  // chain_length = 0 (one continuation chain) is the legacy serial search;
+  // splitting the grid into chains only changes warm starts, so the found
+  // optimum must agree to optimizer tolerance.
+  const econ::Market mkt = market::section5_market();
+  const core::OptimalPrice legacy =
+      core::IspPriceOptimizer(mkt, fast_search(1, 0)).optimize(1.0);
+  const core::OptimalPrice chained =
+      core::IspPriceOptimizer(mkt, fast_search(4, 4)).optimize(1.0);
+  EXPECT_NEAR(legacy.price, chained.price, 1e-3);
+  EXPECT_NEAR(legacy.revenue, chained.revenue, 1e-6);
+}
+
+TEST(IspPriceOptimizer, WarmStartedOptimizeMatchesCold) {
+  const econ::Market mkt = market::section5_market();
+  const core::IspPriceOptimizer optimizer(mkt, fast_search(1, 0));
+  const core::OptimalPrice cold = optimizer.optimize(1.0);
+  // Seed with another cap's equilibrium: only iteration counts may change.
+  const core::OptimalPrice seed = optimizer.optimize(0.5);
+  const core::OptimalPrice warm = optimizer.optimize(1.0, seed.subsidies);
+  EXPECT_NEAR(warm.price, cold.price, 1e-6);
+  EXPECT_NEAR(warm.revenue, cold.revenue, 1e-8);
+  for (std::size_t i = 0; i < cold.subsidies.size(); ++i) {
+    EXPECT_NEAR(warm.subsidies[i], cold.subsidies[i], 1e-7) << "i=" << i;
+  }
+}
+
+TEST(IspPriceOptimizer, PriceResponseMatchesPerCapOptimize) {
+  const econ::Market mkt = market::section5_market();
+  const core::IspPriceOptimizer optimizer(mkt, fast_search(1, 0));
+  const std::vector<double> caps{0.0, 0.5, 1.0};
+  const std::vector<core::OptimalPrice> response = optimizer.price_response(caps);
+  ASSERT_EQ(response.size(), caps.size());
+  for (std::size_t k = 0; k < caps.size(); ++k) {
+    const core::OptimalPrice cold = optimizer.optimize(caps[k]);
+    EXPECT_NEAR(response[k].price, cold.price, 1e-6) << "q=" << caps[k];
+    EXPECT_NEAR(response[k].revenue, cold.revenue, 1e-8) << "q=" << caps[k];
+  }
+}
+
+TEST(PolicyAnalyzer, FixedPriceSweepMatchesPerCapEvaluate) {
+  const core::PolicyAnalyzer analyzer(market::section5_market(),
+                                      core::PriceResponse::fixed(0.8));
+  const std::vector<double> caps{0.0, 0.4, 0.8, 1.2, 1.6, 2.0};
+  const std::vector<core::PolicyPoint> swept = analyzer.sweep(caps);
+  ASSERT_EQ(swept.size(), caps.size());
+  for (std::size_t k = 0; k < caps.size(); ++k) {
+    const core::PolicyPoint point = analyzer.evaluate(caps[k]);
+    EXPECT_EQ(swept[k].price, point.price) << "q=" << caps[k];
+    EXPECT_NEAR(swept[k].state.welfare, point.state.welfare, 1e-8) << "q=" << caps[k];
+    EXPECT_NEAR(swept[k].state.revenue, point.state.revenue, 1e-8) << "q=" << caps[k];
+    ASSERT_EQ(swept[k].subsidies.size(), point.subsidies.size());
+    for (std::size_t i = 0; i < point.subsidies.size(); ++i) {
+      EXPECT_NEAR(swept[k].subsidies[i], point.subsidies[i], 1e-7)
+          << "q=" << caps[k] << " i=" << i;
+    }
+  }
+}
+
+TEST(PolicyAnalyzer, MonopolySweepMatchesPerCapEvaluate) {
+  // The warm-started monopoly sweep (persistent optimizer, each cap's price
+  // search seeded by the previous optimum) must agree with independent
+  // cold-started evaluate() calls: warm starts reseed iterations, never move
+  // the optimum.
+  const core::PolicyAnalyzer analyzer(market::section5_market(),
+                                      core::PriceResponse::monopoly(fast_search(1, 0)));
+  const std::vector<double> caps{0.0, 0.8, 1.6};
+  const std::vector<core::PolicyPoint> swept = analyzer.sweep(caps);
+  ASSERT_EQ(swept.size(), caps.size());
+  for (std::size_t k = 0; k < caps.size(); ++k) {
+    const core::PolicyPoint point = analyzer.evaluate(caps[k]);
+    EXPECT_NEAR(swept[k].price, point.price, 1e-5) << "q=" << caps[k];
+    EXPECT_NEAR(swept[k].state.welfare, point.state.welfare, 1e-6) << "q=" << caps[k];
+    EXPECT_NEAR(swept[k].state.revenue, point.state.revenue, 1e-6) << "q=" << caps[k];
+  }
+}
+
+TEST(SubsidizationGame, UtilityWithHintMatchesFullState) {
+  // The single-player utility (one solve, player i's terms only) must equal
+  // the full SystemState's utility entry bit-for-bit, hint or not.
+  const core::SubsidizationGame game(market::section5_market(), 0.8, 1.0);
+  const std::vector<double> s{0.1, 0.0, 0.3, 0.2, 0.05, 0.4, 0.0, 0.25};
+  const core::SystemState state = game.state(s);
+  for (std::size_t i = 0; i < game.num_players(); ++i) {
+    EXPECT_EQ(game.utility(i, s), state.providers[i].utility) << "i=" << i;
+    EXPECT_NEAR(game.utility(i, s, state.utilization), state.providers[i].utility, 1e-12)
+        << "i=" << i;
+  }
+}
+
+}  // namespace
