@@ -11,10 +11,13 @@
 #include "subsidy/core/core.hpp"
 #include "subsidy/core/surplus.hpp"
 #include "subsidy/market/scenarios.hpp"
+#include "subsidy/scenario/runner.hpp"
+#include "subsidy/scenario/scenario_file.hpp"
 
 namespace core = subsidy::core;
 namespace econ = subsidy::econ;
 namespace market = subsidy::market;
+namespace scenario = subsidy::scenario;
 
 namespace {
 
@@ -262,6 +265,29 @@ void BM_MarketScaling(benchmark::State& state) {
   state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
 }
 BENCHMARK(BM_MarketScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void BM_ScenarioRun(benchmark::State& state) {
+  // A mid-size scenario file end to end: parse, compile the kernel, run the
+  // batched one-sided sweep and an 11-point Nash price sweep on the Section 5
+  // market. Tracks the whole subsidy_scenario stack in one number.
+  const std::string text = R"([market]
+base = section5
+
+[one_sided]
+prices = 0.05:2:41
+
+[sweep]
+prices = 0.05:2:11
+cap = 1.0
+chain = 4
+)";
+  for (auto _ : state) {
+    const scenario::ScenarioRunner runner(
+        scenario::parse_scenario_text(text, "bench.scn"));
+    benchmark::DoNotOptimize(runner.run());
+  }
+}
+BENCHMARK(BM_ScenarioRun);
 
 }  // namespace
 

@@ -10,6 +10,7 @@
 //   generate-trace  synthetic usage records -> CSV
 //   calibrate       fit alpha/beta/v from a trace CSV
 //   validate        Assumption 1/2 conformance report
+//   scenario        declarative scenario files: run <file|name>, list, print
 #pragma once
 
 #include <iosfwd>

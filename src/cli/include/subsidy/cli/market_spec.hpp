@@ -1,10 +1,21 @@
 // Textual market specifications for the CLI:
 //   "section3"                          — the paper's Section 3 market,
 //   "section5"                          — the paper's Section 5 market,
-//   "exp:mu=1;alpha=1,2;beta=2,1;v=1,1" — custom exponential-family market
-//                                          (alpha/beta/v lists equal length),
-// with an optional "+delay" / "+power:<gamma>" suffix swapping the
-// utilization model (e.g. "section5+delay").
+//   "exp:mu=1;alpha=1,2;beta=2,1;v=1,1" — custom market (beta/v lists equal
+//                                          length),
+// where named bases take an optional trailing "+delay" / "+power:<gamma>"
+// suffix swapping the utilization model (e.g. "section5+delay").
+//
+// The exp: body shares the scenario-file grammar
+// (subsidy/scenario/spec_grammar.hpp), so there is one market grammar:
+//   - beta entries may select a per-provider throughput family:
+//     "beta=2,1.5+power,3+delay" or the equivalent "+power:<beta>" form;
+//   - "demand=<spec>" replaces "alpha=" with any demand family, one spec for
+//     all providers or '|'-separated per-provider specs, e.g.
+//     "demand=logit:k=4,t0=0.5|iso:eps=2";
+//   - "util=<linear|delay|power:<gamma>>" sets the utilization model (the
+//     trailing +suffix form is reserved for named bases, so a '+' inside an
+//     exp: body is always a per-provider override).
 #pragma once
 
 #include <string>

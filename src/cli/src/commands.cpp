@@ -1,6 +1,7 @@
 #include "subsidy/cli/commands.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -15,6 +16,9 @@
 #include "subsidy/numerics/grid.hpp"
 #include "subsidy/runtime/parallel_sweep.hpp"
 #include "subsidy/runtime/thread_pool.hpp"
+#include "subsidy/scenario/registry.hpp"
+#include "subsidy/scenario/runner.hpp"
+#include "subsidy/scenario/spec_grammar.hpp"
 
 namespace subsidy::cli {
 
@@ -216,6 +220,104 @@ int cmd_calibrate(const Args& args, std::ostream& out) {
   return 0;
 }
 
+/// `scenario run <file-or-name> [--jobs N] [--out-dir D] [--precision P]`,
+/// `scenario list`, `scenario print <name>`. Parsed by hand (not Args)
+/// because the sub-subcommand and target are positional.
+int cmd_scenario(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
+  const std::string scenario_usage =
+      "usage: subsidy_cli scenario run <file-or-name> [--jobs N] [--out-dir D]"
+      " [--precision P]\n"
+      "       subsidy_cli scenario list\n"
+      "       subsidy_cli scenario print <name>\n";
+  if (argv.size() < 2) {
+    err << scenario_usage;
+    return 2;
+  }
+  const std::string& action = argv[1];
+
+  if (action == "list") {
+    io::ConsoleTable table({"name", "description"});
+    for (const scenario::RegistryEntry& entry : scenario::registry_entries()) {
+      table.add_row({entry.name, entry.description});
+    }
+    table.print(out);
+    out << "\nrun one with `subsidy_cli scenario run <name>` or dump its file with"
+           " `subsidy_cli scenario print <name>`\n";
+    return 0;
+  }
+
+  if (argv.size() < 3) {
+    err << scenario_usage;
+    return 2;
+  }
+  const std::string& target = argv[2];
+
+  if (action == "print") {
+    out << scenario::registry_scenario_text(target);
+    return 0;
+  }
+  if (action != "run") {
+    err << "unknown scenario action '" << action << "'\n\n" << scenario_usage;
+    return 2;
+  }
+
+  const auto parse_count = [](const std::string& value, const std::string& flag) {
+    const double parsed = scenario::parse_number(value, flag);
+    if (parsed < 0.0 || parsed != static_cast<double>(static_cast<int>(parsed))) {
+      throw std::invalid_argument(flag + ": '" + value +
+                                  "' must be a non-negative integer");
+    }
+    return static_cast<int>(parsed);
+  };
+  scenario::RunOptions options;
+  for (std::size_t k = 3; k < argv.size(); ++k) {
+    const std::string& flag = argv[k];
+    if (flag != "--jobs" && flag != "--out-dir" && flag != "--precision") {
+      throw std::invalid_argument("unknown scenario option '" + flag + "'");
+    }
+    if (k + 1 >= argv.size()) {
+      throw std::invalid_argument("option '" + flag + "' needs a value");
+    }
+    const std::string& value = argv[++k];
+    if (flag == "--jobs") {
+      options.jobs = runtime::resolve_jobs(parse_count(value, "--jobs"));
+    } else if (flag == "--precision") {
+      options.precision = parse_count(value, "--precision");
+    } else {
+      options.output_dir = value;
+    }
+  }
+
+  // An existing file wins; anything that *looks* like a path ('/' or a .scn
+  // extension) is treated as one even when absent, so a typo'd path reports
+  // "cannot open" instead of "unknown scenario". Bare names fall back to the
+  // built-in registry.
+  const bool looks_like_path =
+      target.find('/') != std::string::npos ||
+      (target.size() > 4 && target.compare(target.size() - 4, 4, ".scn") == 0);
+  const scenario::Scenario parsed =
+      std::filesystem::is_regular_file(target) || looks_like_path
+          ? scenario::parse_scenario_file(target)
+          : scenario::make_registry_scenario(target);
+  const scenario::ScenarioRunner runner(parsed, options);
+  const scenario::ScenarioReport report = runner.run();
+
+  out << "scenario '" << report.scenario_name << "': " << report.experiments.size()
+      << " experiment(s)\n";
+  for (const scenario::ExperimentResult& result : report.experiments) {
+    out << "  [" << scenario::to_string(result.type) << "] " << result.label << ": "
+        << result.table.num_rows() << " rows";
+    if (!result.converged) out << " (NOT all converged)";
+    if (!result.output_path.empty()) {
+      out << " -> " << result.output_path << "\n";
+    } else {
+      out << "\n";
+      io::write_csv(out, result.table, options.precision);
+    }
+  }
+  return report.all_converged() ? 0 : 1;
+}
+
 int cmd_validate(const Args& args, std::ostream& out) {
   const econ::Market market = parse_market_spec(args.get_or("market", "section5"));
   const econ::ValidationReport report = market.validate();
@@ -241,7 +343,9 @@ std::string usage() {
         "  surplus         --market M --price P [--cap Q]\n"
         "  generate-trace  --market M [--days N --noise X --seed S --out F]\n"
         "  calibrate       --trace F [--capacity MU --price P --cap Q]\n"
-        "  validate        --market M\n\n"
+        "  validate        --market M\n"
+        "  scenario        run <file-or-name> [--jobs N --out-dir D --precision P]\n"
+        "                  | list | print <name>   (declarative scenario files)\n\n"
         "market spec: "
      << market_spec_help() << "\n";
   return ss.str();
@@ -275,6 +379,16 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out, std::ostrea
   if (argv.empty()) {
     err << usage();
     return 2;
+  }
+  // `scenario` takes positional operands (action + file/name), so it is
+  // dispatched before the --key/value Args grammar.
+  if (argv.front() == "scenario") {
+    try {
+      return cmd_scenario(argv, out, err);
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return 2;
+    }
   }
   try {
     const Args args = Args::parse(argv);

@@ -4,19 +4,51 @@
 
 #include "subsidy/cli/args.hpp"
 #include "subsidy/market/scenarios.hpp"
+#include "subsidy/scenario/spec_grammar.hpp"
 
 namespace subsidy::cli {
 
 namespace {
 
+using scenario::split_list;
+
+/// One `beta` list entry: "<beta>", "<beta>+power", "<beta>+delay",
+/// "+power:<beta>" or "+delay:<beta>" (and "+exp:<beta>" for symmetry). The
+/// number is the decay coefficient of whichever family is selected.
+std::shared_ptr<const econ::ThroughputCurve> parse_beta_entry(const std::string& entry) {
+  std::string family = "exp";
+  std::string number = entry;
+  const std::size_t plus = entry.find('+');
+  if (plus != std::string::npos) {
+    number = entry.substr(0, plus);
+    std::string suffix = entry.substr(plus + 1);
+    const std::size_t colon = suffix.find(':');
+    if (colon != std::string::npos) {
+      if (!number.empty()) {
+        throw std::invalid_argument("beta entry '" + entry +
+                                    "' gives the coefficient twice (before '+' and after ':')");
+      }
+      number = suffix.substr(colon + 1);
+      suffix = suffix.substr(0, colon);
+    }
+    family = suffix;
+  }
+  if (number.empty()) {
+    throw std::invalid_argument("beta entry '" + entry + "' has no coefficient");
+  }
+  return scenario::parse_throughput_spec(family + ":beta=" + number);
+}
+
 econ::Market parse_exponential_spec(const std::string& body) {
-  // body: "mu=1;alpha=1,2;beta=2,1;v=1,1"
+  // body: "mu=1;alpha=1,2;beta=2,1;v=1,1" with optional demand=/util= fields
+  // and per-provider +power/+delay beta overrides (see market_spec_help()).
   double mu = 1.0;
   std::vector<double> alphas;
-  std::vector<double> betas;
+  std::vector<std::string> betas;
   std::vector<double> profits;
+  std::vector<std::string> demands;
+  std::shared_ptr<const econ::UtilizationModel> utilization;
 
-  std::string field;
   auto consume = [&](const std::string& chunk) {
     const std::size_t eq = chunk.find('=');
     if (eq == std::string::npos) {
@@ -25,44 +57,94 @@ econ::Market parse_exponential_spec(const std::string& body) {
     const std::string key = chunk.substr(0, eq);
     const std::string value = chunk.substr(eq + 1);
     if (key == "mu") {
-      mu = parse_double_list(value).at(0);
+      mu = scenario::parse_number(value, "market spec mu");
     } else if (key == "alpha") {
       alphas = parse_double_list(value);
     } else if (key == "beta") {
-      betas = parse_double_list(value);
+      betas = split_list(value, ',');
     } else if (key == "v") {
       profits = parse_double_list(value);
+    } else if (key == "demand") {
+      demands = split_list(value, '|');
+    } else if (key == "util") {
+      utilization = scenario::parse_utilization_spec(value);
     } else {
       throw std::invalid_argument("market spec: unknown field '" + key + "'");
     }
   };
-  for (char c : body) {
-    if (c == ';') {
-      consume(field);
-      field.clear();
-    } else {
-      field.push_back(c);
-    }
+  for (const std::string& field : split_list(body, ';')) {
+    if (!field.empty()) consume(field);
   }
-  if (!field.empty()) consume(field);
 
-  if (alphas.empty() || alphas.size() != betas.size() || alphas.size() != profits.size()) {
-    throw std::invalid_argument(
-        "market spec: alpha/beta/v must be non-empty lists of equal length");
+  if (betas.empty() || betas.front().empty()) {
+    throw std::invalid_argument("market spec: beta must be a non-empty list");
   }
-  return econ::Market::exponential(mu, alphas, betas, profits);
+  const std::size_t n = betas.size();
+  if (profits.size() != n) {
+    throw std::invalid_argument("market spec: v must list one value per beta entry");
+  }
+  if (!alphas.empty() && !demands.empty()) {
+    throw std::invalid_argument(
+        "market spec: give either alpha= (exponential demand) or demand=, not both");
+  }
+  if (alphas.empty() && demands.empty()) {
+    throw std::invalid_argument("market spec: need alpha= or demand=");
+  }
+  if (!alphas.empty() && alphas.size() != n) {
+    throw std::invalid_argument("market spec: alpha must list one value per beta entry");
+  }
+  if (demands.size() > 1 && demands.size() != n) {
+    throw std::invalid_argument(
+        "market spec: demand= needs one spec, or one per provider separated by '|'");
+  }
+
+  std::vector<econ::ContentProviderSpec> providers;
+  for (std::size_t i = 0; i < n; ++i) {
+    econ::ContentProviderSpec cp;
+    cp.name = "cp" + std::to_string(i);
+    if (!alphas.empty()) {
+      cp.demand = std::make_shared<econ::ExponentialDemand>(alphas[i]);
+    } else {
+      cp.demand = scenario::parse_demand_spec(demands.size() == 1 ? demands.front()
+                                                                  : demands[i]);
+    }
+    cp.throughput = parse_beta_entry(betas[i]);
+    cp.profitability = profits[i];
+    providers.push_back(std::move(cp));
+  }
+  if (!utilization) utilization = std::make_shared<econ::LinearUtilization>();
+  return econ::Market(econ::IspSpec{mu}, std::move(utilization), std::move(providers));
+}
+
+/// True when `suffix` (the text after the last '+') is a whole utilization
+/// suffix — "delay" or "power:<number>" — rather than part of a field.
+bool is_utilization_suffix(const std::string& suffix) {
+  if (suffix == "delay") return true;
+  if (suffix.rfind("power:", 0) != 0) return false;
+  try {
+    (void)scenario::parse_number(suffix.substr(6), "utilization gamma");
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
 }
 
 }  // namespace
 
 econ::Market parse_market_spec(const std::string& spec) {
-  // Split an optional "+<model>" suffix off the base spec.
+  // Split an optional trailing "+delay" / "+power:<gamma>" utilization
+  // suffix — but only off *named* bases (section3/section5). Inside an exp:
+  // body a '+' is always a per-provider throughput override and the
+  // utilization model is set with util=, so the two uses of '+' can never
+  // collide.
   std::string base = spec;
   std::string suffix;
-  const std::size_t plus = spec.find('+');
-  if (plus != std::string::npos) {
-    base = spec.substr(0, plus);
-    suffix = spec.substr(plus + 1);
+  if (spec.rfind("exp:", 0) != 0) {
+    const std::size_t plus = spec.rfind('+');
+    if (plus != std::string::npos && is_utilization_suffix(spec.substr(plus + 1))) {
+      base = spec.substr(0, plus);
+      suffix = spec.substr(plus + 1);
+    }
   }
 
   econ::Market market = [&]() {
@@ -73,20 +155,16 @@ econ::Market parse_market_spec(const std::string& spec) {
   }();
 
   if (suffix.empty()) return market;
-  if (suffix == "delay") {
-    return market.with_utilization_model(std::make_shared<econ::DelayUtilization>());
-  }
-  if (suffix.rfind("power:", 0) == 0) {
-    const double gamma = parse_double_list(suffix.substr(6)).at(0);
-    return market.with_utilization_model(std::make_shared<econ::PowerUtilization>(gamma));
-  }
-  throw std::invalid_argument("unknown utilization suffix '+" + suffix + "'; " +
-                              market_spec_help());
+  return market.with_utilization_model(scenario::parse_utilization_spec(suffix));
 }
 
 std::string market_spec_help() {
-  return "expected 'section3', 'section5' or 'exp:mu=<x>;alpha=<list>;beta=<list>;v=<list>',"
-         " optionally followed by '+delay' or '+power:<gamma>'";
+  return "expected 'section3' or 'section5' (optionally followed by '+delay' or "
+         "'+power:<gamma>' swapping the utilization model), or "
+         "'exp:mu=<x>;alpha=<list>;beta=<list>;v=<list>' where beta entries may carry a "
+         "per-provider throughput family ('2+power', '+delay:3'), demand=<spec>[|<spec>...] "
+         "replaces alpha= with any demand family (exp:alpha=, logit:k=,t0=, iso:eps=, "
+         "linear:tmax=), and util=<linear|delay|power:<gamma>> sets the utilization model";
 }
 
 }  // namespace subsidy::cli

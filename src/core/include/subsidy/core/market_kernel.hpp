@@ -7,8 +7,9 @@
 //
 // The kernel recognises the three built-in throughput families
 // (ExponentialThroughput, PowerLawThroughput, DelayThroughput), the built-in
-// demand families (ExponentialDemand) and the built-in utilization models
-// (Linear/Delay/PowerUtilization). Anything else lands in an *opaque* bucket
+// demand families (Exponential/Logit/Isoelastic/LinearDemand) and the
+// built-in utilization models (Linear/Delay/PowerUtilization). Anything else
+// lands in an *opaque* bucket
 // that calls through the original virtual interface, so arbitrary
 // ThroughputCurve/DemandCurve/UtilizationModel subclasses keep working
 // bit-compatibly with the pre-kernel path.
@@ -174,8 +175,14 @@ class MarketKernel {
 
  private:
   enum class ThroughputFamily : unsigned char { exponential, power_law, delay, opaque };
-  enum class DemandFamily : unsigned char { exponential, opaque };
+  enum class DemandFamily : unsigned char { exponential, logit, isoelastic, linear, opaque };
   enum class UtilizationFamily : unsigned char { linear, delay, power, opaque };
+
+  /// m_i(t) through the compiled family coefficients (or the opaque curve).
+  [[nodiscard]] double demand_value(std::size_t i, double t) const;
+  /// m_i(t) and dm_i/dt, replicating each family's analytic expressions
+  /// bit-for-bit (the logit value/slope share one exp()).
+  void demand_value_and_slope(std::size_t i, double t, double& m, double& dm) const;
 
   void check_population_size(std::size_t size) const;
   void check_phi(double phi) const;
@@ -206,9 +213,12 @@ class MarketKernel {
 
   // Demand SoA, in provider order (no permutation needed: the demand side is
   // evaluated per provider at distinct prices, so there is nothing to share).
+  // Per-family coefficient meaning: exponential (alpha, scale), logit
+  // (k, m0, t0), isoelastic (eps, m0), linear (t_max, m0).
   std::vector<DemandFamily> d_family_;
-  std::vector<double> d_alpha_;
-  std::vector<double> d_scale_;
+  std::vector<double> d_alpha_;  ///< alpha / k / eps / t_max.
+  std::vector<double> d_scale_;  ///< scale / m0.
+  std::vector<double> d_shift_;  ///< t0 (logit only; 0 elsewhere).
   std::vector<std::shared_ptr<const econ::DemandCurve>> d_opaque_;  ///< Empty slots null.
 
   // Utilization model.

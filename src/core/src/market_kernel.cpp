@@ -104,12 +104,27 @@ MarketKernel::MarketKernel(const econ::Market& market)
   d_family_.resize(n_, DemandFamily::opaque);
   d_alpha_.resize(n_, 0.0);
   d_scale_.resize(n_, 0.0);
+  d_shift_.resize(n_, 0.0);
   d_opaque_.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) {
-    if (const auto* e = dynamic_cast<const econ::ExponentialDemand*>(providers[i].demand.get())) {
+    const econ::DemandCurve* curve = providers[i].demand.get();
+    if (const auto* e = dynamic_cast<const econ::ExponentialDemand*>(curve)) {
       d_family_[i] = DemandFamily::exponential;
       d_alpha_[i] = e->alpha();
       d_scale_[i] = e->scale();
+    } else if (const auto* l = dynamic_cast<const econ::LogitDemand*>(curve)) {
+      d_family_[i] = DemandFamily::logit;
+      d_alpha_[i] = l->k();
+      d_scale_[i] = l->m0();
+      d_shift_[i] = l->t0();
+    } else if (const auto* iso = dynamic_cast<const econ::IsoelasticDemand*>(curve)) {
+      d_family_[i] = DemandFamily::isoelastic;
+      d_alpha_[i] = iso->eps();
+      d_scale_[i] = iso->m0();
+    } else if (const auto* lin = dynamic_cast<const econ::LinearDemand*>(curve)) {
+      d_family_[i] = DemandFamily::linear;
+      d_alpha_[i] = lin->t_max();
+      d_scale_[i] = lin->m0();
     } else {
       d_opaque_[i] = providers[i].demand;
     }
@@ -372,25 +387,80 @@ void MarketKernel::rates_and_slopes(double phi, std::span<double> lambda,
 }
 
 // --- Demand curves -------------------------------------------------------
+//
+// Each family replicates the corresponding DemandCurve subclass's analytic
+// expressions exactly (same operations, same order), so the compiled path is
+// bit-identical to the virtual path for every built-in family.
+
+double MarketKernel::demand_value(std::size_t i, double t) const {
+  switch (d_family_[i]) {
+    case DemandFamily::exponential:
+      return d_scale_[i] * std::exp(-d_alpha_[i] * t);
+    case DemandFamily::logit:
+      return d_scale_[i] / (1.0 + std::exp(d_alpha_[i] * (t - d_shift_[i])));
+    case DemandFamily::isoelastic:
+      if (t <= 0.0) return d_scale_[i];
+      return d_scale_[i] * std::pow(1.0 + t, -d_alpha_[i]);
+    case DemandFamily::linear:
+      if (t <= 0.0) return d_scale_[i];
+      if (t >= d_alpha_[i]) return 0.0;
+      return d_scale_[i] * (1.0 - t / d_alpha_[i]);
+    case DemandFamily::opaque:
+      break;
+  }
+  return d_opaque_[i]->population(t);
+}
+
+void MarketKernel::demand_value_and_slope(std::size_t i, double t, double& m,
+                                          double& dm) const {
+  switch (d_family_[i]) {
+    case DemandFamily::exponential:
+      m = d_scale_[i] * std::exp(-d_alpha_[i] * t);
+      dm = -d_alpha_[i] * m;
+      return;
+    case DemandFamily::logit: {
+      const double e = std::exp(d_alpha_[i] * (t - d_shift_[i]));
+      const double denom = (1.0 + e) * (1.0 + e);
+      m = d_scale_[i] / (1.0 + e);
+      dm = -d_scale_[i] * d_alpha_[i] * e / denom;
+      return;
+    }
+    case DemandFamily::isoelastic:
+      if (t <= 0.0) {
+        m = d_scale_[i];
+        dm = 0.0;
+      } else {
+        m = d_scale_[i] * std::pow(1.0 + t, -d_alpha_[i]);
+        dm = -d_alpha_[i] * d_scale_[i] * std::pow(1.0 + t, -d_alpha_[i] - 1.0);
+      }
+      return;
+    case DemandFamily::linear:
+      m = t <= 0.0 ? d_scale_[i]
+                   : (t >= d_alpha_[i] ? 0.0 : d_scale_[i] * (1.0 - t / d_alpha_[i]));
+      dm = (t <= 0.0 || t >= d_alpha_[i]) ? 0.0 : -d_scale_[i] / d_alpha_[i];
+      return;
+    case DemandFamily::opaque:
+      break;
+  }
+  m = d_opaque_[i]->population(t);
+  dm = d_opaque_[i]->derivative(t);
+}
 
 double MarketKernel::population(std::size_t i, double t) const {
   if (i >= n_) {
     throw std::out_of_range("MarketKernel::population: provider index out of range");
   }
-  if (d_family_[i] == DemandFamily::exponential) {
-    return d_scale_[i] * std::exp(-d_alpha_[i] * t);
-  }
-  return d_opaque_[i]->population(t);
+  return demand_value(i, t);
 }
 
 double MarketKernel::population_slope(std::size_t i, double t) const {
   if (i >= n_) {
     throw std::out_of_range("MarketKernel::population_slope: provider index out of range");
   }
-  if (d_family_[i] == DemandFamily::exponential) {
-    return -d_alpha_[i] * (d_scale_[i] * std::exp(-d_alpha_[i] * t));
-  }
-  return d_opaque_[i]->derivative(t);
+  double m = 0.0;
+  double dm = 0.0;
+  demand_value_and_slope(i, t, m, dm);
+  return dm;
 }
 
 void MarketKernel::populations(double price, std::span<const double> subsidies,
@@ -398,10 +468,7 @@ void MarketKernel::populations(double price, std::span<const double> subsidies,
   check_population_size(subsidies.size());
   check_population_size(m.size());
   for (std::size_t i = 0; i < n_; ++i) {
-    const double t = price - subsidies[i];
-    m[i] = d_family_[i] == DemandFamily::exponential
-               ? d_scale_[i] * std::exp(-d_alpha_[i] * t)
-               : d_opaque_[i]->population(t);
+    m[i] = demand_value(i, price - subsidies[i]);
   }
 }
 
@@ -411,14 +478,7 @@ void MarketKernel::populations_and_slopes(double price, std::span<const double> 
   check_population_size(m.size());
   check_population_size(dm.size());
   for (std::size_t i = 0; i < n_; ++i) {
-    const double t = price - subsidies[i];
-    if (d_family_[i] == DemandFamily::exponential) {
-      m[i] = d_scale_[i] * std::exp(-d_alpha_[i] * t);
-      dm[i] = -d_alpha_[i] * m[i];
-    } else {
-      m[i] = d_opaque_[i]->population(t);
-      dm[i] = d_opaque_[i]->derivative(t);
-    }
+    demand_value_and_slope(i, price - subsidies[i], m[i], dm[i]);
   }
 }
 

@@ -85,6 +85,10 @@ class LogitDemand final : public DemandCurve {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DemandCurve> clone() const override;
 
+  [[nodiscard]] double m0() const noexcept { return m0_; }
+  [[nodiscard]] double k() const noexcept { return k_; }
+  [[nodiscard]] double t0() const noexcept { return t0_; }
+
  private:
   double m0_;
   double k_;
@@ -104,6 +108,9 @@ class IsoelasticDemand final : public DemandCurve {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DemandCurve> clone() const override;
 
+  [[nodiscard]] double m0() const noexcept { return m0_; }
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+
  private:
   double m0_;
   double eps_;
@@ -122,6 +129,9 @@ class LinearDemand final : public DemandCurve {
   [[nodiscard]] double surplus_integral(double t) const override;  ///< Triangle area.
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DemandCurve> clone() const override;
+
+  [[nodiscard]] double m0() const noexcept { return m0_; }
+  [[nodiscard]] double t_max() const noexcept { return t_max_; }
 
  private:
   double m0_;

@@ -1,0 +1,35 @@
+// Built-in named scenarios: the paper's Section 3 / Section 5 markets and
+// figure suite, plus a mixed-family showcase, stored as scenario-file *text*
+// so the registry exercises exactly the same parser as user files (and
+// `subsidy_cli scenario print <name>` can emit a ready-to-edit template).
+// The files under examples/scenarios/ are verbatim copies of these texts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "subsidy/scenario/scenario_file.hpp"
+
+namespace subsidy::scenario {
+
+/// One registry listing row.
+struct RegistryEntry {
+  std::string name;
+  std::string description;
+};
+
+/// All built-in scenarios, in presentation order.
+[[nodiscard]] std::vector<RegistryEntry> registry_entries();
+
+/// True when `name` names a built-in scenario.
+[[nodiscard]] bool is_registry_scenario(const std::string& name);
+
+/// The scenario-file text of a built-in scenario. Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] std::string registry_scenario_text(const std::string& name);
+
+/// Parses a built-in scenario. Throws std::invalid_argument for unknown
+/// names.
+[[nodiscard]] Scenario make_registry_scenario(const std::string& name);
+
+}  // namespace subsidy::scenario

@@ -1,0 +1,89 @@
+// ScenarioRunner: executes a parsed Scenario's experiment blocks on the
+// compiled-kernel fast path.
+//
+// Construction compiles the market once into a ModelEvaluator (the
+// core::MarketKernel behind it); every one_sided block runs its batched
+// solve straight through that kernel. The equilibrium experiments dispatch
+// over the existing runtime::ThreadPool / chain-partition machinery —
+// ParallelSweepRunner for price/figure grids, parallel_map for policy caps —
+// whose solvers compile their own kernels per block, exactly as the CLI and
+// bench sweeps always have.
+//
+// Determinism: every experiment's rows are a pure function of the scenario —
+// the chain partition depends only on the grids and the block's `chain`
+// value, never on the job count, and policy caps are solved cold and
+// independently — so any `jobs` value (including RunOptions::jobs overrides)
+// produces bit-identical tables and therefore byte-identical CSV files.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/io/series.hpp"
+#include "subsidy/scenario/scenario_file.hpp"
+
+namespace subsidy::scenario {
+
+/// Run-time knobs (everything here is presentation or scheduling; none of it
+/// changes the computed rows except `precision` formatting).
+struct RunOptions {
+  /// Overrides every experiment block's `jobs` when set (the CLI's --jobs N).
+  std::optional<std::size_t> jobs;
+
+  /// Directory prepended to relative `out =` paths (absolute paths win).
+  std::string output_dir;
+
+  /// CSV float precision.
+  int precision = 10;
+};
+
+/// One executed experiment block.
+struct ExperimentResult {
+  std::string label;
+  ExperimentType type = ExperimentType::sweep;
+  io::SweepTable table;
+  std::string output_path;  ///< File the table was written to; empty if none.
+  bool converged = true;    ///< False when any inner Nash solve failed.
+};
+
+/// Everything a scenario run produced.
+struct ScenarioReport {
+  std::string scenario_name;
+  std::vector<ExperimentResult> experiments;
+
+  [[nodiscard]] bool all_converged() const noexcept;
+};
+
+/// Executes scenarios. Construction compiles the market kernel; run() may be
+/// called repeatedly (each run re-executes every block).
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(Scenario scenario, RunOptions options = {});
+
+  [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
+  [[nodiscard]] const RunOptions& options() const noexcept { return options_; }
+
+  /// Runs every experiment block in file order, writing CSV sinks as
+  /// configured. Throws std::runtime_error when an output file cannot be
+  /// written.
+  [[nodiscard]] ScenarioReport run() const;
+
+ private:
+  [[nodiscard]] std::size_t effective_jobs(const ExperimentSpec& spec) const;
+  [[nodiscard]] std::string resolve_output(const std::string& path) const;
+
+  [[nodiscard]] io::SweepTable run_sweep(const ExperimentSpec& spec, bool& converged) const;
+  [[nodiscard]] io::SweepTable run_one_sided(const ExperimentSpec& spec) const;
+  [[nodiscard]] io::SweepTable run_equilibrium(const ExperimentSpec& spec,
+                                               bool& converged) const;
+  [[nodiscard]] io::SweepTable run_policy(const ExperimentSpec& spec) const;
+  [[nodiscard]] io::SweepTable run_figure(const ExperimentSpec& spec, bool& converged) const;
+
+  Scenario scenario_;
+  RunOptions options_;
+  core::ModelEvaluator evaluator_;  ///< Compiled once; drives one_sided blocks.
+};
+
+}  // namespace subsidy::scenario

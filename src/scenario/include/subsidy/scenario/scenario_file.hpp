@@ -1,0 +1,114 @@
+// Declarative scenario files: one file describes a full experiment — the
+// market (per-provider demand/throughput curves, utilization model,
+// profitabilities) plus any number of experiment blocks — and the
+// ScenarioRunner executes it on the compiled-kernel fast path.
+//
+// Format (INI-style sections, '#' comments, 'key = value' entries):
+//
+//   [scenario]                         # optional metadata
+//   name = my_experiment
+//   description = ...
+//
+//   [market]                           # exactly one
+//   base = section5                    # paper market (section3 | section5), or:
+//   capacity = 1.0                     #   mu (default 1)
+//   utilization = linear               #   linear | delay | power:<gamma>
+//   demand = exp:alpha=2               #   provider defaults (optional)
+//   throughput = exp:beta=2
+//   v = 1.0
+//
+//   [provider]                         # repeatable (forbidden with base=)
+//   name = video
+//   demand = logit:k=4,t0=0.5          # falls back to the [market] default
+//   throughput = power:beta=1.5
+//   v = 0.5
+//
+//   [sweep]                            # Nash sweep over prices at one cap
+//   prices = 0.05:2:41                 # grid: lo:hi:points | list | number
+//   cap = 1.0
+//   chain = 8                          # warm-start chain length (0 = one chain)
+//   jobs = 1                           # worker threads, 0 = hardware (rows jobs-invariant)
+//   out = sweep.csv                    # CSV sink (omit to print)
+//
+//   [one_sided]                        # unsubsidized price sweep (batched)
+//   prices = 0.05:2:41
+//
+//   [equilibrium]                      # one Nash solve, per-provider rows
+//   price = 0.8
+//   cap = 1.0
+//
+//   [policy]                           # policy-cap sweep
+//   caps = 0,0.5,1,1.5,2
+//   price = 0.8                        # fixed ISP price; omit for monopoly p(q)
+//
+//   [figure]                           # full (cap x price) equilibrium grid
+//   prices = 0.05:2:41
+//   caps = 0,0.5,1,1.5,2
+//   chain = 0
+//
+// Every parse error carries the file name and line number.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "subsidy/econ/market.hpp"
+
+namespace subsidy::scenario {
+
+/// Parse failure with file:line context ("fig.scn:12: message").
+class ScenarioParseError final : public std::runtime_error {
+ public:
+  ScenarioParseError(const std::string& file, std::size_t line, const std::string& message);
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// The experiment block kinds a scenario file can request.
+enum class ExperimentType { sweep, one_sided, equilibrium, policy, figure };
+
+[[nodiscard]] std::string to_string(ExperimentType type);
+
+/// One compiled experiment block.
+struct ExperimentSpec {
+  ExperimentType type = ExperimentType::sweep;
+  std::string label;             ///< `label =` or the block's type name.
+  std::size_t line = 0;          ///< Section header line (for runner errors).
+  std::vector<double> prices;    ///< sweep / one_sided / figure.
+  std::vector<double> caps;      ///< policy / figure.
+  double cap = 0.0;              ///< sweep / equilibrium.
+  double price = 0.0;            ///< equilibrium; policy when fixed_price.
+  bool fixed_price = false;      ///< policy: fixed p vs monopoly response p(q).
+  std::size_t chain_length = 0;  ///< sweep / figure warm-start chain length.
+  std::size_t jobs = 1;          ///< Worker threads, 0 = hardware (never affects results).
+  std::string output;            ///< CSV path; empty prints to the report.
+};
+
+/// A fully parsed scenario: metadata, the market, and the experiment blocks
+/// in file order.
+struct Scenario {
+  std::string name;
+  std::string description;
+  econ::Market market;
+  std::vector<ExperimentSpec> experiments;
+};
+
+/// Parses a scenario from a stream; `filename` labels error messages.
+[[nodiscard]] Scenario parse_scenario(std::istream& in,
+                                      const std::string& filename = "<scenario>");
+
+/// Parses a scenario from an in-memory string.
+[[nodiscard]] Scenario parse_scenario_text(const std::string& text,
+                                           const std::string& filename = "<scenario>");
+
+/// Parses a scenario file from disk. Throws std::runtime_error when the file
+/// cannot be opened, ScenarioParseError on malformed content.
+[[nodiscard]] Scenario parse_scenario_file(const std::string& path);
+
+}  // namespace subsidy::scenario

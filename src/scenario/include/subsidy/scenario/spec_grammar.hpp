@@ -1,0 +1,60 @@
+// The one curve/model/grid spec grammar shared by scenario files and the
+// CLI's `--market` option, so there is a single textual surface for every
+// market ingredient:
+//
+//   demand       exp:alpha=<a>[,scale=<s>]
+//                logit:k=<k>,t0=<t0>[,m0=<m>]
+//                iso:eps=<e>[,m0=<m>]         (alias: isoelastic)
+//                linear:tmax=<t>[,m0=<m>]
+//   throughput   exp:beta=<b>[,lambda0=<l>]
+//                power:beta=<b>[,lambda0=<l>]
+//                delay:beta=<b>[,lambda0=<l>]
+//   utilization  linear | delay | power:<gamma>
+//   grid         <lo>:<hi>:<points> (inclusive linspace) | <a>,<b>,... | <x>
+//
+// Every parser throws std::invalid_argument with a human-readable message on
+// malformed input; the scenario-file parser wraps these with file:line
+// context.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "subsidy/econ/demand.hpp"
+#include "subsidy/econ/throughput.hpp"
+#include "subsidy/econ/utilization.hpp"
+
+namespace subsidy::scenario {
+
+/// Parses a demand-curve spec, e.g. "exp:alpha=2" or "logit:k=4,t0=0.5".
+[[nodiscard]] std::shared_ptr<const econ::DemandCurve> parse_demand_spec(
+    const std::string& spec);
+
+/// Parses a throughput-curve spec, e.g. "exp:beta=2" or "power:beta=1.5".
+[[nodiscard]] std::shared_ptr<const econ::ThroughputCurve> parse_throughput_spec(
+    const std::string& spec);
+
+/// Parses a utilization-model spec: "linear", "delay" or "power:<gamma>".
+[[nodiscard]] std::shared_ptr<const econ::UtilizationModel> parse_utilization_spec(
+    const std::string& spec);
+
+/// Parses a grid spec: "lo:hi:points" (linspace, endpoints included),
+/// a comma-separated list, or a single number.
+[[nodiscard]] std::vector<double> parse_grid_spec(const std::string& spec);
+
+/// Parses one number, naming `what` in the error message.
+[[nodiscard]] double parse_number(const std::string& text, const std::string& what);
+
+/// Splits `text` at every `separator`, keeping empty cells
+/// ("a,,b" -> {"a", "", "b"}). Shared by the spec parsers and the CLI
+/// market grammar.
+[[nodiscard]] std::vector<std::string> split_list(const std::string& text, char separator);
+
+/// One-line grammar summaries for --help output and error messages.
+[[nodiscard]] std::string demand_spec_help();
+[[nodiscard]] std::string throughput_spec_help();
+[[nodiscard]] std::string utilization_spec_help();
+[[nodiscard]] std::string grid_spec_help();
+
+}  // namespace subsidy::scenario

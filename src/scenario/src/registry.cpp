@@ -1,0 +1,154 @@
+#include "subsidy/scenario/registry.hpp"
+
+#include <stdexcept>
+
+namespace subsidy::scenario {
+
+namespace {
+
+struct NamedText {
+  const char* name;
+  const char* text;
+};
+
+constexpr const char* kSection3 = R"(# The paper's Section 3 market (Figures 4-5): nine CP classes with
+# (alpha, beta) in {1,3,5}^2, m_i = e^{-alpha_i t}, lambda_i = e^{-beta_i phi},
+# Phi = theta / mu, mu = 1 — under status-quo one-sided pricing (no subsidies).
+[scenario]
+name = section3
+description = Section 3 one-sided pricing market (Figures 4-5 data)
+
+[market]
+base = section3
+
+[one_sided]
+prices = 0.05:2:41
+out = section3_one_sided.csv
+)";
+
+constexpr const char* kSection5 = R"(# The paper's Section 5 market (Figures 7-11): eight CP classes with
+# alpha, beta in {2,5} and v in {0.5,1}, mu = 1 — one Nash equilibrium plus a
+# fixed-price policy-cap sweep.
+[scenario]
+name = section5
+description = Section 5 subsidization market: Nash equilibrium and policy response
+
+[market]
+base = section5
+
+[equilibrium]
+price = 0.8
+cap = 1.0
+out = section5_equilibrium.csv
+
+[policy]
+caps = 0,0.5,1,1.5,2
+price = 0.8
+out = section5_policy.csv
+)";
+
+constexpr const char* kSection5Figures = R"(# The Figure 7-11 production grid: Nash equilibria of the Section 5 market
+# over the full (policy cap, price) lattice. Chains of 8 consecutive prices
+# share a warm start; rows are bit-identical for any --jobs value.
+[scenario]
+name = section5_figures
+description = Figure 7-11 grid: Nash equilibria over (policy cap, price)
+
+[market]
+base = section5
+
+[figure]
+prices = 0.05:2:41
+caps = 0,0.5,1,1.5,2
+chain = 8
+jobs = 2
+out = section5_figures.csv
+)";
+
+constexpr const char* kMixedFamilies = R"(# Every demand family and both non-exponential throughput families in one
+# market, on the delay utilization model — nothing here is expressible in the
+# paper's exponential-only parameterization.
+[scenario]
+name = mixed_families
+description = Logit/isoelastic/linear demand with power-law/delay throughput
+
+[market]
+capacity = 1.2
+utilization = delay
+throughput = exp:beta=2
+v = 1.0
+
+[provider]
+name = video
+demand = exp:alpha=2
+throughput = power:beta=1.5
+
+[provider]
+name = social
+demand = logit:k=4,t0=0.5
+throughput = delay:beta=2
+v = 0.8
+
+[provider]
+name = news
+demand = iso:eps=2
+v = 0.6
+
+[provider]
+name = games
+demand = linear:tmax=1.5,m0=0.8
+throughput = exp:beta=5
+v = 1.2
+
+[one_sided]
+prices = 0.1:1.9:19
+out = mixed_one_sided.csv
+
+[sweep]
+prices = 0.1:1.9:10
+cap = 0.5
+chain = 4
+jobs = 2
+out = mixed_sweep.csv
+)";
+
+constexpr NamedText kRegistry[] = {
+    {"section3", kSection3},
+    {"section5", kSection5},
+    {"section5_figures", kSection5Figures},
+    {"mixed_families", kMixedFamilies},
+};
+
+const NamedText* find(const std::string& name) {
+  for (const NamedText& entry : kRegistry) {
+    if (name == entry.name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<RegistryEntry> registry_entries() {
+  std::vector<RegistryEntry> entries;
+  for (const NamedText& entry : kRegistry) {
+    const Scenario scenario = parse_scenario_text(entry.text, entry.name);
+    entries.push_back({entry.name, scenario.description});
+  }
+  return entries;
+}
+
+bool is_registry_scenario(const std::string& name) { return find(name) != nullptr; }
+
+std::string registry_scenario_text(const std::string& name) {
+  const NamedText* entry = find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("unknown scenario '" + name + "' (see `scenario list`)");
+  }
+  return entry->text;
+}
+
+Scenario make_registry_scenario(const std::string& name) {
+  return parse_scenario_text(registry_scenario_text(name), name);
+}
+
+}  // namespace subsidy::scenario

@@ -1,0 +1,155 @@
+#include "subsidy/scenario/runner.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "subsidy/core/game.hpp"
+#include "subsidy/core/nash.hpp"
+#include "subsidy/core/policy.hpp"
+#include "subsidy/io/csv.hpp"
+#include "subsidy/runtime/parallel_sweep.hpp"
+#include "subsidy/runtime/thread_pool.hpp"
+
+namespace subsidy::scenario {
+
+namespace {
+
+void add_state_row(io::SweepTable& table, double price, const core::SystemState& state) {
+  table.add_row({price, state.utilization, state.aggregate_throughput, state.revenue,
+                 state.welfare});
+}
+
+}  // namespace
+
+bool ScenarioReport::all_converged() const noexcept {
+  for (const ExperimentResult& result : experiments) {
+    if (!result.converged) return false;
+  }
+  return true;
+}
+
+ScenarioRunner::ScenarioRunner(Scenario scenario, RunOptions options)
+    : scenario_(std::move(scenario)),
+      options_(std::move(options)),
+      evaluator_(scenario_.market) {}
+
+std::size_t ScenarioRunner::effective_jobs(const ExperimentSpec& spec) const {
+  // 0 means "use the hardware", matching the CLI's --jobs 0 convention.
+  const std::size_t requested = options_.jobs.value_or(spec.jobs);
+  return requested == 0 ? runtime::resolve_jobs(0) : requested;
+}
+
+std::string ScenarioRunner::resolve_output(const std::string& path) const {
+  if (path.empty() || options_.output_dir.empty() || path.front() == '/') return path;
+  return options_.output_dir + "/" + path;
+}
+
+io::SweepTable ScenarioRunner::run_sweep(const ExperimentSpec& spec, bool& converged) const {
+  runtime::SweepOptions options;
+  options.jobs = effective_jobs(spec);
+  options.chain_length = spec.chain_length;
+  const runtime::ParallelSweepRunner runner(scenario_.market, options);
+  io::SweepTable table({"p", "phi", "theta", "revenue", "welfare"});
+  for (const runtime::SweepRow& row : runner.run_prices(spec.cap, spec.prices)) {
+    converged = converged && row.result.converged;
+    add_state_row(table, row.price, row.result.state);
+  }
+  return table;
+}
+
+io::SweepTable ScenarioRunner::run_one_sided(const ExperimentSpec& spec) const {
+  // Batched through the runner's own compiled kernel: all fixed points are
+  // advanced together by UtilizationSolver::solve_many.
+  io::SweepTable table({"p", "phi", "theta", "revenue", "welfare"});
+  const std::vector<core::SystemState> states =
+      evaluator_.evaluate_unsubsidized_many(spec.prices);
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    add_state_row(table, spec.prices[k], states[k]);
+  }
+  return table;
+}
+
+io::SweepTable ScenarioRunner::run_equilibrium(const ExperimentSpec& spec,
+                                               bool& converged) const {
+  const core::SubsidizationGame game(scenario_.market, spec.price, spec.cap);
+  const core::NashResult nash = core::solve_nash(game);
+  converged = converged && nash.converged;
+  io::SweepTable table({"cp", "subsidy", "t", "m", "lambda", "theta", "utility"});
+  for (std::size_t i = 0; i < nash.state.providers.size(); ++i) {
+    const core::CpState& cp = nash.state.providers[i];
+    table.add_row({static_cast<double>(i), cp.subsidy, cp.effective_price, cp.population,
+                   cp.per_user_rate, cp.throughput, cp.utility});
+  }
+  return table;
+}
+
+io::SweepTable ScenarioRunner::run_policy(const ExperimentSpec& spec) const {
+  const core::PriceResponse response = spec.fixed_price
+                                           ? core::PriceResponse::fixed(spec.price)
+                                           : core::PriceResponse::monopoly();
+  const core::PolicyAnalyzer analyzer(scenario_.market, response);
+  // Cold, independent evaluations: rows are identical for any job count.
+  const std::vector<core::PolicyPoint> points =
+      runtime::parallel_map(spec.caps, effective_jobs(spec),
+                            [&analyzer](const double& cap) { return analyzer.evaluate(cap); });
+  io::SweepTable table({"q", "price", "phi", "theta", "revenue", "welfare"});
+  for (const core::PolicyPoint& point : points) {
+    table.add_row({point.policy_cap, point.price, point.state.utilization,
+                   point.state.aggregate_throughput, point.state.revenue,
+                   point.state.welfare});
+  }
+  return table;
+}
+
+io::SweepTable ScenarioRunner::run_figure(const ExperimentSpec& spec, bool& converged) const {
+  runtime::SweepOptions options;
+  options.jobs = effective_jobs(spec);
+  options.chain_length = spec.chain_length;
+  const runtime::ParallelSweepRunner runner(scenario_.market, options);
+  io::SweepTable table({"q", "p", "phi", "theta", "revenue", "welfare"});
+  for (const runtime::SweepRow& row : runner.run(spec.caps, spec.prices)) {
+    converged = converged && row.result.converged;
+    table.add_row({row.policy_cap, row.price, row.result.state.utilization,
+                   row.result.state.aggregate_throughput, row.result.state.revenue,
+                   row.result.state.welfare});
+  }
+  return table;
+}
+
+ScenarioReport ScenarioRunner::run() const {
+  ScenarioReport report;
+  report.scenario_name = scenario_.name;
+  for (const ExperimentSpec& spec : scenario_.experiments) {
+    ExperimentResult result;
+    result.label = spec.label;
+    result.type = spec.type;
+    switch (spec.type) {
+      case ExperimentType::sweep:
+        result.table = run_sweep(spec, result.converged);
+        break;
+      case ExperimentType::one_sided:
+        result.table = run_one_sided(spec);
+        break;
+      case ExperimentType::equilibrium:
+        result.table = run_equilibrium(spec, result.converged);
+        break;
+      case ExperimentType::policy:
+        result.table = run_policy(spec);
+        break;
+      case ExperimentType::figure:
+        result.table = run_figure(spec, result.converged);
+        break;
+    }
+    if (!spec.output.empty()) {
+      result.output_path = resolve_output(spec.output);
+      const std::filesystem::path parent =
+          std::filesystem::path(result.output_path).parent_path();
+      if (!parent.empty()) std::filesystem::create_directories(parent);
+      io::write_csv_file(result.output_path, result.table, options_.precision);
+    }
+    report.experiments.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace subsidy::scenario

@@ -1,0 +1,391 @@
+#include "subsidy/scenario/scenario_file.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/scenario/spec_grammar.hpp"
+
+namespace subsidy::scenario {
+
+namespace {
+
+std::string trim(const std::string& text) {
+  const std::size_t begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const std::size_t end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+/// One `key = value` entry with its source line.
+struct Entry {
+  std::string key;
+  std::string value;
+  std::size_t line = 0;
+};
+
+/// One `[section]` with its entries, in file order.
+struct RawSection {
+  std::string name;
+  std::size_t line = 0;
+  std::vector<Entry> entries;
+};
+
+/// Typed accessor over a RawSection: required/optional lookups, grid and
+/// spec parsing, consumed-key tracking so leftovers raise "unknown key"
+/// errors — all with file:line context.
+class SectionReader {
+ public:
+  SectionReader(const std::string& file, const RawSection& section)
+      : file_(file), section_(section), used_(section.entries.size(), false) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return section_.name; }
+  [[nodiscard]] std::size_t line() const noexcept { return section_.line; }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return find(key) != section_.entries.size();
+  }
+
+  [[nodiscard]] std::string require(const std::string& key) {
+    const std::size_t k = find(key);
+    if (k == section_.entries.size()) {
+      throw ScenarioParseError(file_, section_.line,
+                               "[" + section_.name + "] is missing required key '" + key + "'");
+    }
+    used_[k] = true;
+    return section_.entries[k].value;
+  }
+
+  [[nodiscard]] std::string get_or(const std::string& key, const std::string& fallback) {
+    const std::size_t k = find(key);
+    if (k == section_.entries.size()) return fallback;
+    used_[k] = true;
+    return section_.entries[k].value;
+  }
+
+  [[nodiscard]] double require_number(const std::string& key) {
+    return parse_at(key, require(key),
+                    [&](const std::string& v) { return parse_number(v, "'" + key + "'"); });
+  }
+
+  [[nodiscard]] double number_or(const std::string& key, double fallback) {
+    if (!has(key)) return fallback;
+    return require_number(key);
+  }
+
+  [[nodiscard]] std::size_t count_or(const std::string& key, std::size_t fallback) {
+    if (!has(key)) return fallback;
+    const double value = require_number(key);
+    if (value < 0.0 || value != static_cast<double>(static_cast<std::size_t>(value))) {
+      throw ScenarioParseError(file_, line_of(key),
+                               "'" + key + "' must be a non-negative integer");
+    }
+    return static_cast<std::size_t>(value);
+  }
+
+  [[nodiscard]] std::vector<double> require_grid(const std::string& key) {
+    return parse_at(key, require(key), parse_grid_spec);
+  }
+
+  /// Applies `parse` to an already-consumed value, rebadging
+  /// std::invalid_argument as a line-numbered error at the key's line.
+  template <typename Parser>
+  [[nodiscard]] auto parse_at(const std::string& key, const std::string& value,
+                              Parser&& parse) -> decltype(parse(value)) {
+    try {
+      return parse(value);
+    } catch (const std::invalid_argument& err) {
+      throw ScenarioParseError(file_, line_of(key), err.what());
+    }
+  }
+
+  /// Call after all lookups: the first unconsumed entry is an unknown key.
+  void finish() const {
+    for (std::size_t k = 0; k < used_.size(); ++k) {
+      if (!used_[k]) {
+        throw ScenarioParseError(file_, section_.entries[k].line,
+                                 "unknown key '" + section_.entries[k].key + "' in [" +
+                                     section_.name + "]");
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t line_of(const std::string& key) const {
+    const std::size_t k = find(key);
+    return k == section_.entries.size() ? section_.line : section_.entries[k].line;
+  }
+
+ private:
+  [[nodiscard]] std::size_t find(const std::string& key) const {
+    for (std::size_t k = 0; k < section_.entries.size(); ++k) {
+      if (section_.entries[k].key == key) return k;
+    }
+    return section_.entries.size();
+  }
+
+  const std::string& file_;
+  const RawSection& section_;
+  mutable std::vector<bool> used_;
+};
+
+std::vector<RawSection> parse_sections(std::istream& in, const std::string& file) {
+  std::vector<RawSection> sections;
+  std::string raw_line;
+  std::size_t line_number = 0;
+  while (std::getline(in, raw_line)) {
+    ++line_number;
+    const std::size_t hash = raw_line.find('#');
+    const std::string line = trim(hash == std::string::npos ? raw_line : raw_line.substr(0, hash));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw ScenarioParseError(file, line_number, "malformed section header '" + line + "'");
+      }
+      sections.push_back({trim(line.substr(1, line.size() - 2)), line_number, {}});
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw ScenarioParseError(file, line_number,
+                               "expected 'key = value' or '[section]', got '" + line + "'");
+    }
+    if (sections.empty()) {
+      throw ScenarioParseError(file, line_number, "entry before any [section] header");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    if (key.empty()) {
+      throw ScenarioParseError(file, line_number, "missing key before '='");
+    }
+    for (const Entry& entry : sections.back().entries) {
+      if (entry.key == key) {
+        throw ScenarioParseError(file, line_number,
+                                 "duplicate key '" + key + "' in [" + sections.back().name +
+                                     "] (first set on line " + std::to_string(entry.line) +
+                                     ")");
+      }
+    }
+    sections.back().entries.push_back({key, trim(line.substr(eq + 1)), line_number});
+  }
+  return sections;
+}
+
+econ::Market build_market(const std::string& file, const RawSection& market_section,
+                          const std::vector<const RawSection*>& provider_sections) {
+  SectionReader market(file, market_section);
+
+  if (market.has("base")) {
+    const std::string base = market.require("base");
+    if (!provider_sections.empty()) {
+      throw ScenarioParseError(file, provider_sections.front()->line,
+                               "[provider] sections cannot be combined with base = " + base);
+    }
+    std::optional<econ::Market> mkt;
+    if (base == "section3") {
+      mkt = subsidy::market::section3_market();
+    } else if (base == "section5") {
+      mkt = subsidy::market::section5_market();
+    } else {
+      throw ScenarioParseError(file, market.line_of("base"),
+                               "unknown base market '" + base + "' (expected section3 or section5)");
+    }
+    if (market.has("capacity")) mkt = mkt->with_capacity(market.require_number("capacity"));
+    if (market.has("utilization")) {
+      mkt = mkt->with_utilization_model(market.parse_at(
+          "utilization", market.require("utilization"), parse_utilization_spec));
+    }
+    market.finish();
+    return *std::move(mkt);
+  }
+
+  const double capacity = market.number_or("capacity", 1.0);
+  std::shared_ptr<const econ::UtilizationModel> utilization =
+      market.has("utilization")
+          ? market.parse_at("utilization", market.require("utilization"), parse_utilization_spec)
+          : std::make_shared<econ::LinearUtilization>();
+  // Defaults are parsed *here*, so a bad [market]-level spec is reported at
+  // the [market] key's line, not at whichever provider inherits it first.
+  // The parsed curves are immutable and shared across inheriting providers.
+  std::shared_ptr<const econ::DemandCurve> default_demand;
+  if (market.has("demand")) {
+    default_demand = market.parse_at("demand", market.require("demand"), parse_demand_spec);
+  }
+  std::shared_ptr<const econ::ThroughputCurve> default_throughput;
+  if (market.has("throughput")) {
+    default_throughput =
+        market.parse_at("throughput", market.require("throughput"), parse_throughput_spec);
+  }
+  const double default_v = market.number_or("v", 1.0);
+  market.finish();
+
+  if (provider_sections.empty()) {
+    throw ScenarioParseError(file, market_section.line,
+                             "need at least one [provider] section (or base = section3/section5)");
+  }
+
+  std::vector<econ::ContentProviderSpec> providers;
+  for (std::size_t k = 0; k < provider_sections.size(); ++k) {
+    SectionReader provider(file, *provider_sections[k]);
+    econ::ContentProviderSpec cp;
+    cp.name = provider.get_or("name", "cp" + std::to_string(k));
+    cp.demand = provider.has("demand")
+                    ? provider.parse_at("demand", provider.require("demand"), parse_demand_spec)
+                    : default_demand;
+    if (!cp.demand) {
+      throw ScenarioParseError(file, provider.line(),
+                               "provider '" + cp.name +
+                                   "' has no demand spec (set demand = here or in [market])");
+    }
+    cp.throughput = provider.has("throughput")
+                        ? provider.parse_at("throughput", provider.require("throughput"),
+                                            parse_throughput_spec)
+                        : default_throughput;
+    if (!cp.throughput) {
+      throw ScenarioParseError(file, provider.line(),
+                               "provider '" + cp.name +
+                                   "' has no throughput spec (set throughput = here or in [market])");
+    }
+    cp.profitability = provider.number_or("v", default_v);
+    provider.finish();
+    providers.push_back(std::move(cp));
+  }
+  try {
+    return econ::Market(econ::IspSpec{capacity}, std::move(utilization), std::move(providers));
+  } catch (const std::invalid_argument& err) {
+    throw ScenarioParseError(file, market_section.line, err.what());
+  }
+}
+
+ExperimentSpec build_experiment(const std::string& file, ExperimentType type,
+                                const RawSection& section) {
+  SectionReader reader(file, section);
+  ExperimentSpec spec;
+  spec.type = type;
+  spec.line = section.line;
+  spec.label = reader.get_or("label", to_string(type));
+  spec.jobs = reader.count_or("jobs", 1);
+  spec.output = reader.get_or("out", "");
+  switch (type) {
+    case ExperimentType::sweep:
+      spec.prices = reader.require_grid("prices");
+      spec.cap = reader.number_or("cap", 0.0);
+      spec.chain_length = reader.count_or("chain", 8);
+      break;
+    case ExperimentType::one_sided:
+      spec.prices = reader.require_grid("prices");
+      break;
+    case ExperimentType::equilibrium:
+      spec.price = reader.require_number("price");
+      spec.cap = reader.number_or("cap", 0.0);
+      break;
+    case ExperimentType::policy:
+      spec.caps = reader.require_grid("caps");
+      spec.fixed_price = reader.has("price");
+      if (spec.fixed_price) spec.price = reader.require_number("price");
+      break;
+    case ExperimentType::figure:
+      spec.prices = reader.require_grid("prices");
+      spec.caps = reader.require_grid("caps");
+      spec.chain_length = reader.count_or("chain", 0);
+      break;
+  }
+  reader.finish();
+  return spec;
+}
+
+std::optional<ExperimentType> experiment_type_of(const std::string& section_name) {
+  if (section_name == "sweep") return ExperimentType::sweep;
+  if (section_name == "one_sided") return ExperimentType::one_sided;
+  if (section_name == "equilibrium") return ExperimentType::equilibrium;
+  if (section_name == "policy") return ExperimentType::policy;
+  if (section_name == "figure") return ExperimentType::figure;
+  return std::nullopt;
+}
+
+}  // namespace
+
+ScenarioParseError::ScenarioParseError(const std::string& file, std::size_t line,
+                                       const std::string& message)
+    : std::runtime_error(file + ":" + std::to_string(line) + ": " + message), line_(line) {}
+
+std::string to_string(ExperimentType type) {
+  switch (type) {
+    case ExperimentType::sweep: return "sweep";
+    case ExperimentType::one_sided: return "one_sided";
+    case ExperimentType::equilibrium: return "equilibrium";
+    case ExperimentType::policy: return "policy";
+    case ExperimentType::figure: return "figure";
+  }
+  return "unknown";
+}
+
+Scenario parse_scenario(std::istream& in, const std::string& filename) {
+  const std::vector<RawSection> sections = parse_sections(in, filename);
+
+  const RawSection* scenario_section = nullptr;
+  const RawSection* market_section = nullptr;
+  std::vector<const RawSection*> provider_sections;
+  std::vector<const RawSection*> experiment_sections;
+  for (const RawSection& section : sections) {
+    if (section.name == "scenario") {
+      if (scenario_section != nullptr) {
+        throw ScenarioParseError(filename, section.line, "duplicate [scenario] section");
+      }
+      scenario_section = &section;
+    } else if (section.name == "market") {
+      if (market_section != nullptr) {
+        throw ScenarioParseError(filename, section.line, "duplicate [market] section");
+      }
+      market_section = &section;
+    } else if (section.name == "provider") {
+      provider_sections.push_back(&section);
+    } else if (experiment_type_of(section.name).has_value()) {
+      experiment_sections.push_back(&section);
+    } else {
+      throw ScenarioParseError(filename, section.line,
+                               "unknown section [" + section.name +
+                                   "] (expected scenario, market, provider, sweep, one_sided, "
+                                   "equilibrium, policy or figure)");
+    }
+  }
+  if (market_section == nullptr) {
+    throw ScenarioParseError(filename, 1, "scenario has no [market] section");
+  }
+
+  std::string name = "scenario";
+  std::string description;
+  if (scenario_section != nullptr) {
+    SectionReader reader(filename, *scenario_section);
+    name = reader.get_or("name", name);
+    description = reader.get_or("description", "");
+    reader.finish();
+  }
+
+  Scenario scenario{std::move(name), std::move(description),
+                    build_market(filename, *market_section, provider_sections), {}};
+  for (const RawSection* section : experiment_sections) {
+    scenario.experiments.push_back(
+        build_experiment(filename, *experiment_type_of(section->name), *section));
+  }
+  if (scenario.experiments.empty()) {
+    throw ScenarioParseError(filename, market_section->line,
+                             "scenario has no experiment blocks");
+  }
+  return scenario;
+}
+
+Scenario parse_scenario_text(const std::string& text, const std::string& filename) {
+  std::istringstream in(text);
+  return parse_scenario(in, filename);
+}
+
+Scenario parse_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open scenario file '" + path + "'");
+  }
+  return parse_scenario(in, path);
+}
+
+}  // namespace subsidy::scenario

@@ -1,0 +1,202 @@
+#include "subsidy/scenario/spec_grammar.hpp"
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+
+#include "subsidy/numerics/grid.hpp"
+
+namespace subsidy::scenario {
+
+namespace {
+
+std::string trim(const std::string& text) {
+  const std::size_t begin = text.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const std::size_t end = text.find_last_not_of(" \t");
+  return text.substr(begin, end - begin + 1);
+}
+
+/// "k=v,k=v" parameter body (whitespace around keys/values ignored) with
+/// required/optional lookup and unknown-key detection, all errors naming
+/// `context`.
+class ParamList {
+ public:
+  ParamList(std::string context, const std::string& body) : context_(std::move(context)) {
+    if (body.empty()) return;
+    for (const std::string& field : split_list(body, ',')) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument(context_ + ": expected name=value, got '" + field + "'");
+      }
+      const std::string key = trim(field.substr(0, eq));
+      if (key.empty()) {
+        throw std::invalid_argument(context_ + ": expected name=value, got '" + field + "'");
+      }
+      if (!params_.emplace(key, trim(field.substr(eq + 1))).second) {
+        throw std::invalid_argument(context_ + ": duplicate parameter '" + key + "'");
+      }
+    }
+  }
+
+  [[nodiscard]] double require(const std::string& key) {
+    const auto it = params_.find(key);
+    if (it == params_.end()) {
+      throw std::invalid_argument(context_ + ": missing required parameter '" + key + "'");
+    }
+    const double value = parse_number(it->second, context_ + " " + key);
+    params_.erase(it);
+    return value;
+  }
+
+  [[nodiscard]] double get_or(const std::string& key, double fallback) {
+    const auto it = params_.find(key);
+    if (it == params_.end()) return fallback;
+    const double value = parse_number(it->second, context_ + " " + key);
+    params_.erase(it);
+    return value;
+  }
+
+  /// Call after all lookups: any leftover key is unknown.
+  void finish() const {
+    if (!params_.empty()) {
+      throw std::invalid_argument(context_ + ": unknown parameter '" +
+                                  params_.begin()->first + "'");
+    }
+  }
+
+ private:
+  std::string context_;
+  std::map<std::string, std::string> params_;
+};
+
+/// Splits "family:params" into (family, params); params may be empty.
+std::pair<std::string, std::string> split_family(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) return {spec, ""};
+  return {spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+}  // namespace
+
+double parse_number(const std::string& text, const std::string& what) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(what + ": '" + text + "' is not a number");
+  }
+  if (pos != text.size()) {
+    throw std::invalid_argument(what + ": '" + text + "' is not a number");
+  }
+  return value;
+}
+
+std::vector<std::string> split_list(const std::string& text, char separator) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == separator) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::shared_ptr<const econ::DemandCurve> parse_demand_spec(const std::string& spec) {
+  const auto [family, body] = split_family(spec);
+  ParamList params("demand spec '" + spec + "'", body);
+  std::shared_ptr<const econ::DemandCurve> curve;
+  if (family == "exp") {
+    const double alpha = params.require("alpha");
+    curve = std::make_shared<econ::ExponentialDemand>(alpha, params.get_or("scale", 1.0));
+  } else if (family == "logit") {
+    const double m0 = params.get_or("m0", 1.0);
+    const double k = params.require("k");
+    curve = std::make_shared<econ::LogitDemand>(m0, k, params.require("t0"));
+  } else if (family == "iso" || family == "isoelastic") {
+    const double m0 = params.get_or("m0", 1.0);
+    curve = std::make_shared<econ::IsoelasticDemand>(m0, params.require("eps"));
+  } else if (family == "linear") {
+    const double m0 = params.get_or("m0", 1.0);
+    curve = std::make_shared<econ::LinearDemand>(m0, params.require("tmax"));
+  } else {
+    throw std::invalid_argument("unknown demand family '" + family + "'; " +
+                                demand_spec_help());
+  }
+  params.finish();
+  return curve;
+}
+
+std::shared_ptr<const econ::ThroughputCurve> parse_throughput_spec(const std::string& spec) {
+  const auto [family, body] = split_family(spec);
+  ParamList params("throughput spec '" + spec + "'", body);
+  const double beta = params.require("beta");
+  const double lambda0 = params.get_or("lambda0", 1.0);
+  params.finish();
+  if (family == "exp") return std::make_shared<econ::ExponentialThroughput>(beta, lambda0);
+  if (family == "power") return std::make_shared<econ::PowerLawThroughput>(beta, lambda0);
+  if (family == "delay") return std::make_shared<econ::DelayThroughput>(beta, lambda0);
+  throw std::invalid_argument("unknown throughput family '" + family + "'; " +
+                              throughput_spec_help());
+}
+
+std::shared_ptr<const econ::UtilizationModel> parse_utilization_spec(const std::string& spec) {
+  if (spec == "linear") return std::make_shared<econ::LinearUtilization>();
+  if (spec == "delay") return std::make_shared<econ::DelayUtilization>();
+  if (spec.rfind("power:", 0) == 0) {
+    return std::make_shared<econ::PowerUtilization>(
+        parse_number(spec.substr(6), "utilization gamma"));
+  }
+  throw std::invalid_argument("unknown utilization model '" + spec + "'; " +
+                              utilization_spec_help());
+}
+
+std::vector<double> parse_grid_spec(const std::string& spec) {
+  if (spec.empty()) throw std::invalid_argument("grid spec is empty; " + grid_spec_help());
+  const std::vector<std::string> range = split_list(spec, ':');
+  if (range.size() == 3) {
+    const double lo = parse_number(range[0], "grid lower bound");
+    const double hi = parse_number(range[1], "grid upper bound");
+    const double points = parse_number(range[2], "grid point count");
+    if (points < 1.0 || points != static_cast<double>(static_cast<std::size_t>(points))) {
+      throw std::invalid_argument("grid point count '" + range[2] +
+                                  "' must be a positive integer");
+    }
+    if (points == 1.0) return {lo};
+    return num::linspace(lo, hi, static_cast<std::size_t>(points));
+  }
+  if (range.size() != 1) {
+    throw std::invalid_argument("grid spec '" + spec + "' is malformed; " + grid_spec_help());
+  }
+  std::vector<double> values;
+  for (const std::string& cell : split_list(spec, ',')) {
+    values.push_back(parse_number(cell, "grid value"));
+  }
+  return values;
+}
+
+std::string demand_spec_help() {
+  return "expected exp:alpha=<a>[,scale=<s>], logit:k=<k>,t0=<t0>[,m0=<m>], "
+         "iso:eps=<e>[,m0=<m>] or linear:tmax=<t>[,m0=<m>]";
+}
+
+std::string throughput_spec_help() {
+  return "expected exp:beta=<b>[,lambda0=<l>], power:beta=<b>[,lambda0=<l>] "
+         "or delay:beta=<b>[,lambda0=<l>]";
+}
+
+std::string utilization_spec_help() {
+  return "expected linear, delay or power:<gamma>";
+}
+
+std::string grid_spec_help() {
+  return "expected <lo>:<hi>:<points>, a comma-separated list, or one number";
+}
+
+}  // namespace subsidy::scenario

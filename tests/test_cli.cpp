@@ -74,6 +74,58 @@ TEST(MarketSpec, Errors) {
   EXPECT_THROW((void)cli::parse_market_spec("section5+warp"), std::invalid_argument);
 }
 
+TEST(MarketSpec, PerProviderThroughputOverrides) {
+  const econ::Market mkt =
+      cli::parse_market_spec("exp:mu=1;alpha=1,2,3;beta=2,1.5+power,+delay:3;v=1,1,1");
+  ASSERT_EQ(mkt.num_providers(), 3u);
+  EXPECT_EQ(mkt.provider(0).throughput->name(), econ::ExponentialThroughput(2.0).name());
+  EXPECT_EQ(mkt.provider(1).throughput->name(), econ::PowerLawThroughput(1.5).name());
+  EXPECT_EQ(mkt.provider(2).throughput->name(), econ::DelayThroughput(3.0).name());
+  // "2+power:1.5" names the coefficient twice; bare "+power" has none.
+  EXPECT_THROW(
+      (void)cli::parse_market_spec("exp:mu=1;alpha=1;beta=2+power:1.5;v=1"),
+      std::invalid_argument);
+  EXPECT_THROW((void)cli::parse_market_spec("exp:mu=1;alpha=1;beta=+power;v=1"),
+               std::invalid_argument);
+}
+
+TEST(MarketSpec, DemandFamilyOverrides) {
+  const econ::Market one = cli::parse_market_spec(
+      "exp:mu=1;beta=2,3;v=1,1;demand=logit:k=4,t0=0.5");
+  EXPECT_EQ(one.provider(0).demand->name(), econ::LogitDemand(1.0, 4.0, 0.5).name());
+  EXPECT_EQ(one.provider(1).demand->name(), econ::LogitDemand(1.0, 4.0, 0.5).name());
+  const econ::Market per = cli::parse_market_spec(
+      "exp:mu=1;beta=2,3;v=1,1;demand=iso:eps=2|linear:tmax=1.5");
+  EXPECT_EQ(per.provider(0).demand->name(), econ::IsoelasticDemand(1.0, 2.0).name());
+  EXPECT_EQ(per.provider(1).demand->name(), econ::LinearDemand(1.0, 1.5).name());
+  // alpha= and demand= are mutually exclusive; counts must line up.
+  EXPECT_THROW((void)cli::parse_market_spec(
+                   "exp:mu=1;alpha=1,2;beta=2,3;v=1,1;demand=iso:eps=2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)cli::parse_market_spec(
+                   "exp:mu=1;beta=2,3,4;v=1,1,1;demand=iso:eps=2|linear:tmax=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)cli::parse_market_spec("exp:mu=1;beta=2;v=1"),
+               std::invalid_argument);
+}
+
+TEST(MarketSpec, InlineUtilizationField) {
+  EXPECT_EQ(cli::parse_market_spec("exp:mu=1;alpha=1;beta=2;v=1;util=power:1.5")
+                .utilization_model()
+                .name(),
+            econ::PowerUtilization{1.5}.name());
+  // The trailing +suffix form is reserved for named bases: on exp: specs a
+  // '+' is always a per-provider override, so this fails loudly instead of
+  // silently stripping "+delay" off the v list.
+  EXPECT_THROW((void)cli::parse_market_spec("exp:mu=1;alpha=1;beta=2;v=1+delay"),
+               std::invalid_argument);
+  // In particular a *trailing* beta override stays a beta override.
+  EXPECT_EQ(cli::parse_market_spec("exp:mu=1;alpha=1,1;v=1,1;beta=2,3+delay")
+                .provider(1)
+                .throughput->name(),
+            econ::DelayThroughput(3.0).name());
+}
+
 int run(const std::vector<std::string>& argv, std::string* out_text = nullptr) {
   std::ostringstream out;
   std::ostringstream err;
@@ -159,6 +211,55 @@ TEST(Commands, TraceRoundTripThroughCalibrate) {
   EXPECT_EQ(cal, 0);
   EXPECT_NE(text.find("alpha"), std::string::npos);
   EXPECT_NE(text.find("cp1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Commands, ScenarioListPrintAndRun) {
+  std::string text;
+  EXPECT_EQ(run({"scenario", "list"}, &text), 0);
+  EXPECT_NE(text.find("section5_figures"), std::string::npos);
+  EXPECT_NE(text.find("mixed_families"), std::string::npos);
+
+  EXPECT_EQ(run({"scenario", "print", "section3"}, &text), 0);
+  EXPECT_NE(text.find("[market]"), std::string::npos);
+  EXPECT_NE(text.find("base = section3"), std::string::npos);
+
+  // Running a registry name with output redirected to a temp dir.
+  EXPECT_EQ(run({"scenario", "run", "section3", "--jobs", "2", "--out-dir", "/tmp"},
+                &text),
+            0);
+  EXPECT_NE(text.find("one_sided"), std::string::npos);
+  EXPECT_NE(text.find("41 rows"), std::string::npos);
+  std::remove("/tmp/section3_one_sided.csv");
+}
+
+TEST(Commands, ScenarioRunsFileAndPrintsWhenNoSink) {
+  const std::string path = "/tmp/subsidy_cli_test_scenario.scn";
+  {
+    std::ofstream out(path);
+    out << "[market]\nbase = section5\n\n[one_sided]\nprices = 0.4,0.8\n";
+  }
+  std::string text;
+  EXPECT_EQ(run({"scenario", "run", path}, &text), 0);
+  EXPECT_NE(text.find("p,phi,theta,revenue,welfare"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Commands, ScenarioErrors) {
+  std::string text;
+  EXPECT_EQ(run({"scenario"}, &text), 2);
+  EXPECT_EQ(run({"scenario", "frobnicate", "x"}, &text), 2);
+  EXPECT_EQ(run({"scenario", "print", "warp"}, &text), 2);
+  EXPECT_NE(text.find("unknown scenario"), std::string::npos);
+  EXPECT_EQ(run({"scenario", "run", "warp"}, &text), 2);
+
+  const std::string path = "/tmp/subsidy_cli_test_bad.scn";
+  {
+    std::ofstream out(path);
+    out << "[market]\nbase = section5\n\n[sweep]\nprices = x\n";
+  }
+  EXPECT_EQ(run({"scenario", "run", path}, &text), 2);
+  EXPECT_NE(text.find(path + ":5"), std::string::npos);
   std::remove(path.c_str());
 }
 

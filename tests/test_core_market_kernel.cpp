@@ -253,6 +253,92 @@ TEST(MarketKernel, RatesBitIdenticalToVirtualCalls) {
   }
 }
 
+std::shared_ptr<const econ::DemandCurve> make_demand(const std::string& family,
+                                                    std::size_t i) {
+  const double a = 1.0 + 0.5 * static_cast<double>(i);
+  if (family == "exp") return std::make_shared<econ::ExponentialDemand>(a);
+  if (family == "logit") return std::make_shared<econ::LogitDemand>(1.0 + 0.1 * i, a, 0.5);
+  if (family == "iso") return std::make_shared<econ::IsoelasticDemand>(1.0 + 0.1 * i, a);
+  return std::make_shared<econ::LinearDemand>(1.0 + 0.1 * i, 0.5 + 0.25 * i);
+}
+
+/// Four providers sharing one demand family (exponential throughput).
+econ::Market demand_family_market(const std::string& family) {
+  std::vector<econ::ContentProviderSpec> providers;
+  for (std::size_t i = 0; i < 4; ++i) {
+    econ::ContentProviderSpec cp;
+    cp.name = family + std::to_string(i);
+    cp.demand = make_demand(family, i);
+    cp.throughput = std::make_shared<econ::ExponentialThroughput>(2.0 + 0.5 * i);
+    cp.profitability = 1.0;
+    providers.push_back(std::move(cp));
+  }
+  return econ::Market(econ::IspSpec{1.0}, std::make_shared<econ::LinearUtilization>(),
+                      std::move(providers));
+}
+
+const std::vector<std::string> kDemandFamilies{"exp", "logit", "iso", "linear"};
+
+TEST(MarketKernel, DemandFamiliesBitIdenticalToVirtualCalls) {
+  // The devirtualized logit/isoelastic/linear buckets replicate the curve
+  // formulas exactly; probe t values cover both saturation branches.
+  for (const auto& family : kDemandFamilies) {
+    const econ::Market mkt = demand_family_market(family);
+    const core::MarketKernel kernel(mkt);
+    const std::size_t n = mkt.num_providers();
+    for (double price : {-0.5, 0.0, 0.3, 0.8, 2.5}) {
+      const std::vector<double> s{0.0, 0.1, 0.6, 1.2};
+      std::vector<double> m(n);
+      std::vector<double> dm(n);
+      kernel.populations(price, s, m);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = price - s[i];
+        EXPECT_DOUBLE_EQ(m[i], mkt.provider(i).demand->population(t))
+            << family << " i=" << i << " t=" << t;
+        EXPECT_DOUBLE_EQ(kernel.population(i, t), mkt.provider(i).demand->population(t))
+            << family << " i=" << i;
+        EXPECT_DOUBLE_EQ(kernel.population_slope(i, t),
+                         mkt.provider(i).demand->derivative(t))
+            << family << " i=" << i;
+      }
+      kernel.populations_and_slopes(price, s, m, dm);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = price - s[i];
+        EXPECT_DOUBLE_EQ(m[i], mkt.provider(i).demand->population(t))
+            << family << " i=" << i;
+        EXPECT_DOUBLE_EQ(dm[i], mkt.provider(i).demand->derivative(t))
+            << family << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(MarketKernel, DemandFamiliesEvaluateMatchesVirtualReference) {
+  // Full solved states on markets whose demand is each devirtualized family
+  // match the pre-kernel arithmetic to <= 1e-12.
+  for (const auto& family : kDemandFamilies) {
+    const econ::Market mkt = demand_family_market(family);
+    const core::ModelEvaluator evaluator(mkt);
+    const std::size_t n = mkt.num_providers();
+    for (double price : {0.3, 0.8, 1.5}) {
+      std::vector<double> m(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        m[i] = mkt.provider(i).demand->population(price);
+      }
+      const double expected_phi = ref_solve(mkt, m);
+      const core::SystemState state = evaluator.evaluate_unsubsidized(price);
+      EXPECT_NEAR(state.utilization, expected_phi, 1e-12 * std::max(1.0, expected_phi))
+          << family << " p=" << price;
+      double theta = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        theta += m[i] * mkt.provider(i).throughput->rate(expected_phi);
+      }
+      EXPECT_NEAR(state.aggregate_throughput, theta, 1e-12 * std::max(1.0, theta))
+          << family << " p=" << price;
+    }
+  }
+}
+
 TEST(MarketKernel, PopulationsBitIdenticalToVirtualCalls) {
   const econ::Market mkt = mixed_market("linear");
   const core::MarketKernel kernel(mkt);

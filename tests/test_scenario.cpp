@@ -1,0 +1,393 @@
+// Scenario subsystem tests: the shared spec grammar, the scenario-file
+// parser (round-trips and line-numbered errors), the registry (built-in
+// markets must match market::section3_market()/section5_market() exactly and
+// the checked-in example files must be verbatim copies of the registry
+// texts), and the runner (jobs-determinism: 1 worker and N workers produce
+// bit-identical tables).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/scenario/registry.hpp"
+#include "subsidy/scenario/runner.hpp"
+#include "subsidy/scenario/scenario_file.hpp"
+#include "subsidy/scenario/spec_grammar.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace io = subsidy::io;
+namespace market = subsidy::market;
+namespace scenario = subsidy::scenario;
+
+namespace {
+
+// --- Spec grammar --------------------------------------------------------
+
+TEST(SpecGrammar, DemandFamilies) {
+  EXPECT_EQ(scenario::parse_demand_spec("exp:alpha=2")->name(),
+            econ::ExponentialDemand(2.0).name());
+  EXPECT_EQ(scenario::parse_demand_spec("exp:alpha=2,scale=3")->population(0.0), 3.0);
+  EXPECT_EQ(scenario::parse_demand_spec("logit:k=4,t0=0.5")->name(),
+            econ::LogitDemand(1.0, 4.0, 0.5).name());
+  // Whitespace around parameters is ignored.
+  EXPECT_EQ(scenario::parse_demand_spec("logit:k=4, t0 = 0.5")->name(),
+            econ::LogitDemand(1.0, 4.0, 0.5).name());
+  EXPECT_EQ(scenario::parse_demand_spec("iso:eps=2,m0=0.5")->population(0.0), 0.5);
+  EXPECT_EQ(scenario::parse_demand_spec("isoelastic:eps=2")->name(),
+            econ::IsoelasticDemand(1.0, 2.0).name());
+  EXPECT_EQ(scenario::parse_demand_spec("linear:tmax=1.5")->population(1.5), 0.0);
+}
+
+TEST(SpecGrammar, DemandErrors) {
+  EXPECT_THROW((void)scenario::parse_demand_spec("warp:x=1"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_demand_spec("exp"), std::invalid_argument);  // no alpha
+  EXPECT_THROW((void)scenario::parse_demand_spec("exp:alpha=2,zzz=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_demand_spec("exp:alpha=abc"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_demand_spec("exp:alpha=2,alpha=3"),
+               std::invalid_argument);
+}
+
+TEST(SpecGrammar, ThroughputFamilies) {
+  EXPECT_EQ(scenario::parse_throughput_spec("exp:beta=2")->name(),
+            econ::ExponentialThroughput(2.0).name());
+  EXPECT_EQ(scenario::parse_throughput_spec("power:beta=1.5,lambda0=2")->rate(0.0), 2.0);
+  EXPECT_EQ(scenario::parse_throughput_spec("delay:beta=3")->name(),
+            econ::DelayThroughput(3.0).name());
+  EXPECT_THROW((void)scenario::parse_throughput_spec("exp"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_throughput_spec("warp:beta=1"),
+               std::invalid_argument);
+}
+
+TEST(SpecGrammar, Utilization) {
+  EXPECT_EQ(scenario::parse_utilization_spec("linear")->name(),
+            econ::LinearUtilization{}.name());
+  EXPECT_EQ(scenario::parse_utilization_spec("delay")->name(),
+            econ::DelayUtilization{}.name());
+  EXPECT_EQ(scenario::parse_utilization_spec("power:1.5")->name(),
+            econ::PowerUtilization{1.5}.name());
+  EXPECT_THROW((void)scenario::parse_utilization_spec("power:x"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_utilization_spec("warp"), std::invalid_argument);
+}
+
+TEST(SpecGrammar, Grids) {
+  EXPECT_EQ(scenario::parse_grid_spec("1"), (std::vector<double>{1.0}));
+  EXPECT_EQ(scenario::parse_grid_spec("0,0.5,1"), (std::vector<double>{0.0, 0.5, 1.0}));
+  const std::vector<double> grid = scenario::parse_grid_spec("0:1:5");
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+  EXPECT_EQ(scenario::parse_grid_spec("2:9:1"), (std::vector<double>{2.0}));
+  EXPECT_THROW((void)scenario::parse_grid_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_grid_spec("0:1"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_grid_spec("0:1:2.5"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_grid_spec("1,x"), std::invalid_argument);
+}
+
+// --- Scenario file parser ------------------------------------------------
+
+constexpr const char* kCustomScenario = R"(# comment line
+[scenario]
+name = demo
+description = two providers   # trailing comment
+
+[market]
+capacity = 1.5
+utilization = power:1.2
+throughput = exp:beta=2
+
+[provider]
+name = video
+demand = exp:alpha=2
+v = 0.5
+
+[provider]
+demand = logit:k=4,t0=0.5
+throughput = power:beta=1.5
+
+[sweep]
+prices = 0.1:1.9:7
+cap = 0.5
+chain = 3
+jobs = 2
+
+[policy]
+caps = 0,1
+price = 0.8
+)";
+
+TEST(ScenarioFile, ParsesCustomMarketAndExperiments) {
+  const scenario::Scenario parsed = scenario::parse_scenario_text(kCustomScenario);
+  EXPECT_EQ(parsed.name, "demo");
+  EXPECT_EQ(parsed.description, "two providers");
+  EXPECT_DOUBLE_EQ(parsed.market.capacity(), 1.5);
+  EXPECT_EQ(parsed.market.utilization_model().name(), econ::PowerUtilization{1.2}.name());
+  ASSERT_EQ(parsed.market.num_providers(), 2u);
+  EXPECT_EQ(parsed.market.provider(0).name, "video");
+  EXPECT_EQ(parsed.market.provider(0).demand->name(), econ::ExponentialDemand(2.0).name());
+  EXPECT_DOUBLE_EQ(parsed.market.provider(0).profitability, 0.5);
+  // Provider 1 falls back to the [market] default name/v and overrides both
+  // curves.
+  EXPECT_EQ(parsed.market.provider(1).name, "cp1");
+  EXPECT_EQ(parsed.market.provider(1).demand->name(),
+            econ::LogitDemand(1.0, 4.0, 0.5).name());
+  EXPECT_EQ(parsed.market.provider(1).throughput->name(),
+            econ::PowerLawThroughput(1.5).name());
+  EXPECT_DOUBLE_EQ(parsed.market.provider(1).profitability, 1.0);
+
+  ASSERT_EQ(parsed.experiments.size(), 2u);
+  const scenario::ExperimentSpec& sweep = parsed.experiments[0];
+  EXPECT_EQ(sweep.type, scenario::ExperimentType::sweep);
+  EXPECT_EQ(sweep.prices.size(), 7u);
+  EXPECT_DOUBLE_EQ(sweep.cap, 0.5);
+  EXPECT_EQ(sweep.chain_length, 3u);
+  EXPECT_EQ(sweep.jobs, 2u);
+  const scenario::ExperimentSpec& policy = parsed.experiments[1];
+  EXPECT_EQ(policy.type, scenario::ExperimentType::policy);
+  EXPECT_TRUE(policy.fixed_price);
+  EXPECT_DOUBLE_EQ(policy.price, 0.8);
+  EXPECT_EQ(policy.caps, (std::vector<double>{0.0, 1.0}));
+}
+
+/// Expects parsing `text` to fail at `line` with `fragment` in the message.
+void expect_parse_error(const std::string& text, std::size_t line,
+                        const std::string& fragment) {
+  try {
+    (void)scenario::parse_scenario_text(text, "bad.scn");
+    FAIL() << "expected ScenarioParseError (" << fragment << ")";
+  } catch (const scenario::ScenarioParseError& err) {
+    EXPECT_EQ(err.line(), line) << err.what();
+    EXPECT_NE(std::string(err.what()).find("bad.scn:" + std::to_string(line)),
+              std::string::npos)
+        << err.what();
+    EXPECT_NE(std::string(err.what()).find(fragment), std::string::npos) << err.what();
+  }
+}
+
+TEST(ScenarioFile, LineNumberedErrors) {
+  expect_parse_error("[market\n", 1, "malformed section header");
+  expect_parse_error("key = 1\n", 1, "before any [section]");
+  expect_parse_error("[market]\nnonsense\n", 2, "expected 'key = value'");
+  expect_parse_error("[market]\nbase = section5\n\n[warp]\n", 4, "unknown section");
+  expect_parse_error("[market]\nbase = bogus\n\n[sweep]\nprices = 1\n", 2,
+                     "unknown base market");
+  expect_parse_error("[market]\nbase = section5\nzap = 1\n\n[sweep]\nprices = 1\n", 3,
+                     "unknown key 'zap'");
+  expect_parse_error("[market]\nbase = section5\n\n[sweep]\ncap = 1\n", 4,
+                     "missing required key 'prices'");
+  expect_parse_error("[market]\nbase = section5\n\n[sweep]\nprices = 0:x:3\n", 5,
+                     "not a number");
+  expect_parse_error("[market]\nbase = section5\n\n[sweep]\nprices = 1\nchain = -2\n", 6,
+                     "non-negative integer");
+  expect_parse_error("[market]\ncapacity = 1\n\n[sweep]\nprices = 1\n", 1,
+                     "at least one [provider]");
+  expect_parse_error(
+      "[market]\nbase = section5\n\n[provider]\ndemand = exp:alpha=1\n\n[sweep]\nprices = 1\n",
+      4, "cannot be combined with base");
+  expect_parse_error("[market]\ncapacity = 1\n\n[provider]\nv = 1\n\n[sweep]\nprices = 1\n",
+                     4, "no demand spec");
+  expect_parse_error("[market]\nbase = section5\n", 1, "no experiment blocks");
+  expect_parse_error("[market]\nbase = section5\n\n[market]\nbase = section3\n", 4,
+                     "duplicate [market]");
+  expect_parse_error(
+      "[market]\nbase = section5\n\n[sweep]\nprices = 1\ncap = 1\ncap = 2\n", 7,
+      "duplicate key 'cap'");
+  // A bad [market]-level default is reported at the [market] key, not at
+  // the provider that inherits it.
+  expect_parse_error(
+      "[market]\ncapacity = 1\ndemand = logit:k=4\n\n[provider]\n"
+      "throughput = exp:beta=2\n\n[sweep]\nprices = 1\n",
+      3, "missing required parameter 't0'");
+}
+
+TEST(ScenarioFile, FileRoundTripMatchesText) {
+  const std::string path = "/tmp/subsidy_test_scenario.scn";
+  {
+    std::ofstream out(path);
+    out << kCustomScenario;
+  }
+  const scenario::Scenario from_file = scenario::parse_scenario_file(path);
+  const scenario::Scenario from_text = scenario::parse_scenario_text(kCustomScenario);
+  EXPECT_EQ(from_file.name, from_text.name);
+  EXPECT_EQ(from_file.experiments.size(), from_text.experiments.size());
+  EXPECT_EQ(from_file.market.num_providers(), from_text.market.num_providers());
+  std::remove(path.c_str());
+  EXPECT_THROW((void)scenario::parse_scenario_file("/nonexistent/x.scn"),
+               std::runtime_error);
+}
+
+// --- Registry ------------------------------------------------------------
+
+TEST(Registry, ListsAllScenariosAndRejectsUnknown) {
+  const std::vector<scenario::RegistryEntry> entries = scenario::registry_entries();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_TRUE(scenario::is_registry_scenario("section3"));
+  EXPECT_TRUE(scenario::is_registry_scenario("section5_figures"));
+  EXPECT_FALSE(scenario::is_registry_scenario("warp"));
+  EXPECT_THROW((void)scenario::registry_scenario_text("warp"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::make_registry_scenario("warp"), std::invalid_argument);
+}
+
+/// The registry markets must equal the canonical paper markets *exactly*:
+/// identical provider sets and bit-identical solved states.
+void expect_market_equal(const econ::Market& actual, const econ::Market& expected) {
+  ASSERT_EQ(actual.num_providers(), expected.num_providers());
+  EXPECT_EQ(actual.capacity(), expected.capacity());
+  EXPECT_EQ(actual.utilization_model().name(), expected.utilization_model().name());
+  for (std::size_t i = 0; i < expected.num_providers(); ++i) {
+    EXPECT_EQ(actual.provider(i).name, expected.provider(i).name) << i;
+    EXPECT_EQ(actual.provider(i).demand->name(), expected.provider(i).demand->name()) << i;
+    EXPECT_EQ(actual.provider(i).throughput->name(), expected.provider(i).throughput->name())
+        << i;
+    EXPECT_EQ(actual.provider(i).profitability, expected.provider(i).profitability) << i;
+  }
+  const core::ModelEvaluator actual_eval(actual);
+  const core::ModelEvaluator expected_eval(expected);
+  const std::vector<double> s(expected.num_providers(), 0.1);
+  const core::SystemState a = actual_eval.evaluate(0.8, s);
+  const core::SystemState b = expected_eval.evaluate(0.8, s);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.revenue, b.revenue);
+  EXPECT_EQ(a.welfare, b.welfare);
+}
+
+TEST(Registry, Section3MatchesCanonicalMarket) {
+  expect_market_equal(scenario::make_registry_scenario("section3").market,
+                      market::section3_market());
+}
+
+TEST(Registry, Section5MatchesCanonicalMarket) {
+  expect_market_equal(scenario::make_registry_scenario("section5").market,
+                      market::section5_market());
+  expect_market_equal(scenario::make_registry_scenario("section5_figures").market,
+                      market::section5_market());
+}
+
+TEST(Registry, ExampleFilesAreVerbatimCopies) {
+  for (const scenario::RegistryEntry& entry : scenario::registry_entries()) {
+    const std::string path =
+        std::string(SUBSIDY_SCENARIO_EXAMPLES_DIR) + "/" + entry.name + ".scn";
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing example file " << path;
+    std::ostringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), scenario::registry_scenario_text(entry.name))
+        << path << " has drifted from the built-in registry text";
+  }
+}
+
+// --- Runner --------------------------------------------------------------
+
+/// All experiment types on a tiny market, no output files.
+constexpr const char* kRunnerScenario = R"([market]
+capacity = 1
+throughput = exp:beta=2
+demand = exp:alpha=2
+
+[provider]
+v = 1
+
+[provider]
+demand = logit:k=4,t0=0.6
+v = 0.8
+
+[one_sided]
+prices = 0.2:1.8:5
+
+[sweep]
+prices = 0.2:1.8:5
+cap = 0.5
+chain = 2
+
+[equilibrium]
+price = 0.8
+cap = 0.5
+
+[policy]
+caps = 0,0.5,1
+price = 0.8
+
+[figure]
+prices = 0.2:1.8:5
+caps = 0,0.5
+chain = 2
+)";
+
+TEST(ScenarioRunner, RunsEveryExperimentType) {
+  const scenario::ScenarioRunner runner(scenario::parse_scenario_text(kRunnerScenario));
+  const scenario::ScenarioReport report = runner.run();
+  ASSERT_EQ(report.experiments.size(), 5u);
+  EXPECT_TRUE(report.all_converged());
+  EXPECT_EQ(report.experiments[0].table.num_rows(), 5u);   // one_sided
+  EXPECT_EQ(report.experiments[1].table.num_rows(), 5u);   // sweep
+  EXPECT_EQ(report.experiments[2].table.num_rows(), 2u);   // equilibrium: per CP
+  EXPECT_EQ(report.experiments[3].table.num_rows(), 3u);   // policy
+  EXPECT_EQ(report.experiments[4].table.num_rows(), 10u);  // figure: 2 caps x 5 prices
+  EXPECT_EQ(report.experiments[4].table.columns().front(), "q");
+  // Nothing asked for a file, so nothing was written.
+  for (const scenario::ExperimentResult& result : report.experiments) {
+    EXPECT_TRUE(result.output_path.empty());
+  }
+}
+
+TEST(ScenarioRunner, JobsOverrideIsBitIdentical) {
+  const scenario::Scenario parsed = scenario::parse_scenario_text(kRunnerScenario);
+  scenario::RunOptions serial;
+  serial.jobs = 1;
+  scenario::RunOptions parallel;
+  parallel.jobs = 4;
+  const scenario::ScenarioReport a = scenario::ScenarioRunner(parsed, serial).run();
+  const scenario::ScenarioReport b = scenario::ScenarioRunner(parsed, parallel).run();
+  ASSERT_EQ(a.experiments.size(), b.experiments.size());
+  for (std::size_t e = 0; e < a.experiments.size(); ++e) {
+    const io::SweepTable& ta = a.experiments[e].table;
+    const io::SweepTable& tb = b.experiments[e].table;
+    ASSERT_EQ(ta.num_rows(), tb.num_rows()) << a.experiments[e].label;
+    for (std::size_t r = 0; r < ta.num_rows(); ++r) {
+      for (std::size_t c = 0; c < ta.num_columns(); ++c) {
+        EXPECT_EQ(ta.cell(r, c), tb.cell(r, c))
+            << a.experiments[e].label << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(ScenarioRunner, OneSidedMatchesEvaluatorBatch) {
+  // The one_sided block must ride the batched kernel path bit-for-bit.
+  const scenario::Scenario parsed = scenario::parse_scenario_text(kRunnerScenario);
+  const scenario::ScenarioReport report = scenario::ScenarioRunner(parsed).run();
+  const core::ModelEvaluator evaluator(parsed.market);
+  const std::vector<core::SystemState> expected =
+      evaluator.evaluate_unsubsidized_many(parsed.experiments[0].prices);
+  const io::SweepTable& table = report.experiments[0].table;
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(table.cell(k, 1), expected[k].utilization) << k;
+    EXPECT_EQ(table.cell(k, 3), expected[k].revenue) << k;
+  }
+}
+
+TEST(ScenarioRunner, WritesCsvSinksUnderOutputDir) {
+  const std::string text = "[market]\nbase = section5\n\n[one_sided]\n"
+                           "prices = 0.5,1\nout = t.csv\n";
+  scenario::RunOptions options;
+  options.output_dir = "/tmp";
+  const scenario::ScenarioRunner runner(scenario::parse_scenario_text(text), options);
+  const scenario::ScenarioReport report = runner.run();
+  ASSERT_EQ(report.experiments.size(), 1u);
+  EXPECT_EQ(report.experiments[0].output_path, "/tmp/t.csv");
+  std::ifstream in("/tmp/t.csv");
+  ASSERT_TRUE(in);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "p,phi,theta,revenue,welfare");
+  in.close();
+  std::remove("/tmp/t.csv");
+}
+
+}  // namespace
