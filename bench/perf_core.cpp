@@ -53,26 +53,28 @@ void BM_UtilizationSolveWarmStart(benchmark::State& state) {
 BENCHMARK(BM_UtilizationSolveWarmStart);
 
 void BM_UtilizationSolveBatch(benchmark::State& state) {
-  // 32 grid nodes solved per solve_many call (unsubsidized price sweep).
+  // One node-major plane of `range(0)` grid nodes per solve_many call (an
+  // unsubsidized price sweep). The {32, 256, 2048} sizes expose the
+  // plane-width crossover: per-node cost falls as the vectorized exp and
+  // the plane bookkeeping amortize over wider batches.
   const core::ModelEvaluator evaluator(section5());
   const std::size_t n = evaluator.num_providers();
   const std::vector<double> zeros(n, 0.0);
-  const std::size_t num_nodes = 32;
+  const auto num_nodes = static_cast<std::size_t>(state.range(0));
   std::vector<double> m(num_nodes * n);
-  std::vector<core::UtilizationNode> nodes(num_nodes);
+  std::vector<double> phis(num_nodes);
   for (std::size_t k = 0; k < num_nodes; ++k) {
     const double price = 0.05 + 1.95 * static_cast<double>(k) / (num_nodes - 1);
     const std::span<double> row(m.data() + k * n, n);
     evaluator.kernel().populations(price, zeros, row);
-    nodes[k].populations = row;
   }
   for (auto _ : state) {
-    evaluator.solver().solve_many(nodes);
-    benchmark::DoNotOptimize(nodes.data());
+    evaluator.solver().solve_many(m, {}, phis);
+    benchmark::DoNotOptimize(phis.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(num_nodes));
 }
-BENCHMARK(BM_UtilizationSolveBatch);
+BENCHMARK(BM_UtilizationSolveBatch)->Arg(32)->Arg(256)->Arg(2048);
 
 void BM_StateEvaluation(benchmark::State& state) {
   const core::ModelEvaluator evaluator(section5());

@@ -41,9 +41,11 @@ class ModelEvaluator {
   /// Full state under one-sided pricing (all subsidies zero).
   [[nodiscard]] SystemState evaluate_unsubsidized(double price, double phi_hint = -1.0) const;
 
-  /// Batched one-sided states: all fixed points are solved through
-  /// UtilizationSolver::solve_many, advancing the whole grid one candidate
-  /// per pass. Element k is bit-identical to evaluate_unsubsidized(prices[k]).
+  /// Batched one-sided states: all fixed points are solved as one node-major
+  /// plane through UtilizationSolver::solve_many (vectorized exp across the
+  /// grid). Element k is bit-identical to evaluate_unsubsidized(prices[k])
+  /// under the scalar exp fallback and within the SIMD kernel's ulp error
+  /// (well under 1e-12 on phi) otherwise.
   [[nodiscard]] std::vector<SystemState> evaluate_unsubsidized_many(
       std::span<const double> prices) const;
 

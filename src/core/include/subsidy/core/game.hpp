@@ -65,8 +65,11 @@ class SubsidizationGame {
 
   /// Best response of player i to s_{-i}: argmax of U_i over
   /// [0, min(q, v_i)]. Uses the monotone root of u_i when u is decreasing in
-  /// s_i, with a grid+golden fallback for safety.
-  [[nodiscard]] double best_response(std::size_t i, std::span<const double> subsidies) const;
+  /// s_i, with a grid+golden fallback for safety. `phi_hint` (>= 0) seeds
+  /// the line search's first inner solve; subsequent evaluations chain the
+  /// previously solved phi regardless.
+  [[nodiscard]] double best_response(std::size_t i, std::span<const double> subsidies,
+                                     double phi_hint = -1.0) const;
 
   /// Theorem 3 threshold tau_i(s) = (v_i - s_i) * eps^m_s * (1 + eps^lambda_phi * eps^phi_m).
   /// At an interior equilibrium s_i = tau_i(s); at a capped equilibrium

@@ -99,6 +99,33 @@ class PopulationBinding {
   std::size_t num_slots_ = 0;     ///< Providers bound (consistency check).
 };
 
+/// Node-major batch planes: the populations of a whole plane of grid nodes
+/// folded into contiguous per-cluster weight rows, so one pass over the
+/// plane evaluates g (or g and dg) for every node with a single vectorized
+/// exp per exponential cluster (numerics/simd.hpp).
+///
+/// Layout: row r holds one coefficient for every node — rows [0, C) are the
+/// exponential cluster weights w_c = sum m_i lambda0_i, rows [C, C + n -
+/// exp_end) the per-slot products (m lambda0) of the power-law/delay slots
+/// and the raw populations of the opaque slots. Column k is node k; columns
+/// can be copied (batch_copy_column) so solvers can compact retired nodes
+/// out of the active prefix without touching the others.
+class BatchBinding {
+ public:
+  BatchBinding() = default;
+
+  /// Columns allocated (nodes the binding can hold).
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  friend class MarketKernel;
+
+  std::vector<double> planes_;  ///< num_rows_ x capacity_, row-major.
+  std::size_t capacity_ = 0;
+  std::size_t num_rows_ = 0;
+  std::size_t num_slots_ = 0;  ///< Providers bound (consistency check).
+};
+
 /// The compiled market. Immutable and thread-safe after construction; safe to
 /// copy (all state is value coefficients plus shared immutable curves).
 class MarketKernel {
@@ -133,6 +160,36 @@ class MarketKernel {
   /// bind amortised over the whole candidate set (bracket scans, plots).
   void gap_many(std::span<const double> phis, std::span<const double> populations,
                 std::span<double> out) const;
+
+  // --- Node-major batch planes ------------------------------------------
+  //
+  // One binding holds a whole plane of nodes (one population vector each);
+  // the batch_* evaluators walk the plane family bucket by family bucket,
+  // vectorizing the per-cluster exp across nodes. With the scalar exp
+  // fallback active (num::simd), every per-node result is bit-identical to
+  // the corresponding *_bound call on a per-node PopulationBinding; with the
+  // vector exp the difference is bounded by the kernel's ulp error.
+
+  /// Allocates (or grows) the plane storage for `num_nodes` columns.
+  void batch_reserve(std::size_t num_nodes, BatchBinding& binding) const;
+
+  /// Folds one node's populations into plane column `column` and returns the
+  /// node's aggregate demand at phi = 0 (summed from the freshly folded
+  /// weights — the degenerate-node probe every solve starts with). O(n).
+  double batch_bind_column(std::size_t column, std::span<const double> populations,
+                           BatchBinding& binding) const;
+
+  /// Copies node coefficients between columns (solver-side compaction).
+  void batch_copy_column(BatchBinding& binding, std::size_t dst, std::size_t src) const;
+
+  /// g[k] = g(phis[k]) for plane columns [0, phis.size()).
+  void batch_gap(const BatchBinding& binding, std::span<const double> phis,
+                 std::span<double> g) const;
+
+  /// g[k], dg[k] at phis[k] for plane columns [0, phis.size()) — the fused
+  /// evaluation behind every batched Newton pass.
+  void batch_gap_with_derivative(const BatchBinding& binding, std::span<const double> phis,
+                                 std::span<double> g, std::span<double> dg) const;
 
   // --- Throughput curves -------------------------------------------------
 
@@ -187,6 +244,20 @@ class MarketKernel {
   void check_population_size(std::size_t size) const;
   void check_phi(double phi) const;
   void check_binding(const PopulationBinding& b) const;
+  void check_batch(const BatchBinding& b, std::size_t count) const;
+
+  // Plane-evaluation stages (market_kernel.cpp). `slp`/`dg` may be null for
+  // gap-only passes. The vector stage is only defined when the simd vector
+  // backend is compiled in; dispatch happens in batch_gap*.
+  void batch_clusters_scalar(const BatchBinding& b, std::span<const double> phis,
+                             double* dem, double* slp) const;
+  void batch_clusters_vector(const BatchBinding& b, std::span<const double> phis,
+                             double* dem, double* slp) const;
+  bool batch_gap_fused_linear(const BatchBinding& b, std::span<const double> phis,
+                              double* g, double* dg) const;
+  void batch_tail_slots(const BatchBinding& b, std::span<const double> phis, double* dem,
+                        double* slp) const;
+  void batch_finalize_theta(std::span<const double> phis, double* g, double* dg) const;
 
   std::size_t n_ = 0;
   double mu_ = 1.0;

@@ -39,9 +39,13 @@ class BestResponseSolver {
  public:
   explicit BestResponseSolver(BestResponseOptions options = {});
 
-  /// Solves from `initial` (empty = all zeros).
+  /// Solves from `initial` (empty = all zeros). `phi_hint` (>= 0) seeds the
+  /// very first inner utilization solve — sweep harnesses pass the
+  /// batch-solved plane of their chain heads here, so even each chain's cold
+  /// Nash solve starts its line searches from a bracketed fixed point.
   [[nodiscard]] NashResult solve(const SubsidizationGame& game,
-                                 std::vector<double> initial = {}) const;
+                                 std::vector<double> initial = {},
+                                 double phi_hint = -1.0) const;
 
  private:
   BestResponseOptions options_;
@@ -68,11 +72,24 @@ class ExtragradientSolver {
   ExtragradientOptions options_;
 };
 
+/// The NashResult a degenerate game (policy cap <= 0: every subsidy pinned
+/// at zero) produces: subsidies all zero, converged after one zero-residual
+/// iteration, `state` the unsubsidized system state. The batched q = 0
+/// planes (IspPriceOptimizer's grid collapse, ParallelSweepRunner's
+/// zero-cap chains) synthesize their rows through this one factory so they
+/// can never drift from what BestResponseSolver reports on the real
+/// degenerate game.
+[[nodiscard]] NashResult degenerate_nash_result(std::size_t num_players,
+                                               SystemState state);
+
 /// Convenience: solves with best response, falling back to extragradient when
 /// the iteration fails to converge (e.g. oscillation without damping).
+/// `phi_hint` (>= 0) warm-starts the first inner utilization solve (see
+/// BestResponseSolver::solve); results shift only within solver tolerance.
 [[nodiscard]] NashResult solve_nash(const SubsidizationGame& game,
                                     std::vector<double> initial = {},
                                     const BestResponseOptions& br_options = {},
-                                    const ExtragradientOptions& eg_options = {});
+                                    const ExtragradientOptions& eg_options = {},
+                                    double phi_hint = -1.0);
 
 }  // namespace subsidy::core

@@ -6,7 +6,11 @@
 // The grid phase runs as warm-start chains (the shared
 // runtime::partition_chains semantics): the partition depends only on
 // `grid_points` and `chain_length`, never on `jobs`, so results are
-// bit-identical for any worker count.
+// bit-identical for any worker count. Two node-major batch planes feed it:
+// at q = 0 the game is degenerate (all subsidies pinned at zero) and the
+// whole grid collapses into one UtilizationSolver::solve_many plane, and
+// for chained q > 0 grids the chain-head fixed points are plane-solved up
+// front and passed to each chain's first Nash solve as warm-start hints.
 #pragma once
 
 #include <memory>

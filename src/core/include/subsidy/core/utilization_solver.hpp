@@ -57,11 +57,24 @@ class UtilizationSolver {
   /// fails to converge.
   [[nodiscard]] double solve(std::span<const double> populations, double hint = -1.0) const;
 
-  /// Batched solve: each node's fixed point is computed independently, but
-  /// the search advances all nodes one bracketing/Newton candidate per pass,
-  /// keeping the coefficient buckets hot across the whole batch. Node k's
-  /// result is bit-identical to solve(nodes[k].populations, nodes[k].hint).
+  /// Batched solve over node-major planes: the populations of the whole
+  /// batch are folded into a MarketKernel::BatchBinding, and the safeguarded
+  /// Newton advances every still-active node one candidate per plane pass —
+  /// one vectorized exp per exponential cluster per pass, with retired nodes
+  /// compacted out of the active prefix. Each node follows exactly the
+  /// candidate sequence of solve(nodes[k].populations, nodes[k].hint): with
+  /// the scalar exp fallback (num::simd::force_scalar) the result is
+  /// bit-identical to that scalar solve; with the vector exp it agrees to
+  /// well under 1e-12. Throws std::runtime_error when any node fails.
   void solve_many(std::span<UtilizationNode> nodes) const;
+
+  /// Plane-form convenience used by the sweep layers: `populations` is a
+  /// node-major num_nodes x num_providers matrix (node k's populations at
+  /// [k*n, (k+1)*n)), `hints` is empty or one warm-start center per node
+  /// (< 0 = cold), and the solved utilizations are written to `phis`
+  /// (num_nodes = phis.size()). Same batched engine as the node overload.
+  void solve_many(std::span<const double> populations, std::span<const double> hints,
+                  std::span<double> phis) const;
 
   /// Aggregate demand sum_k m_k lambda_k(phi).
   [[nodiscard]] double aggregate_demand(double phi, std::span<const double> populations) const;

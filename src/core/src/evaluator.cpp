@@ -117,21 +117,22 @@ std::vector<SystemState> ModelEvaluator::evaluate_unsubsidized_many(
   const std::size_t n = market_.num_providers();
   const std::vector<double> zeros(n, 0.0);
 
-  // Populations for every grid node, then one batched fixed-point solve.
+  // Populations for every grid node as one node-major matrix, then a single
+  // plane solve through the batched kernel.
   std::vector<double> m(prices.size() * n);
-  std::vector<UtilizationNode> nodes(prices.size());
   for (std::size_t k = 0; k < prices.size(); ++k) {
     num::require_finite(prices[k], "price");
     const std::span<double> row(m.data() + k * n, n);
     kernel().populations(prices[k], zeros, row);
-    nodes[k].populations = row;
   }
-  solver_.solve_many(nodes);
+  std::vector<double> phis(prices.size());
+  solver_.solve_many(m, {}, phis);
 
   std::vector<SystemState> states;
   states.reserve(prices.size());
   for (std::size_t k = 0; k < prices.size(); ++k) {
-    states.push_back(assemble(prices[k], zeros, nodes[k].populations, nodes[k].phi));
+    states.push_back(assemble(prices[k], zeros,
+                              std::span<const double>(m.data() + k * n, n), phis[k]));
   }
   return states;
 }

@@ -131,8 +131,8 @@ double SubsidizationGame::strategy_upper_bound(std::size_t i) const {
   return std::min(policy_cap_, evaluator_.market().provider(i).profitability);
 }
 
-double SubsidizationGame::best_response(std::size_t i,
-                                        std::span<const double> subsidies) const {
+double SubsidizationGame::best_response(std::size_t i, std::span<const double> subsidies,
+                                        double phi_hint) const {
   if (i >= num_players()) throw std::out_of_range("SubsidizationGame::best_response: bad player");
   const double hi = strategy_upper_bound(i);
   if (hi <= 0.0) return 0.0;
@@ -140,8 +140,8 @@ double SubsidizationGame::best_response(std::size_t i,
   std::vector<double> trial(subsidies.begin(), subsidies.end());
 
   // The line search moves s_i smoothly, so each inner fixed point is close to
-  // the previous one: chain the solved phi through as a warm-start hint.
-  double phi_hint = -1.0;
+  // the previous one: chain the solved phi through as a warm-start hint
+  // (seeded by the caller's phi_hint when one is passed).
   auto u_i = [&](double s_i) {
     trial[i] = s_i;
     const MarginalEval eval = marginal_utility_eval(i, trial, phi_hint);

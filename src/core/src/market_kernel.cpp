@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "subsidy/numerics/simd.hpp"
+
 namespace subsidy::core {
 
 namespace {
@@ -297,6 +299,364 @@ void MarketKernel::gap_many(std::span<const double> phis,
   for (std::size_t k = 0; k < phis.size(); ++k) {
     out[k] = gap_bound(phis[k], binding);
   }
+}
+
+// --- Node-major batch planes ---------------------------------------------
+//
+// The plane evaluators replicate the per-node accumulation of
+// aggregate_demand_bound / gap_with_derivative_bound operation for
+// operation (clusters in order, then power-law, delay and opaque slots, then
+// Theta), so that with the scalar exp path every column is bit-identical to
+// the corresponding *_bound evaluation. Only the exponential-cluster stage
+// dispatches: the vector path evaluates it four nodes at a time with
+// num::simd::vexp, everything downstream (the rare non-exponential slots and
+// the Theta finalize) is shared between both modes.
+
+void MarketKernel::check_batch(const BatchBinding& b, std::size_t count) const {
+  // num_rows_ must match too: a same-provider-count kernel with a different
+  // cluster structure would otherwise index rows past the allocation.
+  if (b.num_slots_ != n_ || b.planes_.empty() ||
+      b.num_rows_ != cluster_beta_.size() + (n_ - exp_end_)) {
+    throw std::invalid_argument(
+        "MarketKernel: batch binding was not produced by batch_reserve() on this kernel");
+  }
+  if (count > b.capacity_) {
+    throw std::invalid_argument("MarketKernel: batch evaluation exceeds bound plane");
+  }
+}
+
+void MarketKernel::batch_reserve(std::size_t num_nodes, BatchBinding& binding) const {
+  const std::size_t rows = cluster_beta_.size() + (n_ - exp_end_);
+  // Pad each row to a multiple of the widest vector so wide weight loads on
+  // a ragged tail stay inside the allocation (the padding lanes are owned,
+  // finite garbage whose results are discarded at store time).
+  constexpr std::size_t kPad = num::simd::kMaxLanes;
+  const std::size_t padded = (std::max<std::size_t>(1, num_nodes) + kPad - 1) / kPad * kPad;
+  binding.num_rows_ = rows;
+  binding.num_slots_ = n_;
+  if (binding.capacity_ < padded) binding.capacity_ = padded;
+  // Size against the (possibly retained, larger) capacity, not `padded`: the
+  // capacity is the row stride, so a reused binding that kept a wide stride
+  // from an earlier batch must back every row at that stride even when this
+  // kernel has more rows than the last one.
+  if (binding.planes_.size() < rows * binding.capacity_) {
+    binding.planes_.assign(std::max<std::size_t>(1, rows * binding.capacity_), 0.0);
+  }
+}
+
+double MarketKernel::batch_bind_column(std::size_t column, std::span<const double> populations,
+                                       BatchBinding& binding) const {
+  check_population_size(populations.size());
+  check_batch(binding, column + 1);
+  const std::size_t num_clusters = cluster_beta_.size();
+  const std::size_t stride = binding.capacity_;
+  double* data = binding.planes_.data();
+  // Same folds as bind() — cluster weights, then per-slot products for the
+  // power-law/delay slots and raw populations for the opaque slots — with
+  // the phi = 0 demand (the fast path of aggregate_demand_bound: every
+  // throughput factor is exactly 1) summed on the way through.
+  double demand0 = 0.0;
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    double w = 0.0;
+    for (std::size_t slot = cluster_begin_[c]; slot < cluster_begin_[c + 1]; ++slot) {
+      w += populations[provider_of_slot_[slot]] * t_lambda0_[slot];
+    }
+    data[c * stride + column] = w;
+    demand0 += w;
+  }
+  for (std::size_t slot = exp_end_; slot < delay_end_; ++slot) {
+    const double w = populations[provider_of_slot_[slot]] * t_lambda0_[slot];
+    data[(num_clusters + slot - exp_end_) * stride + column] = w;
+    demand0 += w;
+  }
+  for (std::size_t slot = delay_end_; slot < n_; ++slot) {
+    const double m = populations[provider_of_slot_[slot]];
+    data[(num_clusters + slot - exp_end_) * stride + column] = m;
+    demand0 += m * opaque_curves_[slot - delay_end_]->rate(0.0);
+  }
+  return demand0;
+}
+
+void MarketKernel::batch_copy_column(BatchBinding& binding, std::size_t dst,
+                                     std::size_t src) const {
+  check_batch(binding, std::max(dst, src) + 1);
+  if (dst == src) return;
+  const std::size_t stride = binding.capacity_;
+  double* data = binding.planes_.data();
+  for (std::size_t r = 0; r < binding.num_rows_; ++r) {
+    data[r * stride + dst] = data[r * stride + src];
+  }
+}
+
+void MarketKernel::batch_clusters_scalar(const BatchBinding& binding,
+                                         std::span<const double> phis, double* dem,
+                                         double* slp) const {
+  // Node-outer, cluster-inner: per node the accumulation order matches
+  // aggregate_demand_bound / gap_with_derivative_bound exactly.
+  const std::size_t num_clusters = cluster_beta_.size();
+  const std::size_t stride = binding.capacity_;
+  const double* data = binding.planes_.data();
+  for (std::size_t j = 0; j < phis.size(); ++j) {
+    const double phi = phis[j];
+    double d = 0.0;
+    double s = 0.0;
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+      const double term = data[c * stride + j] * std::exp(-cluster_beta_[c] * phi);
+      d += term;
+      s += -cluster_beta_[c] * term;
+    }
+    dem[j] = d;
+    if (slp != nullptr) slp[j] = s;
+  }
+}
+
+#if SUBSIDY_SIMD_VECTOR_BACKEND
+
+namespace {
+
+/// Width-templated cluster stage: dem/slp accumulate w_c * exp(-beta_c phi)
+/// and its phi-slope across all clusters, W nodes at a time. One definition
+/// serves the baseline build and the AVX2 clone below; per-lane arithmetic
+/// is width-independent, so both produce the same bits (this TU compiles
+/// with -ffp-contract=off to keep FMA out of the wider lowering).
+///
+/// kFuseLinearTheta specializes the paper's primary configuration — every
+/// throughput curve exponential, linear utilization — by folding the Theta
+/// flip (g = phi mu - demand, dg = mu - slope, the exact linear-family
+/// expressions of batch_finalize_theta) into the same register pass, so a
+/// whole Newton plane touches each output cache line once.
+template <std::size_t W, bool kFuseLinearTheta>
+inline void clusters_stage(const double* data, std::size_t stride, const double* betas,
+                           std::size_t num_clusters, double mu, const double* phis,
+                           std::size_t count, double* dem, double* slp) noexcept {
+  namespace simd = num::simd;
+  using vd = simd::vdouble_w<W>;
+  const vd vmu = simd::vsplat_w<W>(mu);
+  const auto group = [&](vd phi, std::size_t base, double* dout, double* sout) {
+    vd d = simd::vsplat_w<W>(0.0);
+    vd s = simd::vsplat_w<W>(0.0);
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+      const vd neg_beta = simd::vsplat_w<W>(-betas[c]);
+      const vd e = simd::vexp_w<W>(neg_beta * phi);
+      const vd term = simd::vload_w<W>(data + c * stride + base) * e;
+      d += term;
+      s += neg_beta * term;
+    }
+    if constexpr (kFuseLinearTheta) {
+      d = phi * vmu - d;
+      s = vmu - s;
+    }
+    simd::vstore_w<W>(dout, d);
+    if (sout != nullptr) simd::vstore_w<W>(sout, s);
+  };
+  std::size_t j = 0;
+  for (; j + W <= count; j += W) {
+    group(simd::vload_w<W>(phis + j), j, dem + j, slp == nullptr ? nullptr : slp + j);
+  }
+  if (j < count) {
+    // Ragged tail: pad phi with the last value and run the same vector
+    // kernel (lane-wise ops keep every node's bits position-independent);
+    // the weight rows are padded by batch_reserve, so the wide loads stay
+    // in bounds and the surplus lanes are simply not copied out.
+    double phibuf[W];
+    double dbuf[W];
+    double sbuf[W];
+    for (double& b : phibuf) b = phis[count - 1];
+    for (std::size_t k = j; k < count; ++k) phibuf[k - j] = phis[k];
+    group(simd::vload_w<W>(phibuf), j, dbuf, slp == nullptr ? nullptr : sbuf);
+    for (std::size_t k = j; k < count; ++k) {
+      dem[k] = dbuf[k - j];
+      if (slp != nullptr) slp[k] = sbuf[k - j];
+    }
+  }
+}
+
+#if defined(__x86_64__) && !defined(__AVX2__)
+__attribute__((target("avx2"))) void clusters_stage_avx2(
+    const double* data, std::size_t stride, const double* betas, std::size_t num_clusters,
+    const double* phis, std::size_t count, double* dem, double* slp) noexcept {
+  clusters_stage<4, false>(data, stride, betas, num_clusters, 0.0, phis, count, dem, slp);
+}
+
+__attribute__((target("avx2"))) void clusters_stage_linear_avx2(
+    const double* data, std::size_t stride, const double* betas, std::size_t num_clusters,
+    double mu, const double* phis, std::size_t count, double* dem, double* slp) noexcept {
+  clusters_stage<4, true>(data, stride, betas, num_clusters, mu, phis, count, dem, slp);
+}
+#endif
+
+}  // namespace
+
+void MarketKernel::batch_clusters_vector(const BatchBinding& binding,
+                                         std::span<const double> phis, double* dem,
+                                         double* slp) const {
+  const double* data = binding.planes_.data();
+  const std::size_t stride = binding.capacity_;
+  const double* betas = cluster_beta_.data();
+  const std::size_t num_clusters = cluster_beta_.size();
+#if defined(__x86_64__) && !defined(__AVX2__)
+  if (num::simd::cpu_has_avx2()) {
+    clusters_stage_avx2(data, stride, betas, num_clusters, phis.data(), phis.size(), dem,
+                        slp);
+    return;
+  }
+#endif
+  clusters_stage<num::simd::kLanes, false>(data, stride, betas, num_clusters, 0.0,
+                                           phis.data(), phis.size(), dem, slp);
+}
+
+/// The fully fused fast path: pure-exponential market + linear utilization.
+/// Writes finished g/dg (not demand/slope); returns false when the market
+/// shape or the active backend cannot take it.
+bool MarketKernel::batch_gap_fused_linear(const BatchBinding& binding,
+                                          std::span<const double> phis, double* g,
+                                          double* dg) const {
+  if (exp_end_ != n_ || util_family_ != UtilizationFamily::linear) return false;
+  if (num::simd::force_scalar()) return false;
+  for (std::size_t j = 0; j < phis.size(); ++j) check_phi(phis[j]);
+  const double* data = binding.planes_.data();
+  const std::size_t stride = binding.capacity_;
+  const double* betas = cluster_beta_.data();
+  const std::size_t num_clusters = cluster_beta_.size();
+#if defined(__x86_64__) && !defined(__AVX2__)
+  if (num::simd::cpu_has_avx2()) {
+    clusters_stage_linear_avx2(data, stride, betas, num_clusters, mu_, phis.data(),
+                               phis.size(), g, dg);
+    return true;
+  }
+#endif
+  clusters_stage<num::simd::kLanes, true>(data, stride, betas, num_clusters, mu_,
+                                          phis.data(), phis.size(), g, dg);
+  return true;
+}
+
+#endif  // SUBSIDY_SIMD_VECTOR_BACKEND
+
+void MarketKernel::batch_tail_slots(const BatchBinding& binding,
+                                    std::span<const double> phis, double* dem,
+                                    double* slp) const {
+  const std::size_t num_clusters = cluster_beta_.size();
+  const std::size_t stride = binding.capacity_;
+  const double* data = binding.planes_.data();
+  for (std::size_t slot = exp_end_; slot < pow_end_; ++slot) {
+    const double* w = data + (num_clusters + slot - exp_end_) * stride;
+    const double beta = t_beta_[slot];
+    for (std::size_t j = 0; j < phis.size(); ++j) {
+      const double term = w[j] * std::pow(1.0 + phis[j], -beta);
+      dem[j] += term;
+      if (slp != nullptr) slp[j] += -beta * term / (1.0 + phis[j]);
+    }
+  }
+  for (std::size_t slot = pow_end_; slot < delay_end_; ++slot) {
+    const double* w = data + (num_clusters + slot - exp_end_) * stride;
+    const double beta = t_beta_[slot];
+    for (std::size_t j = 0; j < phis.size(); ++j) {
+      const double denom = 1.0 + beta * phis[j];
+      const double term = w[j] / denom;
+      dem[j] += term;
+      if (slp != nullptr) slp[j] += -beta * term / denom;
+    }
+  }
+  for (std::size_t slot = delay_end_; slot < n_; ++slot) {
+    const double* w = data + (num_clusters + slot - exp_end_) * stride;
+    const econ::ThroughputCurve& curve = *opaque_curves_[slot - delay_end_];
+    for (std::size_t j = 0; j < phis.size(); ++j) {
+      dem[j] += w[j] * curve.rate(phis[j]);
+      if (slp != nullptr) slp[j] += w[j] * curve.derivative(phis[j]);
+    }
+  }
+}
+
+void MarketKernel::batch_finalize_theta(std::span<const double> phis, double* g,
+                                        double* dg) const {
+  // g/dg arrive holding aggregate demand and its slope; flip them into
+  // Theta - demand with the per-family Theta hoisted out of the loop. The
+  // formulas replicate inverse_throughput / inverse_throughput_dphi term for
+  // term.
+  if (util_family_ != UtilizationFamily::opaque) {
+    for (std::size_t j = 0; j < phis.size(); ++j) check_phi(phis[j]);
+  }
+  switch (util_family_) {
+    case UtilizationFamily::linear:
+      for (std::size_t j = 0; j < phis.size(); ++j) g[j] = phis[j] * mu_ - g[j];
+      if (dg != nullptr) {
+        for (std::size_t j = 0; j < phis.size(); ++j) dg[j] = mu_ - dg[j];
+      }
+      return;
+    case UtilizationFamily::delay:
+      for (std::size_t j = 0; j < phis.size(); ++j) {
+        g[j] = mu_ * phis[j] / (1.0 + phis[j]) - g[j];
+      }
+      if (dg != nullptr) {
+        for (std::size_t j = 0; j < phis.size(); ++j) {
+          const double denom = (1.0 + phis[j]) * (1.0 + phis[j]);
+          dg[j] = mu_ / denom - dg[j];
+        }
+      }
+      return;
+    case UtilizationFamily::power:
+      for (std::size_t j = 0; j < phis.size(); ++j) {
+        g[j] = mu_ * std::pow(phis[j], 1.0 / gamma_) - g[j];
+      }
+      if (dg != nullptr) {
+        for (std::size_t j = 0; j < phis.size(); ++j) {
+          dg[j] = inverse_throughput_dphi(phis[j]) - dg[j];  // phi=0 one-sided limit
+        }
+      }
+      return;
+    case UtilizationFamily::opaque:
+      break;
+  }
+  for (std::size_t j = 0; j < phis.size(); ++j) {
+    g[j] = util_model_->inverse_throughput(phis[j], mu_) - g[j];
+  }
+  if (dg != nullptr) {
+    for (std::size_t j = 0; j < phis.size(); ++j) {
+      dg[j] = util_model_->inverse_throughput_dphi(phis[j], mu_) - dg[j];
+    }
+  }
+}
+
+void MarketKernel::batch_gap(const BatchBinding& binding, std::span<const double> phis,
+                             std::span<double> g) const {
+  check_batch(binding, phis.size());
+  if (g.size() != phis.size()) {
+    throw std::invalid_argument("MarketKernel::batch_gap: output size mismatch");
+  }
+#if SUBSIDY_SIMD_VECTOR_BACKEND
+  if (!num::simd::force_scalar()) {
+    if (batch_gap_fused_linear(binding, phis, g.data(), nullptr)) return;
+    batch_clusters_vector(binding, phis, g.data(), nullptr);
+  } else {
+    batch_clusters_scalar(binding, phis, g.data(), nullptr);
+  }
+#else
+  batch_clusters_scalar(binding, phis, g.data(), nullptr);
+#endif
+  batch_tail_slots(binding, phis, g.data(), nullptr);
+  batch_finalize_theta(phis, g.data(), nullptr);
+}
+
+void MarketKernel::batch_gap_with_derivative(const BatchBinding& binding,
+                                             std::span<const double> phis,
+                                             std::span<double> g, std::span<double> dg) const {
+  check_batch(binding, phis.size());
+  if (g.size() != phis.size() || dg.size() != phis.size()) {
+    throw std::invalid_argument(
+        "MarketKernel::batch_gap_with_derivative: output size mismatch");
+  }
+#if SUBSIDY_SIMD_VECTOR_BACKEND
+  if (!num::simd::force_scalar()) {
+    if (batch_gap_fused_linear(binding, phis, g.data(), dg.data())) return;
+    batch_clusters_vector(binding, phis, g.data(), dg.data());
+  } else {
+    batch_clusters_scalar(binding, phis, g.data(), dg.data());
+  }
+#else
+  batch_clusters_scalar(binding, phis, g.data(), dg.data());
+#endif
+  batch_tail_slots(binding, phis, g.data(), dg.data());
+  batch_finalize_theta(phis, g.data(), dg.data());
 }
 
 // --- Throughput curves ---------------------------------------------------

@@ -29,7 +29,7 @@ BestResponseSolver::BestResponseSolver(BestResponseOptions options) : options_(o
 }
 
 NashResult BestResponseSolver::solve(const SubsidizationGame& game,
-                                     std::vector<double> initial) const {
+                                     std::vector<double> initial, double phi_hint) const {
   NashResult result;
   std::vector<double> s = initial_profile(game, std::move(initial));
   const std::size_t n = game.num_players();
@@ -37,7 +37,8 @@ NashResult BestResponseSolver::solve(const SubsidizationGame& game,
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
     double max_change = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      const double br = game.best_response(i, s);
+      const double br = game.best_response(i, s, phi_hint);
+      phi_hint = -1.0;  // only the very first line search starts from it
       const double next = (1.0 - options_.damping) * s[i] + options_.damping * br;
       max_change = std::max(max_change, std::fabs(next - s[i]));
       s[i] = next;  // Gauss-Seidel: later players see the updated value.
@@ -119,11 +120,21 @@ NashResult ExtragradientSolver::solve(const SubsidizationGame& game,
   return result;
 }
 
+NashResult degenerate_nash_result(std::size_t num_players, SystemState state) {
+  NashResult result;
+  result.subsidies.assign(num_players, 0.0);
+  result.state = std::move(state);
+  result.iterations = 1;  // one best-response pass, every response 0
+  result.converged = true;
+  result.residual = 0.0;
+  return result;
+}
+
 NashResult solve_nash(const SubsidizationGame& game, std::vector<double> initial,
                       const BestResponseOptions& br_options,
-                      const ExtragradientOptions& eg_options) {
+                      const ExtragradientOptions& eg_options, double phi_hint) {
   const BestResponseSolver br(br_options);
-  NashResult result = br.solve(game, initial);
+  NashResult result = br.solve(game, initial, phi_hint);
   if (result.converged) return result;
 
   // Retry with damping before switching algorithms: undamped best-response

@@ -73,9 +73,9 @@ bool OneSidedPricingModel::throughput_increases_with_price(double price,
 }
 
 std::vector<SystemState> OneSidedPricingModel::sweep(const std::vector<double>& prices) const {
-  // Batched: the whole grid's fixed points advance one candidate per pass
-  // through UtilizationSolver::solve_many, so every node is bit-identical to
-  // a cold evaluate(p).
+  // Batched: the whole grid is one node-major plane through
+  // UtilizationSolver::solve_many — per pass, one vectorized exp per
+  // exponential cluster serves every still-active grid node.
   return evaluator_.evaluate_unsubsidized_many(prices);
 }
 

@@ -56,42 +56,82 @@ OptimalPrice IspPriceOptimizer::optimize(double policy_cap,
   const std::size_t n = static_cast<std::size_t>(options_.grid_points);
   const double step =
       (options_.price_max - options_.price_min) / static_cast<double>(n - 1);
+  std::vector<double> grid_prices(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    grid_prices[k] = options_.price_min + step * static_cast<double>(k);
+  }
   std::vector<NashResult> grid(n);
-  const std::vector<runtime::Chain> chains =
-      runtime::partition_chains(1, n, options_.chain_length);
 
-  const auto solve_chain = [&](const runtime::Chain& chain) {
-    std::vector<double> warm(initial_subsidies.begin(), initial_subsidies.end());
-    for (std::size_t k = chain.begin; k < chain.end; ++k) {
-      const double p = options_.price_min + step * static_cast<double>(k);
-      const SubsidizationGame game(market_, p, policy_cap);
-      NashResult nash = solve_nash(game, warm, options_.nash);
-      warm = nash.subsidies;
-      grid[k] = std::move(nash);
+  if (policy_cap <= 0.0) {
+    // q = 0 pins every subsidy at zero, so the whole grid phase degenerates
+    // to unsubsidized evaluations — one node-major plane through
+    // UtilizationSolver::solve_many instead of grid_points Nash solves.
+    const ModelEvaluator evaluator(market_);
+    std::vector<SystemState> states = evaluator.evaluate_unsubsidized_many(grid_prices);
+    const std::size_t players = market_.num_providers();
+    for (std::size_t k = 0; k < n; ++k) {
+      grid[k] = degenerate_nash_result(players, std::move(states[k]));
     }
-  };
-
-  if (options_.jobs <= 1 || chains.size() <= 1) {
-    for (const runtime::Chain& chain : chains) solve_chain(chain);
   } else {
-    runtime::ThreadPool& workers = pool();
-    std::vector<std::future<void>> pending;
-    pending.reserve(chains.size());
-    for (const runtime::Chain& chain : chains) {
-      pending.push_back(workers.submit([&solve_chain, chain]() { solve_chain(chain); }));
-    }
-    // Drain every future before rethrowing: the pool outlives this call, so
-    // unwinding while chains still run would leave them referencing destroyed
-    // stack locals.
-    std::exception_ptr first_failure;
-    for (std::future<void>& f : pending) {
-      try {
-        f.get();
-      } catch (...) {
-        if (!first_failure) first_failure = std::current_exception();
+    const std::vector<runtime::Chain> chains =
+        runtime::partition_chains(1, n, options_.chain_length);
+
+    // Chained grids: batch-solve the utilization plane of every chain head
+    // (at the clamped initial profile each chain's first Nash solve starts
+    // from) and hand the phis down as warm-start hints. One plane replaces
+    // `chains` cold bracket expansions; hints shift results only within
+    // solver tolerance, so chain_length == 0 keeps the legacy bit-exact
+    // semantics by skipping this. Independent of `jobs` either way.
+    std::vector<double> head_hints(chains.size(), -1.0);
+    if (options_.chain_length != 0 && !chains.empty()) {
+      const UtilizationSolver solver(market_);
+      const std::size_t players = market_.num_providers();
+      std::vector<double> profile(initial_subsidies.begin(), initial_subsidies.end());
+      if (profile.empty()) profile.assign(players, 0.0);
+      for (double& s : profile) s = std::clamp(s, 0.0, policy_cap);
+      std::vector<double> m(chains.size() * players);
+      for (std::size_t c = 0; c < chains.size(); ++c) {
+        const std::span<double> row(m.data() + c * players, players);
+        solver.kernel().populations(grid_prices[chains[c].begin], profile, row);
       }
+      solver.solve_many(m, {}, head_hints);
     }
-    if (first_failure) std::rethrow_exception(first_failure);
+
+    const auto solve_chain = [&](std::size_t chain_index) {
+      const runtime::Chain& chain = chains[chain_index];
+      std::vector<double> warm(initial_subsidies.begin(), initial_subsidies.end());
+      double phi_hint = head_hints[chain_index];
+      for (std::size_t k = chain.begin; k < chain.end; ++k) {
+        const SubsidizationGame game(market_, grid_prices[k], policy_cap);
+        NashResult nash = solve_nash(game, warm, options_.nash, {}, phi_hint);
+        phi_hint = -1.0;  // only the chain's cold head uses the plane hint
+        warm = nash.subsidies;
+        grid[k] = std::move(nash);
+      }
+    };
+
+    if (options_.jobs <= 1 || chains.size() <= 1) {
+      for (std::size_t c = 0; c < chains.size(); ++c) solve_chain(c);
+    } else {
+      runtime::ThreadPool& workers = pool();
+      std::vector<std::future<void>> pending;
+      pending.reserve(chains.size());
+      for (std::size_t c = 0; c < chains.size(); ++c) {
+        pending.push_back(workers.submit([&solve_chain, c]() { solve_chain(c); }));
+      }
+      // Drain every future before rethrowing: the pool outlives this call, so
+      // unwinding while chains still run would leave them referencing
+      // destroyed stack locals.
+      std::exception_ptr first_failure;
+      for (std::future<void>& f : pending) {
+        try {
+          f.get();
+        } catch (...) {
+          if (!first_failure) first_failure = std::current_exception();
+        }
+      }
+      if (first_failure) std::rethrow_exception(first_failure);
+    }
   }
 
   // Best cell, scanned in ascending price order (deterministic tie-break).

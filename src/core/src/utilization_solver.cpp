@@ -176,6 +176,344 @@ double newton_polish(const MarketKernel& kernel, const UtilizationSolveOptions& 
       std::to_string(capacity) + ")");
 }
 
+// --- Node-major plane engine ---------------------------------------------
+//
+// The batched solver runs the same per-node state machine as solve() —
+// degenerate check, warm-start window, geometric bracketing, safeguarded
+// Newton, Brent net — but phase by phase over whole planes: every pass
+// evaluates g (or g and dg) for all still-active nodes through
+// MarketKernel::batch_gap*, which vectorizes the per-cluster exp across
+// nodes. Nodes that retire (converged, degenerate, failed) are compacted out
+// of the active prefix with stable column copies, so planes stay contiguous
+// and no lane is wasted on finished work. Per node, the candidate sequence
+// is exactly solve()'s; only the exp backend can differ (see simd.hpp).
+//
+// Retirement compaction keeps survivor order stable, which makes the shared
+// pass counter equal to every survivor's per-node iteration count — the
+// property that lets one loop drive the Newton phase for the whole plane.
+
+/// Per-plane SoA state, parallel to the batch binding's columns. node[]
+/// tracks which node's coefficients each column currently holds (maintained
+/// through every bind and compaction copy), which lets later phases skip
+/// rebinding when a column already holds the right node.
+struct PlaneState {
+  std::vector<std::size_t> node;  ///< Current occupant of each column.
+  std::vector<double> lo;
+  std::vector<double> hi;
+  std::vector<double> g_lo;
+  std::vector<double> g_hi;
+  std::vector<double> width;
+  std::vector<double> x;
+  std::vector<int> expansions;
+  std::vector<unsigned char> lo_sign;
+  std::vector<unsigned char> from_hint;
+  std::vector<double> probe;  ///< Plane-eval inputs.
+  std::vector<double> g;      ///< Plane-eval outputs.
+  std::vector<double> dg;
+
+  void resize(std::size_t n) {
+    node.resize(n);
+    lo.resize(n);
+    hi.resize(n);
+    g_lo.resize(n);
+    g_hi.resize(n);
+    width.resize(n);
+    x.resize(n);
+    expansions.resize(n);
+    lo_sign.resize(n);
+    from_hint.resize(n);
+    probe.resize(n);
+    g.resize(n);
+    dg.resize(n);
+  }
+};
+
+/// A node waiting for the Newton phase with its sign-changing bracket.
+struct BracketedNode {
+  std::size_t node = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+  double g_lo = 0.0;
+  double g_hi = 0.0;
+  bool from_hint = false;
+};
+
+/// Scratch reused across solve_many calls (thread-local in solve_plane):
+/// planes and state keep their capacity, so steady-state sweeps allocate
+/// nothing per batch.
+struct PlaneWorkspace {
+  BatchBinding batch;
+  PlaneState s;
+  std::vector<double> demand0;
+  std::vector<std::size_t> hinted;
+  std::vector<std::size_t> cold;
+  std::vector<BracketedNode> brackets;
+  std::vector<double> phis;  ///< Scratch for the UtilizationNode overload.
+};
+
+PlaneWorkspace& plane_workspace() {
+  thread_local PlaneWorkspace ws;
+  return ws;
+}
+
+/// Solves all `num_nodes` fixed points; `pops_of(k)` yields node k's
+/// populations, `hint_of(k)` its warm-start center (< 0 = cold). Writes
+/// results to out_phi[k]; returns false when any node failed.
+template <typename PopsOf, typename HintOf>
+bool solve_plane(const MarketKernel& kernel, const UtilizationSolveOptions& options,
+                 std::size_t num_nodes, PopsOf&& pops_of, HintOf&& hint_of,
+                 double* out_phi) {
+  bool any_failed = false;
+  if (num_nodes == 0) return true;
+
+  PlaneWorkspace& ws = plane_workspace();
+  BatchBinding& batch = ws.batch;
+  PlaneState& s = ws.s;
+  kernel.batch_reserve(num_nodes, batch);
+  s.resize(num_nodes);
+
+  // --- Init: bind every node once, classify on the zero-demand probe. ---
+  std::vector<double>& demand0 = ws.demand0;
+  std::vector<std::size_t>& hinted = ws.hinted;
+  std::vector<std::size_t>& cold = ws.cold;
+  std::vector<BracketedNode>& brackets = ws.brackets;
+  demand0.resize(num_nodes);
+  hinted.clear();
+  cold.clear();
+  brackets.clear();
+  for (std::size_t k = 0; k < num_nodes; ++k) {
+    demand0[k] = kernel.batch_bind_column(k, pops_of(k), batch);
+    s.node[k] = k;
+    if (demand0[k] <= 0.0) {
+      out_phi[k] = 0.0;  // no demand at all => phi = 0 exactly (g(0) = 0)
+    } else if (hint_of(k) >= 0.0) {
+      hinted.push_back(k);
+    } else {
+      cold.push_back(k);
+    }
+  }
+
+  // True when columns [0, want.size()) already hold exactly the nodes in
+  // `want` — the no-degenerate, single-class fast path where the init-order
+  // binding can be reused without a rebind pass.
+  const auto columns_hold = [&s](const std::vector<std::size_t>& want) {
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      if (s.node[j] != want[j]) return false;
+    }
+    return true;
+  };
+
+  // g(0) = Theta(0, mu) - demand0; Theta(0, mu) is node-independent.
+  const double theta0 = kernel.inverse_throughput(0.0);
+
+  // --- Warm-start windows: probe both edges of every hinted bracket. ---
+  if (!hinted.empty()) {
+    const std::size_t count = hinted.size();
+    const bool bound = columns_hold(hinted);
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t k = hinted[j];
+      if (!bound) {
+        kernel.batch_bind_column(j, pops_of(k), batch);
+        s.node[j] = k;
+      }
+      const double hint = hint_of(k);
+      const double width = std::max(0.05, 0.25 * hint);
+      s.lo[j] = std::max(0.0, hint - width);
+      s.hi[j] = hint + width;
+    }
+    kernel.batch_gap(batch, std::span<const double>(s.lo.data(), count),
+                     std::span<double>(s.g.data(), count));
+    std::copy_n(s.g.data(), count, s.g_lo.data());
+    kernel.batch_gap(batch, std::span<const double>(s.hi.data(), count),
+                     std::span<double>(s.g.data(), count));
+    std::copy_n(s.g.data(), count, s.g_hi.data());
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t k = hinted[j];
+      if (s.g_lo[j] == 0.0) {
+        out_phi[k] = s.lo[j];
+      } else if (s.g_hi[j] == 0.0) {
+        out_phi[k] = s.hi[j];
+      } else if (std::signbit(s.g_lo[j]) != std::signbit(s.g_hi[j])) {
+        brackets.push_back({k, s.lo[j], s.hi[j], s.g_lo[j], s.g_hi[j], true});
+      } else {
+        cold.push_back(k);  // window missed: fall back to the cold expansion
+      }
+    }
+  }
+
+  // --- Cold bracketing: geometric expansion from zero, plane per pass. ---
+  if (!cold.empty()) {
+    const bool bound = columns_hold(cold);
+    std::size_t active = 0;
+    for (const std::size_t k : cold) {
+      const double g_lo = theta0 - demand0[k];
+      if (g_lo == 0.0) {
+        out_phi[k] = 0.0;
+        continue;
+      }
+      const std::size_t j = active++;
+      if (!bound || s.node[j] != k) {
+        kernel.batch_bind_column(j, pops_of(k), batch);
+        s.node[j] = k;
+      }
+      s.lo[j] = 0.0;
+      s.g_lo[j] = g_lo;
+      s.width[j] = options.initial_bracket;
+      s.expansions[j] = 0;
+    }
+    while (active > 0) {
+      for (std::size_t j = 0; j < active; ++j) s.probe[j] = s.lo[j] + s.width[j];
+      kernel.batch_gap(batch, std::span<const double>(s.probe.data(), active),
+                       std::span<double>(s.g.data(), active));
+      std::size_t keep = 0;
+      for (std::size_t j = 0; j < active; ++j) {
+        const double g_hi = s.g[j];
+        if (!std::isfinite(g_hi)) {
+          any_failed = true;
+          continue;
+        }
+        if (g_hi == 0.0) {
+          out_phi[s.node[j]] = s.probe[j];
+          continue;
+        }
+        if (std::signbit(g_hi) != std::signbit(s.g_lo[j])) {
+          brackets.push_back({s.node[j], s.lo[j], s.probe[j], s.g_lo[j], g_hi, false});
+          continue;
+        }
+        const double width = s.width[j] * kBracketGrowth;
+        const int expansions = s.expansions[j] + 1;
+        if (expansions >= kMaxExpansions) {
+          any_failed = true;
+          continue;
+        }
+        // Survivor: stable-compact into the prefix.
+        if (keep != j) {
+          kernel.batch_copy_column(batch, keep, j);
+          s.node[keep] = s.node[j];
+          s.lo[keep] = s.lo[j];
+          s.g_lo[keep] = s.g_lo[j];
+        }
+        s.width[keep] = width;
+        s.expansions[keep] = expansions;
+        ++keep;
+      }
+      active = keep;
+    }
+  }
+
+  // --- Plane-stepped safeguarded Newton over the bracketed nodes. ---
+  if (!brackets.empty()) {
+    std::size_t active = brackets.size();
+    // Columns still hold the bracketed nodes in order whenever one phase fed
+    // the whole batch straight through (warm sweeps; cold batches that
+    // bracket on the first expansion) — skip the rebind pass then.
+    bool bound = true;
+    for (std::size_t j = 0; j < active; ++j) {
+      if (s.node[j] != brackets[j].node) {
+        bound = false;
+        break;
+      }
+    }
+    for (std::size_t j = 0; j < active; ++j) {
+      const BracketedNode& b = brackets[j];
+      if (!bound) {
+        kernel.batch_bind_column(j, pops_of(b.node), batch);
+        s.node[j] = b.node;
+      }
+      s.lo[j] = b.lo;
+      s.hi[j] = b.hi;
+      s.g_lo[j] = b.g_lo;
+      s.g_hi[j] = b.g_hi;
+      s.lo_sign[j] = std::signbit(b.g_lo) ? 1 : 0;
+      s.from_hint[j] = b.from_hint ? 1 : 0;
+      // Warm brackets start from the caller's center, cold ones from the
+      // secant point (same preamble as newton_polish).
+      double x = 0.5 * (b.lo + b.hi);
+      if (!b.from_hint) {
+        const double secant = b.lo - b.g_lo * (b.hi - b.lo) / (b.g_hi - b.g_lo);
+        if (secant > b.lo && secant < b.hi) x = secant;
+      }
+      s.x[j] = x;
+    }
+    for (int it = 0; it < options.max_iterations && active > 0; ++it) {
+      kernel.batch_gap_with_derivative(batch, std::span<const double>(s.x.data(), active),
+                                       std::span<double>(s.g.data(), active),
+                                       std::span<double>(s.dg.data(), active));
+      std::size_t keep = 0;
+      for (std::size_t j = 0; j < active; ++j) {
+        // Same decision sequence as newton_polish, but computed branchlessly
+        // (the bisection direction is a coin flip per node, and a mispredict
+        // per node per pass would cost as much as the plane evaluation).
+        const double g = s.g[j];
+        const double dg = s.dg[j];
+        const double x = s.x[j];
+        const bool newton_usable = std::isfinite(dg) && dg > 0.0;
+        const double newton = newton_usable ? x - g / dg : 0.0;
+        const bool g_on_lo_side = std::signbit(g) == (s.lo_sign[j] != 0);
+        const double lo = g_on_lo_side ? x : s.lo[j];
+        const double hi = g_on_lo_side ? s.hi[j] : x;
+        double next = 0.5 * (lo + hi);
+        next = (newton_usable && newton > lo && newton < hi) ? newton : next;
+        const double dx = std::fabs(next - x);
+        // Retirement tests, in newton_polish's priority order: exact root at
+        // x, Newton step inside tolerance (checked before the bracket
+        // update), then step/bracket convergence after it.
+        const bool done_newton = newton_usable && std::fabs(newton - x) <= options.tolerance;
+        const bool done_root = g == 0.0;
+        const bool done_step = dx <= options.tolerance || (hi - lo) <= options.tolerance;
+        double phi = next;
+        phi = done_newton ? newton : phi;
+        phi = done_root ? x : phi;
+        if (done_root || done_newton || done_step) {
+          out_phi[s.node[j]] = phi;
+          continue;
+        }
+        if (keep != j) {
+          kernel.batch_copy_column(batch, keep, j);
+          s.node[keep] = s.node[j];
+          s.lo_sign[keep] = s.lo_sign[j];
+        }
+        s.lo[keep] = lo;
+        s.hi[keep] = hi;
+        s.x[keep] = next;
+        ++keep;
+      }
+      active = keep;
+    }
+
+    // Robustness net: per-node Brent on the (much narrowed) brackets of
+    // whatever survived max_iterations planes. Rare; runs scalar. With the
+    // vector backend the bracket signs came from vexp while this net
+    // re-evaluates with std::exp; near an ulp-tight bracket the endpoints
+    // can then agree in sign, which brent_root rejects — treat that like
+    // any other per-node failure (solve_many's documented runtime_error)
+    // instead of letting the wrong exception type abort the batch.
+    if (active > 0) {
+      num::RootOptions root_options;
+      root_options.x_tol = options.tolerance;
+      root_options.max_iterations = options.max_iterations;
+      PopulationBinding binding;
+      for (std::size_t j = 0; j < active; ++j) {
+        kernel.bind(pops_of(s.node[j]), binding);
+        auto g = [&](double phi) { return kernel.gap_bound(phi, binding); };
+        try {
+          const num::RootResult result =
+              num::brent_root(g, s.lo[j], s.hi[j], root_options);
+          if (result.converged) {
+            out_phi[s.node[j]] = result.root;
+          } else {
+            any_failed = true;
+          }
+        } catch (const std::invalid_argument&) {
+          any_failed = true;  // bracket lost its sign change under std::exp
+        }
+      }
+    }
+  }
+
+  return !any_failed;
+}
+
 }  // namespace
 
 UtilizationSolver::UtilizationSolver(const econ::Market& market, UtilizationSolveOptions options)
@@ -212,29 +550,35 @@ double UtilizationSolver::solve(std::span<const double> populations, double hint
 }
 
 void UtilizationSolver::solve_many(std::span<UtilizationNode> nodes) const {
-  std::vector<NodeWork> work(nodes.size());
+  std::vector<double>& phis = plane_workspace().phis;
+  phis.assign(nodes.size(), 0.0);
+  const bool ok = solve_plane(
+      kernel_, options_, nodes.size(), [&](std::size_t k) { return nodes[k].populations; },
+      [&](std::size_t k) { return nodes[k].hint; }, phis.data());
+  for (std::size_t k = 0; k < nodes.size(); ++k) nodes[k].phi = phis[k];
+  if (!ok) throw_solve_failure(kernel_.capacity());
+}
 
-  std::size_t expanding = 0;
-  for (std::size_t k = 0; k < nodes.size(); ++k) {
-    init_node(kernel_, options_, nodes[k].populations, nodes[k].hint, work[k]);
-    if (work[k].stage == NodeWork::Stage::expanding) ++expanding;
+void UtilizationSolver::solve_many(std::span<const double> populations,
+                                   std::span<const double> hints,
+                                   std::span<double> phis) const {
+  const std::size_t num_nodes = phis.size();
+  const std::size_t n = kernel_.num_providers();
+  if (populations.size() != num_nodes * n) {
+    throw std::invalid_argument("UtilizationSolver::solve_many: population matrix size "
+                                "must be num_nodes x num_providers");
   }
-
-  // Bracketing: every still-unbracketed node probes its next upper candidate,
-  // one gap evaluation per node per pass over the batch.
-  while (expanding > 0) {
-    for (NodeWork& w : work) {
-      if (w.stage == NodeWork::Stage::expanding && !expand_step(kernel_, w)) --expanding;
-    }
+  if (!hints.empty() && hints.size() != num_nodes) {
+    throw std::invalid_argument(
+        "UtilizationSolver::solve_many: hints must be empty or one per node");
   }
-
-  for (std::size_t k = 0; k < nodes.size(); ++k) {
-    if (work[k].stage == NodeWork::Stage::bracketed) {
-      work[k].phi = newton_polish(kernel_, options_, work[k]);
-    }
-    if (work[k].stage == NodeWork::Stage::failed) throw_solve_failure(kernel_.capacity());
-    nodes[k].phi = work[k].phi;
-  }
+  const bool ok = solve_plane(
+      kernel_, options_, num_nodes,
+      [&](std::size_t k) {
+        return std::span<const double>(populations.data() + k * n, n);
+      },
+      [&](std::size_t k) { return hints.empty() ? -1.0 : hints[k]; }, phis.data());
+  if (!ok) throw_solve_failure(kernel_.capacity());
 }
 
 }  // namespace subsidy::core

@@ -1,0 +1,219 @@
+// Batch-plane SIMD kernels for the hot numeric loops.
+//
+// The utilization batch planes (core::MarketKernel::BatchBinding) evaluate
+// one exponential per throughput cluster across *all* grid nodes of a plane;
+// vexp() is that transcendental: a 4-wide polynomial exp on GCC/Clang vector
+// extensions, lowered to whatever the target ISA offers (SSE2 on the
+// portable default build, AVX under SUBSIDY_ENABLE_NATIVE). The kernel
+// avoids FMA-contractible idioms and packed int<->double conversions, so the
+// default build produces the same bits on every x86-64 (and the plane
+// evaluators compile with -ffp-contract=off, keeping wider ISAs bit-equal).
+//
+// Two selection layers, by design:
+//
+//  * Compile time — defining SUBSIDY_FORCE_SCALAR (the CMake option of the
+//    same name) compiles the vector kernel out entirely; every batch plane
+//    then runs a plain std::exp loop, bit-identical to the scalar solver
+//    path on every platform.
+//  * Run time — set_force_scalar() (or the SUBSIDY_FORCE_SCALAR environment
+//    variable, read once at startup) routes the plane evaluators through
+//    the same std::exp code without rebuilding. The batched-vs-scalar
+//    equivalence tests and the scenario smoke harness use this to check
+//    both paths from one binary.
+//
+// Accuracy of vexp(): a Cephes-style Padé expansion after Cody-Waite range
+// reduction, < 2 ulp relative over the normal range, vexp(0) == 1.0
+// exactly, inputs below -708 flush to +0.0 (std::exp would return a
+// denormal there; the batch planes only consume these values as vanishing
+// demand terms). Above ~709.4 the kernel saturates to +inf a few tenths
+// before true overflow. NaN inputs are unsupported (the solver never
+// produces them).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace subsidy::num::simd {
+
+#if !defined(SUBSIDY_FORCE_SCALAR) && (defined(__GNUC__) || defined(__clang__))
+#define SUBSIDY_SIMD_VECTOR_BACKEND 1
+inline constexpr bool kVectorBackend = true;
+// Match the vector width to what the target ISA executes natively: GCC
+// lowers wider-than-native vectors piecewise, and for compares/selects that
+// lowering goes element-wise through the stack — far slower than two native
+// registers. Per-lane arithmetic is identical at any width, so narrowing is
+// a pure codegen choice and does not change results.
+#if defined(__AVX__)
+inline constexpr std::size_t kLanes = 4;
+#else
+inline constexpr std::size_t kLanes = 2;
+#endif
+#else
+#define SUBSIDY_SIMD_VECTOR_BACKEND 0
+inline constexpr bool kVectorBackend = false;
+inline constexpr std::size_t kLanes = 1;
+#endif
+
+/// True when the batch planes currently take the std::exp path — either
+/// because the vector backend is compiled out or because it was forced at
+/// runtime.
+[[nodiscard]] bool force_scalar() noexcept;
+
+/// Process-wide runtime override (tests, A/B harnesses). A no-op when the
+/// vector backend is compiled out: the scalar path is then the only path.
+void set_force_scalar(bool force) noexcept;
+
+/// Path the planes dispatch to right now: "vector4"|"vector2"|"scalar".
+[[nodiscard]] const char* backend() noexcept;
+
+/// Widest lane count any dispatch target uses; plane rows are padded to
+/// this so wide loads on ragged tails stay in bounds.
+inline constexpr std::size_t kMaxLanes = 4;
+
+/// True when the running CPU can execute the 4-wide AVX2 clones of the
+/// plane kernels (always false off x86-64). Cached after the first call.
+[[nodiscard]] bool cpu_has_avx2() noexcept;
+
+#if SUBSIDY_SIMD_VECTOR_BACKEND
+
+/// W-lane vector types. The kernels are width-templated so one definition
+/// serves both the baseline build (W = kLanes, native ISA width) and the
+/// runtime-dispatched AVX2 clones (W = 4 behind a target("avx2") wrapper).
+/// Per-lane arithmetic is identical at any width, so W is purely a codegen
+/// choice — results match bit for bit across widths as long as the
+/// enclosing TU compiles with -ffp-contract=off (FMA fusion is the one
+/// lowering difference that changes rounding).
+template <std::size_t W>
+struct vtypes {
+  typedef double vd __attribute__((vector_size(W * 8), aligned(8)));
+  typedef std::int64_t vi __attribute__((vector_size(W * 8), aligned(8)));
+};
+template <std::size_t W>
+using vdouble_w = typename vtypes<W>::vd;
+template <std::size_t W>
+using vint64_w = typename vtypes<W>::vi;
+
+/// Default-width aliases (the portable baseline path).
+using vdouble = vdouble_w<kLanes>;
+using vint64 = vint64_w<kLanes>;
+
+template <std::size_t W>
+inline vdouble_w<W> vsplat_w(double a) noexcept {
+  return vdouble_w<W>{} + a;
+}
+
+template <std::size_t W>
+inline vdouble_w<W> vload_w(const double* p) noexcept {
+  vdouble_w<W> v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+template <std::size_t W>
+inline void vstore_w(double* p, vdouble_w<W> v) noexcept {
+  std::memcpy(p, &v, sizeof(v));
+}
+
+inline vdouble vsplat(double a) noexcept { return vsplat_w<kLanes>(a); }
+inline vdouble vload(const double* p) noexcept { return vload_w<kLanes>(p); }
+inline void vstore(double* p, vdouble v) noexcept { vstore_w<kLanes>(p, v); }
+
+namespace detail {
+
+// Cephes expd: exp(x) = 2^n * (1 + 2 px / (qx - px)) with px = r P(r^2),
+// qx = Q(r^2) after the Cody-Waite reduction r = x - n ln2. The Padé form
+// reaches < 2 ulp where a plain Horner polynomial of the same degree would
+// not.
+inline constexpr double kLog2E = 1.4426950408889634073599;
+inline constexpr double kLn2Hi = 6.93145751953125e-1;
+inline constexpr double kLn2Lo = 1.42860682030941723212e-6;
+inline constexpr double kP0 = 1.26177193074810590878e-4;
+inline constexpr double kP1 = 3.02994407707441961300e-2;
+inline constexpr double kP2 = 9.99999999999999999910e-1;
+inline constexpr double kQ0 = 3.00198505138664455042e-6;
+inline constexpr double kQ1 = 2.52448340349684104192e-3;
+inline constexpr double kQ2 = 2.27265548208155028766e-1;
+inline constexpr double kQ3 = 2.00000000000000000005e0;
+
+/// 1.5 * 2^52: adding it to |t| < 2^51 leaves round-to-nearest(t) in the
+/// low mantissa bits, so both the rounded double and the exact int64 fall
+/// out of one addition — no packed double->int conversion (which SSE2
+/// lacks; scalarizing it dominates the whole kernel's cost).
+inline constexpr double kRound = 6755399441055744.0;
+inline constexpr std::int64_t kRoundBits = 0x4338000000000000LL;
+
+/// Below this the true value is denormal; the kernel flushes to +0.0.
+inline constexpr double kUnderflow = -708.0;
+/// Above this 2^n saturates the exponent field and the result is +inf.
+inline constexpr double kOverflow = 710.0;
+
+}  // namespace detail
+
+/// out[i] = exp(x[i]) per lane. See the header comment for range semantics.
+template <std::size_t W>
+inline vdouble_w<W> vexp_w(vdouble_w<W> x) noexcept {
+  using namespace detail;
+  using vd = vdouble_w<W>;
+  using vi = vint64_w<W>;
+  // Clamp the working value so the 2^n bit arithmetic below stays in range;
+  // true underflow is selected from the raw input at the end (the top clamp
+  // already saturates to +inf through the exponent field).
+  vd xc = x;
+  xc = (xc > vsplat_w<W>(kOverflow)) ? vsplat_w<W>(kOverflow) : xc;
+  xc = (xc < vsplat_w<W>(kUnderflow)) ? vsplat_w<W>(kUnderflow) : xc;
+
+  const vd u = xc * vsplat_w<W>(kLog2E) + vsplat_w<W>(kRound);
+  const vd n = u - vsplat_w<W>(kRound);  // round-to-nearest(x / ln2)
+  vi ni;
+  std::memcpy(&ni, &u, sizeof(ni));
+  ni -= kRoundBits;  // the same n, exactly, as an integer
+
+  const vd r = (xc - n * vsplat_w<W>(kLn2Hi)) - n * vsplat_w<W>(kLn2Lo);
+  const vd rr = r * r;
+  const vd px = r * ((vsplat_w<W>(kP0) * rr + vsplat_w<W>(kP1)) * rr + vsplat_w<W>(kP2));
+  const vd qx = ((vsplat_w<W>(kQ0) * rr + vsplat_w<W>(kQ1)) * rr + vsplat_w<W>(kQ2)) * rr +
+                vsplat_w<W>(kQ3);
+  const vd e = vsplat_w<W>(1.0) + vsplat_w<W>(2.0) * px / (qx - px);
+
+  // 2^n through the exponent field (n == 1024 reinterprets as +inf, the
+  // correct saturation for the top of the clamp range).
+  const vi bits = (ni + 1023) << 52;
+  vd scale;
+  std::memcpy(&scale, &bits, sizeof(scale));
+
+  vd result = e * scale;
+  result = (x < vsplat_w<W>(kUnderflow)) ? vsplat_w<W>(0.0) : result;
+  return result;
+}
+
+inline vdouble vexp(vdouble x) noexcept { return vexp_w<kLanes>(x); }
+
+#endif  // SUBSIDY_SIMD_VECTOR_BACKEND
+
+namespace detail {
+inline void exp_batch_scalar(const double* x, double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(x[i]);
+}
+#if SUBSIDY_SIMD_VECTOR_BACKEND
+void exp_batch_vector(const double* x, double* out, std::size_t n) noexcept;
+#endif
+}  // namespace detail
+
+/// out[i] = exp(x[i]) for i in [0, n): the standalone array form of vexp()
+/// (accuracy tests, ad-hoc batch users). The dispatch costs one relaxed
+/// atomic load, amortized over the batch. Tails shorter than the vector
+/// width run through the same padded vector kernel, so a value's bits never
+/// depend on its position within a batch.
+inline void exp_batch(const double* x, double* out, std::size_t n) noexcept {
+#if SUBSIDY_SIMD_VECTOR_BACKEND
+  if (!force_scalar()) {
+    detail::exp_batch_vector(x, out, n);
+    return;
+  }
+#endif
+  detail::exp_batch_scalar(x, out, n);
+}
+
+}  // namespace subsidy::num::simd

@@ -1,0 +1,95 @@
+// Compile with -ffp-contract=off (set in CMakeLists): the AVX2 clones must
+// not fuse mul+add into FMA, or their results would drift from the baseline
+// lowering by ~1 ulp and the batch planes would stop being bit-stable
+// across machines.
+#include "subsidy/numerics/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace subsidy::num::simd {
+
+namespace {
+
+bool initial_force_scalar() {
+  // Opt-in kill switch so one binary can run both paths (scenario smoke runs
+  // the goldens under SUBSIDY_FORCE_SCALAR=1 as well as the default).
+  const char* env = std::getenv("SUBSIDY_FORCE_SCALAR");
+  if (env == nullptr || env[0] == '\0') return false;
+  return !(env[0] == '0' && env[1] == '\0');
+}
+
+std::atomic<bool>& force_scalar_flag() {
+  static std::atomic<bool> flag{initial_force_scalar()};
+  return flag;
+}
+
+}  // namespace
+
+bool force_scalar() noexcept {
+  if constexpr (!kVectorBackend) return true;
+  return force_scalar_flag().load(std::memory_order_relaxed);
+}
+
+void set_force_scalar(bool force) noexcept {
+  force_scalar_flag().store(force, std::memory_order_relaxed);
+}
+
+const char* backend() noexcept {
+  if (force_scalar()) return "scalar";
+  return (cpu_has_avx2() || kLanes == 4) ? "vector4" : "vector2";
+}
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  static const bool has = __builtin_cpu_supports("avx2") > 0;
+  return has;
+#else
+  return false;
+#endif
+}
+
+#if SUBSIDY_SIMD_VECTOR_BACKEND
+
+namespace {
+
+template <std::size_t W>
+inline void exp_batch_impl(const double* x, double* out, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) vstore_w<W>(out + i, vexp_w<W>(vload_w<W>(x + i)));
+  if (i < n) {
+    // Padded tail through the same vector kernel (position independence).
+    double buf[W];
+    for (double& b : buf) b = x[n - 1];
+    for (std::size_t k = i; k < n; ++k) buf[k - i] = x[k];
+    vstore_w<W>(buf, vexp_w<W>(vload_w<W>(buf)));
+    for (std::size_t k = i; k < n; ++k) out[k] = buf[k - i];
+  }
+}
+
+#if defined(__x86_64__) && !defined(__AVX2__)
+__attribute__((target("avx2"))) void exp_batch_avx2(const double* x, double* out,
+                                                    std::size_t n) noexcept {
+  exp_batch_impl<4>(x, out, n);
+}
+#endif
+
+}  // namespace
+
+namespace detail {
+
+void exp_batch_vector(const double* x, double* out, std::size_t n) noexcept {
+#if defined(__x86_64__) && !defined(__AVX2__)
+  if (cpu_has_avx2()) {
+    exp_batch_avx2(x, out, n);
+    return;
+  }
+#endif
+  exp_batch_impl<kLanes>(x, out, n);
+}
+
+}  // namespace detail
+
+#endif  // SUBSIDY_SIMD_VECTOR_BACKEND
+
+}  // namespace subsidy::num::simd

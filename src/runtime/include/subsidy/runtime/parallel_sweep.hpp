@@ -12,14 +12,22 @@
 // `SweepOptions::chain_length`, never on the job count, and every chain is a
 // pure function of its inputs. Running with jobs=1 and jobs=N therefore
 // produces bit-identical rows.
+//
+// Batch planes: chained sweeps hand whole planes to the compiled kernel —
+// the unsubsidized fixed points of all chain heads are solved as one
+// node-major batch (warm-start hints for each chain's cold Nash solve), and
+// zero-cap groups, whose game is degenerate, skip Nash entirely: each of
+// their chains is one UtilizationSolver::solve_many plane.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "subsidy/core/evaluator.hpp"
 #include "subsidy/core/game.hpp"
 #include "subsidy/core/nash.hpp"
 #include "subsidy/econ/market.hpp"
+#include "subsidy/runtime/chain_partition.hpp"
 
 namespace subsidy::runtime {
 
@@ -64,8 +72,15 @@ class ParallelSweepRunner {
   [[nodiscard]] const econ::Market& market() const noexcept { return market_; }
 
  private:
+  /// Runs one zero-cap chain as a single batched plane (see header comment).
+  void solve_chain_plane(const Chain& chain, double cap, const std::vector<double>& prices,
+                         std::vector<SweepRow>& rows) const;
+
   econ::Market market_;
   SweepOptions options_;
+  /// Compiled once per runner; const access is thread-safe, so concurrent
+  /// chains share it for plane solves.
+  core::ModelEvaluator evaluator_;
 };
 
 }  // namespace subsidy::runtime

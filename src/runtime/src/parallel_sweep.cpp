@@ -4,29 +4,66 @@
 #include <future>
 #include <utility>
 
+#include "subsidy/core/evaluator.hpp"
 #include "subsidy/runtime/chain_partition.hpp"
 #include "subsidy/runtime/thread_pool.hpp"
 
 namespace subsidy::runtime {
 
 ParallelSweepRunner::ParallelSweepRunner(econ::Market market, SweepOptions options)
-    : market_(std::move(market)), options_(options) {}
+    : market_(std::move(market)), options_(options), evaluator_(market_) {}
 
 std::vector<SweepRow> ParallelSweepRunner::run(const std::vector<double>& policy_caps,
                                                const std::vector<double>& prices) const {
   const std::size_t num_prices = prices.size();
+  const std::size_t players = market_.num_providers();
   std::vector<SweepRow> rows(policy_caps.size() * num_prices);
   const std::vector<Chain> chains =
       partition_chains(policy_caps.size(), num_prices, options_.chain_length);
 
+  // Chained sweeps start every chain cold; batch-solve the unsubsidized
+  // fixed points of all chain heads as one node-major plane and pass them
+  // down as warm-start hints (results shift only within solver tolerance,
+  // so chain_length == 0 — the legacy serial semantics — skips this).
+  // Zero-cap chains are excluded: they run as pure planes below and would
+  // discard the hint. The plane depends only on the partition and the cap
+  // values, never on `jobs`.
+  std::vector<double> head_hints(chains.size(), -1.0);
+  if (options_.chain_length != 0 && !chains.empty() && num_prices > 0) {
+    std::vector<std::size_t> hinted_chains;
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+      if (policy_caps[chains[c].group] > 0.0) hinted_chains.push_back(c);
+    }
+    if (!hinted_chains.empty()) {
+      const std::vector<double> zeros(players, 0.0);
+      std::vector<double> m(hinted_chains.size() * players);
+      std::vector<double> phis(hinted_chains.size());
+      for (std::size_t j = 0; j < hinted_chains.size(); ++j) {
+        const std::span<double> row(m.data() + j * players, players);
+        evaluator_.kernel().populations(prices[chains[hinted_chains[j]].begin], zeros, row);
+      }
+      evaluator_.solver().solve_many(m, {}, phis);
+      for (std::size_t j = 0; j < hinted_chains.size(); ++j) {
+        head_hints[hinted_chains[j]] = phis[j];
+      }
+    }
+  }
+
   // Each chain writes a disjoint slice of `rows`, so no synchronization is
   // needed beyond joining the futures.
-  const auto solve_chain = [&](const Chain& chain) {
+  const auto solve_chain = [&](std::size_t chain_index) {
+    const Chain& chain = chains[chain_index];
     const double cap = policy_caps[chain.group];
+    if (cap <= 0.0) {
+      solve_chain_plane(chain, cap, prices, rows);
+      return;
+    }
     std::vector<double> warm;
+    double phi_hint = head_hints[chain_index];
     for (std::size_t k = chain.begin; k < chain.end; ++k) {
       const core::SubsidizationGame game(market_, prices[k], cap);
-      core::NashResult nash = core::solve_nash(game, warm);
+      core::NashResult nash = core::solve_nash(game, warm, {}, {}, phi_hint);
+      phi_hint = -1.0;  // only the chain's cold head uses the plane hint
       warm = nash.subsidies;
       rows[chain.group * num_prices + k] =
           SweepRow{chain.group, k, prices[k], cap, std::move(nash)};
@@ -34,18 +71,36 @@ std::vector<SweepRow> ParallelSweepRunner::run(const std::vector<double>& policy
   };
 
   if (options_.jobs <= 1 || chains.size() <= 1) {
-    for (const Chain& chain : chains) solve_chain(chain);
+    for (std::size_t c = 0; c < chains.size(); ++c) solve_chain(c);
     return rows;
   }
 
   ThreadPool pool(std::min(options_.jobs, chains.size()));
   std::vector<std::future<void>> pending;
   pending.reserve(chains.size());
-  for (const Chain& chain : chains) {
-    pending.push_back(pool.submit([&solve_chain, chain]() { solve_chain(chain); }));
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    pending.push_back(pool.submit([&solve_chain, c]() { solve_chain(c); }));
   }
   for (std::future<void>& f : pending) f.get();  // rethrows chain failures
   return rows;
+}
+
+void ParallelSweepRunner::solve_chain_plane(const Chain& chain, double cap,
+                                            const std::vector<double>& prices,
+                                            std::vector<SweepRow>& rows) const {
+  // A zero policy cap pins every subsidy at zero, so the whole chain is one
+  // unsubsidized price plane: hand it to the batched kernel solver in one
+  // call and synthesize the rows through core::degenerate_nash_result.
+  const std::size_t num_prices = prices.size();
+  const std::size_t players = market_.num_providers();
+  const std::vector<double> chain_prices(prices.begin() + static_cast<std::ptrdiff_t>(chain.begin),
+                                         prices.begin() + static_cast<std::ptrdiff_t>(chain.end));
+  std::vector<core::SystemState> states = evaluator_.evaluate_unsubsidized_many(chain_prices);
+  for (std::size_t k = chain.begin; k < chain.end; ++k) {
+    rows[chain.group * num_prices + k] =
+        SweepRow{chain.group, k, prices[k], cap,
+                 core::degenerate_nash_result(players, std::move(states[k - chain.begin]))};
+  }
 }
 
 std::vector<SweepRow> ParallelSweepRunner::run_prices(double policy_cap,

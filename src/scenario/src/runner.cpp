@@ -45,6 +45,10 @@ std::string ScenarioRunner::resolve_output(const std::string& path) const {
 }
 
 io::SweepTable ScenarioRunner::run_sweep(const ExperimentSpec& spec, bool& converged) const {
+  // Chain partitions hand the runner whole planes: chain heads are
+  // batch-solved as one node-major plane of warm-start hints, and zero-cap
+  // chains bypass Nash entirely (one solve_many plane per chain). Rows stay
+  // byte-identical for any --jobs because the partition never depends on it.
   runtime::SweepOptions options;
   options.jobs = effective_jobs(spec);
   options.chain_length = spec.chain_length;
@@ -58,8 +62,9 @@ io::SweepTable ScenarioRunner::run_sweep(const ExperimentSpec& spec, bool& conve
 }
 
 io::SweepTable ScenarioRunner::run_one_sided(const ExperimentSpec& spec) const {
-  // Batched through the runner's own compiled kernel: all fixed points are
-  // advanced together by UtilizationSolver::solve_many.
+  // Batched through the runner's own compiled kernel: the whole price grid
+  // is one node-major UtilizationSolver::solve_many plane (vectorized exp
+  // across grid nodes).
   io::SweepTable table({"p", "phi", "theta", "revenue", "welfare"});
   const std::vector<core::SystemState> states =
       evaluator_.evaluate_unsubsidized_many(spec.prices);

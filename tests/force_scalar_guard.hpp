@@ -1,0 +1,23 @@
+// Shared test helper: RAII guard forcing the scalar exp path of the batch
+// planes for a test's scope, restoring whatever was active afterwards. The
+// batched-vs-scalar equivalence suites use it for their bitwise halves.
+#pragma once
+
+#include "subsidy/numerics/simd.hpp"
+
+namespace subsidy::test {
+
+class ForceScalarExp {
+ public:
+  ForceScalarExp() : previous_(num::simd::force_scalar()) {
+    num::simd::set_force_scalar(true);
+  }
+  ~ForceScalarExp() { num::simd::set_force_scalar(previous_); }
+  ForceScalarExp(const ForceScalarExp&) = delete;
+  ForceScalarExp& operator=(const ForceScalarExp&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace subsidy::test

@@ -1,0 +1,328 @@
+// Equivalence suite for the node-major batch planes: BatchBinding plane
+// evaluation and the plane-stepped solve_many against the per-node scalar
+// path, across all four demand families, all throughput families (opaque
+// bucket included), mixed-family markets, warm hints and degenerate nodes.
+// Contract under test: bit-identical results with the scalar exp fallback
+// forced (num::simd::set_force_scalar), <= 1e-12 agreement with the SIMD
+// kernel active (the build default).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "force_scalar_guard.hpp"
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/market_kernel.hpp"
+#include "subsidy/core/utilization_solver.hpp"
+#include "subsidy/econ/market.hpp"
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/numerics/simd.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+using subsidy::test::ForceScalarExp;
+
+namespace {
+
+/// A throughput curve outside every compiled family (opaque bucket).
+class Base2Throughput final : public econ::ThroughputCurve {
+ public:
+  explicit Base2Throughput(double beta) : beta_(beta) {}
+  [[nodiscard]] double rate(double phi) const override { return std::exp2(-beta_ * phi); }
+  [[nodiscard]] std::string name() const override { return "base2"; }
+  [[nodiscard]] std::unique_ptr<econ::ThroughputCurve> clone() const override {
+    return std::make_unique<Base2Throughput>(*this);
+  }
+
+ private:
+  double beta_;
+};
+
+std::shared_ptr<const econ::DemandCurve> make_demand(const std::string& family, int i) {
+  const double a = 1.0 + 0.7 * i;
+  if (family == "exponential") return std::make_shared<econ::ExponentialDemand>(a);
+  if (family == "logit") return std::make_shared<econ::LogitDemand>(1.0, 4.0 + a, 0.5);
+  if (family == "isoelastic") return std::make_shared<econ::IsoelasticDemand>(1.0, a);
+  return std::make_shared<econ::LinearDemand>(1.0, 2.0 + 0.3 * i);
+}
+
+std::shared_ptr<const econ::ThroughputCurve> make_curve(const std::string& family,
+                                                        double beta) {
+  if (family == "exp") return std::make_shared<econ::ExponentialThroughput>(beta);
+  if (family == "powerlaw") return std::make_shared<econ::PowerLawThroughput>(beta);
+  if (family == "delay") return std::make_shared<econ::DelayThroughput>(beta);
+  return std::make_shared<Base2Throughput>(beta);
+}
+
+/// Five providers of one demand family over a mixed throughput side (two
+/// equal-beta exponentials so the cluster machinery engages, plus the
+/// requested family), under linear utilization.
+econ::Market demand_family_market(const std::string& demand_family,
+                                  const std::string& throughput_family) {
+  std::vector<econ::ContentProviderSpec> providers;
+  const std::vector<double> betas{2.0, 5.0, 2.0, 3.5, 4.0};
+  for (int i = 0; i < 5; ++i) {
+    econ::ContentProviderSpec cp;
+    cp.name = demand_family + std::to_string(i);
+    cp.demand = make_demand(demand_family, i);
+    cp.throughput = make_curve(i < 3 ? "exp" : throughput_family,
+                               betas[static_cast<std::size_t>(i)]);
+    cp.profitability = 1.0;
+    providers.push_back(std::move(cp));
+  }
+  return econ::Market(econ::IspSpec{1.0}, std::make_shared<econ::LinearUtilization>(),
+                      std::move(providers));
+}
+
+const std::vector<std::string> kDemandFamilies{"exponential", "logit", "isoelastic",
+                                               "linear"};
+const std::vector<std::string> kThroughputFamilies{"exp", "powerlaw", "delay", "opaque"};
+
+/// Populations for a plane of nodes from the market's own demand side over a
+/// price grid (so every demand family shapes its own batch).
+std::vector<double> plane_populations(const core::MarketKernel& kernel,
+                                      std::size_t num_nodes) {
+  const std::size_t n = kernel.num_providers();
+  const std::vector<double> zeros(n, 0.0);
+  std::vector<double> m(num_nodes * n);
+  for (std::size_t k = 0; k < num_nodes; ++k) {
+    const double price = 0.05 + 1.9 * static_cast<double>(k) /
+                                    static_cast<double>(num_nodes > 1 ? num_nodes - 1 : 1);
+    kernel.populations(price, zeros, std::span<double>(m.data() + k * n, n));
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(BatchPlanes, PlaneGapBitIdenticalToBoundUnderForcedScalar) {
+  const ForceScalarExp scalar_guard;
+  for (const auto& family : kThroughputFamilies) {
+    const econ::Market mkt = demand_family_market("exponential", family);
+    const core::MarketKernel kernel(mkt);
+    const std::size_t num_nodes = 13;
+    const std::vector<double> m = plane_populations(kernel, num_nodes);
+    const std::size_t n = kernel.num_providers();
+
+    core::BatchBinding batch;
+    kernel.batch_reserve(num_nodes, batch);
+    std::vector<double> phis(num_nodes);
+    for (std::size_t k = 0; k < num_nodes; ++k) {
+      kernel.batch_bind_column(k, std::span<const double>(m.data() + k * n, n), batch);
+      phis[k] = 0.3 * static_cast<double>(k % 5);  // includes phi = 0 lanes
+    }
+    std::vector<double> g(num_nodes);
+    std::vector<double> dg(num_nodes);
+    kernel.batch_gap(batch, phis, g);
+
+    core::PopulationBinding binding;
+    for (std::size_t k = 0; k < num_nodes; ++k) {
+      kernel.bind(std::span<const double>(m.data() + k * n, n), binding);
+      EXPECT_EQ(g[k], kernel.gap_bound(phis[k], binding)) << family << " node " << k;
+    }
+    kernel.batch_gap_with_derivative(batch, phis, g, dg);
+    for (std::size_t k = 0; k < num_nodes; ++k) {
+      kernel.bind(std::span<const double>(m.data() + k * n, n), binding);
+      const core::MarketKernel::GapValue v =
+          kernel.gap_with_derivative_bound(phis[k], binding);
+      EXPECT_EQ(g[k], v.g) << family << " node " << k;
+      EXPECT_EQ(dg[k], v.dg) << family << " node " << k;
+    }
+  }
+}
+
+TEST(BatchPlanes, PlaneGapWithinTolOfBoundWithSimd) {
+  for (const auto& family : kThroughputFamilies) {
+    const econ::Market mkt = demand_family_market("exponential", family);
+    const core::MarketKernel kernel(mkt);
+    const std::size_t num_nodes = 13;
+    const std::vector<double> m = plane_populations(kernel, num_nodes);
+    const std::size_t n = kernel.num_providers();
+
+    core::BatchBinding batch;
+    kernel.batch_reserve(num_nodes, batch);
+    std::vector<double> phis(num_nodes);
+    for (std::size_t k = 0; k < num_nodes; ++k) {
+      kernel.batch_bind_column(k, std::span<const double>(m.data() + k * n, n), batch);
+      phis[k] = 0.3 * static_cast<double>(k % 5);
+    }
+    std::vector<double> g(num_nodes);
+    std::vector<double> dg(num_nodes);
+    kernel.batch_gap_with_derivative(batch, phis, g, dg);
+    core::PopulationBinding binding;
+    for (std::size_t k = 0; k < num_nodes; ++k) {
+      kernel.bind(std::span<const double>(m.data() + k * n, n), binding);
+      const core::MarketKernel::GapValue v =
+          kernel.gap_with_derivative_bound(phis[k], binding);
+      EXPECT_NEAR(g[k], v.g, 1e-12 * std::max(1.0, std::fabs(v.g)))
+          << family << " node " << k;
+      EXPECT_NEAR(dg[k], v.dg, 1e-12 * std::max(1.0, std::fabs(v.dg)))
+          << family << " node " << k;
+    }
+  }
+}
+
+TEST(BatchPlanes, SolveManyBitIdenticalAcrossDemandFamiliesUnderForcedScalar) {
+  const ForceScalarExp scalar_guard;
+  for (const auto& demand : kDemandFamilies) {
+    for (const auto& curve : kThroughputFamilies) {
+      const econ::Market mkt = demand_family_market(demand, curve);
+      const core::UtilizationSolver solver(mkt);
+      const std::size_t num_nodes = 17;
+      const std::vector<double> m = plane_populations(solver.kernel(), num_nodes);
+      const std::size_t n = mkt.num_providers();
+      std::vector<double> phis(num_nodes);
+      solver.solve_many(m, {}, phis);
+      for (std::size_t k = 0; k < num_nodes; ++k) {
+        const double expected =
+            solver.solve(std::span<const double>(m.data() + k * n, n));
+        EXPECT_EQ(phis[k], expected) << demand << "/" << curve << " node " << k;
+      }
+    }
+  }
+}
+
+TEST(BatchPlanes, SolveManyWithinTolAcrossDemandFamiliesWithSimd) {
+  for (const auto& demand : kDemandFamilies) {
+    for (const auto& curve : kThroughputFamilies) {
+      const econ::Market mkt = demand_family_market(demand, curve);
+      const core::UtilizationSolver solver(mkt);
+      const std::size_t num_nodes = 17;
+      const std::vector<double> m = plane_populations(solver.kernel(), num_nodes);
+      const std::size_t n = mkt.num_providers();
+      std::vector<double> phis(num_nodes);
+      solver.solve_many(m, {}, phis);
+      for (std::size_t k = 0; k < num_nodes; ++k) {
+        const double expected =
+            solver.solve(std::span<const double>(m.data() + k * n, n));
+        EXPECT_NEAR(phis[k], expected, 1e-12) << demand << "/" << curve << " node " << k;
+      }
+    }
+  }
+}
+
+TEST(BatchPlanes, MixedHintColdAndDegenerateBatchesUnderForcedScalar) {
+  const ForceScalarExp scalar_guard;
+  const econ::Market mkt = market::section5_market();
+  const core::UtilizationSolver solver(mkt);
+  const std::size_t n = mkt.num_providers();
+  const std::size_t num_nodes = 24;
+  std::vector<double> m = plane_populations(solver.kernel(), num_nodes);
+  // Sprinkle degenerate (zero-population) nodes through the batch.
+  for (const std::size_t k : {std::size_t{0}, std::size_t{7}, std::size_t{23}}) {
+    std::fill_n(m.data() + k * n, n, 0.0);
+  }
+  std::vector<double> hints(num_nodes, -1.0);
+  for (std::size_t k = 0; k < num_nodes; k += 3) hints[k] = 0.05 + 0.1 * (k % 9);
+  hints[4] = 1e9;  // absurd hint: window misses, falls back to cold expansion
+
+  std::vector<double> phis(num_nodes);
+  solver.solve_many(m, hints, phis);
+  for (std::size_t k = 0; k < num_nodes; ++k) {
+    const double expected =
+        solver.solve(std::span<const double>(m.data() + k * n, n), hints[k]);
+    EXPECT_EQ(phis[k], expected) << "node " << k;
+  }
+}
+
+TEST(BatchPlanes, SpanApiMatchesNodeApiBitwise) {
+  // Both overloads run the same plane engine, so they agree bit for bit on
+  // any backend.
+  const econ::Market mkt = market::section3_market();
+  const core::UtilizationSolver solver(mkt);
+  const std::size_t n = mkt.num_providers();
+  const std::size_t num_nodes = 9;
+  const std::vector<double> m = plane_populations(solver.kernel(), num_nodes);
+  std::vector<double> phis(num_nodes);
+  solver.solve_many(m, {}, phis);
+
+  std::vector<core::UtilizationNode> nodes(num_nodes);
+  for (std::size_t k = 0; k < num_nodes; ++k) {
+    nodes[k].populations = std::span<const double>(m.data() + k * n, n);
+  }
+  solver.solve_many(nodes);
+  for (std::size_t k = 0; k < num_nodes; ++k) {
+    EXPECT_EQ(nodes[k].phi, phis[k]) << "node " << k;
+  }
+}
+
+TEST(BatchPlanes, EmptyAndSingleNodePlanes) {
+  const econ::Market mkt = market::section3_market();
+  const core::UtilizationSolver solver(mkt);
+  const std::size_t n = mkt.num_providers();
+  std::vector<double> empty;
+  solver.solve_many(std::span<const double>(empty), {}, std::span<double>());
+
+  const std::vector<double> m = plane_populations(solver.kernel(), 1);
+  std::vector<double> phi(1);
+  solver.solve_many(m, {}, phi);
+  const ForceScalarExp scalar_guard;
+  std::vector<double> phi_scalar(1);
+  solver.solve_many(m, {}, phi_scalar);
+  EXPECT_EQ(phi_scalar[0], solver.solve(std::span<const double>(m.data(), n)));
+  EXPECT_NEAR(phi[0], phi_scalar[0], 1e-12);
+}
+
+TEST(BatchPlanes, RejectsMalformedPlaneInputs) {
+  const econ::Market mkt = market::section3_market();
+  const core::UtilizationSolver solver(mkt);
+  const std::size_t n = mkt.num_providers();
+  std::vector<double> m(3 * n, 0.5);
+  std::vector<double> phis(3);
+  std::vector<double> bad_hints(2, -1.0);
+  EXPECT_THROW(solver.solve_many(std::span<const double>(m.data(), 3 * n - 1), {}, phis),
+               std::invalid_argument);
+  EXPECT_THROW(solver.solve_many(m, bad_hints, phis), std::invalid_argument);
+}
+
+TEST(BatchPlanes, WorkspaceReuseAcrossKernelShapes) {
+  // Regression: the thread-local plane workspace keeps its padded capacity
+  // (the row stride) across solves. A wide plane on a one-row kernel
+  // followed by a narrow plane on a many-row kernel must re-size the
+  // backing planes against the *retained* stride, not the new node count —
+  // getting this wrong reads/writes far past the allocation (caught by the
+  // ASan CI job) and yields garbage coefficients.
+  const econ::Market one_row =
+      econ::Market::exponential(1.0, {1.0, 2.0, 3.0}, {2.0, 2.0, 2.0}, {1.0, 1.0, 1.0});
+  const core::UtilizationSolver wide_solver(one_row);
+  const std::size_t wide_nodes = 512;
+  const std::vector<double> wide_m = plane_populations(wide_solver.kernel(), wide_nodes);
+  std::vector<double> wide_phis(wide_nodes);
+  wide_solver.solve_many(wide_m, {}, wide_phis);
+
+  const econ::Market many_rows = demand_family_market("exponential", "delay");
+  const core::UtilizationSolver narrow_solver(many_rows);
+  const std::size_t n = many_rows.num_providers();
+  const std::size_t narrow_nodes = 16;
+  const std::vector<double> m = plane_populations(narrow_solver.kernel(), narrow_nodes);
+  std::vector<double> phis(narrow_nodes);
+  narrow_solver.solve_many(m, {}, phis);
+  for (std::size_t k = 0; k < narrow_nodes; ++k) {
+    const double expected =
+        narrow_solver.solve(std::span<const double>(m.data() + k * n, n));
+    EXPECT_NEAR(phis[k], expected, 1e-12) << "node " << k;
+  }
+}
+
+TEST(BatchPlanes, LargePlaneMatchesScalarPathEndToEnd) {
+  // Figure-scale plane through the evaluator layer: 512 one-sided states in
+  // one plane vs the per-price scalar evaluations.
+  const core::ModelEvaluator evaluator(market::section5_market());
+  std::vector<double> prices(512);
+  for (std::size_t k = 0; k < prices.size(); ++k) {
+    prices[k] = 0.05 + 1.95 * static_cast<double>(k) / 511.0;
+  }
+  const std::vector<core::SystemState> batch = evaluator.evaluate_unsubsidized_many(prices);
+  ASSERT_EQ(batch.size(), prices.size());
+  for (std::size_t k = 0; k < prices.size(); k += 37) {
+    const core::SystemState one = evaluator.evaluate_unsubsidized(prices[k]);
+    EXPECT_NEAR(batch[k].utilization, one.utilization, 1e-12) << "k=" << k;
+    EXPECT_NEAR(batch[k].revenue, one.revenue,
+                1e-12 * std::max(1.0, std::fabs(one.revenue)))
+        << "k=" << k;
+  }
+}

@@ -3,8 +3,10 @@
 // reference (direct calls through the ThroughputCurve / DemandCurve /
 // UtilizationModel interfaces) to <= 1e-12 across all three throughput
 // families x all three utilization models, plus the opaque fallback bucket
-// for arbitrary subclasses; batched solve_many must be bit-identical to
-// per-node solve().
+// for arbitrary subclasses. Batched solve_many is bit-identical to per-node
+// solve() under the scalar exp fallback (forced here via
+// num::simd::set_force_scalar) and agrees to <= 1e-12 with the SIMD kernel;
+// test_core_batch_planes covers the batched engine in depth.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -12,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "force_scalar_guard.hpp"
 #include "subsidy/core/evaluator.hpp"
 #include "subsidy/core/market_kernel.hpp"
 #include "subsidy/core/one_sided.hpp"
@@ -24,6 +27,7 @@ namespace core = subsidy::core;
 namespace econ = subsidy::econ;
 namespace market = subsidy::market;
 namespace num = subsidy::num;
+using subsidy::test::ForceScalarExp;
 
 namespace {
 
@@ -373,7 +377,8 @@ TEST(MarketKernel, GapManyMatchesScalarGap) {
   }
 }
 
-TEST(MarketKernel, SolveManyBitIdenticalToScalarSolve) {
+TEST(MarketKernel, SolveManyBitIdenticalToScalarSolveUnderForcedScalar) {
+  const ForceScalarExp scalar_guard;
   const econ::Market mkt = market::section5_market();
   const core::ModelEvaluator evaluator(mkt);
   const core::UtilizationSolver& solver = evaluator.solver();
@@ -404,7 +409,36 @@ TEST(MarketKernel, SolveManyBitIdenticalToScalarSolve) {
   }
 }
 
-TEST(MarketKernel, EvaluateUnsubsidizedManyBitIdenticalToScalar) {
+TEST(MarketKernel, SolveManyWithinTolOfScalarSolveWithSimd) {
+  // Same batch as above under the build-default exp backend: the vector
+  // kernel may differ from std::exp by ulps, never by more than 1e-12 on
+  // the solved phi.
+  const econ::Market mkt = market::section5_market();
+  const core::ModelEvaluator evaluator(mkt);
+  const core::UtilizationSolver& solver = evaluator.solver();
+  std::vector<std::vector<double>> pops;
+  std::vector<double> hints;
+  for (int k = 0; k < 12; ++k) {
+    std::vector<double> m(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      m[i] = 0.1 + 0.05 * static_cast<double>((k + 1) * (i + 1) % 17);
+    }
+    pops.push_back(std::move(m));
+    hints.push_back(k % 3 == 0 ? -1.0 : 0.3 + 0.05 * k);
+  }
+  std::vector<core::UtilizationNode> nodes(pops.size());
+  for (std::size_t k = 0; k < pops.size(); ++k) {
+    nodes[k].populations = pops[k];
+    nodes[k].hint = hints[k];
+  }
+  solver.solve_many(nodes);
+  for (std::size_t k = 0; k < pops.size(); ++k) {
+    EXPECT_NEAR(nodes[k].phi, solver.solve(pops[k], hints[k]), 1e-12) << "node " << k;
+  }
+}
+
+TEST(MarketKernel, EvaluateUnsubsidizedManyBitIdenticalToScalarUnderForcedScalar) {
+  const ForceScalarExp scalar_guard;
   const econ::Market mkt = market::section3_market();
   const core::ModelEvaluator evaluator(mkt);
   const std::vector<double> prices{0.1, 0.4, 0.8, 1.2, 1.9};
@@ -418,13 +452,23 @@ TEST(MarketKernel, EvaluateUnsubsidizedManyBitIdenticalToScalar) {
   }
 }
 
-TEST(MarketKernel, OneSidedSweepBitIdenticalToEvaluate) {
-  const core::OneSidedPricingModel model(market::section3_market());
+TEST(MarketKernel, OneSidedSweepMatchesEvaluate) {
+  // Bitwise with the scalar fallback forced; <= 1e-12 on the build default.
   const std::vector<double> prices{0.2, 0.5, 1.0, 1.5};
+  {
+    const ForceScalarExp scalar_guard;
+    const core::OneSidedPricingModel model(market::section3_market());
+    const std::vector<core::SystemState> swept = model.sweep(prices);
+    ASSERT_EQ(swept.size(), prices.size());
+    for (std::size_t k = 0; k < prices.size(); ++k) {
+      EXPECT_EQ(swept[k].utilization, model.evaluate(prices[k]).utilization) << "k=" << k;
+    }
+  }
+  const core::OneSidedPricingModel model(market::section3_market());
   const std::vector<core::SystemState> swept = model.sweep(prices);
-  ASSERT_EQ(swept.size(), prices.size());
   for (std::size_t k = 0; k < prices.size(); ++k) {
-    EXPECT_EQ(swept[k].utilization, model.evaluate(prices[k]).utilization) << "k=" << k;
+    EXPECT_NEAR(swept[k].utilization, model.evaluate(prices[k]).utilization, 1e-12)
+        << "k=" << k;
   }
 }
 

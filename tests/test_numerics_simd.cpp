@@ -1,0 +1,99 @@
+// The vectorized exp kernel behind the batch planes: accuracy against
+// std::exp, exactness at 0, range semantics (underflow flush, overflow
+// saturation), position independence within a batch, and the runtime
+// force-scalar override the equivalence suites rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "force_scalar_guard.hpp"
+#include "subsidy/numerics/simd.hpp"
+
+namespace simd = subsidy::num::simd;
+using subsidy::test::ForceScalarExp;
+
+TEST(SimdExp, MatchesLibmToUlpsOverNormalRange) {
+  std::vector<double> x;
+  for (double v = -700.0; v <= 700.0; v += 0.37) x.push_back(v);
+  for (double v = -2.0; v <= 2.0; v += 0.001) x.push_back(v);  // solver's hot range
+  std::vector<double> out(x.size());
+  simd::exp_batch(x.data(), out.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ref = std::exp(x[i]);
+    EXPECT_NEAR(out[i], ref, 4e-16 * ref) << "x=" << x[i];
+  }
+}
+
+TEST(SimdExp, ExactAtZeroAndFlushesDeepUnderflow) {
+  const double x[4] = {0.0, -0.0, -800.0, -1.0e4};
+  double out[4];
+  simd::exp_batch(x, out, 4);
+  EXPECT_EQ(out[0], 1.0);  // exp(0) must be exactly 1 (phi = 0 probes)
+  EXPECT_EQ(out[1], 1.0);
+  EXPECT_EQ(out[2], 0.0);  // below the normal range: flushed to +0.0
+  EXPECT_EQ(out[3], 0.0);
+  EXPECT_FALSE(std::signbit(out[2]));
+}
+
+TEST(SimdExp, SaturatesLargeArgumentsToInf) {
+  const double x[2] = {800.0, 1.0e6};
+  double out[2];
+  simd::exp_batch(x, out, 2);
+  if (simd::force_scalar()) {
+    // std::exp overflows to +inf as well; nothing else to check.
+    EXPECT_TRUE(std::isinf(out[0]));
+  } else {
+    EXPECT_TRUE(std::isinf(out[0]));
+    EXPECT_TRUE(std::isinf(out[1]));
+  }
+}
+
+TEST(SimdExp, PositionIndependentWithinBatches) {
+  // The same input must produce the same bits at any offset and in any
+  // batch length (full vectors and padded tails alike) — the property that
+  // lets the solver compact planes freely.
+  const double value = -1.2345678901234567;
+  for (std::size_t len : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 31u}) {
+    std::vector<double> x(len, value);
+    std::vector<double> out(len);
+    simd::exp_batch(x.data(), out.data(), len);
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(out[i], out[0]) << "len=" << len << " i=" << i;
+    }
+  }
+  // Mixed batch: lanes must not bleed into one another.
+  std::vector<double> x{-0.5, value, -3.25, value, 0.25, value, value};
+  std::vector<double> out(x.size());
+  simd::exp_batch(x.data(), out.data(), x.size());
+  EXPECT_EQ(out[1], out[3]);
+  EXPECT_EQ(out[1], out[5]);
+  EXPECT_EQ(out[1], out[6]);
+}
+
+TEST(SimdExp, ForceScalarOverrideIsBitIdenticalToLibm) {
+  const ForceScalarExp scalar_guard;
+  EXPECT_TRUE(simd::force_scalar());
+  EXPECT_STREQ(simd::backend(), "scalar");
+  std::vector<double> x;
+  for (double v = -30.0; v <= 5.0; v += 0.0173) x.push_back(v);
+  std::vector<double> out(x.size());
+  simd::exp_batch(x.data(), out.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(out[i], std::exp(x[i])) << "x=" << x[i];
+  }
+}
+
+TEST(SimdExp, BackendReportsConfiguration) {
+  const std::string backend = simd::backend();
+  if (simd::force_scalar()) {
+    EXPECT_EQ(backend, "scalar");
+    if constexpr (!simd::kVectorBackend) {
+      SUCCEED() << "vector backend compiled out (SUBSIDY_FORCE_SCALAR build)";
+    }
+  } else {
+    EXPECT_TRUE(backend == "vector2" || backend == "vector4") << backend;
+  }
+}
