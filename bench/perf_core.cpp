@@ -112,6 +112,37 @@ void BM_NashSolveColdStart(benchmark::State& state) {
 }
 BENCHMARK(BM_NashSolveColdStart);
 
+void BM_NashSolveBatch(benchmark::State& state) {
+  // One lockstep NashBatchSolver batch of 12 price nodes per iteration, on
+  // synthetic markets of `range(0)` CP classes (the BM_MarketScaling
+  // families): every best-response line search of every node rides shared
+  // candidate-rank planes. items = line-search candidate evaluations, so
+  // the reported rate is candidates/second (bench_diff prints ns/candidate).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> alphas;
+  std::vector<double> betas;
+  std::vector<double> profits;
+  for (std::size_t i = 0; i < n; ++i) {
+    alphas.push_back(1.0 + static_cast<double>(i % 5));
+    betas.push_back(1.0 + static_cast<double>((i * 2) % 5));
+    profits.push_back(0.5 + 0.1 * static_cast<double>(i % 6));
+  }
+  const econ::Market mkt = econ::Market::exponential(1.0, alphas, betas, profits);
+  const core::ModelEvaluator evaluator(mkt);
+  constexpr std::size_t kNodes = 12;
+  std::vector<core::NashBatchNode> nodes(kNodes);
+  for (std::size_t k = 0; k < kNodes; ++k) {
+    nodes[k].price = 0.3 + 1.2 * static_cast<double>(k) / (kNodes - 1);
+    nodes[k].policy_cap = 0.5;
+  }
+  core::NashBatchStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_nash_many(evaluator, nodes, {}, {}, &stats));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(stats.candidates));
+}
+BENCHMARK(BM_NashSolveBatch)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
 void BM_NashSolveWarmStart(benchmark::State& state) {
   const core::SubsidizationGame game(section5(), 0.8, 1.0);
   const core::BestResponseSolver solver;
@@ -180,9 +211,11 @@ void BM_PriceOptimizer(benchmark::State& state) {
 }
 BENCHMARK(BM_PriceOptimizer);
 
-void BM_PriceOptimizerParallel(benchmark::State& state) {
-  // Same search as BM_PriceOptimizer, grid phase split into 4-point
-  // warm-start chains across the hardware (results bit-identical to serial).
+// Same search as BM_PriceOptimizer, grid phase split into 4-point chains
+// across the hardware (results bit-identical for any job count). Each chain
+// is one lockstep Nash batch whose line searches bracket through
+// `candidate_rank` grid planes.
+void run_price_optimizer_parallel(benchmark::State& state, int candidate_rank) {
   core::PriceSearchOptions options;
   options.price_min = 0.05;
   options.price_max = 2.0;
@@ -190,12 +223,26 @@ void BM_PriceOptimizerParallel(benchmark::State& state) {
   options.refine_tolerance = 1e-3;
   options.chain_length = 4;
   options.jobs = std::thread::hardware_concurrency();
+  options.nash.line_search_candidates = candidate_rank;
   const core::IspPriceOptimizer optimizer(section5(), options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(optimizer.optimize(1.0));
   }
 }
+
+/// The default-rank search, under the name the perf trajectory has tracked
+/// since PR 2.
+void BM_PriceOptimizerParallel(benchmark::State& state) {
+  run_price_optimizer_parallel(state, core::BestResponseOptions{}.line_search_candidates);
+}
 BENCHMARK(BM_PriceOptimizerParallel);
+
+/// Candidate-rank sweep: how the plane-width/pass-count trade of the
+/// batched line searches moves the whole search.
+void BM_PriceOptimizerParallelRank(benchmark::State& state) {
+  run_price_optimizer_parallel(state, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_PriceOptimizerParallelRank)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_PolicySweep(benchmark::State& state) {
   // The paper's 5 policy levels with the ISP's monopoly price response: one

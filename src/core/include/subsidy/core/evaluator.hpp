@@ -49,6 +49,17 @@ class ModelEvaluator {
   [[nodiscard]] std::vector<SystemState> evaluate_unsubsidized_many(
       std::span<const double> prices) const;
 
+  /// Assembles the reported state from an externally solved fixed point: the
+  /// batched Nash engine plane-solves phi for whole node sets and reuses its
+  /// cached populations, so it needs the assembly without another solve.
+  /// `populations` must be m_i(price - subsidies[i]) and `phi` the solved
+  /// utilization at those populations.
+  [[nodiscard]] SystemState assemble_state(double price, std::span<const double> subsidies,
+                                           std::span<const double> populations,
+                                           double phi) const {
+    return assemble(price, subsidies, populations, phi);
+  }
+
   /// The inner solver (exposed for gap-function access in tests/benches).
   [[nodiscard]] const UtilizationSolver& solver() const noexcept { return solver_; }
 

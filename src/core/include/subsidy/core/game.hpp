@@ -71,6 +71,24 @@ class SubsidizationGame {
   [[nodiscard]] double best_response(std::size_t i, std::span<const double> subsidies,
                                      double phi_hint = -1.0) const;
 
+  /// One candidate evaluation of a best-response line search, assembled from
+  /// an already-solved fixed point: the marginal utility u_i and the utility
+  /// U_i of player i at trial subsidy s_i, given the populations m of the
+  /// trial profile, the solved utilization phi and the gap derivative dg at
+  /// (phi, m). The scalar line search computes (phi, dg) through per-node
+  /// solves while the batched Nash engine plane-evaluates them
+  /// (UtilizationSolver::solve_many + MarketKernel::batch_gap_with_derivative);
+  /// both then share this assembly, so their u values are bit-identical
+  /// whenever their inputs are.
+  struct LineSearchEval {
+    double u = 0.0;        ///< u_i = dU_i/ds_i.
+    double utility = 0.0;  ///< U_i = (v_i - s_i) theta_i.
+  };
+  [[nodiscard]] static LineSearchEval line_search_eval(const ModelEvaluator& evaluator,
+                                                       double price, std::size_t i, double s_i,
+                                                       std::span<const double> m, double phi,
+                                                       double dg);
+
   /// Theorem 3 threshold tau_i(s) = (v_i - s_i) * eps^m_s * (1 + eps^lambda_phi * eps^phi_m).
   /// At an interior equilibrium s_i = tau_i(s); at a capped equilibrium
   /// tau_i >= q.

@@ -32,9 +32,23 @@ struct BestResponseOptions {
   double tolerance = 1e-10;   ///< Convergence on max|s_new - s_old|.
   int max_iterations = 500;
   double damping = 1.0;       ///< s <- (1-d) s + d BR(s); 1 = undamped.
+
+  /// Candidate rank of the plane-evaluated line search: the number of
+  /// interior grid probes one bracketing plane evaluates per best response
+  /// (NashBatchSolver). Larger ranks localize the root of u_i in fewer
+  /// passes at more columns per plane; 8 balances the two on the paper's
+  /// markets. Ignored by the scalar reference path.
+  int line_search_candidates = 8;
 };
 
-/// Damped Gauss-Seidel best-response iteration.
+/// Damped Gauss-Seidel best-response iteration. By default the iteration
+/// runs on NashBatchSolver's plane-evaluated line searches (endpoint probes,
+/// candidate-rank grid planes and bracket polishing all resolved through
+/// UtilizationSolver::solve_many, with per-player phi-hint carry); when the
+/// scalar exp fallback is forced (num::simd::force_scalar, i.e. the
+/// SUBSIDY_FORCE_SCALAR build or environment override) it runs the original
+/// per-candidate scalar path instead, bit-for-bit as before the batch
+/// engine existed.
 class BestResponseSolver {
  public:
   explicit BestResponseSolver(BestResponseOptions options = {});
@@ -65,8 +79,14 @@ class ExtragradientSolver {
  public:
   explicit ExtragradientSolver(ExtragradientOptions options = {});
 
+  /// Solves from `initial` (empty = all zeros). `phi_hint` (>= 0) seeds the
+  /// first inner utilization solve — the same contract as
+  /// BestResponseSolver::solve, so a plane-seeded hint survives the
+  /// solve_nash fallback ladder instead of being discarded when the
+  /// best-response iteration fails to converge.
   [[nodiscard]] NashResult solve(const SubsidizationGame& game,
-                                 std::vector<double> initial = {}) const;
+                                 std::vector<double> initial = {},
+                                 double phi_hint = -1.0) const;
 
  private:
   ExtragradientOptions options_;

@@ -1,0 +1,96 @@
+// The batched Nash layer: lockstep Gauss-Seidel best-response iteration with
+// plane-evaluated line searches.
+//
+// A Nash solve spends its whole budget inside best-response line searches —
+// sequences of marginal-utility evaluations u_i(s_i), each one inner
+// utilization fixed point plus a gap-derivative read. The scalar path
+// (SubsidizationGame::best_response) performs those evaluations one at a
+// time. This engine advances any number of independent Nash problems
+// ("lanes") in lockstep instead: every pass gathers the next candidate
+// subsidies of all active lanes — endpoint probes, the K-candidate
+// bracketing grid of one player's line search, bracket-polish iterates and
+// final-state solves alike — into one node-major plane, resolves the whole
+// plane through UtilizationSolver::solve_many and one
+// MarketKernel::batch_gap_with_derivative pass (one vectorized exp per
+// exponential cluster per pass), then lets each lane's state machine consume
+// its columns. A lane's candidate sequence depends only on its own inputs,
+// so results are independent of the batch composition; per-player phi-hint
+// carry keeps every inner solve warm.
+//
+// Backend contract (mirrors the PR 4 plane kernels): with the scalar exp
+// fallback forced (num::simd::force_scalar) the plane backend is
+// bit-identical to Backend::scalar — the same candidate sequence evaluated
+// through per-node UtilizationSolver::solve and PopulationBinding calls —
+// and with the SIMD kernel active the two agree to well under 1e-12.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/nash.hpp"
+
+namespace subsidy::core {
+
+/// One Nash problem of a batched solve. The evaluator (and therefore the
+/// market) is shared across the batch; price and policy cap vary per node.
+struct NashBatchNode {
+  double price = 0.0;
+  double policy_cap = 0.0;
+  std::span<const double> initial = {};  ///< Empty = all zeros; clamped to [0, cap].
+  double phi_hint = -1.0;  ///< Seeds the node's first inner solve (< 0 = cold).
+};
+
+/// Aggregate work counters of a batched solve (bench/tooling telemetry).
+struct NashBatchStats {
+  std::size_t candidates = 0;  ///< Line-search candidate evaluations (plane columns).
+  std::size_t passes = 0;      ///< Lockstep plane passes.
+  std::size_t fallbacks = 0;   ///< Lanes that needed the damped/extragradient ladder.
+};
+
+/// Lockstep plane-evaluated Gauss-Seidel Nash solver.
+class NashBatchSolver {
+ public:
+  /// How candidate planes are resolved. `planes` is the production path;
+  /// `scalar` is the bitwise-reference twin used by the equivalence tests
+  /// (identical candidate sequence, per-node scalar solves).
+  enum class Backend : unsigned char { planes, scalar };
+
+  /// `evaluator` must outlive the solver; `options.damping` in (0, 1],
+  /// `options.line_search_candidates` >= 1.
+  explicit NashBatchSolver(const ModelEvaluator& evaluator, BestResponseOptions options = {},
+                           Backend backend = Backend::planes);
+
+  /// Solves every node, lockstep. Batching never changes a lane's candidate
+  /// sequence, so element k equals solve_one(nodes[k]) bit for bit under the
+  /// forced-scalar exp backend and to well under 1e-12 with SIMD (passes too
+  /// narrow to amortize the plane machinery resolve through the scalar twin,
+  /// which only moves results within that same envelope). Lanes that exhaust
+  /// max_iterations are returned with converged = false; no fallback ladder
+  /// runs here (see solve_nash_many).
+  [[nodiscard]] std::vector<NashResult> solve(std::span<const NashBatchNode> nodes,
+                                              NashBatchStats* stats = nullptr) const;
+
+  /// Single-node convenience (width-1 planes).
+  [[nodiscard]] NashResult solve_one(const NashBatchNode& node,
+                                     NashBatchStats* stats = nullptr) const;
+
+  [[nodiscard]] const BestResponseOptions& options() const noexcept { return options_; }
+
+ private:
+  const ModelEvaluator* evaluator_;
+  BestResponseOptions options_;
+  Backend backend_;
+};
+
+/// Batched counterpart of solve_nash: lockstep best-response solve of every
+/// node, then the same per-node fallback ladder solve_nash applies — a
+/// damped (0.5) lockstep retry over the lanes that failed to converge,
+/// extragradient (seeded with the lane's phi) for whatever remains.
+[[nodiscard]] std::vector<NashResult> solve_nash_many(
+    const ModelEvaluator& evaluator, std::span<const NashBatchNode> nodes,
+    const BestResponseOptions& br_options = {}, const ExtragradientOptions& eg_options = {},
+    NashBatchStats* stats = nullptr);
+
+}  // namespace subsidy::core

@@ -3,14 +3,19 @@
 // optimizer sweeps a coarse price grid with warm-started equilibrium
 // continuation and refines around the best cell with golden section.
 //
-// The grid phase runs as warm-start chains (the shared
-// runtime::partition_chains semantics): the partition depends only on
-// `grid_points` and `chain_length`, never on `jobs`, so results are
-// bit-identical for any worker count. Two node-major batch planes feed it:
-// at q = 0 the game is degenerate (all subsidies pinned at zero) and the
-// whole grid collapses into one UtilizationSolver::solve_many plane, and
-// for chained q > 0 grids the chain-head fixed points are plane-solved up
-// front and passed to each chain's first Nash solve as warm-start hints.
+// The grid phase runs as chains (the shared runtime::partition_chains
+// semantics): the partition depends only on `grid_points` and
+// `chain_length`, never on `jobs`, so results are bit-identical for any
+// worker count. Node-major batch planes feed every phase: at q = 0 the game
+// is degenerate (all subsidies pinned at zero) and the whole grid collapses
+// into one UtilizationSolver::solve_many plane; for chained q > 0 grids
+// every node's fixed point is plane-solved up front as warm-start hints and
+// each chain then advances as one lockstep NashBatchSolver batch, its
+// best-response line searches sharing one plane per candidate rank across
+// the chain's price axis; and the golden-section refinement threads the
+// previously solved utilization through its line search. With the scalar
+// exp backend forced (SUBSIDY_FORCE_SCALAR) the optimizer instead runs the
+// pre-engine warm-start-continuation chains bit-for-bit.
 #pragma once
 
 #include <memory>

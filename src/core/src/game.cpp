@@ -44,23 +44,28 @@ double SubsidizationGame::utility(std::size_t i, std::span<const double> subsidi
   return (profitability - subsidies[i]) * theta_i;
 }
 
-SubsidizationGame::MarginalEval SubsidizationGame::marginal_utility_eval(
-    std::size_t i, std::span<const double> subsidies, double phi_hint) const {
-  const MarketKernel& kernel = evaluator_.kernel();
-  const std::vector<double> m = evaluator_.populations(price_, subsidies);
-  const double phi = evaluator_.solver().solve(m, phi_hint);
-
-  const double t_i = price_ - subsidies[i];
+SubsidizationGame::LineSearchEval SubsidizationGame::line_search_eval(
+    const ModelEvaluator& evaluator, double price, std::size_t i, double s_i,
+    std::span<const double> m, double phi, double dg) {
+  const MarketKernel& kernel = evaluator.kernel();
+  const double t_i = price - s_i;
   double lambda_i = 0.0;
   double dlambda_i = 0.0;
   kernel.rate_and_slope(i, phi, lambda_i, dlambda_i);
   const double theta_i = m[i] * lambda_i;
   const double dm_dsi = -kernel.population_slope(i, t_i);  // dm_i/ds_i = -m'(t_i) >= 0.
-  const double dg = kernel.gap_derivative(phi, m);
   const double dphi_dsi = (lambda_i / dg) * dm_dsi;
   const double dtheta_dsi = dm_dsi * lambda_i + m[i] * dlambda_i * dphi_dsi;
-  const double profitability = evaluator_.market().provider(i).profitability;
-  return {-theta_i + (profitability - subsidies[i]) * dtheta_dsi, phi};
+  const double profitability = evaluator.market().provider(i).profitability;
+  return {-theta_i + (profitability - s_i) * dtheta_dsi, (profitability - s_i) * theta_i};
+}
+
+SubsidizationGame::MarginalEval SubsidizationGame::marginal_utility_eval(
+    std::size_t i, std::span<const double> subsidies, double phi_hint) const {
+  const std::vector<double> m = evaluator_.populations(price_, subsidies);
+  const double phi = evaluator_.solver().solve(m, phi_hint);
+  const double dg = evaluator_.kernel().gap_derivative(phi, m);
+  return {line_search_eval(evaluator_, price_, i, subsidies[i], m, phi, dg).u, phi};
 }
 
 double SubsidizationGame::marginal_utility(std::size_t i, std::span<const double> subsidies,

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "subsidy/core/nash_batch.hpp"
 #include "subsidy/numerics/linalg.hpp"
+#include "subsidy/numerics/simd.hpp"
 
 namespace subsidy::core {
 
@@ -26,10 +28,30 @@ BestResponseSolver::BestResponseSolver(BestResponseOptions options) : options_(o
   if (options_.damping <= 0.0 || options_.damping > 1.0) {
     throw std::invalid_argument("BestResponseSolver: damping must be in (0, 1]");
   }
+  if (options_.line_search_candidates < 1) {
+    throw std::invalid_argument("BestResponseSolver: need >= 1 line-search candidate");
+  }
 }
 
 NashResult BestResponseSolver::solve(const SubsidizationGame& game,
                                      std::vector<double> initial, double phi_hint) const {
+  if (!num::simd::force_scalar()) {
+    // Production path: the plane-evaluated lockstep engine (width-1 batch).
+    // Results shift only within solver tolerance against the scalar
+    // reference below (same Gauss-Seidel iteration, different line-search
+    // candidate sequence).
+    const NashBatchSolver engine(game.evaluator(), options_);
+    NashBatchNode node;
+    node.price = game.price();
+    node.policy_cap = game.policy_cap();
+    const std::vector<double> seed = initial_profile(game, std::move(initial));
+    node.initial = seed;
+    node.phi_hint = phi_hint;
+    return engine.solve_one(node);
+  }
+
+  // Forced-scalar reference: the pre-engine per-candidate path, kept
+  // bit-for-bit as the Nash layer's bitwise twin (SUBSIDY_FORCE_SCALAR).
   NashResult result;
   std::vector<double> s = initial_profile(game, std::move(initial));
   const std::size_t n = game.num_players();
@@ -62,7 +84,7 @@ ExtragradientSolver::ExtragradientSolver(ExtragradientOptions options) : options
 }
 
 NashResult ExtragradientSolver::solve(const SubsidizationGame& game,
-                                      std::vector<double> initial) const {
+                                      std::vector<double> initial, double phi_hint) const {
   NashResult result;
   std::vector<double> s = initial_profile(game, std::move(initial));
   const double q = game.policy_cap();
@@ -85,7 +107,7 @@ NashResult ExtragradientSolver::solve(const SubsidizationGame& game,
   // residual itself is NOT monotone along extragradient iterates, so it is
   // used only as the convergence measure, never as an acceptance rule.
   constexpr double kappa = 0.9;
-  std::vector<double> u = game.marginal_utilities(s);
+  std::vector<double> u = game.marginal_utilities(s, phi_hint);
   double residual = natural_residual(s, u);
 
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
@@ -138,13 +160,17 @@ NashResult solve_nash(const SubsidizationGame& game, std::vector<double> initial
   if (result.converged) return result;
 
   // Retry with damping before switching algorithms: undamped best-response
-  // iterations can 2-cycle on strongly coupled players.
+  // iterations can 2-cycle on strongly coupled players. The failed attempt's
+  // own solved utilization seeds the retries, so a plane-seeded hint is
+  // never discarded with the attempt.
   BestResponseOptions damped = br_options;
   damped.damping = 0.5;
-  result = BestResponseSolver(damped).solve(game, result.subsidies);
+  const double phi_retry = result.state.utilization;
+  result = BestResponseSolver(damped).solve(game, result.subsidies, phi_retry);
   if (result.converged) return result;
 
-  return ExtragradientSolver(eg_options).solve(game, result.subsidies);
+  return ExtragradientSolver(eg_options).solve(game, result.subsidies,
+                                               result.state.utilization);
 }
 
 }  // namespace subsidy::core

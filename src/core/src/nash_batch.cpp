@@ -1,0 +1,611 @@
+#include "subsidy/core/nash_batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "subsidy/core/game.hpp"
+#include "subsidy/core/market_kernel.hpp"
+#include "subsidy/numerics/tolerances.hpp"
+
+namespace subsidy::core {
+
+namespace {
+
+/// Argument resolution of the bracket polish — the same tolerance the scalar
+/// line search hands num::brent_root.
+constexpr double kRootTolerance = 1e-12;
+constexpr int kMaxPolishSteps = 120;
+
+/// Passes narrower than this resolve through per-node scalar solves: the
+/// plane engine's per-pass setup outweighs the vectorized exp below ~4
+/// columns (measured on the section 5 market).
+constexpr std::size_t kMinPlaneWidth = 4;
+
+/// Where a lane's current player stands inside its line search; every stage
+/// except `retired` names the candidate set the lane will contribute to the
+/// next plane pass.
+enum class Stage : unsigned char {
+  probe_zero,   ///< One candidate: u_i at s_i = 0.
+  probe_cap,    ///< One candidate: u_i at s_i = hi.
+  warm_probe,   ///< Two candidates framing the previous sweep's root.
+  grid,         ///< K interior bracketing candidates.
+  polish,       ///< One secant/bisection candidate inside the bracket.
+  final_state,  ///< One full-profile fixed point (the reported state).
+  retired,
+};
+
+/// One Nash problem advancing through the lockstep passes. Everything a
+/// lane's candidate sequence depends on lives here, which is what makes a
+/// lane's result independent of the batch it rides in.
+struct Lane {
+  double price = 0.0;
+  double cap = 0.0;
+
+  std::vector<double> s;  ///< Current profile (Gauss-Seidel, in-place).
+  std::vector<double> m;  ///< Populations at (price, s); slot i is patched per candidate.
+  std::vector<double> prev_br;  ///< Last sweep's best responses (NaN = none yet).
+  double phi_carry = -1.0;  ///< Warm-start hint: the last solved fixed point.
+  double prev_change = 0.0;  ///< Previous sweep's max update (warm bracket width).
+  int iterations = 0;
+  double max_change = 0.0;  ///< Largest update of the current sweep.
+  std::size_t player = 0;
+  Stage stage = Stage::probe_zero;
+
+  // Line-search scratch for the current player.
+  double hi = 0.0;
+  double u0 = 0.0;
+  double util0 = 0.0;
+  double ucap = 0.0;
+  double utilcap = 0.0;
+  double a = 0.0;  ///< Bracket [a, b] with u(a) > 0 > u(b).
+  double b = 0.0;
+  double ua = 0.0;
+  double ub = 0.0;
+  double last_x = 0.0;
+  double last_util = 0.0;
+  int polish_steps = 0;
+  signed char last_side = 0;  ///< Illinois bookkeeping: endpoint moved last pass.
+  bool have_u0 = false;       ///< u0/util0 hold this search's endpoint probe.
+  bool have_ucap = false;
+  bool have_bracket = false;  ///< One bracket side salvaged from a warm miss.
+  bool warm_root = false;     ///< Root came from an interior sign-change bracket.
+
+  // Columns this lane occupies in the current pass.
+  std::size_t col_begin = 0;
+  std::size_t col_count = 0;
+
+  bool converged = false;
+  bool finished = false;
+  NashResult out;
+};
+
+class Engine {
+ public:
+  Engine(const ModelEvaluator& evaluator, const BestResponseOptions& options, bool use_planes)
+      : evaluator_(evaluator),
+        kernel_(evaluator.kernel()),
+        options_(options),
+        use_planes_(use_planes),
+        n_(evaluator.num_providers()) {
+    profits_.reserve(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      profits_.push_back(evaluator.market().provider(i).profitability);
+    }
+  }
+
+  std::vector<NashResult> run(std::span<const NashBatchNode> nodes, NashBatchStats* stats) {
+    std::vector<Lane> lanes(nodes.size());
+    for (std::size_t k = 0; k < nodes.size(); ++k) init_lane(lanes[k], nodes[k]);
+
+    // Pass scratch, reused across passes (capacity sticks).
+    std::vector<std::size_t> col_lane;
+    std::vector<double> xs;
+    std::vector<double> pops;
+    std::vector<double> hints;
+    std::vector<double> phis;
+    std::vector<double> g;
+    std::vector<double> dg;
+    std::vector<double> u;
+    std::vector<double> util;
+    BatchBinding batch;
+    PopulationBinding scalar_binding;
+
+    for (;;) {
+      // --- Gather: every unfinished lane contributes its next candidates. ---
+      col_lane.clear();
+      xs.clear();
+      std::size_t final_cols = 0;
+      for (std::size_t k = 0; k < lanes.size(); ++k) {
+        Lane& lane = lanes[k];
+        if (lane.finished) continue;
+        if (lane.stage == Stage::final_state) final_cols += 1;
+        lane.col_begin = xs.size();
+        switch (lane.stage) {
+          case Stage::probe_zero:
+            col_lane.push_back(k);
+            xs.push_back(0.0);
+            break;
+          case Stage::probe_cap:
+            col_lane.push_back(k);
+            xs.push_back(lane.hi);
+            break;
+          case Stage::warm_probe: {
+            const double prev = lane.prev_br[lane.player];
+            const double w = std::max(0.02 * lane.hi, 4.0 * lane.prev_change);
+            col_lane.push_back(k);
+            xs.push_back(std::max(0.0, prev - w));
+            col_lane.push_back(k);
+            xs.push_back(std::min(lane.hi, prev + w));
+            break;
+          }
+          case Stage::grid: {
+            const int rank = options_.line_search_candidates;
+            for (int c = 1; c <= rank; ++c) {
+              col_lane.push_back(k);
+              xs.push_back(lane.hi * static_cast<double>(c) /
+                           static_cast<double>(rank + 1));
+            }
+            break;
+          }
+          case Stage::polish:
+            col_lane.push_back(k);
+            xs.push_back(polish_candidate(lane));
+            break;
+          case Stage::final_state:
+            col_lane.push_back(k);
+            xs.push_back(0.0);  // unused: the full profile is solved as-is
+            break;
+          case Stage::retired:
+            break;
+        }
+        lane.col_count = xs.size() - lane.col_begin;
+      }
+      const std::size_t ncols = xs.size();
+      if (ncols == 0) break;
+
+      // --- Build the plane: cached populations with slot `player` patched. ---
+      pops.resize(ncols * n_);
+      hints.resize(ncols);
+      phis.resize(ncols);
+      for (std::size_t c = 0; c < ncols; ++c) {
+        const Lane& lane = lanes[col_lane[c]];
+        double* row = pops.data() + c * n_;
+        std::copy(lane.m.begin(), lane.m.end(), row);
+        if (lane.stage != Stage::final_state) {
+          row[lane.player] = kernel_.population(lane.player, lane.price - xs[c]);
+        }
+        hints[c] = lane.phi_carry;
+      }
+
+      // --- Resolve: one solve_many plane plus one fused g/dg plane pass
+      //     (Backend::planes), or the per-node scalar twin of the exact same
+      //     candidates (Backend::scalar). Passes too narrow to amortize the
+      //     plane machinery (late-batch tails, single-node solves) drop to
+      //     the scalar twin: identical candidates, per-node solves — the
+      //     same <= 1e-12 SIMD-vs-scalar envelope as everything else, and
+      //     bit-identical under the forced-scalar backend. ---
+      g.resize(ncols);
+      dg.resize(ncols);
+      if (use_planes_ && ncols >= kMinPlaneWidth) {
+        evaluator_.solver().solve_many(pops, hints, phis);
+        kernel_.batch_reserve(ncols, batch);
+        for (std::size_t c = 0; c < ncols; ++c) {
+          kernel_.batch_bind_column(c, row(pops, c), batch);
+        }
+        kernel_.batch_gap_with_derivative(batch, phis, g, dg);
+      } else {
+        for (std::size_t c = 0; c < ncols; ++c) {
+          phis[c] = evaluator_.solver().solve(row(pops, c), hints[c]);
+          kernel_.bind(row(pops, c), scalar_binding);
+          dg[c] = kernel_.gap_with_derivative_bound(phis[c], scalar_binding).dg;
+        }
+      }
+
+      // --- Score: u_i and U_i per candidate from the solved fixed points. ---
+      u.resize(ncols);
+      util.resize(ncols);
+      for (std::size_t c = 0; c < ncols; ++c) {
+        const Lane& lane = lanes[col_lane[c]];
+        if (lane.stage == Stage::final_state) continue;
+        const SubsidizationGame::LineSearchEval eval = SubsidizationGame::line_search_eval(
+            evaluator_, lane.price, lane.player, xs[c], row(pops, c), phis[c], dg[c]);
+        u[c] = eval.u;
+        util[c] = eval.utility;
+      }
+
+      // --- Advance every lane's state machine on its column slice. ---
+      for (std::size_t k = 0; k < lanes.size(); ++k) {
+        Lane& lane = lanes[k];
+        if (lane.finished || lane.col_count == 0) continue;
+        const std::size_t c0 = lane.col_begin;
+        const std::size_t cn = lane.col_count;
+        if (lane.stage != Stage::final_state) lane.phi_carry = phis[c0 + cn - 1];
+        consume(lane, std::span<const double>(xs.data() + c0, cn),
+                std::span<const double>(u.data() + c0, cn),
+                std::span<const double>(util.data() + c0, cn),
+                std::span<const double>(phis.data() + c0, cn));
+      }
+
+      if (stats != nullptr) {
+        // Final-state columns are full-profile solves, not line-search
+        // candidates — keep them out of the per-candidate rate.
+        stats->candidates += ncols - final_cols;
+        stats->passes += 1;
+      }
+    }
+
+    std::vector<NashResult> results;
+    results.reserve(lanes.size());
+    for (Lane& lane : lanes) results.push_back(std::move(lane.out));
+    return results;
+  }
+
+ private:
+  [[nodiscard]] std::span<const double> row(const std::vector<double>& pops,
+                                            std::size_t c) const {
+    return {pops.data() + c * n_, n_};
+  }
+
+  void init_lane(Lane& lane, const NashBatchNode& node) const {
+    lane.price = num::require_non_negative(node.price, "NashBatchSolver price");
+    lane.cap = num::require_non_negative(node.policy_cap, "NashBatchSolver policy cap");
+    if (node.initial.empty()) {
+      lane.s.assign(n_, 0.0);
+    } else {
+      if (node.initial.size() != n_) {
+        throw std::invalid_argument("nash solver: initial profile size mismatch");
+      }
+      lane.s.assign(node.initial.begin(), node.initial.end());
+      for (double& s : lane.s) s = std::clamp(s, 0.0, lane.cap);
+    }
+    lane.m.resize(n_);
+    kernel_.populations(lane.price, lane.s, lane.m);
+    lane.prev_br.assign(n_, std::numeric_limits<double>::quiet_NaN());
+    lane.phi_carry = node.phi_hint;
+    if (options_.max_iterations <= 0) {
+      lane.stage = Stage::final_state;  // no sweeps: report the seed profile
+      return;
+    }
+    advance(lane);
+  }
+
+  /// Positions the lane at its next evaluation request: applies the
+  /// no-evaluation best responses of degenerate players (upper bound <= 0),
+  /// closes finished sweeps, flags convergence and opens the next line
+  /// search. Searches after the first sweep are *warm*: a player pinned at
+  /// an interval endpoint re-probes only that endpoint, and an interior
+  /// player frames its previous root with a two-candidate bracket instead of
+  /// rescanning the whole interval (full fallback when the frame misses).
+  void advance(Lane& lane) const {
+    for (;;) {
+      if (lane.player == n_) {
+        lane.iterations += 1;
+        lane.prev_change = lane.max_change;
+        if (lane.max_change <= options_.tolerance) lane.converged = true;
+        if (lane.converged || lane.iterations >= options_.max_iterations) {
+          lane.stage = Stage::final_state;
+          return;
+        }
+        lane.player = 0;
+        lane.max_change = 0.0;
+      }
+      const double hi = std::min(lane.cap, profits_[lane.player]);
+      if (hi <= 0.0) {
+        apply_best_response(lane, 0.0);
+        continue;
+      }
+      lane.hi = hi;
+      lane.have_u0 = false;
+      lane.have_ucap = false;
+      lane.have_bracket = false;
+      lane.warm_root = false;
+      const double prev = lane.prev_br[lane.player];
+      if (std::isnan(prev) || prev <= 0.0) {
+        lane.stage = Stage::probe_zero;
+      } else if (prev >= hi) {
+        lane.stage = Stage::probe_cap;
+      } else {
+        lane.stage = Stage::warm_probe;
+      }
+      return;
+    }
+  }
+
+  /// The damped Gauss-Seidel update; later players of the same sweep see it.
+  void apply_best_response(Lane& lane, double br) const {
+    const std::size_t i = lane.player;
+    lane.prev_br[i] = br;
+    const double next = (1.0 - options_.damping) * lane.s[i] + options_.damping * br;
+    lane.max_change = std::max(lane.max_change, std::fabs(next - lane.s[i]));
+    if (next != lane.s[i]) {
+      lane.s[i] = next;
+      lane.m[i] = kernel_.population(i, lane.price - next);
+    }
+    lane.player += 1;
+  }
+
+  static void start_polish(Lane& lane, bool warm) {
+    lane.polish_steps = 0;
+    lane.last_side = 0;
+    lane.warm_root = warm;
+    lane.stage = Stage::polish;
+  }
+
+  /// Secant candidate inside the bracket, midpoint when the secant escapes
+  /// (the Illinois halving in consume() keeps the secant from sticking to
+  /// one endpoint, so convergence stays superlinear).
+  [[nodiscard]] static double polish_candidate(const Lane& lane) {
+    const double span = lane.b - lane.a;
+    double x = lane.b - lane.ub * span / (lane.ub - lane.ua);
+    if (!(x > lane.a && x < lane.b)) x = lane.a + 0.5 * span;
+    return x;
+  }
+
+  /// The scalar path's endpoint safety net, with no extra solves: every
+  /// candidate evaluation carried its utility, so the root candidate is
+  /// compared against the interval endpoints directly. Warm roots skip the
+  /// check — they came from an interior sign-change bracket whose endpoints
+  /// were never probed this sweep (u_i decreasing through zero makes the
+  /// bracketed stationary point the interval maximum).
+  void choose(Lane& lane) const {
+    double br = lane.last_x;
+    if (!lane.warm_root &&
+        !(lane.last_util >= lane.util0 && lane.last_util >= lane.utilcap)) {
+      br = (lane.util0 >= lane.utilcap) ? 0.0 : lane.hi;
+    }
+    apply_best_response(lane, br);
+    advance(lane);
+  }
+
+  void consume(Lane& lane, std::span<const double> xs, std::span<const double> u,
+               std::span<const double> util, std::span<const double> phis) const {
+    switch (lane.stage) {
+      case Stage::probe_zero:
+        lane.u0 = u[0];
+        lane.util0 = util[0];
+        lane.have_u0 = true;
+        if (lane.u0 <= 0.0) {
+          apply_best_response(lane, 0.0);
+          advance(lane);
+        } else if (lane.have_bracket) {
+          // Warm miss to the left: u flipped before the warm frame, so
+          // [0, frame-left] brackets the root.
+          lane.a = 0.0;
+          lane.ua = lane.u0;
+          start_polish(lane, /*warm=*/true);
+        } else if (lane.have_ucap) {
+          lane.stage = Stage::grid;  // pinned-high probe missed: full search
+        } else {
+          lane.stage = Stage::probe_cap;
+        }
+        break;
+
+      case Stage::probe_cap:
+        lane.ucap = u[0];
+        lane.utilcap = util[0];
+        lane.have_ucap = true;
+        if (lane.ucap >= 0.0) {
+          apply_best_response(lane, lane.hi);
+          advance(lane);
+        } else if (lane.have_bracket) {
+          // Warm miss to the right: u stayed positive through the frame, so
+          // [frame-right, hi] brackets the root.
+          lane.b = lane.hi;
+          lane.ub = lane.ucap;
+          start_polish(lane, /*warm=*/true);
+        } else if (lane.have_u0) {
+          lane.stage = Stage::grid;
+        } else {
+          lane.stage = Stage::probe_zero;  // pinned-high probe missed
+        }
+        break;
+
+      case Stage::warm_probe: {
+        // Two candidates framing the previous sweep's interior root: a sign
+        // change inside the frame goes straight to the polish, an exact zero
+        // is the root, and a miss salvages the frame edge as one bracket
+        // side before falling back to the endpoint probes.
+        const double ul = u[0];
+        const double ur = u[1];
+        if (ul == 0.0 || ur == 0.0) {
+          const std::size_t c = (ul == 0.0) ? 0 : 1;
+          lane.last_x = xs[c];
+          lane.last_util = util[c];
+          lane.warm_root = true;
+          choose(lane);
+          break;
+        }
+        if (ul > 0.0 && ur < 0.0) {
+          lane.a = xs[0];
+          lane.ua = ul;
+          lane.b = xs[1];
+          lane.ub = ur;
+          start_polish(lane, /*warm=*/true);
+          break;
+        }
+        if (ul < 0.0) {
+          // Root moved left of the frame. The frame's left edge is an upper
+          // bracket; at edge 0 it is the scalar path's u(0) <= 0 early-out.
+          if (xs[0] <= 0.0) {
+            lane.u0 = ul;
+            lane.util0 = util[0];
+            lane.have_u0 = true;
+            apply_best_response(lane, 0.0);
+            advance(lane);
+          } else {
+            lane.b = xs[0];
+            lane.ub = ul;
+            lane.have_bracket = true;
+            lane.stage = Stage::probe_zero;
+          }
+          break;
+        }
+        // Both positive: root moved right of the frame; at edge hi this is
+        // the scalar path's u(hi) >= 0 early-out.
+        if (xs[1] >= lane.hi) {
+          lane.ucap = ur;
+          lane.utilcap = util[1];
+          lane.have_ucap = true;
+          apply_best_response(lane, lane.hi);
+          advance(lane);
+        } else {
+          lane.a = xs[1];
+          lane.ua = ur;
+          lane.have_bracket = true;
+          lane.stage = Stage::probe_cap;
+        }
+        break;
+      }
+
+      case Stage::grid: {
+        // u_i is decreasing on the paper's markets: the root lies between
+        // the last positive and the first non-positive candidate. When every
+        // interior candidate stays positive the root sits in the last cell.
+        lane.a = 0.0;
+        lane.ua = lane.u0;
+        lane.b = lane.hi;
+        lane.ub = lane.ucap;
+        bool exact = false;
+        for (std::size_t c = 0; c < xs.size(); ++c) {
+          if (u[c] == 0.0) {
+            lane.last_x = xs[c];
+            lane.last_util = util[c];
+            exact = true;
+            break;
+          }
+          if (u[c] < 0.0) {
+            lane.b = xs[c];
+            lane.ub = u[c];
+            break;
+          }
+          lane.a = xs[c];
+          lane.ua = u[c];
+        }
+        if (exact) {
+          choose(lane);
+          break;
+        }
+        start_polish(lane, /*warm=*/false);
+        break;
+      }
+
+      case Stage::polish: {
+        const double x = xs[0];
+        const double ux = u[0];
+        lane.last_x = x;
+        lane.last_util = util[0];
+        lane.polish_steps += 1;
+        if (ux == 0.0) {
+          choose(lane);
+          break;
+        }
+        if (ux > 0.0) {
+          lane.a = x;
+          lane.ua = ux;
+          if (lane.last_side == 1) lane.ub *= 0.5;  // Illinois: unstick b
+          lane.last_side = 1;
+        } else {
+          lane.b = x;
+          lane.ub = ux;
+          if (lane.last_side == -1) lane.ua *= 0.5;
+          lane.last_side = -1;
+        }
+        if (lane.b - lane.a <= kRootTolerance || lane.polish_steps >= kMaxPolishSteps) {
+          choose(lane);
+        }
+        break;
+      }
+
+      case Stage::final_state:
+        lane.out.subsidies = lane.s;
+        lane.out.iterations = lane.iterations;
+        lane.out.converged = lane.converged;
+        lane.out.residual = lane.max_change;
+        lane.out.state = evaluator_.assemble_state(lane.price, lane.s, lane.m, phis[0]);
+        lane.finished = true;
+        lane.stage = Stage::retired;
+        break;
+
+      case Stage::retired:
+        break;
+    }
+  }
+
+  const ModelEvaluator& evaluator_;
+  const MarketKernel& kernel_;
+  const BestResponseOptions& options_;
+  const bool use_planes_;
+  const std::size_t n_;
+  std::vector<double> profits_;
+};
+
+}  // namespace
+
+NashBatchSolver::NashBatchSolver(const ModelEvaluator& evaluator, BestResponseOptions options,
+                                 Backend backend)
+    : evaluator_(&evaluator), options_(options), backend_(backend) {
+  if (options_.damping <= 0.0 || options_.damping > 1.0) {
+    throw std::invalid_argument("NashBatchSolver: damping must be in (0, 1]");
+  }
+  if (options_.line_search_candidates < 1) {
+    throw std::invalid_argument("NashBatchSolver: need >= 1 line-search candidate");
+  }
+}
+
+std::vector<NashResult> NashBatchSolver::solve(std::span<const NashBatchNode> nodes,
+                                               NashBatchStats* stats) const {
+  if (nodes.empty()) return {};
+  Engine engine(*evaluator_, options_, backend_ == Backend::planes);
+  return engine.run(nodes, stats);
+}
+
+NashResult NashBatchSolver::solve_one(const NashBatchNode& node, NashBatchStats* stats) const {
+  return std::move(solve(std::span<const NashBatchNode>(&node, 1), stats).front());
+}
+
+std::vector<NashResult> solve_nash_many(const ModelEvaluator& evaluator,
+                                        std::span<const NashBatchNode> nodes,
+                                        const BestResponseOptions& br_options,
+                                        const ExtragradientOptions& eg_options,
+                                        NashBatchStats* stats) {
+  const NashBatchSolver solver(evaluator, br_options);
+  std::vector<NashResult> results = solver.solve(nodes, stats);
+
+  // solve_nash's fallback ladder, per lane: a damped lockstep retry over
+  // whatever failed to converge (undamped best responses can 2-cycle on
+  // strongly coupled players), extragradient for the rest. The failed lane's
+  // own solved state seeds both retries.
+  std::vector<std::size_t> failed;
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    if (!results[k].converged) failed.push_back(k);
+  }
+  if (failed.empty()) return results;
+  if (stats != nullptr) stats->fallbacks += failed.size();
+
+  BestResponseOptions damped_options = br_options;
+  damped_options.damping = 0.5;
+  const NashBatchSolver damped(evaluator, damped_options);
+  std::vector<NashBatchNode> retry(failed.size());
+  for (std::size_t j = 0; j < failed.size(); ++j) {
+    const NashBatchNode& node = nodes[failed[j]];
+    const NashResult& attempt = results[failed[j]];
+    retry[j] = {node.price, node.policy_cap, attempt.subsidies, attempt.state.utilization};
+  }
+  std::vector<NashResult> retried = damped.solve(retry, stats);
+
+  for (std::size_t j = 0; j < failed.size(); ++j) {
+    if (!retried[j].converged) {
+      const SubsidizationGame game(evaluator.market(), retry[j].price, retry[j].policy_cap,
+                                   evaluator.solver().options());
+      retried[j] = ExtragradientSolver(eg_options)
+                       .solve(game, retried[j].subsidies, retried[j].state.utilization);
+    }
+    results[failed[j]] = std::move(retried[j]);
+  }
+  return results;
+}
+
+}  // namespace subsidy::core

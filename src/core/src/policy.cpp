@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "subsidy/core/comparative_statics.hpp"
+#include "subsidy/numerics/simd.hpp"
 
 namespace subsidy::core {
 
@@ -67,6 +68,11 @@ std::vector<PolicyPoint> PolicyAnalyzer::sweep(const std::vector<double>& policy
   std::vector<PolicyPoint> out;
   out.reserve(policy_caps.size());
   std::vector<double> warm;
+  // The previous cap's solved utilization threads through as a warm-start
+  // hint plane for the next cap's line searches (batched path only: the
+  // forced-scalar reference keeps the pre-engine cold-start sequence).
+  double phi_carry = -1.0;
+  const bool carry_hints = !num::simd::force_scalar();
   for (double q : policy_caps) {
     PolicyPoint point;
     point.policy_cap = q;
@@ -74,8 +80,9 @@ std::vector<PolicyPoint> PolicyAnalyzer::sweep(const std::vector<double>& policy
     // and the Nash solve at the chosen price.
     point.price = price_at(q, warm);
     const SubsidizationGame game(market_, point.price, q, solve_options_);
-    const NashResult nash = solve_nash(game, warm);
+    const NashResult nash = solve_nash(game, warm, {}, {}, carry_hints ? phi_carry : -1.0);
     warm = nash.subsidies;
+    phi_carry = nash.state.utilization;
     point.state = nash.state;
     point.subsidies = nash.subsidies;
     out.push_back(std::move(point));

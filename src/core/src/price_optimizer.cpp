@@ -6,7 +6,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "subsidy/core/nash_batch.hpp"
 #include "subsidy/numerics/optimize.hpp"
+#include "subsidy/numerics/simd.hpp"
 #include "subsidy/runtime/chain_partition.hpp"
 #include "subsidy/runtime/thread_pool.hpp"
 
@@ -49,10 +51,11 @@ OptimalPrice IspPriceOptimizer::optimize(double policy_cap) const {
 
 OptimalPrice IspPriceOptimizer::optimize(double policy_cap,
                                          std::span<const double> initial_subsidies) const {
-  // Coarse grid as warm-start chains: each chain's first Nash solve starts
-  // from `initial_subsidies` (empty = cold), and continuation proceeds within
-  // the chain. The partition never depends on `jobs`, so the grid results are
-  // bit-identical for any worker count.
+  // Coarse grid as chains: the partition never depends on `jobs`, so the
+  // grid results are bit-identical for any worker count. On the batched
+  // path each chain is one lockstep solve_nash_many plane; on the
+  // forced-scalar reference path each chain is the pre-engine warm-start
+  // continuation, bit-for-bit.
   const std::size_t n = static_cast<std::size_t>(options_.grid_points);
   const double step =
       (options_.price_max - options_.price_min) / static_cast<double>(n - 1);
@@ -62,11 +65,15 @@ OptimalPrice IspPriceOptimizer::optimize(double policy_cap,
   }
   std::vector<NashResult> grid(n);
 
+  // One compiled kernel serves the whole search: the q = 0 grid plane, every
+  // lockstep chain, the refinement line search and the final solve.
+  const ModelEvaluator evaluator(market_);
+  const bool batched = !num::simd::force_scalar();
+
   if (policy_cap <= 0.0) {
     // q = 0 pins every subsidy at zero, so the whole grid phase degenerates
     // to unsubsidized evaluations — one node-major plane through
     // UtilizationSolver::solve_many instead of grid_points Nash solves.
-    const ModelEvaluator evaluator(market_);
     std::vector<SystemState> states = evaluator.evaluate_unsubsidized_many(grid_prices);
     const std::size_t players = market_.num_providers();
     for (std::size_t k = 0; k < n; ++k) {
@@ -76,29 +83,61 @@ OptimalPrice IspPriceOptimizer::optimize(double policy_cap,
     const std::vector<runtime::Chain> chains =
         runtime::partition_chains(1, n, options_.chain_length);
 
-    // Chained grids: batch-solve the utilization plane of every chain head
-    // (at the clamped initial profile each chain's first Nash solve starts
-    // from) and hand the phis down as warm-start hints. One plane replaces
-    // `chains` cold bracket expansions; hints shift results only within
-    // solver tolerance, so chain_length == 0 keeps the legacy bit-exact
-    // semantics by skipping this. Independent of `jobs` either way.
+    // Chained grids: batch-solve the utilization plane of the warm-start
+    // nodes (at the clamped initial profile each Nash solve starts from) and
+    // hand the phis down as warm-start hints — every node of a lockstep
+    // chain, or just each chain head on the reference path. One plane
+    // replaces that many cold bracket expansions; hints shift results only
+    // within solver tolerance, so chain_length == 0 keeps the legacy
+    // bit-exact semantics by skipping this. Independent of `jobs` either
+    // way.
+    const bool lockstep = batched && options_.chain_length != 0;
+    std::vector<double> node_hints(n, -1.0);
     std::vector<double> head_hints(chains.size(), -1.0);
     if (options_.chain_length != 0 && !chains.empty()) {
-      const UtilizationSolver solver(market_);
+      const UtilizationSolver& solver = evaluator.solver();
       const std::size_t players = market_.num_providers();
       std::vector<double> profile(initial_subsidies.begin(), initial_subsidies.end());
       if (profile.empty()) profile.assign(players, 0.0);
       for (double& s : profile) s = std::clamp(s, 0.0, policy_cap);
-      std::vector<double> m(chains.size() * players);
-      for (std::size_t c = 0; c < chains.size(); ++c) {
-        const std::span<double> row(m.data() + c * players, players);
-        solver.kernel().populations(grid_prices[chains[c].begin], profile, row);
+      if (lockstep) {
+        std::vector<double> m(n * players);
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::span<double> row(m.data() + k * players, players);
+          solver.kernel().populations(grid_prices[k], profile, row);
+        }
+        solver.solve_many(m, {}, node_hints);
+      } else {
+        std::vector<double> m(chains.size() * players);
+        for (std::size_t c = 0; c < chains.size(); ++c) {
+          const std::span<double> row(m.data() + c * players, players);
+          solver.kernel().populations(grid_prices[chains[c].begin], profile, row);
+        }
+        solver.solve_many(m, {}, head_hints);
       }
-      solver.solve_many(m, {}, head_hints);
     }
 
     const auto solve_chain = [&](std::size_t chain_index) {
       const runtime::Chain& chain = chains[chain_index];
+      if (lockstep) {
+        // The whole chain advances as one lockstep batch: every pass of
+        // every line search lands the chain's candidate ranks in shared
+        // planes. Each node starts from `initial_subsidies` and its
+        // plane-solved hint (no intra-chain continuation to serialize on).
+        std::vector<NashBatchNode> nodes(chain.end - chain.begin);
+        for (std::size_t k = chain.begin; k < chain.end; ++k) {
+          NashBatchNode& node = nodes[k - chain.begin];
+          node.price = grid_prices[k];
+          node.policy_cap = policy_cap;
+          node.initial = initial_subsidies;
+          node.phi_hint = node_hints[k];
+        }
+        std::vector<NashResult> results = solve_nash_many(evaluator, nodes, options_.nash);
+        for (std::size_t k = chain.begin; k < chain.end; ++k) {
+          grid[k] = std::move(results[k - chain.begin]);
+        }
+        return;
+      }
       std::vector<double> warm(initial_subsidies.begin(), initial_subsidies.end());
       double phi_hint = head_hints[chain_index];
       for (std::size_t k = chain.begin; k < chain.end; ++k) {
@@ -137,23 +176,42 @@ OptimalPrice IspPriceOptimizer::optimize(double policy_cap,
   // Best cell, scanned in ascending price order (deterministic tie-break).
   double best_price = options_.price_min;
   double best_revenue = -1.0;
+  double best_phi = -1.0;
   std::vector<double> best_subsidies;
   for (std::size_t k = 0; k < n; ++k) {
     if (grid[k].state.revenue > best_revenue) {
       best_revenue = grid[k].state.revenue;
       best_price = options_.price_min + step * static_cast<double>(k);
+      best_phi = grid[k].state.utilization;
       best_subsidies = grid[k].subsidies;
     }
   }
 
   // Golden-section refinement around the best cell, warm-starting every inner
-  // equilibrium from the best grid solution.
+  // equilibrium from the best grid solution. The batched path threads the
+  // previously solved utilization through the line search as well, so every
+  // refinement equilibrium starts from a bracketed fixed point.
   const double lo = std::max(options_.price_min, best_price - step);
   const double hi = std::min(options_.price_max, best_price + step);
-  auto objective = [&](double p) {
-    const SubsidizationGame game(market_, p, policy_cap);
-    return solve_nash(game, best_subsidies, options_.nash).state.revenue;
+  double refine_phi = best_phi;
+  const auto solve_at = [&](double p) {
+    if (!batched) {
+      const SubsidizationGame game(market_, p, policy_cap);
+      return solve_nash(game, best_subsidies, options_.nash);
+    }
+    NashBatchNode node;
+    node.price = p;
+    node.policy_cap = policy_cap;
+    node.initial = best_subsidies;
+    node.phi_hint = refine_phi;
+    NashResult nash =
+        std::move(solve_nash_many(evaluator, std::span<const NashBatchNode>(&node, 1),
+                                  options_.nash)
+                      .front());
+    refine_phi = nash.state.utilization;
+    return nash;
   };
+  auto objective = [&](double p) { return solve_at(p).state.revenue; };
   num::MaximizeOptions opt;
   opt.x_tol = options_.refine_tolerance;
   opt.grid_points = 9;
@@ -161,8 +219,7 @@ OptimalPrice IspPriceOptimizer::optimize(double policy_cap,
 
   OptimalPrice result;
   result.price = refined.value >= best_revenue ? refined.arg : best_price;
-  const SubsidizationGame final_game(market_, result.price, policy_cap);
-  const NashResult final_nash = solve_nash(final_game, best_subsidies, options_.nash);
+  const NashResult final_nash = solve_at(result.price);
   result.revenue = final_nash.state.revenue;
   result.state = final_nash.state;
   result.subsidies = final_nash.subsidies;

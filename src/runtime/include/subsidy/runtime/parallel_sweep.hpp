@@ -13,11 +13,16 @@
 // pure function of its inputs. Running with jobs=1 and jobs=N therefore
 // produces bit-identical rows.
 //
-// Batch planes: chained sweeps hand whole planes to the compiled kernel —
-// the unsubsidized fixed points of all chain heads are solved as one
-// node-major batch (warm-start hints for each chain's cold Nash solve), and
-// zero-cap groups, whose game is degenerate, skip Nash entirely: each of
-// their chains is one UtilizationSolver::solve_many plane.
+// Batch planes: chained sweeps hand whole planes to the compiled kernel.
+// The unsubsidized fixed points of every chained node are solved as one
+// node-major batch of warm-start hints, and each q > 0 chain then advances
+// as one lockstep core::NashBatchSolver batch — candidate rank r of every
+// node's best-response line search lands in one shared plane through
+// UtilizationSolver::solve_many. Zero-cap groups, whose game is degenerate,
+// skip Nash entirely: each of their chains is one solve_many plane. With
+// the scalar exp backend forced (SUBSIDY_FORCE_SCALAR) chained sweeps run
+// the pre-engine warm-start continuations bit-for-bit (chain-head hints
+// only).
 #pragma once
 
 #include <cstddef>

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/nash_batch.hpp"
+#include "subsidy/numerics/simd.hpp"
 #include "subsidy/runtime/chain_partition.hpp"
 #include "subsidy/runtime/thread_pool.hpp"
 
@@ -21,30 +23,45 @@ std::vector<SweepRow> ParallelSweepRunner::run(const std::vector<double>& policy
   const std::vector<Chain> chains =
       partition_chains(policy_caps.size(), num_prices, options_.chain_length);
 
-  // Chained sweeps start every chain cold; batch-solve the unsubsidized
-  // fixed points of all chain heads as one node-major plane and pass them
-  // down as warm-start hints (results shift only within solver tolerance,
-  // so chain_length == 0 — the legacy serial semantics — skips this).
-  // Zero-cap chains are excluded: they run as pure planes below and would
-  // discard the hint. The plane depends only on the partition and the cap
-  // values, never on `jobs`.
+  // Chained sweeps start every node cold; batch-solve the unsubsidized
+  // fixed points of the warm-start nodes as one node-major plane and pass
+  // them down as hints — every node of a lockstep chain, or just each
+  // chain head on the forced-scalar reference path (results shift only
+  // within solver tolerance, so chain_length == 0 — the legacy serial
+  // semantics — skips this). Zero-cap chains are excluded: they run as pure
+  // planes below and would discard the hint. The plane depends only on the
+  // partition and the cap values, never on `jobs`.
+  const bool lockstep = options_.chain_length != 0 && !num::simd::force_scalar();
+  std::vector<double> node_hints;
   std::vector<double> head_hints(chains.size(), -1.0);
   if (options_.chain_length != 0 && !chains.empty() && num_prices > 0) {
-    std::vector<std::size_t> hinted_chains;
-    for (std::size_t c = 0; c < chains.size(); ++c) {
-      if (policy_caps[chains[c].group] > 0.0) hinted_chains.push_back(c);
+    std::vector<std::size_t> hinted;  // chain (reference) or row (lockstep) ids
+    if (lockstep) {
+      node_hints.assign(rows.size(), -1.0);
+      for (const Chain& chain : chains) {
+        if (policy_caps[chain.group] <= 0.0) continue;
+        for (std::size_t k = chain.begin; k < chain.end; ++k) {
+          hinted.push_back(chain.group * num_prices + k);
+        }
+      }
+    } else {
+      for (std::size_t c = 0; c < chains.size(); ++c) {
+        if (policy_caps[chains[c].group] > 0.0) hinted.push_back(c);
+      }
     }
-    if (!hinted_chains.empty()) {
+    if (!hinted.empty()) {
       const std::vector<double> zeros(players, 0.0);
-      std::vector<double> m(hinted_chains.size() * players);
-      std::vector<double> phis(hinted_chains.size());
-      for (std::size_t j = 0; j < hinted_chains.size(); ++j) {
+      std::vector<double> m(hinted.size() * players);
+      std::vector<double> phis(hinted.size());
+      for (std::size_t j = 0; j < hinted.size(); ++j) {
         const std::span<double> row(m.data() + j * players, players);
-        evaluator_.kernel().populations(prices[chains[hinted_chains[j]].begin], zeros, row);
+        const std::size_t price_index =
+            lockstep ? hinted[j] % num_prices : chains[hinted[j]].begin;
+        evaluator_.kernel().populations(prices[price_index], zeros, row);
       }
       evaluator_.solver().solve_many(m, {}, phis);
-      for (std::size_t j = 0; j < hinted_chains.size(); ++j) {
-        head_hints[hinted_chains[j]] = phis[j];
+      for (std::size_t j = 0; j < hinted.size(); ++j) {
+        (lockstep ? node_hints[hinted[j]] : head_hints[hinted[j]]) = phis[j];
       }
     }
   }
@@ -56,6 +73,25 @@ std::vector<SweepRow> ParallelSweepRunner::run(const std::vector<double>& policy
     const double cap = policy_caps[chain.group];
     if (cap <= 0.0) {
       solve_chain_plane(chain, cap, prices, rows);
+      return;
+    }
+    if (lockstep) {
+      // The chain advances as one lockstep batch: candidate rank r of every
+      // node's line search lands in one shared plane. Nodes start cold with
+      // their plane-solved hints instead of chaining warm starts serially.
+      std::vector<core::NashBatchNode> nodes(chain.end - chain.begin);
+      for (std::size_t k = chain.begin; k < chain.end; ++k) {
+        core::NashBatchNode& node = nodes[k - chain.begin];
+        node.price = prices[k];
+        node.policy_cap = cap;
+        node.phi_hint = node_hints[chain.group * num_prices + k];
+      }
+      std::vector<core::NashResult> results = core::solve_nash_many(evaluator_, nodes);
+      for (std::size_t k = chain.begin; k < chain.end; ++k) {
+        rows[chain.group * num_prices + k] =
+            SweepRow{chain.group, k, prices[k], cap,
+                     std::move(results[k - chain.begin])};
+      }
       return;
     }
     std::vector<double> warm;

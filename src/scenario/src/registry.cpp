@@ -112,11 +112,55 @@ jobs = 2
 out = mixed_sweep.csv
 )";
 
+constexpr const char* kNashBatch = R"(# Lockstep Nash-batching exercise: one equilibrium block plus a chained
+# (cap x price) figure grid on a three-family market, so the scenario smoke
+# gate pins the plane-evaluated best-response line searches under both exp
+# backends (and the q = 0 row of the figure rides the degenerate planes).
+[scenario]
+name = nash_batch
+description = Batched Nash layer: equilibrium and chained figure-grid goldens
+
+[market]
+capacity = 1.0
+throughput = exp:beta=3
+v = 1.0
+
+[provider]
+name = video
+demand = exp:alpha=2
+v = 0.9
+
+[provider]
+name = social
+demand = exp:alpha=3
+throughput = exp:beta=5
+v = 0.7
+
+[provider]
+name = news
+demand = logit:k=5,t0=0.6
+throughput = delay:beta=2
+v = 1.1
+
+[equilibrium]
+price = 0.8
+cap = 0.9
+out = nash_batch_equilibrium.csv
+
+[figure]
+prices = 0.2:1.6:8
+caps = 0,0.8
+chain = 4
+jobs = 2
+out = nash_batch_figure.csv
+)";
+
 constexpr NamedText kRegistry[] = {
     {"section3", kSection3},
     {"section5", kSection5},
     {"section5_figures", kSection5Figures},
     {"mixed_families", kMixedFamilies},
+    {"nash_batch", kNashBatch},
 };
 
 const NamedText* find(const std::string& name) {

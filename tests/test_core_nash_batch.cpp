@@ -1,0 +1,382 @@
+// Equivalence suite for the batched Nash layer: NashBatchSolver's lockstep
+// plane-evaluated best-response line searches against its per-node scalar
+// twin (identical candidate sequence, scalar solves), across all four demand
+// families x all throughput families (opaque bucket included), degenerate
+// q = 0 games, batch-composition invariance and the solve_nash fallback
+// plumbing. Contract under test: bit-identical results between the plane
+// and scalar backends with the scalar exp fallback forced
+// (num::simd::set_force_scalar), <= 1e-12 agreement with the SIMD kernel
+// active (the build default).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "force_scalar_guard.hpp"
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/game.hpp"
+#include "subsidy/core/nash.hpp"
+#include "subsidy/core/nash_batch.hpp"
+#include "subsidy/econ/market.hpp"
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/numerics/simd.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace market = subsidy::market;
+using subsidy::test::ForceScalarExp;
+
+namespace {
+
+/// A throughput curve outside every compiled family (opaque bucket).
+class Base2Throughput final : public econ::ThroughputCurve {
+ public:
+  explicit Base2Throughput(double beta) : beta_(beta) {}
+  [[nodiscard]] double rate(double phi) const override { return std::exp2(-beta_ * phi); }
+  [[nodiscard]] std::string name() const override { return "base2"; }
+  [[nodiscard]] std::unique_ptr<econ::ThroughputCurve> clone() const override {
+    return std::make_unique<Base2Throughput>(*this);
+  }
+
+ private:
+  double beta_;
+};
+
+std::shared_ptr<const econ::DemandCurve> make_demand(const std::string& family, int i) {
+  const double a = 1.0 + 0.7 * i;
+  if (family == "exponential") return std::make_shared<econ::ExponentialDemand>(a);
+  if (family == "logit") return std::make_shared<econ::LogitDemand>(1.0, 4.0 + a, 0.5);
+  if (family == "isoelastic") return std::make_shared<econ::IsoelasticDemand>(1.0, a);
+  return std::make_shared<econ::LinearDemand>(1.0, 2.0 + 0.3 * i);
+}
+
+std::shared_ptr<const econ::ThroughputCurve> make_curve(const std::string& family,
+                                                        double beta) {
+  if (family == "exp") return std::make_shared<econ::ExponentialThroughput>(beta);
+  if (family == "powerlaw") return std::make_shared<econ::PowerLawThroughput>(beta);
+  if (family == "delay") return std::make_shared<econ::DelayThroughput>(beta);
+  return std::make_shared<Base2Throughput>(beta);
+}
+
+/// Five providers of one demand family over a mixed throughput side (two
+/// equal-beta exponentials so the cluster machinery engages, plus the
+/// requested family), under linear utilization — the same market matrix the
+/// batch-plane suite runs, with per-provider profitabilities so the
+/// subsidization game has interior and pinned players.
+econ::Market demand_family_market(const std::string& demand_family,
+                                  const std::string& throughput_family) {
+  std::vector<econ::ContentProviderSpec> providers;
+  const std::vector<double> betas{2.0, 5.0, 2.0, 3.5, 4.0};
+  for (int i = 0; i < 5; ++i) {
+    econ::ContentProviderSpec cp;
+    cp.name = demand_family + std::to_string(i);
+    cp.demand = make_demand(demand_family, i);
+    cp.throughput = make_curve(i < 3 ? "exp" : throughput_family,
+                               betas[static_cast<std::size_t>(i)]);
+    cp.profitability = 0.6 + 0.2 * i;
+    providers.push_back(std::move(cp));
+  }
+  return econ::Market(econ::IspSpec{1.0}, std::make_shared<econ::LinearUtilization>(),
+                      std::move(providers));
+}
+
+const std::vector<std::string> kDemandFamilies{"exponential", "logit", "isoelastic",
+                                               "linear"};
+const std::vector<std::string> kThroughputFamilies{"exp", "powerlaw", "delay", "opaque"};
+
+/// A 6-node price axis at one cap — the lockstep batch shape the sweep and
+/// optimizer layers hand the engine.
+std::vector<core::NashBatchNode> price_axis_nodes(double cap) {
+  std::vector<core::NashBatchNode> nodes(6);
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    nodes[k].price = 0.3 + 0.22 * static_cast<double>(k);
+    nodes[k].policy_cap = cap;
+  }
+  return nodes;
+}
+
+void expect_results_equal(const core::NashResult& a, const core::NashResult& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.converged, b.converged) << label;
+  EXPECT_EQ(a.iterations, b.iterations) << label;
+  ASSERT_EQ(a.subsidies.size(), b.subsidies.size()) << label;
+  for (std::size_t i = 0; i < a.subsidies.size(); ++i) {
+    EXPECT_EQ(a.subsidies[i], b.subsidies[i]) << label << " player " << i;
+  }
+  EXPECT_EQ(a.state.utilization, b.state.utilization) << label;
+  EXPECT_EQ(a.state.revenue, b.state.revenue) << label;
+  EXPECT_EQ(a.state.welfare, b.state.welfare) << label;
+}
+
+void expect_results_near(const core::NashResult& a, const core::NashResult& b,
+                         double tol, const std::string& label) {
+  EXPECT_EQ(a.converged, b.converged) << label;
+  ASSERT_EQ(a.subsidies.size(), b.subsidies.size()) << label;
+  for (std::size_t i = 0; i < a.subsidies.size(); ++i) {
+    EXPECT_NEAR(a.subsidies[i], b.subsidies[i], tol) << label << " player " << i;
+  }
+  EXPECT_NEAR(a.state.utilization, b.state.utilization, tol) << label;
+  EXPECT_NEAR(a.state.revenue, b.state.revenue, tol) << label;
+}
+
+}  // namespace
+
+TEST(NashBatch, PlaneBackendBitIdenticalToScalarTwinUnderForcedScalar) {
+  const ForceScalarExp scalar_guard;
+  for (const auto& demand : kDemandFamilies) {
+    for (const auto& curve : kThroughputFamilies) {
+      const econ::Market mkt = demand_family_market(demand, curve);
+      const core::ModelEvaluator evaluator(mkt);
+      const core::NashBatchSolver planes(evaluator);
+      const core::NashBatchSolver scalar(evaluator, {},
+                                         core::NashBatchSolver::Backend::scalar);
+      const std::vector<core::NashBatchNode> nodes = price_axis_nodes(0.6);
+      const std::vector<core::NashResult> a = planes.solve(nodes);
+      const std::vector<core::NashResult> b = scalar.solve(nodes);
+      ASSERT_EQ(a.size(), nodes.size());
+      for (std::size_t k = 0; k < nodes.size(); ++k) {
+        expect_results_equal(a[k], b[k], demand + "/" + curve + " node " +
+                                             std::to_string(k));
+      }
+    }
+  }
+}
+
+TEST(NashBatch, PlaneBackendWithinTolOfScalarTwinWithSimd) {
+  for (const auto& demand : kDemandFamilies) {
+    for (const auto& curve : kThroughputFamilies) {
+      const econ::Market mkt = demand_family_market(demand, curve);
+      const core::ModelEvaluator evaluator(mkt);
+      const core::NashBatchSolver planes(evaluator);
+      const core::NashBatchSolver scalar(evaluator, {},
+                                         core::NashBatchSolver::Backend::scalar);
+      const std::vector<core::NashBatchNode> nodes = price_axis_nodes(0.6);
+      const std::vector<core::NashResult> a = planes.solve(nodes);
+      const std::vector<core::NashResult> b = scalar.solve(nodes);
+      for (std::size_t k = 0; k < nodes.size(); ++k) {
+        expect_results_near(a[k], b[k], 1e-12,
+                            demand + "/" + curve + " node " + std::to_string(k));
+      }
+    }
+  }
+}
+
+TEST(NashBatch, BatchCompositionNeverChangesALane) {
+  // Lockstep batching synchronizes passes, never candidates: a node solved
+  // inside a batch equals the same node solved alone, bit for bit under the
+  // forced-scalar backend (where the narrow-pass scalar fallback and the
+  // planes coincide exactly).
+  const ForceScalarExp scalar_guard;
+  const core::ModelEvaluator evaluator(market::section5_market());
+  const core::NashBatchSolver solver(evaluator);
+  const std::vector<core::NashBatchNode> nodes = price_axis_nodes(1.0);
+  const std::vector<core::NashResult> batch = solver.solve(nodes);
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    const core::NashResult single = solver.solve_one(nodes[k]);
+    expect_results_equal(batch[k], single, "node " + std::to_string(k));
+  }
+}
+
+TEST(NashBatch, BatchCompositionWithinTolWithSimd) {
+  // With SIMD active the narrow tail passes of a batch ride the scalar twin
+  // while wide passes ride the planes, so composition moves results only
+  // within the kernel's ulp envelope.
+  const core::ModelEvaluator evaluator(market::section5_market());
+  const core::NashBatchSolver solver(evaluator);
+  const std::vector<core::NashBatchNode> nodes = price_axis_nodes(1.0);
+  const std::vector<core::NashResult> batch = solver.solve(nodes);
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    const core::NashResult single = solver.solve_one(nodes[k]);
+    expect_results_near(batch[k], single, 1e-12, "node " + std::to_string(k));
+  }
+}
+
+TEST(NashBatch, MatchesLegacyScalarSolverAcrossFamilies) {
+  // The engine and the pre-engine scalar path run different line searches
+  // over the same concave utilities, so they must land on the same (unique)
+  // equilibrium to solver tolerance.
+  for (const auto& demand : kDemandFamilies) {
+    const econ::Market mkt = demand_family_market(demand, "delay");
+    const core::ModelEvaluator evaluator(mkt);
+    const core::NashBatchSolver engine(evaluator);
+    const core::SubsidizationGame game(mkt, 0.7, 0.6);
+    core::NashResult legacy;
+    {
+      const ForceScalarExp scalar_guard;
+      legacy = core::solve_nash(game);
+    }
+    core::NashBatchNode node;
+    node.price = 0.7;
+    node.policy_cap = 0.6;
+    const core::NashResult batched = engine.solve_one(node);
+    ASSERT_TRUE(batched.converged) << demand;
+    ASSERT_TRUE(legacy.converged) << demand;
+    for (std::size_t i = 0; i < legacy.subsidies.size(); ++i) {
+      EXPECT_NEAR(batched.subsidies[i], legacy.subsidies[i], 1e-7)
+          << demand << " player " << i;
+    }
+    EXPECT_NEAR(batched.state.utilization, legacy.state.utilization, 1e-8) << demand;
+  }
+}
+
+TEST(NashBatch, DegenerateZeroCapGamesMatchDegenerateFactory) {
+  // q = 0 pins every subsidy at zero: one best-response pass, zero residual,
+  // and the unsubsidized state — exactly what degenerate_nash_result
+  // synthesizes for the q = 0 grid planes.
+  const ForceScalarExp scalar_guard;
+  const econ::Market mkt = market::section5_market();
+  const core::ModelEvaluator evaluator(mkt);
+  const core::NashBatchSolver solver(evaluator);
+  std::vector<core::NashBatchNode> nodes = price_axis_nodes(0.0);
+  const std::vector<core::NashResult> results = solver.solve(nodes);
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    const core::NashResult expected = core::degenerate_nash_result(
+        mkt.num_providers(), evaluator.evaluate_unsubsidized(nodes[k].price));
+    expect_results_equal(results[k], expected, "node " + std::to_string(k));
+    EXPECT_EQ(results[k].residual, 0.0);
+  }
+}
+
+TEST(NashBatch, MixedCapBatchesAndPhiHints) {
+  // Degenerate and subsidized nodes share one lockstep batch; plane-seeded
+  // phi hints reseed the line searches without moving the equilibrium.
+  const core::ModelEvaluator evaluator(market::section5_market());
+  const core::NashBatchSolver solver(evaluator);
+  std::vector<core::NashBatchNode> nodes = price_axis_nodes(1.0);
+  nodes[1].policy_cap = 0.0;
+  nodes[4].policy_cap = 0.0;
+  const std::vector<core::NashResult> cold = solver.solve(nodes);
+  std::vector<core::NashBatchNode> hinted = nodes;
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    hinted[k].phi_hint = cold[k].state.utilization;
+  }
+  const std::vector<core::NashResult> warm = solver.solve(hinted);
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    ASSERT_TRUE(warm[k].converged) << k;
+    for (std::size_t i = 0; i < cold[k].subsidies.size(); ++i) {
+      EXPECT_NEAR(warm[k].subsidies[i], cold[k].subsidies[i], 1e-8)
+          << "node " << k << " player " << i;
+    }
+  }
+}
+
+TEST(NashBatch, WarmInitialProfilesOnlyReseedIterations) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  const core::NashBatchSolver solver(evaluator);
+  core::NashBatchNode node;
+  node.price = 0.8;
+  node.policy_cap = 1.0;
+  const core::NashResult cold = solver.solve_one(node);
+  ASSERT_TRUE(cold.converged);
+  core::NashBatchNode warm_node = node;
+  warm_node.initial = cold.subsidies;
+  warm_node.phi_hint = cold.state.utilization;
+  const core::NashResult warm = solver.solve_one(warm_node);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, cold.iterations);
+  for (std::size_t i = 0; i < cold.subsidies.size(); ++i) {
+    EXPECT_NEAR(warm.subsidies[i], cold.subsidies[i], 1e-8) << "player " << i;
+  }
+}
+
+TEST(NashBatch, CandidateRankOnlyMovesResultsWithinTolerance) {
+  // The line-search grid rank changes which candidates bracket the root,
+  // never which root the polish converges to.
+  const core::ModelEvaluator evaluator(market::section5_market());
+  core::BestResponseOptions coarse;
+  coarse.line_search_candidates = 2;
+  core::BestResponseOptions fine;
+  fine.line_search_candidates = 16;
+  const core::NashBatchSolver coarse_solver(evaluator, coarse);
+  const core::NashBatchSolver fine_solver(evaluator, fine);
+  core::NashBatchNode node;
+  node.price = 0.8;
+  node.policy_cap = 1.0;
+  const core::NashResult a = coarse_solver.solve_one(node);
+  const core::NashResult b = fine_solver.solve_one(node);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  for (std::size_t i = 0; i < a.subsidies.size(); ++i) {
+    EXPECT_NEAR(a.subsidies[i], b.subsidies[i], 1e-8) << "player " << i;
+  }
+}
+
+TEST(NashBatch, SolveNashManyReportsStats) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  const std::vector<core::NashBatchNode> nodes = price_axis_nodes(1.0);
+  core::NashBatchStats stats;
+  const std::vector<core::NashResult> results =
+      core::solve_nash_many(evaluator, nodes, {}, {}, &stats);
+  ASSERT_EQ(results.size(), nodes.size());
+  for (const core::NashResult& r : results) EXPECT_TRUE(r.converged);
+  EXPECT_GT(stats.candidates, 0u);
+  EXPECT_GT(stats.passes, 0u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+  // Lockstep planes amortize: strictly fewer passes than candidates.
+  EXPECT_LT(stats.passes, stats.candidates);
+}
+
+TEST(NashBatch, RejectsMalformedInputs) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  core::BestResponseOptions bad_damping;
+  bad_damping.damping = 0.0;
+  EXPECT_THROW(core::NashBatchSolver(evaluator, bad_damping), std::invalid_argument);
+  core::BestResponseOptions bad_rank;
+  bad_rank.line_search_candidates = 0;
+  EXPECT_THROW(core::NashBatchSolver(evaluator, bad_rank), std::invalid_argument);
+  EXPECT_THROW((void)core::BestResponseSolver(bad_rank), std::invalid_argument);
+
+  const core::NashBatchSolver solver(evaluator);
+  core::NashBatchNode bad_size;
+  bad_size.price = 0.8;
+  bad_size.policy_cap = 1.0;
+  const std::vector<double> short_profile(3, 0.1);
+  bad_size.initial = short_profile;
+  EXPECT_THROW((void)solver.solve_one(bad_size), std::invalid_argument);
+  core::NashBatchNode bad_price;
+  bad_price.price = -0.5;
+  EXPECT_THROW((void)solver.solve_one(bad_price), std::invalid_argument);
+}
+
+TEST(NashBatch, ExtragradientAcceptsPhiHint) {
+  // The solve_nash fallback ladder hands the failed attempt's utilization
+  // to the extragradient solver; the hint reseeds the first inner solve and
+  // never moves the equilibrium.
+  const econ::Market mkt = market::section5_market();
+  const core::SubsidizationGame game(mkt, 0.8, 0.6);
+  const core::ExtragradientSolver solver{core::ExtragradientOptions{}};
+  const core::NashResult cold = solver.solve(game);
+  const core::NashResult hinted = solver.solve(game, {}, cold.state.utilization);
+  ASSERT_TRUE(cold.converged);
+  ASSERT_TRUE(hinted.converged);
+  for (std::size_t i = 0; i < cold.subsidies.size(); ++i) {
+    EXPECT_NEAR(hinted.subsidies[i], cold.subsidies[i], 1e-6) << "player " << i;
+  }
+}
+
+TEST(NashBatch, BestResponseSolverRidesTheEngine) {
+  // The public solver and a hand-built engine node must agree exactly when
+  // the backends agree (forced scalar); the dispatch adds nothing on top.
+  const ForceScalarExp scalar_guard;
+  const econ::Market mkt = market::section5_market();
+  const core::SubsidizationGame game(mkt, 0.9, 0.8);
+  const core::BestResponseSolver solver;
+  const core::NashResult via_solver = solver.solve(game);
+  // Forced scalar dispatches to the legacy loop; the engine's scalar twin
+  // solves the same game through the lockstep machinery.
+  const core::ModelEvaluator evaluator(mkt);
+  const core::NashBatchSolver engine(evaluator);
+  core::NashBatchNode node;
+  node.price = 0.9;
+  node.policy_cap = 0.8;
+  const core::NashResult via_engine = engine.solve_one(node);
+  ASSERT_TRUE(via_solver.converged);
+  ASSERT_TRUE(via_engine.converged);
+  for (std::size_t i = 0; i < via_solver.subsidies.size(); ++i) {
+    EXPECT_NEAR(via_engine.subsidies[i], via_solver.subsidies[i], 1e-7)
+        << "player " << i;
+  }
+}

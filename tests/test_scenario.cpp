@@ -226,9 +226,10 @@ TEST(ScenarioFile, FileRoundTripMatchesText) {
 
 TEST(Registry, ListsAllScenariosAndRejectsUnknown) {
   const std::vector<scenario::RegistryEntry> entries = scenario::registry_entries();
-  ASSERT_EQ(entries.size(), 4u);
+  ASSERT_EQ(entries.size(), 5u);
   EXPECT_TRUE(scenario::is_registry_scenario("section3"));
   EXPECT_TRUE(scenario::is_registry_scenario("section5_figures"));
+  EXPECT_TRUE(scenario::is_registry_scenario("nash_batch"));
   EXPECT_FALSE(scenario::is_registry_scenario("warp"));
   EXPECT_THROW((void)scenario::registry_scenario_text("warp"), std::invalid_argument);
   EXPECT_THROW((void)scenario::make_registry_scenario("warp"), std::invalid_argument);
