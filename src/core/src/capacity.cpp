@@ -59,6 +59,7 @@ std::vector<ReinvestmentStep> CapacityPlanner::reinvestment_path(double policy_c
   const double baseline_revenue = baseline_optimizer.optimize(0.0).revenue;
 
   std::vector<ReinvestmentStep> path;
+  path.reserve(static_cast<std::size_t>(rounds));
   double mu = market_.capacity();
   for (int round = 0; round < rounds; ++round) {
     const econ::Market current = market_.with_capacity(mu);

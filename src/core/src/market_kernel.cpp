@@ -214,7 +214,7 @@ double MarketKernel::aggregate_demand_bound(double phi,
     return total;
   }
   for (std::size_t c = 0; c < num_clusters; ++c) {
-    total += w[c] * std::exp(-cluster_beta_[c] * phi);
+    total += w[c] * num::simd::sexp(-cluster_beta_[c] * phi);
   }
   const double* tail = w + num_clusters;
   for (std::size_t slot = exp_end_; slot < pow_end_; ++slot) {
@@ -241,7 +241,7 @@ MarketKernel::GapValue MarketKernel::gap_with_derivative_bound(
   double slope = 0.0;
   const std::size_t num_clusters = cluster_beta_.size();
   for (std::size_t c = 0; c < num_clusters; ++c) {
-    const double term = w[c] * std::exp(-cluster_beta_[c] * phi);
+    const double term = w[c] * num::simd::sexp(-cluster_beta_[c] * phi);
     demand += term;
     slope += -cluster_beta_[c] * term;
   }
@@ -401,7 +401,7 @@ void MarketKernel::batch_clusters_scalar(const BatchBinding& binding,
     double d = 0.0;
     double s = 0.0;
     for (std::size_t c = 0; c < num_clusters; ++c) {
-      const double term = data[c * stride + j] * std::exp(-cluster_beta_[c] * phi);
+      const double term = data[c * stride + j] * num::simd::sexp(-cluster_beta_[c] * phi);
       d += term;
       s += -cluster_beta_[c] * term;
     }
@@ -664,7 +664,7 @@ void MarketKernel::batch_gap_with_derivative(const BatchBinding& binding,
 double MarketKernel::rate(std::size_t i, double phi) const {
   if (i >= n_) throw std::out_of_range("MarketKernel::rate: provider index out of range");
   const std::size_t slot = slot_of_provider_[i];
-  if (slot < exp_end_) return t_lambda0_[slot] * std::exp(-t_beta_[slot] * phi);
+  if (slot < exp_end_) return t_lambda0_[slot] * num::simd::sexp(-t_beta_[slot] * phi);
   if (slot < pow_end_) return t_lambda0_[slot] * std::pow(1.0 + phi, -t_beta_[slot]);
   if (slot < delay_end_) return t_lambda0_[slot] / (1.0 + t_beta_[slot] * phi);
   return opaque_curves_[slot - delay_end_]->rate(phi);
@@ -677,7 +677,7 @@ void MarketKernel::rate_and_slope(std::size_t i, double phi, double& lambda,
   }
   const std::size_t slot = slot_of_provider_[i];
   if (slot < exp_end_) {
-    lambda = t_lambda0_[slot] * std::exp(-t_beta_[slot] * phi);
+    lambda = t_lambda0_[slot] * num::simd::sexp(-t_beta_[slot] * phi);
     dlambda = -t_beta_[slot] * lambda;
   } else if (slot < pow_end_) {
     lambda = t_lambda0_[slot] * std::pow(1.0 + phi, -t_beta_[slot]);
@@ -697,7 +697,7 @@ void MarketKernel::rates(double phi, std::span<double> lambda) const {
   check_population_size(lambda.size());
   const std::size_t num_clusters = cluster_beta_.size();
   for (std::size_t c = 0; c < num_clusters; ++c) {
-    const double e = std::exp(-cluster_beta_[c] * phi);
+    const double e = num::simd::sexp(-cluster_beta_[c] * phi);
     for (std::size_t slot = cluster_begin_[c]; slot < cluster_begin_[c + 1]; ++slot) {
       lambda[provider_of_slot_[slot]] = t_lambda0_[slot] * e;
     }
@@ -719,7 +719,7 @@ void MarketKernel::rates_and_slopes(double phi, std::span<double> lambda,
   check_population_size(dlambda.size());
   const std::size_t num_clusters = cluster_beta_.size();
   for (std::size_t c = 0; c < num_clusters; ++c) {
-    const double e = std::exp(-cluster_beta_[c] * phi);
+    const double e = num::simd::sexp(-cluster_beta_[c] * phi);
     const double beta = cluster_beta_[c];
     for (std::size_t slot = cluster_begin_[c]; slot < cluster_begin_[c + 1]; ++slot) {
       const std::size_t i = provider_of_slot_[slot];
@@ -755,9 +755,9 @@ void MarketKernel::rates_and_slopes(double phi, std::span<double> lambda,
 double MarketKernel::demand_value(std::size_t i, double t) const {
   switch (d_family_[i]) {
     case DemandFamily::exponential:
-      return d_scale_[i] * std::exp(-d_alpha_[i] * t);
+      return d_scale_[i] * num::simd::sexp(-d_alpha_[i] * t);
     case DemandFamily::logit:
-      return d_scale_[i] / (1.0 + std::exp(d_alpha_[i] * (t - d_shift_[i])));
+      return d_scale_[i] / (1.0 + num::simd::sexp(d_alpha_[i] * (t - d_shift_[i])));
     case DemandFamily::isoelastic:
       if (t <= 0.0) return d_scale_[i];
       return d_scale_[i] * std::pow(1.0 + t, -d_alpha_[i]);
@@ -775,11 +775,11 @@ void MarketKernel::demand_value_and_slope(std::size_t i, double t, double& m,
                                           double& dm) const {
   switch (d_family_[i]) {
     case DemandFamily::exponential:
-      m = d_scale_[i] * std::exp(-d_alpha_[i] * t);
+      m = d_scale_[i] * num::simd::sexp(-d_alpha_[i] * t);
       dm = -d_alpha_[i] * m;
       return;
     case DemandFamily::logit: {
-      const double e = std::exp(d_alpha_[i] * (t - d_shift_[i]));
+      const double e = num::simd::sexp(d_alpha_[i] * (t - d_shift_[i]));
       const double denom = (1.0 + e) * (1.0 + e);
       m = d_scale_[i] / (1.0 + e);
       dm = -d_scale_[i] * d_alpha_[i] * e / denom;

@@ -32,13 +32,7 @@ ValidationReport validate_utilization_model(const UtilizationModel& model,
 
   // Cap theta below capacity for saturating models (e.g. DelayUtilization is
   // only defined for theta < mu).
-  auto safe_theta = [&](double theta, double mu) {
-    const double cap = model.max_utilization() == std::numeric_limits<double>::infinity()
-                           ? theta
-                           : theta;
-    (void)cap;
-    return std::min(theta, 0.95 * mu);
-  };
+  auto safe_theta = [](double theta, double mu) { return std::min(theta, 0.95 * mu); };
 
   for (double mu : mus) {
     double prev_phi = -1.0;

@@ -71,6 +71,7 @@ Market Market::with_utilization_model(std::shared_ptr<const UtilizationModel> mo
 
 ValidationReport Market::validate(const ValidationRange& range) const {
   std::vector<ValidationReport> reports;
+  reports.reserve(1 + 2 * providers_.size());
   reports.push_back(validate_utilization_model(*utilization_, range));
   for (const auto& cp : providers_) {
     reports.push_back(validate_throughput_curve(*cp.throughput, range));

@@ -33,6 +33,9 @@ econ::Market from_parameters(double capacity, const std::vector<CpParameters>& p
   std::vector<double> alphas;
   std::vector<double> betas;
   std::vector<double> profits;
+  alphas.reserve(params.size());
+  betas.reserve(params.size());
+  profits.reserve(params.size());
   for (const auto& p : params) {
     alphas.push_back(p.alpha);
     betas.push_back(p.beta);

@@ -25,8 +25,11 @@ namespace subsidy::num {
 /// `count` log-spaced points from lo to hi inclusive; requires 0 < lo <= hi.
 [[nodiscard]] inline std::vector<double> logspace(double lo, double hi, std::size_t count) {
   if (lo <= 0.0 || hi < lo) throw std::invalid_argument("logspace: need 0 < lo <= hi");
+  // Node placement runs once at sweep setup, outside any batch plane: the
+  // same libm bits land in the grid under either exp backend.
+  // subsidy-lint: allow(no-raw-exp) — grid construction, not plane code.
   auto logs = linspace(std::log(lo), std::log(hi), count);
-  for (auto& x : logs) x = std::exp(x);
+  for (auto& x : logs) x = std::exp(x);  // subsidy-lint: allow(no-raw-exp)
   return logs;
 }
 

@@ -192,9 +192,18 @@ inline vdouble vexp(vdouble x) noexcept { return vexp_w<kLanes>(x); }
 
 #endif  // SUBSIDY_SIMD_VECTOR_BACKEND
 
+/// The blessed scalar transcendentals for kernel/plane TUs. Exactly
+/// std::exp / std::log — the same libm calls the scalar solver twins and the
+/// forced-scalar batch fallback execute — but spelled through num::simd so
+/// the no-raw-exp lint can prove every transcendental in a kernel TU routes
+/// through this header (a raw libm call added next to a plane is how the
+/// vectorized and scalar backends silently diverge).
+[[nodiscard]] inline double sexp(double x) noexcept { return std::exp(x); }
+[[nodiscard]] inline double slog(double x) noexcept { return std::log(x); }
+
 namespace detail {
 inline void exp_batch_scalar(const double* x, double* out, std::size_t n) noexcept {
-  for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(x[i]);
+  for (std::size_t i = 0; i < n; ++i) out[i] = sexp(x[i]);
 }
 #if SUBSIDY_SIMD_VECTOR_BACKEND
 void exp_batch_vector(const double* x, double* out, std::size_t n) noexcept;

@@ -68,6 +68,7 @@ bool is_positive_definite_symmetric_part(const Matrix& m, double tol) {
   // Sylvester's criterion on leading principal minors suffices for symmetric
   // matrices.
   std::vector<std::size_t> indices;
+  indices.reserve(s.rows());
   for (std::size_t k = 0; k < s.rows(); ++k) {
     indices.push_back(k);
     if (!(determinant(s.principal_submatrix(indices)) > tol)) return false;

@@ -35,6 +35,7 @@ struct Chain {
   const std::size_t length =
       chain_length == 0 ? std::max<std::size_t>(1, num_items) : chain_length;
   std::vector<Chain> chains;
+  chains.reserve(num_groups * ((num_items + length - 1) / length));
   for (std::size_t g = 0; g < num_groups; ++g) {
     for (std::size_t begin = 0; begin < num_items; begin += length) {
       chains.push_back({g, begin, std::min(begin + length, num_items)});

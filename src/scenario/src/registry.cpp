@@ -1,5 +1,6 @@
 #include "subsidy/scenario/registry.hpp"
 
+#include <iterator>
 #include <stdexcept>
 
 namespace subsidy::scenario {
@@ -174,6 +175,7 @@ const NamedText* find(const std::string& name) {
 
 std::vector<RegistryEntry> registry_entries() {
   std::vector<RegistryEntry> entries;
+  entries.reserve(std::size(kRegistry));
   for (const NamedText& entry : kRegistry) {
     const Scenario scenario = parse_scenario_text(entry.text, entry.name);
     entries.push_back({entry.name, scenario.description});

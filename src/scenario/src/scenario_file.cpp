@@ -364,6 +364,7 @@ Scenario parse_scenario(std::istream& in, const std::string& filename) {
 
   Scenario scenario{std::move(name), std::move(description),
                     build_market(filename, *market_section, provider_sections), {}};
+  scenario.experiments.reserve(experiment_sections.size());
   for (const RawSection* section : experiment_sections) {
     scenario.experiments.push_back(
         build_experiment(filename, *experiment_type_of(section->name), *section));

@@ -1,5 +1,6 @@
 #include "subsidy/scenario/spec_grammar.hpp"
 
+#include <algorithm>
 #include <cstddef>
 #include <map>
 #include <stdexcept>
@@ -95,6 +96,7 @@ double parse_number(const std::string& text, const std::string& what) {
 
 std::vector<std::string> split_list(const std::string& text, char separator) {
   std::vector<std::string> parts;
+  parts.reserve(static_cast<std::size_t>(std::count(text.begin(), text.end(), separator)) + 1);
   std::string current;
   for (char c : text) {
     if (c == separator) {
@@ -174,8 +176,10 @@ std::vector<double> parse_grid_spec(const std::string& spec) {
   if (range.size() != 1) {
     throw std::invalid_argument("grid spec '" + spec + "' is malformed; " + grid_spec_help());
   }
+  const std::vector<std::string> cells = split_list(spec, ',');
   std::vector<double> values;
-  for (const std::string& cell : split_list(spec, ',')) {
+  values.reserve(cells.size());
+  for (const std::string& cell : cells) {
     values.push_back(parse_number(cell, "grid value"));
   }
   return values;

@@ -24,8 +24,12 @@ FlowStats FlowSimulator::run(const std::vector<UserClass>& classes, num::Rng& rn
   }
 
   // Flatten users: window state per user, class index per user.
+  std::size_t total_users = 0;
+  for (const auto& c : classes) total_users += c.user_count;
   std::vector<double> window;
   std::vector<std::size_t> user_class;
+  window.reserve(total_users);
+  user_class.reserve(total_users);
   for (std::size_t ci = 0; ci < classes.size(); ++ci) {
     for (std::size_t u = 0; u < classes[ci].user_count; ++u) {
       window.push_back(classes[ci].max_rate * rng.uniform(0.1, 0.5));
@@ -112,6 +116,8 @@ std::vector<LoadSample> FlowSimulator::measure_throughput_curve(
 num::LinearFit FlowSimulator::fit_exponential(const std::vector<LoadSample>& samples) {
   std::vector<double> phi;
   std::vector<double> log_lambda;
+  phi.reserve(samples.size());
+  log_lambda.reserve(samples.size());
   for (const auto& s : samples) {
     if (s.lambda <= 0.0) continue;
     phi.push_back(s.phi);
@@ -123,6 +129,8 @@ num::LinearFit FlowSimulator::fit_exponential(const std::vector<LoadSample>& sam
 num::LinearFit FlowSimulator::fit_delay(const std::vector<LoadSample>& samples) {
   std::vector<double> phi;
   std::vector<double> inv_lambda;
+  phi.reserve(samples.size());
+  inv_lambda.reserve(samples.size());
   for (const auto& s : samples) {
     if (s.lambda <= 0.0) continue;
     phi.push_back(s.phi);

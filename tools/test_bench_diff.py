@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/bench_diff: a corrupted perf cache must never fail
+the soft gate — every malformed-baseline shape gets a one-line diagnostic
+and exit 0 — while real comparisons and the noise-band gate keep working.
+
+Run directly (python3 tools/test_bench_diff.py) or via ctest (-L lint).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+_TOOLS = os.path.dirname(os.path.abspath(__file__))
+_BENCH_DIFF = os.path.join(_TOOLS, "bench_diff")
+
+
+def bench_doc(name="BM_UtilizationSolve", times=(100.0, 101.0, 99.0)):
+    return {"benchmarks": [
+        {"name": name, "run_type": "iteration", "real_time": t, "time_unit": "ns"}
+        for t in times]}
+
+
+class BenchDiffRun(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory(prefix="bench_diff_test_")
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name, payload):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w", encoding="utf-8") as fh:
+            if isinstance(payload, str):
+                fh.write(payload)
+            else:
+                json.dump(payload, fh)
+        return p
+
+    def run_diff(self, *argv):
+        return subprocess.run([sys.executable, _BENCH_DIFF, *argv],
+                              capture_output=True, text=True)
+
+    def assert_warn_only_skip(self, baseline_payload, label):
+        baseline = self.path("baseline.json", baseline_payload)
+        current = self.path("current.json", bench_doc())
+        proc = self.run_diff(baseline, current, "--gate")
+        self.assertEqual(proc.returncode, 0,
+                         f"{label}: expected warn-only exit, got "
+                         f"{proc.returncode}\n{proc.stdout}{proc.stderr}")
+        self.assertEqual(proc.stderr, "", f"{label}: traceback leaked")
+        self.assertIn("no usable baseline", proc.stdout, label)
+        self.assertEqual(len(proc.stdout.strip().splitlines()), 1,
+                         f"{label}: diagnostic should be one line")
+
+    def test_truncated_json(self):
+        self.assert_warn_only_skip('{"benchmarks": [{"name": "BM_x", ',
+                                   "truncated file")
+
+    def test_top_level_list(self):
+        self.assert_warn_only_skip([1, 2, 3], "top-level list")
+
+    def test_benchmarks_wrong_type(self):
+        self.assert_warn_only_skip({"benchmarks": "oops"},
+                                   "benchmarks is a string")
+
+    def test_benchmark_entries_wrong_type(self):
+        self.assert_warn_only_skip({"benchmarks": [42]},
+                                   "benchmark entry is a number")
+
+    def test_real_time_wrong_type(self):
+        self.assert_warn_only_skip(
+            {"benchmarks": [{"name": "BM_x", "run_type": "iteration",
+                             "real_time": [1, 2]}]},
+            "real_time is a list")
+
+    def test_missing_file(self):
+        current = self.path("current.json", bench_doc())
+        proc = self.run_diff(os.path.join(self.dir.name, "absent.json"),
+                             current, "--gate")
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("no usable baseline", proc.stdout)
+
+    def test_malformed_current_also_warn_only(self):
+        baseline = self.path("baseline.json", bench_doc())
+        current = self.path("current.json", '{"benchmarks": ')
+        proc = self.run_diff(baseline, current, "--gate")
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("no usable current run", proc.stdout)
+
+    def test_healthy_comparison_still_works(self):
+        baseline = self.path("baseline.json", bench_doc())
+        current = self.path("current.json", bench_doc(times=(100.5, 99.5, 100.0)))
+        proc = self.run_diff(baseline, current)
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("No regressions", proc.stdout)
+
+    def test_gate_still_fires_on_regression(self):
+        baseline = self.path("baseline.json", bench_doc())
+        current = self.path("current.json", bench_doc(times=(200.0, 201.0, 199.0)))
+        proc = self.run_diff(baseline, current, "--gate")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("GATED", proc.stdout)
+
+    def test_ungated_benchmark_regression_warns_only(self):
+        baseline = self.path("baseline.json",
+                             bench_doc(name="BM_ScenarioRun"))
+        current = self.path("current.json",
+                            bench_doc(name="BM_ScenarioRun",
+                                      times=(200.0, 201.0, 199.0)))
+        proc = self.run_diff(baseline, current, "--gate")
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("SLOWER", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

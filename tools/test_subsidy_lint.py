@@ -1,0 +1,354 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/subsidy_lint: every check must fire on a seeded
+violation, respect suppressions, and stay quiet on the conforming variant.
+
+Run directly (python3 tools/test_subsidy_lint.py) or via ctest (-L lint).
+Each test builds a miniature repo in a temp dir — a fake kernel header pair,
+a TU, a compile_commands.json — seeds exactly one violation and asserts the
+check reports it at the right file and line.
+"""
+
+import importlib.machinery
+import importlib.util
+import json
+import os
+import shutil
+import tempfile
+import unittest
+
+_TOOLS = os.path.dirname(os.path.abspath(__file__))
+
+
+def _load_lint():
+    loader = importlib.machinery.SourceFileLoader(
+        "subsidy_lint", os.path.join(_TOOLS, "subsidy_lint"))
+    spec = importlib.util.spec_from_loader("subsidy_lint", loader)
+    module = importlib.util.module_from_spec(spec)
+    loader.exec_module(module)
+    return module
+
+
+lint = _load_lint()
+
+KERNEL_HEADER = "src/core/include/subsidy/core/market_kernel.hpp"
+SIMD_HEADER = "src/numerics/include/subsidy/numerics/simd.hpp"
+
+
+class TreeFixture(unittest.TestCase):
+    """A throwaway mini-repo the checks run against."""
+
+    def setUp(self):
+        self.root = tempfile.mkdtemp(prefix="subsidy_lint_test_")
+        self.addCleanup(shutil.rmtree, self.root)
+        self.write(KERNEL_HEADER, "#pragma once\n")
+        self.write(SIMD_HEADER, "#pragma once\n")
+
+    def write(self, relpath, text):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return path
+
+    def tree(self, build_dir=None):
+        return lint.Tree(self.root, build_dir=build_dir)
+
+    def findings(self, check, build_dir=None):
+        return [f for f in lint.run_checks(self.tree(build_dir), [check])]
+
+
+class NoRawExpTest(TreeFixture):
+    def test_fires_on_raw_exp_in_kernel_tu(self):
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/core/market_kernel.hpp"\n'
+                   "double f(double x) { return std::exp(-x); }\n")
+        found = self.findings("no-raw-exp")
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].path, "src/core/src/solver.cpp")
+        self.assertEqual(found[0].line, 2)
+
+    def test_fires_through_transitive_include(self):
+        self.write("src/core/include/subsidy/core/evaluator.hpp",
+                   '#pragma once\n#include "subsidy/core/market_kernel.hpp"\n')
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/core/evaluator.hpp"\n'
+                   "double f(double x) { return expf(x); }\n")
+        self.assertEqual(len(self.findings("no-raw-exp")), 1)
+
+    def test_fires_on_kernel_header_in_closure(self):
+        self.write("src/core/include/subsidy/core/helpers.hpp",
+                   '#pragma once\n#include "subsidy/core/market_kernel.hpp"\n'
+                   "inline double g(double x) { return std::log(x); }\n")
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/core/helpers.hpp"\n')
+        found = self.findings("no-raw-exp")
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].path, "src/core/include/subsidy/core/helpers.hpp")
+
+    def test_quiet_outside_kernel_closure(self):
+        self.write("src/core/src/standalone.cpp",
+                   "#include <cmath>\ndouble f(double x) { return std::exp(x); }\n")
+        self.assertEqual(self.findings("no-raw-exp"), [])
+
+    def test_quiet_on_non_kernel_module(self):
+        self.write("src/market/src/estimator.cpp",
+                   '#include "subsidy/core/market_kernel.hpp"\n'
+                   "double f(double x) { return std::log(x); }\n")
+        self.assertEqual(self.findings("no-raw-exp"), [])
+
+    def test_quiet_on_blessed_spellings_and_lookalikes(self):
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/core/market_kernel.hpp"\n'
+                   "double f(double x) { return num::simd::sexp(x); }\n"
+                   "double g(double x) { return vexp(x); }\n"
+                   "double h(double x) { return cluster_exp(x); }\n")
+        self.assertEqual(self.findings("no-raw-exp"), [])
+
+    def test_quiet_in_comments_and_strings(self):
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/core/market_kernel.hpp"\n'
+                   "// the scalar twin re-evaluates with std::exp(phi)\n"
+                   'const char* s = "std::exp(x)";\n')
+        self.assertEqual(self.findings("no-raw-exp"), [])
+
+    def test_suppression_on_line_above(self):
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/core/market_kernel.hpp"\n'
+                   "// subsidy-lint: allow(no-raw-exp) — setup path, audited\n"
+                   "double f(double x) { return std::exp(-x); }\n")
+        self.assertEqual(self.findings("no-raw-exp"), [])
+
+    def test_trailing_suppression(self):
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/core/market_kernel.hpp"\n'
+                   "double f(double x) { return std::exp(-x); }"
+                   "  // subsidy-lint: allow(no-raw-exp)\n")
+        self.assertEqual(self.findings("no-raw-exp"), [])
+
+
+class FpContractOffTest(TreeFixture):
+    def compile_commands(self, command):
+        build = os.path.join(self.root, "build")
+        os.makedirs(build, exist_ok=True)
+        entry = {"directory": self.root,
+                 "file": os.path.join(self.root, "src/core/src/solver.cpp"),
+                 "command": command}
+        with open(os.path.join(build, "compile_commands.json"), "w") as fh:
+            json.dump([entry], fh)
+        return build
+
+    def test_fires_when_flag_missing(self):
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/core/market_kernel.hpp"\n')
+        build = self.compile_commands("g++ -O2 -c solver.cpp")
+        found = self.findings("fp-contract-off", build_dir=build)
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].path, "src/core/src/solver.cpp")
+
+    def test_quiet_when_flag_present(self):
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/core/market_kernel.hpp"\n')
+        build = self.compile_commands("g++ -O2 -ffp-contract=off -c solver.cpp")
+        self.assertEqual(self.findings("fp-contract-off", build_dir=build), [])
+
+    def test_quiet_for_non_kernel_tu(self):
+        self.write("src/core/src/solver.cpp", "#include <vector>\n")
+        build = self.compile_commands("g++ -O2 -c solver.cpp")
+        self.assertEqual(self.findings("fp-contract-off", build_dir=build), [])
+
+    def test_skips_without_compile_commands(self):
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/core/market_kernel.hpp"\n')
+        self.assertEqual(self.findings("fp-contract-off", build_dir=None), [])
+
+
+class NoWallclockRngTest(TreeFixture):
+    def test_fires_on_chrono_now(self):
+        self.write("src/runtime/src/pool.cpp",
+                   "#include <chrono>\n"
+                   "long f() { return std::chrono::steady_clock::now()"
+                   ".time_since_epoch().count(); }\n")
+        found = self.findings("no-wallclock-rng")
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].line, 2)
+
+    def test_fires_on_rand_and_random_device(self):
+        self.write("src/core/src/seeded.cpp",
+                   "#include <random>\n"
+                   "int f() { return rand(); }\n"
+                   "unsigned g() { std::random_device rd; return rd(); }\n")
+        self.assertEqual(len(self.findings("no-wallclock-rng")), 2)
+
+    def test_fires_on_time_call(self):
+        self.write("src/scenario/src/runner.cpp",
+                   "#include <ctime>\nlong f() { return time(nullptr); }\n")
+        self.assertEqual(len(self.findings("no-wallclock-rng")), 1)
+
+    def test_quiet_outside_row_producing_modules(self):
+        self.write("bench/perf.cpp",
+                   "#include <chrono>\n"
+                   "long f() { return std::chrono::steady_clock::now()"
+                   ".time_since_epoch().count(); }\n")
+        self.assertEqual(self.findings("no-wallclock-rng"), [])
+
+    def test_quiet_on_lookalikes(self):
+        self.write("src/core/src/ok.cpp",
+                   "double runtime_estimate(double x) { return x; }\n"
+                   "double f(double t) { return runtime_estimate(t); }\n"
+                   "int lifetime(int x) { return x; }\n")
+        self.assertEqual(self.findings("no-wallclock-rng"), [])
+
+    def test_suppression(self):
+        self.write("src/runtime/src/pool.cpp",
+                   "#include <ctime>\n"
+                   "// subsidy-lint: allow(no-wallclock-rng) — log line only\n"
+                   "long f() { return time(nullptr); }\n")
+        self.assertEqual(self.findings("no-wallclock-rng"), [])
+
+
+class PoolCaptureAuditTest(TreeFixture):
+    def test_fires_on_mutable_ref_capture(self):
+        self.write("src/runtime/src/sweep.cpp",
+                   "void run(Pool& pool) {\n"
+                   "  std::vector<double> acc;\n"
+                   "  pool.submit([&acc]() { acc.push_back(1.0); });\n"
+                   "}\n")
+        found = self.findings("pool-capture-audit")
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].line, 3)
+        self.assertIn("&acc", found[0].message)
+
+    def test_fires_on_default_ref_capture(self):
+        self.write("src/core/src/opt.cpp",
+                   "void run(Pool& pool) {\n"
+                   "  int hits = 0;\n"
+                   "  pool.submit([&]() { ++hits; });\n"
+                   "}\n")
+        self.assertEqual(len(self.findings("pool-capture-audit")), 1)
+
+    def test_fires_on_parallel_map(self):
+        self.write("src/scenario/src/runner.cpp",
+                   "void run() {\n"
+                   "  std::size_t count = 0;\n"
+                   "  parallel_map(items, jobs, [&count](const double& x)"
+                   " { ++count; return x; });\n"
+                   "}\n")
+        self.assertEqual(len(self.findings("pool-capture-audit")), 1)
+
+    def test_quiet_on_const_capture(self):
+        self.write("src/cli/src/commands.cpp",
+                   "void run(Pool& pool) {\n"
+                   "  const Analyzer analyzer(market, response);\n"
+                   "  pool.submit([&analyzer]() { return analyzer.evaluate(0.0); });\n"
+                   "}\n")
+        self.assertEqual(self.findings("pool-capture-audit"), [])
+
+    def test_quiet_on_value_capture(self):
+        self.write("src/core/src/opt.cpp",
+                   "void run(Pool& pool) {\n"
+                   "  std::size_t c = 3;\n"
+                   "  pool.submit([c]() { use(c); });\n"
+                   "}\n")
+        self.assertEqual(self.findings("pool-capture-audit"), [])
+
+    def test_const_on_earlier_parameter_does_not_vouch(self):
+        self.write("src/core/src/opt.cpp",
+                   "void run(const Config& config, std::vector<double>& rows,"
+                   " Pool& pool) {\n"
+                   "  pool.submit([&rows]() { rows.clear(); });\n"
+                   "}\n")
+        self.assertEqual(len(self.findings("pool-capture-audit")), 1)
+
+    def test_suppression(self):
+        self.write("src/runtime/src/sweep.cpp",
+                   "void run(Pool& pool) {\n"
+                   "  std::vector<double> rows(n);\n"
+                   "  // each task writes a disjoint slice of rows\n"
+                   "  // subsidy-lint: allow(pool-capture-audit) — see above\n"
+                   "  pool.submit([&rows]() { rows[0] = 1.0; });\n"
+                   "}\n")
+        self.assertEqual(self.findings("pool-capture-audit"), [])
+
+
+class GoldenFreshnessTest(TreeFixture):
+    def seed_scenario(self, name, golden=True, csv=True, registry=None):
+        self.write(f"examples/scenarios/{name}.scn", "[scenario]\n")
+        if golden:
+            gdir = os.path.join(self.root, "examples/scenarios/goldens", name)
+            os.makedirs(gdir, exist_ok=True)
+            if csv:
+                self.write(f"examples/scenarios/goldens/{name}/out.csv", "a,b\n")
+        names = registry if registry is not None else [name]
+        entries = "\n".join(f'    {{"{n}", k{n.title().replace("_", "")}}},'
+                            for n in names)
+        self.write("src/scenario/src/registry.cpp",
+                   f"static const Entry kEntries[] = {{\n{entries}\n}};\n")
+
+    def test_clean_when_in_sync(self):
+        self.seed_scenario("section3")
+        self.assertEqual(self.findings("golden-freshness"), [])
+
+    def test_fires_on_missing_golden(self):
+        self.seed_scenario("section3", golden=False)
+        found = self.findings("golden-freshness")
+        self.assertEqual(len(found), 1)
+        self.assertIn("no committed golden", found[0].message)
+
+    def test_fires_on_empty_golden_dir(self):
+        self.seed_scenario("section3", csv=False)
+        found = self.findings("golden-freshness")
+        self.assertEqual(len(found), 1)
+        self.assertIn("no CSVs", found[0].message)
+
+    def test_fires_on_stale_golden(self):
+        self.seed_scenario("section3")
+        os.makedirs(os.path.join(self.root,
+                                 "examples/scenarios/goldens/removed"))
+        self.write("examples/scenarios/goldens/removed/out.csv", "a\n")
+        found = self.findings("golden-freshness")
+        self.assertEqual(len(found), 1)
+        self.assertIn("stale golden", found[0].message)
+
+    def test_fires_on_registry_scenario_without_file(self):
+        self.seed_scenario("section3", registry=["section3", "section9"])
+        found = self.findings("golden-freshness")
+        self.assertEqual(len(found), 1)
+        self.assertIn("section9", found[0].message)
+
+    def test_fires_on_file_missing_from_registry(self):
+        self.seed_scenario("section3", registry=[])
+        found = self.findings("golden-freshness")
+        self.assertEqual(len(found), 1)
+        self.assertIn("not in the built-in registry", found[0].message)
+
+    def test_checks_scalar_goldens_when_present(self):
+        self.seed_scenario("section3")
+        os.makedirs(os.path.join(self.root,
+                                 "examples/scenarios/goldens_scalar"))
+        found = self.findings("golden-freshness")
+        self.assertEqual(len(found), 1)
+        self.assertIn("goldens_scalar/section3", found[0].message)
+
+
+class StripperTest(unittest.TestCase):
+    def test_preserves_offsets_and_lines(self):
+        text = 'int a; // std::exp(x)\nconst char* s = "exp(";\nint b;\n'
+        stripped = lint.strip_comments_and_strings(text)
+        self.assertEqual(len(stripped), len(text))
+        self.assertEqual(stripped.count("\n"), text.count("\n"))
+        self.assertNotIn("exp", stripped)
+
+    def test_raw_strings(self):
+        text = 'auto s = R"(std::exp(x) rand() time(nullptr))";\nint c;\n'
+        stripped = lint.strip_comments_and_strings(text)
+        self.assertNotIn("exp", stripped)
+        self.assertNotIn("rand", stripped)
+        self.assertIn("int c;", stripped)
+
+    def test_keeps_include_operands(self):
+        text = '#include "subsidy/core/market_kernel.hpp"\n'
+        self.assertIn("market_kernel", lint.strip_comments_and_strings(text))
+
+
+if __name__ == "__main__":
+    unittest.main()
