@@ -74,6 +74,11 @@ int cmd_nash(const Args& args, std::ostream& out) {
       solve_equilibrium(market, price, cap, args.get_or("solver", "auto"));
   out << "converged=" << (nash.converged ? "yes" : "NO") << " iterations=" << nash.iterations
       << " residual=" << nash.residual << "\n";
+  const core::NashLaneDiagnostics& diag = nash.diagnostics;
+  out << "status=" << core::to_string(diag.status) << " rung=" << core::to_string(diag.rung)
+      << " passes plain=" << diag.plain_iterations << " damped=" << diag.damped_iterations
+      << " extragradient=" << diag.extragradient_iterations << "\n";
+  if (!diag.detail.empty()) out << "detail: " << diag.detail << "\n";
   const core::SubsidizationGame game(market, price, cap);
   const core::KktReport kkt = core::verify_kkt(game, nash.subsidies);
   out << "kkt=" << (kkt.satisfied ? "satisfied" : "VIOLATED")
@@ -220,13 +225,13 @@ int cmd_calibrate(const Args& args, std::ostream& out) {
   return 0;
 }
 
-/// `scenario run <file-or-name> [--jobs N] [--out-dir D] [--precision P]`,
-/// `scenario list`, `scenario print <name>`. Parsed by hand (not Args)
-/// because the sub-subcommand and target are positional.
+/// `scenario run <file-or-name> [--jobs N] [--out-dir D] [--precision P]
+/// [--strict]`, `scenario list`, `scenario print <name>`. Parsed by hand
+/// (not Args) because the sub-subcommand and target are positional.
 int cmd_scenario(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
   const std::string scenario_usage =
       "usage: subsidy_cli scenario run <file-or-name> [--jobs N] [--out-dir D]"
-      " [--precision P]\n"
+      " [--precision P] [--strict]\n"
       "       subsidy_cli scenario list\n"
       "       subsidy_cli scenario print <name>\n";
   if (argv.size() < 2) {
@@ -272,6 +277,10 @@ int cmd_scenario(const std::vector<std::string>& argv, std::ostream& out, std::o
   scenario::RunOptions options;
   for (std::size_t k = 3; k < argv.size(); ++k) {
     const std::string& flag = argv[k];
+    if (flag == "--strict") {
+      options.strict = true;
+      continue;
+    }
     if (flag != "--jobs" && flag != "--out-dir" && flag != "--precision") {
       throw std::invalid_argument("unknown scenario option '" + flag + "'");
     }
@@ -307,7 +316,12 @@ int cmd_scenario(const std::vector<std::string>& argv, std::ostream& out, std::o
   for (const scenario::ExperimentResult& result : report.experiments) {
     out << "  [" << scenario::to_string(result.type) << "] " << result.label << ": "
         << result.table.num_rows() << " rows";
+    if (!result.failures.empty()) out << " (" << result.failures.size() << " failed)";
     if (!result.converged) out << " (NOT all converged)";
+    if (result.rescued_damped != 0 || result.rescued_extragradient != 0) {
+      out << " (rescued: " << result.rescued_damped << " damped, "
+          << result.rescued_extragradient << " extragradient)";
+    }
     if (!result.output_path.empty()) {
       out << " -> " << result.output_path << "\n";
     } else {
@@ -315,7 +329,12 @@ int cmd_scenario(const std::vector<std::string>& argv, std::ostream& out, std::o
       io::write_csv(out, result.table, options.precision);
     }
   }
-  return report.all_converged() ? 0 : 1;
+  if (report.num_failures() != 0) {
+    err << report.num_failures() << " solver failure(s)";
+    if (!report.errors_path.empty()) err << "; details in " << report.errors_path;
+    err << "\n";
+  }
+  return report.all_converged() && report.num_failures() == 0 ? 0 : 1;
 }
 
 int cmd_validate(const Args& args, std::ostream& out) {
@@ -344,7 +363,7 @@ std::string usage() {
         "  generate-trace  --market M [--days N --noise X --seed S --out F]\n"
         "  calibrate       --trace F [--capacity MU --price P --cap Q]\n"
         "  validate        --market M\n"
-        "  scenario        run <file-or-name> [--jobs N --out-dir D --precision P]\n"
+        "  scenario        run <file-or-name> [--jobs N --out-dir D --precision P --strict]\n"
         "                  | list | print <name>   (declarative scenario files)\n\n"
         "market spec: "
      << market_spec_help() << "\n";

@@ -49,6 +49,13 @@ class ModelEvaluator {
   [[nodiscard]] std::vector<SystemState> evaluate_unsubsidized_many(
       std::span<const double> prices) const;
 
+  /// Non-throwing evaluate_unsubsidized_many: per-node solve outcomes land in
+  /// `statuses` (resized to prices.size()); failed nodes carry a
+  /// default-constructed SystemState and are meant to be skipped by the
+  /// caller. Healthy nodes are bit-identical to the throwing overload's.
+  [[nodiscard]] std::vector<SystemState> try_evaluate_unsubsidized_many(
+      std::span<const double> prices, std::vector<SolveStatus>& statuses) const;
+
   /// Assembles the reported state from an externally solved fixed point: the
   /// batched Nash engine plane-solves phi for whole node sets and reuses its
   /// cached populations, so it needs the assembly without another solve.

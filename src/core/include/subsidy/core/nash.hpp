@@ -11,12 +11,37 @@
 //    monotone F.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "subsidy/core/game.hpp"
+#include "subsidy/core/solve_status.hpp"
 #include "subsidy/core/system_state.hpp"
 
 namespace subsidy::core {
+
+/// The rungs of the solve_nash fallback ladder, in escalation order.
+enum class NashRung : unsigned char {
+  plain,          ///< Undamped Gauss-Seidel best response.
+  damped,         ///< Damped (0.5) best-response retry.
+  extragradient,  ///< Projected extragradient on VI(-u, [0,q]^N).
+};
+
+/// Stable lower-case token (CLI summaries, errors.csv, tests).
+[[nodiscard]] const char* to_string(NashRung rung) noexcept;
+
+/// Per-lane solve diagnostics: which ladder rung produced the reported
+/// result, the per-rung pass counts, and why the lane failed when it did.
+/// Populated by solve_nash / solve_nash_many and by NashBatchSolver (which
+/// only ever runs the rung its caller configured).
+struct NashLaneDiagnostics {
+  SolveStatus status = SolveStatus::ok;  ///< ok iff the result converged.
+  NashRung rung = NashRung::plain;       ///< Rung that produced the result.
+  int plain_iterations = 0;              ///< Sweeps spent on the plain rung.
+  int damped_iterations = 0;             ///< Sweeps spent on the damped retry.
+  int extragradient_iterations = 0;      ///< Extragradient iterations.
+  std::string detail;                    ///< Failure context ("" when ok).
+};
 
 /// Result of a Nash equilibrium computation.
 struct NashResult {
@@ -25,6 +50,7 @@ struct NashResult {
   int iterations = 0;
   bool converged = false;
   double residual = 0.0;          ///< max_i |update_i| at the last iteration.
+  NashLaneDiagnostics diagnostics;
 };
 
 /// Options for the best-response solver.

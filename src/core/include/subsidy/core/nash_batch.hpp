@@ -43,10 +43,16 @@ struct NashBatchNode {
 };
 
 /// Aggregate work counters of a batched solve (bench/tooling telemetry).
+/// The rung counters split `fallbacks` by which ladder rung resolved the
+/// lane, so reports can say more than "N lanes fell back" (per-lane detail
+/// lives in each NashResult's diagnostics).
 struct NashBatchStats {
   std::size_t candidates = 0;  ///< Line-search candidate evaluations (plane columns).
   std::size_t passes = 0;      ///< Lockstep plane passes.
   std::size_t fallbacks = 0;   ///< Lanes that needed the damped/extragradient ladder.
+  std::size_t rescued_damped = 0;         ///< Fallback lanes the damped rung resolved.
+  std::size_t rescued_extragradient = 0;  ///< Fallback lanes extragradient resolved.
+  std::size_t unresolved = 0;             ///< Fallback lanes no rung resolved.
 };
 
 /// Lockstep plane-evaluated Gauss-Seidel Nash solver.
@@ -68,7 +74,10 @@ class NashBatchSolver {
   /// narrow to amortize the plane machinery resolve through the scalar twin,
   /// which only moves results within that same envelope). Lanes that exhaust
   /// max_iterations are returned with converged = false; no fallback ladder
-  /// runs here (see solve_nash_many).
+  /// runs here (see solve_nash_many). A lane whose inner utilization solve
+  /// or utility evaluation collapses is retired with its failure recorded in
+  /// NashResult::diagnostics — the surviving lanes keep their exact
+  /// candidate sequences (batch composition never changes a lane's bits).
   [[nodiscard]] std::vector<NashResult> solve(std::span<const NashBatchNode> nodes,
                                               NashBatchStats* stats = nullptr) const;
 

@@ -1,0 +1,26 @@
+// The solver stack's failure taxonomy. Every layer that can fail — the
+// utilization fixed point, the Nash ladder, a scenario row — reports one of
+// these instead of (or before) throwing, so callers can degrade per node
+// instead of aborting whole planes, sweeps or scenarios.
+#pragma once
+
+namespace subsidy::core {
+
+/// Why a solve ended. `ok` is the only success value; everything else names
+/// the first guard that tripped.
+enum class SolveStatus : unsigned char {
+  ok,              ///< Converged within tolerance.
+  max_iterations,  ///< Iteration budget exhausted (incl. the Brent net).
+  bracket_failure, ///< No sign-changing bracket could be established/held.
+  non_finite,      ///< A gap/utility evaluation produced NaN or infinity.
+  injected_fault,  ///< A SUBSIDY_FAULT_INJECTION hook fired at this site.
+};
+
+/// Stable lower-case token (errors.csv cells, CLI summaries, test asserts).
+[[nodiscard]] const char* to_string(SolveStatus status) noexcept;
+
+[[nodiscard]] constexpr bool failed(SolveStatus status) noexcept {
+  return status != SolveStatus::ok;
+}
+
+}  // namespace subsidy::core

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "subsidy/core/market_kernel.hpp"
+#include "subsidy/core/solve_status.hpp"
 #include "subsidy/econ/market.hpp"
 
 namespace subsidy::core {
@@ -36,6 +37,7 @@ struct UtilizationNode {
   std::span<const double> populations;  ///< m, one entry per provider.
   double hint = -1.0;                   ///< Warm-start center (< 0 = cold).
   double phi = 0.0;                     ///< Output: the solved utilization.
+  SolveStatus status = SolveStatus::ok; ///< Output of try_solve_many (phi 0 on failure).
 };
 
 /// Solves the Lemma 1 fixed point for a fixed market. Stateless apart from
@@ -57,6 +59,12 @@ class UtilizationSolver {
   /// fails to converge.
   [[nodiscard]] double solve(std::span<const double> populations, double hint = -1.0) const;
 
+  /// Non-throwing solve(): writes the root to `phi` (0.0 on failure) and
+  /// returns why the search ended. Identical candidate sequence to solve() —
+  /// solve() is this call plus a throw on any non-ok status.
+  [[nodiscard]] SolveStatus try_solve(std::span<const double> populations, double& phi,
+                                      double hint = -1.0) const;
+
   /// Batched solve over node-major planes: the populations of the whole
   /// batch are folded into a MarketKernel::BatchBinding, and the safeguarded
   /// Newton advances every still-active node one candidate per plane pass —
@@ -68,6 +76,12 @@ class UtilizationSolver {
   /// well under 1e-12. Throws std::runtime_error when any node fails.
   void solve_many(std::span<UtilizationNode> nodes) const;
 
+  /// Non-throwing solve_many(): failed nodes are marked in nodes[k].status
+  /// (phi forced to 0.0) and skipped, while every surviving node still
+  /// follows its exact solve() candidate sequence — a poisoned node never
+  /// perturbs its neighbors' bits. Returns true when every node is ok.
+  bool try_solve_many(std::span<UtilizationNode> nodes) const;
+
   /// Plane-form convenience used by the sweep layers: `populations` is a
   /// node-major num_nodes x num_providers matrix (node k's populations at
   /// [k*n, (k+1)*n)), `hints` is empty or one warm-start center per node
@@ -75,6 +89,12 @@ class UtilizationSolver {
   /// (num_nodes = phis.size()). Same batched engine as the node overload.
   void solve_many(std::span<const double> populations, std::span<const double> hints,
                   std::span<double> phis) const;
+
+  /// Plane-form try_solve_many: per-node outcomes land in `statuses`
+  /// (statuses.size() == phis.size()); failed nodes get phi 0.0. Returns
+  /// true when every node is ok.
+  bool try_solve_many(std::span<const double> populations, std::span<const double> hints,
+                      std::span<double> phis, std::span<SolveStatus> statuses) const;
 
   /// Aggregate demand sum_k m_k lambda_k(phi).
   [[nodiscard]] double aggregate_demand(double phi, std::span<const double> populations) const;

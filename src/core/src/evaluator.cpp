@@ -114,6 +114,20 @@ SystemState ModelEvaluator::evaluate_unsubsidized(double price, double phi_hint)
 
 std::vector<SystemState> ModelEvaluator::evaluate_unsubsidized_many(
     std::span<const double> prices) const {
+  std::vector<SolveStatus> statuses;
+  std::vector<SystemState> states = try_evaluate_unsubsidized_many(prices, statuses);
+  for (const SolveStatus status : statuses) {
+    if (failed(status)) {
+      throw std::runtime_error(
+          "ModelEvaluator::evaluate_unsubsidized_many: a grid node failed to solve "
+          "(status " + std::string(to_string(status)) + ")");
+    }
+  }
+  return states;
+}
+
+std::vector<SystemState> ModelEvaluator::try_evaluate_unsubsidized_many(
+    std::span<const double> prices, std::vector<SolveStatus>& statuses) const {
   const std::size_t n = market_.num_providers();
   const std::vector<double> zeros(n, 0.0);
 
@@ -126,11 +140,16 @@ std::vector<SystemState> ModelEvaluator::evaluate_unsubsidized_many(
     kernel().populations(prices[k], zeros, row);
   }
   std::vector<double> phis(prices.size());
-  solver_.solve_many(m, {}, phis);
+  statuses.assign(prices.size(), SolveStatus::ok);
+  (void)solver_.try_solve_many(m, {}, phis, statuses);
 
   std::vector<SystemState> states;
   states.reserve(prices.size());
   for (std::size_t k = 0; k < prices.size(); ++k) {
+    if (failed(statuses[k])) {
+      states.emplace_back();
+      continue;
+    }
     states.push_back(assemble(prices[k], zeros,
                               std::span<const double>(m.data() + k * n, n), phis[k]));
   }

@@ -24,6 +24,15 @@ std::vector<double> initial_profile(const SubsidizationGame& game, std::vector<d
 
 }  // namespace
 
+const char* to_string(NashRung rung) noexcept {
+  switch (rung) {
+    case NashRung::plain: return "plain";
+    case NashRung::damped: return "damped";
+    case NashRung::extragradient: return "extragradient";
+  }
+  return "unknown";
+}
+
 BestResponseSolver::BestResponseSolver(BestResponseOptions options) : options_(options) {
   if (options_.damping <= 0.0 || options_.damping > 1.0) {
     throw std::invalid_argument("BestResponseSolver: damping must be in (0, 1]");
@@ -74,6 +83,9 @@ NashResult BestResponseSolver::solve(const SubsidizationGame& game,
   }
   result.subsidies = s;
   result.state = game.state(s);
+  result.diagnostics.status =
+      result.converged ? SolveStatus::ok : SolveStatus::max_iterations;
+  result.diagnostics.plain_iterations = result.iterations;
   return result;
 }
 
@@ -139,6 +151,10 @@ NashResult ExtragradientSolver::solve(const SubsidizationGame& game,
   result.converged = result.converged || residual <= options_.tolerance;
   result.subsidies = s;
   result.state = game.state(s);
+  result.diagnostics.status =
+      result.converged ? SolveStatus::ok : SolveStatus::max_iterations;
+  result.diagnostics.rung = NashRung::extragradient;
+  result.diagnostics.extragradient_iterations = result.iterations;
   return result;
 }
 
@@ -155,22 +171,56 @@ NashResult degenerate_nash_result(std::size_t num_players, SystemState state) {
 NashResult solve_nash(const SubsidizationGame& game, std::vector<double> initial,
                       const BestResponseOptions& br_options,
                       const ExtragradientOptions& eg_options, double phi_hint) {
+  // Every rung is failure-aware: a rung whose inner solves collapse (a
+  // thrown utilization failure on the scalar reference path, or a
+  // status-carrying lane failure from the plane engine) yields a
+  // non-converged result with diagnostics instead of aborting the ladder,
+  // and the next rung still gets its retry.
+  const auto attempt_rung = [&game](const auto& solver, std::vector<double> seed,
+                                    double hint) {
+    try {
+      return solver.solve(game, seed, hint);
+    } catch (const std::runtime_error& e) {
+      NashResult failed;
+      failed.subsidies = std::move(seed);
+      failed.diagnostics.status = SolveStatus::bracket_failure;
+      failed.diagnostics.detail = e.what();
+      return failed;
+    }
+  };
+  // A failed rung may carry no solved state; only a real state's utilization
+  // is a usable warm-start hint for the next rung.
+  const auto phi_of = [](const NashResult& attempt) {
+    return attempt.state.providers.empty() ? -1.0 : attempt.state.utilization;
+  };
+
   const BestResponseSolver br(br_options);
-  NashResult result = br.solve(game, initial, phi_hint);
+  NashResult result = attempt_rung(br, std::move(initial), phi_hint);
+  result.diagnostics.rung = NashRung::plain;
   if (result.converged) return result;
 
   // Retry with damping before switching algorithms: undamped best-response
   // iterations can 2-cycle on strongly coupled players. The failed attempt's
   // own solved utilization seeds the retries, so a plane-seeded hint is
   // never discarded with the attempt.
-  BestResponseOptions damped = br_options;
-  damped.damping = 0.5;
-  const double phi_retry = result.state.utilization;
-  result = BestResponseSolver(damped).solve(game, result.subsidies, phi_retry);
-  if (result.converged) return result;
+  BestResponseOptions damped_options = br_options;
+  damped_options.damping = 0.5;
+  const int plain_iterations = result.diagnostics.plain_iterations;
+  NashResult retry =
+      attempt_rung(BestResponseSolver(damped_options), result.subsidies, phi_of(result));
+  retry.diagnostics.rung = NashRung::damped;
+  retry.diagnostics.plain_iterations = plain_iterations;
+  retry.diagnostics.damped_iterations = retry.iterations;
+  if (retry.converged) return retry;
 
-  return ExtragradientSolver(eg_options).solve(game, result.subsidies,
-                                               result.state.utilization);
+  const int damped_iterations = retry.diagnostics.damped_iterations;
+  NashResult final_result = attempt_rung(ExtragradientSolver(eg_options),
+                                         std::move(retry.subsidies), phi_of(retry));
+  final_result.diagnostics.rung = NashRung::extragradient;
+  final_result.diagnostics.plain_iterations = plain_iterations;
+  final_result.diagnostics.damped_iterations = damped_iterations;
+  final_result.diagnostics.extragradient_iterations = final_result.iterations;
+  return final_result;
 }
 
 }  // namespace subsidy::core

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "subsidy/core/game.hpp"
 #include "subsidy/core/market_kernel.hpp"
+#include "subsidy/numerics/fault_injection.hpp"
 #include "subsidy/numerics/tolerances.hpp"
 
 namespace subsidy::core {
@@ -79,6 +81,7 @@ struct Lane {
 
   bool converged = false;
   bool finished = false;
+  bool fault_stall = false;  ///< Injected: convergence suppressed until exhaustion.
   NashResult out;
 };
 
@@ -110,6 +113,7 @@ class Engine {
     std::vector<double> dg;
     std::vector<double> u;
     std::vector<double> util;
+    std::vector<SolveStatus> statuses;
     BatchBinding batch;
     PopulationBinding scalar_binding;
 
@@ -189,16 +193,24 @@ class Engine {
       //     bit-identical under the forced-scalar backend. ---
       g.resize(ncols);
       dg.resize(ncols);
+      statuses.resize(ncols);
       if (use_planes_ && ncols >= kMinPlaneWidth) {
-        evaluator_.solver().solve_many(pops, hints, phis);
+        (void)evaluator_.solver().try_solve_many(pops, hints, phis, statuses);
         kernel_.batch_reserve(ncols, batch);
         for (std::size_t c = 0; c < ncols; ++c) {
           kernel_.batch_bind_column(c, row(pops, c), batch);
         }
+        // Failed columns carry phi = 0 (a valid gap-domain point) through the
+        // fused pass; their g/dg are never consumed — the owning lane retires
+        // before it reads them.
         kernel_.batch_gap_with_derivative(batch, phis, g, dg);
       } else {
         for (std::size_t c = 0; c < ncols; ++c) {
-          phis[c] = evaluator_.solver().solve(row(pops, c), hints[c]);
+          statuses[c] = evaluator_.solver().try_solve(row(pops, c), phis[c], hints[c]);
+          if (failed(statuses[c])) {
+            dg[c] = std::numeric_limits<double>::quiet_NaN();
+            continue;
+          }
           kernel_.bind(row(pops, c), scalar_binding);
           dg[c] = kernel_.gap_with_derivative_bound(phis[c], scalar_binding).dg;
         }
@@ -210,10 +222,19 @@ class Engine {
       for (std::size_t c = 0; c < ncols; ++c) {
         const Lane& lane = lanes[col_lane[c]];
         if (lane.stage == Stage::final_state) continue;
+        if (failed(statuses[c])) continue;  // the owning lane retires below
         const SubsidizationGame::LineSearchEval eval = SubsidizationGame::line_search_eval(
             evaluator_, lane.price, lane.player, xs[c], row(pops, c), phis[c], dg[c]);
         u[c] = eval.u;
         util[c] = eval.utility;
+        // Fault site "nash.lane_nan": poison this candidate's marginal
+        // utility; the non-finite guard below turns it into a lane failure.
+        if (SUBSIDY_FAULT_FIRE(nash_lane_nan)) {
+          u[c] = std::numeric_limits<double>::quiet_NaN();
+        }
+        if (!std::isfinite(u[c]) || !std::isfinite(util[c])) {
+          statuses[c] = SolveStatus::non_finite;
+        }
       }
 
       // --- Advance every lane's state machine on its column slice. ---
@@ -222,6 +243,17 @@ class Engine {
         if (lane.finished || lane.col_count == 0) continue;
         const std::size_t c0 = lane.col_begin;
         const std::size_t cn = lane.col_count;
+        SolveStatus bad = SolveStatus::ok;
+        for (std::size_t c = c0; c < c0 + cn; ++c) {
+          if (failed(statuses[c])) {
+            bad = statuses[c];
+            break;
+          }
+        }
+        if (failed(bad)) {
+          fail_lane(lane, bad);
+          continue;
+        }
         if (lane.stage != Stage::final_state) lane.phi_carry = phis[c0 + cn - 1];
         consume(lane, std::span<const double>(xs.data() + c0, cn),
                 std::span<const double>(u.data() + c0, cn),
@@ -265,6 +297,10 @@ class Engine {
     kernel_.populations(lane.price, lane.s, lane.m);
     lane.prev_br.assign(n_, std::numeric_limits<double>::quiet_NaN());
     lane.phi_carry = node.phi_hint;
+    // Fault site "nash.lane_stall": the armed lane never reports convergence,
+    // exhausts max_iterations and retires as injected_fault. One ordinal per
+    // lane init, so a ladder retry of the same lane consumes the next one.
+    if (SUBSIDY_FAULT_FIRE(nash_lane_stall)) lane.fault_stall = true;
     if (options_.max_iterations <= 0) {
       lane.stage = Stage::final_state;  // no sweeps: report the seed profile
       return;
@@ -284,7 +320,9 @@ class Engine {
       if (lane.player == n_) {
         lane.iterations += 1;
         lane.prev_change = lane.max_change;
-        if (lane.max_change <= options_.tolerance) lane.converged = true;
+        if (lane.max_change <= options_.tolerance && !lane.fault_stall) {
+          lane.converged = true;
+        }
         if (lane.converged || lane.iterations >= options_.max_iterations) {
           lane.stage = Stage::final_state;
           return;
@@ -312,6 +350,23 @@ class Engine {
       }
       return;
     }
+  }
+
+  /// Retires a lane whose inner utilization solve or utility evaluation
+  /// collapsed: the profile-so-far and sweep count are reported with the
+  /// failure status (no solved state), and the lane stops contributing
+  /// columns — the surviving lanes' candidate sequences are untouched.
+  void fail_lane(Lane& lane, SolveStatus status) const {
+    lane.out.subsidies = lane.s;
+    lane.out.iterations = lane.iterations;
+    lane.out.converged = false;
+    lane.out.residual = lane.max_change;
+    lane.out.diagnostics.status = status;
+    lane.out.diagnostics.plain_iterations = lane.iterations;
+    lane.out.diagnostics.detail =
+        std::string("nash lane: inner evaluation failed (") + to_string(status) + ")";
+    lane.finished = true;
+    lane.stage = Stage::retired;
   }
 
   /// The damped Gauss-Seidel update; later players of the same sweep see it.
@@ -525,6 +580,14 @@ class Engine {
         lane.out.converged = lane.converged;
         lane.out.residual = lane.max_change;
         lane.out.state = evaluator_.assemble_state(lane.price, lane.s, lane.m, phis[0]);
+        lane.out.diagnostics.status =
+            lane.converged ? SolveStatus::ok
+                           : (lane.fault_stall ? SolveStatus::injected_fault
+                                               : SolveStatus::max_iterations);
+        lane.out.diagnostics.plain_iterations = lane.iterations;
+        if (lane.fault_stall) {
+          lane.out.diagnostics.detail = "injected fault: nash.lane_stall";
+        }
         lane.finished = true;
         lane.stage = Stage::retired;
         break;
@@ -577,13 +640,22 @@ std::vector<NashResult> solve_nash_many(const ModelEvaluator& evaluator,
   // solve_nash's fallback ladder, per lane: a damped lockstep retry over
   // whatever failed to converge (undamped best responses can 2-cycle on
   // strongly coupled players), extragradient for the rest. The failed lane's
-  // own solved state seeds both retries.
+  // own solved state seeds both retries. The ladder is failure-aware: a
+  // collapsed rung (a status-carrying lane failure, or a thrown utilization
+  // failure inside extragradient) still hands the next rung its retry, and
+  // per-rung sweep counts accumulate in each lane's diagnostics.
   std::vector<std::size_t> failed;
   for (std::size_t k = 0; k < results.size(); ++k) {
     if (!results[k].converged) failed.push_back(k);
   }
   if (failed.empty()) return results;
   if (stats != nullptr) stats->fallbacks += failed.size();
+
+  // A failed lane may carry no solved state; only a real state's utilization
+  // is a usable warm-start hint for the next rung.
+  const auto phi_of = [](const NashResult& attempt) {
+    return attempt.state.providers.empty() ? -1.0 : attempt.state.utilization;
+  };
 
   BestResponseOptions damped_options = br_options;
   damped_options.damping = 0.5;
@@ -592,18 +664,44 @@ std::vector<NashResult> solve_nash_many(const ModelEvaluator& evaluator,
   for (std::size_t j = 0; j < failed.size(); ++j) {
     const NashBatchNode& node = nodes[failed[j]];
     const NashResult& attempt = results[failed[j]];
-    retry[j] = {node.price, node.policy_cap, attempt.subsidies, attempt.state.utilization};
+    retry[j] = {node.price, node.policy_cap, attempt.subsidies, phi_of(attempt)};
   }
   std::vector<NashResult> retried = damped.solve(retry, stats);
 
   for (std::size_t j = 0; j < failed.size(); ++j) {
-    if (!retried[j].converged) {
+    const int plain_iterations = results[failed[j]].diagnostics.plain_iterations;
+    NashResult& attempt = retried[j];
+    attempt.diagnostics.rung = NashRung::damped;
+    attempt.diagnostics.plain_iterations = plain_iterations;
+    attempt.diagnostics.damped_iterations = attempt.iterations;
+    if (!attempt.converged) {
+      const int damped_iterations = attempt.diagnostics.damped_iterations;
       const SubsidizationGame game(evaluator.market(), retry[j].price, retry[j].policy_cap,
                                    evaluator.solver().options());
-      retried[j] = ExtragradientSolver(eg_options)
-                       .solve(game, retried[j].subsidies, retried[j].state.utilization);
+      NashResult eg;
+      try {
+        eg = ExtragradientSolver(eg_options).solve(game, attempt.subsidies, phi_of(attempt));
+      } catch (const std::runtime_error& e) {
+        eg.subsidies = attempt.subsidies;
+        eg.diagnostics.status = SolveStatus::bracket_failure;
+        eg.diagnostics.detail = e.what();
+      }
+      eg.diagnostics.rung = NashRung::extragradient;
+      eg.diagnostics.plain_iterations = plain_iterations;
+      eg.diagnostics.damped_iterations = damped_iterations;
+      eg.diagnostics.extragradient_iterations = eg.iterations;
+      attempt = std::move(eg);
     }
-    results[failed[j]] = std::move(retried[j]);
+    if (stats != nullptr) {
+      if (!attempt.converged) {
+        stats->unresolved += 1;
+      } else if (attempt.diagnostics.rung == NashRung::damped) {
+        stats->rescued_damped += 1;
+      } else {
+        stats->rescued_extragradient += 1;
+      }
+    }
+    results[failed[j]] = std::move(attempt);
   }
   return results;
 }

@@ -1,0 +1,16 @@
+#include "subsidy/core/solve_status.hpp"
+
+namespace subsidy::core {
+
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::ok: return "ok";
+    case SolveStatus::max_iterations: return "max_iterations";
+    case SolveStatus::bracket_failure: return "bracket_failure";
+    case SolveStatus::non_finite: return "non_finite";
+    case SolveStatus::injected_fault: return "injected_fault";
+  }
+  return "unknown";
+}
+
+}  // namespace subsidy::core

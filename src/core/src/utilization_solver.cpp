@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "subsidy/numerics/fault_injection.hpp"
 #include "subsidy/numerics/roots.hpp"
 
 namespace subsidy::core {
@@ -27,6 +29,7 @@ struct NodeWork {
   double phi = 0.0;  ///< Result when stage == done.
   int expansions = 0;
   Stage stage = Stage::expanding;
+  SolveStatus status = SolveStatus::ok;  ///< Why, when stage == failed.
   bool from_hint = false;  ///< Bracket came from the warm-start window.
 };
 
@@ -96,8 +99,14 @@ void init_node(const MarketKernel& kernel, const UtilizationSolveOptions& option
 bool expand_step(const MarketKernel& kernel, NodeWork& work) {
   work.hi = work.lo + work.width;
   work.g_hi = kernel.gap_bound(work.hi, work.binding);
+  // Fault site "utilization.gap_nan": poison this cold-bracketing probe so
+  // the non-finite guard right below trips (counter ticks per probe).
+  if (SUBSIDY_FAULT_FIRE(utilization_gap_nan)) {
+    work.g_hi = std::numeric_limits<double>::quiet_NaN();
+  }
   if (!std::isfinite(work.g_hi)) {
     work.stage = NodeWork::Stage::failed;
+    work.status = SolveStatus::non_finite;
     return false;
   }
   if (work.g_hi == 0.0) {
@@ -112,6 +121,7 @@ bool expand_step(const MarketKernel& kernel, NodeWork& work) {
   work.width *= kBracketGrowth;
   if (++work.expansions >= kMaxExpansions) {
     work.stage = NodeWork::Stage::failed;
+    work.status = SolveStatus::bracket_failure;
     return false;
   }
   return true;
@@ -157,23 +167,33 @@ double newton_polish(const MarketKernel& kernel, const UtilizationSolveOptions& 
     if (dx <= options.tolerance || (hi - lo) <= options.tolerance) return x;
   }
 
-  // Robustness net: Brent on the (much narrowed) maintained bracket.
+  // Robustness net: Brent on the (much narrowed) maintained bracket. A
+  // bracket that lost its sign change raises std::invalid_argument from
+  // brent_root — report it as the bracket failure it is instead of leaking
+  // the wrong exception type through try_solve.
   num::RootOptions root_options;
   root_options.x_tol = options.tolerance;
   root_options.max_iterations = options.max_iterations;
   auto g = [&](double phi) { return kernel.gap_bound(phi, work.binding); };
-  const num::RootResult result = num::brent_root(g, lo, hi, root_options);
-  if (!result.converged) {
+  try {
+    const num::RootResult result = num::brent_root(g, lo, hi, root_options);
+    if (!result.converged) {
+      work.stage = NodeWork::Stage::failed;
+      work.status = SolveStatus::max_iterations;
+      return 0.0;
+    }
+    return result.root;
+  } catch (const std::invalid_argument&) {
     work.stage = NodeWork::Stage::failed;
+    work.status = SolveStatus::bracket_failure;
     return 0.0;
   }
-  return result.root;
 }
 
-[[noreturn]] void throw_solve_failure(double capacity) {
+[[noreturn]] void throw_solve_failure(double capacity, SolveStatus status) {
   throw std::runtime_error(
       "UtilizationSolver: failed to bracket/solve the utilization fixed point (capacity " +
-      std::to_string(capacity) + ")");
+      std::to_string(capacity) + ", status " + to_string(status) + ")");
 }
 
 // --- Node-major plane engine ---------------------------------------------
@@ -248,7 +268,8 @@ struct PlaneWorkspace {
   std::vector<std::size_t> hinted;
   std::vector<std::size_t> cold;
   std::vector<BracketedNode> brackets;
-  std::vector<double> phis;  ///< Scratch for the UtilizationNode overload.
+  std::vector<double> phis;          ///< Scratch for the UtilizationNode overload.
+  std::vector<SolveStatus> statuses; ///< Scratch for the throwing overloads.
 };
 
 PlaneWorkspace& plane_workspace() {
@@ -258,11 +279,14 @@ PlaneWorkspace& plane_workspace() {
 
 /// Solves all `num_nodes` fixed points; `pops_of(k)` yields node k's
 /// populations, `hint_of(k)` its warm-start center (< 0 = cold). Writes
-/// results to out_phi[k]; returns false when any node failed.
+/// results to out_phi[k] and per-node outcomes to out_status[k] (failed
+/// nodes keep phi 0.0 and drop out of subsequent planes, so the survivors'
+/// candidate sequences are exactly those of an unfaulted batch). Returns
+/// false when any node failed.
 template <typename PopsOf, typename HintOf>
 bool solve_plane(const MarketKernel& kernel, const UtilizationSolveOptions& options,
                  std::size_t num_nodes, PopsOf&& pops_of, HintOf&& hint_of,
-                 double* out_phi) {
+                 double* out_phi, SolveStatus* out_status) {
   bool any_failed = false;
   if (num_nodes == 0) return true;
 
@@ -284,7 +308,15 @@ bool solve_plane(const MarketKernel& kernel, const UtilizationSolveOptions& opti
   for (std::size_t k = 0; k < num_nodes; ++k) {
     demand0[k] = kernel.batch_bind_column(k, pops_of(k), batch);
     s.node[k] = k;
-    if (demand0[k] <= 0.0) {
+    out_status[k] = SolveStatus::ok;
+    // Fault site "utilization.newton_stall": this node fails as if its
+    // search stalled; the counter ticks once per node, matching try_solve's
+    // per-call tick, and the node simply never enters a later phase.
+    if (SUBSIDY_FAULT_FIRE(utilization_newton_stall)) {
+      out_phi[k] = 0.0;
+      out_status[k] = SolveStatus::injected_fault;
+      any_failed = true;
+    } else if (demand0[k] <= 0.0) {
       out_phi[k] = 0.0;  // no demand at all => phi = 0 exactly (g(0) = 0)
     } else if (hint_of(k) >= 0.0) {
       hinted.push_back(k);
@@ -367,8 +399,15 @@ bool solve_plane(const MarketKernel& kernel, const UtilizationSolveOptions& opti
                        std::span<double>(s.g.data(), active));
       std::size_t keep = 0;
       for (std::size_t j = 0; j < active; ++j) {
-        const double g_hi = s.g[j];
+        double g_hi = s.g[j];
+        // Fault site "utilization.gap_nan": same poisoning as expand_step's,
+        // one counter tick per cold-bracket probe (plane order: pass-major).
+        if (SUBSIDY_FAULT_FIRE(utilization_gap_nan)) {
+          g_hi = std::numeric_limits<double>::quiet_NaN();
+        }
         if (!std::isfinite(g_hi)) {
+          out_phi[s.node[j]] = 0.0;
+          out_status[s.node[j]] = SolveStatus::non_finite;
           any_failed = true;
           continue;
         }
@@ -383,6 +422,8 @@ bool solve_plane(const MarketKernel& kernel, const UtilizationSolveOptions& opti
         const double width = s.width[j] * kBracketGrowth;
         const int expansions = s.expansions[j] + 1;
         if (expansions >= kMaxExpansions) {
+          out_phi[s.node[j]] = 0.0;
+          out_status[s.node[j]] = SolveStatus::bracket_failure;
           any_failed = true;
           continue;
         }
@@ -502,10 +543,15 @@ bool solve_plane(const MarketKernel& kernel, const UtilizationSolveOptions& opti
           if (result.converged) {
             out_phi[s.node[j]] = result.root;
           } else {
+            out_phi[s.node[j]] = 0.0;
+            out_status[s.node[j]] = SolveStatus::max_iterations;
             any_failed = true;
           }
         } catch (const std::invalid_argument&) {
-          any_failed = true;  // bracket lost its sign change under std::exp
+          // bracket lost its sign change under std::exp
+          out_phi[s.node[j]] = 0.0;
+          out_status[s.node[j]] = SolveStatus::bracket_failure;
+          any_failed = true;
         }
       }
     }
@@ -536,7 +582,12 @@ double UtilizationSolver::gap_derivative(double phi, std::span<const double> pop
   return kernel_.gap_derivative(phi, populations);
 }
 
-double UtilizationSolver::solve(std::span<const double> populations, double hint) const {
+SolveStatus UtilizationSolver::try_solve(std::span<const double> populations, double& phi,
+                                         double hint) const {
+  phi = 0.0;
+  // Fault site "utilization.newton_stall": same per-solve tick as the plane
+  // engine's per-node init hook.
+  if (SUBSIDY_FAULT_FIRE(utilization_newton_stall)) return SolveStatus::injected_fault;
   NodeWork work;
   init_node(kernel_, options_, populations, hint, work);
   while (work.stage == NodeWork::Stage::expanding) {
@@ -545,23 +596,45 @@ double UtilizationSolver::solve(std::span<const double> populations, double hint
   if (work.stage == NodeWork::Stage::bracketed) {
     work.phi = newton_polish(kernel_, options_, work);
   }
-  if (work.stage == NodeWork::Stage::failed) throw_solve_failure(kernel_.capacity());
-  return work.phi;
+  if (work.stage == NodeWork::Stage::failed) return work.status;
+  phi = work.phi;
+  return SolveStatus::ok;
+}
+
+double UtilizationSolver::solve(std::span<const double> populations, double hint) const {
+  double phi = 0.0;
+  const SolveStatus status = try_solve(populations, phi, hint);
+  if (failed(status)) throw_solve_failure(kernel_.capacity(), status);
+  return phi;
+}
+
+bool UtilizationSolver::try_solve_many(std::span<UtilizationNode> nodes) const {
+  PlaneWorkspace& ws = plane_workspace();
+  std::vector<double>& phis = ws.phis;
+  std::vector<SolveStatus>& statuses = ws.statuses;
+  phis.assign(nodes.size(), 0.0);
+  statuses.assign(nodes.size(), SolveStatus::ok);
+  const bool ok = solve_plane(
+      kernel_, options_, nodes.size(), [&](std::size_t k) { return nodes[k].populations; },
+      [&](std::size_t k) { return nodes[k].hint; }, phis.data(), statuses.data());
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    nodes[k].phi = phis[k];
+    nodes[k].status = statuses[k];
+  }
+  return ok;
 }
 
 void UtilizationSolver::solve_many(std::span<UtilizationNode> nodes) const {
-  std::vector<double>& phis = plane_workspace().phis;
-  phis.assign(nodes.size(), 0.0);
-  const bool ok = solve_plane(
-      kernel_, options_, nodes.size(), [&](std::size_t k) { return nodes[k].populations; },
-      [&](std::size_t k) { return nodes[k].hint; }, phis.data());
-  for (std::size_t k = 0; k < nodes.size(); ++k) nodes[k].phi = phis[k];
-  if (!ok) throw_solve_failure(kernel_.capacity());
+  if (!try_solve_many(nodes)) {
+    for (const UtilizationNode& node : nodes) {
+      if (failed(node.status)) throw_solve_failure(kernel_.capacity(), node.status);
+    }
+  }
 }
 
-void UtilizationSolver::solve_many(std::span<const double> populations,
-                                   std::span<const double> hints,
-                                   std::span<double> phis) const {
+bool UtilizationSolver::try_solve_many(std::span<const double> populations,
+                                       std::span<const double> hints, std::span<double> phis,
+                                       std::span<SolveStatus> statuses) const {
   const std::size_t num_nodes = phis.size();
   const std::size_t n = kernel_.num_providers();
   if (populations.size() != num_nodes * n) {
@@ -572,13 +645,29 @@ void UtilizationSolver::solve_many(std::span<const double> populations,
     throw std::invalid_argument(
         "UtilizationSolver::solve_many: hints must be empty or one per node");
   }
-  const bool ok = solve_plane(
+  if (statuses.size() != num_nodes) {
+    throw std::invalid_argument(
+        "UtilizationSolver::try_solve_many: need one status slot per node");
+  }
+  return solve_plane(
       kernel_, options_, num_nodes,
       [&](std::size_t k) {
         return std::span<const double>(populations.data() + k * n, n);
       },
-      [&](std::size_t k) { return hints.empty() ? -1.0 : hints[k]; }, phis.data());
-  if (!ok) throw_solve_failure(kernel_.capacity());
+      [&](std::size_t k) { return hints.empty() ? -1.0 : hints[k]; }, phis.data(),
+      statuses.data());
+}
+
+void UtilizationSolver::solve_many(std::span<const double> populations,
+                                   std::span<const double> hints,
+                                   std::span<double> phis) const {
+  std::vector<SolveStatus>& statuses = plane_workspace().statuses;
+  statuses.assign(phis.size(), SolveStatus::ok);
+  if (!try_solve_many(populations, hints, phis, statuses)) {
+    for (const SolveStatus status : statuses) {
+      if (failed(status)) throw_solve_failure(kernel_.capacity(), status);
+    }
+  }
 }
 
 }  // namespace subsidy::core

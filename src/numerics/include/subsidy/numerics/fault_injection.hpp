@@ -1,0 +1,73 @@
+// Deterministic, counter-based fault injection for the solver stack.
+//
+// Hooks are compiled in only under the SUBSIDY_FAULT_INJECTION CMake option;
+// without it SUBSIDY_FAULT_FIRE(site) expands to a constant false and no
+// injection symbol appears in the TU (tools/subsidy_lint's fault-hooks-gated
+// check enforces that instrumented code only ever uses the macro). With the
+// option on but no plan armed, every hook is a relaxed atomic increment and
+// a check against an empty set — the candidate sequences of every solver are
+// unchanged, so goldens stay byte-identical (the fault CI job proves it).
+//
+// Determinism: there is no wallclock and no RNG anywhere in this layer. Each
+// site carries a monotone hit counter incremented at deterministic program
+// points (node inits, expansion probes, lane inits, task submissions), and a
+// plan arms specific 1-based hit ordinals:
+//
+//   SUBSIDY_FAULTS="utilization.newton_stall@17,nash.lane_nan@3"
+//
+// fires the 17th utilization solve and poisons the 3rd Nash lane-candidate
+// utility. The plan comes from the SUBSIDY_FAULTS environment variable
+// (read once, lazily) or programmatically via arm(); arm()/reset() must not
+// race in-flight solves — tests arm before spawning work.
+#pragma once
+
+#if defined(SUBSIDY_FAULT_INJECTION)
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace subsidy::num::fault {
+
+/// Every injection point in the stack. Plan names use dotted lower-case
+/// tokens (site_name); the counters tick per site as documented per hook.
+enum class Site : unsigned char {
+  utilization_newton_stall,  ///< "utilization.newton_stall": one solve fails as stalled.
+  utilization_gap_nan,       ///< "utilization.gap_nan": one cold-bracket gap probe -> NaN.
+  nash_lane_stall,           ///< "nash.lane_stall": one lane never reports convergence.
+  nash_lane_nan,             ///< "nash.lane_nan": one lane line-search utility -> NaN.
+  pool_task,                 ///< "pool.task": one submitted pool task throws.
+};
+inline constexpr std::size_t kNumSites = 5;
+
+/// The dotted plan token for a site.
+[[nodiscard]] const char* site_name(Site site) noexcept;
+
+/// Parses and arms a plan ("site@ordinal[,site@ordinal...]", 1-based
+/// ordinals; empty or whitespace = disarm) and zeroes all hit counters.
+/// Throws std::invalid_argument on unknown sites or malformed entries.
+void arm(std::string_view plan);
+
+/// Disarms everything and zeroes all hit counters.
+void reset();
+
+/// Hits recorded at `site` since the last arm()/reset().
+[[nodiscard]] std::uint64_t hits(Site site) noexcept;
+
+/// Records one hit at `site`; true when the armed plan targets this ordinal.
+/// Instrumented code must reach this through SUBSIDY_FAULT_FIRE only.
+[[nodiscard]] bool fire(Site site) noexcept;
+
+/// Normalized description of the armed plan ("" when idle).
+[[nodiscard]] std::string active_plan();
+
+}  // namespace subsidy::num::fault
+
+#define SUBSIDY_FAULT_FIRE(site) \
+  (::subsidy::num::fault::fire(::subsidy::num::fault::Site::site))
+
+#else  // !SUBSIDY_FAULT_INJECTION: hooks vanish — the macro is a constant.
+
+#define SUBSIDY_FAULT_FIRE(site) (false)
+
+#endif

@@ -1,0 +1,148 @@
+#include "subsidy/numerics/fault_injection.hpp"
+
+#if defined(SUBSIDY_FAULT_INJECTION)
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace subsidy::num::fault {
+
+namespace {
+
+constexpr std::array<const char*, kNumSites> kSiteNames = {
+    "utilization.newton_stall", "utilization.gap_nan", "nash.lane_stall",
+    "nash.lane_nan", "pool.task"};
+
+struct State {
+  std::array<std::atomic<std::uint64_t>, kNumSites> counters{};
+  std::array<std::vector<std::uint64_t>, kNumSites> armed{};  ///< Sorted ordinals.
+  bool any_armed = false;
+};
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Parses "site@ordinal[,...]" into per-site sorted ordinal sets. Pure; the
+/// caller installs the result.
+std::array<std::vector<std::uint64_t>, kNumSites> parse_plan(std::string_view plan) {
+  std::array<std::vector<std::uint64_t>, kNumSites> armed{};
+  std::string_view rest = plan;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view entry = trim(rest.substr(0, comma));
+    rest = (comma == std::string_view::npos) ? std::string_view{}
+                                             : rest.substr(comma + 1);
+    if (entry.empty()) continue;
+    const std::size_t at = entry.find('@');
+    if (at == std::string_view::npos) {
+      throw std::invalid_argument("SUBSIDY_FAULTS: entry '" + std::string(entry) +
+                                  "' is not of the form site@ordinal");
+    }
+    const std::string_view name = trim(entry.substr(0, at));
+    const std::string_view ordinal_text = trim(entry.substr(at + 1));
+    std::size_t site = kNumSites;
+    for (std::size_t i = 0; i < kNumSites; ++i) {
+      if (name == kSiteNames[i]) {
+        site = i;
+        break;
+      }
+    }
+    if (site == kNumSites) {
+      std::string known;
+      for (const char* s : kSiteNames) {
+        if (!known.empty()) known += ", ";
+        known += s;
+      }
+      throw std::invalid_argument("SUBSIDY_FAULTS: unknown site '" + std::string(name) +
+                                  "' (known: " + known + ")");
+    }
+    if (ordinal_text.empty() ||
+        ordinal_text.find_first_not_of("0123456789") != std::string_view::npos) {
+      throw std::invalid_argument("SUBSIDY_FAULTS: ordinal '" + std::string(ordinal_text) +
+                                  "' must be a positive integer");
+    }
+    const std::uint64_t ordinal = std::stoull(std::string(ordinal_text));
+    if (ordinal == 0) {
+      throw std::invalid_argument("SUBSIDY_FAULTS: ordinals are 1-based; 0 is invalid");
+    }
+    armed[site].push_back(ordinal);
+  }
+  for (auto& ordinals : armed) std::sort(ordinals.begin(), ordinals.end());
+  return armed;
+}
+
+void install(State& state, std::string_view plan) {
+  auto armed = parse_plan(plan);
+  state.any_armed = false;
+  for (std::size_t i = 0; i < kNumSites; ++i) {
+    state.armed[i] = std::move(armed[i]);
+    if (!state.armed[i].empty()) state.any_armed = true;
+    state.counters[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+State& state() {
+  // First touch arms from the environment so CLI runs need no code changes;
+  // arm()/reset() override programmatically (tests). The State is armed in
+  // place (atomics are not movable) under the second static's init guard.
+  static State s;
+  static const bool armed_from_env = [] {
+    const char* env = std::getenv("SUBSIDY_FAULTS");
+    if (env != nullptr) install(s, env);
+    return env != nullptr;
+  }();
+  (void)armed_from_env;
+  return s;
+}
+
+}  // namespace
+
+const char* site_name(Site site) noexcept {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+void arm(std::string_view plan) { install(state(), plan); }
+
+void reset() { install(state(), {}); }
+
+std::uint64_t hits(Site site) noexcept {
+  return state().counters[static_cast<std::size_t>(site)].load(std::memory_order_relaxed);
+}
+
+bool fire(Site site) noexcept {
+  State& s = state();
+  const std::size_t i = static_cast<std::size_t>(site);
+  const std::uint64_t n = s.counters[i].fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!s.any_armed) return false;
+  const std::vector<std::uint64_t>& ordinals = s.armed[i];
+  return std::binary_search(ordinals.begin(), ordinals.end(), n);
+}
+
+std::string active_plan() {
+  const State& s = state();
+  std::string plan;
+  for (std::size_t i = 0; i < kNumSites; ++i) {
+    for (const std::uint64_t ordinal : s.armed[i]) {
+      if (!plan.empty()) plan += ",";
+      plan += kSiteNames[i];
+      plan += "@";
+      plan += std::to_string(ordinal);
+    }
+  }
+  return plan;
+}
+
+}  // namespace subsidy::num::fault
+
+#endif  // SUBSIDY_FAULT_INJECTION

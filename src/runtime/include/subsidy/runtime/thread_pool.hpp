@@ -7,15 +7,19 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "subsidy/numerics/fault_injection.hpp"
 
 namespace subsidy::runtime {
 
@@ -65,7 +69,10 @@ class ThreadPool {
 /// Applies `fn` to every item, preserving input order in the result. With
 /// jobs <= 1 (or fewer than two items) it runs inline on the calling thread;
 /// otherwise items are fanned out over a pool. `fn` must be safe to call
-/// concurrently on distinct items; exceptions propagate to the caller.
+/// concurrently on distinct items. Exceptions propagate to the caller with
+/// deterministic selection: every task is waited for first, then the failure
+/// with the lowest item index is rethrown — never whichever happened to
+/// finish (or be polled) first, and never while siblings still run.
 template <typename T, typename F>
 auto parallel_map(const std::vector<T>& items, std::size_t jobs, F&& fn)
     -> std::vector<std::invoke_result_t<F, const T&>> {
@@ -80,12 +87,27 @@ auto parallel_map(const std::vector<T>& items, std::size_t jobs, F&& fn)
   std::vector<std::future<R>> pending;
   pending.reserve(items.size());
   for (const T& item : items) {
+    // Fault site "pool.task": the ordinal is consumed here on the submitting
+    // thread (deterministic submission order) and carried into the task by
+    // value, so a plan poisons the same item at any jobs count.
+    const bool inject = SUBSIDY_FAULT_FIRE(pool_task);
     // fn's contract (above) requires it be safe to invoke concurrently on
     // distinct items; `items` outlives the pool and is never written here.
     // subsidy-lint: allow(pool-capture-audit) — see the two lines above.
-    pending.push_back(pool.submit([&fn, &item]() { return fn(item); }));
+    pending.push_back(pool.submit([&fn, &item, inject]() {
+      if (inject) throw std::runtime_error("injected fault: pool.task");
+      return fn(item);
+    }));
   }
-  for (std::future<R>& f : pending) results.push_back(f.get());
+  std::exception_ptr first_failure;
+  for (std::future<R>& f : pending) {
+    try {
+      results.push_back(f.get());
+    } catch (...) {
+      if (!first_failure) first_failure = std::current_exception();
+    }
+  }
+  if (first_failure) std::rethrow_exception(first_failure);
   return results;
 }
 

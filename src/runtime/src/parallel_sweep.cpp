@@ -1,11 +1,14 @@
 #include "subsidy/runtime/parallel_sweep.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <future>
+#include <stdexcept>
 #include <utility>
 
 #include "subsidy/core/evaluator.hpp"
 #include "subsidy/core/nash_batch.hpp"
+#include "subsidy/numerics/fault_injection.hpp"
 #include "subsidy/numerics/simd.hpp"
 #include "subsidy/runtime/chain_partition.hpp"
 #include "subsidy/runtime/thread_pool.hpp"
@@ -115,9 +118,27 @@ std::vector<SweepRow> ParallelSweepRunner::run(const std::vector<double>& policy
   std::vector<std::future<void>> pending;
   pending.reserve(chains.size());
   for (std::size_t c = 0; c < chains.size(); ++c) {
-    pending.push_back(pool.submit([&solve_chain, c]() { solve_chain(c); }));
+    // Fault site "pool.task": the ordinal is consumed at submission on the
+    // driving thread and carried into the task by value, so a plan poisons
+    // the same chain at any jobs count.
+    const bool inject = SUBSIDY_FAULT_FIRE(pool_task);
+    pending.push_back(pool.submit([&solve_chain, c, inject]() {
+      if (inject) throw std::runtime_error("injected fault: pool.task");
+      solve_chain(c);
+    }));
   }
-  for (std::future<void>& f : pending) f.get();  // rethrows chain failures
+  // Wait for every chain before surfacing failures, then rethrow the one
+  // from the lowest chain index — deterministic at any jobs count, and no
+  // worker is still writing `rows` when the exception unwinds.
+  std::exception_ptr first_failure;
+  for (std::future<void>& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_failure) first_failure = std::current_exception();
+    }
+  }
+  if (first_failure) std::rethrow_exception(first_failure);
   return rows;
 }
 

@@ -16,18 +16,22 @@
 // produces bit-identical tables and therefore byte-identical CSV files.
 #pragma once
 
+#include <cstddef>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/solve_status.hpp"
 #include "subsidy/io/series.hpp"
 #include "subsidy/scenario/scenario_file.hpp"
 
 namespace subsidy::scenario {
 
 /// Run-time knobs (everything here is presentation or scheduling; none of it
-/// changes the computed rows except `precision` formatting).
+/// changes the computed rows except `precision` formatting and `strict`
+/// failure handling — fault-free runs are byte-identical either way).
 struct RunOptions {
   /// Overrides every experiment block's `jobs` when set (the CLI's --jobs N).
   std::optional<std::size_t> jobs;
@@ -37,6 +41,27 @@ struct RunOptions {
 
   /// CSV float precision.
   int precision = 10;
+
+  /// Rethrow on the first solver failure (the pre-diagnostics abort)
+  /// instead of degrading gracefully: skipping the failed rows, recording
+  /// them in ExperimentResult::failures and the errors.csv sidecar, and
+  /// finishing the remaining blocks.
+  bool strict = false;
+};
+
+/// One failed unit of work inside an experiment block: a row whose solver
+/// collapsed (skipped from the table), or a whole block that threw
+/// (`row == -1`, no table written).
+struct ScenarioFailure {
+  std::string block_label;
+  ExperimentType type = ExperimentType::sweep;
+  std::ptrdiff_t row = -1;  ///< Row index within the block; -1 = whole block.
+  /// Coordinates of the failed solve; NaN marks "not applicable" (e.g. the
+  /// cap of a one_sided row, or both for a whole-block failure).
+  double price = std::numeric_limits<double>::quiet_NaN();
+  double cap = std::numeric_limits<double>::quiet_NaN();
+  core::SolveStatus status = core::SolveStatus::ok;
+  std::string detail;
 };
 
 /// One executed experiment block.
@@ -46,14 +71,19 @@ struct ExperimentResult {
   io::SweepTable table;
   std::string output_path;  ///< File the table was written to; empty if none.
   bool converged = true;    ///< False when any inner Nash solve failed.
+  std::vector<ScenarioFailure> failures;  ///< Collapsed solves (rows skipped).
+  std::size_t rescued_damped = 0;  ///< Nash rows the damped rung resolved.
+  std::size_t rescued_extragradient = 0;  ///< Rows extragradient resolved.
 };
 
 /// Everything a scenario run produced.
 struct ScenarioReport {
   std::string scenario_name;
   std::vector<ExperimentResult> experiments;
+  std::string errors_path;  ///< Sidecar CSV naming every failure; empty if none.
 
   [[nodiscard]] bool all_converged() const noexcept;
+  [[nodiscard]] std::size_t num_failures() const noexcept;
 };
 
 /// Executes scenarios. Construction compiles the market kernel; run() may be
@@ -67,19 +97,28 @@ class ScenarioRunner {
 
   /// Runs every experiment block in file order, writing CSV sinks as
   /// configured. Throws std::runtime_error when an output file cannot be
-  /// written.
+  /// written. Solver failures degrade gracefully by default — failed rows
+  /// are skipped (partial tables still written), whole-block collapses leave
+  /// the block unwritten, and every failure lands in the report plus a
+  /// `<scenario>.errors.csv` sidecar next to the outputs; under
+  /// RunOptions::strict the first failure is rethrown instead.
   [[nodiscard]] ScenarioReport run() const;
 
  private:
   [[nodiscard]] std::size_t effective_jobs(const ExperimentSpec& spec) const;
   [[nodiscard]] std::string resolve_output(const std::string& path) const;
+  void write_errors_csv(ScenarioReport& report) const;
 
-  [[nodiscard]] io::SweepTable run_sweep(const ExperimentSpec& spec, bool& converged) const;
-  [[nodiscard]] io::SweepTable run_one_sided(const ExperimentSpec& spec) const;
+  [[nodiscard]] io::SweepTable run_sweep(const ExperimentSpec& spec,
+                                         ExperimentResult& result) const;
+  [[nodiscard]] io::SweepTable run_one_sided(const ExperimentSpec& spec,
+                                             ExperimentResult& result) const;
   [[nodiscard]] io::SweepTable run_equilibrium(const ExperimentSpec& spec,
-                                               bool& converged) const;
-  [[nodiscard]] io::SweepTable run_policy(const ExperimentSpec& spec) const;
-  [[nodiscard]] io::SweepTable run_figure(const ExperimentSpec& spec, bool& converged) const;
+                                               ExperimentResult& result) const;
+  [[nodiscard]] io::SweepTable run_policy(const ExperimentSpec& spec,
+                                          ExperimentResult& result) const;
+  [[nodiscard]] io::SweepTable run_figure(const ExperimentSpec& spec,
+                                          ExperimentResult& result) const;
 
   Scenario scenario_;
   RunOptions options_;

@@ -1,12 +1,16 @@
 #include "subsidy/scenario/runner.hpp"
 
+#include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <stdexcept>
 #include <utility>
 
 #include "subsidy/core/game.hpp"
 #include "subsidy/core/nash.hpp"
 #include "subsidy/core/policy.hpp"
 #include "subsidy/io/csv.hpp"
+#include "subsidy/io/table.hpp"
 #include "subsidy/runtime/parallel_sweep.hpp"
 #include "subsidy/runtime/thread_pool.hpp"
 
@@ -19,6 +23,55 @@ void add_state_row(io::SweepTable& table, double price, const core::SystemState&
                  state.welfare});
 }
 
+/// A Nash result with no solved state: the solve collapsed (every rung of
+/// the ladder failed with a status) rather than merely not converging.
+bool collapsed(const core::NashResult& result) {
+  return result.state.providers.empty();
+}
+
+/// The status to report for a collapsed result; a collapse always carries a
+/// failed status, bracket_failure is the conservative fallback.
+core::SolveStatus failure_status(const core::NashLaneDiagnostics& diagnostics) {
+  return core::failed(diagnostics.status) ? diagnostics.status
+                                          : core::SolveStatus::bracket_failure;
+}
+
+/// Exceptions from injected faults self-identify; everything else reaching
+/// the block boundary is a solver collapse.
+core::SolveStatus classify_exception(const std::string& what) {
+  return what.find("injected fault") != std::string::npos
+             ? core::SolveStatus::injected_fault
+             : core::SolveStatus::bracket_failure;
+}
+
+/// Tallies which fallback rung rescued a converged Nash row.
+void count_rescue(const core::NashResult& result, ExperimentResult& out) {
+  if (!result.converged) return;
+  if (result.diagnostics.rung == core::NashRung::damped) {
+    out.rescued_damped += 1;
+  } else if (result.diagnostics.rung == core::NashRung::extragradient) {
+    out.rescued_extragradient += 1;
+  }
+}
+
+/// RFC-4180 field quoting for the errors sidecar (details carry free text).
+std::string csv_field(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string quoted = "\"";
+  for (const char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+/// Coordinate cell: empty for NaN ("not applicable").
+std::string coord_field(double value, int precision) {
+  if (std::isnan(value)) return {};
+  return io::format_double(value, precision);
+}
+
 }  // namespace
 
 bool ScenarioReport::all_converged() const noexcept {
@@ -26,6 +79,12 @@ bool ScenarioReport::all_converged() const noexcept {
     if (!result.converged) return false;
   }
   return true;
+}
+
+std::size_t ScenarioReport::num_failures() const noexcept {
+  std::size_t count = 0;
+  for (const ExperimentResult& result : experiments) count += result.failures.size();
+  return count;
 }
 
 ScenarioRunner::ScenarioRunner(Scenario scenario, RunOptions options)
@@ -44,7 +103,8 @@ std::string ScenarioRunner::resolve_output(const std::string& path) const {
   return options_.output_dir + "/" + path;
 }
 
-io::SweepTable ScenarioRunner::run_sweep(const ExperimentSpec& spec, bool& converged) const {
+io::SweepTable ScenarioRunner::run_sweep(const ExperimentSpec& spec,
+                                         ExperimentResult& result) const {
   // Chain partitions hand the runner whole planes: chain heads are
   // batch-solved as one node-major plane of warm-start hints, and zero-cap
   // chains bypass Nash entirely (one solve_many plane per chain). Rows stay
@@ -54,32 +114,62 @@ io::SweepTable ScenarioRunner::run_sweep(const ExperimentSpec& spec, bool& conve
   options.chain_length = spec.chain_length;
   const runtime::ParallelSweepRunner runner(scenario_.market, options);
   io::SweepTable table({"p", "phi", "theta", "revenue", "welfare"});
-  for (const runtime::SweepRow& row : runner.run_prices(spec.cap, spec.prices)) {
-    converged = converged && row.result.converged;
+  const std::vector<runtime::SweepRow> rows = runner.run_prices(spec.cap, spec.prices);
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const runtime::SweepRow& row = rows[k];
+    if (collapsed(row.result)) {
+      result.converged = false;
+      result.failures.push_back({spec.label, spec.type, static_cast<std::ptrdiff_t>(k),
+                                 row.price, row.policy_cap,
+                                 failure_status(row.result.diagnostics),
+                                 row.result.diagnostics.detail});
+      continue;
+    }
+    count_rescue(row.result, result);
+    result.converged = result.converged && row.result.converged;
     add_state_row(table, row.price, row.result.state);
   }
   return table;
 }
 
-io::SweepTable ScenarioRunner::run_one_sided(const ExperimentSpec& spec) const {
+io::SweepTable ScenarioRunner::run_one_sided(const ExperimentSpec& spec,
+                                             ExperimentResult& result) const {
   // Batched through the runner's own compiled kernel: the whole price grid
   // is one node-major UtilizationSolver::solve_many plane (vectorized exp
-  // across grid nodes).
+  // across grid nodes). Failed grid nodes are skipped; the survivors'
+  // candidate sequences — and therefore their rows — are untouched.
   io::SweepTable table({"p", "phi", "theta", "revenue", "welfare"});
+  std::vector<core::SolveStatus> statuses;
   const std::vector<core::SystemState> states =
-      evaluator_.evaluate_unsubsidized_many(spec.prices);
+      evaluator_.try_evaluate_unsubsidized_many(spec.prices, statuses);
   for (std::size_t k = 0; k < states.size(); ++k) {
+    if (core::failed(statuses[k])) {
+      result.converged = false;
+      result.failures.push_back({spec.label, spec.type, static_cast<std::ptrdiff_t>(k),
+                                 spec.prices[k], std::numeric_limits<double>::quiet_NaN(),
+                                 statuses[k],
+                                 std::string("utilization solve failed (") +
+                                     core::to_string(statuses[k]) + ")"});
+      continue;
+    }
     add_state_row(table, spec.prices[k], states[k]);
   }
   return table;
 }
 
 io::SweepTable ScenarioRunner::run_equilibrium(const ExperimentSpec& spec,
-                                               bool& converged) const {
+                                               ExperimentResult& result) const {
   const core::SubsidizationGame game(scenario_.market, spec.price, spec.cap);
   const core::NashResult nash = core::solve_nash(game);
-  converged = converged && nash.converged;
   io::SweepTable table({"cp", "subsidy", "t", "m", "lambda", "theta", "utility"});
+  if (collapsed(nash)) {
+    result.converged = false;
+    result.failures.push_back({spec.label, spec.type, -1, spec.price, spec.cap,
+                               failure_status(nash.diagnostics), nash.diagnostics.detail});
+    return table;
+  }
+  count_rescue(nash, result);
+  result.converged = result.converged && nash.converged;
   for (std::size_t i = 0; i < nash.state.providers.size(); ++i) {
     const core::CpState& cp = nash.state.providers[i];
     table.add_row({static_cast<double>(i), cp.subsidy, cp.effective_price, cp.population,
@@ -88,17 +178,42 @@ io::SweepTable ScenarioRunner::run_equilibrium(const ExperimentSpec& spec,
   return table;
 }
 
-io::SweepTable ScenarioRunner::run_policy(const ExperimentSpec& spec) const {
+io::SweepTable ScenarioRunner::run_policy(const ExperimentSpec& spec,
+                                          ExperimentResult& result) const {
   const core::PriceResponse response = spec.fixed_price
                                            ? core::PriceResponse::fixed(spec.price)
                                            : core::PriceResponse::monopoly();
   const core::PolicyAnalyzer analyzer(scenario_.market, response);
+  // Each cap evaluation carries its own outcome so one collapsed cap cannot
+  // abort its siblings (the pool rethrow would).
+  struct PolicyOutcome {
+    core::PolicyPoint point;
+    core::SolveStatus status = core::SolveStatus::ok;
+    std::string detail;
+  };
   // Cold, independent evaluations: rows are identical for any job count.
-  const std::vector<core::PolicyPoint> points =
-      runtime::parallel_map(spec.caps, effective_jobs(spec),
-                            [&analyzer](const double& cap) { return analyzer.evaluate(cap); });
+  const std::vector<PolicyOutcome> outcomes = runtime::parallel_map(
+      spec.caps, effective_jobs(spec), [&analyzer](const double& cap) {
+        PolicyOutcome outcome;
+        try {
+          outcome.point = analyzer.evaluate(cap);
+        } catch (const std::runtime_error& e) {
+          outcome.status = classify_exception(e.what());
+          outcome.detail = e.what();
+        }
+        return outcome;
+      });
   io::SweepTable table({"q", "price", "phi", "theta", "revenue", "welfare"});
-  for (const core::PolicyPoint& point : points) {
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    const PolicyOutcome& outcome = outcomes[k];
+    if (core::failed(outcome.status)) {
+      result.converged = false;
+      result.failures.push_back({spec.label, spec.type, static_cast<std::ptrdiff_t>(k),
+                                 std::numeric_limits<double>::quiet_NaN(), spec.caps[k],
+                                 outcome.status, outcome.detail});
+      continue;
+    }
+    const core::PolicyPoint& point = outcome.point;
     table.add_row({point.policy_cap, point.price, point.state.utilization,
                    point.state.aggregate_throughput, point.state.revenue,
                    point.state.welfare});
@@ -106,19 +221,54 @@ io::SweepTable ScenarioRunner::run_policy(const ExperimentSpec& spec) const {
   return table;
 }
 
-io::SweepTable ScenarioRunner::run_figure(const ExperimentSpec& spec, bool& converged) const {
+io::SweepTable ScenarioRunner::run_figure(const ExperimentSpec& spec,
+                                          ExperimentResult& result) const {
   runtime::SweepOptions options;
   options.jobs = effective_jobs(spec);
   options.chain_length = spec.chain_length;
   const runtime::ParallelSweepRunner runner(scenario_.market, options);
   io::SweepTable table({"q", "p", "phi", "theta", "revenue", "welfare"});
-  for (const runtime::SweepRow& row : runner.run(spec.caps, spec.prices)) {
-    converged = converged && row.result.converged;
+  const std::vector<runtime::SweepRow> rows = runner.run(spec.caps, spec.prices);
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const runtime::SweepRow& row = rows[k];
+    if (collapsed(row.result)) {
+      result.converged = false;
+      result.failures.push_back({spec.label, spec.type, static_cast<std::ptrdiff_t>(k),
+                                 row.price, row.policy_cap,
+                                 failure_status(row.result.diagnostics),
+                                 row.result.diagnostics.detail});
+      continue;
+    }
+    count_rescue(row.result, result);
+    result.converged = result.converged && row.result.converged;
     table.add_row({row.policy_cap, row.price, row.result.state.utilization,
                    row.result.state.aggregate_throughput, row.result.state.revenue,
                    row.result.state.welfare});
   }
   return table;
+}
+
+void ScenarioRunner::write_errors_csv(ScenarioReport& report) const {
+  if (report.num_failures() == 0) return;
+  const std::string name =
+      report.scenario_name.empty() ? std::string("scenario") : report.scenario_name;
+  std::string path = name + ".errors.csv";
+  if (!options_.output_dir.empty()) path = options_.output_dir + "/" + path;
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << "block,type,row,price,cap,status,detail\n";
+  for (const ExperimentResult& result : report.experiments) {
+    for (const ScenarioFailure& failure : result.failures) {
+      out << csv_field(failure.block_label) << ',' << to_string(failure.type) << ',';
+      if (failure.row >= 0) out << failure.row;
+      out << ',' << coord_field(failure.price, options_.precision) << ','
+          << coord_field(failure.cap, options_.precision) << ','
+          << core::to_string(failure.status) << ',' << csv_field(failure.detail) << '\n';
+    }
+  }
+  report.errors_path = path;
 }
 
 ScenarioReport ScenarioRunner::run() const {
@@ -128,22 +278,42 @@ ScenarioReport ScenarioRunner::run() const {
     ExperimentResult result;
     result.label = spec.label;
     result.type = spec.type;
-    switch (spec.type) {
-      case ExperimentType::sweep:
-        result.table = run_sweep(spec, result.converged);
-        break;
-      case ExperimentType::one_sided:
-        result.table = run_one_sided(spec);
-        break;
-      case ExperimentType::equilibrium:
-        result.table = run_equilibrium(spec, result.converged);
-        break;
-      case ExperimentType::policy:
-        result.table = run_policy(spec);
-        break;
-      case ExperimentType::figure:
-        result.table = run_figure(spec, result.converged);
-        break;
+    try {
+      switch (spec.type) {
+        case ExperimentType::sweep:
+          result.table = run_sweep(spec, result);
+          break;
+        case ExperimentType::one_sided:
+          result.table = run_one_sided(spec, result);
+          break;
+        case ExperimentType::equilibrium:
+          result.table = run_equilibrium(spec, result);
+          break;
+        case ExperimentType::policy:
+          result.table = run_policy(spec, result);
+          break;
+        case ExperimentType::figure:
+          result.table = run_figure(spec, result);
+          break;
+      }
+    } catch (const std::runtime_error& e) {
+      // A whole-block collapse (e.g. an injected pool-task fault surfacing
+      // through the sweep pool). Strict mode keeps the legacy abort;
+      // otherwise the block is recorded unwritten and the run continues.
+      if (options_.strict) throw;
+      result.converged = false;
+      result.failures.push_back({spec.label, spec.type, -1,
+                                 std::numeric_limits<double>::quiet_NaN(),
+                                 std::numeric_limits<double>::quiet_NaN(),
+                                 classify_exception(e.what()), e.what()});
+      report.experiments.push_back(std::move(result));
+      continue;
+    }
+    if (options_.strict && !result.failures.empty()) {
+      const ScenarioFailure& first = result.failures.front();
+      throw std::runtime_error("scenario block '" + spec.label + "' failed (status " +
+                               std::string(core::to_string(first.status)) +
+                               "): " + first.detail);
     }
     if (!spec.output.empty()) {
       result.output_path = resolve_output(spec.output);
@@ -154,6 +324,7 @@ ScenarioReport ScenarioRunner::run() const {
     }
     report.experiments.push_back(std::move(result));
   }
+  write_errors_csv(report);
   return report;
 }
 

@@ -1,0 +1,430 @@
+// Deterministic fault-injection suite (ctest label `fault`): every injection
+// site fires at exactly its armed ordinal, every failure classifies through
+// the SolveStatus taxonomy, a poisoned unit of work degrades without
+// perturbing the bitwise results of its healthy neighbors, the solve_nash
+// ladder rescues injected failures rung by rung, and the scenario layer
+// degrades to partial tables plus an errors.csv sidecar (with --strict
+// reproducing the legacy abort). Meaningful only under
+// -DSUBSIDY_FAULT_INJECTION=ON; the default build compiles this file into a
+// single skip so plain ctest stays green.
+#include <gtest/gtest.h>
+
+#include "subsidy/numerics/fault_injection.hpp"
+
+#if !defined(SUBSIDY_FAULT_INJECTION)
+
+TEST(FaultInjection, RequiresOptInBuild) {
+  GTEST_SKIP() << "built without -DSUBSIDY_FAULT_INJECTION=ON; run the fault "
+                  "CI configuration to exercise the injection sites";
+}
+
+#else
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/nash.hpp"
+#include "subsidy/core/nash_batch.hpp"
+#include "subsidy/core/solve_status.hpp"
+#include "subsidy/core/utilization_solver.hpp"
+#include "subsidy/io/series.hpp"
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/runtime/parallel_sweep.hpp"
+#include "subsidy/runtime/thread_pool.hpp"
+#include "subsidy/scenario/runner.hpp"
+#include "subsidy/scenario/scenario_file.hpp"
+
+namespace core = subsidy::core;
+namespace fault = subsidy::num::fault;
+namespace io = subsidy::io;
+namespace market = subsidy::market;
+namespace runtime = subsidy::runtime;
+namespace scenario = subsidy::scenario;
+
+namespace {
+
+/// Disarms the plan and zeroes the counters around every test, so ordinals
+/// are always counted from the test's own first solve.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+};
+
+std::vector<double> unsubsidized_populations(const core::ModelEvaluator& evaluator,
+                                             double price) {
+  return evaluator.populations(price, std::vector<double>(evaluator.num_providers(), 0.0));
+}
+
+TEST_F(FaultInjectionTest, PlanGrammarParsesArmsAndRejects) {
+  fault::arm(" nash.lane_nan@3 , utilization.newton_stall@17 ");
+  EXPECT_EQ(fault::active_plan(), "utilization.newton_stall@17,nash.lane_nan@3");
+  fault::arm("");
+  EXPECT_EQ(fault::active_plan(), "");
+
+  EXPECT_THROW(fault::arm("bogus.site@1"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("utilization.newton_stall"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("utilization.newton_stall@0"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("utilization.newton_stall@x"), std::invalid_argument);
+
+  EXPECT_STREQ(fault::site_name(fault::Site::pool_task), "pool.task");
+}
+
+TEST_F(FaultInjectionTest, DisarmedHooksCountButNeverFire) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  const std::vector<double> m = unsubsidized_populations(evaluator, 0.8);
+  const std::uint64_t before = fault::hits(fault::Site::utilization_newton_stall);
+  double phi = 0.0;
+  EXPECT_EQ(evaluator.solver().try_solve(m, phi), core::SolveStatus::ok);
+  EXPECT_GT(phi, 0.0);
+  EXPECT_EQ(fault::hits(fault::Site::utilization_newton_stall), before + 1);
+}
+
+TEST_F(FaultInjectionTest, NewtonStallFailsExactlyTheArmedSolve) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  const std::vector<double> m = unsubsidized_populations(evaluator, 0.8);
+  double phi_clean = 0.0;
+  ASSERT_EQ(evaluator.solver().try_solve(m, phi_clean), core::SolveStatus::ok);
+
+  fault::arm("utilization.newton_stall@2");
+  double phi = -1.0;
+  EXPECT_EQ(evaluator.solver().try_solve(m, phi), core::SolveStatus::ok);
+  EXPECT_EQ(phi, phi_clean);  // ordinal 1 not armed: bitwise-identical solve
+  EXPECT_EQ(evaluator.solver().try_solve(m, phi), core::SolveStatus::injected_fault);
+  EXPECT_EQ(phi, 0.0);
+  EXPECT_EQ(evaluator.solver().try_solve(m, phi), core::SolveStatus::ok);
+  EXPECT_EQ(phi, phi_clean);
+
+  // The throwing wrapper surfaces the same status in its message.
+  fault::arm("utilization.newton_stall@1");
+  try {
+    (void)evaluator.solver().solve(m);
+    FAIL() << "expected the injected fault to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected_fault"), std::string::npos);
+  }
+}
+
+TEST_F(FaultInjectionTest, GapNanClassifiesAsNonFinite) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  const std::vector<double> m = unsubsidized_populations(evaluator, 0.8);
+  fault::arm("utilization.gap_nan@1");
+  double phi = -1.0;
+  // The poisoned probe flows through the solver's real non-finite guard.
+  EXPECT_EQ(evaluator.solver().try_solve(m, phi), core::SolveStatus::non_finite);
+  EXPECT_EQ(phi, 0.0);
+}
+
+TEST_F(FaultInjectionTest, PlaneSolveMarksOnlyThePoisonedNode) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  const std::size_t n = evaluator.num_providers();
+  const std::vector<double> prices{0.3, 0.5, 0.7, 0.9, 1.1, 1.3};
+  std::vector<double> m(prices.size() * n);
+  for (std::size_t k = 0; k < prices.size(); ++k) {
+    const std::vector<double> row = unsubsidized_populations(evaluator, prices[k]);
+    std::copy(row.begin(), row.end(), m.begin() + static_cast<std::ptrdiff_t>(k * n));
+  }
+
+  std::vector<double> baseline(prices.size());
+  std::vector<core::SolveStatus> statuses(prices.size());
+  ASSERT_TRUE(evaluator.solver().try_solve_many(m, {}, baseline, statuses));
+
+  // The per-node stall counter ticks in node order: ordinal 3 = node 2.
+  fault::arm("utilization.newton_stall@3");
+  std::vector<double> phis(prices.size());
+  EXPECT_FALSE(evaluator.solver().try_solve_many(m, {}, phis, statuses));
+  for (std::size_t k = 0; k < prices.size(); ++k) {
+    if (k == 2) {
+      EXPECT_EQ(statuses[k], core::SolveStatus::injected_fault);
+      EXPECT_EQ(phis[k], 0.0);
+    } else {
+      EXPECT_EQ(statuses[k], core::SolveStatus::ok);
+      EXPECT_EQ(phis[k], baseline[k]) << "healthy node " << k << " drifted";
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, NodeFormSolveManyMarksFailedNodes) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  std::vector<core::UtilizationNode> nodes(3);
+  std::vector<std::vector<double>> pops;
+  pops.reserve(nodes.size());
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    pops.push_back(unsubsidized_populations(evaluator, 0.4 + 0.3 * static_cast<double>(k)));
+    nodes[k].populations = pops.back();
+  }
+  fault::arm("utilization.newton_stall@2");
+  EXPECT_FALSE(evaluator.solver().try_solve_many(nodes));
+  EXPECT_EQ(nodes[0].status, core::SolveStatus::ok);
+  EXPECT_EQ(nodes[1].status, core::SolveStatus::injected_fault);
+  EXPECT_EQ(nodes[1].phi, 0.0);
+  EXPECT_EQ(nodes[2].status, core::SolveStatus::ok);
+  // arm() zeroes the counters, so the throwing overload sees ordinal 2 again.
+  fault::arm("utilization.newton_stall@2");
+  EXPECT_THROW((void)evaluator.solver().solve_many(nodes), std::runtime_error);
+}
+
+TEST_F(FaultInjectionTest, LaneStallRetiresAsInjectedFault) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  const core::NashBatchSolver solver(evaluator);
+  core::NashBatchNode node;
+  node.price = 0.8;
+  node.policy_cap = 0.5;
+
+  fault::arm("nash.lane_stall@1");
+  const core::NashResult result = solver.solve_one(node);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.diagnostics.status, core::SolveStatus::injected_fault);
+  EXPECT_EQ(result.diagnostics.rung, core::NashRung::plain);
+  EXPECT_NE(result.diagnostics.detail.find("nash.lane_stall"), std::string::npos);
+  // The stalled lane still assembles its exhausted state.
+  EXPECT_FALSE(result.state.providers.empty());
+}
+
+TEST_F(FaultInjectionTest, LadderRescuesStalledLane) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  std::vector<core::NashBatchNode> nodes(1);
+  nodes[0].price = 0.8;
+  nodes[0].policy_cap = 0.5;
+
+  // Ordinal 1 stalls the plain rung's lane; the damped retry re-inits the
+  // lane and consumes ordinal 2 (unarmed), so it converges.
+  fault::arm("nash.lane_stall@1");
+  core::NashBatchStats stats;
+  const std::vector<core::NashResult> results =
+      core::solve_nash_many(evaluator, nodes, {}, {}, &stats);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].converged);
+  EXPECT_EQ(results[0].diagnostics.status, core::SolveStatus::ok);
+  EXPECT_EQ(results[0].diagnostics.rung, core::NashRung::damped);
+  EXPECT_GT(results[0].diagnostics.plain_iterations, 0);
+  EXPECT_GT(results[0].diagnostics.damped_iterations, 0);
+  EXPECT_EQ(stats.fallbacks, 1u);
+  EXPECT_EQ(stats.rescued_damped, 1u);
+  EXPECT_EQ(stats.rescued_extragradient, 0u);
+  EXPECT_EQ(stats.unresolved, 0u);
+}
+
+TEST_F(FaultInjectionTest, ConsecutiveStallsReachExtragradient) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  std::vector<core::NashBatchNode> nodes(1);
+  nodes[0].price = 0.8;
+  nodes[0].policy_cap = 0.5;
+
+  // Stall both best-response rungs; extragradient carries no lane hook, so
+  // the third rung resolves the game.
+  fault::arm("nash.lane_stall@1,nash.lane_stall@2");
+  core::NashBatchStats stats;
+  const std::vector<core::NashResult> results =
+      core::solve_nash_many(evaluator, nodes, {}, {}, &stats);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].converged);
+  EXPECT_EQ(results[0].diagnostics.rung, core::NashRung::extragradient);
+  EXPECT_GT(results[0].diagnostics.extragradient_iterations, 0);
+  EXPECT_EQ(stats.rescued_extragradient, 1u);
+  EXPECT_EQ(stats.unresolved, 0u);
+}
+
+TEST_F(FaultInjectionTest, LaneNanPoisonsOnlyThatLane) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  const core::NashBatchSolver solver(evaluator);
+  std::vector<core::NashBatchNode> nodes(5);
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    nodes[k].price = 0.6 + 0.1 * static_cast<double>(k);
+    nodes[k].policy_cap = 0.5;
+  }
+  const std::vector<core::NashResult> baseline = solver.solve(nodes);
+
+  // The first scored line-search candidate of the first pass belongs to
+  // lane 0 (columns are gathered in lane order), so ordinal 1 fails lane 0.
+  fault::arm("nash.lane_nan@1");
+  const std::vector<core::NashResult> poisoned = solver.solve(nodes);
+  ASSERT_EQ(poisoned.size(), baseline.size());
+
+  EXPECT_FALSE(poisoned[0].converged);
+  EXPECT_EQ(poisoned[0].diagnostics.status, core::SolveStatus::non_finite);
+  EXPECT_TRUE(poisoned[0].state.providers.empty());
+
+  for (std::size_t k = 1; k < poisoned.size(); ++k) {
+    ASSERT_TRUE(poisoned[k].converged) << "lane " << k;
+    ASSERT_EQ(poisoned[k].subsidies.size(), baseline[k].subsidies.size());
+    for (std::size_t i = 0; i < baseline[k].subsidies.size(); ++i) {
+      EXPECT_EQ(poisoned[k].subsidies[i], baseline[k].subsidies[i])
+          << "lane " << k << " subsidy " << i << " drifted";
+    }
+    EXPECT_EQ(poisoned[k].state.utilization, baseline[k].state.utilization)
+        << "lane " << k << " utilization drifted";
+  }
+}
+
+TEST_F(FaultInjectionTest, LadderRescuesNanLane) {
+  const core::ModelEvaluator evaluator(market::section5_market());
+  std::vector<core::NashBatchNode> nodes(1);
+  nodes[0].price = 0.8;
+  nodes[0].policy_cap = 0.5;
+
+  fault::arm("nash.lane_nan@1");
+  core::NashBatchStats stats;
+  const std::vector<core::NashResult> results =
+      core::solve_nash_many(evaluator, nodes, {}, {}, &stats);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].converged);
+  EXPECT_EQ(results[0].diagnostics.rung, core::NashRung::damped);
+  EXPECT_EQ(stats.fallbacks, 1u);
+  EXPECT_EQ(stats.rescued_damped, 1u);
+  EXPECT_EQ(stats.unresolved, 0u);
+}
+
+TEST_F(FaultInjectionTest, PoolTaskInjectionThrowsThroughParallelMap) {
+  const std::vector<int> items{1, 2, 3, 4, 5, 6};
+  fault::arm("pool.task@3");
+  try {
+    (void)runtime::parallel_map(items, 4, [](const int& x) { return x * x; });
+    FAIL() << "expected the injected pool fault to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "injected fault: pool.task");
+  }
+  // Ordinals tick once per submitted task, on the submitting thread.
+  EXPECT_EQ(fault::hits(fault::Site::pool_task), items.size());
+
+  fault::reset();
+  const std::vector<int> squares =
+      runtime::parallel_map(items, 4, [](const int& x) { return x * x; });
+  EXPECT_EQ(squares, (std::vector<int>{1, 4, 9, 16, 25, 36}));
+}
+
+TEST_F(FaultInjectionTest, PoolTaskInjectionAbortsSweepRunner) {
+  runtime::SweepOptions options;
+  options.jobs = 2;
+  options.chain_length = 2;
+  const runtime::ParallelSweepRunner runner(market::section5_market(), options);
+  const std::vector<double> prices{0.4, 0.6, 0.8, 1.0};
+
+  fault::arm("pool.task@1");
+  EXPECT_THROW((void)runner.run({0.0, 0.5}, prices), std::runtime_error);
+  fault::reset();
+  EXPECT_EQ(runner.run({0.0, 0.5}, prices).size(), 8u);
+}
+
+// --- Scenario-level degradation -----------------------------------------
+
+constexpr const char* kFaultScenario = R"([scenario]
+name = fault_demo
+
+[market]
+capacity = 1
+throughput = exp:beta=2
+demand = exp:alpha=2
+
+[provider]
+v = 1
+
+[provider]
+demand = logit:k=4,t0=0.6
+v = 0.8
+
+[one_sided]
+label = grid
+prices = 0.2:1.8:5
+out = grid.csv
+)";
+
+TEST_F(FaultInjectionTest, ScenarioDegradesToPartialTableAndSidecar) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "subsidy_fault_scenario";
+  std::filesystem::remove_all(dir);
+  scenario::RunOptions options;
+  options.output_dir = dir.string();
+
+  const scenario::ScenarioRunner runner(scenario::parse_scenario_text(kFaultScenario),
+                                        options);
+  // One stall counter tick per grid node: ordinal 3 fails row index 2.
+  fault::arm("utilization.newton_stall@3");
+  const scenario::ScenarioReport report = runner.run();
+
+  ASSERT_EQ(report.experiments.size(), 1u);
+  const scenario::ExperimentResult& result = report.experiments[0];
+  EXPECT_EQ(result.table.num_rows(), 4u);  // 5 grid nodes, 1 skipped
+  EXPECT_FALSE(result.converged);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].row, 2);
+  EXPECT_EQ(result.failures[0].status, core::SolveStatus::injected_fault);
+  EXPECT_EQ(result.failures[0].block_label, "grid");
+  EXPECT_FALSE(report.all_converged());
+  EXPECT_EQ(report.num_failures(), 1u);
+
+  // The partial table was still written, and the sidecar names the failure.
+  EXPECT_TRUE(std::filesystem::exists(dir / "grid.csv"));
+  ASSERT_FALSE(report.errors_path.empty());
+  std::ifstream errors(report.errors_path);
+  ASSERT_TRUE(errors.good());
+  std::stringstream content;
+  content << errors.rdbuf();
+  EXPECT_NE(content.str().find("block,type,row,price,cap,status,detail"),
+            std::string::npos);
+  EXPECT_NE(content.str().find("grid,one_sided,2,"), std::string::npos);
+  EXPECT_NE(content.str().find("injected_fault"), std::string::npos);
+
+  // Clean runs write no sidecar.
+  fault::reset();
+  std::filesystem::remove_all(dir);
+  const scenario::ScenarioReport clean = runner.run();
+  EXPECT_TRUE(clean.errors_path.empty());
+  EXPECT_EQ(clean.num_failures(), 0u);
+  EXPECT_EQ(clean.experiments[0].table.num_rows(), 5u);
+  EXPECT_FALSE(std::filesystem::exists(dir / "fault_demo.errors.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FaultInjectionTest, StrictModeReproducesTheAbort) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "subsidy_fault_strict";
+  std::filesystem::remove_all(dir);
+  scenario::RunOptions options;
+  options.output_dir = dir.string();
+  options.strict = true;
+
+  const scenario::ScenarioRunner runner(scenario::parse_scenario_text(kFaultScenario),
+                                        options);
+  fault::arm("utilization.newton_stall@3");
+  EXPECT_THROW((void)runner.run(), std::runtime_error);
+  // Strict aborts before the block writes; no partial table, no sidecar.
+  EXPECT_FALSE(std::filesystem::exists(dir / "grid.csv"));
+  EXPECT_FALSE(std::filesystem::exists(dir / "fault_demo.errors.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FaultInjectionTest, ArmedButUnreachedPlanStaysByteIdentical) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "subsidy_fault_identity";
+  std::filesystem::remove_all(dir);
+  scenario::RunOptions options;
+  options.output_dir = dir.string();
+  const scenario::ScenarioRunner runner(scenario::parse_scenario_text(kFaultScenario),
+                                        options);
+  const scenario::ScenarioReport baseline = runner.run();
+
+  // Hooks count on every solve either way; an ordinal far past the workload
+  // proves the counting itself never perturbs a row.
+  fault::arm("utilization.newton_stall@1000000000,nash.lane_nan@1000000000");
+  const scenario::ScenarioReport armed = runner.run();
+  ASSERT_EQ(armed.experiments.size(), baseline.experiments.size());
+  const io::SweepTable& ta = baseline.experiments[0].table;
+  const io::SweepTable& tb = armed.experiments[0].table;
+  ASSERT_EQ(ta.num_rows(), tb.num_rows());
+  for (std::size_t r = 0; r < ta.num_rows(); ++r) {
+    for (std::size_t c = 0; c < ta.num_columns(); ++c) {
+      EXPECT_EQ(ta.cell(r, c), tb.cell(r, c)) << "row " << r << " col " << c;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+
+#endif  // SUBSIDY_FAULT_INJECTION

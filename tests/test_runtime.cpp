@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "subsidy/core/core.hpp"
@@ -79,6 +81,31 @@ TEST(ParallelMap, PreservesOrderForAnyJobCount) {
   EXPECT_EQ(serial, parallel);
   for (std::size_t i = 0; i < items.size(); ++i) EXPECT_EQ(serial[i], items[i] * items[i]);
   EXPECT_TRUE(runtime::parallel_map(std::vector<int>{}, 4, square).empty());
+}
+
+TEST(ParallelMap, RethrowsTheLowestIndexFailureDeterministically) {
+  // Two items throw; whichever finishes first must not win the race — the
+  // contract is: wait for every task, then rethrow the failure with the
+  // lowest item index. Repeat across job counts (including the inline path)
+  // and the surfaced message must always be item 2's.
+  std::vector<int> items(8);
+  std::iota(items.begin(), items.end(), 0);
+  const auto fn = [](const int& x) -> int {
+    if (x == 5) throw std::runtime_error("item 5");  // often finishes first
+    if (x == 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      throw std::runtime_error("item 2");
+    }
+    return x;
+  };
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    try {
+      (void)runtime::parallel_map(items, jobs, fn);
+      FAIL() << "expected a failure with jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "item 2") << "jobs=" << jobs;
+    }
+  }
 }
 
 TEST(ParallelMap, PropagatesExceptions) {

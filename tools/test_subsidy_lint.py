@@ -330,6 +330,68 @@ class GoldenFreshnessTest(TreeFixture):
         self.assertIn("goldens_scalar/section3", found[0].message)
 
 
+class FaultHooksGatedTest(TreeFixture):
+    FAULT_HEADER = "src/numerics/include/subsidy/numerics/fault_injection.hpp"
+
+    def fault_header(self, inert=True):
+        text = ("#pragma once\n"
+                "#if defined(SUBSIDY_FAULT_INJECTION)\n"
+                "#define SUBSIDY_FAULT_FIRE(site) "
+                "(::subsidy::num::fault::fire(::subsidy::num::fault::Site::site))\n")
+        if inert:
+            text += "#else\n#define SUBSIDY_FAULT_FIRE(site) (false)\n"
+        text += "#endif\n"
+        self.write(self.FAULT_HEADER, text)
+
+    def test_fires_on_direct_namespace_use(self):
+        self.fault_header()
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/numerics/fault_injection.hpp"\n'
+                   "bool f() { return subsidy::num::fault::fire("
+                   "subsidy::num::fault::Site::pool_task); }\n")
+        found = self.findings("fault-hooks-gated")
+        self.assertEqual(len(found), 1)  # same-line matches dedupe
+        self.assertEqual(found[0].path, "src/core/src/solver.cpp")
+        self.assertEqual(found[0].line, 2)
+
+    def test_quiet_on_macro_use(self):
+        self.fault_header()
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/numerics/fault_injection.hpp"\n'
+                   "bool f() { return SUBSIDY_FAULT_FIRE(pool_task); }\n")
+        self.assertEqual(self.findings("fault-hooks-gated"), [])
+
+    def test_quiet_inside_the_fault_subsystem(self):
+        self.fault_header()
+        self.write("src/numerics/src/fault_injection.cpp",
+                   "namespace subsidy::num::fault {\n"
+                   "bool fire(Site site) noexcept { return false; }\n"
+                   "}\n"
+                   "bool g() { return subsidy::num::fault::fire(Site{}); }\n")
+        self.assertEqual(self.findings("fault-hooks-gated"), [])
+
+    def test_quiet_in_tests_and_tools(self):
+        self.fault_header()
+        self.write("tests/test_fault.cpp",
+                   "void f() { subsidy::num::fault::reset(); }\n")
+        self.assertEqual(self.findings("fault-hooks-gated"), [])
+
+    def test_fires_when_inert_fallback_missing(self):
+        self.fault_header(inert=False)
+        found = self.findings("fault-hooks-gated")
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].path, self.FAULT_HEADER)
+        self.assertIn("inert", found[0].message)
+
+    def test_suppression(self):
+        self.fault_header()
+        self.write("src/cli/src/commands.cpp",
+                   "// subsidy-lint: allow(fault-hooks-gated) — plan echo only\n"
+                   "const char* f() { return subsidy::num::fault::"
+                   "site_name(subsidy::num::fault::Site::pool_task); }\n")
+        self.assertEqual(self.findings("fault-hooks-gated"), [])
+
+
 class StripperTest(unittest.TestCase):
     def test_preserves_offsets_and_lines(self):
         text = 'int a; // std::exp(x)\nconst char* s = "exp(";\nint b;\n'
