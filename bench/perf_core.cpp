@@ -3,6 +3,7 @@
 // solves, sensitivity analysis and figure-scale sweeps.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <thread>
@@ -13,11 +14,13 @@
 #include "subsidy/market/scenarios.hpp"
 #include "subsidy/scenario/runner.hpp"
 #include "subsidy/scenario/scenario_file.hpp"
+#include "subsidy/sim/agent_engine.hpp"
 
 namespace core = subsidy::core;
 namespace econ = subsidy::econ;
 namespace market = subsidy::market;
 namespace scenario = subsidy::scenario;
+namespace sim = subsidy::sim;
 
 namespace {
 
@@ -337,6 +340,34 @@ chain = 4
   }
 }
 BENCHMARK(BM_ScenarioRun);
+
+void BM_SimTick(benchmark::State& state) {
+  // One agent-engine tick at range(0) total users split over the Section 5
+  // market's 8 CP classes: the wake slice (1/4 of every group) re-decides
+  // through the counter RNG, masses aggregate, and one utilization plane
+  // solve covers both replica lanes. Engine construction (threshold
+  // quantiles, kernel compile) stays outside the timed loop. items = agent
+  // decisions, so bench_diff reports ns/decision.
+  const auto users = static_cast<std::size_t>(state.range(0));
+  sim::SimConfig config;
+  config.price = 0.8;
+  config.replicas = 2;
+  config.jobs = std::thread::hardware_concurrency();
+  sim::AgentMarketEngine engine(
+      section5(),
+      sim::AgentMarketEngine::uniform_groups(section5(), users / 8, 1,
+                                             /*wakeup_step=*/4, /*noise=*/0.02),
+      config);
+  for (auto _ : state) {
+    engine.step();
+    benchmark::DoNotOptimize(engine.phi(0));
+  }
+  const std::uint64_t wakes_per_tick =
+      static_cast<std::uint64_t>(engine.num_agents() / 4) * config.replicas;
+  state.SetItemsProcessed(static_cast<int64_t>(
+      static_cast<std::uint64_t>(state.iterations()) * wakes_per_tick));
+}
+BENCHMARK(BM_SimTick)->Arg(1000)->Arg(100000)->Arg(1000000);
 
 }  // namespace
 

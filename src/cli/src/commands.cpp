@@ -8,6 +8,7 @@
 
 #include "subsidy/cli/market_spec.hpp"
 #include "subsidy/core/core.hpp"
+#include "subsidy/core/reference_point.hpp"
 #include "subsidy/core/surplus.hpp"
 #include "subsidy/io/csv.hpp"
 #include "subsidy/io/table.hpp"
@@ -19,6 +20,8 @@
 #include "subsidy/scenario/registry.hpp"
 #include "subsidy/scenario/runner.hpp"
 #include "subsidy/scenario/spec_grammar.hpp"
+#include "subsidy/sim/agent_engine.hpp"
+#include "subsidy/sim/cross_validation.hpp"
 
 namespace subsidy::cli {
 
@@ -337,6 +340,75 @@ int cmd_scenario(const std::vector<std::string>& argv, std::ostream& out, std::o
   return report.all_converged() && report.num_failures() == 0 ? 0 : 1;
 }
 
+int cmd_sim(const Args& args, std::ostream& out, std::ostream& err) {
+  const econ::Market market = parse_market_spec(args.get_or("market", "section5"));
+  const double price = args.get_double("price");
+  const double cap = args.get_double_or("cap", 0.0);
+  // The analytic reference fixes the subsidies the agents face (the Nash
+  // profile when --cap > 0, zeros otherwise) and is the point --validate
+  // holds the stochastic steady state against.
+  const core::EquilibriumReference reference =
+      core::compute_equilibrium_reference(market, price, cap);
+
+  sim::SimConfig config;
+  config.price = price;
+  config.subsidies = reference.subsidies;
+  config.ticks = static_cast<std::size_t>(std::max(1, args.get_int_or("ticks", 120)));
+  config.replicas = static_cast<std::size_t>(std::max(1, args.get_int_or("replicas", 1)));
+  config.snapshot_every =
+      static_cast<std::size_t>(std::max(0, args.get_int_or("snapshot", 1)));
+  config.jobs = runtime::resolve_jobs(args.get_int_or("jobs", 1));
+  const auto users = static_cast<std::size_t>(std::max(1, args.get_int_or("users", 2000)));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  const auto wakeup = static_cast<std::size_t>(std::max(1, args.get_int_or("wakeup", 1)));
+  const double noise = args.get_double_or("noise", 0.0);
+  const double congestion = args.get_double_or("congestion", 0.0);
+
+  sim::AgentMarketEngine engine(
+      market,
+      sim::AgentMarketEngine::uniform_groups(market, users, seed, wakeup, noise, congestion),
+      config);
+  const sim::SimResult result = engine.run();
+
+  out << "agents=" << engine.num_agents() << " replicas=" << config.replicas
+      << " ticks=" << result.completed_ticks << "/" << config.ticks
+      << " decisions=" << result.decisions << "\n";
+  if (!reference.nash_converged) out << "warning: Nash reference did not converge\n";
+  for (std::size_t r = 0; r < config.replicas; ++r) {
+    out << "  replica " << r << ": phi=" << result.final_phi[r]
+        << " status=" << core::to_string(result.statuses[r]) << "\n";
+  }
+  out << "analytic phi=" << reference.phi << "\n";
+  if (args.has("out")) {
+    io::write_csv_file(args.get("out"), result.snapshots);
+    out << "wrote " << result.snapshots.num_rows() << " snapshot rows to " << args.get("out")
+        << "\n";
+  } else if (config.snapshot_every == 0) {
+    io::write_csv(out, result.snapshots, 8);
+  }
+  if (result.failed) {
+    err << "simulation aborted: " << result.failure_detail << "\n";
+    return 1;
+  }
+
+  if (args.has("validate")) {
+    const double tolerance = args.get_double("validate");
+    const sim::CrossValidationReport report =
+        sim::validate_against_reference(result, reference, tolerance);
+    io::ConsoleTable table({"quantity", "simulated", "analytic", "error", "pass"});
+    for (const sim::ValidationCheck& check : report.checks) {
+      table.add_row({check.quantity, io::format_double(check.simulated, 6),
+                     io::format_double(check.analytic, 6), io::format_double(check.error, 6),
+                     check.pass ? "yes" : "NO"});
+    }
+    table.print(out);
+    out << "cross-validation: " << (report.pass ? "PASS" : "FAIL") << " (tolerance "
+        << tolerance << ")\n";
+    if (!report.pass) return 1;
+  }
+  return 0;
+}
+
 int cmd_validate(const Args& args, std::ostream& out) {
   const econ::Market market = parse_market_spec(args.get_or("market", "section5"));
   const econ::ValidationReport report = market.validate();
@@ -363,6 +435,9 @@ std::string usage() {
         "  generate-trace  --market M [--days N --noise X --seed S --out F]\n"
         "  calibrate       --trace F [--capacity MU --price P --cap Q]\n"
         "  validate        --market M\n"
+        "  sim             --market M --price P [--cap Q --users N --ticks T --seed S]\n"
+        "                  [--wakeup W --replicas R --noise X --congestion C --snapshot K]\n"
+        "                  [--jobs N --out F --validate TOL (agent simulation)]\n"
         "  scenario        run <file-or-name> [--jobs N --out-dir D --precision P --strict]\n"
         "                  | list | print <name>   (declarative scenario files)\n\n"
         "market spec: "
@@ -382,6 +457,7 @@ int run_command(const Args& args, std::ostream& out, std::ostream& err) {
     if (command == "generate-trace") return cmd_generate_trace(args, out);
     if (command == "calibrate") return cmd_calibrate(args, out);
     if (command == "validate") return cmd_validate(args, out);
+    if (command == "sim") return cmd_sim(args, out, err);
     if (command == "help" || command == "--help") {
       out << usage();
       return 0;

@@ -1,0 +1,40 @@
+// The analytic anchor the agent simulation cross-validates against: at a
+// fixed (market, price, policy cap), the solver stack's answer for where the
+// market should settle — the Nash subsidy profile (zeros when the cap pins
+// every subsidy), the demand-target populations m_i(p - s_i), and the
+// Lemma 1 utilization fixed point at those populations.
+//
+// sim::AgentMarketEngine runs millions of stochastic adoption decisions and
+// checks its steady state lands on this point; having the reference as a
+// first-class core object keeps "what the theory predicts" in one audited
+// place instead of being re-derived ad hoc by every harness.
+#pragma once
+
+#include <vector>
+
+#include "subsidy/core/system_state.hpp"
+#include "subsidy/econ/market.hpp"
+
+namespace subsidy::core {
+
+/// The analytic prediction for a (market, price, cap) triple.
+struct EquilibriumReference {
+  double price = 0.0;
+  double policy_cap = 0.0;
+  std::vector<double> subsidies;    ///< Nash profile (all zero when cap <= 0).
+  std::vector<double> populations;  ///< m_i(price - subsidies[i]).
+  double phi = 0.0;                 ///< Utilization fixed point at those m.
+  SystemState state;                ///< Fully assembled state at the point.
+  bool nash_converged = true;       ///< False when the Nash ladder gave up.
+};
+
+/// Computes the analytic reference. With cap <= 0 the subsidies are exactly
+/// zero (one utilization solve); otherwise the Nash ladder solves the
+/// subsidization game first. Throws std::runtime_error when the inner
+/// utilization solve fails; a non-converged Nash solve is reported via
+/// `nash_converged` with the last iterate's profile.
+[[nodiscard]] EquilibriumReference compute_equilibrium_reference(const econ::Market& market,
+                                                                 double price,
+                                                                 double policy_cap);
+
+}  // namespace subsidy::core

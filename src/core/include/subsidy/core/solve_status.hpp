@@ -14,6 +14,7 @@ enum class SolveStatus : unsigned char {
   bracket_failure, ///< No sign-changing bracket could be established/held.
   non_finite,      ///< A gap/utility evaluation produced NaN or infinity.
   injected_fault,  ///< A SUBSIDY_FAULT_INJECTION hook fired at this site.
+  validation_failure,  ///< A cross-validation check exceeded its tolerance.
 };
 
 /// Stable lower-case token (errors.csv cells, CLI summaries, test asserts).

@@ -1,0 +1,29 @@
+#include "subsidy/core/reference_point.hpp"
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/game.hpp"
+#include "subsidy/core/nash.hpp"
+
+namespace subsidy::core {
+
+EquilibriumReference compute_equilibrium_reference(const econ::Market& market, double price,
+                                                   double policy_cap) {
+  EquilibriumReference ref;
+  ref.price = price;
+  ref.policy_cap = policy_cap;
+  const ModelEvaluator evaluator(market);
+  if (policy_cap <= 0.0) {
+    ref.subsidies.assign(market.num_providers(), 0.0);
+  } else {
+    const SubsidizationGame game(market, price, policy_cap);
+    const NashResult nash = solve_nash(game);
+    ref.subsidies = nash.subsidies;
+    ref.nash_converged = nash.converged;
+  }
+  ref.populations = evaluator.populations(price, ref.subsidies);
+  ref.state = evaluator.evaluate(price, ref.subsidies);
+  ref.phi = ref.state.utilization;
+  return ref;
+}
+
+}  // namespace subsidy::core

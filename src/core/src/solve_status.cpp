@@ -9,6 +9,7 @@ const char* to_string(SolveStatus status) noexcept {
     case SolveStatus::bracket_failure: return "bracket_failure";
     case SolveStatus::non_finite: return "non_finite";
     case SolveStatus::injected_fault: return "injected_fault";
+    case SolveStatus::validation_failure: return "validation_failure";
   }
   return "unknown";
 }

@@ -40,6 +40,19 @@ class DemandCurve {
   /// families with closed forms override.
   [[nodiscard]] virtual double surplus_integral(double t) const;
 
+  /// Inverse demand: the willingness-to-pay threshold tau(m) of the marginal
+  /// user at population mass m, i.e. the largest t with population(t) >= m.
+  /// Under the valuation interpretation this is the valuation of the m-th
+  /// user, which is how the agent simulation assigns each simulated user a
+  /// deterministic adoption threshold (agent a of N carries
+  /// tau((a + 0.5) * population(0) / N)). `m` must lie in (0, population(0)];
+  /// values at or above the curve's supremum clamp to the flat region's edge
+  /// (plateaued families return the largest t still achieving the plateau).
+  /// Throws std::domain_error when m <= 0 or not finite. Default: monotone
+  /// bracket expansion + bisection on population(); families with closed
+  /// forms override.
+  [[nodiscard]] virtual double inverse_population(double m) const;
+
   /// Human-readable family name for reports.
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -62,6 +75,7 @@ class ExponentialDemand final : public DemandCurve {
   [[nodiscard]] double derivative(double t) const override;
   [[nodiscard]] double elasticity(double t) const override;
   [[nodiscard]] double surplus_integral(double t) const override;  ///< m(t)/alpha.
+  [[nodiscard]] double inverse_population(double m) const override; ///< -ln(m/scale)/alpha.
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DemandCurve> clone() const override;
 
@@ -82,6 +96,7 @@ class LogitDemand final : public DemandCurve {
 
   [[nodiscard]] double population(double t) const override;
   [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] double inverse_population(double m) const override; ///< t0 + ln(m0/m - 1)/k.
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DemandCurve> clone() const override;
 
@@ -105,6 +120,7 @@ class IsoelasticDemand final : public DemandCurve {
 
   [[nodiscard]] double population(double t) const override;
   [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] double inverse_population(double m) const override; ///< (m0/m)^{1/eps} - 1.
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DemandCurve> clone() const override;
 
@@ -127,6 +143,7 @@ class LinearDemand final : public DemandCurve {
   [[nodiscard]] double population(double t) const override;
   [[nodiscard]] double derivative(double t) const override;
   [[nodiscard]] double surplus_integral(double t) const override;  ///< Triangle area.
+  [[nodiscard]] double inverse_population(double m) const override; ///< t_max (1 - m/m0).
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DemandCurve> clone() const override;
 

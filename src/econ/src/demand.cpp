@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "subsidy/numerics/differentiate.hpp"
 #include "subsidy/numerics/integrate.hpp"
@@ -26,6 +28,47 @@ double DemandCurve::surplus_integral(double t) const {
   return tail.value;
 }
 
+namespace {
+
+void require_valid_mass(double m, const char* family) {
+  if (!(m > 0.0) || !std::isfinite(m)) {
+    throw std::domain_error(std::string(family) +
+                            "::inverse_population: mass must be finite and > 0");
+  }
+}
+
+}  // namespace
+
+double DemandCurve::inverse_population(double m) const {
+  require_valid_mass(m, "DemandCurve");
+  // Bracket [lo, hi] with population(lo) >= m >= population(hi), found by
+  // doubling expansion in both directions (subsidies can push the inverse
+  // below zero). Monotone bisection then needs no derivative and converges
+  // for any Assumption-2 curve; ~100 halvings reach full double precision.
+  double lo = 0.0;
+  double step = 1.0;
+  while (population(lo) < m && step < 1e12) {
+    lo -= step;
+    step *= 2.0;
+  }
+  double hi = lo;
+  step = 1.0;
+  while (population(hi) >= m && step < 1e12) {
+    hi += step;
+    step *= 2.0;
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid == lo || mid == hi) break;
+    if (population(mid) >= m) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 ExponentialDemand::ExponentialDemand(double alpha, double scale)
     : alpha_(num::require_positive(alpha, "ExponentialDemand alpha")),
       scale_(num::require_positive(scale, "ExponentialDemand scale")) {}
@@ -37,6 +80,11 @@ double ExponentialDemand::derivative(double t) const { return -alpha_ * populati
 double ExponentialDemand::elasticity(double t) const { return -alpha_ * t; }
 
 double ExponentialDemand::surplus_integral(double t) const { return population(t) / alpha_; }
+
+double ExponentialDemand::inverse_population(double m) const {
+  require_valid_mass(m, "ExponentialDemand");
+  return -std::log(m / scale_) / alpha_;
+}
 
 std::string ExponentialDemand::name() const {
   return "exp-demand(alpha=" + std::to_string(alpha_) + ")";
@@ -61,6 +109,14 @@ double LogitDemand::derivative(double t) const {
   return -m0_ * k_ * e / denom;
 }
 
+double LogitDemand::inverse_population(double m) const {
+  require_valid_mass(m, "LogitDemand");
+  // The curve approaches m0 only as t -> -inf; masses at or above it clamp
+  // to a finite floor so threshold assignment stays well defined.
+  if (m >= m0_) return t0_ - 700.0 / k_;
+  return t0_ + std::log(m0_ / m - 1.0) / k_;
+}
+
 std::string LogitDemand::name() const {
   return "logit-demand(k=" + std::to_string(k_) + ", t0=" + std::to_string(t0_) + ")";
 }
@@ -81,6 +137,13 @@ double IsoelasticDemand::population(double t) const {
 double IsoelasticDemand::derivative(double t) const {
   if (t <= 0.0) return 0.0;
   return -eps_ * m0_ * std::pow(1.0 + t, -eps_ - 1.0);
+}
+
+double IsoelasticDemand::inverse_population(double m) const {
+  require_valid_mass(m, "IsoelasticDemand");
+  // Saturated at m0 for t <= 0: the largest t achieving the plateau is 0.
+  if (m >= m0_) return 0.0;
+  return std::pow(m0_ / m, 1.0 / eps_) - 1.0;
 }
 
 std::string IsoelasticDemand::name() const {
@@ -113,6 +176,12 @@ double LinearDemand::surplus_integral(double t) const {
   if (t <= 0.0) return -t * m0_ + 0.5 * m0_ * t_max_;
   const double remaining = t_max_ - t;
   return 0.5 * population(t) * remaining;
+}
+
+double LinearDemand::inverse_population(double m) const {
+  require_valid_mass(m, "LinearDemand");
+  if (m >= m0_) return 0.0;  // Plateau edge, as in the isoelastic family.
+  return t_max_ * (1.0 - m / m0_);
 }
 
 std::string LinearDemand::name() const {

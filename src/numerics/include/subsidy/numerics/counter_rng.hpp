@@ -1,0 +1,53 @@
+// Counter-based randomness: the audited entry point for every stochastic
+// decision in row-producing code, mirroring how num::simd::sexp/slog are the
+// audited exp/log routes.
+//
+// A draw is a pure function of (seed, agent, tick) — there is no generator
+// state, so the value does not depend on evaluation order, thread count or
+// how many other draws happened first. That is exactly the property the
+// jobs-determinism contract needs: a million agents partitioned over any
+// number of workers read the same numbers, and a rerun with the same seed
+// reproduces every decision bit for bit. Contrast num::Rng (a sequential
+// mt19937_64 wrapper), whose stream position makes results depend on call
+// order — fine for offline trace generation, banned in snapshot-producing
+// simulation loops (tools/subsidy_lint's no-wallclock-rng check bans the
+// std engines in those modules; this header is the sanctioned route).
+//
+// The mixer is the splitmix64 finalizer (Steele, Lea & Flood's SplittableRandom;
+// public-domain constants) applied to a key built from the three coordinates,
+// giving full 64-bit avalanche per coordinate: adjacent (agent, tick) pairs
+// produce statistically independent outputs.
+#pragma once
+
+#include <cstdint>
+
+namespace subsidy::num::crng {
+
+/// The splitmix64 output finalizer: a bijective 64-bit mix with full
+/// avalanche (every input bit flips ~half the output bits).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// 64 uniform bits for coordinate (seed, agent, tick). Pure: the same
+/// coordinates always give the same bits, in any call order, on any thread.
+[[nodiscard]] constexpr std::uint64_t bits(std::uint64_t seed, std::uint64_t agent,
+                                           std::uint64_t tick) noexcept {
+  // Chained finalizer: each coordinate passes through a full mix before the
+  // next is folded in, so (seed+1, agent) and (seed, agent+1) do not collide
+  // the way a plain sum would.
+  return mix64(mix64(mix64(seed) ^ agent) ^ tick);
+}
+
+/// Uniform double in [0, 1) for coordinate (seed, agent, tick): the top 53
+/// bits of the mix scaled by 2^-53 (every value is exactly representable, so
+/// the draw is identical on every platform and backend).
+[[nodiscard]] constexpr double uniform01(std::uint64_t seed, std::uint64_t agent,
+                                         std::uint64_t tick) noexcept {
+  return static_cast<double>(bits(seed, agent, tick) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace subsidy::num::crng

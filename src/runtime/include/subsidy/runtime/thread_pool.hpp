@@ -111,4 +111,43 @@ auto parallel_map(const std::vector<T>& items, std::size_t jobs, F&& fn)
   return results;
 }
 
+/// Mutating analogue of parallel_map: invokes `fn(item)` on every element of
+/// `items`, fanning out over a pool when jobs > 1. Each invocation may
+/// mutate its own item (the agent simulation's per-group state lives inside
+/// the items), but items must be pairwise independent — `fn` is called
+/// concurrently on distinct elements and must not touch any other element.
+/// Exception semantics match parallel_map: all tasks are waited for, then
+/// the failure with the lowest item index is rethrown.
+template <typename T, typename F>
+void parallel_for_each(std::vector<T>& items, std::size_t jobs, F&& fn) {
+  if (jobs <= 1 || items.size() <= 1) {
+    for (T& item : items) fn(item);
+    return;
+  }
+  ThreadPool pool(std::min(jobs, items.size()));
+  std::vector<std::future<void>> pending;
+  pending.reserve(items.size());
+  for (T& item : items) {
+    // Same fault site and submission-order ordinal discipline as
+    // parallel_map: "pool.task" is consumed here on the submitting thread.
+    const bool inject = SUBSIDY_FAULT_FIRE(pool_task);
+    // fn's contract (above) confines each task to its own element, so the
+    // by-reference captures are race-free; `items` outlives the pool.
+    // subsidy-lint: allow(pool-capture-audit) — see the two lines above.
+    pending.push_back(pool.submit([&fn, &item, inject]() {
+      if (inject) throw std::runtime_error("injected fault: pool.task");
+      fn(item);
+    }));
+  }
+  std::exception_ptr first_failure;
+  for (std::future<void>& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_failure) first_failure = std::current_exception();
+    }
+  }
+  if (first_failure) std::rethrow_exception(first_failure);
+}
+
 }  // namespace subsidy::runtime

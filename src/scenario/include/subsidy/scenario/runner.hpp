@@ -119,6 +119,8 @@ class ScenarioRunner {
                                           ExperimentResult& result) const;
   [[nodiscard]] io::SweepTable run_figure(const ExperimentSpec& spec,
                                           ExperimentResult& result) const;
+  [[nodiscard]] io::SweepTable run_simulation(const ExperimentSpec& spec,
+                                              ExperimentResult& result) const;
 
   Scenario scenario_;
   RunOptions options_;

@@ -46,10 +46,24 @@
 //   caps = 0,0.5,1,1.5,2
 //   chain = 0
 //
+//   [simulation]                       # agent market simulation (src/sim)
+//   users = 2000                       # agents per provider
+//   ticks = 120
+//   price = 0.8
+//   cap = 1.0                          # > 0: simulate at the Nash subsidies
+//   seed = 1
+//   wakeup = 4                         # each agent re-decides every k ticks
+//   replicas = 2                       # independent lanes, one plane solve
+//   noise = 0.02                       # logistic decision temperature
+//   congestion = 0                     # Weber-Guerin externality coupling
+//   snapshot = 20                      # snapshot interval (0 = final only)
+//   validate = 0.05                    # cross-validate vs the analytic point
+//
 // Every parse error carries the file name and line number.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
@@ -71,7 +85,7 @@ class ScenarioParseError final : public std::runtime_error {
 };
 
 /// The experiment block kinds a scenario file can request.
-enum class ExperimentType { sweep, one_sided, equilibrium, policy, figure };
+enum class ExperimentType { sweep, one_sided, equilibrium, policy, figure, simulation };
 
 [[nodiscard]] std::string to_string(ExperimentType type);
 
@@ -88,6 +102,17 @@ struct ExperimentSpec {
   std::size_t chain_length = 0;  ///< sweep / figure warm-start chain length.
   std::size_t jobs = 1;          ///< Worker threads, 0 = hardware (never affects results).
   std::string output;            ///< CSV path; empty prints to the report.
+
+  // --- simulation block only ---
+  std::size_t sim_users = 2000;     ///< Agents per provider.
+  std::size_t sim_ticks = 120;      ///< Simulated ticks.
+  std::uint64_t sim_seed = 1;       ///< Base seed of the counter RNG streams.
+  std::size_t sim_wakeup = 1;       ///< Each agent re-decides every k ticks.
+  std::size_t sim_replicas = 1;     ///< Independent replica lanes.
+  double sim_noise = 0.0;           ///< Logistic decision temperature sigma.
+  double sim_congestion = 0.0;      ///< Congestion externality coupling c.
+  std::size_t sim_snapshot = 1;     ///< Snapshot interval (0 = final tick only).
+  double sim_validate = -1.0;       ///< Cross-validation tolerance (< 0 = off).
 };
 
 /// A fully parsed scenario: metadata, the market, and the experiment blocks

@@ -156,12 +156,41 @@ jobs = 2
 out = nash_batch_figure.csv
 )";
 
+constexpr const char* kAgentSim = R"(# Agent-market cross-validation: simulate the Section 5 market as individual
+# noisy adopters at the Nash subsidies and require the stochastic steady
+# state to land on the analytic equilibrium (utilization fixed point and
+# per-CP demand targets) within 5%. congestion stays 0 here so adoption
+# decisions are exp-backend independent: the golden CSVs then agree across
+# backends to solver ulps, which the numeric smoke compare absorbs.
+[scenario]
+name = agent_sim
+description = Agent simulation vs analytic equilibrium: Nash-subsidy cross-validation
+
+[market]
+base = section5
+
+[simulation]
+price = 0.8
+cap = 1.0
+users = 2000
+ticks = 120
+seed = 1
+wakeup = 4
+replicas = 2
+noise = 0.02
+snapshot = 20
+validate = 0.05
+jobs = 2
+out = agent_sim.csv
+)";
+
 constexpr NamedText kRegistry[] = {
     {"section3", kSection3},
     {"section5", kSection5},
     {"section5_figures", kSection5Figures},
     {"mixed_families", kMixedFamilies},
     {"nash_batch", kNashBatch},
+    {"agent_sim", kAgentSim},
 };
 
 const NamedText* find(const std::string& name) {

@@ -9,10 +9,13 @@
 #include "subsidy/core/game.hpp"
 #include "subsidy/core/nash.hpp"
 #include "subsidy/core/policy.hpp"
+#include "subsidy/core/reference_point.hpp"
 #include "subsidy/io/csv.hpp"
 #include "subsidy/io/table.hpp"
 #include "subsidy/runtime/parallel_sweep.hpp"
 #include "subsidy/runtime/thread_pool.hpp"
+#include "subsidy/sim/agent_engine.hpp"
+#include "subsidy/sim/cross_validation.hpp"
 
 namespace subsidy::scenario {
 
@@ -248,6 +251,65 @@ io::SweepTable ScenarioRunner::run_figure(const ExperimentSpec& spec,
   return table;
 }
 
+io::SweepTable ScenarioRunner::run_simulation(const ExperimentSpec& spec,
+                                              ExperimentResult& result) const {
+  // The analytic anchor first: the Nash subsidies (zeros when cap <= 0) fix
+  // the agent engine's effective prices, and the same reference point is what
+  // a `validate =` block holds the stochastic steady state against.
+  const core::EquilibriumReference reference =
+      core::compute_equilibrium_reference(scenario_.market, spec.price, spec.cap);
+  result.converged = result.converged && reference.nash_converged;
+
+  sim::SimConfig config;
+  config.price = spec.price;
+  config.subsidies = reference.subsidies;
+  config.ticks = spec.sim_ticks;
+  config.replicas = spec.sim_replicas;
+  config.snapshot_every = spec.sim_snapshot;
+  config.jobs = effective_jobs(spec);
+  sim::AgentMarketEngine engine(
+      scenario_.market,
+      sim::AgentMarketEngine::uniform_groups(scenario_.market, spec.sim_users, spec.sim_seed,
+                                             spec.sim_wakeup, spec.sim_noise,
+                                             spec.sim_congestion),
+      std::move(config));
+  const sim::SimResult run_result = engine.run();
+
+  if (run_result.failed) {
+    result.converged = false;
+    result.failures.push_back({spec.label, spec.type, -1, spec.price, spec.cap,
+                               classify_exception(run_result.failure_detail),
+                               run_result.failure_detail});
+    return run_result.snapshots;  // Snapshots taken before the abort survive.
+  }
+  for (std::size_t r = 0; r < run_result.statuses.size(); ++r) {
+    if (!core::failed(run_result.statuses[r])) continue;
+    result.converged = false;
+    result.failures.push_back({spec.label, spec.type, static_cast<std::ptrdiff_t>(r),
+                               spec.price, spec.cap, run_result.statuses[r],
+                               "replica " + std::to_string(r) +
+                                   " final utilization solve failed (" +
+                                   core::to_string(run_result.statuses[r]) + ")"});
+  }
+
+  if (spec.sim_validate >= 0.0) {
+    const sim::CrossValidationReport validation =
+        sim::validate_against_reference(run_result, reference, spec.sim_validate);
+    for (const sim::ValidationCheck& check : validation.checks) {
+      if (check.pass) continue;
+      result.converged = false;
+      result.failures.push_back(
+          {spec.label, spec.type, -1, spec.price, spec.cap,
+           core::SolveStatus::validation_failure,
+           check.quantity + ": simulated " + io::format_double(check.simulated, 6) +
+               " vs analytic " + io::format_double(check.analytic, 6) + " (error " +
+               io::format_double(check.error, 6) + " > tolerance " +
+               io::format_double(validation.tolerance, 6) + ")"});
+    }
+  }
+  return run_result.snapshots;
+}
+
 void ScenarioRunner::write_errors_csv(ScenarioReport& report) const {
   if (report.num_failures() == 0) return;
   const std::string name =
@@ -294,6 +356,9 @@ ScenarioReport ScenarioRunner::run() const {
           break;
         case ExperimentType::figure:
           result.table = run_figure(spec, result);
+          break;
+        case ExperimentType::simulation:
+          result.table = run_simulation(spec, result);
           break;
       }
     } catch (const std::runtime_error& e) {

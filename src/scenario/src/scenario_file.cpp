@@ -289,6 +289,28 @@ ExperimentSpec build_experiment(const std::string& file, ExperimentType type,
       spec.caps = reader.require_grid("caps");
       spec.chain_length = reader.count_or("chain", 0);
       break;
+    case ExperimentType::simulation:
+      spec.price = reader.require_number("price");
+      spec.cap = reader.number_or("cap", 0.0);
+      spec.sim_users = reader.count_or("users", 2000);
+      spec.sim_ticks = reader.count_or("ticks", 120);
+      spec.sim_seed = static_cast<std::uint64_t>(reader.count_or("seed", 1));
+      spec.sim_wakeup = reader.count_or("wakeup", 1);
+      spec.sim_replicas = reader.count_or("replicas", 1);
+      spec.sim_noise = reader.number_or("noise", 0.0);
+      spec.sim_congestion = reader.number_or("congestion", 0.0);
+      spec.sim_snapshot = reader.count_or("snapshot", 1);
+      spec.sim_validate = reader.number_or("validate", -1.0);
+      if (spec.sim_users == 0) {
+        throw ScenarioParseError(file, reader.line_of("users"), "'users' must be >= 1");
+      }
+      if (spec.sim_ticks == 0) {
+        throw ScenarioParseError(file, reader.line_of("ticks"), "'ticks' must be >= 1");
+      }
+      if (spec.sim_replicas == 0) {
+        throw ScenarioParseError(file, reader.line_of("replicas"), "'replicas' must be >= 1");
+      }
+      break;
   }
   reader.finish();
   return spec;
@@ -300,6 +322,7 @@ std::optional<ExperimentType> experiment_type_of(const std::string& section_name
   if (section_name == "equilibrium") return ExperimentType::equilibrium;
   if (section_name == "policy") return ExperimentType::policy;
   if (section_name == "figure") return ExperimentType::figure;
+  if (section_name == "simulation") return ExperimentType::simulation;
   return std::nullopt;
 }
 
@@ -316,6 +339,7 @@ std::string to_string(ExperimentType type) {
     case ExperimentType::equilibrium: return "equilibrium";
     case ExperimentType::policy: return "policy";
     case ExperimentType::figure: return "figure";
+    case ExperimentType::simulation: return "simulation";
   }
   return "unknown";
 }
@@ -346,7 +370,7 @@ Scenario parse_scenario(std::istream& in, const std::string& filename) {
       throw ScenarioParseError(filename, section.line,
                                "unknown section [" + section.name +
                                    "] (expected scenario, market, provider, sweep, one_sided, "
-                                   "equilibrium, policy or figure)");
+                                   "equilibrium, policy, figure or simulation)");
     }
   }
   if (market_section == nullptr) {

@@ -1,0 +1,173 @@
+// The discrete-event agent simulation layer: millions of individual users
+// adopting and churning CP subscriptions under subsidization, cross-validated
+// against the analytic equilibrium the solver stack computes.
+//
+// Microfoundation (Weber & Guerin's adoption-with-externalities model on the
+// paper's demand curves): agent a of a group representing demand mass M over
+// N agents carries a deterministic willingness-to-pay threshold
+//
+//   tau_a = m^{-1}((a + 0.5) * M / N)        (the inverse demand curve),
+//
+// i.e. the group IS the demand curve, discretized into N quantile users. On
+// each wakeup the agent re-decides its subscription: with decision noise
+// sigma = 0 it subscribes iff tau_a >= t_eff (the hard threshold rule, whose
+// adopter mass is exactly the demand target m_i(t_eff) up to the M/N
+// quantization); with sigma > 0 it subscribes with probability
+// logistic((tau_a - t_eff) / sigma), a trembling-hand rule whose expected
+// adopter mass converges to the same target as sigma -> 0. The effective
+// price t_eff = p - s_i optionally carries a congestion externality
+// c * (phi_prev - phi_ref): when utilization runs above the analytic anchor,
+// service feels worse and marginal users churn — the Weber-Guerin negative
+// externality, anchored so the analytic fixed point remains the steady state.
+//
+// Scheduling: an agent group wakes a contiguous 1/wakeup_step slice of its
+// agents per tick (agent a's phase is floor(a * wakeup_step / count)), so a
+// full pass over every agent takes wakeup_step ticks and the per-tick touched
+// state stays contiguous and cache-resident. Per-agent state is SoA: one
+// shared threshold array per group plus one subscription byte per agent per
+// replica lane.
+//
+// Determinism: every stochastic decision draws through the counter-based
+// num::crng (a pure function of (group seed + lane, agent, tick)), decisions
+// are aggregated serially in fixed group order, and the per-tick demand
+// solve rides UtilizationSolver::try_solve_many — one node-major plane pass
+// per tick for all replica lanes, each lane following exactly the scalar
+// solve()'s candidate sequence. Snapshots are therefore byte-identical for
+// any jobs count and across reruns with the same seed, and each lane's
+// trajectory is independent of how many other lanes run beside it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/core/solve_status.hpp"
+#include "subsidy/econ/market.hpp"
+#include "subsidy/io/series.hpp"
+
+namespace subsidy::sim {
+
+/// One agent population sharing configuration (market-sim's noise-trader
+/// group shape): `count` agents attached to one provider, drawing from the
+/// deterministic stream keyed by `base_seed` (+ the replica lane index).
+struct AgentGroupConfig {
+  std::string name;               ///< Label for diagnostics; defaults to the provider's.
+  std::size_t provider = 0;       ///< CP index the group subscribes to.
+  std::size_t count = 0;          ///< Agents in the group (> 0).
+  std::uint64_t base_seed = 1;    ///< Stream key; lane r draws from base_seed + r.
+  std::size_t wakeup_step = 1;    ///< Each agent re-decides every `wakeup_step` ticks.
+  std::size_t wakeup_offset = 0;  ///< Phase shift of the group's wakeup schedule.
+  /// Demand mass the group represents; < 0 derives it from the demand curve
+  /// at the group's configured effective price (covering every user the
+  /// fixed-subsidy run can attract).
+  double mass = -1.0;
+  double noise = 0.0;              ///< Logistic decision temperature sigma (0 = hard threshold).
+  double congestion_weight = 0.0;  ///< Weber-Guerin externality coupling c.
+};
+
+/// Engine-level knobs. None of `jobs` affects results; replicas are
+/// independent lockstep lanes solved as columns of one utilization plane.
+struct SimConfig {
+  double price = 0.8;              ///< ISP usage price p.
+  std::vector<double> subsidies;   ///< Fixed CP subsidies (empty = all zero).
+  std::size_t ticks = 200;         ///< Simulated ticks per run().
+  std::size_t replicas = 1;        ///< Independent lanes (lane r shifts every seed by r).
+  std::size_t snapshot_every = 1;  ///< Snapshot interval in ticks (0 = final tick only).
+  std::size_t jobs = 1;            ///< Worker threads over (lane, group) units; 0 = hardware.
+};
+
+/// Everything a run produced. `snapshots` is the CSV-ready time series:
+/// tick, replica, phi, theta, revenue, welfare, then per provider the
+/// adopted demand mass m<i> and the adoption share share<i> (adopted mass
+/// over the provider's total represented mass).
+struct SimResult {
+  io::SweepTable snapshots;
+  std::vector<double> final_phi;                       ///< Per replica lane.
+  std::vector<std::vector<double>> final_populations;  ///< [replica][provider] masses.
+  std::vector<core::SolveStatus> statuses;             ///< Last tick's per-lane solve outcome.
+  std::uint64_t decisions = 0;     ///< Total agent wakeup decisions processed.
+  std::size_t completed_ticks = 0;
+  bool failed = false;             ///< True when the run aborted (injected fault).
+  std::string failure_detail;
+};
+
+/// The discrete-event engine. Construction compiles the market kernel,
+/// precomputes every group's threshold quantiles and the analytic anchor
+/// phi_ref; run() resets all agent state and simulates config.ticks ticks,
+/// so repeated run() calls are bit-identical.
+class AgentMarketEngine {
+ public:
+  AgentMarketEngine(econ::Market market, std::vector<AgentGroupConfig> groups,
+                    SimConfig config);
+
+  /// One group per provider with `agents_per_provider` agents each, seeded
+  /// seed, seed + kSeedStride, ... so group streams never collide for any
+  /// realistic replica count.
+  [[nodiscard]] static std::vector<AgentGroupConfig> uniform_groups(
+      const econ::Market& market, std::size_t agents_per_provider, std::uint64_t seed,
+      std::size_t wakeup_step = 1, double noise = 0.0, double congestion_weight = 0.0);
+
+  static constexpr std::uint64_t kSeedStride = 0x9e3779b97f4a7c15ULL;
+
+  [[nodiscard]] const econ::Market& market() const noexcept { return evaluator_.market(); }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<AgentGroupConfig>& groups() const noexcept { return groups_; }
+  [[nodiscard]] std::size_t num_agents() const noexcept;
+  [[nodiscard]] double phi_ref() const noexcept { return phi_ref_; }
+
+  /// Rebuilds every lane to the initial state (all agents unsubscribed,
+  /// phi seeded at the analytic anchor).
+  void reset();
+
+  /// Advances every lane one tick: wake slices decide, masses aggregate,
+  /// one utilization plane solves all lanes. Throws std::runtime_error on
+  /// an injected sim.agent_step fault.
+  void step();
+
+  /// reset() + config.ticks steps with interval snapshots. Injected faults
+  /// do not throw here: the run aborts, keeps the snapshots taken so far and
+  /// reports through SimResult::failed / failure_detail.
+  [[nodiscard]] SimResult run();
+
+  // --- Visible lane state (for harnesses and benches) ---
+  [[nodiscard]] double phi(std::size_t replica) const { return phi_[replica]; }
+  [[nodiscard]] std::vector<double> populations(std::size_t replica) const;
+  [[nodiscard]] std::size_t current_tick() const noexcept { return tick_; }
+
+ private:
+  /// One (replica lane, group) work unit; owns all state the parallel pass
+  /// mutates, so units are pairwise independent.
+  struct Unit {
+    std::size_t group = 0;
+    std::size_t replica = 0;
+    std::uint64_t seed = 0;                 ///< group base_seed + replica.
+    std::vector<std::uint8_t> subscribed;   ///< One byte per agent.
+    std::int64_t adopted = 0;               ///< Subscribed agent count.
+    std::uint64_t decisions = 0;
+    bool inject = false;  ///< Armed serially each tick by the fault hook.
+  };
+
+  void step_unit(Unit& unit);
+  void append_snapshot_rows(io::SweepTable& table) const;
+  [[nodiscard]] std::vector<std::string> snapshot_columns() const;
+  [[nodiscard]] std::size_t effective_jobs() const;
+
+  std::vector<AgentGroupConfig> groups_;
+  SimConfig config_;
+  core::ModelEvaluator evaluator_;  ///< Owns the market copy and compiled kernel.
+  std::vector<double> subsidies_;   ///< Resolved fixed subsidies (one per provider).
+  std::vector<double> t_eff_;       ///< Per group: price - s[provider].
+  std::vector<double> weight_;      ///< Per group: mass / count.
+  std::vector<double> provider_mass_;          ///< Per provider: total represented mass.
+  std::vector<std::vector<double>> tau_;       ///< Per group threshold quantiles (shared by lanes).
+  double phi_ref_ = 0.0;            ///< Analytic fixed point at (price, subsidies).
+  std::vector<Unit> units_;         ///< Lane-major: units_[r * G + g].
+  std::vector<double> phi_;         ///< Per lane, carried tick to tick (also the warm hint).
+  std::vector<core::SolveStatus> statuses_;    ///< Per lane, last plane solve.
+  std::vector<double> plane_;       ///< Lane-major populations scratch (R x n).
+  std::vector<double> hints_;       ///< Warm-start scratch (R).
+  std::size_t tick_ = 0;
+};
+
+}  // namespace subsidy::sim

@@ -1,0 +1,44 @@
+// Cross-validation harness: does the stochastic agent market settle where
+// the analytic solver stack says it should? Compares a finished
+// AgentMarketEngine run against a core::EquilibriumReference — utilization
+// against the Lemma 1 fixed point, per-provider adopted masses against the
+// demand targets m_i(p - s_i) — and reports per-quantity pass/fail within a
+// caller-chosen tolerance. This is the acceptance gate wired into the `sim`
+// CLI verb, the [simulation] scenario experiment and the sim test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "subsidy/core/reference_point.hpp"
+#include "subsidy/sim/agent_engine.hpp"
+
+namespace subsidy::sim {
+
+/// One compared quantity: the replica-averaged simulated value against the
+/// analytic prediction.
+struct ValidationCheck {
+  std::string quantity;  ///< "phi" or "m<i>".
+  double simulated = 0.0;
+  double analytic = 0.0;
+  double error = 0.0;  ///< abs error for phi; floored relative error for masses.
+  bool pass = false;
+};
+
+/// Full report. `pass` is false when any check exceeds the tolerance, when
+/// the run aborted, or when any lane's final solve failed.
+struct CrossValidationReport {
+  bool pass = false;
+  double tolerance = 0.0;
+  std::vector<ValidationCheck> checks;
+};
+
+/// Compares the run's steady state (replica-averaged final utilization and
+/// populations) against the analytic reference. Utilization uses absolute
+/// error (phi lives in [0, 1]); masses use relative error with the
+/// denominator floored at 0.05 so near-empty providers don't demand
+/// impossible relative precision from a quantized agent population.
+[[nodiscard]] CrossValidationReport validate_against_reference(
+    const SimResult& result, const core::EquilibriumReference& reference, double tolerance);
+
+}  // namespace subsidy::sim

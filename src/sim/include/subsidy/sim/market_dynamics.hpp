@@ -12,6 +12,19 @@
 // The trajectory converges to the Nash equilibrium computed by the static
 // solvers on the paper's markets — evidence that the equilibria of Section 4
 // are attractors of natural learning dynamics.
+//
+// Relationship to sim::AgentMarketEngine (agent_engine.hpp): this simulator
+// evolves aggregate population masses; the agent engine evolves individual
+// users and is the module to extend for per-user behavior, staggered
+// wakeups, replica lanes or jobs-deterministic snapshots. The two agree
+// where their models overlap: with user_inertia = 1 and cp_damping = 0 here
+// (populations jump to the demand target, subsidies stay fixed) and
+// wakeup_step = 1, noise = 0, congestion_weight = 0 there, the per-round
+// populations coincide up to the engine's mass/count quantization — the
+// equivalence is pinned by a test in tests/test_sim_dynamics.cpp. This
+// simulator stays the home of the aggregate *strategy* dynamics (CP
+// best-response/gradient play, ISP price adaptation), which the agent engine
+// deliberately does not model.
 #pragma once
 
 #include <vector>

@@ -1,0 +1,283 @@
+#include "subsidy/sim/agent_engine.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "subsidy/numerics/counter_rng.hpp"
+#include "subsidy/numerics/fault_injection.hpp"
+#include "subsidy/numerics/simd.hpp"
+#include "subsidy/runtime/thread_pool.hpp"
+
+namespace subsidy::sim {
+
+namespace {
+
+/// The contiguous wake slice [lo, hi) of phase k in a group of `count`
+/// agents over a period of `step` ticks: agent a's phase is
+/// floor(a * step / count), so slices partition the group exactly and differ
+/// in size by at most one agent.
+std::pair<std::size_t, std::size_t> wake_slice(std::size_t count, std::size_t step,
+                                               std::size_t phase) {
+  const auto lo = (phase * count + step - 1) / step;
+  const auto hi = ((phase + 1) * count + step - 1) / step;
+  return {lo, std::min(hi, count)};
+}
+
+/// Numerically stable logistic 1 / (1 + e^{-z}), exp routed through the
+/// audited num::simd::sexp so both kernel backends share one code path.
+double logistic(double z) {
+  const double e = num::simd::sexp(z < 0.0 ? z : -z);
+  return z >= 0.0 ? 1.0 / (1.0 + e) : e / (1.0 + e);
+}
+
+}  // namespace
+
+AgentMarketEngine::AgentMarketEngine(econ::Market market, std::vector<AgentGroupConfig> groups,
+                                     SimConfig config)
+    : groups_(std::move(groups)), config_(std::move(config)), evaluator_(std::move(market)) {
+  const std::size_t n = evaluator_.num_providers();
+  if (groups_.empty()) throw std::invalid_argument("AgentMarketEngine: no agent groups");
+  if (config_.replicas == 0) throw std::invalid_argument("AgentMarketEngine: replicas must be >= 1");
+  subsidies_ = config_.subsidies;
+  if (subsidies_.empty()) subsidies_.assign(n, 0.0);
+  if (subsidies_.size() != n) {
+    throw std::invalid_argument("AgentMarketEngine: subsidies must have one entry per provider");
+  }
+
+  t_eff_.resize(groups_.size());
+  weight_.resize(groups_.size());
+  tau_.resize(groups_.size());
+  provider_mass_.assign(n, 0.0);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    AgentGroupConfig& group = groups_[g];
+    if (group.provider >= n) {
+      throw std::invalid_argument("AgentMarketEngine: group '" + group.name +
+                                  "' references provider " + std::to_string(group.provider) +
+                                  " of " + std::to_string(n));
+    }
+    if (group.count == 0) {
+      throw std::invalid_argument("AgentMarketEngine: group '" + group.name +
+                                  "' has zero agents");
+    }
+    if (group.wakeup_step == 0) group.wakeup_step = 1;
+    if (group.name.empty()) group.name = evaluator_.market().provider(group.provider).name;
+    const econ::DemandCurve& demand = *evaluator_.market().provider(group.provider).demand;
+    t_eff_[g] = config_.price - subsidies_[group.provider];
+    if (group.mass < 0.0) {
+      // Cover every user the configured effective price can attract: the
+      // demand mass at min(0, t_i), so a subsidy past free service still has
+      // its whole addressable population represented by agents.
+      group.mass = demand.population(std::min(0.0, t_eff_[g]));
+    }
+    weight_[g] = group.mass / static_cast<double>(group.count);
+    provider_mass_[group.provider] += group.mass;
+    // The group is the demand curve discretized into `count` quantile users:
+    // agent a's willingness-to-pay threshold is the inverse demand at mass
+    // (a + 0.5) / count of the way down the curve.
+    std::vector<double>& tau = tau_[g];
+    tau.resize(group.count);
+    for (std::size_t a = 0; a < group.count; ++a) {
+      const double mass_quantile =
+          (static_cast<double>(a) + 0.5) * group.mass / static_cast<double>(group.count);
+      tau[a] = demand.inverse_population(mass_quantile);
+    }
+  }
+
+  // The analytic anchor: the utilization fixed point at the configured
+  // (price, subsidies). Seeds every lane's warm start and centers the
+  // congestion externality so the anchor stays the stochastic steady state.
+  phi_ref_ = evaluator_.evaluate(config_.price, subsidies_).utilization;
+
+  units_.resize(config_.replicas * groups_.size());
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      Unit& unit = units_[r * groups_.size() + g];
+      unit.group = g;
+      unit.replica = r;
+      unit.seed = groups_[g].base_seed + r;
+      unit.subscribed.assign(groups_[g].count, 0);
+    }
+  }
+  phi_.resize(config_.replicas);
+  statuses_.resize(config_.replicas);
+  plane_.resize(config_.replicas * n);
+  hints_.resize(config_.replicas);
+  reset();
+}
+
+std::vector<AgentGroupConfig> AgentMarketEngine::uniform_groups(
+    const econ::Market& market, std::size_t agents_per_provider, std::uint64_t seed,
+    std::size_t wakeup_step, double noise, double congestion_weight) {
+  std::vector<AgentGroupConfig> groups;
+  groups.reserve(market.num_providers());
+  for (std::size_t i = 0; i < market.num_providers(); ++i) {
+    AgentGroupConfig group;
+    group.name = market.provider(i).name;
+    group.provider = i;
+    group.count = agents_per_provider;
+    group.base_seed = seed + kSeedStride * i;
+    group.wakeup_step = wakeup_step;
+    // Stagger the groups so each tick wakes a slice of every provider's
+    // population instead of whole providers in rotation.
+    group.wakeup_offset = i % std::max<std::size_t>(wakeup_step, 1);
+    group.noise = noise;
+    group.congestion_weight = congestion_weight;
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::size_t AgentMarketEngine::num_agents() const noexcept {
+  std::size_t total = 0;
+  for (const AgentGroupConfig& group : groups_) total += group.count;
+  return total;
+}
+
+std::size_t AgentMarketEngine::effective_jobs() const {
+  return config_.jobs == 0 ? runtime::resolve_jobs(0) : config_.jobs;
+}
+
+void AgentMarketEngine::reset() {
+  tick_ = 0;
+  for (Unit& unit : units_) {
+    std::fill(unit.subscribed.begin(), unit.subscribed.end(), std::uint8_t{0});
+    unit.adopted = 0;
+    unit.decisions = 0;
+    unit.inject = false;
+  }
+  std::fill(phi_.begin(), phi_.end(), phi_ref_);
+  std::fill(statuses_.begin(), statuses_.end(), core::SolveStatus::ok);
+  std::fill(plane_.begin(), plane_.end(), 0.0);
+}
+
+void AgentMarketEngine::step_unit(Unit& unit) {
+  if (unit.inject) throw std::runtime_error("injected fault: sim.agent_step");
+  const AgentGroupConfig& group = groups_[unit.group];
+  const std::size_t period = group.wakeup_step;
+  const auto [lo, hi] =
+      wake_slice(group.count, period, (tick_ + group.wakeup_offset) % period);
+  double t_eff = t_eff_[unit.group];
+  if (group.congestion_weight != 0.0) {
+    t_eff += group.congestion_weight * (phi_[unit.replica] - phi_ref_);
+  }
+  const double sigma = group.noise;
+  const std::vector<double>& tau = tau_[unit.group];
+  for (std::size_t a = lo; a < hi; ++a) {
+    bool adopt;
+    if (sigma > 0.0) {
+      const double p = logistic((tau[a] - t_eff) / sigma);
+      adopt = num::crng::uniform01(unit.seed, a, tick_) < p;
+    } else {
+      adopt = tau[a] >= t_eff;
+    }
+    const std::uint8_t bit = adopt ? std::uint8_t{1} : std::uint8_t{0};
+    if (unit.subscribed[a] != bit) {
+      unit.adopted += adopt ? 1 : -1;
+      unit.subscribed[a] = bit;
+    }
+  }
+  unit.decisions += hi - lo;
+}
+
+void AgentMarketEngine::step() {
+  // Fault site "sim.agent_step": ordinals are consumed here, serially and in
+  // the fixed lane-major unit order, before any parallel work starts — a
+  // plan poisons the same (tick, lane, group) unit at any jobs count.
+  for (Unit& unit : units_) unit.inject = SUBSIDY_FAULT_FIRE(sim_agent_step);
+  // Decisions are pure functions of (seed, agent, tick), every unit owns its
+  // state, and the engine fields read during the pass (tick_, phi_, tau_,
+  // t_eff_) are not written until after it — race-free and jobs-invariant.
+  // subsidy-lint: allow(pool-capture-audit) — see the two lines above.
+  runtime::parallel_for_each(units_, effective_jobs(),
+                             [this](Unit& unit) { step_unit(unit); });
+
+  // Serial aggregation in fixed unit order keeps the double sums, and
+  // therefore the plane, bit-identical for any jobs count.
+  const std::size_t n = evaluator_.num_providers();
+  std::fill(plane_.begin(), plane_.end(), 0.0);
+  for (const Unit& unit : units_) {
+    plane_[unit.replica * n + groups_[unit.group].provider] +=
+        static_cast<double>(unit.adopted) * weight_[unit.group];
+  }
+
+  // One node-major plane pass solves every lane's utilization fixed point,
+  // warm-started from the lane's previous tick. Each lane follows exactly
+  // the scalar solve()'s candidate sequence, so a lane's trajectory does not
+  // depend on how many other lanes share the plane.
+  hints_ = phi_;
+  std::vector<double> phis(config_.replicas, 0.0);
+  (void)evaluator_.solver().try_solve_many(plane_, hints_, phis, statuses_);
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    // A failed lane keeps its previous utilization (stale but finite) and
+    // carries the failure in statuses_; healthy lanes are untouched.
+    if (!core::failed(statuses_[r])) phi_[r] = phis[r];
+  }
+  ++tick_;
+}
+
+std::vector<double> AgentMarketEngine::populations(std::size_t replica) const {
+  const std::size_t n = evaluator_.num_providers();
+  return {plane_.begin() + static_cast<std::ptrdiff_t>(replica * n),
+          plane_.begin() + static_cast<std::ptrdiff_t>((replica + 1) * n)};
+}
+
+std::vector<std::string> AgentMarketEngine::snapshot_columns() const {
+  std::vector<std::string> columns = {"tick", "replica", "phi", "theta", "revenue", "welfare"};
+  const std::size_t n = evaluator_.num_providers();
+  for (std::size_t i = 0; i < n; ++i) columns.push_back("m" + std::to_string(i));
+  for (std::size_t i = 0; i < n; ++i) columns.push_back("share" + std::to_string(i));
+  return columns;
+}
+
+void AgentMarketEngine::append_snapshot_rows(io::SweepTable& table) const {
+  const std::size_t n = evaluator_.num_providers();
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    const core::SystemState state = evaluator_.assemble_state(
+        config_.price, subsidies_,
+        std::span<const double>(plane_).subspan(r * n, n), phi_[r]);
+    std::vector<double> row;
+    row.reserve(6 + 2 * n);
+    row.push_back(static_cast<double>(tick_ - 1));  // The tick just stepped.
+    row.push_back(static_cast<double>(r));
+    row.push_back(phi_[r]);
+    row.push_back(state.aggregate_throughput);
+    row.push_back(state.revenue);
+    row.push_back(state.welfare);
+    for (std::size_t i = 0; i < n; ++i) row.push_back(plane_[r * n + i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      row.push_back(provider_mass_[i] > 0.0 ? plane_[r * n + i] / provider_mass_[i] : 0.0);
+    }
+    table.add_row(std::move(row));
+  }
+}
+
+SimResult AgentMarketEngine::run() {
+  reset();
+  SimResult result;
+  result.snapshots = io::SweepTable(snapshot_columns());
+  for (std::size_t t = 0; t < config_.ticks; ++t) {
+    try {
+      step();
+    } catch (const std::runtime_error& e) {
+      result.failed = true;
+      result.failure_detail = e.what();
+      break;
+    }
+    result.completed_ticks = t + 1;
+    const bool interval_hit =
+        config_.snapshot_every != 0 && (t + 1) % config_.snapshot_every == 0;
+    if (interval_hit || t + 1 == config_.ticks) append_snapshot_rows(result.snapshots);
+  }
+  result.final_phi = phi_;
+  result.statuses = statuses_;
+  result.final_populations.reserve(config_.replicas);
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    result.final_populations.push_back(populations(r));
+  }
+  for (const Unit& unit : units_) result.decisions += unit.decisions;
+  return result;
+}
+
+}  // namespace subsidy::sim

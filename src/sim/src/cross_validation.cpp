@@ -1,0 +1,60 @@
+#include "subsidy/sim/cross_validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace subsidy::sim {
+
+CrossValidationReport validate_against_reference(const SimResult& result,
+                                                 const core::EquilibriumReference& reference,
+                                                 double tolerance) {
+  CrossValidationReport report;
+  report.tolerance = tolerance;
+
+  const std::size_t replicas = result.final_populations.size();
+  bool healthy = !result.failed && replicas > 0;
+  for (const core::SolveStatus status : result.statuses) {
+    if (core::failed(status)) healthy = false;
+  }
+
+  // Replica-averaged steady state: the lanes are independent runs, so the
+  // mean is the natural estimator to hold against the analytic point.
+  double mean_phi = 0.0;
+  std::vector<double> mean_m(reference.populations.size(), 0.0);
+  if (healthy) {
+    for (std::size_t r = 0; r < replicas; ++r) {
+      mean_phi += result.final_phi[r];
+      const std::vector<double>& m = result.final_populations[r];
+      for (std::size_t i = 0; i < mean_m.size() && i < m.size(); ++i) mean_m[i] += m[i];
+    }
+    mean_phi /= static_cast<double>(replicas);
+    for (double& m : mean_m) m /= static_cast<double>(replicas);
+  }
+
+  ValidationCheck phi_check;
+  phi_check.quantity = "phi";
+  phi_check.simulated = mean_phi;
+  phi_check.analytic = reference.phi;
+  phi_check.error = std::abs(mean_phi - reference.phi);
+  phi_check.pass = healthy && phi_check.error <= tolerance;
+  report.checks.push_back(phi_check);
+
+  for (std::size_t i = 0; i < reference.populations.size(); ++i) {
+    ValidationCheck check;
+    check.quantity = "m" + std::to_string(i);
+    check.simulated = mean_m[i];
+    check.analytic = reference.populations[i];
+    check.error = std::abs(mean_m[i] - reference.populations[i]) /
+                  std::max(0.05, std::abs(reference.populations[i]));
+    check.pass = healthy && check.error <= tolerance;
+    report.checks.push_back(check);
+  }
+
+  report.pass = healthy &&
+                std::all_of(report.checks.begin(), report.checks.end(),
+                            [](const ValidationCheck& c) { return c.pass; });
+  return report;
+}
+
+}  // namespace subsidy::sim

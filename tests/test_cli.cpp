@@ -263,6 +263,31 @@ TEST(Commands, ScenarioErrors) {
   std::remove(path.c_str());
 }
 
+TEST(Commands, SimRunsAndCrossValidates) {
+  std::string text;
+  const int code = run({"sim", "--market", "section5", "--price", "0.8", "--cap", "1.0",
+                        "--users", "500", "--ticks", "60", "--wakeup", "4", "--noise",
+                        "0.02", "--seed", "1", "--validate", "0.08"},
+                       &text);
+  EXPECT_EQ(code, 0) << text;
+  EXPECT_NE(text.find("agents=4000"), std::string::npos);
+  EXPECT_NE(text.find("analytic phi="), std::string::npos);
+  EXPECT_NE(text.find("cross-validation: PASS"), std::string::npos);
+}
+
+TEST(Commands, SimEmitsSnapshotCsvAndUsageMentionsIt) {
+  std::string text;
+  // snapshot=0 keeps only the final tick and prints the CSV inline.
+  const int code = run({"sim", "--market", "section5", "--price", "0.8", "--users", "200",
+                        "--ticks", "10", "--snapshot", "0"},
+                       &text);
+  EXPECT_EQ(code, 0) << text;
+  EXPECT_NE(text.find("tick,replica,phi"), std::string::npos);
+  std::string help;
+  EXPECT_EQ(run({"help"}, &help), 0);
+  EXPECT_NE(help.find("sim "), std::string::npos);
+}
+
 TEST(Commands, ValidateAndHelpAndUnknown) {
   std::string text;
   EXPECT_EQ(run({"validate", "--market", "section3"}, &text), 0);

@@ -36,8 +36,10 @@ TEST(FaultInjection, RequiresOptInBuild) {
 #include "subsidy/market/scenarios.hpp"
 #include "subsidy/runtime/parallel_sweep.hpp"
 #include "subsidy/runtime/thread_pool.hpp"
+#include "subsidy/scenario/registry.hpp"
 #include "subsidy/scenario/runner.hpp"
 #include "subsidy/scenario/scenario_file.hpp"
+#include "subsidy/sim/agent_engine.hpp"
 
 namespace core = subsidy::core;
 namespace fault = subsidy::num::fault;
@@ -45,6 +47,7 @@ namespace io = subsidy::io;
 namespace market = subsidy::market;
 namespace runtime = subsidy::runtime;
 namespace scenario = subsidy::scenario;
+namespace sim = subsidy::sim;
 
 namespace {
 
@@ -396,6 +399,66 @@ TEST_F(FaultInjectionTest, StrictModeReproducesTheAbort) {
   // Strict aborts before the block writes; no partial table, no sidecar.
   EXPECT_FALSE(std::filesystem::exists(dir / "grid.csv"));
   EXPECT_FALSE(std::filesystem::exists(dir / "fault_demo.errors.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FaultInjectionTest, AgentStepInjectionAbortsTheSameUnitForAnyJobs) {
+  // The engine arms its (lane, group) units serially in lane-major order
+  // before each parallel pass, so ordinal k poisons tick k / (R * G), unit
+  // k % (R * G) — independent of the worker count. run() must degrade (no
+  // throw), keep the snapshots taken so far and report the site's token.
+  EXPECT_STREQ(fault::site_name(fault::Site::sim_agent_step), "sim.agent_step");
+
+  const subsidy::econ::Market mkt = market::section5_market();  // 8 providers
+  sim::SimResult reference;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    fault::reset();
+    // 2 lanes x 8 groups = 16 units/tick: ordinal 20 fires in tick 1, unit 4.
+    fault::arm("sim.agent_step@20");
+    sim::SimConfig config;
+    config.price = 0.8;
+    config.ticks = 10;
+    config.replicas = 2;
+    config.jobs = jobs;
+    sim::AgentMarketEngine engine(
+        mkt, sim::AgentMarketEngine::uniform_groups(mkt, 64, 5), config);
+    const sim::SimResult result = engine.run();
+    EXPECT_TRUE(result.failed) << "jobs=" << jobs;
+    EXPECT_NE(result.failure_detail.find("injected fault: sim.agent_step"),
+              std::string::npos)
+        << "jobs=" << jobs << ": " << result.failure_detail;
+    EXPECT_EQ(result.completed_ticks, 1u) << "jobs=" << jobs;
+    EXPECT_GE(fault::hits(fault::Site::sim_agent_step), 20u);
+    if (jobs == 1) {
+      reference = result;
+      continue;
+    }
+    // Degraded output is still jobs-deterministic: the partial snapshot
+    // table matches the serial run cell for cell.
+    ASSERT_EQ(result.snapshots.num_rows(), reference.snapshots.num_rows());
+    for (std::size_t r = 0; r < result.snapshots.num_rows(); ++r) {
+      for (std::size_t c = 0; c < result.snapshots.num_columns(); ++c) {
+        EXPECT_EQ(result.snapshots.cell(r, c), reference.snapshots.cell(r, c))
+            << "jobs=" << jobs << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, AgentStepInjectionDegradesTheSimulationScenario) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "subsidy_fault_sim";
+  std::filesystem::remove_all(dir);
+  scenario::RunOptions options;
+  options.output_dir = dir.string();
+  const scenario::ScenarioRunner runner(
+      scenario::make_registry_scenario("agent_sim"), options);
+  fault::arm("sim.agent_step@100");
+  const scenario::ScenarioReport report = runner.run();
+  ASSERT_EQ(report.experiments.size(), 1u);
+  ASSERT_FALSE(report.experiments[0].failures.empty());
+  EXPECT_EQ(report.experiments[0].failures[0].status, core::SolveStatus::injected_fault);
+  EXPECT_TRUE(std::filesystem::exists(dir / "agent_sim.errors.csv"));
   std::filesystem::remove_all(dir);
 }
 

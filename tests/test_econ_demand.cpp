@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "subsidy/econ/assumptions.hpp"
@@ -94,6 +95,68 @@ TEST(Assumption2Validator, FlagsIncreasingCurve) {
     }
   };
   EXPECT_FALSE(econ::validate_demand_curve(IncreasingDemand{}).ok);
+}
+
+// inverse_population is the agent engine's threshold assignment (agent a's
+// willingness to pay is m^{-1} of its mass quantile): every family must
+// round-trip through its closed form, clamp its plateau deterministically
+// and reject non-masses.
+TEST(InversePopulation, RoundTripsEveryFamily) {
+  const econ::ExponentialDemand expd(2.0, 3.0);
+  const econ::LogitDemand logit(3.0, 2.0, 1.0);
+  const econ::IsoelasticDemand iso(2.0, 1.5);
+  const econ::LinearDemand lin(0.8, 1.5);
+  const econ::DemandCurve* curves[] = {&expd, &logit, &iso, &lin};
+  for (const econ::DemandCurve* curve : curves) {
+    for (double t : {0.05, 0.4, 0.9, 1.3}) {
+      const double m = curve->population(t);
+      ASSERT_GT(m, 0.0) << curve->name();
+      EXPECT_NEAR(curve->inverse_population(m), t, 1e-9) << curve->name() << " t=" << t;
+    }
+  }
+  // Exponential has no plateau: subsidies past free service invert below 0.
+  EXPECT_NEAR(expd.inverse_population(expd.population(-0.5)), -0.5, 1e-12);
+}
+
+TEST(InversePopulation, PlateauMassesClampDeterministically) {
+  // Saturated families map any mass at/above the plateau to the plateau edge
+  // (iso/linear: t = 0) or the documented finite floor (logit: t0 - 700/k).
+  const econ::IsoelasticDemand iso(2.0, 1.5);
+  EXPECT_DOUBLE_EQ(iso.inverse_population(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(iso.inverse_population(5.0), 0.0);
+  const econ::LinearDemand lin(0.8, 1.5);
+  EXPECT_DOUBLE_EQ(lin.inverse_population(0.8), 0.0);
+  const econ::LogitDemand logit(3.0, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(logit.inverse_population(3.0), 1.0 - 700.0 / 2.0);
+}
+
+TEST(InversePopulation, RejectsNonMasses) {
+  const econ::ExponentialDemand d(1.0);
+  EXPECT_THROW((void)d.inverse_population(0.0), std::domain_error);
+  EXPECT_THROW((void)d.inverse_population(-0.1), std::domain_error);
+  EXPECT_THROW((void)d.inverse_population(std::nan("")), std::domain_error);
+  EXPECT_THROW((void)d.inverse_population(std::numeric_limits<double>::infinity()),
+               std::domain_error);
+}
+
+// A curve that overrides only the pure virtuals exercises the base-class
+// bisection fallback (doubling bracket + 200 halvings).
+class ExpLogitMixDemand final : public econ::DemandCurve {
+ public:
+  [[nodiscard]] double population(double t) const override {
+    return 0.5 * std::exp(-t) + 1.0 / (1.0 + std::exp(t));
+  }
+  [[nodiscard]] std::string name() const override { return "exp-logit-mix"; }
+  [[nodiscard]] std::unique_ptr<econ::DemandCurve> clone() const override {
+    return std::make_unique<ExpLogitMixDemand>(*this);
+  }
+};
+
+TEST(InversePopulation, DefaultBisectionInvertsCustomCurves) {
+  const ExpLogitMixDemand d;
+  for (double t : {-1.5, -0.2, 0.0, 0.6, 2.0}) {
+    EXPECT_NEAR(d.inverse_population(d.population(t)), t, 1e-9) << "t=" << t;
+  }
 }
 
 // Property sweep: every family's analytic derivative must agree with a

@@ -3,6 +3,9 @@
 
 #include <cmath>
 
+#include <cstdint>
+
+#include "subsidy/numerics/counter_rng.hpp"
 #include "subsidy/numerics/differentiate.hpp"
 #include "subsidy/numerics/fixed_point.hpp"
 #include "subsidy/numerics/grid.hpp"
@@ -192,6 +195,39 @@ TEST(Rng, SplitProducesIndependentStream) {
     if (std::fabs(c - parent.uniform(0.0, 1.0)) > 1e-12) differs = true;
   }
   EXPECT_TRUE(differs);
+}
+
+TEST(CounterRng, PureAndConstexpr) {
+  // A draw is a pure function of its coordinates — evaluable at compile time,
+  // which is also what makes it order- and thread-independent at runtime.
+  static_assert(num::crng::mix64(0) == num::crng::mix64(0));
+  static_assert(num::crng::bits(1, 2, 3) == num::crng::bits(1, 2, 3));
+  static_assert(num::crng::uniform01(1, 2, 3) == num::crng::uniform01(1, 2, 3));
+  static_assert(num::crng::uniform01(1, 2, 3) >= 0.0);
+  static_assert(num::crng::uniform01(1, 2, 3) < 1.0);
+  EXPECT_EQ(num::crng::bits(42, 7, 11), num::crng::bits(42, 7, 11));
+}
+
+TEST(CounterRng, EveryCoordinateMatters) {
+  const std::uint64_t base = num::crng::bits(5, 6, 7);
+  EXPECT_NE(base, num::crng::bits(6, 6, 7));
+  EXPECT_NE(base, num::crng::bits(5, 7, 7));
+  EXPECT_NE(base, num::crng::bits(5, 6, 8));
+  // The chained finalizer keeps (seed+1, agent) apart from (seed, agent+1) —
+  // a plain-sum key would collide these.
+  EXPECT_NE(num::crng::bits(6, 6, 7), num::crng::bits(5, 7, 7));
+}
+
+TEST(CounterRng, Uniform01RangeAndMean) {
+  double sum = 0.0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const double u = num::crng::uniform01(123, static_cast<std::uint64_t>(i), 9);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / draws, 0.5, 0.02);
 }
 
 TEST(Tolerances, Helpers) {

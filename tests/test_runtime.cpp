@@ -9,6 +9,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "subsidy/core/core.hpp"
@@ -138,6 +139,43 @@ void expect_rows_identical(const std::vector<runtime::SweepRow>& a,
               b[i].result.state.aggregate_throughput);
     EXPECT_EQ(a[i].result.state.revenue, b[i].result.state.revenue);
     EXPECT_EQ(a[i].result.state.welfare, b[i].result.state.welfare);
+  }
+}
+
+TEST(ParallelForEach, MutatesEveryItemExactlyOnceForAnyJobCount) {
+  // The agent engine's fan-out primitive: each (lane, group) unit owns its
+  // mutable state, so fn may write its own element freely. The result must
+  // not depend on the worker count, including the jobs <= 1 inline path.
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    std::vector<std::pair<int, int>> items(64);
+    for (int i = 0; i < 64; ++i) items[static_cast<std::size_t>(i)] = {i, 0};
+    runtime::parallel_for_each(items, jobs, [](std::pair<int, int>& item) {
+      item.second = 3 * item.first + 1;
+    });
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(items[static_cast<std::size_t>(i)].second, 3 * i + 1) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelForEach, RethrowsTheLowestIndexFailureDeterministically) {
+  // Same contract as parallel_map: wait for every task, surface item 2.
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    std::vector<int> items(8);
+    std::iota(items.begin(), items.end(), 0);
+    try {
+      runtime::parallel_for_each(items, jobs, [](int& x) {
+        if (x == 5) throw std::runtime_error("item 5");
+        if (x == 2) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          throw std::runtime_error("item 2");
+        }
+        x = -x;
+      });
+      FAIL() << "expected a failure with jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "item 2") << "jobs=" << jobs;
+    }
   }
 }
 

@@ -206,6 +206,55 @@ TEST(ScenarioFile, LineNumberedErrors) {
       3, "missing required parameter 't0'");
 }
 
+TEST(ScenarioFile, ParsesSimulationBlock) {
+  const scenario::Scenario parsed = scenario::parse_scenario_text(
+      "[market]\nbase = section5\n\n[simulation]\nprice = 0.8\ncap = 1\n"
+      "users = 500\nticks = 40\nseed = 9\nwakeup = 4\nreplicas = 3\n"
+      "noise = 0.02\ncongestion = 0.1\nsnapshot = 10\nvalidate = 0.05\n"
+      "jobs = 2\nout = sim.csv\n");
+  ASSERT_EQ(parsed.experiments.size(), 1u);
+  const scenario::ExperimentSpec& spec = parsed.experiments[0];
+  EXPECT_EQ(spec.type, scenario::ExperimentType::simulation);
+  EXPECT_DOUBLE_EQ(spec.price, 0.8);
+  EXPECT_DOUBLE_EQ(spec.cap, 1.0);
+  EXPECT_EQ(spec.sim_users, 500u);
+  EXPECT_EQ(spec.sim_ticks, 40u);
+  EXPECT_EQ(spec.sim_seed, 9u);
+  EXPECT_EQ(spec.sim_wakeup, 4u);
+  EXPECT_EQ(spec.sim_replicas, 3u);
+  EXPECT_DOUBLE_EQ(spec.sim_noise, 0.02);
+  EXPECT_DOUBLE_EQ(spec.sim_congestion, 0.1);
+  EXPECT_EQ(spec.sim_snapshot, 10u);
+  EXPECT_DOUBLE_EQ(spec.sim_validate, 0.05);
+  EXPECT_EQ(spec.jobs, 2u);
+  EXPECT_EQ(spec.output, "sim.csv");
+
+  // Defaults: everything but price is optional; validation off (< 0).
+  const scenario::Scenario bare = scenario::parse_scenario_text(
+      "[market]\nbase = section5\n\n[simulation]\nprice = 0.8\n");
+  const scenario::ExperimentSpec& defaults = bare.experiments[0];
+  EXPECT_DOUBLE_EQ(defaults.cap, 0.0);
+  EXPECT_EQ(defaults.sim_users, 2000u);
+  EXPECT_EQ(defaults.sim_ticks, 120u);
+  EXPECT_EQ(defaults.sim_wakeup, 1u);
+  EXPECT_EQ(defaults.sim_replicas, 1u);
+  EXPECT_DOUBLE_EQ(defaults.sim_noise, 0.0);
+  EXPECT_EQ(defaults.sim_snapshot, 1u);
+  EXPECT_LT(defaults.sim_validate, 0.0);
+}
+
+TEST(ScenarioFile, SimulationBlockErrors) {
+  expect_parse_error("[market]\nbase = section5\n\n[simulation]\nusers = 100\n", 4,
+                     "missing required key 'price'");
+  expect_parse_error("[market]\nbase = section5\n\n[simulation]\nprice = 0.8\nusers = 0\n",
+                     6, "'users' must be >= 1");
+  expect_parse_error("[market]\nbase = section5\n\n[simulation]\nprice = 0.8\nticks = 0\n",
+                     6, "'ticks' must be >= 1");
+  expect_parse_error(
+      "[market]\nbase = section5\n\n[simulation]\nprice = 0.8\nreplicas = 0\n", 6,
+      "'replicas' must be >= 1");
+}
+
 TEST(ScenarioFile, FileRoundTripMatchesText) {
   const std::string path = "/tmp/subsidy_test_scenario.scn";
   {
@@ -226,10 +275,11 @@ TEST(ScenarioFile, FileRoundTripMatchesText) {
 
 TEST(Registry, ListsAllScenariosAndRejectsUnknown) {
   const std::vector<scenario::RegistryEntry> entries = scenario::registry_entries();
-  ASSERT_EQ(entries.size(), 5u);
+  ASSERT_EQ(entries.size(), 6u);
   EXPECT_TRUE(scenario::is_registry_scenario("section3"));
   EXPECT_TRUE(scenario::is_registry_scenario("section5_figures"));
   EXPECT_TRUE(scenario::is_registry_scenario("nash_batch"));
+  EXPECT_TRUE(scenario::is_registry_scenario("agent_sim"));
   EXPECT_FALSE(scenario::is_registry_scenario("warp"));
   EXPECT_THROW((void)scenario::registry_scenario_text("warp"), std::invalid_argument);
   EXPECT_THROW((void)scenario::make_registry_scenario("warp"), std::invalid_argument);

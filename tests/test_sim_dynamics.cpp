@@ -7,6 +7,7 @@
 
 #include "subsidy/core/nash.hpp"
 #include "subsidy/market/scenarios.hpp"
+#include "subsidy/sim/agent_engine.hpp"
 #include "subsidy/sim/market_dynamics.hpp"
 
 namespace core = subsidy::core;
@@ -218,5 +219,44 @@ TEST_P(DynamicsMultistartTest, ConvergesFromAnyStart) {
 
 INSTANTIATE_TEST_SUITE_P(Starts, DynamicsMultistartTest,
                          ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+// The degenerate overlap between the aggregate dynamics and the agent
+// engine (the migration contract promised in market_dynamics.hpp): with
+// user_inertia = 1 here (populations jump to the demand target each round)
+// and a cap-0 game (subsidies provably stay zero), the trajectory's
+// populations must coincide with an agent run under wakeup_step = 1,
+// noise = 0, congestion_weight = 0 — up to the engine's mass/count
+// quantization, since the hard-threshold rule adopts whole agents.
+TEST(MarketDynamics, DegenerateConfigMatchesAgentEngine) {
+  const double price = 0.8;
+  const core::SubsidizationGame game = paper_game(price, 0.0);
+
+  sim::DynamicsConfig config;
+  config.rounds = 20;
+  config.user_inertia = 1.0;
+  config.cp_damping = 0.0;
+  config.cp_learning_rate = 0.0;
+  const sim::Trajectory traj = sim::MarketDynamicsSimulator(config).run(game);
+  const sim::DynamicsStep& last = traj.final_step();
+  for (double s : last.subsidies) EXPECT_DOUBLE_EQ(s, 0.0);
+
+  const subsidy::econ::Market& mkt = game.market();
+  sim::SimConfig sim_config;
+  sim_config.price = price;
+  sim_config.ticks = 3;  // Hard thresholds reach the target after one full pass.
+  sim::AgentMarketEngine engine(
+      mkt, sim::AgentMarketEngine::uniform_groups(mkt, 4000, 7, /*wakeup_step=*/1,
+                                                  /*noise=*/0.0, /*congestion_weight=*/0.0),
+      sim_config);
+  const sim::SimResult result = engine.run();
+  ASSERT_FALSE(result.failed);
+
+  const std::vector<double>& masses = result.final_populations.at(0);
+  ASSERT_EQ(masses.size(), last.populations.size());
+  for (std::size_t i = 0; i < masses.size(); ++i) {
+    const double weight = engine.groups()[i].mass / 4000.0;
+    EXPECT_NEAR(masses[i], last.populations[i], weight + 1e-12) << "i=" << i;
+  }
+}
 
 }  // namespace

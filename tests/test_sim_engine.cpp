@@ -1,0 +1,286 @@
+// Agent-market engine suite (ctest label `sim`): cross-validation of the
+// stochastic steady state against the analytic equilibrium (the Lemma 1
+// utilization fixed point and the Nash subsidy profile), jobs/rerun/replica
+// determinism of the snapshot CSVs, the hard-threshold demand quantization
+// guarantee, wakeup staggering, both exp backends, and config validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "force_scalar_guard.hpp"
+#include "subsidy/core/reference_point.hpp"
+#include "subsidy/io/csv.hpp"
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/sim/agent_engine.hpp"
+#include "subsidy/sim/cross_validation.hpp"
+
+namespace core = subsidy::core;
+namespace econ = subsidy::econ;
+namespace io = subsidy::io;
+namespace market = subsidy::market;
+namespace sim = subsidy::sim;
+
+namespace {
+
+sim::SimConfig base_config(double price = 0.8, std::size_t ticks = 100) {
+  sim::SimConfig config;
+  config.price = price;
+  config.ticks = ticks;
+  return config;
+}
+
+std::string snapshot_csv(const sim::SimResult& result) {
+  std::ostringstream out;
+  io::write_csv(out, result.snapshots, 17);
+  return out.str();
+}
+
+sim::SimResult run_uniform(const econ::Market& mkt, sim::SimConfig config,
+                           std::size_t users, std::uint64_t seed, std::size_t wakeup = 1,
+                           double noise = 0.0, double congestion = 0.0) {
+  sim::AgentMarketEngine engine(
+      mkt, sim::AgentMarketEngine::uniform_groups(mkt, users, seed, wakeup, noise, congestion),
+      std::move(config));
+  return engine.run();
+}
+
+TEST(AgentEngine, ConvergesToUnsubsidizedFixedPoint) {
+  const econ::Market mkt = market::section5_market();
+  const core::EquilibriumReference reference =
+      core::compute_equilibrium_reference(mkt, 0.8, 0.0);
+  const sim::SimResult result = run_uniform(mkt, base_config(), 2000, 1, 4, 0.02);
+  const sim::CrossValidationReport report =
+      sim::validate_against_reference(result, reference, 0.05);
+  EXPECT_TRUE(report.pass) << snapshot_csv(result);
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.completed_ticks, 100u);
+}
+
+TEST(AgentEngine, ConvergesToNashEquilibrium) {
+  // The capstone cross-validation: agents facing the Nash subsidy profile
+  // settle on the analytic equilibrium's populations and utilization.
+  const econ::Market mkt = market::section5_market();
+  const core::EquilibriumReference reference =
+      core::compute_equilibrium_reference(mkt, 0.8, 1.0);
+  ASSERT_TRUE(reference.nash_converged);
+
+  sim::SimConfig config = base_config(0.8, 120);
+  config.subsidies = reference.subsidies;
+  config.replicas = 2;
+  const sim::SimResult result = run_uniform(mkt, config, 2000, 1, 4, 0.02);
+  const sim::CrossValidationReport report =
+      sim::validate_against_reference(result, reference, 0.05);
+  EXPECT_TRUE(report.pass);
+  for (const sim::ValidationCheck& check : report.checks) {
+    EXPECT_TRUE(check.pass) << check.quantity << ": " << check.simulated << " vs "
+                            << check.analytic << " (error " << check.error << ")";
+  }
+}
+
+TEST(AgentEngine, HardThresholdMatchesDemandTargetUpToQuantization) {
+  // noise = 0, wakeup 1: after one tick every group's adopted mass is the
+  // demand target m_i(p) to within one agent's weight.
+  const econ::Market mkt = market::section5_market();
+  sim::SimConfig config = base_config(0.8, 1);
+  const std::size_t users = 500;
+  sim::AgentMarketEngine engine(
+      mkt, sim::AgentMarketEngine::uniform_groups(mkt, users, 1), config);
+  engine.step();
+  const std::vector<double> m = engine.populations(0);
+  for (std::size_t i = 0; i < mkt.num_providers(); ++i) {
+    const double target = mkt.provider(i).demand->population(0.8);
+    const double weight = engine.groups()[i].mass / static_cast<double>(users);
+    EXPECT_NEAR(m[i], target, weight + 1e-12) << "provider " << i;
+  }
+}
+
+TEST(AgentEngine, SnapshotsByteIdenticalAcrossJobs) {
+  const econ::Market mkt = market::section5_market();
+  std::string baseline;
+  for (const std::size_t jobs : {1u, 2u, 8u}) {
+    sim::SimConfig config = base_config(0.8, 40);
+    config.replicas = 3;
+    config.jobs = jobs;
+    const std::string csv = snapshot_csv(run_uniform(mkt, config, 600, 7, 3, 0.05, 0.2));
+    if (baseline.empty()) {
+      baseline = csv;
+    } else {
+      EXPECT_EQ(csv, baseline) << "--jobs " << jobs << " drifted";
+    }
+  }
+  EXPECT_FALSE(baseline.empty());
+}
+
+TEST(AgentEngine, RerunsAreBitIdenticalAndSeedsDiverge) {
+  const econ::Market mkt = market::section5_market();
+  sim::SimConfig config = base_config(0.8, 30);
+  sim::AgentMarketEngine engine(
+      mkt, sim::AgentMarketEngine::uniform_groups(mkt, 400, 11, 2, 0.05), config);
+  const std::string first = snapshot_csv(engine.run());
+  const std::string second = snapshot_csv(engine.run());
+  EXPECT_EQ(first, second);  // run() resets: repeated runs are bit-identical.
+
+  const std::string other = snapshot_csv(run_uniform(mkt, config, 400, 12, 2, 0.05));
+  EXPECT_NE(first, other);  // a different seed actually changes the draws.
+}
+
+TEST(AgentEngine, ReplicaLanesAreCompositionInvariant) {
+  // Lane r of a multi-replica run equals a one-replica run whose groups are
+  // seeded base_seed + r: lanes never perturb each other's bits.
+  const econ::Market mkt = market::section5_market();
+  sim::SimConfig multi = base_config(0.8, 25);
+  multi.replicas = 3;
+  sim::AgentMarketEngine engine(
+      mkt, sim::AgentMarketEngine::uniform_groups(mkt, 300, 21, 2, 0.03), multi);
+  const sim::SimResult batch = engine.run();
+
+  for (std::size_t r = 0; r < 3; ++r) {
+    std::vector<sim::AgentGroupConfig> groups =
+        sim::AgentMarketEngine::uniform_groups(mkt, 300, 21, 2, 0.03);
+    for (sim::AgentGroupConfig& group : groups) group.base_seed += r;
+    sim::AgentMarketEngine solo(mkt, std::move(groups), base_config(0.8, 25));
+    const sim::SimResult single = solo.run();
+    ASSERT_EQ(single.final_populations.size(), 1u);
+    EXPECT_EQ(single.final_phi[0], batch.final_phi[r]) << "lane " << r;
+    for (std::size_t i = 0; i < mkt.num_providers(); ++i) {
+      EXPECT_EQ(single.final_populations[0][i], batch.final_populations[r][i])
+          << "lane " << r << " provider " << i;
+    }
+  }
+}
+
+TEST(AgentEngine, ScalarBackendKeepsDecisionsAndValidates) {
+  // Per-agent decisions route through the scalar sexp (std::exp under both
+  // backends), so with congestion = 0 the adopted masses are bit-identical
+  // across backends; phi differs only by solver ulps and still validates.
+  const econ::Market mkt = market::section5_market();
+  sim::SimConfig config = base_config(0.8, 60);
+  const sim::SimResult vectorized = run_uniform(mkt, config, 800, 5, 2, 0.02);
+
+  subsidy::test::ForceScalarExp guard;
+  const sim::SimResult scalar = run_uniform(mkt, config, 800, 5, 2, 0.02);
+  ASSERT_EQ(scalar.final_populations.size(), vectorized.final_populations.size());
+  for (std::size_t i = 0; i < mkt.num_providers(); ++i) {
+    EXPECT_EQ(scalar.final_populations[0][i], vectorized.final_populations[0][i]);
+  }
+  EXPECT_NEAR(scalar.final_phi[0], vectorized.final_phi[0], 1e-10);
+
+  const core::EquilibriumReference reference =
+      core::compute_equilibrium_reference(mkt, 0.8, 0.0);
+  EXPECT_TRUE(sim::validate_against_reference(scalar, reference, 0.05).pass);
+}
+
+TEST(AgentEngine, StaggeredWakeupsCoverEveryAgentOncePerPeriod) {
+  const econ::Market mkt = market::section5_market();
+  const std::size_t users = 1000;
+  const std::size_t wakeup = 4;
+  sim::SimConfig config = base_config(0.8, 2 * wakeup);
+  sim::AgentMarketEngine engine(
+      mkt, sim::AgentMarketEngine::uniform_groups(mkt, users, 1, wakeup), config);
+  EXPECT_EQ(engine.num_agents(), users * mkt.num_providers());
+  const sim::SimResult result = engine.run();
+  // Two full periods: every agent decided exactly twice.
+  EXPECT_EQ(result.decisions, static_cast<std::uint64_t>(2 * users * mkt.num_providers()));
+}
+
+TEST(AgentEngine, CongestionCoupledRunStaysAnchoredAtAnalyticPoint) {
+  // The externality is centered on phi_ref, so the analytic point remains
+  // the steady state even with a strong coupling.
+  const econ::Market mkt = market::section5_market();
+  const core::EquilibriumReference reference =
+      core::compute_equilibrium_reference(mkt, 0.8, 0.0);
+  sim::SimConfig config = base_config(0.8, 150);
+  const sim::SimResult result = run_uniform(mkt, config, 2000, 3, 4, 0.02, 0.5);
+  EXPECT_TRUE(sim::validate_against_reference(result, reference, 0.05).pass);
+}
+
+TEST(AgentEngine, SnapshotCadenceAndSchema) {
+  const econ::Market mkt = market::section5_market();
+  sim::SimConfig config = base_config(0.8, 50);
+  config.snapshot_every = 20;
+  config.replicas = 2;
+  sim::AgentMarketEngine engine(
+      mkt, sim::AgentMarketEngine::uniform_groups(mkt, 100, 1), config);
+  const sim::SimResult result = engine.run();
+  // Snapshots at ticks 19, 39 and the final tick 49: 3 per replica lane.
+  EXPECT_EQ(result.snapshots.num_rows(), 6u);
+  EXPECT_EQ(result.snapshots.num_columns(), 6u + 2u * mkt.num_providers());
+  EXPECT_EQ(result.snapshots.columns().front(), "tick");
+  EXPECT_EQ(result.snapshots.cell(0, 0), 19.0);
+  EXPECT_EQ(result.snapshots.cell(2, 0), 39.0);
+  EXPECT_EQ(result.snapshots.cell(4, 0), 49.0);
+  // Shares are adopted mass over the group's represented mass, in [0, 1].
+  const std::size_t share0 = result.snapshots.column_index("share0");
+  for (std::size_t r = 0; r < result.snapshots.num_rows(); ++r) {
+    EXPECT_GE(result.snapshots.cell(r, share0), 0.0);
+    EXPECT_LE(result.snapshots.cell(r, share0), 1.0);
+  }
+
+  config.snapshot_every = 0;  // Final tick only.
+  sim::AgentMarketEngine final_only(
+      mkt, sim::AgentMarketEngine::uniform_groups(mkt, 100, 1), config);
+  EXPECT_EQ(final_only.run().snapshots.num_rows(), 2u);
+}
+
+TEST(AgentEngine, ValidationReportFlagsExcessiveError) {
+  // An impossible tolerance must fail loudly, not silently pass.
+  const econ::Market mkt = market::section5_market();
+  const core::EquilibriumReference reference =
+      core::compute_equilibrium_reference(mkt, 0.8, 0.0);
+  const sim::SimResult result = run_uniform(mkt, base_config(0.8, 20), 50, 1, 1, 0.3);
+  const sim::CrossValidationReport strict =
+      sim::validate_against_reference(result, reference, 1e-12);
+  EXPECT_FALSE(strict.pass);
+  EXPECT_EQ(strict.checks.size(), 1u + mkt.num_providers());
+}
+
+TEST(AgentEngine, RejectsBadConfiguration) {
+  const econ::Market mkt = market::section5_market();
+  const sim::SimConfig config = base_config();
+
+  EXPECT_THROW(sim::AgentMarketEngine(mkt, {}, config), std::invalid_argument);
+
+  sim::AgentGroupConfig group;
+  group.provider = mkt.num_providers();  // out of range
+  group.count = 10;
+  EXPECT_THROW(sim::AgentMarketEngine(mkt, {group}, config), std::invalid_argument);
+
+  group.provider = 0;
+  group.count = 0;  // empty group
+  EXPECT_THROW(sim::AgentMarketEngine(mkt, {group}, config), std::invalid_argument);
+
+  group.count = 10;
+  sim::SimConfig bad = config;
+  bad.replicas = 0;
+  EXPECT_THROW(sim::AgentMarketEngine(mkt, {group}, bad), std::invalid_argument);
+
+  bad = config;
+  bad.subsidies = {0.1};  // needs one per provider
+  EXPECT_THROW(sim::AgentMarketEngine(mkt, {group}, bad), std::invalid_argument);
+}
+
+TEST(AgentEngine, GroupDefaultsResolveFromMarket) {
+  const econ::Market mkt = market::section5_market();
+  const std::vector<sim::AgentGroupConfig> groups =
+      sim::AgentMarketEngine::uniform_groups(mkt, 100, 42);
+  ASSERT_EQ(groups.size(), mkt.num_providers());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    EXPECT_EQ(groups[i].name, mkt.provider(i).name);
+    EXPECT_EQ(groups[i].provider, i);
+    EXPECT_EQ(groups[i].base_seed, 42 + sim::AgentMarketEngine::kSeedStride * i);
+  }
+  sim::AgentMarketEngine engine(mkt, groups, base_config());
+  // mass defaults to the demand at min(0, t_eff): the whole addressable
+  // population is represented, so shares can never exceed 1.
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    EXPECT_NEAR(engine.groups()[i].mass, mkt.provider(i).demand->population(0.0), 1e-12);
+  }
+  EXPECT_GT(engine.phi_ref(), 0.0);
+  EXPECT_LT(engine.phi_ref(), 1.0);
+}
+
+}  // namespace

@@ -184,11 +184,33 @@ class NoWallclockRngTest(TreeFixture):
                    "#include <ctime>\nlong f() { return time(nullptr); }\n")
         self.assertEqual(len(self.findings("no-wallclock-rng")), 1)
 
+    def test_fires_on_std_engine_in_sim(self):
+        self.write("src/sim/src/engine.cpp",
+                   "#include <random>\n"
+                   "double f() { std::mt19937 gen(42); return gen() * 1.0; }\n"
+                   "double g() { std::mt19937_64 gen(42); return gen() * 1.0; }\n"
+                   "double h() { std::default_random_engine gen; return gen() * 1.0; }\n")
+        found = self.findings("no-wallclock-rng")
+        self.assertEqual(len(found), 3)
+        self.assertIn("num::crng", found[0].message)
+
+    def test_quiet_on_counter_rng(self):
+        self.write("src/sim/src/engine.cpp",
+                   '#include "subsidy/numerics/counter_rng.hpp"\n'
+                   "double f(unsigned long long s, unsigned long long a,"
+                   " unsigned long long t) {\n"
+                   "  return subsidy::num::crng::uniform01(s, a, t);\n"
+                   "}\n")
+        self.assertEqual(self.findings("no-wallclock-rng"), [])
+
     def test_quiet_outside_row_producing_modules(self):
         self.write("bench/perf.cpp",
                    "#include <chrono>\n"
                    "long f() { return std::chrono::steady_clock::now()"
                    ".time_since_epoch().count(); }\n")
+        self.write("src/numerics/src/rng.cpp",
+                   "#include <random>\n"
+                   "struct R { std::mt19937_64 engine; };\n")
         self.assertEqual(self.findings("no-wallclock-rng"), [])
 
     def test_quiet_on_lookalikes(self):
