@@ -14,12 +14,14 @@
 #include "subsidy/market/scenarios.hpp"
 #include "subsidy/scenario/runner.hpp"
 #include "subsidy/scenario/scenario_file.hpp"
+#include "subsidy/server/engine.hpp"
 #include "subsidy/sim/agent_engine.hpp"
 
 namespace core = subsidy::core;
 namespace econ = subsidy::econ;
 namespace market = subsidy::market;
 namespace scenario = subsidy::scenario;
+namespace server = subsidy::server;
 namespace sim = subsidy::sim;
 
 namespace {
@@ -368,6 +370,66 @@ void BM_SimTick(benchmark::State& state) {
       static_cast<std::uint64_t>(state.iterations()) * wakes_per_tick));
 }
 BENCHMARK(BM_SimTick)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+/// A fixed workload of 64 distinct equilibrium queries on the Section 5
+/// market, the unit both serving benches push through the engine. Prices
+/// spread over the sweep range so every query is a distinct cache key.
+std::vector<server::Request> server_workload() {
+  constexpr std::size_t kClients = 64;
+  std::vector<server::Request> requests(kClients);
+  for (std::size_t k = 0; k < kClients; ++k) {
+    requests[k].id = "c" + std::to_string(k);
+    requests[k].op = "equilibrium";
+    requests[k].price = 0.3 + 1.2 * static_cast<double>(k) / (kClients - 1);
+    requests[k].cap = 0.5;
+  }
+  return requests;
+}
+
+server::ServerConfig server_config(std::size_t cache_capacity) {
+  server::ServerConfig config;
+  config.market_resolver = [](const std::string&) { return market::section5_market(); };
+  config.cache_capacity = cache_capacity;
+  config.default_jobs = 0;  // resolve_jobs(0): shard coalesced planes over the hardware
+  return config;
+}
+
+void BM_ServerThroughput(benchmark::State& state) {
+  // The same 64-query workload dispatched `range(0)` clients per coalesced
+  // batch: /1 is serial per-request solving, /64 one full plane-coalesced
+  // batch. The cache is off, so every query solves and the reported rate is
+  // genuine queries/second — the coalescing win is /64 vs /1.
+  const auto per_batch = static_cast<std::size_t>(state.range(0));
+  server::ServerEngine engine(server_config(0));
+  const std::vector<server::Request> workload = server_workload();
+  for (auto _ : state) {
+    for (std::size_t begin = 0; begin < workload.size(); begin += per_batch) {
+      const std::size_t end = std::min(begin + per_batch, workload.size());
+      const std::vector<server::Request> batch(workload.begin() + begin,
+                                               workload.begin() + end);
+      benchmark::DoNotOptimize(engine.serve(batch));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+}
+BENCHMARK(BM_ServerThroughput)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ServerCacheWarm(benchmark::State& state) {
+  // Repeated-market serving: the workload is solved once outside the timed
+  // loop, then every iteration replays all 64 queries from the exact-hit
+  // cache. queries/second here vs BM_ServerThroughput/64 is the warm/cold
+  // ratio.
+  server::ServerEngine engine(server_config(256));
+  const std::vector<server::Request> workload = server_workload();
+  benchmark::DoNotOptimize(engine.serve(workload));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.serve(workload));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+}
+BENCHMARK(BM_ServerCacheWarm);
 
 }  // namespace
 

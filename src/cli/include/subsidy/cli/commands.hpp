@@ -11,6 +11,8 @@
 //   calibrate       fit alpha/beta/v from a trace CSV
 //   validate        Assumption 1/2 conformance report
 //   scenario        declarative scenario files: run <file|name>, list, print
+//   serve           line-JSON request/response daemon on stdin/stdout
+//   client          build (or --run) one serve-protocol request line
 #pragma once
 
 #include <iosfwd>
@@ -27,6 +29,15 @@ int run_command(const Args& args, std::ostream& out, std::ostream& err);
 
 /// Full usage text.
 [[nodiscard]] std::string usage();
+
+/// The `serve` verb against explicit streams (unit tests drive it with
+/// stringstreams; run_cli passes std::cin). `argv` is the full command line
+/// starting at "serve". One request per line on `in`; a blank line is a
+/// batch boundary (everything since the previous boundary is served as one
+/// coalesced batch); EOF flushes the final batch. One response line per
+/// request on `out`, in request order.
+int run_serve(const std::vector<std::string>& argv, std::istream& in, std::ostream& out,
+              std::ostream& err);
 
 /// Convenience for main(): parse + dispatch with error reporting.
 int run_cli(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err);

@@ -20,6 +20,9 @@
 #include "subsidy/scenario/registry.hpp"
 #include "subsidy/scenario/runner.hpp"
 #include "subsidy/scenario/spec_grammar.hpp"
+#include "subsidy/server/engine.hpp"
+#include "subsidy/server/protocol.hpp"
+#include "subsidy/server/render.hpp"
 #include "subsidy/sim/agent_engine.hpp"
 #include "subsidy/sim/cross_validation.hpp"
 
@@ -27,31 +30,12 @@ namespace subsidy::cli {
 
 namespace {
 
-void print_state(std::ostream& out, const econ::Market& market,
-                 const core::SystemState& state) {
-  out << "price=" << state.price << " capacity=" << state.capacity
-      << " phi=" << state.utilization << " theta=" << state.aggregate_throughput
-      << " revenue=" << state.revenue << " welfare=" << state.welfare << "\n\n";
-  io::ConsoleTable table({"CP", "subsidy", "t_i", "m_i", "lambda_i", "theta_i", "U_i"});
-  for (std::size_t i = 0; i < state.providers.size(); ++i) {
-    const auto& cp = state.providers[i];
-    table.add_row({market.provider(i).name, io::format_double(cp.subsidy, 4),
-                   io::format_double(cp.effective_price, 4),
-                   io::format_double(cp.population, 4),
-                   io::format_double(cp.per_user_rate, 4),
-                   io::format_double(cp.throughput, 4), io::format_double(cp.utility, 4)});
-  }
-  table.print(out);
-}
-
-core::NashResult solve_equilibrium(const econ::Market& market, double price, double cap,
-                                   const std::string& solver) {
-  const core::SubsidizationGame game(market, price, cap);
-  if (solver == "br") return core::BestResponseSolver{}.solve(game);
-  if (solver == "eg") return core::ExtragradientSolver{}.solve(game);
-  if (solver == "auto") return core::solve_nash(game);
-  throw std::invalid_argument("unknown solver '" + solver + "' (expected br, eg or auto)");
-}
+// The solved-state / equilibrium / sweep rendering lives in subsidy::server
+// (render.hpp): the serve protocol's byte-identity contract makes the server
+// the single source of truth for these bytes, and the one-shot commands
+// render through the same functions.
+using server::render_state;
+using server::solve_equilibrium;
 
 int cmd_evaluate(const Args& args, std::ostream& out) {
   const econ::Market market = parse_market_spec(args.get_or("market", "section5"));
@@ -65,7 +49,7 @@ int cmd_evaluate(const Args& args, std::ostream& out) {
     }
   }
   const core::ModelEvaluator evaluator(market);
-  print_state(out, market, evaluator.evaluate(price, subsidies));
+  render_state(out, market, evaluator.evaluate(price, subsidies));
   return 0;
 }
 
@@ -75,24 +59,7 @@ int cmd_nash(const Args& args, std::ostream& out) {
   const double cap = args.get_double("cap");
   const core::NashResult nash =
       solve_equilibrium(market, price, cap, args.get_or("solver", "auto"));
-  out << "converged=" << (nash.converged ? "yes" : "NO") << " iterations=" << nash.iterations
-      << " residual=" << nash.residual << "\n";
-  const core::NashLaneDiagnostics& diag = nash.diagnostics;
-  out << "status=" << core::to_string(diag.status) << " rung=" << core::to_string(diag.rung)
-      << " passes plain=" << diag.plain_iterations << " damped=" << diag.damped_iterations
-      << " extragradient=" << diag.extragradient_iterations << "\n";
-  if (!diag.detail.empty()) out << "detail: " << diag.detail << "\n";
-  const core::SubsidizationGame game(market, price, cap);
-  const core::KktReport kkt = core::verify_kkt(game, nash.subsidies);
-  out << "kkt=" << (kkt.satisfied ? "satisfied" : "VIOLATED")
-      << " max_residual=" << kkt.max_residual << "\n";
-  for (std::size_t i = 0; i < kkt.entries.size(); ++i) {
-    out << "  " << market.provider(i).name << ": " << core::to_string(kkt.entries[i].active_set)
-        << " u_i=" << kkt.entries[i].marginal_utility << "\n";
-  }
-  out << "\n";
-  print_state(out, market, nash.state);
-  return nash.converged && kkt.satisfied ? 0 : 1;
+  return server::render_equilibrium(out, market, price, cap, nash);
 }
 
 int cmd_sweep(const Args& args, std::ostream& out) {
@@ -108,12 +75,7 @@ int cmd_sweep(const Args& args, std::ostream& out) {
   options.jobs = runtime::resolve_jobs(args.get_int_or("jobs", 1));
   options.chain_length = static_cast<std::size_t>(std::max(0, args.get_int_or("chain", 8)));
   const runtime::ParallelSweepRunner runner(market, options);
-  io::SweepTable table({"p", "phi", "theta", "revenue", "welfare"});
-  for (const runtime::SweepRow& row : runner.run_prices(cap, prices)) {
-    const core::SystemState& state = row.result.state;
-    table.add_row({row.price, state.utilization, state.aggregate_throughput,
-                   state.revenue, state.welfare});
-  }
+  const io::SweepTable table = server::sweep_table(runner.run_prices(cap, prices));
   if (args.has("out")) {
     io::write_csv_file(args.get("out"), table);
     out << "wrote " << table.num_rows() << " rows to " << args.get("out") << "\n";
@@ -138,7 +100,7 @@ int cmd_optimize_price(const Args& args, std::ostream& out) {
   const core::OptimalPrice best = optimizer.optimize(args.get_double("cap"));
   out << "p*=" << best.price << " revenue=" << best.revenue
       << " welfare=" << best.state.welfare << "\n\n";
-  print_state(out, market, best.state);
+  render_state(out, market, best.state);
   return 0;
 }
 
@@ -223,7 +185,7 @@ int cmd_calibrate(const Args& args, std::ostream& out) {
     out << "\npolicy answer on the calibrated market:\n";
     const core::NashResult nash =
         solve_equilibrium(rebuilt, args.get_double("price"), args.get_double("cap"), "auto");
-    print_state(out, rebuilt, nash.state);
+    render_state(out, rebuilt, nash.state);
   }
   return 0;
 }
@@ -417,7 +379,110 @@ int cmd_validate(const Args& args, std::ostream& out) {
   return report.ok ? 0 : 1;
 }
 
+server::ServerConfig serve_config(const Args& args) {
+  server::ServerConfig config;
+  config.market_resolver = [](const std::string& spec) { return parse_market_spec(spec); };
+  config.cache_capacity =
+      static_cast<std::size_t>(std::max(0, args.get_int_or("cache", 256)));
+  config.default_jobs = args.get_int_or("jobs", 1);
+  config.verify_hints = args.flag("verify-hints");
+  return config;
+}
+
+/// `client --op equilibrium|sweep|one_sided [query options] [--id X] [--run]`:
+/// encodes one serve-protocol request line (the scriptable way to build
+/// well-formed requests), or with --run executes it against an in-process
+/// engine and prints the response text — which is byte-identical to the
+/// corresponding one-shot command by the serving contract.
+int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
+  server::Request request;
+  request.id = args.get_or("id", "");
+  request.op = args.get_or("op", "equilibrium");
+  request.market = args.get_or("market", "section5");
+  request.solver = args.get_or("solver", "auto");
+  if (args.has("price")) request.price = args.get_double("price");
+  if (args.has("cap")) request.cap = args.get_double("cap");
+  if (args.has("pmin")) request.pmin = args.get_double("pmin");
+  if (args.has("pmax")) request.pmax = args.get_double("pmax");
+  if (args.has("points")) request.points = args.get_int_or("points", 0);
+  if (args.has("chain")) request.chain = args.get_int_or("chain", 0);
+  if (args.has("jobs")) request.jobs = args.get_int_or("jobs", 0);
+  if (args.has("precision")) request.precision = args.get_int_or("precision", 0);
+  if (args.has("prices")) request.prices = args.get_double_list("prices");
+
+  if (!args.flag("run")) {
+    out << server::serialize_request(request) << "\n";
+    return 0;
+  }
+  server::ServerEngine engine(serve_config(args));
+  const server::Response response = engine.serve_one(request);
+  if (!response.ok) {
+    err << "error: " << response.error << "\n";
+    return response.exit_code;
+  }
+  out << response.text;
+  return response.exit_code;
+}
+
 }  // namespace
+
+int run_serve(const std::vector<std::string>& argv, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  const Args args = Args::parse(argv, {"verify-hints", "stats"});
+  server::ServerEngine engine(serve_config(args));
+
+  // One request per line; a blank line is a batch boundary — everything
+  // accumulated since the last boundary is served as ONE coalesced batch
+  // (the pipe-mode analogue of the async dispatcher's drain-the-backlog
+  // wakeup). Responses come back one line each, in request order; requests
+  // that fail to parse become in-band error responses in their slot.
+  std::vector<std::string> batch_lines;
+  const auto flush = [&] {
+    if (batch_lines.empty()) return;
+    std::vector<server::Response> responses(batch_lines.size());
+    std::vector<server::Request> requests;
+    std::vector<std::size_t> slots;
+    requests.reserve(batch_lines.size());
+    for (std::size_t k = 0; k < batch_lines.size(); ++k) {
+      try {
+        requests.push_back(server::parse_request(batch_lines[k]));
+        slots.push_back(k);
+      } catch (const std::exception& e) {
+        responses[k].ok = false;
+        responses[k].exit_code = 2;
+        responses[k].error = e.what();
+      }
+    }
+    const std::vector<server::Response> served = engine.serve(requests);
+    for (std::size_t k = 0; k < slots.size(); ++k) responses[slots[k]] = served[k];
+    for (const server::Response& response : responses) {
+      out << server::serialize_response(response) << "\n";
+    }
+    out.flush();
+    batch_lines.clear();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      flush();
+      continue;
+    }
+    batch_lines.push_back(line);
+  }
+  flush();
+
+  if (args.flag("stats")) {
+    const server::ServerStats stats = engine.stats();
+    err << "serve: requests=" << stats.requests << " batches=" << stats.batches
+        << " coalesced_lanes=" << stats.coalesced_lanes
+        << " exact_hits=" << stats.exact_hits << " near_hits=" << stats.near_hits
+        << " hint_confirmed=" << stats.hint_confirmed
+        << " hint_divergent=" << stats.hint_divergent
+        << " evictions=" << stats.evictions << " cache_size=" << stats.cache_size << "\n";
+  }
+  return 0;
+}
 
 std::string usage() {
   std::ostringstream ss;
@@ -439,7 +504,11 @@ std::string usage() {
         "                  [--wakeup W --replicas R --noise X --congestion C --snapshot K]\n"
         "                  [--jobs N --out F --validate TOL (agent simulation)]\n"
         "  scenario        run <file-or-name> [--jobs N --out-dir D --precision P --strict]\n"
-        "                  | list | print <name>   (declarative scenario files)\n\n"
+        "                  | list | print <name>   (declarative scenario files)\n"
+        "  serve           [--jobs N --cache N --verify-hints --stats]  (line-JSON daemon\n"
+        "                  on stdin/stdout; a blank line flushes one coalesced batch)\n"
+        "  client          --op equilibrium|sweep|one_sided [query options] [--id X]\n"
+        "                  [--run]   (emit one serve request line, or --run in-process)\n\n"
         "market spec: "
      << market_spec_help() << "\n";
   return ss.str();
@@ -480,6 +549,25 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out, std::ostrea
   if (argv.front() == "scenario") {
     try {
       return cmd_scenario(argv, out, err);
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  // `serve` and `client` take boolean flags, which the bare Args grammar in
+  // the default path below does not know about.
+  if (argv.front() == "serve") {
+    try {
+      return run_serve(argv, std::cin, out, err);
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (argv.front() == "client") {
+    try {
+      const Args args = Args::parse(argv, {"run", "verify-hints"});
+      return cmd_client(args, out, err);
     } catch (const std::exception& e) {
       err << "error: " << e.what() << "\n";
       return 2;

@@ -94,6 +94,13 @@ class SubsidizationGame {
   /// tau_i >= q.
   [[nodiscard]] double threshold_tau(std::size_t i, std::span<const double> subsidies) const;
 
+  /// Same threshold evaluated at an already-solved fixed point: `m` must be
+  /// the populations at `subsidies` and `phi` the solved utilization at `m`.
+  /// Callers needing all n thresholds at one profile (KKT verification)
+  /// solve once and share instead of paying n cold inner solves.
+  [[nodiscard]] double threshold_tau(std::size_t i, std::span<const double> subsidies,
+                                     std::span<const double> m, double phi) const;
+
   /// Upper bound of the effective strategy interval for player i:
   /// min(q, v_i) — subsidizing beyond one's own profitability is dominated.
   [[nodiscard]] double strategy_upper_bound(std::size_t i) const;

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <utility>
@@ -134,6 +135,16 @@ class MarketKernel {
 
   [[nodiscard]] std::size_t num_providers() const noexcept { return n_; }
   [[nodiscard]] double capacity() const noexcept { return mu_; }
+
+  /// 64-bit structural fingerprint of the compiled market: FNV-1a over the
+  /// family tags, slot permutation, cluster layout, every coefficient bucket
+  /// (throughput/demand SoA, bit-exact doubles), mu and the utilization
+  /// family/exponent. Kernels compiled from markets with identical built-in
+  /// curves and parameters hash equal; any coefficient, family or ordering
+  /// difference changes the hash. Opaque curves contribute their instance
+  /// identity, so equal-but-distinct opaque markets conservatively hash
+  /// unequal — a cache keyed on this can miss, never falsely hit.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 
   // --- Gap function (Lemma 1) -------------------------------------------
 

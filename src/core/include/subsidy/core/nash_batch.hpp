@@ -69,10 +69,11 @@ class NashBatchSolver {
                            Backend backend = Backend::planes);
 
   /// Solves every node, lockstep. Batching never changes a lane's candidate
-  /// sequence, so element k equals solve_one(nodes[k]) bit for bit under the
-  /// forced-scalar exp backend and to well under 1e-12 with SIMD (passes too
-  /// narrow to amortize the plane machinery resolve through the scalar twin,
-  /// which only moves results within that same envelope). Lanes that exhaust
+  /// sequence, and the plane backend evaluates every pass width through the
+  /// same position-independent kernels, so element k equals solve_one(
+  /// nodes[k]) bit for bit under BOTH exp backends — batch composition is
+  /// invisible in the result bits (the serving layer's coalescing contract
+  /// rides on this). Lanes that exhaust
   /// max_iterations are returned with converged = false; no fallback ladder
   /// runs here (see solve_nash_many). A lane whose inner utilization solve
   /// or utility evaluation collapses is retired with its failure recorded in

@@ -191,11 +191,16 @@ double SubsidizationGame::best_response(std::size_t i, std::span<const double> s
 }
 
 double SubsidizationGame::threshold_tau(std::size_t i, std::span<const double> subsidies) const {
+  const std::vector<double> m = evaluator_.populations(price_, subsidies);
+  const double phi = evaluator_.solver().solve(m);
+  return threshold_tau(i, subsidies, m, phi);
+}
+
+double SubsidizationGame::threshold_tau(std::size_t i, std::span<const double> subsidies,
+                                        std::span<const double> m, double phi) const {
   if (i >= num_players()) throw std::out_of_range("SubsidizationGame::threshold_tau: bad player");
   const auto& market = evaluator_.market();
   const MarketKernel& kernel = evaluator_.kernel();
-  const std::vector<double> m = evaluator_.populations(price_, subsidies);
-  const double phi = evaluator_.solver().solve(m);
   const auto& cp = market.provider(i);
   const double s_i = subsidies[i];
   const double t_i = price_ - s_i;

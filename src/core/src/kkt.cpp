@@ -30,6 +30,11 @@ KktReport verify_kkt(const SubsidizationGame& game, std::span<const double> subs
   const std::size_t n = game.num_players();
   const double q = game.policy_cap();
   const std::vector<double> u = game.marginal_utilities(subsidies);
+  // One shared fixed point for all n thresholds — computed by exactly the
+  // expressions the single-profile threshold_tau overload would run per
+  // player, so the shared values are bitwise the per-call ones.
+  const std::vector<double> m = game.evaluator().populations(game.price(), subsidies);
+  const double phi = game.evaluator().solver().solve(m);
 
   KktReport report;
   report.entries.resize(n);
@@ -37,7 +42,7 @@ KktReport verify_kkt(const SubsidizationGame& game, std::span<const double> subs
     KktEntry& e = report.entries[i];
     e.subsidy = subsidies[i];
     e.marginal_utility = u[i];
-    e.threshold_tau = game.threshold_tau(i, subsidies);
+    e.threshold_tau = game.threshold_tau(i, subsidies, m, phi);
 
     if (subsidies[i] <= options.boundary_tolerance) {
       e.active_set = ActiveSet::at_zero;

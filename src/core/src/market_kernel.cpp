@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
@@ -145,6 +146,60 @@ MarketKernel::MarketKernel(const econ::Market& market)
     util_family_ = UtilizationFamily::opaque;
   }
   util_model_ = market.utilization_model_ptr();
+}
+
+std::uint64_t MarketKernel::fingerprint() const noexcept {
+  // FNV-1a/64 over every compiled bucket, walked in a fixed order. Doubles
+  // contribute their exact bit patterns — two markets whose coefficients
+  // differ in the last ulp must key different cache entries, because the
+  // solver results differ too.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix_bytes = [&h](const void* data, std::size_t size) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t k = 0; k < size; ++k) {
+      h ^= bytes[k];
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto mix_u64 = [&mix_bytes](std::uint64_t v) noexcept { mix_bytes(&v, sizeof v); };
+  const auto mix_f64 = [&mix_u64](double v) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    mix_u64(bits);
+  };
+
+  mix_u64(n_);
+  mix_f64(mu_);
+  mix_u64(exp_end_);
+  mix_u64(pow_end_);
+  mix_u64(delay_end_);
+  for (std::size_t slot = 0; slot < n_; ++slot) {
+    mix_u64(provider_of_slot_[slot]);
+    mix_f64(t_beta_[slot]);
+    mix_f64(t_lambda0_[slot]);
+  }
+  for (std::size_t b : cluster_begin_) mix_u64(b);
+  for (double beta : cluster_beta_) mix_f64(beta);
+  // Opaque throughput curves: instance identity stands in for the (unknown)
+  // coefficients — conservative, never a false equality.
+  for (const auto& curve : opaque_curves_) {
+    mix_u64(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(curve.get())));
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    mix_u64(static_cast<std::uint64_t>(d_family_[i]));
+    mix_f64(d_alpha_[i]);
+    mix_f64(d_scale_[i]);
+    mix_f64(d_shift_[i]);
+    if (d_opaque_[i] != nullptr) {
+      mix_u64(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(d_opaque_[i].get())));
+    }
+  }
+  mix_u64(static_cast<std::uint64_t>(util_family_));
+  mix_f64(gamma_);
+  if (util_family_ == UtilizationFamily::opaque) {
+    mix_u64(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(util_model_.get())));
+  }
+  return h;
 }
 
 void MarketKernel::check_population_size(std::size_t size) const {

@@ -21,11 +21,6 @@ namespace {
 constexpr double kRootTolerance = 1e-12;
 constexpr int kMaxPolishSteps = 120;
 
-/// Passes narrower than this resolve through per-node scalar solves: the
-/// plane engine's per-pass setup outweighs the vectorized exp below ~4
-/// columns (measured on the section 5 market).
-constexpr std::size_t kMinPlaneWidth = 4;
-
 /// Where a lane's current player stands inside its line search; every stage
 /// except `retired` names the candidate set the lane will contribute to the
 /// next plane pass.
@@ -186,15 +181,18 @@ class Engine {
 
       // --- Resolve: one solve_many plane plus one fused g/dg plane pass
       //     (Backend::planes), or the per-node scalar twin of the exact same
-      //     candidates (Backend::scalar). Passes too narrow to amortize the
-      //     plane machinery (late-batch tails, single-node solves) drop to
-      //     the scalar twin: identical candidates, per-node solves — the
-      //     same <= 1e-12 SIMD-vs-scalar envelope as everything else, and
-      //     bit-identical under the forced-scalar backend. ---
+      //     candidates (Backend::scalar). The plane backend handles every
+      //     width, including single-column passes: per-column plane results
+      //     are position-independent (elementwise vector lanes, padded
+      //     ragged tails), so a lane's bits never depend on how many other
+      //     lanes share its batch. That composition invariance — exact under
+      //     SIMD, not just under the forced-scalar backend — is what lets
+      //     the serving layer coalesce concurrent requests into shared
+      //     planes while staying byte-identical to solo solves. ---
       g.resize(ncols);
       dg.resize(ncols);
       statuses.resize(ncols);
-      if (use_planes_ && ncols >= kMinPlaneWidth) {
+      if (use_planes_) {
         (void)evaluator_.solver().try_solve_many(pops, hints, phis, statuses);
         kernel_.batch_reserve(ncols, batch);
         for (std::size_t c = 0; c < ncols; ++c) {

@@ -38,8 +38,9 @@ enum class Site : unsigned char {
   nash_lane_nan,             ///< "nash.lane_nan": one lane line-search utility -> NaN.
   pool_task,                 ///< "pool.task": one submitted pool task throws.
   sim_agent_step,            ///< "sim.agent_step": one sim agent-group step throws.
+  server_request,            ///< "server.request": one admitted server request fails.
 };
-inline constexpr std::size_t kNumSites = 6;
+inline constexpr std::size_t kNumSites = 7;
 
 /// The dotted plan token for a site.
 [[nodiscard]] const char* site_name(Site site) noexcept;

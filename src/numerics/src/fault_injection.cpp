@@ -15,7 +15,7 @@ namespace {
 
 constexpr std::array<const char*, kNumSites> kSiteNames = {
     "utilization.newton_stall", "utilization.gap_nan", "nash.lane_stall",
-    "nash.lane_nan", "pool.task", "sim.agent_step"};
+    "nash.lane_nan", "pool.task", "sim.agent_step", "server.request"};
 
 struct State {
   std::array<std::atomic<std::uint64_t>, kNumSites> counters{};

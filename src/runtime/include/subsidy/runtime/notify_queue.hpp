@@ -1,0 +1,93 @@
+// NotifyQueue: a small closable MPMC queue with drain-all semantics — the
+// wakeup primitive under the serving layer's batching scheduler. Producers
+// push items one at a time; a consumer calls wait_drain(), which blocks
+// until at least one item is queued (or the queue is closed) and then takes
+// the ENTIRE backlog in one swap. That drain-the-backlog shape is what turns
+// concurrent arrivals into coalesced batches: every request that lands while
+// the solver is busy with the previous batch rides the next drain together.
+//
+// Determinism note: the queue imposes no ordering beyond per-producer FIFO
+// (pushes from one thread drain in push order; interleaving across producers
+// is scheduling-dependent). Layers that need reproducible output must key
+// their results to request identity, not arrival order — the server engine
+// sorts each drained batch by request ordinal before dispatch.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace subsidy::runtime {
+
+/// Closable MPMC queue; wait_drain() hands the consumer the whole backlog.
+template <typename T>
+class NotifyQueue {
+ public:
+  NotifyQueue() = default;
+  NotifyQueue(const NotifyQueue&) = delete;
+  NotifyQueue& operator=(const NotifyQueue&) = delete;
+
+  /// Enqueues one item and wakes a waiting consumer. Returns false (and
+  /// drops the item) when the queue is already closed.
+  bool push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    wake_.notify_one();
+    return true;
+  }
+
+  /// Blocks until the backlog is non-empty or the queue is closed, then
+  /// moves the entire backlog into `out` (cleared first). Returns true when
+  /// items were drained; false when the queue is closed AND empty — the
+  /// consumer's termination signal.
+  bool wait_drain(std::vector<T>& out) {
+    out.clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed_ must hold here.
+    out.swap(items_);
+    return true;
+  }
+
+  /// Non-blocking drain; true when anything was taken.
+  bool try_drain(std::vector<T>& out) {
+    out.clear();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return false;
+    out.swap(items_);
+    return true;
+  }
+
+  /// Closes the queue: further pushes are refused, and once the backlog is
+  /// drained wait_drain() returns false. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    wake_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace subsidy::runtime

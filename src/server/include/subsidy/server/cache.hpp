@@ -1,0 +1,101 @@
+// The warm-start layer of the serving engine: a canonical market
+// fingerprint, an exact-hit result cache, and a per-market hint store for
+// near-hit (same market, different query point) phi/subsidy seeds.
+//
+// Determinism contract: nothing here reads a clock. Recency is the request
+// ordinal — a monotone counter the engine assigns at admission — so the
+// eviction order of any request sequence is a pure function of that
+// sequence, reproducible run to run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "subsidy/econ/market.hpp"
+#include "subsidy/server/protocol.hpp"
+
+namespace subsidy::server {
+
+/// Canonical 64-bit fingerprint of a market as the server keys it: the
+/// compiled MarketKernel's structural hash (family tags + every coefficient,
+/// bit-exact) extended with the serving-visible provider identity the kernel
+/// does not compile — names (rendered in responses) and profitabilities
+/// (drive the Nash layer). Markets built from identical built-in curves and
+/// parameters hash equal; opaque curves hash by instance, so equal-but-
+/// distinct opaque markets conservatively miss.
+[[nodiscard]] std::uint64_t market_fingerprint(const econ::Market& market);
+
+/// Exact-hit store: full responses keyed by the canonical query string
+/// (fingerprint + op + bit-exact effective parameters), evicted LRU by
+/// request ordinal. Single-threaded by design — the engine serializes all
+/// access behind its batch mutex.
+class ResultCache {
+ public:
+  /// `capacity` = max resident entries; 0 disables the cache entirely.
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Looks up `key`, refreshing its recency to `ordinal` on hit. Returns
+  /// nullptr on miss (or when disabled). The pointer is valid until the next
+  /// insert().
+  [[nodiscard]] const Response* find(const std::string& key, std::uint64_t ordinal);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entry — smallest last-touched ordinal, ties broken by key order — when
+  /// full. No-op when disabled.
+  void insert(const std::string& key, Response response, std::uint64_t ordinal);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+  /// True when `key` is resident (no recency update; test introspection).
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return entries_.find(key) != entries_.end();
+  }
+
+ private:
+  struct Entry {
+    Response response;
+    std::uint64_t last_used = 0;
+  };
+
+  std::size_t capacity_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t evictions_ = 0;
+};
+
+/// One recorded equilibrium solution, reusable as a warm-start seed for
+/// nearby (price, cap) queries on the same market.
+struct EquilibriumHint {
+  double price = 0.0;
+  double cap = 0.0;
+  double phi = 0.0;                ///< Solved utilization (phi_hint seed).
+  std::vector<double> subsidies;   ///< Equilibrium profile (initial seed).
+  std::uint64_t ordinal = 0;       ///< Admission ordinal of the recording request.
+};
+
+/// Per-fingerprint ring of recent equilibrium solutions. nearest() picks the
+/// minimum |dp| + |dq| seed with a deterministic tie-break (lowest ordinal),
+/// so hint selection is a pure function of the recorded sequence.
+class HintStore {
+ public:
+  /// Hints retained per market fingerprint (oldest ordinal evicted first).
+  static constexpr std::size_t kPerMarket = 16;
+
+  void record(std::uint64_t fingerprint, EquilibriumHint hint);
+
+  /// Best seed for (price, cap) on this market, nullptr when none recorded.
+  /// The pointer is valid until the next record().
+  [[nodiscard]] const EquilibriumHint* nearest(std::uint64_t fingerprint, double price,
+                                               double cap) const;
+
+  [[nodiscard]] std::size_t size(std::uint64_t fingerprint) const;
+
+ private:
+  std::map<std::uint64_t, std::vector<EquilibriumHint>> hints_;
+};
+
+}  // namespace subsidy::server

@@ -1,0 +1,180 @@
+// ServerEngine: the equilibrium-as-a-service core — request validation, the
+// batching/coalescing scheduler, the warm-start cache, and response
+// rendering — with no transport attached. The CLI `serve` verb wraps it in a
+// stdin/stdout line loop; tests and benches drive it in-process.
+//
+// Batching model. serve() processes one coalesced batch synchronously: all
+// `equilibrium` queries with the default ladder solver are grouped by market
+// fingerprint and solved as lockstep NashBatchSolver lanes (one plane pass
+// for the whole group), and all `one_sided` grids on the same market are
+// concatenated into a single try_evaluate_unsubsidized_many plane and split
+// back per request. The async surface (start/submit/stop) feeds a
+// NotifyQueue whose dispatcher drains the ENTIRE backlog each wakeup — so
+// while the solver is busy, every request that arrives rides the next batch
+// together. `sweep` requests run their own ParallelSweepRunner (already
+// plane-batched internally).
+//
+// Determinism contract (the serving extension of the PR 4/5 composition
+// invariance): response text and exit code for a query are byte-identical
+// to the one-shot CLI for the same query, regardless of
+//   - arrival order and batch composition (lanes are position-independent),
+//   - cache state (exact hits replay bytes the solver would recompute;
+//     near-hit hints ride as SHADOW verification lanes that never serve
+//     bytes — see verify_hints),
+//   - jobs (sweep rows are jobs-invariant by the PR 2 contract).
+// Under num::simd::force_scalar() the engine matches the CLI's own scalar
+// dispatch by solving each equilibrium per-request through solve_nash (the
+// legacy Gauss-Seidel path); plane coalescing resumes with the SIMD kernel.
+//
+// Warm starts. Result-bearing warm starts can never be bitwise-neutral here:
+// a phi/subsidy seed changes the inner solvers' candidate sequences, and
+// Newton stops at a path-dependent near-root (~1e-13 apart), which the
+// rendered iteration/residual text would expose. So the cache is split:
+// exact hits (same market fingerprint + op + bit-exact parameters) replay
+// the stored response; near hits (same market, different (price, cap)) seed
+// phi/subsidy hints into extra shadow lanes appended to the SAME coalesced
+// plane (marginal cost is amortized), whose results are cross-checked
+// against the canonical lanes within hint_tolerance and counted in stats —
+// a continuous, cheap audit of solver path-independence that cannot perturb
+// responses by construction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "subsidy/econ/market.hpp"
+#include "subsidy/runtime/notify_queue.hpp"
+#include "subsidy/server/cache.hpp"
+#include "subsidy/server/protocol.hpp"
+
+namespace subsidy::core {
+struct NashResult;  // core/nash.hpp (the engine's .cpp pulls the full stack)
+}
+
+namespace subsidy::server {
+
+/// Resolves a request's market spec string into a market. The host injects
+/// this (the CLI passes cli::parse_market_spec) so the server layer carries
+/// no spec-grammar dependency. Must throw on unknown specs.
+using MarketResolver = std::function<econ::Market(const std::string&)>;
+
+struct ServerConfig {
+  MarketResolver market_resolver;  ///< Required.
+  std::size_t cache_capacity = 256;  ///< Exact-hit entries; 0 disables caching.
+  bool verify_hints = false;  ///< Run near-hit shadow verification lanes.
+  double hint_tolerance = 1e-6;  ///< Shadow-vs-canonical agreement bound.
+  int default_jobs = 1;  ///< Sweep worker count when a request omits jobs.
+};
+
+/// Monotone counters over the engine's lifetime (reset never; read via
+/// stats()). All mutated under the batch mutex — exact under TSan.
+struct ServerStats {
+  std::uint64_t requests = 0;         ///< Admitted requests (incl. errors).
+  std::uint64_t batches = 0;          ///< serve() batch passes.
+  std::uint64_t coalesced_lanes = 0;  ///< Lanes solved in shared planes (groups >= 2).
+  std::uint64_t exact_hits = 0;       ///< Responses replayed from the cache.
+  std::uint64_t near_hits = 0;        ///< Shadow hint lanes spawned.
+  std::uint64_t hint_confirmed = 0;   ///< Shadows agreeing within tolerance.
+  std::uint64_t hint_divergent = 0;   ///< Shadows disagreeing (path audit trip).
+  std::uint64_t faults_injected = 0;  ///< server.request fault firings.
+  std::uint64_t evictions = 0;        ///< Cache entries evicted (LRU by ordinal).
+  std::uint64_t cache_size = 0;       ///< Resident entries at snapshot time.
+};
+
+class ServerEngine {
+ public:
+  /// Throws std::invalid_argument when config.market_resolver is empty.
+  explicit ServerEngine(ServerConfig config);
+
+  /// Joins the dispatcher (stop()) if the async surface is running.
+  ~ServerEngine();
+
+  ServerEngine(const ServerEngine&) = delete;
+  ServerEngine& operator=(const ServerEngine&) = delete;
+
+  /// Serves one coalesced batch synchronously; responses align with the
+  /// input order. Thread-safe (serialized against the dispatcher).
+  [[nodiscard]] std::vector<Response> serve(const std::vector<Request>& requests);
+
+  /// Single-request convenience (a batch of one).
+  [[nodiscard]] Response serve_one(const Request& request);
+
+  // --- Async surface -------------------------------------------------------
+
+  /// Spawns the dispatcher thread. Idempotent.
+  void start();
+
+  /// Enqueues a request; the future resolves when its batch completes.
+  /// Requests submitted while the dispatcher is solving coalesce into the
+  /// next batch. Requires start(); throws std::logic_error otherwise (or
+  /// after stop()).
+  [[nodiscard]] std::future<Response> submit(Request request);
+
+  /// Closes the queue, drains the backlog, joins the dispatcher. Idempotent.
+  void stop();
+
+  /// Snapshot of the counters (consistent: taken under the batch mutex).
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Pending {
+    std::uint64_t ordinal = 0;
+    Request request;
+    std::promise<Response> promise;
+  };
+
+  /// Validated request with effective (defaulted) parameters — the unit the
+  /// scheduler groups.
+  struct Admitted {
+    std::size_t index = 0;       ///< Slot in the batch's response vector.
+    std::uint64_t ordinal = 0;   ///< Admission ordinal (cache recency key).
+    std::string id;
+    std::string op;
+    std::string solver;
+    double price = 0.0;
+    double cap = 0.0;
+    std::vector<double> grid;    ///< sweep / one_sided price grid.
+    std::size_t chain = 8;
+    int precision = 10;
+    std::size_t jobs = 1;
+    std::optional<econ::Market> market;  ///< Engaged after validate() (no default ctor).
+    std::uint64_t fingerprint = 0;
+    std::string cache_key;
+  };
+
+  [[nodiscard]] Admitted validate(const Request& request, std::size_t index,
+                                  std::uint64_t ordinal, bool scalar_mode) const;
+  [[nodiscard]] std::vector<Response> serve_batch(std::vector<Request> requests,
+                                                  const std::vector<std::uint64_t>& ordinals);
+  void solve_equilibrium_group(const std::vector<Admitted>& admitted,
+                               const std::vector<std::size_t>& members,
+                               std::vector<Response>& responses);
+  void solve_equilibrium_serial(const Admitted& query, std::vector<Response>& responses);
+  void solve_sweep(const Admitted& query, std::vector<Response>& responses);
+  void solve_one_sided_group(const std::vector<Admitted>& admitted,
+                             const std::vector<std::size_t>& members,
+                             std::vector<Response>& responses);
+  void record_hint(const Admitted& query, const core::NashResult& result);
+  void dispatcher_loop();
+
+  ServerConfig config_;
+  mutable std::mutex mutex_;  ///< Serializes batches, cache, hints, stats.
+  ResultCache cache_;
+  HintStore hints_;
+  ServerStats stats_;
+  std::atomic<std::uint64_t> next_ordinal_{1};
+
+  runtime::NotifyQueue<Pending> queue_;
+  std::thread dispatcher_;
+  bool started_ = false;   ///< Guarded by mutex_.
+};
+
+}  // namespace subsidy::server

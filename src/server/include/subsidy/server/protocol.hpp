@@ -1,0 +1,72 @@
+// The serving wire format: one request or response per line, encoded as a
+// flat JSON object. The grammar is deliberately small — string, number,
+// boolean and number-array values only, no nesting — so the parser can be
+// strict (unknown keys and type mismatches are errors, not silent drops)
+// and the encoder can guarantee round-trip-exact doubles (%.17g).
+//
+//   {"id":"q1","op":"equilibrium","market":"section5","price":1.0,"cap":0.5}
+//   {"id":"q2","op":"sweep","cap":0.0,"pmin":0.05,"pmax":2.0,"points":41}
+//   {"id":"q3","op":"one_sided","prices":[0.2,0.4,0.8]}
+//
+// Responses echo the id and carry either the exact bytes the one-shot CLI
+// would have printed for the same query (`text`, with `exit` the CLI exit
+// code) or an error message:
+//
+//   {"id":"q1","ok":true,"exit":0,"cached":false,"text":"converged=yes ..."}
+//   {"id":"q4","ok":false,"exit":2,"error":"unknown op 'nashh'"}
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace subsidy::server {
+
+/// One parsed query. Optional fields keep "absent" distinguishable from an
+/// explicit value; the engine applies the CLI's defaults (documented on
+/// ServerEngine) so that an explicit default and an omitted field key the
+/// same cache entry.
+struct Request {
+  std::string id;                  ///< Client-chosen token, echoed verbatim.
+  std::string op;                  ///< "equilibrium" | "sweep" | "one_sided".
+  std::string market = "section5"; ///< Market spec, resolved by the host.
+  std::string solver = "auto";     ///< Equilibrium solver: br | eg | auto.
+  std::optional<double> price;     ///< Required for equilibrium.
+  std::optional<double> cap;       ///< Required for equilibrium; sweep default 0.
+  std::optional<double> pmin;      ///< Sweep/one_sided grid start (default 0.05).
+  std::optional<double> pmax;      ///< Sweep/one_sided grid end (default 2.0).
+  std::optional<int> points;       ///< Grid size (default 41).
+  std::optional<int> chain;        ///< Sweep warm-start chain length (default 8).
+  std::optional<int> jobs;         ///< Sweep worker count (default: server's).
+  std::optional<int> precision;    ///< one_sided CSV precision (default 10).
+  std::vector<double> prices;      ///< one_sided explicit grid (overrides pmin/pmax).
+};
+
+/// One reply. `text` is byte-identical to the one-shot CLI output for the
+/// same query whenever `ok` is true.
+struct Response {
+  std::string id;
+  bool ok = false;
+  int exit_code = 0;   ///< The CLI exit code (0 success, 1 not-converged, 2 error).
+  bool cached = false; ///< True when replayed from the exact-hit result cache.
+  std::string text;    ///< CLI bytes (ok) — exactly what one-shot stdout carries.
+  std::string error;   ///< Human-readable failure (when !ok).
+};
+
+/// Parses one request line. Throws std::invalid_argument on malformed JSON,
+/// unknown keys, or type mismatches (op/param *semantics* are validated by
+/// the engine so the error can become an in-band error response).
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// Parses one response line (the client side / test harnesses).
+[[nodiscard]] Response parse_response(std::string_view line);
+
+/// Encodes a request as one line (no trailing newline). Doubles round-trip
+/// bit-exactly through parse_request.
+[[nodiscard]] std::string serialize_request(const Request& request);
+
+/// Encodes a response as one line (no trailing newline).
+[[nodiscard]] std::string serialize_response(const Response& response);
+
+}  // namespace subsidy::server

@@ -1,0 +1,48 @@
+// The single source of truth for query output: the exact bytes the one-shot
+// CLI prints for evaluate/nash/sweep-style results. Both the CLI commands
+// and the ServerEngine render through these functions, so "server response
+// text == CLI stdout" is true by construction, not by parallel maintenance.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "subsidy/core/core.hpp"
+#include "subsidy/econ/market.hpp"
+#include "subsidy/io/series.hpp"
+#include "subsidy/runtime/parallel_sweep.hpp"
+
+namespace subsidy::server {
+
+/// The solved-state block: the one-line summary followed by the per-provider
+/// console table (the tail of `evaluate`, `nash`, `optimize-price`, ...).
+void render_state(std::ostream& out, const econ::Market& market,
+                  const core::SystemState& state);
+
+/// The full `nash` command report for an already-solved equilibrium:
+/// convergence/diagnostics lines, the KKT verification block (recomputed
+/// here from market/price/cap), then the solved state. Returns the CLI exit
+/// code (0 when converged and KKT-satisfied, 1 otherwise).
+int render_equilibrium(std::ostream& out, const econ::Market& market, double price,
+                       double cap, const core::NashResult& nash);
+
+/// The `sweep` command's CSV table ({"p","phi","theta","revenue","welfare"},
+/// one row per grid node) built from sweep rows.
+[[nodiscard]] io::SweepTable sweep_table(std::span<const runtime::SweepRow> rows);
+
+/// The one-sided table over a price grid: states/statuses as returned by
+/// ModelEvaluator::try_evaluate_unsubsidized_many; failed nodes are skipped
+/// (same row policy as the scenario `[one_sided]` block).
+[[nodiscard]] io::SweepTable one_sided_table(std::span<const double> prices,
+                                             std::span<const core::SystemState> states,
+                                             std::span<const core::SolveStatus> statuses);
+
+/// Solves one equilibrium the way the CLI does: `solver` selects br / eg /
+/// auto (the fallback ladder). Throws std::invalid_argument on unknown
+/// names.
+[[nodiscard]] core::NashResult solve_equilibrium(const econ::Market& market, double price,
+                                                 double cap, const std::string& solver);
+
+}  // namespace subsidy::server

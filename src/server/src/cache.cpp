@@ -1,0 +1,93 @@
+#include "subsidy/server/cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "subsidy/core/market_kernel.hpp"
+
+namespace subsidy::server {
+
+std::uint64_t market_fingerprint(const econ::Market& market) {
+  std::uint64_t h = core::MarketKernel(market).fingerprint();
+  const auto mix_bytes = [&h](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t k = 0; k < size; ++k) {
+      h ^= bytes[k];
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const econ::ContentProviderSpec& provider : market.providers()) {
+    const std::uint64_t len = provider.name.size();
+    mix_bytes(&len, sizeof len);
+    mix_bytes(provider.name.data(), provider.name.size());
+    mix_bytes(&provider.profitability, sizeof provider.profitability);
+  }
+  return h;
+}
+
+const Response* ResultCache::find(const std::string& key, std::uint64_t ordinal) {
+  if (capacity_ == 0) return nullptr;
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  it->second.last_used = ordinal;
+  return &it->second.response;
+}
+
+void ResultCache::insert(const std::string& key, Response response, std::uint64_t ordinal) {
+  if (capacity_ == 0) return;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.response = std::move(response);
+    it->second.last_used = ordinal;
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    // Evict the smallest last-touched ordinal; std::map iteration order
+    // breaks ties on the lexicographically smallest key.
+    auto victim = entries_.begin();
+    for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+      if (cand->second.last_used < victim->second.last_used) victim = cand;
+    }
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  entries_.emplace(key, Entry{std::move(response), ordinal});
+}
+
+void HintStore::record(std::uint64_t fingerprint, EquilibriumHint hint) {
+  std::vector<EquilibriumHint>& ring = hints_[fingerprint];
+  if (ring.size() >= kPerMarket) {
+    // Drop the oldest recording (smallest ordinal) — deterministic.
+    auto victim = ring.begin();
+    for (auto cand = ring.begin(); cand != ring.end(); ++cand) {
+      if (cand->ordinal < victim->ordinal) victim = cand;
+    }
+    ring.erase(victim);
+  }
+  ring.push_back(std::move(hint));
+}
+
+const EquilibriumHint* HintStore::nearest(std::uint64_t fingerprint, double price,
+                                          double cap) const {
+  const auto it = hints_.find(fingerprint);
+  if (it == hints_.end() || it->second.empty()) return nullptr;
+  const EquilibriumHint* best = nullptr;
+  double best_distance = 0.0;
+  for (const EquilibriumHint& hint : it->second) {
+    const double distance = std::abs(hint.price - price) + std::abs(hint.cap - cap);
+    if (best == nullptr || distance < best_distance ||
+        (distance == best_distance && hint.ordinal < best->ordinal)) {
+      best = &hint;
+      best_distance = distance;
+    }
+  }
+  return best;
+}
+
+std::size_t HintStore::size(std::uint64_t fingerprint) const {
+  const auto it = hints_.find(fingerprint);
+  return it == hints_.end() ? 0 : it->second.size();
+}
+
+}  // namespace subsidy::server

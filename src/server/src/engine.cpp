@@ -1,0 +1,478 @@
+#include "subsidy/server/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "subsidy/core/core.hpp"
+#include "subsidy/io/csv.hpp"
+#include "subsidy/numerics/fault_injection.hpp"
+#include "subsidy/numerics/grid.hpp"
+#include "subsidy/numerics/simd.hpp"
+#include "subsidy/runtime/parallel_sweep.hpp"
+#include "subsidy/runtime/thread_pool.hpp"
+#include "subsidy/server/render.hpp"
+
+namespace subsidy::server {
+
+namespace {
+
+void append_hex(std::string& out, std::uint64_t value) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+/// Bit-exact double token: two queries key the same cache entry iff every
+/// effective parameter matches to the last bit (-0.0 and 0.0 differ — the
+/// conservative direction).
+void append_bits(std::string& out, double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  append_hex(out, bits);
+}
+
+Response error_response(std::string id, std::string message) {
+  Response response;
+  response.id = std::move(id);
+  response.ok = false;
+  response.exit_code = 2;
+  response.error = std::move(message);
+  return response;
+}
+
+}  // namespace
+
+ServerEngine::ServerEngine(ServerConfig config)
+    : config_(std::move(config)), cache_(config_.cache_capacity) {
+  if (!config_.market_resolver) {
+    throw std::invalid_argument("ServerConfig.market_resolver is required");
+  }
+}
+
+ServerEngine::~ServerEngine() { stop(); }
+
+ServerEngine::Admitted ServerEngine::validate(const Request& request, std::size_t index,
+                                              std::uint64_t ordinal,
+                                              bool scalar_mode) const {
+  Admitted query;
+  query.index = index;
+  query.ordinal = ordinal;
+  query.id = request.id;
+  query.op = request.op;
+
+  if (request.op != "equilibrium" && request.op != "sweep" && request.op != "one_sided") {
+    throw std::invalid_argument("unknown op '" + request.op +
+                                "' (expected equilibrium, sweep or one_sided)");
+  }
+  query.solver = request.solver;
+  query.jobs = runtime::resolve_jobs(request.jobs.value_or(config_.default_jobs));
+  if (request.op == "equilibrium") {
+    if (query.solver != "br" && query.solver != "eg" && query.solver != "auto") {
+      throw std::invalid_argument("unknown solver '" + query.solver +
+                                  "' (expected br, eg or auto)");
+    }
+    if (!request.price) throw std::invalid_argument("equilibrium needs 'price'");
+    if (!request.cap) throw std::invalid_argument("equilibrium needs 'cap'");
+    query.price = *request.price;
+    query.cap = *request.cap;
+  } else {
+    // Grid ops share the CLI sweep defaults, so an omitted field and its
+    // explicit default key the same cache entry.
+    query.cap = request.cap.value_or(0.0);
+    const int points = request.points.value_or(41);
+    if (points < 1) throw std::invalid_argument("'points' must be >= 1");
+    if (request.op == "one_sided" && !request.prices.empty()) {
+      query.grid = request.prices;
+    } else {
+      query.grid = num::linspace(request.pmin.value_or(0.05), request.pmax.value_or(2.0),
+                                 static_cast<std::size_t>(points));
+    }
+    query.chain = static_cast<std::size_t>(std::max(0, request.chain.value_or(8)));
+    query.precision = std::max(0, request.precision.value_or(10));
+  }
+
+  query.market = config_.market_resolver(request.market);
+  query.fingerprint = market_fingerprint(*query.market);
+
+  // The cache key is the canonical query: backend mode, market fingerprint,
+  // op, and every byte-affecting effective parameter (bit-exact). `jobs` is
+  // deliberately absent — rows are jobs-invariant, and keying on it would
+  // only split identical responses across entries.
+  std::string& key = query.cache_key;
+  key += scalar_mode ? "S|" : "V|";
+  append_hex(key, query.fingerprint);
+  key += '|';
+  key += query.op;
+  key += '|';
+  if (request.op == "equilibrium") {
+    key += query.solver;
+    key += '|';
+    append_bits(key, query.price);
+    key += '|';
+    append_bits(key, query.cap);
+  } else {
+    append_bits(key, query.cap);
+    key += '|';
+    if (request.op == "sweep") {
+      key += std::to_string(query.chain);
+    } else {
+      key += std::to_string(query.precision);
+    }
+    for (const double p : query.grid) {
+      key += '|';
+      append_bits(key, p);
+    }
+  }
+  return query;
+}
+
+std::vector<Response> ServerEngine::serve(const std::vector<Request>& requests) {
+  std::vector<std::uint64_t> ordinals(requests.size());
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    ordinals[k] = next_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return serve_batch(requests, ordinals);
+}
+
+Response ServerEngine::serve_one(const Request& request) {
+  return serve(std::vector<Request>{request}).front();
+}
+
+std::vector<Response> ServerEngine::serve_batch(std::vector<Request> requests,
+                                                const std::vector<std::uint64_t>& ordinals) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const bool scalar_mode = num::simd::force_scalar();
+  ++stats_.batches;
+
+  std::vector<Response> responses(requests.size());
+  std::vector<Admitted> admitted;
+  admitted.reserve(requests.size());
+
+  // --- Admission: fault hook, validation, market resolution, cache probe ---
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    const Request& request = requests[k];
+    ++stats_.requests;
+    if (SUBSIDY_FAULT_FIRE(server_request)) {
+      ++stats_.faults_injected;
+      responses[k] = error_response(request.id, "injected fault: server.request");
+      continue;
+    }
+    Admitted query;
+    try {
+      query = validate(request, k, ordinals[k], scalar_mode);
+    } catch (const std::exception& e) {
+      responses[k] = error_response(request.id, e.what());
+      continue;
+    }
+    if (const Response* hit = cache_.find(query.cache_key, query.ordinal)) {
+      ++stats_.exact_hits;
+      responses[k] = *hit;
+      responses[k].id = request.id;
+      responses[k].cached = true;
+      continue;
+    }
+    admitted.push_back(std::move(query));
+  }
+
+  // --- Coalescing: group plane-eligible queries by market fingerprint. ---
+  // Group identity and member order are pure functions of the batch (maps
+  // iterate in fingerprint order; members keep admission order), but the
+  // composition-invariance contract makes the bytes independent of the
+  // grouping anyway.
+  std::map<std::uint64_t, std::vector<std::size_t>> equilibrium_groups;
+  std::map<std::uint64_t, std::vector<std::size_t>> one_sided_groups;
+  for (std::size_t a = 0; a < admitted.size(); ++a) {
+    const Admitted& query = admitted[a];
+    if (query.op == "equilibrium" && query.solver == "auto" && !scalar_mode) {
+      equilibrium_groups[query.fingerprint].push_back(a);
+    } else if (query.op == "one_sided") {
+      one_sided_groups[query.fingerprint].push_back(a);
+    }
+  }
+
+  for (const auto& [fingerprint, members] : equilibrium_groups) {
+    (void)fingerprint;
+    solve_equilibrium_group(admitted, members, responses);
+  }
+  for (const auto& [fingerprint, members] : one_sided_groups) {
+    (void)fingerprint;
+    solve_one_sided_group(admitted, members, responses);
+  }
+  for (const Admitted& query : admitted) {
+    if (query.op == "sweep") {
+      solve_sweep(query, responses);
+    } else if (query.op == "equilibrium" && (query.solver != "auto" || scalar_mode)) {
+      solve_equilibrium_serial(query, responses);
+    }
+  }
+
+  // --- Fill the cache (responses only; ids are per-request). ---
+  for (const Admitted& query : admitted) {
+    const Response& response = responses[query.index];
+    if (!response.ok) continue;
+    Response stored = response;
+    stored.id.clear();
+    cache_.insert(query.cache_key, std::move(stored), query.ordinal);
+  }
+  stats_.evictions = cache_.evictions();
+  stats_.cache_size = cache_.size();
+  return responses;
+}
+
+void ServerEngine::solve_equilibrium_group(const std::vector<Admitted>& admitted,
+                                           const std::vector<std::size_t>& members,
+                                           std::vector<Response>& responses) {
+  const Admitted& first = admitted[members.front()];
+  const core::ModelEvaluator evaluator(*first.market);
+
+  // Canonical lanes first — always cold (initial = zeros, phi_hint < 0), the
+  // exact inputs the one-shot CLI's solve_nash sees — then the shadow hint
+  // lanes. Shadow storage is frozen before spans are taken.
+  std::vector<core::NashBatchNode> nodes;
+  nodes.reserve(members.size() * 2);
+  for (const std::size_t m : members) {
+    nodes.push_back({admitted[m].price, admitted[m].cap, {}, -1.0});
+  }
+  struct Shadow {
+    std::size_t member;       ///< Index into `members`.
+    EquilibriumHint hint;     ///< Copied: must outlive the solve.
+  };
+  std::vector<Shadow> shadows;
+  if (config_.verify_hints) {
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      const Admitted& query = admitted[members[k]];
+      const EquilibriumHint* hint =
+          hints_.nearest(query.fingerprint, query.price, query.cap);
+      if (hint != nullptr && hint->subsidies.size() == evaluator.num_providers()) {
+        shadows.push_back({k, *hint});
+      }
+    }
+    for (const Shadow& shadow : shadows) {
+      const Admitted& query = admitted[members[shadow.member]];
+      nodes.push_back({query.price, query.cap,
+                       std::span<const double>(shadow.hint.subsidies), shadow.hint.phi});
+    }
+    stats_.near_hits += shadows.size();
+  }
+
+  // The plane is sharded into `jobs` contiguous chunks fanned over the
+  // worker pool; lane bytes are chunking-invariant (every plane kernel is
+  // elementwise position-independent — the composition-invariance contract),
+  // so `jobs` can never show in a response and stays out of the cache key.
+  std::size_t jobs = 1;
+  for (const std::size_t m : members) jobs = std::max(jobs, admitted[m].jobs);
+  const std::size_t chunk_count = std::min(jobs, nodes.size());
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  chunks.reserve(chunk_count);
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    const std::size_t begin = nodes.size() * c / chunk_count;
+    const std::size_t end = nodes.size() * (c + 1) / chunk_count;
+    if (begin != end) chunks.emplace_back(begin, end);
+  }
+  std::vector<std::vector<core::NashResult>> sharded = runtime::parallel_map(
+      chunks, chunk_count, [&](const std::pair<std::size_t, std::size_t>& chunk) {
+        return core::solve_nash_many(
+            evaluator, std::span<const core::NashBatchNode>(nodes.data() + chunk.first,
+                                                            chunk.second - chunk.first));
+      });
+  std::vector<core::NashResult> results;
+  results.reserve(nodes.size());
+  for (std::vector<core::NashResult>& shard : sharded) {
+    results.insert(results.end(), std::make_move_iterator(shard.begin()),
+                   std::make_move_iterator(shard.end()));
+  }
+  if (members.size() > 1) stats_.coalesced_lanes += members.size();
+
+  for (std::size_t k = 0; k < members.size(); ++k) {
+    const Admitted& query = admitted[members[k]];
+    const core::NashResult& nash = results[k];
+    std::ostringstream out;
+    const int exit_code =
+        render_equilibrium(out, evaluator.market(), query.price, query.cap, nash);
+    Response& response = responses[query.index];
+    response.id = query.id;
+    response.ok = true;
+    response.exit_code = exit_code;
+    response.text = out.str();
+    record_hint(query, nash);
+  }
+
+  // Shadow audit: a warm-started lane must land on the same equilibrium as
+  // its canonical twin (within tolerance — warm starts are never bitwise-
+  // neutral, which is exactly why they ride shadow lanes).
+  for (std::size_t s = 0; s < shadows.size(); ++s) {
+    const core::NashResult& canonical = results[shadows[s].member];
+    const core::NashResult& shadow = results[members.size() + s];
+    bool agrees =
+        std::abs(shadow.state.utilization - canonical.state.utilization) <=
+        config_.hint_tolerance;
+    for (std::size_t j = 0; agrees && j < canonical.subsidies.size(); ++j) {
+      agrees = std::abs(shadow.subsidies[j] - canonical.subsidies[j]) <=
+               config_.hint_tolerance;
+    }
+    if (agrees) {
+      ++stats_.hint_confirmed;
+    } else {
+      ++stats_.hint_divergent;
+    }
+  }
+}
+
+void ServerEngine::solve_equilibrium_serial(const Admitted& query,
+                                            std::vector<Response>& responses) {
+  Response& response = responses[query.index];
+  response.id = query.id;
+  try {
+    const core::NashResult nash =
+        solve_equilibrium(*query.market, query.price, query.cap, query.solver);
+    std::ostringstream out;
+    response.exit_code = render_equilibrium(out, *query.market, query.price, query.cap, nash);
+    response.ok = true;
+    response.text = out.str();
+    record_hint(query, nash);
+  } catch (const std::exception& e) {
+    response = error_response(query.id, e.what());
+  }
+}
+
+void ServerEngine::solve_sweep(const Admitted& query, std::vector<Response>& responses) {
+  Response& response = responses[query.index];
+  response.id = query.id;
+  try {
+    runtime::SweepOptions options;
+    options.jobs = query.jobs;
+    options.chain_length = query.chain;
+    const runtime::ParallelSweepRunner runner(*query.market, options);
+    const std::vector<runtime::SweepRow> rows = runner.run_prices(query.cap, query.grid);
+    std::ostringstream out;
+    io::write_csv(out, sweep_table(rows), 8);
+    response.ok = true;
+    response.exit_code = 0;
+    response.text = out.str();
+  } catch (const std::exception& e) {
+    response = error_response(query.id, e.what());
+  }
+}
+
+void ServerEngine::solve_one_sided_group(const std::vector<Admitted>& admitted,
+                                         const std::vector<std::size_t>& members,
+                                         std::vector<Response>& responses) {
+  const Admitted& first = admitted[members.front()];
+  const core::ModelEvaluator evaluator(*first.market);
+
+  // One plane for every member's grid: the one-sided plane path takes no
+  // hints and its kernels are position-independent, so concatenating grids
+  // and splitting the results is bitwise-invisible per request.
+  std::vector<double> prices;
+  for (const std::size_t m : members) {
+    prices.insert(prices.end(), admitted[m].grid.begin(), admitted[m].grid.end());
+  }
+  std::vector<core::SolveStatus> statuses;
+  const std::vector<core::SystemState> states =
+      evaluator.try_evaluate_unsubsidized_many(prices, statuses);
+  if (members.size() > 1) stats_.coalesced_lanes += members.size();
+
+  std::size_t offset = 0;
+  for (const std::size_t m : members) {
+    const Admitted& query = admitted[m];
+    const std::size_t count = query.grid.size();
+    const std::span<const core::SystemState> slice(states.data() + offset, count);
+    const std::span<const core::SolveStatus> status_slice(statuses.data() + offset, count);
+    std::ostringstream out;
+    io::write_csv(out, one_sided_table(query.grid, slice, status_slice), query.precision);
+    bool all_solved = true;
+    for (const core::SolveStatus status : status_slice) {
+      if (core::failed(status)) all_solved = false;
+    }
+    Response& response = responses[query.index];
+    response.id = query.id;
+    response.ok = true;
+    response.exit_code = all_solved ? 0 : 1;
+    response.text = out.str();
+    offset += count;
+  }
+}
+
+void ServerEngine::record_hint(const Admitted& query, const core::NashResult& nash) {
+  if (!nash.converged) return;
+  EquilibriumHint hint;
+  hint.price = query.price;
+  hint.cap = query.cap;
+  hint.phi = nash.state.utilization;
+  hint.subsidies = nash.subsidies;
+  hint.ordinal = query.ordinal;
+  hints_.record(query.fingerprint, std::move(hint));
+}
+
+// --- Async surface ---------------------------------------------------------
+
+void ServerEngine::start() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+std::future<Response> ServerEngine::submit(Request request) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) {
+      throw std::logic_error("ServerEngine::submit: engine not started");
+    }
+  }
+  Pending pending;
+  pending.ordinal = next_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  pending.request = std::move(request);
+  std::future<Response> result = pending.promise.get_future();
+  if (!queue_.push(std::move(pending))) {
+    throw std::logic_error("ServerEngine::submit: engine not started (or stopped)");
+  }
+  return result;
+}
+
+void ServerEngine::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return;
+  }
+  queue_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void ServerEngine::dispatcher_loop() {
+  std::vector<Pending> backlog;
+  while (queue_.wait_drain(backlog)) {
+    // Everything that arrived since the last pass rides this batch. Ordinal
+    // order stands in for a deterministic arrival order (the bytes don't
+    // depend on it; cache recency and stats do).
+    std::sort(backlog.begin(), backlog.end(),
+              [](const Pending& a, const Pending& b) { return a.ordinal < b.ordinal; });
+    std::vector<Request> requests;
+    std::vector<std::uint64_t> ordinals;
+    requests.reserve(backlog.size());
+    ordinals.reserve(backlog.size());
+    for (Pending& pending : backlog) {
+      requests.push_back(std::move(pending.request));
+      ordinals.push_back(pending.ordinal);
+    }
+    std::vector<Response> responses = serve_batch(std::move(requests), ordinals);
+    for (std::size_t k = 0; k < backlog.size(); ++k) {
+      backlog[k].promise.set_value(std::move(responses[k]));
+    }
+  }
+}
+
+ServerStats ServerEngine::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace subsidy::server

@@ -1,0 +1,330 @@
+#include "subsidy/server/protocol.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace subsidy::server {
+
+namespace {
+
+/// Strict scanner over one flat JSON object line. No nesting beyond one
+/// level of number arrays; every unexpected shape throws with the offset.
+class LineScanner {
+ public:
+  explicit LineScanner(std::string_view text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect_end() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after object");
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // The encoder only emits \u for control characters; accept the
+          // full ASCII range and reject the rest (non-ASCII text travels as
+          // raw UTF-8 bytes, never escaped).
+          unsigned value = 0;
+          for (int k = 0; k < 4; ++k) {
+            if (pos_ >= text_.size()) fail("unterminated \\u escape");
+            const char digit = text_[pos_++];
+            value <<= 4;
+            if (digit >= '0' && digit <= '9') {
+              value |= static_cast<unsigned>(digit - '0');
+            } else if (digit >= 'a' && digit <= 'f') {
+              value |= static_cast<unsigned>(digit - 'a' + 10);
+            } else if (digit >= 'A' && digit <= 'F') {
+              value |= static_cast<unsigned>(digit - 'A' + 10);
+            } else {
+              fail("malformed \\u escape");
+            }
+          }
+          if (value > 0x7f) fail("non-ASCII \\u escape");
+          out.push_back(static_cast<char>(value));
+          break;
+        }
+        default: fail("unsupported escape sequence");
+      }
+    }
+  }
+
+  [[nodiscard]] double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || end != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return value;
+  }
+
+  [[nodiscard]] bool parse_bool() {
+    skip_ws();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected true or false");
+  }
+
+  [[nodiscard]] std::vector<double> parse_number_array() {
+    expect('[');
+    std::vector<double> out;
+    if (consume(']')) return out;
+    while (true) {
+      out.push_back(parse_number());
+      if (consume(']')) return out;
+      expect(',');
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::invalid_argument("protocol: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void append_json_string(std::string& out, std::string_view value) {
+  out.push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// %.17g round-trips every finite double exactly through from_chars.
+void append_json_number(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+int require_int(double value, const std::string& key) {
+  const int as_int = static_cast<int>(value);
+  if (value != static_cast<double>(as_int)) {
+    throw std::invalid_argument("protocol: field '" + key + "' must be an integer");
+  }
+  return as_int;
+}
+
+}  // namespace
+
+Request parse_request(std::string_view line) {
+  LineScanner scan(line);
+  Request request;
+  scan.expect('{');
+  if (!scan.consume('}')) {
+    while (true) {
+      const std::string key = scan.parse_string();
+      scan.expect(':');
+      if (key == "id") {
+        request.id = scan.parse_string();
+      } else if (key == "op") {
+        request.op = scan.parse_string();
+      } else if (key == "market") {
+        request.market = scan.parse_string();
+      } else if (key == "solver") {
+        request.solver = scan.parse_string();
+      } else if (key == "price") {
+        request.price = scan.parse_number();
+      } else if (key == "cap") {
+        request.cap = scan.parse_number();
+      } else if (key == "pmin") {
+        request.pmin = scan.parse_number();
+      } else if (key == "pmax") {
+        request.pmax = scan.parse_number();
+      } else if (key == "points") {
+        request.points = require_int(scan.parse_number(), key);
+      } else if (key == "chain") {
+        request.chain = require_int(scan.parse_number(), key);
+      } else if (key == "jobs") {
+        request.jobs = require_int(scan.parse_number(), key);
+      } else if (key == "precision") {
+        request.precision = require_int(scan.parse_number(), key);
+      } else if (key == "prices") {
+        request.prices = scan.parse_number_array();
+      } else {
+        throw std::invalid_argument("protocol: unknown request field '" + key + "'");
+      }
+      if (scan.consume('}')) break;
+      scan.expect(',');
+    }
+  }
+  scan.expect_end();
+  return request;
+}
+
+Response parse_response(std::string_view line) {
+  LineScanner scan(line);
+  Response response;
+  scan.expect('{');
+  if (!scan.consume('}')) {
+    while (true) {
+      const std::string key = scan.parse_string();
+      scan.expect(':');
+      if (key == "id") {
+        response.id = scan.parse_string();
+      } else if (key == "ok") {
+        response.ok = scan.parse_bool();
+      } else if (key == "exit") {
+        response.exit_code = require_int(scan.parse_number(), key);
+      } else if (key == "cached") {
+        response.cached = scan.parse_bool();
+      } else if (key == "text") {
+        response.text = scan.parse_string();
+      } else if (key == "error") {
+        response.error = scan.parse_string();
+      } else {
+        throw std::invalid_argument("protocol: unknown response field '" + key + "'");
+      }
+      if (scan.consume('}')) break;
+      scan.expect(',');
+    }
+  }
+  scan.expect_end();
+  return response;
+}
+
+std::string serialize_request(const Request& request) {
+  std::string out = "{";
+  const auto field = [&out](std::string_view key) -> std::string& {
+    if (out.size() > 1) out.push_back(',');
+    append_json_string(out, key);
+    out.push_back(':');
+    return out;
+  };
+  if (!request.id.empty()) append_json_string(field("id"), request.id);
+  append_json_string(field("op"), request.op);
+  append_json_string(field("market"), request.market);
+  if (request.solver != "auto") append_json_string(field("solver"), request.solver);
+  if (request.price) append_json_number(field("price"), *request.price);
+  if (request.cap) append_json_number(field("cap"), *request.cap);
+  if (request.pmin) append_json_number(field("pmin"), *request.pmin);
+  if (request.pmax) append_json_number(field("pmax"), *request.pmax);
+  if (request.points) field("points") += std::to_string(*request.points);
+  if (request.chain) field("chain") += std::to_string(*request.chain);
+  if (request.jobs) field("jobs") += std::to_string(*request.jobs);
+  if (request.precision) field("precision") += std::to_string(*request.precision);
+  if (!request.prices.empty()) {
+    std::string& dst = field("prices");
+    dst.push_back('[');
+    for (std::size_t k = 0; k < request.prices.size(); ++k) {
+      if (k != 0) dst.push_back(',');
+      append_json_number(dst, request.prices[k]);
+    }
+    dst.push_back(']');
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string serialize_response(const Response& response) {
+  std::string out = "{";
+  append_json_string(out, "id");
+  out.push_back(':');
+  append_json_string(out, response.id);
+  out += ",\"ok\":";
+  out += response.ok ? "true" : "false";
+  out += ",\"exit\":";
+  out += std::to_string(response.exit_code);
+  out += ",\"cached\":";
+  out += response.cached ? "true" : "false";
+  if (response.ok) {
+    out += ",\"text\":";
+    append_json_string(out, response.text);
+  } else {
+    out += ",\"error\":";
+    append_json_string(out, response.error);
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace subsidy::server

@@ -1,0 +1,81 @@
+#include "subsidy/server/render.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "subsidy/io/table.hpp"
+
+namespace subsidy::server {
+
+void render_state(std::ostream& out, const econ::Market& market,
+                  const core::SystemState& state) {
+  out << "price=" << state.price << " capacity=" << state.capacity
+      << " phi=" << state.utilization << " theta=" << state.aggregate_throughput
+      << " revenue=" << state.revenue << " welfare=" << state.welfare << "\n\n";
+  io::ConsoleTable table({"CP", "subsidy", "t_i", "m_i", "lambda_i", "theta_i", "U_i"});
+  for (std::size_t i = 0; i < state.providers.size(); ++i) {
+    const auto& cp = state.providers[i];
+    table.add_row({market.provider(i).name, io::format_double(cp.subsidy, 4),
+                   io::format_double(cp.effective_price, 4),
+                   io::format_double(cp.population, 4),
+                   io::format_double(cp.per_user_rate, 4),
+                   io::format_double(cp.throughput, 4), io::format_double(cp.utility, 4)});
+  }
+  table.print(out);
+}
+
+int render_equilibrium(std::ostream& out, const econ::Market& market, double price,
+                       double cap, const core::NashResult& nash) {
+  out << "converged=" << (nash.converged ? "yes" : "NO") << " iterations=" << nash.iterations
+      << " residual=" << nash.residual << "\n";
+  const core::NashLaneDiagnostics& diag = nash.diagnostics;
+  out << "status=" << core::to_string(diag.status) << " rung=" << core::to_string(diag.rung)
+      << " passes plain=" << diag.plain_iterations << " damped=" << diag.damped_iterations
+      << " extragradient=" << diag.extragradient_iterations << "\n";
+  if (!diag.detail.empty()) out << "detail: " << diag.detail << "\n";
+  const core::SubsidizationGame game(market, price, cap);
+  const core::KktReport kkt = core::verify_kkt(game, nash.subsidies);
+  out << "kkt=" << (kkt.satisfied ? "satisfied" : "VIOLATED")
+      << " max_residual=" << kkt.max_residual << "\n";
+  for (std::size_t i = 0; i < kkt.entries.size(); ++i) {
+    out << "  " << market.provider(i).name << ": " << core::to_string(kkt.entries[i].active_set)
+        << " u_i=" << kkt.entries[i].marginal_utility << "\n";
+  }
+  out << "\n";
+  render_state(out, market, nash.state);
+  return nash.converged && kkt.satisfied ? 0 : 1;
+}
+
+io::SweepTable sweep_table(std::span<const runtime::SweepRow> rows) {
+  io::SweepTable table({"p", "phi", "theta", "revenue", "welfare"});
+  for (const runtime::SweepRow& row : rows) {
+    const core::SystemState& state = row.result.state;
+    table.add_row({row.price, state.utilization, state.aggregate_throughput,
+                   state.revenue, state.welfare});
+  }
+  return table;
+}
+
+io::SweepTable one_sided_table(std::span<const double> prices,
+                               std::span<const core::SystemState> states,
+                               std::span<const core::SolveStatus> statuses) {
+  io::SweepTable table({"p", "phi", "theta", "revenue", "welfare"});
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    if (core::failed(statuses[k])) continue;
+    const core::SystemState& state = states[k];
+    table.add_row({prices[k], state.utilization, state.aggregate_throughput,
+                   state.revenue, state.welfare});
+  }
+  return table;
+}
+
+core::NashResult solve_equilibrium(const econ::Market& market, double price, double cap,
+                                   const std::string& solver) {
+  const core::SubsidizationGame game(market, price, cap);
+  if (solver == "br") return core::BestResponseSolver{}.solve(game);
+  if (solver == "eg") return core::ExtragradientSolver{}.solve(game);
+  if (solver == "auto") return core::solve_nash(game);
+  throw std::invalid_argument("unknown solver '" + solver + "' (expected br, eg or auto)");
+}
+
+}  // namespace subsidy::server

@@ -15,6 +15,7 @@
 #include "subsidy/core/core.hpp"
 #include "subsidy/market/scenarios.hpp"
 #include "subsidy/numerics/grid.hpp"
+#include "subsidy/runtime/notify_queue.hpp"
 #include "subsidy/runtime/parallel_sweep.hpp"
 #include "subsidy/runtime/thread_pool.hpp"
 
@@ -251,6 +252,81 @@ TEST(ParallelSweepRunner, RowsAreOrderedAndConverged) {
       EXPECT_GT(row.result.state.aggregate_throughput, 0.0);
     }
   }
+}
+
+TEST(NotifyQueue, DrainTakesEntireBacklogInPushOrder) {
+  runtime::NotifyQueue<int> queue;
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_TRUE(queue.push(3));
+  EXPECT_EQ(queue.size(), 3u);
+
+  std::vector<int> batch;
+  ASSERT_TRUE(queue.wait_drain(batch));
+  EXPECT_EQ(batch, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_FALSE(queue.try_drain(batch));
+}
+
+TEST(NotifyQueue, CloseRefusesPushesAndReleasesWaiters) {
+  runtime::NotifyQueue<int> queue;
+  EXPECT_TRUE(queue.push(7));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.push(8));
+
+  // The backlog present at close() still drains; the next wait reports
+  // termination.
+  std::vector<int> batch;
+  ASSERT_TRUE(queue.wait_drain(batch));
+  EXPECT_EQ(batch, (std::vector<int>{7}));
+  EXPECT_FALSE(queue.wait_drain(batch));
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(NotifyQueue, CloseUnblocksABlockedConsumer) {
+  runtime::NotifyQueue<int> queue;
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    const bool drained = queue.wait_drain(batch);
+    EXPECT_FALSE(drained);
+    returned = true;
+  });
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(NotifyQueue, ConcurrentProducersLoseNothingAndKeepPerProducerOrder) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  runtime::NotifyQueue<std::pair<int, int>> queue;
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int k = 0; k < kPerProducer; ++k) EXPECT_TRUE(queue.push({p, k}));
+    });
+  }
+
+  std::vector<std::pair<int, int>> all;
+  std::vector<std::pair<int, int>> batch;
+  while (all.size() < static_cast<std::size_t>(kProducers) * kPerProducer) {
+    ASSERT_TRUE(queue.wait_drain(batch));
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  for (auto& t : producers) t.join();
+
+  // Everything arrived exactly once, and each producer's items drained in
+  // its own push order.
+  std::vector<int> next(kProducers, 0);
+  for (const auto& [p, k] : all) {
+    EXPECT_EQ(k, next[p]);
+    next[p] = k + 1;
+  }
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next[p], kPerProducer);
 }
 
 TEST(ParallelSweepRunner, EmptyGridsYieldNoRows) {

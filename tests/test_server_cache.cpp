@@ -1,0 +1,228 @@
+// The warm-start layer of the serving engine: canonical market fingerprints
+// (collision resistance across the demand x throughput family grid, stability
+// across independent rebuilds, sensitivity to every serving-visible field),
+// the exact-hit LRU result cache (ordinal recency, deterministic eviction),
+// and the per-market hint store.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "subsidy/econ/market.hpp"
+#include "subsidy/server/cache.hpp"
+
+namespace econ = subsidy::econ;
+namespace server = subsidy::server;
+
+namespace {
+
+/// A curve outside the kernel's built-in families: compiles through the
+/// opaque path, which the fingerprint keys by instance identity (equal
+/// parameters on distinct instances must conservatively MISS, never alias).
+class QuadraticThroughput final : public econ::ThroughputCurve {
+ public:
+  [[nodiscard]] double rate(double phi) const override {
+    return 1.0 / (1.0 + phi + phi * phi);
+  }
+  [[nodiscard]] std::string name() const override { return "test-quadratic"; }
+  [[nodiscard]] std::unique_ptr<econ::ThroughputCurve> clone() const override {
+    return std::make_unique<QuadraticThroughput>(*this);
+  }
+};
+
+std::shared_ptr<const econ::DemandCurve> make_demand(int family, double tweak) {
+  switch (family) {
+    case 0: return std::make_shared<econ::ExponentialDemand>(1.0 + tweak);
+    case 1: return std::make_shared<econ::LogitDemand>(1.0, 4.0 + tweak, 0.5);
+    case 2: return std::make_shared<econ::IsoelasticDemand>(1.0, 2.0 + tweak);
+    default: return std::make_shared<econ::LinearDemand>(1.0, 1.5 + tweak);
+  }
+}
+
+std::shared_ptr<const econ::ThroughputCurve> make_throughput(int family, double tweak) {
+  switch (family) {
+    case 0: return std::make_shared<econ::ExponentialThroughput>(2.0 + tweak);
+    case 1: return std::make_shared<econ::PowerLawThroughput>(1.5 + tweak);
+    case 2: return std::make_shared<econ::DelayThroughput>(3.0 + tweak);
+    default: return std::make_shared<QuadraticThroughput>();
+  }
+}
+
+/// Two-provider market on the (demand family, throughput family) grid cell.
+econ::Market make_market(int demand_family, int throughput_family) {
+  std::vector<econ::ContentProviderSpec> providers;
+  providers.push_back({"cp-a", make_demand(demand_family, 0.0),
+                       make_throughput(throughput_family, 0.0), 0.5});
+  providers.push_back({"cp-b", make_demand(demand_family, 0.25),
+                       make_throughput(throughput_family, 0.5), 1.0});
+  return econ::Market({2.0}, std::make_shared<econ::LinearUtilization>(),
+                      std::move(providers));
+}
+
+TEST(MarketFingerprint, DistinctAcrossDemandTimesThroughputFamilyGrid) {
+  // 4 demand x 4 throughput families (3 built-ins + one opaque): all 16
+  // cells must fingerprint pairwise distinct.
+  std::set<std::uint64_t> fingerprints;
+  for (int d = 0; d < 4; ++d) {
+    for (int t = 0; t < 4; ++t) {
+      fingerprints.insert(server::market_fingerprint(make_market(d, t)));
+    }
+  }
+  EXPECT_EQ(fingerprints.size(), 16u);
+}
+
+TEST(MarketFingerprint, StableAcrossIndependentRebuilds) {
+  // Built-in curve families hash by coefficients, so two markets built from
+  // scratch with the same parameters key the same cache rows.
+  for (int d = 0; d < 4; ++d) {
+    for (int t = 0; t < 3; ++t) {
+      EXPECT_EQ(server::market_fingerprint(make_market(d, t)),
+                server::market_fingerprint(make_market(d, t)))
+          << "demand family " << d << ", throughput family " << t;
+    }
+  }
+}
+
+TEST(MarketFingerprint, SensitiveToEveryServingVisibleField) {
+  const econ::Market base = make_market(0, 0);
+  const std::uint64_t fp = server::market_fingerprint(base);
+
+  EXPECT_NE(server::market_fingerprint(base.with_capacity(2.5)), fp);
+  EXPECT_NE(server::market_fingerprint(base.with_profitability(1, 1.25)), fp);
+  EXPECT_NE(server::market_fingerprint(
+                base.with_utilization_model(std::make_shared<econ::PowerUtilization>(1.5))),
+            fp);
+  EXPECT_NE(server::market_fingerprint(
+                base.with_utilization_model(std::make_shared<econ::PowerUtilization>(1.6))),
+            server::market_fingerprint(base.with_utilization_model(
+                std::make_shared<econ::PowerUtilization>(1.5))));
+
+  // Names render in responses, so a rename must miss even though the kernel
+  // never compiles them.
+  std::vector<econ::ContentProviderSpec> renamed = base.providers();
+  renamed[0].name = "cp-a2";
+  EXPECT_NE(server::market_fingerprint(econ::Market(
+                base.isp(), base.utilization_model_ptr(), std::move(renamed))),
+            fp);
+
+  // One coefficient bit: alpha 1.0 -> nextafter(1.0).
+  std::vector<econ::ContentProviderSpec> nudged = base.providers();
+  nudged[0].demand =
+      std::make_shared<econ::ExponentialDemand>(std::nextafter(1.0, 2.0));
+  EXPECT_NE(server::market_fingerprint(econ::Market(
+                base.isp(), base.utilization_model_ptr(), std::move(nudged))),
+            fp);
+}
+
+TEST(MarketFingerprint, OpaqueCurvesHashByInstanceIdentity) {
+  const auto shared_curve = std::make_shared<QuadraticThroughput>();
+  const auto make_with = [&](std::shared_ptr<const econ::ThroughputCurve> curve) {
+    std::vector<econ::ContentProviderSpec> providers;
+    providers.push_back({"cp-a", make_demand(0, 0.0), std::move(curve), 0.5});
+    return econ::Market({2.0}, std::make_shared<econ::LinearUtilization>(),
+                        std::move(providers));
+  };
+  // Same instance: hit. Equal-but-distinct instances: conservative miss.
+  EXPECT_EQ(server::market_fingerprint(make_with(shared_curve)),
+            server::market_fingerprint(make_with(shared_curve)));
+  EXPECT_NE(server::market_fingerprint(make_with(std::make_shared<QuadraticThroughput>())),
+            server::market_fingerprint(make_with(std::make_shared<QuadraticThroughput>())));
+}
+
+server::Response canned(const std::string& text) {
+  server::Response response;
+  response.ok = true;
+  response.text = text;
+  return response;
+}
+
+TEST(ResultCache, CapacityZeroDisablesEverything) {
+  server::ResultCache cache(0);
+  cache.insert("k", canned("v"), 1);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find("k", 2), nullptr);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ResultCache, FindRefreshesRecencyAndEvictionFollowsOrdinals) {
+  server::ResultCache cache(2);
+  cache.insert("k1", canned("v1"), 1);
+  cache.insert("k2", canned("v2"), 2);
+  ASSERT_NE(cache.find("k1", 3), nullptr);  // k1 now newer than k2
+  cache.insert("k3", canned("v3"), 4);      // evicts k2 (last_used 2)
+  EXPECT_TRUE(cache.contains("k1"));
+  EXPECT_FALSE(cache.contains("k2"));
+  EXPECT_TRUE(cache.contains("k3"));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find("k1", 5)->text, "v1");
+}
+
+TEST(ResultCache, EvictionTieBreaksByKeyOrder) {
+  server::ResultCache cache(2);
+  cache.insert("kb", canned("vb"), 7);
+  cache.insert("ka", canned("va"), 7);  // same recency ordinal
+  cache.insert("kc", canned("vc"), 8);  // tie at 7 -> lexicographically smallest goes
+  EXPECT_FALSE(cache.contains("ka"));
+  EXPECT_TRUE(cache.contains("kb"));
+  EXPECT_TRUE(cache.contains("kc"));
+}
+
+TEST(ResultCache, InsertRefreshesResidentKeyWithoutEvicting) {
+  server::ResultCache cache(2);
+  cache.insert("k1", canned("old"), 1);
+  cache.insert("k2", canned("v2"), 2);
+  cache.insert("k1", canned("new"), 3);  // refresh, not a third entry
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.find("k1", 4)->text, "new");
+  cache.insert("k3", canned("v3"), 5);  // now k2 is the LRU
+  EXPECT_FALSE(cache.contains("k2"));
+  EXPECT_TRUE(cache.contains("k1"));
+}
+
+server::EquilibriumHint hint_at(double price, double cap, std::uint64_t ordinal) {
+  server::EquilibriumHint hint;
+  hint.price = price;
+  hint.cap = cap;
+  hint.phi = 0.5;
+  hint.subsidies = {0.1, 0.2};
+  hint.ordinal = ordinal;
+  return hint;
+}
+
+TEST(HintStore, NearestPicksMinimumDistanceWithOrdinalTieBreak) {
+  server::HintStore store;
+  EXPECT_EQ(store.nearest(42, 1.0, 0.5), nullptr);
+  store.record(42, hint_at(0.8, 0.5, 1));
+  store.record(42, hint_at(1.2, 0.5, 2));
+  store.record(42, hint_at(0.8, 0.5, 3));  // same point as ordinal 1
+  store.record(7, hint_at(1.01, 0.5, 4));  // other market: invisible here
+
+  const server::EquilibriumHint* best = store.nearest(42, 0.9, 0.5);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->price, 0.8);
+  EXPECT_EQ(best->ordinal, 1u);  // tie with ordinal 3 -> lowest ordinal
+
+  EXPECT_EQ(store.nearest(42, 1.19, 0.5)->ordinal, 2u);
+  EXPECT_EQ(store.nearest(9999, 1.0, 0.5), nullptr);
+}
+
+TEST(HintStore, EvictsOldestOrdinalBeyondPerMarketCap) {
+  server::HintStore store;
+  const std::uint64_t fp = 42;
+  for (std::uint64_t k = 1; k <= server::HintStore::kPerMarket + 1; ++k) {
+    store.record(fp, hint_at(static_cast<double>(k), 0.0, k));
+  }
+  EXPECT_EQ(store.size(fp), server::HintStore::kPerMarket);
+  // The ordinal-1 hint (price 1.0) is gone; its nearest neighbour now wins.
+  const server::EquilibriumHint* best = store.nearest(fp, 1.0, 0.0);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->price, 2.0);
+  EXPECT_EQ(best->ordinal, 2u);
+}
+
+}  // namespace

@@ -1,0 +1,467 @@
+// ServerEngine regression suite: the serving determinism contract (response
+// bytes identical to the one-shot CLI regardless of arrival order, batch
+// composition, cache state, jobs, or backend mode), the exact-hit cache and
+// its deterministic eviction, near-hit shadow-hint auditing, the async
+// submit surface (the TSan target), the `serve`/`client` CLI verbs, and the
+// server.request fault site (ctest labels `server` + `fault`).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "subsidy/cli/commands.hpp"
+#include "subsidy/cli/market_spec.hpp"
+#include "subsidy/numerics/fault_injection.hpp"
+#include "subsidy/server/engine.hpp"
+#include "subsidy/server/protocol.hpp"
+
+#include "force_scalar_guard.hpp"
+
+namespace cli = subsidy::cli;
+namespace server = subsidy::server;
+
+namespace {
+
+// A cheap 2-provider market so the suite stays fast; section5 appears once
+// to pin the paper's evaluation market too.
+constexpr const char* kSmallMarket = "exp:mu=2;alpha=1,3;beta=2,4;v=0.5,1";
+
+server::ServerConfig config_with(std::size_t cache_capacity, bool verify_hints = false) {
+  server::ServerConfig config;
+  config.market_resolver = [](const std::string& spec) {
+    return cli::parse_market_spec(spec);
+  };
+  config.cache_capacity = cache_capacity;
+  config.verify_hints = verify_hints;
+  return config;
+}
+
+server::Request equilibrium_request(const std::string& id, double price, double cap,
+                                    const std::string& market = kSmallMarket) {
+  server::Request request;
+  request.id = id;
+  request.op = "equilibrium";
+  request.market = market;
+  request.price = price;
+  request.cap = cap;
+  return request;
+}
+
+server::Request one_sided_request(const std::string& id, std::vector<double> prices,
+                                  const std::string& market = kSmallMarket) {
+  server::Request request;
+  request.id = id;
+  request.op = "one_sided";
+  request.market = market;
+  request.prices = std::move(prices);
+  return request;
+}
+
+std::string cli_stdout(const std::vector<std::string>& argv, int* exit_code = nullptr) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = cli::run_cli(argv, out, err);
+  if (exit_code != nullptr) *exit_code = code;
+  return out.str();
+}
+
+TEST(ServerEngine, EquilibriumBytesMatchOneShotCli) {
+  server::ServerEngine engine(config_with(0));
+  const server::Response response =
+      engine.serve_one(equilibrium_request("q", 1.0, 0.5, "section5"));
+  ASSERT_TRUE(response.ok) << response.error;
+
+  int cli_code = 0;
+  const std::string expected = cli_stdout(
+      {"nash", "--market", "section5", "--price", "1.0", "--cap", "0.5"}, &cli_code);
+  EXPECT_EQ(response.text, expected);
+  EXPECT_EQ(response.exit_code, cli_code);
+  EXPECT_FALSE(response.cached);
+}
+
+TEST(ServerEngine, ExplicitSolversMatchOneShotCli) {
+  server::ServerEngine engine(config_with(0));
+  for (const std::string solver : {"br", "eg"}) {
+    server::Request request = equilibrium_request("q-" + solver, 0.9, 0.4);
+    request.solver = solver;
+    const server::Response response = engine.serve_one(request);
+    ASSERT_TRUE(response.ok) << response.error;
+    int cli_code = 0;
+    const std::string expected =
+        cli_stdout({"nash", "--market", kSmallMarket, "--price", "0.9", "--cap", "0.4",
+                    "--solver", solver},
+                   &cli_code);
+    EXPECT_EQ(response.text, expected) << "solver " << solver;
+    EXPECT_EQ(response.exit_code, cli_code);
+  }
+}
+
+TEST(ServerEngine, SweepBytesMatchCliAndAreJobsInvariant) {
+  server::ServerEngine engine(config_with(0));
+  server::Request request;
+  request.id = "s";
+  request.op = "sweep";
+  request.market = kSmallMarket;
+  request.points = 7;
+
+  const server::Response serial = engine.serve_one(request);
+  ASSERT_TRUE(serial.ok) << serial.error;
+  request.jobs = 4;
+  const server::Response threaded = engine.serve_one(request);
+  ASSERT_TRUE(threaded.ok) << threaded.error;
+  EXPECT_EQ(serial.text, threaded.text);
+
+  int cli_code = 0;
+  const std::string expected =
+      cli_stdout({"sweep", "--market", kSmallMarket, "--points", "7"}, &cli_code);
+  EXPECT_EQ(serial.text, expected);
+  EXPECT_EQ(serial.exit_code, cli_code);
+}
+
+TEST(ServerEngine, ArrivalOrderAndBatchCompositionAreInvisible) {
+  // Three queries — two same-market equilibria (coalesce into one plane) and
+  // a foreign-market one — served as one batch, then in reverse order on a
+  // fresh engine one at a time. Bytes must not notice.
+  const std::vector<server::Request> requests = {
+      equilibrium_request("a", 0.8, 0.4),
+      equilibrium_request("b", 1.1, 0.6),
+      equilibrium_request("c", 1.0, 0.5, "section5"),
+  };
+  server::ServerEngine batched(config_with(0));
+  const std::vector<server::Response> together = batched.serve(requests);
+  ASSERT_EQ(together.size(), 3u);
+  for (const server::Response& response : together) {
+    ASSERT_TRUE(response.ok) << response.error;
+  }
+  EXPECT_EQ(batched.stats().coalesced_lanes, 2u);  // a+b shared one plane
+
+  server::ServerEngine solo(config_with(0));
+  for (std::size_t k = requests.size(); k-- > 0;) {
+    const server::Response alone = solo.serve_one(requests[k]);
+    ASSERT_TRUE(alone.ok) << alone.error;
+    EXPECT_EQ(alone.text, together[k].text) << "id " << requests[k].id;
+    EXPECT_EQ(alone.exit_code, together[k].exit_code);
+  }
+  EXPECT_EQ(solo.stats().coalesced_lanes, 0u);
+
+  // Sharding the coalesced plane over workers is equally invisible.
+  server::ServerConfig threaded_config = config_with(0);
+  threaded_config.default_jobs = 4;
+  server::ServerEngine threaded(std::move(threaded_config));
+  const std::vector<server::Response> sharded = threaded.serve(requests);
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    ASSERT_TRUE(sharded[k].ok) << sharded[k].error;
+    EXPECT_EQ(sharded[k].text, together[k].text) << "id " << requests[k].id;
+  }
+}
+
+TEST(ServerEngine, OneSidedCoalescingIsBitwiseInvisible) {
+  const std::vector<server::Request> requests = {
+      one_sided_request("g1", {0.2, 0.4, 0.8}),
+      one_sided_request("g2", {0.3, 0.9}),
+      one_sided_request("g3", {0.5, 0.7, 1.1, 1.3}),
+  };
+  server::ServerEngine batched(config_with(0));
+  const std::vector<server::Response> together = batched.serve(requests);
+  EXPECT_EQ(batched.stats().coalesced_lanes, 3u);
+
+  server::ServerEngine solo(config_with(0));
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    ASSERT_TRUE(together[k].ok) << together[k].error;
+    const server::Response alone = solo.serve_one(requests[k]);
+    ASSERT_TRUE(alone.ok) << alone.error;
+    EXPECT_EQ(alone.text, together[k].text) << "id " << requests[k].id;
+  }
+}
+
+TEST(ServerEngine, ExactHitReplaysTheBytesTheSolverWouldRecompute) {
+  server::ServerEngine cached_engine(config_with(16));
+  server::ServerEngine cold_engine(config_with(0));
+  const server::Request request = equilibrium_request("x", 0.9, 0.4);
+
+  const server::Response first = cached_engine.serve_one(request);
+  const server::Response second = cached_engine.serve_one(request);
+  const server::Response cold = cold_engine.serve_one(request);
+  ASSERT_TRUE(first.ok && second.ok && cold.ok);
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.text, first.text);
+  EXPECT_EQ(second.text, cold.text);
+  EXPECT_EQ(second.exit_code, first.exit_code);
+  EXPECT_EQ(second.id, "x");
+
+  const server::ServerStats stats = cached_engine.stats();
+  EXPECT_EQ(stats.exact_hits, 1u);
+  EXPECT_EQ(stats.cache_size, 1u);
+}
+
+TEST(ServerEngine, CacheKeyNormalizesDefaultsAndSplitsSolvers) {
+  server::ServerEngine engine(config_with(16));
+
+  // Omitted grid parameters and their explicit defaults are the same query.
+  server::Request implicit;
+  implicit.id = "imp";
+  implicit.op = "one_sided";
+  implicit.market = kSmallMarket;
+  implicit.prices = {0.4, 0.8};
+  server::Request explicit_defaults = implicit;
+  explicit_defaults.id = "exp";
+  explicit_defaults.cap = 0.0;
+  explicit_defaults.precision = 10;
+  ASSERT_TRUE(engine.serve_one(implicit).ok);
+  EXPECT_TRUE(engine.serve_one(explicit_defaults).cached);
+
+  // A different solver is a different query even at the same (price, cap).
+  const server::Request auto_solver = equilibrium_request("as", 0.9, 0.4);
+  ASSERT_TRUE(engine.serve_one(auto_solver).ok);
+  server::Request br_solver = auto_solver;
+  br_solver.solver = "br";
+  const server::Response br_response = engine.serve_one(br_solver);
+  ASSERT_TRUE(br_response.ok) << br_response.error;
+  EXPECT_FALSE(br_response.cached);
+}
+
+TEST(ServerEngine, EvictionIsDeterministicInRequestOrdinals) {
+  server::ServerConfig config = config_with(2);
+  server::ServerEngine engine(std::move(config));
+  const server::Request q1 = one_sided_request("q1", {0.4});
+  const server::Request q2 = one_sided_request("q2", {0.6});
+  const server::Request q3 = one_sided_request("q3", {0.8});
+
+  ASSERT_TRUE(engine.serve_one(q1).ok);  // ordinal 1
+  ASSERT_TRUE(engine.serve_one(q2).ok);  // ordinal 2
+  ASSERT_TRUE(engine.serve_one(q3).ok);  // ordinal 3: evicts q1
+  EXPECT_EQ(engine.stats().evictions, 1u);
+
+  EXPECT_FALSE(engine.serve_one(q1).cached);  // ordinal 4: re-solve, evicts q2
+  EXPECT_TRUE(engine.serve_one(q3).cached);   // ordinal 5
+  EXPECT_FALSE(engine.serve_one(q2).cached);  // ordinal 6: was evicted above
+  EXPECT_EQ(engine.stats().evictions, 3u);
+  EXPECT_EQ(engine.stats().cache_size, 2u);
+}
+
+TEST(ServerEngine, NearHitHintsRideShadowLanesWithoutPerturbingBytes) {
+  server::ServerEngine warm(config_with(16, /*verify_hints=*/true));
+  server::ServerEngine cold(config_with(0));
+
+  ASSERT_TRUE(warm.serve_one(equilibrium_request("seed", 1.0, 0.5)).ok);
+  const server::Response hinted = warm.serve_one(equilibrium_request("near", 1.02, 0.5));
+  ASSERT_TRUE(hinted.ok) << hinted.error;
+  EXPECT_FALSE(hinted.cached);  // different (price, cap): not an exact hit
+
+  const server::ServerStats stats = warm.stats();
+  EXPECT_EQ(stats.near_hits, 1u);
+  EXPECT_EQ(stats.hint_confirmed, 1u);
+  EXPECT_EQ(stats.hint_divergent, 0u);
+
+  // The shadow lane audited the warm start; the bytes are the cold solve's.
+  const server::Response reference = cold.serve_one(equilibrium_request("near", 1.02, 0.5));
+  ASSERT_TRUE(reference.ok);
+  EXPECT_EQ(hinted.text, reference.text);
+  EXPECT_EQ(hinted.exit_code, reference.exit_code);
+}
+
+TEST(ServerEngine, ForcedScalarModeMatchesCliDispatchAndSplitsCacheKeys) {
+  server::ServerEngine engine(config_with(16));
+  const server::Request request = equilibrium_request("s", 0.9, 0.4);
+  ASSERT_TRUE(engine.serve_one(request).ok);  // vector-mode entry
+
+  const subsidy::test::ForceScalarExp guard;
+  const server::Response scalar = engine.serve_one(request);
+  ASSERT_TRUE(scalar.ok) << scalar.error;
+  EXPECT_FALSE(scalar.cached);  // "S|" keys never alias "V|" entries
+
+  int cli_code = 0;
+  const std::string expected = cli_stdout(
+      {"nash", "--market", kSmallMarket, "--price", "0.9", "--cap", "0.4"}, &cli_code);
+  EXPECT_EQ(scalar.text, expected);
+  EXPECT_EQ(scalar.exit_code, cli_code);
+}
+
+TEST(ServerEngine, InvalidRequestsDegradeToInBandErrors) {
+  server::ServerEngine engine(config_with(0));
+  server::Request bad_op;
+  bad_op.id = "bad";
+  bad_op.op = "nashh";
+  server::Request no_price;
+  no_price.id = "np";
+  no_price.op = "equilibrium";
+  no_price.cap = 0.5;
+  server::Request bad_market = equilibrium_request("bm", 1.0, 0.5, "bogus");
+
+  const std::vector<server::Response> responses =
+      engine.serve({bad_op, no_price, bad_market, equilibrium_request("ok", 0.9, 0.4)});
+  EXPECT_FALSE(responses[0].ok);
+  EXPECT_NE(responses[0].error.find("unknown op"), std::string::npos);
+  EXPECT_FALSE(responses[1].ok);
+  EXPECT_NE(responses[1].error.find("price"), std::string::npos);
+  EXPECT_FALSE(responses[2].ok);
+  EXPECT_TRUE(responses[3].ok) << responses[3].error;  // batchmates unaffected
+  for (const server::Response& response : responses) {
+    if (!response.ok) {
+      EXPECT_EQ(response.exit_code, 2);
+    }
+  }
+}
+
+TEST(ServerEngine, SubmitRequiresARunningDispatcher) {
+  server::ServerEngine engine(config_with(0));
+  EXPECT_THROW((void)engine.submit(equilibrium_request("x", 0.9, 0.4)),
+               std::logic_error);
+  engine.start();
+  std::future<server::Response> pending = engine.submit(equilibrium_request("y", 0.9, 0.4));
+  EXPECT_TRUE(pending.get().ok);
+  engine.stop();
+  EXPECT_THROW((void)engine.submit(equilibrium_request("z", 0.9, 0.4)),
+               std::logic_error);
+}
+
+TEST(ServerEngine, ConcurrentSubmittersGetTheSameBytesAsSerialServing) {
+  // The TSan target: 4 producers race submissions at a live dispatcher whose
+  // drain coalesces whatever arrived; every future must carry the bytes a
+  // quiet engine computes for the same query.
+  const std::vector<server::Request> queries = {
+      equilibrium_request("e1", 0.8, 0.4),
+      equilibrium_request("e2", 1.1, 0.6),
+      one_sided_request("g1", {0.3, 0.6}),
+      one_sided_request("g2", {0.5, 0.9, 1.2}),
+  };
+  server::ServerEngine reference(config_with(0));
+  std::vector<server::Response> expected;
+  for (const server::Request& query : queries) {
+    expected.push_back(reference.serve_one(query));
+    ASSERT_TRUE(expected.back().ok) << expected.back().error;
+  }
+
+  server::ServerEngine engine(config_with(16));
+  engine.start();
+  constexpr int kRounds = 3;
+  std::vector<std::vector<std::future<server::Response>>> futures(queries.size());
+  std::vector<std::thread> producers;
+  producers.reserve(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    futures[q].resize(kRounds);
+    producers.emplace_back([&, q] {
+      for (int round = 0; round < kRounds; ++round) {
+        futures[q][round] = engine.submit(queries[q]);
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (int round = 0; round < kRounds; ++round) {
+      const server::Response response = futures[q][round].get();
+      ASSERT_TRUE(response.ok) << response.error;
+      EXPECT_EQ(response.text, expected[q].text) << "query " << queries[q].id;
+      EXPECT_EQ(response.exit_code, expected[q].exit_code);
+    }
+  }
+  engine.stop();
+  EXPECT_EQ(engine.stats().requests, queries.size() * kRounds);
+}
+
+TEST(ServeVerb, PipeBatchesOnBlankLinesAndReplaysExactHits) {
+  std::istringstream in(
+      "{\"id\":\"a\",\"op\":\"equilibrium\",\"market\":\"" + std::string(kSmallMarket) +
+      "\",\"price\":0.9,\"cap\":0.4}\n"
+      "{\"id\":\"g\",\"op\":\"one_sided\",\"market\":\"" + std::string(kSmallMarket) +
+      "\",\"prices\":[0.4,0.8]}\n"
+      "\n"
+      "{\"id\":\"a2\",\"op\":\"equilibrium\",\"market\":\"" + std::string(kSmallMarket) +
+      "\",\"price\":0.9,\"cap\":0.4}\n"
+      "this is not json\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = cli::run_serve({"serve", "--stats"}, in, out, err);
+  EXPECT_EQ(code, 0);
+
+  std::vector<server::Response> responses;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) responses.push_back(server::parse_response(line));
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_EQ(responses[0].id, "a");
+  ASSERT_TRUE(responses[0].ok) << responses[0].error;
+  EXPECT_EQ(responses[1].id, "g");
+  EXPECT_TRUE(responses[1].ok);
+  EXPECT_EQ(responses[2].id, "a2");
+  EXPECT_TRUE(responses[2].cached);
+  EXPECT_EQ(responses[2].text, responses[0].text);  // replay is byte-exact
+  EXPECT_FALSE(responses[3].ok);  // parse failure stays in-band, in its slot
+  EXPECT_EQ(responses[3].exit_code, 2);
+  EXPECT_NE(err.str().find("exact_hits=1"), std::string::npos);
+}
+
+TEST(ClientVerb, BuildsRequestLinesAndRunsThemAgainstTheEngine) {
+  int build_code = 0;
+  const std::string line =
+      cli_stdout({"client", "--op", "equilibrium", "--market", kSmallMarket, "--price",
+                  "0.9", "--cap", "0.4", "--id", "q"},
+                 &build_code);
+  EXPECT_EQ(build_code, 0);
+  const server::Request request = server::parse_request(
+      line.substr(0, line.find('\n')));
+  EXPECT_EQ(request.id, "q");
+  EXPECT_EQ(request.op, "equilibrium");
+  ASSERT_TRUE(request.price && request.cap);
+  EXPECT_EQ(*request.price, 0.9);
+
+  int run_code = 0;
+  const std::string served =
+      cli_stdout({"client", "--op", "equilibrium", "--market", kSmallMarket, "--price",
+                  "0.9", "--cap", "0.4", "--run"},
+                 &run_code);
+  int nash_code = 0;
+  const std::string one_shot = cli_stdout(
+      {"nash", "--market", kSmallMarket, "--price", "0.9", "--cap", "0.4"}, &nash_code);
+  EXPECT_EQ(served, one_shot);
+  EXPECT_EQ(run_code, nash_code);
+}
+
+#if defined(SUBSIDY_FAULT_INJECTION)
+
+namespace fault = subsidy::num::fault;
+
+TEST(ServerFault, PoisonedRequestDegradesWithoutDisturbingBatchmates) {
+  fault::reset();
+  const std::vector<server::Request> requests = {
+      equilibrium_request("a", 0.8, 0.4),
+      equilibrium_request("b", 1.1, 0.6),
+      one_sided_request("g", {0.4, 0.8}),
+  };
+  server::ServerEngine healthy(config_with(0));
+  const std::vector<server::Response> reference = healthy.serve(requests);
+  for (const server::Response& response : reference) {
+    ASSERT_TRUE(response.ok) << response.error;
+  }
+
+  fault::arm("server.request@2");
+  server::ServerEngine faulty(config_with(0));
+  const std::vector<server::Response> responses = faulty.serve(requests);
+  fault::reset();
+
+  EXPECT_FALSE(responses[1].ok);
+  EXPECT_EQ(responses[1].error, "injected fault: server.request");
+  EXPECT_EQ(responses[1].exit_code, 2);
+  EXPECT_EQ(responses[1].id, "b");
+  // The survivors' coalesced lanes are bitwise untouched by the poisoning.
+  ASSERT_TRUE(responses[0].ok && responses[2].ok);
+  EXPECT_EQ(responses[0].text, reference[0].text);
+  EXPECT_EQ(responses[2].text, reference[2].text);
+  EXPECT_EQ(faulty.stats().faults_injected, 1u);
+}
+
+#else
+
+TEST(ServerFault, RequiresOptInBuild) {
+  GTEST_SKIP() << "built without -DSUBSIDY_FAULT_INJECTION=ON; run the fault "
+                  "CI configuration to exercise the server.request site";
+}
+
+#endif
+
+}  // namespace

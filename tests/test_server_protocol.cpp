@@ -1,0 +1,170 @@
+// Serving wire-format tests: strict parsing of the flat line-JSON grammar,
+// bit-exact double round-trips (%.17g <-> from_chars), string escaping, and
+// loud rejection of malformed lines — the protocol layer must never guess.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "subsidy/server/protocol.hpp"
+
+namespace server = subsidy::server;
+
+namespace {
+
+TEST(ServerProtocol, RequestRoundTripsEveryField) {
+  server::Request request;
+  request.id = "q-17";
+  request.op = "one_sided";
+  request.market = "section3+delay";
+  request.solver = "br";
+  request.price = 0.75;
+  request.cap = 0.5;
+  request.pmin = 0.05;
+  request.pmax = 2.0;
+  request.points = 41;
+  request.chain = 12;
+  request.jobs = 4;
+  request.precision = 10;
+  request.prices = {0.2, 0.4, 0.8};
+
+  const server::Request back = server::parse_request(server::serialize_request(request));
+  EXPECT_EQ(back.id, request.id);
+  EXPECT_EQ(back.op, request.op);
+  EXPECT_EQ(back.market, request.market);
+  EXPECT_EQ(back.solver, request.solver);
+  ASSERT_TRUE(back.price && back.cap && back.pmin && back.pmax);
+  EXPECT_EQ(*back.price, 0.75);
+  EXPECT_EQ(*back.cap, 0.5);
+  ASSERT_TRUE(back.points && back.chain && back.jobs && back.precision);
+  EXPECT_EQ(*back.points, 41);
+  EXPECT_EQ(*back.chain, 12);
+  EXPECT_EQ(*back.jobs, 4);
+  EXPECT_EQ(*back.precision, 10);
+  EXPECT_EQ(back.prices, request.prices);
+}
+
+TEST(ServerProtocol, OmittedFieldsStayDistinguishableFromDefaults) {
+  const server::Request request = server::parse_request(R"({"op":"sweep"})");
+  EXPECT_EQ(request.op, "sweep");
+  EXPECT_EQ(request.market, "section5");  // struct default, not wire-visible
+  EXPECT_EQ(request.solver, "auto");
+  EXPECT_FALSE(request.price.has_value());
+  EXPECT_FALSE(request.cap.has_value());
+  EXPECT_FALSE(request.points.has_value());
+  EXPECT_TRUE(request.prices.empty());
+}
+
+TEST(ServerProtocol, DoublesRoundTripBitExactly) {
+  const double cases[] = {0.1,
+                          1.0 / 3.0,
+                          std::nextafter(1.0, 2.0),
+                          1e-300,
+                          -1.7976931348623157e308,
+                          -0.0};
+  for (const double value : cases) {
+    server::Request request;
+    request.op = "equilibrium";
+    request.price = value;
+    request.cap = value;
+    const server::Request back = server::parse_request(server::serialize_request(request));
+    ASSERT_TRUE(back.price.has_value());
+    EXPECT_EQ(*back.price, value);
+    EXPECT_EQ(std::signbit(*back.price), std::signbit(value));
+  }
+}
+
+TEST(ServerProtocol, DocExamplesParse) {
+  const server::Request q1 = server::parse_request(
+      R"({"id":"q1","op":"equilibrium","market":"section5","price":1.0,"cap":0.5})");
+  EXPECT_EQ(q1.id, "q1");
+  EXPECT_EQ(q1.op, "equilibrium");
+  ASSERT_TRUE(q1.price && q1.cap);
+  EXPECT_EQ(*q1.price, 1.0);
+
+  const server::Request q2 = server::parse_request(
+      R"({"id":"q2","op":"sweep","cap":0.0,"pmin":0.05,"pmax":2.0,"points":41})");
+  ASSERT_TRUE(q2.points.has_value());
+  EXPECT_EQ(*q2.points, 41);
+
+  const server::Request q3 =
+      server::parse_request(R"({"id":"q3","op":"one_sided","prices":[0.2,0.4,0.8]})");
+  EXPECT_EQ(q3.prices, (std::vector<double>{0.2, 0.4, 0.8}));
+}
+
+TEST(ServerProtocol, RejectsUnknownKeysAndTypeMismatches) {
+  EXPECT_THROW((void)server::parse_request(R"({"op":"sweep","bogus":1})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)server::parse_request(R"({"op":1.5})"), std::invalid_argument);
+  EXPECT_THROW((void)server::parse_request(R"({"price":"1.0"})"), std::invalid_argument);
+  // Integer fields reject fractional values instead of truncating.
+  EXPECT_THROW((void)server::parse_request(R"({"points":2.5})"), std::invalid_argument);
+  EXPECT_THROW((void)server::parse_response(R"({"ok":true,"surprise":1})"),
+               std::invalid_argument);
+}
+
+TEST(ServerProtocol, RejectsMalformedLines) {
+  EXPECT_THROW((void)server::parse_request(""), std::invalid_argument);
+  EXPECT_THROW((void)server::parse_request("{"), std::invalid_argument);
+  EXPECT_THROW((void)server::parse_request(R"({"op":"sweep"} trailing)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)server::parse_request(R"({"id":"unterminated)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)server::parse_request("{\"id\":\"raw\x01control\"}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)server::parse_request(R"({"prices":[1,]})"), std::invalid_argument);
+  EXPECT_THROW((void)server::parse_request(R"({"id":"\uZZZZ"})"), std::invalid_argument);
+  EXPECT_THROW((void)server::parse_request(R"({"id":"\u00e9"})"), std::invalid_argument);
+  // Raw UTF-8 bytes are not escapes; they pass through untouched.
+  EXPECT_EQ(server::parse_request("{\"id\":\"\xc3\xa9\"}").id, "\xc3\xa9");
+  EXPECT_THROW((void)server::parse_request(R"({"op":{"nested":1}})"),
+               std::invalid_argument);
+}
+
+TEST(ServerProtocol, ResponseRoundTripsWithEscapes) {
+  server::Response response;
+  response.id = R"(a"b\c)";
+  response.ok = true;
+  response.exit_code = 1;
+  response.cached = true;
+  response.text = "line one\n\tcol\"two\"\r\nraw\x01" "ctl";
+
+  const std::string line = server::serialize_response(response);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one line, always
+  EXPECT_NE(line.find("\\u0001"), std::string::npos);
+
+  const server::Response back = server::parse_response(line);
+  EXPECT_EQ(back.id, response.id);
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.exit_code, 1);
+  EXPECT_TRUE(back.cached);
+  EXPECT_EQ(back.text, response.text);
+  EXPECT_TRUE(back.error.empty());
+}
+
+TEST(ServerProtocol, ResponseCarriesTextXorError) {
+  server::Response ok;
+  ok.id = "a";
+  ok.ok = true;
+  ok.text = "payload";
+  ok.error = "ignored";
+  const std::string ok_line = server::serialize_response(ok);
+  EXPECT_NE(ok_line.find("\"text\""), std::string::npos);
+  EXPECT_EQ(ok_line.find("\"error\""), std::string::npos);
+
+  server::Response failed;
+  failed.id = "b";
+  failed.ok = false;
+  failed.exit_code = 2;
+  failed.error = "unknown op 'nashh'";
+  const std::string err_line = server::serialize_response(failed);
+  EXPECT_EQ(err_line.find("\"text\""), std::string::npos);
+  const server::Response back = server::parse_response(err_line);
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.exit_code, 2);
+  EXPECT_EQ(back.error, "unknown op 'nashh'");
+}
+
+}  // namespace

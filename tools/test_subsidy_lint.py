@@ -194,6 +194,18 @@ class NoWallclockRngTest(TreeFixture):
         self.assertEqual(len(found), 3)
         self.assertIn("num::crng", found[0].message)
 
+    def test_fires_on_chrono_in_server(self):
+        # The serving layer produces response bytes; a clock read there could
+        # leak arrival timing into cache or scheduling decisions.
+        self.write("src/server/src/engine.cpp",
+                   "#include <chrono>\n"
+                   "long deadline() { return std::chrono::steady_clock::now()"
+                   ".time_since_epoch().count(); }\n")
+        found = self.findings("no-wallclock-rng")
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].path, "src/server/src/engine.cpp")
+        self.assertEqual(found[0].line, 2)
+
     def test_quiet_on_counter_rng(self):
         self.write("src/sim/src/engine.cpp",
                    '#include "subsidy/numerics/counter_rng.hpp"\n'
@@ -256,6 +268,17 @@ class PoolCaptureAuditTest(TreeFixture):
                    " { ++count; return x; });\n"
                    "}\n")
         self.assertEqual(len(self.findings("pool-capture-audit")), 1)
+
+    def test_fires_on_server_batch_capture(self):
+        self.write("src/server/src/engine.cpp",
+                   "void serve(Pool& pool) {\n"
+                   "  std::vector<Response> responses;\n"
+                   "  pool.submit([&responses]() { responses.emplace_back(); });\n"
+                   "}\n")
+        found = self.findings("pool-capture-audit")
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].path, "src/server/src/engine.cpp")
+        self.assertIn("&responses", found[0].message)
 
     def test_quiet_on_const_capture(self):
         self.write("src/cli/src/commands.cpp",
