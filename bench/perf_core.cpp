@@ -12,6 +12,7 @@
 #include "subsidy/core/core.hpp"
 #include "subsidy/core/surplus.hpp"
 #include "subsidy/market/scenarios.hpp"
+#include "subsidy/runtime/parallel_sweep.hpp"
 #include "subsidy/scenario/runner.hpp"
 #include "subsidy/scenario/scenario_file.hpp"
 #include "subsidy/server/engine.hpp"
@@ -61,7 +62,9 @@ void BM_UtilizationSolveBatch(benchmark::State& state) {
   // One node-major plane of `range(0)` grid nodes per solve_many call (an
   // unsubsidized price sweep). The {32, 256, 2048} sizes expose the
   // plane-width crossover: per-node cost falls as the vectorized exp and
-  // the plane bookkeeping amortize over wider batches.
+  // the plane bookkeeping amortize over wider batches. 2048 and 8192 are
+  // the memory-bound regime the kernel's plane prefetch targets: the
+  // working set outgrows L2 and the cluster stage starts waiting on DRAM.
   const core::ModelEvaluator evaluator(section5());
   const std::size_t n = evaluator.num_providers();
   const std::vector<double> zeros(n, 0.0);
@@ -79,7 +82,7 @@ void BM_UtilizationSolveBatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(num_nodes));
 }
-BENCHMARK(BM_UtilizationSolveBatch)->Arg(32)->Arg(256)->Arg(2048);
+BENCHMARK(BM_UtilizationSolveBatch)->Arg(32)->Arg(256)->Arg(2048)->Arg(8192);
 
 void BM_StateEvaluation(benchmark::State& state) {
   const core::ModelEvaluator evaluator(section5());
@@ -202,6 +205,36 @@ void BM_Figure7Column(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Figure7Column);
+
+void BM_SweepNuma(benchmark::State& state) {
+  // A figure-scale chained sweep through the topology-sharded fan-out:
+  // arg 0 runs with --numa off (one flat pool, the pre-topology schedule),
+  // arg N forces N domains (per-domain pinned pools + first-touch kernel
+  // replicas — on a single-socket box the fake exercises the sharding
+  // structure; on real NUMA hardware the /0-vs-/N delta is the locality
+  // win). Rows are bit-identical across all args by the topology contract.
+  subsidy::runtime::SweepOptions options;
+  options.jobs = std::thread::hardware_concurrency();
+  options.chain_length = 4;
+  if (state.range(0) == 0) {
+    options.numa.mode = subsidy::runtime::NumaMode::off;
+  } else {
+    options.numa.mode = subsidy::runtime::NumaMode::forced;
+    options.numa.forced_domains = static_cast<std::size_t>(state.range(0));
+  }
+  const subsidy::runtime::ParallelSweepRunner runner(section5(), options);
+  const std::vector<double> caps{0.0, 0.5, 1.0, 1.5, 2.0};
+  std::vector<double> prices(41);
+  for (std::size_t k = 0; k < prices.size(); ++k) {
+    prices[k] = 0.05 + 1.95 * static_cast<double>(k) / (prices.size() - 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(caps, prices));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(caps.size() * prices.size()));
+}
+BENCHMARK(BM_SweepNuma)->Arg(0)->Arg(2);
 
 void BM_PriceOptimizer(benchmark::State& state) {
   core::PriceSearchOptions options;

@@ -17,6 +17,7 @@
 #include "subsidy/numerics/grid.hpp"
 #include "subsidy/runtime/parallel_sweep.hpp"
 #include "subsidy/runtime/thread_pool.hpp"
+#include "subsidy/runtime/topology.hpp"
 #include "subsidy/scenario/registry.hpp"
 #include "subsidy/scenario/runner.hpp"
 #include "subsidy/scenario/spec_grammar.hpp"
@@ -74,6 +75,7 @@ int cmd_sweep(const Args& args, std::ostream& out) {
   runtime::SweepOptions options;
   options.jobs = runtime::resolve_jobs(args.get_int_or("jobs", 1));
   options.chain_length = static_cast<std::size_t>(std::max(0, args.get_int_or("chain", 8)));
+  if (args.has("numa")) options.numa = runtime::parse_numa_setting(args.get("numa"));
   const runtime::ParallelSweepRunner runner(market, options);
   const io::SweepTable table = server::sweep_table(runner.run_prices(cap, prices));
   if (args.has("out")) {
@@ -195,8 +197,8 @@ int cmd_calibrate(const Args& args, std::ostream& out) {
 /// (not Args) because the sub-subcommand and target are positional.
 int cmd_scenario(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
   const std::string scenario_usage =
-      "usage: subsidy_cli scenario run <file-or-name> [--jobs N] [--out-dir D]"
-      " [--precision P] [--strict]\n"
+      "usage: subsidy_cli scenario run <file-or-name> [--jobs N] [--numa off|auto|N]"
+      " [--out-dir D] [--precision P] [--strict]\n"
       "       subsidy_cli scenario list\n"
       "       subsidy_cli scenario print <name>\n";
   if (argv.size() < 2) {
@@ -246,7 +248,8 @@ int cmd_scenario(const std::vector<std::string>& argv, std::ostream& out, std::o
       options.strict = true;
       continue;
     }
-    if (flag != "--jobs" && flag != "--out-dir" && flag != "--precision") {
+    if (flag != "--jobs" && flag != "--out-dir" && flag != "--precision" &&
+        flag != "--numa") {
       throw std::invalid_argument("unknown scenario option '" + flag + "'");
     }
     if (k + 1 >= argv.size()) {
@@ -257,6 +260,8 @@ int cmd_scenario(const std::vector<std::string>& argv, std::ostream& out, std::o
       options.jobs = runtime::resolve_jobs(parse_count(value, "--jobs"));
     } else if (flag == "--precision") {
       options.precision = parse_count(value, "--precision");
+    } else if (flag == "--numa") {
+      options.numa = runtime::parse_numa_setting(value);
     } else {
       options.output_dir = value;
     }
@@ -320,6 +325,7 @@ int cmd_sim(const Args& args, std::ostream& out, std::ostream& err) {
   config.snapshot_every =
       static_cast<std::size_t>(std::max(0, args.get_int_or("snapshot", 1)));
   config.jobs = runtime::resolve_jobs(args.get_int_or("jobs", 1));
+  if (args.has("numa")) config.numa = runtime::parse_numa_setting(args.get("numa"));
   const auto users = static_cast<std::size_t>(std::max(1, args.get_int_or("users", 2000)));
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const auto wakeup = static_cast<std::size_t>(std::max(1, args.get_int_or("wakeup", 1)));
@@ -386,6 +392,7 @@ server::ServerConfig serve_config(const Args& args) {
       static_cast<std::size_t>(std::max(0, args.get_int_or("cache", 256)));
   config.default_jobs = args.get_int_or("jobs", 1);
   config.verify_hints = args.flag("verify-hints");
+  if (args.has("numa")) config.numa = runtime::parse_numa_setting(args.get("numa"));
   return config;
 }
 
@@ -493,6 +500,7 @@ std::string usage() {
         "  nash            --market M --price P --cap Q [--solver br|eg|auto]\n"
         "  sweep           --market M [--cap Q --pmin A --pmax B --points N --out F]\n"
         "                  [--jobs N (parallel; 0 = hardware) --chain L (warm-start run)]\n"
+        "                  [--numa off|auto|N (memory-domain sharding; rows invariant)]\n"
         "  optimize-price  --market M --cap Q [--pmin A --pmax B --points N]\n"
         "                  [--jobs N --chain L (parallel grid phase, jobs-invariant)]\n"
         "  policy          --market M [--price P | (monopoly)] [--caps 0,0.5,...] [--jobs N]\n"
@@ -502,11 +510,11 @@ std::string usage() {
         "  validate        --market M\n"
         "  sim             --market M --price P [--cap Q --users N --ticks T --seed S]\n"
         "                  [--wakeup W --replicas R --noise X --congestion C --snapshot K]\n"
-        "                  [--jobs N --out F --validate TOL (agent simulation)]\n"
-        "  scenario        run <file-or-name> [--jobs N --out-dir D --precision P --strict]\n"
-        "                  | list | print <name>   (declarative scenario files)\n"
-        "  serve           [--jobs N --cache N --verify-hints --stats]  (line-JSON daemon\n"
-        "                  on stdin/stdout; a blank line flushes one coalesced batch)\n"
+        "                  [--jobs N --numa MODE --out F --validate TOL (agent simulation)]\n"
+        "  scenario        run <file-or-name> [--jobs N --numa MODE --out-dir D\n"
+        "                  --precision P --strict] | list | print <name>\n"
+        "  serve           [--jobs N --numa MODE --cache N --verify-hints --stats]\n"
+        "                  (line-JSON daemon on stdin/stdout; blank line flushes a batch)\n"
         "  client          --op equilibrium|sweep|one_sided [query options] [--id X]\n"
         "                  [--run]   (emit one serve request line, or --run in-process)\n\n"
         "market spec: "

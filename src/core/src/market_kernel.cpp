@@ -481,9 +481,10 @@ namespace {
 /// expressions of batch_finalize_theta) into the same register pass, so a
 /// whole Newton plane touches each output cache line once.
 template <std::size_t W, bool kFuseLinearTheta>
-inline void clusters_stage(const double* data, std::size_t stride, const double* betas,
-                           std::size_t num_clusters, double mu, const double* phis,
-                           std::size_t count, double* dem, double* slp) noexcept {
+SUBSIDY_SIMD_FORCE_INLINE void clusters_stage(const double* data, std::size_t stride,
+                                              const double* betas, std::size_t num_clusters,
+                                              double mu, const double* phis, std::size_t count,
+                                              double* dem, double* slp) noexcept {
   namespace simd = num::simd;
   using vd = simd::vdouble_w<W>;
   const vd vmu = simd::vsplat_w<W>(mu);
@@ -491,6 +492,14 @@ inline void clusters_stage(const double* data, std::size_t stride, const double*
     vd d = simd::vsplat_w<W>(0.0);
     vd s = simd::vsplat_w<W>(0.0);
     for (std::size_t c = 0; c < num_clusters; ++c) {
+      // The c -> c+1 step jumps a whole plane row (stride doubles), which
+      // the hardware prefetcher does not follow once the plane outgrows L2
+      // (the 2048-node sizes); ask for the next row's group up front, and
+      // for this row's *next* group so the line is in flight a whole
+      // cluster loop before its load. Pure latency hints — bits are
+      // untouched.
+      if (c + 1 < num_clusters) __builtin_prefetch(data + (c + 1) * stride + base, 0, 3);
+      __builtin_prefetch(data + c * stride + base + W, 0, 3);
       const vd neg_beta = simd::vsplat_w<W>(-betas[c]);
       const vd e = simd::vexp_w<W>(neg_beta * phi);
       const vd term = simd::vload_w<W>(data + c * stride + base) * e;
@@ -540,6 +549,20 @@ __attribute__((target("avx2"))) void clusters_stage_linear_avx2(
 }
 #endif
 
+#if defined(__x86_64__) && !defined(__AVX512F__)
+__attribute__((target("avx512f"))) void clusters_stage_avx512(
+    const double* data, std::size_t stride, const double* betas, std::size_t num_clusters,
+    const double* phis, std::size_t count, double* dem, double* slp) noexcept {
+  clusters_stage<8, false>(data, stride, betas, num_clusters, 0.0, phis, count, dem, slp);
+}
+
+__attribute__((target("avx512f"))) void clusters_stage_linear_avx512(
+    const double* data, std::size_t stride, const double* betas, std::size_t num_clusters,
+    double mu, const double* phis, std::size_t count, double* dem, double* slp) noexcept {
+  clusters_stage<8, true>(data, stride, betas, num_clusters, mu, phis, count, dem, slp);
+}
+#endif
+
 }  // namespace
 
 void MarketKernel::batch_clusters_vector(const BatchBinding& binding,
@@ -549,6 +572,13 @@ void MarketKernel::batch_clusters_vector(const BatchBinding& binding,
   const std::size_t stride = binding.capacity_;
   const double* betas = cluster_beta_.data();
   const std::size_t num_clusters = cluster_beta_.size();
+#if defined(__x86_64__) && !defined(__AVX512F__)
+  if (num::simd::cpu_has_avx512()) {
+    clusters_stage_avx512(data, stride, betas, num_clusters, phis.data(), phis.size(),
+                          dem, slp);
+    return;
+  }
+#endif
 #if defined(__x86_64__) && !defined(__AVX2__)
   if (num::simd::cpu_has_avx2()) {
     clusters_stage_avx2(data, stride, betas, num_clusters, phis.data(), phis.size(), dem,
@@ -573,6 +603,13 @@ bool MarketKernel::batch_gap_fused_linear(const BatchBinding& binding,
   const std::size_t stride = binding.capacity_;
   const double* betas = cluster_beta_.data();
   const std::size_t num_clusters = cluster_beta_.size();
+#if defined(__x86_64__) && !defined(__AVX512F__)
+  if (num::simd::cpu_has_avx512()) {
+    clusters_stage_linear_avx512(data, stride, betas, num_clusters, mu_, phis.data(),
+                                 phis.size(), g, dg);
+    return true;
+  }
+#endif
 #if defined(__x86_64__) && !defined(__AVX2__)
   if (num::simd::cpu_has_avx2()) {
     clusters_stage_linear_avx2(data, stride, betas, num_clusters, mu_, phis.data(),

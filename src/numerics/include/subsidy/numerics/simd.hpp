@@ -45,7 +45,9 @@ inline constexpr bool kVectorBackend = true;
 // lowering goes element-wise through the stack — far slower than two native
 // registers. Per-lane arithmetic is identical at any width, so narrowing is
 // a pure codegen choice and does not change results.
-#if defined(__AVX__)
+#if defined(__AVX512F__)
+inline constexpr std::size_t kLanes = 8;
+#elif defined(__AVX__)
 inline constexpr std::size_t kLanes = 4;
 #else
 inline constexpr std::size_t kLanes = 2;
@@ -65,18 +67,44 @@ inline constexpr std::size_t kLanes = 1;
 /// vector backend is compiled out: the scalar path is then the only path.
 void set_force_scalar(bool force) noexcept;
 
-/// Path the planes dispatch to right now: "vector4"|"vector2"|"scalar".
+/// Path the planes dispatch to right now:
+/// "vector8"|"vector4"|"vector2"|"scalar".
 [[nodiscard]] const char* backend() noexcept;
 
 /// Widest lane count any dispatch target uses; plane rows are padded to
 /// this so wide loads on ragged tails stay in bounds.
-inline constexpr std::size_t kMaxLanes = 4;
+inline constexpr std::size_t kMaxLanes = 8;
 
 /// True when the running CPU can execute the 4-wide AVX2 clones of the
-/// plane kernels (always false off x86-64). Cached after the first call.
+/// plane kernels (always false off x86-64) and the runtime width cap
+/// admits width 4. The CPUID probe is cached after the first call.
 [[nodiscard]] bool cpu_has_avx2() noexcept;
 
+/// Same for the 8-wide AVX-512 clones (requires avx512f; width cap >= 8).
+[[nodiscard]] bool cpu_has_avx512() noexcept;
+
+/// Widest vector lane count dispatch may select (test/A-B hook, seeded from
+/// the SUBSIDY_SIMD_WIDTH environment variable at startup; 0 / unset means
+/// "whatever the CPU offers"). Every width produces the same bits — the
+/// parity suites set the cap to 2/4/8 in turn and byte-compare — so the cap
+/// is purely a dispatch restriction, never a results knob.
+[[nodiscard]] std::size_t width_cap() noexcept;
+
+/// Process-wide runtime override of the dispatch width cap (0 = uncapped).
+void set_width_cap(std::size_t cap) noexcept;
+
 #if SUBSIDY_SIMD_VECTOR_BACKEND
+
+/// Forced inlining for the width-templated kernels below. Not an
+/// optimization nicety: the runtime-dispatch clones instantiate these
+/// templates inside target("avx2")/target("avx512f") wrappers, and the
+/// target attribute only reaches code the compiler actually inlines into
+/// the wrapper. If the cost model declines (it does for the wide W = 8
+/// bodies), the out-of-line instantiation lowers with the TU's *baseline*
+/// ISA — 64-byte vectors emulated through SSE2 pairs, silently ~2x slower
+/// than the AVX2 path it was meant to beat. always_inline makes the
+/// wrapper's ISA authoritative at every width.
+#define SUBSIDY_SIMD_FORCE_INLINE inline __attribute__((always_inline))
 
 /// W-lane vector types. The kernels are width-templated so one definition
 /// serves both the baseline build (W = kLanes, native ISA width) and the
@@ -100,19 +128,19 @@ using vdouble = vdouble_w<kLanes>;
 using vint64 = vint64_w<kLanes>;
 
 template <std::size_t W>
-inline vdouble_w<W> vsplat_w(double a) noexcept {
+SUBSIDY_SIMD_FORCE_INLINE vdouble_w<W> vsplat_w(double a) noexcept {
   return vdouble_w<W>{} + a;
 }
 
 template <std::size_t W>
-inline vdouble_w<W> vload_w(const double* p) noexcept {
+SUBSIDY_SIMD_FORCE_INLINE vdouble_w<W> vload_w(const double* p) noexcept {
   vdouble_w<W> v;
   std::memcpy(&v, p, sizeof(v));
   return v;
 }
 
 template <std::size_t W>
-inline void vstore_w(double* p, vdouble_w<W> v) noexcept {
+SUBSIDY_SIMD_FORCE_INLINE void vstore_w(double* p, vdouble_w<W> v) noexcept {
   std::memcpy(p, &v, sizeof(v));
 }
 
@@ -153,7 +181,7 @@ inline constexpr double kOverflow = 710.0;
 
 /// out[i] = exp(x[i]) per lane. See the header comment for range semantics.
 template <std::size_t W>
-inline vdouble_w<W> vexp_w(vdouble_w<W> x) noexcept {
+SUBSIDY_SIMD_FORCE_INLINE vdouble_w<W> vexp_w(vdouble_w<W> x) noexcept {
   using namespace detail;
   using vd = vdouble_w<W>;
   using vi = vint64_w<W>;
@@ -206,7 +234,30 @@ inline void exp_batch_scalar(const double* x, double* out, std::size_t n) noexce
   for (std::size_t i = 0; i < n; ++i) out[i] = sexp(x[i]);
 }
 #if SUBSIDY_SIMD_VECTOR_BACKEND
+/// Width-templated array exp shared by the baseline TU and the runtime
+/// dispatch clones (the AVX2 wrapper in simd.cpp, the AVX-512 wrapper in
+/// simd_avx512.cpp). Lives in the header so each clone TU instantiates it
+/// under its own target attribute; every instantiation produces the same
+/// bits (per-lane arithmetic, -ffp-contract=off discipline).
+template <std::size_t W>
+SUBSIDY_SIMD_FORCE_INLINE void exp_batch_impl(const double* x, double* out, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) vstore_w<W>(out + i, vexp_w<W>(vload_w<W>(x + i)));
+  if (i < n) {
+    // Padded tail through the same vector kernel (position independence).
+    double buf[W];
+    for (double& b : buf) b = x[n - 1];
+    for (std::size_t k = i; k < n; ++k) buf[k - i] = x[k];
+    vstore_w<W>(buf, vexp_w<W>(vload_w<W>(buf)));
+    for (std::size_t k = i; k < n; ++k) out[k] = buf[k - i];
+  }
+}
+
 void exp_batch_vector(const double* x, double* out, std::size_t n) noexcept;
+#if defined(__x86_64__) && !defined(__AVX512F__)
+/// The 8-wide clone, compiled in simd_avx512.cpp behind target("avx512f").
+void exp_batch_avx512(const double* x, double* out, std::size_t n) noexcept;
+#endif
 #endif
 }  // namespace detail
 

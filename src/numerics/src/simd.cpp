@@ -1,7 +1,7 @@
-// Compile with -ffp-contract=off (set in CMakeLists): the AVX2 clones must
-// not fuse mul+add into FMA, or their results would drift from the baseline
-// lowering by ~1 ulp and the batch planes would stop being bit-stable
-// across machines.
+// Compile with -ffp-contract=off (set in CMakeLists): the AVX2/AVX-512
+// clones must not fuse mul+add into FMA, or their results would drift from
+// the baseline lowering by ~1 ulp and the batch planes would stop being
+// bit-stable across machines.
 #include "subsidy/numerics/simd.hpp"
 
 #include <atomic>
@@ -24,6 +24,21 @@ std::atomic<bool>& force_scalar_flag() {
   return flag;
 }
 
+std::size_t initial_width_cap() {
+  // SUBSIDY_SIMD_WIDTH=2|4|8 caps the dispatch width (0/unset = uncapped).
+  // Pure dispatch restriction — every width is bit-identical; the parity
+  // suites flip the cap to prove it.
+  const char* env = std::getenv("SUBSIDY_SIMD_WIDTH");
+  if (env == nullptr || env[0] == '\0') return 0;
+  const long value = std::strtol(env, nullptr, 10);
+  return value > 0 ? static_cast<std::size_t>(value) : 0;
+}
+
+std::atomic<std::size_t>& width_cap_flag() {
+  static std::atomic<std::size_t> cap{initial_width_cap()};
+  return cap;
+}
+
 }  // namespace
 
 bool force_scalar() noexcept {
@@ -35,15 +50,36 @@ void set_force_scalar(bool force) noexcept {
   force_scalar_flag().store(force, std::memory_order_relaxed);
 }
 
+std::size_t width_cap() noexcept {
+  return width_cap_flag().load(std::memory_order_relaxed);
+}
+
+void set_width_cap(std::size_t cap) noexcept {
+  width_cap_flag().store(cap, std::memory_order_relaxed);
+}
+
 const char* backend() noexcept {
   if (force_scalar()) return "scalar";
-  return (cpu_has_avx2() || kLanes == 4) ? "vector4" : "vector2";
+  if (cpu_has_avx512() || kLanes == 8) return "vector8";
+  if (cpu_has_avx2() || kLanes == 4) return "vector4";
+  return "vector2";
 }
 
 bool cpu_has_avx2() noexcept {
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
   static const bool has = __builtin_cpu_supports("avx2") > 0;
-  return has;
+  const std::size_t cap = width_cap();
+  return has && (cap == 0 || cap >= 4);
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  static const bool has = __builtin_cpu_supports("avx512f") > 0;
+  const std::size_t cap = width_cap();
+  return has && (cap == 0 || cap >= 8);
 #else
   return false;
 #endif
@@ -53,24 +89,10 @@ bool cpu_has_avx2() noexcept {
 
 namespace {
 
-template <std::size_t W>
-inline void exp_batch_impl(const double* x, double* out, std::size_t n) noexcept {
-  std::size_t i = 0;
-  for (; i + W <= n; i += W) vstore_w<W>(out + i, vexp_w<W>(vload_w<W>(x + i)));
-  if (i < n) {
-    // Padded tail through the same vector kernel (position independence).
-    double buf[W];
-    for (double& b : buf) b = x[n - 1];
-    for (std::size_t k = i; k < n; ++k) buf[k - i] = x[k];
-    vstore_w<W>(buf, vexp_w<W>(vload_w<W>(buf)));
-    for (std::size_t k = i; k < n; ++k) out[k] = buf[k - i];
-  }
-}
-
 #if defined(__x86_64__) && !defined(__AVX2__)
 __attribute__((target("avx2"))) void exp_batch_avx2(const double* x, double* out,
                                                     std::size_t n) noexcept {
-  exp_batch_impl<4>(x, out, n);
+  detail::exp_batch_impl<4>(x, out, n);
 }
 #endif
 
@@ -79,6 +101,12 @@ __attribute__((target("avx2"))) void exp_batch_avx2(const double* x, double* out
 namespace detail {
 
 void exp_batch_vector(const double* x, double* out, std::size_t n) noexcept {
+#if defined(__x86_64__) && !defined(__AVX512F__)
+  if (cpu_has_avx512()) {
+    exp_batch_avx512(x, out, n);
+    return;
+  }
+#endif
 #if defined(__x86_64__) && !defined(__AVX2__)
   if (cpu_has_avx2()) {
     exp_batch_avx2(x, out, n);

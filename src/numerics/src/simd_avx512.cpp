@@ -1,0 +1,25 @@
+// The AVX-512 (W = 8) clone of the batch exp kernel, selected at runtime by
+// detail::exp_batch_vector when cpu_has_avx512() holds. Its own TU so the
+// target("avx512f") instantiation of the width-templated kernel is isolated
+// from the baseline lowering, under the same -ffp-contract=off discipline
+// (set project-wide in CMakeLists): ZMM lowering must not fuse mul+add into
+// FMA, or the 8-wide results would drift ~1 ulp from the 2/4-wide paths and
+// the width-parity suites would catch the planes going bit-unstable.
+//
+// The kernel body is detail::exp_batch_impl<8> from the header — the same
+// per-lane arithmetic every other width runs, so this path is bit-identical
+// to AVX2/SSE2/scalar-forced by construction, not by accident.
+#include "subsidy/numerics/simd.hpp"
+
+namespace subsidy::num::simd::detail {
+
+#if SUBSIDY_SIMD_VECTOR_BACKEND && defined(__x86_64__) && !defined(__AVX512F__)
+
+__attribute__((target("avx512f"))) void exp_batch_avx512(const double* x, double* out,
+                                                         std::size_t n) noexcept {
+  exp_batch_impl<8>(x, out, n);
+}
+
+#endif
+
+}  // namespace subsidy::num::simd::detail

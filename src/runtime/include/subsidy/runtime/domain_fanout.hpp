@@ -1,0 +1,115 @@
+// The topology-aware fan-out every sharding layer shares: items are split
+// into contiguous per-domain shards, each domain runs its shard on a pool
+// pinned to the domain's CPUs, and a per-domain setup hook runs on a pinned
+// worker BEFORE any of the domain's items — the first-touch point where
+// callers build domain-local kernel replicas (their BatchBinding planes and
+// thread_local plane workspaces then allocate on the domain's memory).
+//
+// Determinism: the item -> domain map is partition_shards(items, domains) —
+// a pure function of the counts, never of timing — and fn(i, d) is required
+// to be a pure function of the item (the domain argument only selects
+// which value-identical replica to read). Combined with the fault-ordinal
+// and rethrow disciplines below, output bytes are identical for any jobs
+// count, any topology, and the inline path.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "subsidy/numerics/fault_injection.hpp"
+#include "subsidy/runtime/thread_pool.hpp"
+#include "subsidy/runtime/topology.hpp"
+
+namespace subsidy::runtime {
+
+/// Runs fn(i, d) for every item i in [0, num_items), on domain d's pinned
+/// pool, after setup(d) completed on that pool. With jobs <= 1 (or fewer
+/// than two items) everything runs inline on the calling thread as domain 0
+/// with no pool — matching parallel_map's inline convention, so the serial
+/// path consumes no "pool.task" fault ordinals. The pooled path consumes
+/// one ordinal per item at submission, in ascending item order on the
+/// calling thread (contiguous shards make domain-major submission ascend
+/// globally), so fault plans poison the same item for any jobs/numa
+/// combination. Exceptions: every task is awaited, then the failure with
+/// the lowest item index is rethrown (setup failures outrank item ones).
+template <typename Setup, typename Fn>
+void domain_for_each(const Topology& topo, std::size_t jobs, std::size_t num_items,
+                     Setup&& setup, Fn&& fn) {
+  if (jobs <= 1 || num_items <= 1) {
+    if (num_items == 0) return;
+    setup(0);
+    for (std::size_t i = 0; i < num_items; ++i) fn(i, 0);
+    return;
+  }
+  const std::size_t domains =
+      std::max<std::size_t>(1, std::min({topo.num_domains(), jobs, num_items}));
+  const auto item_shards = partition_shards(num_items, domains);
+  const auto job_shards = partition_shards(jobs, domains);
+  std::vector<std::unique_ptr<ThreadPool>> pools;
+  pools.reserve(domains);
+  for (std::size_t d = 0; d < domains; ++d) {
+    const std::size_t shard_items = item_shards[d].second - item_shards[d].first;
+    const std::size_t threads = std::max<std::size_t>(
+        1, std::min(job_shards[d].second - job_shards[d].first, shard_items));
+    // Pinning only matters (and only happens) when there is more than one
+    // domain; the single-domain pool is byte- and schedule-equivalent to
+    // the pre-topology code path.
+    pools.push_back(domains > 1 ? std::make_unique<ThreadPool>(threads, topo.domains[d].cpus)
+                                : std::make_unique<ThreadPool>(threads));
+  }
+
+  {
+    // Setup barrier: no item may run before its domain's context exists,
+    // and the context must be built on a pinned worker (first touch).
+    std::vector<std::future<void>> ready;
+    ready.reserve(domains);
+    for (std::size_t d = 0; d < domains; ++d) {
+      // setup's contract confines it to domain d's own slot, so the
+      // by-reference capture is race-free; all captures outlive the pools.
+      // subsidy-lint: allow(pool-capture-audit) — see the line above.
+      ready.push_back(pools[d]->submit([&setup, d]() { setup(d); }));
+    }
+    std::exception_ptr setup_failure;
+    for (std::future<void>& f : ready) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!setup_failure) setup_failure = std::current_exception();
+      }
+    }
+    if (setup_failure) std::rethrow_exception(setup_failure);
+  }
+
+  std::vector<std::future<void>> pending;
+  pending.reserve(num_items);
+  for (std::size_t d = 0; d < domains; ++d) {
+    for (std::size_t i = item_shards[d].first; i < item_shards[d].second; ++i) {
+      // Fault site "pool.task": consumed here on the submitting thread in
+      // ascending item order (see the header comment).
+      const bool inject = SUBSIDY_FAULT_FIRE(pool_task);
+      // fn's contract (above) confines each task to item i; captures
+      // outlive the pools.
+      // subsidy-lint: allow(pool-capture-audit) — see the two lines above.
+      pending.push_back(pools[d]->submit([&fn, i, d, inject]() {
+        if (inject) throw std::runtime_error("injected fault: pool.task");
+        fn(i, d);
+      }));
+    }
+  }
+  std::exception_ptr first_failure;
+  for (std::future<void>& f : pending) {  // pending is in ascending item order
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_failure) first_failure = std::current_exception();
+    }
+  }
+  if (first_failure) std::rethrow_exception(first_failure);
+}
+
+}  // namespace subsidy::runtime

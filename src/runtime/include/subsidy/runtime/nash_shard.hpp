@@ -1,0 +1,32 @@
+// Topology-aware fan-out for batched Nash planes: the contiguous-chunk
+// sharding the serving engine has always used (chunk boundaries are the
+// pure function nodes*k/chunks of (node count, jobs) — never of topology or
+// timing), executed per memory domain with a domain-local ModelEvaluator
+// replica when the effective topology has more than one domain. Lane bytes
+// are chunking- and topology-invariant: every chunk is an independent
+// lockstep batch (the PR 5 composition-invariance contract) and a replica
+// compiled from the same market is value-identical to the original — the
+// domain argument only moves the planes closer to the cores that read them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "subsidy/core/nash_batch.hpp"
+#include "subsidy/runtime/topology.hpp"
+
+namespace subsidy::runtime {
+
+/// solve_nash_many over `jobs` contiguous chunks, domain-sharded per
+/// `numa`. Element k bit-equals solve_nash_many(evaluator, nodes)[k] for
+/// any jobs/numa combination. Per-chunk stats are summed in chunk order
+/// into `stats` when given.
+[[nodiscard]] std::vector<core::NashResult> solve_nash_many_sharded(
+    const core::ModelEvaluator& evaluator, std::span<const core::NashBatchNode> nodes,
+    std::size_t jobs, const NumaConfig& numa,
+    const core::BestResponseOptions& br_options = {},
+    const core::ExtragradientOptions& eg_options = {},
+    core::NashBatchStats* stats = nullptr);
+
+}  // namespace subsidy::runtime

@@ -33,6 +33,7 @@
 #include "subsidy/core/nash.hpp"
 #include "subsidy/econ/market.hpp"
 #include "subsidy/runtime/chain_partition.hpp"
+#include "subsidy/runtime/topology.hpp"
 
 namespace subsidy::runtime {
 
@@ -48,6 +49,12 @@ struct SweepOptions {
   /// *semantics* (it changes which solves are warm-started), so it is chosen
   /// independently of `jobs` to keep results jobs-invariant.
   std::size_t chain_length = 0;
+
+  /// Memory-domain sharding (`--numa` / SUBSIDY_NUMA). With more than one
+  /// effective domain, contiguous chain shards run on domain-pinned pools
+  /// against first-touch kernel replicas. Never a results knob: rows are
+  /// bit-identical for every setting (see topology.hpp).
+  NumaConfig numa = default_numa_config();
 };
 
 /// One solved grid node.
@@ -77,8 +84,10 @@ class ParallelSweepRunner {
   [[nodiscard]] const econ::Market& market() const noexcept { return market_; }
 
  private:
-  /// Runs one zero-cap chain as a single batched plane (see header comment).
-  void solve_chain_plane(const Chain& chain, double cap, const std::vector<double>& prices,
+  /// Runs one zero-cap chain as a single batched plane (see header comment)
+  /// through `evaluator` — the shared one or a domain-local replica.
+  void solve_chain_plane(const core::ModelEvaluator& evaluator, const Chain& chain,
+                         double cap, const std::vector<double>& prices,
                          std::vector<SweepRow>& rows) const;
 
   econ::Market market_;

@@ -24,7 +24,9 @@
 namespace subsidy::runtime {
 
 /// Resolves a user-facing `--jobs N` request into a worker count: values
-/// >= 1 are taken verbatim, 0 (or negative) means "use the hardware".
+/// >= 1 are taken verbatim, 0 (or negative) means "use the hardware" — the
+/// process affinity mask (topology.hpp's available_cpu_count), NOT raw
+/// hardware_concurrency, so taskset/cgroup-limited runs don't oversubscribe.
 [[nodiscard]] std::size_t resolve_jobs(int requested);
 
 /// Fixed-size FIFO thread pool.
@@ -32,6 +34,11 @@ class ThreadPool {
  public:
   /// Spawns `threads` workers (at least one).
   explicit ThreadPool(std::size_t threads);
+
+  /// Same, with every worker pinned (best-effort) to `pin_cpus` before it
+  /// takes work — the domain-local pool the topology fan-out uses. Pinning
+  /// is purely a locality hint; results never depend on it.
+  ThreadPool(std::size_t threads, std::vector<int> pin_cpus);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -59,6 +66,7 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  std::vector<int> pin_cpus_;  ///< Empty = unpinned workers.
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;

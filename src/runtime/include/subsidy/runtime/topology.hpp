@@ -1,0 +1,105 @@
+// Machine-topology discovery for the sharded fan-out layers: which memory
+// domains (NUMA nodes) the process may run on, and which CPUs belong to
+// each, so the sweep/batch runners can pin contiguous warm-start shards per
+// domain and build first-touch-local kernel replicas.
+//
+// Determinism contract: topology NEVER influences results — only where work
+// executes and where its planes are allocated. Shard assignment downstream
+// (domain_fanout.hpp) is a pure function of (item count, jobs, domain
+// count); the domain count itself comes from this header's NumaConfig
+// resolution, which depends only on the CLI/env override and the (static)
+// machine layout, never on runtime timing. Rows are therefore bit-identical
+// for any --numa setting, any --jobs, and on non-NUMA boxes; the golden and
+// scalar-twin suites enforce it.
+//
+// Resolution order: `--numa off|auto|N` on the CLI wins; otherwise the
+// SUBSIDY_NUMA environment variable (same grammar) is the escape hatch —
+// `SUBSIDY_NUMA=2` fakes two domains on a single-socket box, which is how
+// CI exercises the multi-domain paths; unset means `auto` (sysfs
+// discovery, flat single domain when /sys/devices/system/node is absent).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace subsidy::runtime {
+
+/// One memory domain (NUMA node) and the CPUs of the process affinity mask
+/// that live on it. Forced (faked) domains on a box with fewer CPUs than
+/// domains all share the full CPU list — pinning degenerates to a no-op and
+/// only the sharding structure is exercised.
+struct MemoryDomain {
+  int id = 0;             ///< sysfs node id (synthetic index when forced/flat).
+  std::vector<int> cpus;  ///< Usable CPUs, ascending; never empty.
+};
+
+struct Topology {
+  std::vector<MemoryDomain> domains;
+  [[nodiscard]] std::size_t num_domains() const noexcept { return domains.size(); }
+};
+
+enum class NumaMode {
+  off,          ///< One flat domain regardless of the machine.
+  auto_detect,  ///< Discover via sysfs; flat fallback.
+  forced,       ///< Exactly `forced_domains` synthetic domains.
+};
+
+struct NumaConfig {
+  NumaMode mode = NumaMode::auto_detect;
+  std::size_t forced_domains = 0;  ///< Meaningful only when mode == forced.
+};
+
+/// Parses the shared `--numa` / SUBSIDY_NUMA grammar: "off", "auto", or a
+/// positive domain count. Throws std::invalid_argument on anything else.
+[[nodiscard]] NumaConfig parse_numa_setting(const std::string& text);
+
+/// The process default: SUBSIDY_NUMA when set (parsed with the grammar
+/// above; an unparsable value falls back to auto rather than aborting a
+/// run), otherwise auto.
+[[nodiscard]] NumaConfig default_numa_config();
+
+/// CPUs the process may run on, ascending — the sched_getaffinity mask on
+/// Linux (so taskset/cgroup cpusets are respected), synthesized 0..N-1 from
+/// hardware_concurrency elsewhere. Never empty.
+[[nodiscard]] std::vector<int> available_cpus();
+
+/// available_cpus().size() — the honest worker-count ceiling resolve_jobs
+/// uses for `--jobs 0`.
+[[nodiscard]] std::size_t available_cpu_count();
+
+/// Parses a sysfs cpulist string ("0-3,8,10-11") into an ascending CPU
+/// vector. Malformed cells are skipped; exposed for the topology tests.
+[[nodiscard]] std::vector<int> parse_cpu_list(const std::string& text);
+
+/// Reads the NUMA layout from `node_dir` (node<id>/cpulist entries),
+/// intersects each node with the affinity mask and drops nodes the process
+/// cannot run on. Returns a flat single domain when the directory is
+/// missing, unreadable, or leaves no usable node.
+[[nodiscard]] Topology discover_topology(const std::string& node_dir);
+
+/// discover_topology on the real /sys/devices/system/node, cached after the
+/// first call (the machine layout is static for the process lifetime).
+[[nodiscard]] Topology discover_topology();
+
+/// Resolves a NumaConfig into the topology the fan-out layers use:
+/// off -> one flat domain; auto -> discovery; forced N -> N synthetic
+/// domains splitting the affinity CPUs contiguously (every domain gets the
+/// full list when there are fewer CPUs than domains, so fakes work on any
+/// box). Always at least one domain, and every domain has at least one CPU.
+[[nodiscard]] Topology effective_topology(const NumaConfig& config);
+
+/// Best-effort: restricts the calling thread to `cpus` (sched_setaffinity
+/// on Linux, no-op elsewhere/on failure). Purely a locality hint — never
+/// correctness-bearing, results are identical pinned or not.
+void pin_current_thread(const std::vector<int>& cpus) noexcept;
+
+/// Splits [0, items) into `shards` contiguous [begin, end) ranges with the
+/// balanced items*k/shards boundaries — the deterministic partition every
+/// sharding layer shares. A pure function of its two arguments; shards
+/// beyond `items` come back empty (callers clamp the shard count first).
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> partition_shards(
+    std::size_t items, std::size_t shards);
+
+}  // namespace subsidy::runtime

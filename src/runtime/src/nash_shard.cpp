@@ -1,0 +1,82 @@
+#include "subsidy/runtime/nash_shard.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "subsidy/core/evaluator.hpp"
+#include "subsidy/runtime/domain_fanout.hpp"
+
+namespace subsidy::runtime {
+
+namespace {
+
+void accumulate(core::NashBatchStats& into, const core::NashBatchStats& from) {
+  into.candidates += from.candidates;
+  into.passes += from.passes;
+  into.fallbacks += from.fallbacks;
+  into.rescued_damped += from.rescued_damped;
+  into.rescued_extragradient += from.rescued_extragradient;
+  into.unresolved += from.unresolved;
+}
+
+}  // namespace
+
+std::vector<core::NashResult> solve_nash_many_sharded(
+    const core::ModelEvaluator& evaluator, std::span<const core::NashBatchNode> nodes,
+    std::size_t jobs, const NumaConfig& numa, const core::BestResponseOptions& br_options,
+    const core::ExtragradientOptions& eg_options, core::NashBatchStats* stats) {
+  if (nodes.empty()) return {};
+  const std::size_t chunk_count = std::min(std::max<std::size_t>(1, jobs), nodes.size());
+  if (chunk_count <= 1) {
+    return core::solve_nash_many(evaluator, nodes, br_options, eg_options, stats);
+  }
+
+  const Topology topo = effective_topology(numa);
+  const auto chunks = partition_shards(nodes.size(), chunk_count);
+  std::vector<std::vector<core::NashResult>> sharded(chunk_count);
+  std::vector<core::NashBatchStats> chunk_stats(stats != nullptr ? chunk_count : 0);
+
+  // Domain replicas: compiled from the same market on a pinned worker, so
+  // the replica kernel's coefficient tables (and the thread_local plane
+  // workspaces its chunks allocate) first-touch domain-local memory. Only
+  // built when there is more than one domain — the flat path shares
+  // `evaluator` exactly as before.
+  std::vector<std::unique_ptr<const core::ModelEvaluator>> replicas(topo.num_domains());
+  const bool replicate = topo.num_domains() > 1;
+
+  domain_for_each(
+      topo, chunk_count, chunk_count,
+      // Setup writes only its own domain's replica slot; the fan-out's
+      // barrier sequences it before every reader.
+      // subsidy-lint: allow(pool-capture-audit) — see the two lines above.
+      [&](std::size_t d) {
+        if (replicate) {
+          replicas[d] = std::make_unique<const core::ModelEvaluator>(evaluator.market());
+        }
+      },
+      // Each chunk writes only sharded[c]/chunk_stats[c]; everything else
+      // captured is read-only during the fan-out.
+      // subsidy-lint: allow(pool-capture-audit) — see the two lines above.
+      [&](std::size_t c, std::size_t d) {
+        const core::ModelEvaluator& ev = replicas[d] ? *replicas[d] : evaluator;
+        sharded[c] = core::solve_nash_many(
+            ev,
+            std::span<const core::NashBatchNode>(nodes.data() + chunks[c].first,
+                                                 chunks[c].second - chunks[c].first),
+            br_options, eg_options, stats != nullptr ? &chunk_stats[c] : nullptr);
+      });
+
+  std::vector<core::NashResult> results;
+  results.reserve(nodes.size());
+  for (std::vector<core::NashResult>& shard : sharded) {
+    results.insert(results.end(), std::make_move_iterator(shard.begin()),
+                   std::make_move_iterator(shard.end()));
+  }
+  if (stats != nullptr) {
+    for (const core::NashBatchStats& s : chunk_stats) accumulate(*stats, s);
+  }
+  return results;
+}
+
+}  // namespace subsidy::runtime

@@ -1,17 +1,13 @@
 #include "subsidy/runtime/parallel_sweep.hpp"
 
-#include <algorithm>
-#include <exception>
-#include <future>
-#include <stdexcept>
+#include <memory>
 #include <utility>
 
 #include "subsidy/core/evaluator.hpp"
 #include "subsidy/core/nash_batch.hpp"
-#include "subsidy/numerics/fault_injection.hpp"
 #include "subsidy/numerics/simd.hpp"
 #include "subsidy/runtime/chain_partition.hpp"
-#include "subsidy/runtime/thread_pool.hpp"
+#include "subsidy/runtime/domain_fanout.hpp"
 
 namespace subsidy::runtime {
 
@@ -70,12 +66,14 @@ std::vector<SweepRow> ParallelSweepRunner::run(const std::vector<double>& policy
   }
 
   // Each chain writes a disjoint slice of `rows`, so no synchronization is
-  // needed beyond joining the futures.
-  const auto solve_chain = [&](std::size_t chain_index) {
+  // needed beyond joining the futures. `ev` is the evaluator the chain's
+  // planes go through — the shared one, or a domain-local replica on
+  // multi-domain topologies (value-identical, so rows never depend on it).
+  const auto solve_chain = [&](std::size_t chain_index, const core::ModelEvaluator& ev) {
     const Chain& chain = chains[chain_index];
     const double cap = policy_caps[chain.group];
     if (cap <= 0.0) {
-      solve_chain_plane(chain, cap, prices, rows);
+      solve_chain_plane(ev, chain, cap, prices, rows);
       return;
     }
     if (lockstep) {
@@ -89,7 +87,7 @@ std::vector<SweepRow> ParallelSweepRunner::run(const std::vector<double>& policy
         node.policy_cap = cap;
         node.phi_hint = node_hints[chain.group * num_prices + k];
       }
-      std::vector<core::NashResult> results = core::solve_nash_many(evaluator_, nodes);
+      std::vector<core::NashResult> results = core::solve_nash_many(ev, nodes);
       for (std::size_t k = chain.begin; k < chain.end; ++k) {
         rows[chain.group * num_prices + k] =
             SweepRow{chain.group, k, prices[k], cap,
@@ -110,39 +108,41 @@ std::vector<SweepRow> ParallelSweepRunner::run(const std::vector<double>& policy
   };
 
   if (options_.jobs <= 1 || chains.size() <= 1) {
-    for (std::size_t c = 0; c < chains.size(); ++c) solve_chain(c);
+    for (std::size_t c = 0; c < chains.size(); ++c) solve_chain(c, evaluator_);
     return rows;
   }
 
-  ThreadPool pool(std::min(options_.jobs, chains.size()));
-  std::vector<std::future<void>> pending;
-  pending.reserve(chains.size());
-  for (std::size_t c = 0; c < chains.size(); ++c) {
-    // Fault site "pool.task": the ordinal is consumed at submission on the
-    // driving thread and carried into the task by value, so a plan poisons
-    // the same chain at any jobs count.
-    const bool inject = SUBSIDY_FAULT_FIRE(pool_task);
-    pending.push_back(pool.submit([&solve_chain, c, inject]() {
-      if (inject) throw std::runtime_error("injected fault: pool.task");
-      solve_chain(c);
-    }));
-  }
-  // Wait for every chain before surfacing failures, then rethrow the one
-  // from the lowest chain index — deterministic at any jobs count, and no
-  // worker is still writing `rows` when the exception unwinds.
-  std::exception_ptr first_failure;
-  for (std::future<void>& f : pending) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_failure) first_failure = std::current_exception();
-    }
-  }
-  if (first_failure) std::rethrow_exception(first_failure);
+  // Topology-sharded fan-out: contiguous chain shards per memory domain,
+  // each running on a domain-pinned pool against a first-touch kernel
+  // replica (flat topologies keep one unpinned pool sharing `evaluator_`,
+  // exactly the pre-topology schedule). The shard map is a pure function of
+  // (chain count, jobs, domain count) — never timing — so rows, fault
+  // ordinals, and the lowest-chain rethrow are bit-identical for any
+  // --numa/--jobs combination.
+  const Topology topo = effective_topology(options_.numa);
+  std::vector<std::unique_ptr<const core::ModelEvaluator>> replicas(topo.num_domains());
+  const bool replicate = topo.num_domains() > 1;
+  domain_for_each(
+      topo, options_.jobs, chains.size(),
+      // Setup writes only its own domain's replica slot; the fan-out's
+      // barrier sequences it before every reader.
+      // subsidy-lint: allow(pool-capture-audit) — see the two lines above.
+      [&](std::size_t d) {
+        if (replicate) {
+          replicas[d] = std::make_unique<const core::ModelEvaluator>(market_);
+        }
+      },
+      // Each chain writes a disjoint `rows` slice (solve_chain's contract);
+      // the replicas are read-only once the setup barrier passes.
+      // subsidy-lint: allow(pool-capture-audit) — see the two lines above.
+      [&](std::size_t c, std::size_t d) {
+        solve_chain(c, replicas[d] ? *replicas[d] : evaluator_);
+      });
   return rows;
 }
 
-void ParallelSweepRunner::solve_chain_plane(const Chain& chain, double cap,
+void ParallelSweepRunner::solve_chain_plane(const core::ModelEvaluator& evaluator,
+                                            const Chain& chain, double cap,
                                             const std::vector<double>& prices,
                                             std::vector<SweepRow>& rows) const {
   // A zero policy cap pins every subsidy at zero, so the whole chain is one
@@ -152,7 +152,7 @@ void ParallelSweepRunner::solve_chain_plane(const Chain& chain, double cap,
   const std::size_t players = market_.num_providers();
   const std::vector<double> chain_prices(prices.begin() + static_cast<std::ptrdiff_t>(chain.begin),
                                          prices.begin() + static_cast<std::ptrdiff_t>(chain.end));
-  std::vector<core::SystemState> states = evaluator_.evaluate_unsubsidized_many(chain_prices);
+  std::vector<core::SystemState> states = evaluator.evaluate_unsubsidized_many(chain_prices);
   for (std::size_t k = chain.begin; k < chain.end; ++k) {
     rows[chain.group * num_prices + k] =
         SweepRow{chain.group, k, prices[k], cap,

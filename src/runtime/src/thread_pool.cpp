@@ -2,14 +2,21 @@
 
 #include <algorithm>
 
+#include "subsidy/runtime/topology.hpp"
+
 namespace subsidy::runtime {
 
 std::size_t resolve_jobs(int requested) {
   if (requested >= 1) return static_cast<std::size_t>(requested);
-  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  // The affinity mask, not hardware_concurrency: a taskset/cgroup-limited
+  // process sizing pools to the whole machine just oversubscribes its slice.
+  return std::max<std::size_t>(1, available_cpu_count());
 }
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads) : ThreadPool(threads, {}) {}
+
+ThreadPool::ThreadPool(std::size_t threads, std::vector<int> pin_cpus)
+    : pin_cpus_(std::move(pin_cpus)) {
   const std::size_t count = std::max<std::size_t>(1, threads);
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -27,6 +34,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  // Pin before taking any work so every allocation a task first-touches
+  // (plane workspaces, replica kernels) lands on the pool's memory domain.
+  if (!pin_cpus_.empty()) pin_current_thread(pin_cpus_);
   for (;;) {
     std::function<void()> task;
     {

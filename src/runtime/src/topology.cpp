@@ -1,0 +1,205 @@
+#include "subsidy/runtime/topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace subsidy::runtime {
+
+namespace {
+
+/// Parses the decimal digits of `text` starting at `pos`; advances `pos`.
+/// Returns -1 when no digit is present.
+int parse_int_at(const std::string& text, std::size_t& pos) {
+  if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return -1;
+  int value = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + (text[pos] - '0');
+    ++pos;
+  }
+  return value;
+}
+
+}  // namespace
+
+NumaConfig parse_numa_setting(const std::string& text) {
+  if (text == "off") return {NumaMode::off, 0};
+  if (text == "auto") return {NumaMode::auto_detect, 0};
+  std::size_t pos = 0;
+  const int count = parse_int_at(text, pos);
+  if (count >= 1 && pos == text.size()) {
+    return {NumaMode::forced, static_cast<std::size_t>(count)};
+  }
+  throw std::invalid_argument("numa setting expects off|auto|N (N >= 1), got '" + text +
+                              "'");
+}
+
+NumaConfig default_numa_config() {
+  const char* env = std::getenv("SUBSIDY_NUMA");
+  if (env == nullptr || env[0] == '\0') return {};
+  try {
+    return parse_numa_setting(env);
+  } catch (const std::invalid_argument&) {
+    return {};  // Unparsable escape hatch must not abort a run.
+  }
+}
+
+std::vector<int> available_cpus() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0 && CPU_COUNT(&set) > 0) {
+    std::vector<int> cpus;
+    cpus.reserve(static_cast<std::size_t>(CPU_COUNT(&set)));
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &set)) cpus.push_back(cpu);
+    }
+    return cpus;
+  }
+#endif
+  const std::size_t count =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<int> cpus(count);
+  for (std::size_t i = 0; i < count; ++i) cpus[i] = static_cast<int>(i);
+  return cpus;
+}
+
+std::size_t available_cpu_count() { return available_cpus().size(); }
+
+std::vector<int> parse_cpu_list(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const int first = parse_int_at(text, pos);
+    if (first < 0) {
+      ++pos;  // skip separators / malformed bytes
+      continue;
+    }
+    int last = first;
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      const int range_end = parse_int_at(text, pos);
+      if (range_end >= first) last = range_end;
+    }
+    for (int cpu = first; cpu <= last; ++cpu) cpus.push_back(cpu);
+    if (pos < text.size() && text[pos] == ',') ++pos;
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+namespace {
+
+Topology flat_topology() {
+  Topology topo;
+  topo.domains.push_back({0, available_cpus()});
+  return topo;
+}
+
+}  // namespace
+
+Topology discover_topology(const std::string& node_dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(node_dir, ec) || ec) return flat_topology();
+
+  const std::vector<int> mask = available_cpus();
+  Topology topo;
+  for (const fs::directory_entry& entry : fs::directory_iterator(node_dir, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("node", 0) != 0) continue;
+    std::size_t pos = 4;
+    const int id = parse_int_at(name, pos);
+    if (id < 0 || pos != name.size()) continue;
+    std::ifstream cpulist(entry.path() / "cpulist");
+    if (!cpulist) continue;
+    std::string line;
+    std::getline(cpulist, line);
+    std::vector<int> cpus = parse_cpu_list(line);
+    // Keep only CPUs the process may actually run on.
+    std::vector<int> usable;
+    std::set_intersection(cpus.begin(), cpus.end(), mask.begin(), mask.end(),
+                          std::back_inserter(usable));
+    if (usable.empty()) continue;
+    topo.domains.push_back({id, std::move(usable)});
+  }
+  if (topo.domains.empty()) return flat_topology();
+  std::sort(topo.domains.begin(), topo.domains.end(),
+            [](const MemoryDomain& a, const MemoryDomain& b) { return a.id < b.id; });
+  return topo;
+}
+
+Topology discover_topology() {
+  // The machine layout is static for the process lifetime; cache the sysfs
+  // walk so per-batch callers (the serving engine) pay it once.
+  static const Topology cached = discover_topology("/sys/devices/system/node");
+  return cached;
+}
+
+Topology effective_topology(const NumaConfig& config) {
+  switch (config.mode) {
+    case NumaMode::off:
+      return flat_topology();
+    case NumaMode::auto_detect:
+      return discover_topology();
+    case NumaMode::forced:
+      break;
+  }
+  const std::size_t domains = std::max<std::size_t>(1, config.forced_domains);
+  const std::vector<int> cpus = available_cpus();
+  Topology topo;
+  topo.domains.reserve(domains);
+  if (cpus.size() < domains) {
+    // Fewer CPUs than faked domains (the CI single-socket case): every
+    // domain shares the full list, pinning no-ops, sharding still splits.
+    for (std::size_t d = 0; d < domains; ++d) {
+      topo.domains.push_back({static_cast<int>(d), cpus});
+    }
+    return topo;
+  }
+  const auto shards = partition_shards(cpus.size(), domains);
+  for (std::size_t d = 0; d < domains; ++d) {
+    topo.domains.push_back(
+        {static_cast<int>(d),
+         std::vector<int>(cpus.begin() + static_cast<std::ptrdiff_t>(shards[d].first),
+                          cpus.begin() + static_cast<std::ptrdiff_t>(shards[d].second))});
+  }
+  return topo;
+}
+
+void pin_current_thread(const std::vector<int>& cpus) noexcept {
+#if defined(__linux__)
+  if (cpus.empty()) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  // Best-effort locality hint; a failure (e.g. a CPU went offline) changes
+  // nothing but scheduling freedom.
+  (void)sched_setaffinity(0, sizeof(set), &set);
+#else
+  (void)cpus;
+#endif
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> partition_shards(std::size_t items,
+                                                                  std::size_t shards) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(shards);
+  for (std::size_t k = 0; k < shards; ++k) {
+    out.emplace_back(items * k / shards, items * (k + 1) / shards);
+  }
+  return out;
+}
+
+}  // namespace subsidy::runtime

@@ -25,6 +25,7 @@
 #include "subsidy/core/evaluator.hpp"
 #include "subsidy/core/solve_status.hpp"
 #include "subsidy/io/series.hpp"
+#include "subsidy/runtime/topology.hpp"
 #include "subsidy/scenario/scenario_file.hpp"
 
 namespace subsidy::scenario {
@@ -35,6 +36,11 @@ namespace subsidy::scenario {
 struct RunOptions {
   /// Overrides every experiment block's `jobs` when set (the CLI's --jobs N).
   std::optional<std::size_t> jobs;
+
+  /// Memory-domain sharding for sweeps, figures and simulations (the CLI's
+  /// --numa). Unset falls back to SUBSIDY_NUMA / auto. Never a results
+  /// knob: output bytes are identical for every setting.
+  std::optional<runtime::NumaConfig> numa;
 
   /// Directory prepended to relative `out =` paths (absolute paths win).
   std::string output_dir;
@@ -106,6 +112,7 @@ class ScenarioRunner {
 
  private:
   [[nodiscard]] std::size_t effective_jobs(const ExperimentSpec& spec) const;
+  [[nodiscard]] runtime::NumaConfig effective_numa() const;
   [[nodiscard]] std::string resolve_output(const std::string& path) const;
   void write_errors_csv(ScenarioReport& report) const;
 

@@ -101,6 +101,10 @@ std::size_t ScenarioRunner::effective_jobs(const ExperimentSpec& spec) const {
   return requested == 0 ? runtime::resolve_jobs(0) : requested;
 }
 
+runtime::NumaConfig ScenarioRunner::effective_numa() const {
+  return options_.numa.value_or(runtime::default_numa_config());
+}
+
 std::string ScenarioRunner::resolve_output(const std::string& path) const {
   if (path.empty() || options_.output_dir.empty() || path.front() == '/') return path;
   return options_.output_dir + "/" + path;
@@ -115,6 +119,7 @@ io::SweepTable ScenarioRunner::run_sweep(const ExperimentSpec& spec,
   runtime::SweepOptions options;
   options.jobs = effective_jobs(spec);
   options.chain_length = spec.chain_length;
+  options.numa = effective_numa();
   const runtime::ParallelSweepRunner runner(scenario_.market, options);
   io::SweepTable table({"p", "phi", "theta", "revenue", "welfare"});
   const std::vector<runtime::SweepRow> rows = runner.run_prices(spec.cap, spec.prices);
@@ -229,6 +234,7 @@ io::SweepTable ScenarioRunner::run_figure(const ExperimentSpec& spec,
   runtime::SweepOptions options;
   options.jobs = effective_jobs(spec);
   options.chain_length = spec.chain_length;
+  options.numa = effective_numa();
   const runtime::ParallelSweepRunner runner(scenario_.market, options);
   io::SweepTable table({"q", "p", "phi", "theta", "revenue", "welfare"});
   const std::vector<runtime::SweepRow> rows = runner.run(spec.caps, spec.prices);
@@ -267,6 +273,7 @@ io::SweepTable ScenarioRunner::run_simulation(const ExperimentSpec& spec,
   config.replicas = spec.sim_replicas;
   config.snapshot_every = spec.sim_snapshot;
   config.jobs = effective_jobs(spec);
+  config.numa = effective_numa();
   sim::AgentMarketEngine engine(
       scenario_.market,
       sim::AgentMarketEngine::uniform_groups(scenario_.market, spec.sim_users, spec.sim_seed,

@@ -52,6 +52,7 @@
 
 #include "subsidy/econ/market.hpp"
 #include "subsidy/runtime/notify_queue.hpp"
+#include "subsidy/runtime/topology.hpp"
 #include "subsidy/server/cache.hpp"
 #include "subsidy/server/protocol.hpp"
 
@@ -72,6 +73,10 @@ struct ServerConfig {
   bool verify_hints = false;  ///< Run near-hit shadow verification lanes.
   double hint_tolerance = 1e-6;  ///< Shadow-vs-canonical agreement bound.
   int default_jobs = 1;  ///< Sweep worker count when a request omits jobs.
+  /// Memory-domain sharding for coalesced planes and sweeps (`--numa` on the
+  /// serve command; SUBSIDY_NUMA otherwise). Never a results knob: response
+  /// bytes are identical for every setting, so it stays out of cache keys.
+  runtime::NumaConfig numa = runtime::default_numa_config();
 };
 
 /// Monotone counters over the engine's lifetime (reset never; read via

@@ -15,6 +15,7 @@
 #include "subsidy/numerics/fault_injection.hpp"
 #include "subsidy/numerics/grid.hpp"
 #include "subsidy/numerics/simd.hpp"
+#include "subsidy/runtime/nash_shard.hpp"
 #include "subsidy/runtime/parallel_sweep.hpp"
 #include "subsidy/runtime/thread_pool.hpp"
 #include "subsidy/server/render.hpp"
@@ -264,31 +265,16 @@ void ServerEngine::solve_equilibrium_group(const std::vector<Admitted>& admitted
   }
 
   // The plane is sharded into `jobs` contiguous chunks fanned over the
-  // worker pool; lane bytes are chunking-invariant (every plane kernel is
-  // elementwise position-independent — the composition-invariance contract),
-  // so `jobs` can never show in a response and stays out of the cache key.
+  // worker pool — domain-sharded per config_.numa, with a kernel replica per
+  // memory domain on multi-domain topologies. Lane bytes are chunking- and
+  // topology-invariant (every plane kernel is elementwise
+  // position-independent — the composition-invariance contract), so neither
+  // `jobs` nor `numa` can show in a response and both stay out of the cache
+  // key.
   std::size_t jobs = 1;
   for (const std::size_t m : members) jobs = std::max(jobs, admitted[m].jobs);
-  const std::size_t chunk_count = std::min(jobs, nodes.size());
-  std::vector<std::pair<std::size_t, std::size_t>> chunks;
-  chunks.reserve(chunk_count);
-  for (std::size_t c = 0; c < chunk_count; ++c) {
-    const std::size_t begin = nodes.size() * c / chunk_count;
-    const std::size_t end = nodes.size() * (c + 1) / chunk_count;
-    if (begin != end) chunks.emplace_back(begin, end);
-  }
-  std::vector<std::vector<core::NashResult>> sharded = runtime::parallel_map(
-      chunks, chunk_count, [&](const std::pair<std::size_t, std::size_t>& chunk) {
-        return core::solve_nash_many(
-            evaluator, std::span<const core::NashBatchNode>(nodes.data() + chunk.first,
-                                                            chunk.second - chunk.first));
-      });
-  std::vector<core::NashResult> results;
-  results.reserve(nodes.size());
-  for (std::vector<core::NashResult>& shard : sharded) {
-    results.insert(results.end(), std::make_move_iterator(shard.begin()),
-                   std::make_move_iterator(shard.end()));
-  }
+  const std::vector<core::NashResult> results =
+      runtime::solve_nash_many_sharded(evaluator, nodes, jobs, config_.numa);
   if (members.size() > 1) stats_.coalesced_lanes += members.size();
 
   for (std::size_t k = 0; k < members.size(); ++k) {
@@ -350,6 +336,7 @@ void ServerEngine::solve_sweep(const Admitted& query, std::vector<Response>& res
     runtime::SweepOptions options;
     options.jobs = query.jobs;
     options.chain_length = query.chain;
+    options.numa = config_.numa;
     const runtime::ParallelSweepRunner runner(*query.market, options);
     const std::vector<runtime::SweepRow> rows = runner.run_prices(query.cap, query.grid);
     std::ostringstream out;

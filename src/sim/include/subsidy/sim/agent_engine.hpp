@@ -45,6 +45,7 @@
 #include "subsidy/core/solve_status.hpp"
 #include "subsidy/econ/market.hpp"
 #include "subsidy/io/series.hpp"
+#include "subsidy/runtime/topology.hpp"
 
 namespace subsidy::sim {
 
@@ -75,6 +76,10 @@ struct SimConfig {
   std::size_t replicas = 1;        ///< Independent lanes (lane r shifts every seed by r).
   std::size_t snapshot_every = 1;  ///< Snapshot interval in ticks (0 = final tick only).
   std::size_t jobs = 1;            ///< Worker threads over (lane, group) units; 0 = hardware.
+  /// Memory-domain sharding of the (lane, group) units (`--numa` on the sim
+  /// command; SUBSIDY_NUMA otherwise). Purely a locality knob — trajectories
+  /// are bit-identical for every setting.
+  runtime::NumaConfig numa = runtime::default_numa_config();
 };
 
 /// Everything a run produced. `snapshots` is the CSV-ready time series:

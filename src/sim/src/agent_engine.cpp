@@ -8,6 +8,7 @@
 #include "subsidy/numerics/counter_rng.hpp"
 #include "subsidy/numerics/fault_injection.hpp"
 #include "subsidy/numerics/simd.hpp"
+#include "subsidy/runtime/domain_fanout.hpp"
 #include "subsidy/runtime/thread_pool.hpp"
 
 namespace subsidy::sim {
@@ -189,9 +190,14 @@ void AgentMarketEngine::step() {
   // Decisions are pure functions of (seed, agent, tick), every unit owns its
   // state, and the engine fields read during the pass (tick_, phi_, tau_,
   // t_eff_) are not written until after it — race-free and jobs-invariant.
-  // subsidy-lint: allow(pool-capture-audit) — see the two lines above.
-  runtime::parallel_for_each(units_, effective_jobs(),
-                             [this](Unit& unit) { step_unit(unit); });
+  // Units are fanned out domain-sharded (contiguous lane-major shards per
+  // memory domain, same pool.task ordinal discipline as parallel_for_each),
+  // so each domain's workers keep touching the same subscription bytes
+  // tick after tick.
+  runtime::domain_for_each(
+      runtime::effective_topology(config_.numa), effective_jobs(), units_.size(),
+      [](std::size_t) {},
+      [this](std::size_t i, std::size_t) { step_unit(units_[i]); });
 
   // Serial aggregation in fixed unit order keeps the double sums, and
   // therefore the plane, bit-identical for any jobs count.

@@ -94,6 +94,73 @@ TEST(SimdExp, BackendReportsConfiguration) {
       SUCCEED() << "vector backend compiled out (SUBSIDY_FORCE_SCALAR build)";
     }
   } else {
-    EXPECT_TRUE(backend == "vector2" || backend == "vector4") << backend;
+    EXPECT_TRUE(backend == "vector2" || backend == "vector4" || backend == "vector8")
+        << backend;
+  }
+}
+
+namespace {
+
+/// Scoped runtime width cap: restores the previous cap (and hence the
+/// dispatched backend) on destruction.
+class WidthCapGuard {
+ public:
+  explicit WidthCapGuard(std::size_t cap) : previous_(simd::width_cap()) {
+    simd::set_width_cap(cap);
+  }
+  ~WidthCapGuard() { simd::set_width_cap(previous_); }
+  WidthCapGuard(const WidthCapGuard&) = delete;
+  WidthCapGuard& operator=(const WidthCapGuard&) = delete;
+
+ private:
+  std::size_t previous_;
+};
+
+std::vector<double> exp_batch_at_cap(std::size_t cap, const std::vector<double>& x) {
+  const WidthCapGuard guard(cap);
+  std::vector<double> out(x.size());
+  simd::exp_batch(x.data(), out.data(), x.size());
+  return out;
+}
+
+}  // namespace
+
+TEST(SimdExp, WidthCapSelectsBackend) {
+  if (simd::force_scalar()) GTEST_SKIP() << "scalar override active";
+  if constexpr (!simd::kVectorBackend) GTEST_SKIP() << "vector backend compiled out";
+  {
+    const WidthCapGuard guard(2);
+    EXPECT_FALSE(simd::cpu_has_avx2());
+    EXPECT_FALSE(simd::cpu_has_avx512());
+  }
+  // Cap 0 means "no cap": the hardware answer comes back.
+  const WidthCapGuard guard(0);
+  EXPECT_EQ(simd::width_cap(), 0u);
+}
+
+TEST(SimdExp, DispatchWidthsAreBitIdentical) {
+  // The AVX-512 (W=8), AVX2 (W=4) and baseline (W=2) clones instantiate the
+  // same width-templated Cephes kernel with per-lane arithmetic under
+  // -ffp-contract=off, so every dispatch width must produce the same bits.
+  // The width cap lets one binary compare them in-process; widths the CPU
+  // lacks are simply capped down to the widest available — the comparison
+  // is then trivially true rather than skipped.
+  if (simd::force_scalar()) GTEST_SKIP() << "scalar override active";
+  if constexpr (!simd::kVectorBackend) GTEST_SKIP() << "vector backend compiled out";
+  std::vector<double> x;
+  for (double v = -700.0; v <= 700.0; v += 0.41) x.push_back(v);
+  for (double v = -2.0; v <= 2.0; v += 0.003) x.push_back(v);
+  x.insert(x.end(), {0.0, -0.0, -800.0, 800.0, 1.0e6, -1.0e4});
+  // Ragged lengths exercise the padded-tail path at every width.
+  for (std::size_t len : {x.size(), x.size() - 1, x.size() - 3, std::size_t{5}}) {
+    const std::vector<double> in(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(len));
+    const std::vector<double> w2 = exp_batch_at_cap(2, in);
+    const std::vector<double> w4 = exp_batch_at_cap(4, in);
+    const std::vector<double> w8 = exp_batch_at_cap(8, in);
+    ASSERT_EQ(std::memcmp(w2.data(), w4.data(), len * sizeof(double)), 0) << "len=" << len;
+    ASSERT_EQ(std::memcmp(w2.data(), w8.data(), len * sizeof(double)), 0) << "len=" << len;
+  }
+  if (__builtin_cpu_supports("avx512f") <= 0) {
+    SUCCEED() << "no AVX-512 hardware: widths 4/8 capped to the widest available";
   }
 }

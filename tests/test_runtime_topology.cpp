@@ -1,0 +1,361 @@
+// The topology layer behind NUMA-aware plane sharding: the --numa/
+// SUBSIDY_NUMA grammar, sysfs discovery with affinity-mask intersection,
+// forced (faked) domains, the shared pure shard partition, and — the
+// contract everything else rests on — bit-identical sweep/batch/sim output
+// for every topology setting.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "subsidy/core/core.hpp"
+#include "subsidy/market/scenarios.hpp"
+#include "subsidy/numerics/grid.hpp"
+#include "subsidy/runtime/domain_fanout.hpp"
+#include "subsidy/runtime/nash_shard.hpp"
+#include "subsidy/runtime/parallel_sweep.hpp"
+#include "subsidy/runtime/topology.hpp"
+#include "subsidy/sim/agent_engine.hpp"
+
+namespace core = subsidy::core;
+namespace market = subsidy::market;
+namespace num = subsidy::num;
+namespace runtime = subsidy::runtime;
+namespace sim = subsidy::sim;
+
+namespace {
+
+runtime::NumaConfig forced(std::size_t domains) {
+  runtime::NumaConfig config;
+  config.mode = runtime::NumaMode::forced;
+  config.forced_domains = domains;
+  return config;
+}
+
+TEST(NumaSetting, ParsesTheSharedGrammar) {
+  EXPECT_EQ(runtime::parse_numa_setting("off").mode, runtime::NumaMode::off);
+  EXPECT_EQ(runtime::parse_numa_setting("auto").mode, runtime::NumaMode::auto_detect);
+  const runtime::NumaConfig two = runtime::parse_numa_setting("2");
+  EXPECT_EQ(two.mode, runtime::NumaMode::forced);
+  EXPECT_EQ(two.forced_domains, 2u);
+  EXPECT_EQ(runtime::parse_numa_setting("16").forced_domains, 16u);
+}
+
+TEST(NumaSetting, RejectsEverythingElse) {
+  for (const char* bad : {"", "0", "-1", "2x", "x2", "on", "OFF", "2 "}) {
+    EXPECT_THROW((void)runtime::parse_numa_setting(bad), std::invalid_argument)
+        << "'" << bad << "'";
+  }
+}
+
+/// Scoped SUBSIDY_NUMA override; restores the previous value on destruction.
+class NumaEnvGuard {
+ public:
+  explicit NumaEnvGuard(const char* value) {
+    const char* previous = std::getenv("SUBSIDY_NUMA");
+    if (previous != nullptr) saved_ = previous;
+    had_ = previous != nullptr;
+    if (value != nullptr) {
+      ::setenv("SUBSIDY_NUMA", value, 1);
+    } else {
+      ::unsetenv("SUBSIDY_NUMA");
+    }
+  }
+  ~NumaEnvGuard() {
+    if (had_) {
+      ::setenv("SUBSIDY_NUMA", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("SUBSIDY_NUMA");
+    }
+  }
+  NumaEnvGuard(const NumaEnvGuard&) = delete;
+  NumaEnvGuard& operator=(const NumaEnvGuard&) = delete;
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(NumaSetting, EnvironmentEscapeHatchDrivesTheDefault) {
+  {
+    const NumaEnvGuard env("2");
+    const runtime::NumaConfig config = runtime::default_numa_config();
+    EXPECT_EQ(config.mode, runtime::NumaMode::forced);
+    EXPECT_EQ(config.forced_domains, 2u);
+  }
+  {
+    const NumaEnvGuard env("off");
+    EXPECT_EQ(runtime::default_numa_config().mode, runtime::NumaMode::off);
+  }
+  {
+    // An unparsable escape hatch must degrade to auto, never abort a run.
+    const NumaEnvGuard env("banana");
+    EXPECT_EQ(runtime::default_numa_config().mode, runtime::NumaMode::auto_detect);
+  }
+  {
+    const NumaEnvGuard env(nullptr);
+    EXPECT_EQ(runtime::default_numa_config().mode, runtime::NumaMode::auto_detect);
+  }
+}
+
+TEST(CpuList, ParsesSysfsRangesAndDedupes) {
+  EXPECT_EQ(runtime::parse_cpu_list("0-3,8"), (std::vector<int>{0, 1, 2, 3, 8}));
+  EXPECT_EQ(runtime::parse_cpu_list("5"), (std::vector<int>{5}));
+  EXPECT_EQ(runtime::parse_cpu_list("1,1,0-1"), (std::vector<int>{0, 1}));
+  EXPECT_EQ(runtime::parse_cpu_list("3-1"), (std::vector<int>{3}));  // inverted range
+  EXPECT_TRUE(runtime::parse_cpu_list("").empty());
+  EXPECT_TRUE(runtime::parse_cpu_list(",,-").empty());
+}
+
+TEST(AffinityMask, AvailableCpusIsAscendingAndNonEmpty) {
+  const std::vector<int> cpus = runtime::available_cpus();
+  ASSERT_FALSE(cpus.empty());
+  for (std::size_t k = 1; k < cpus.size(); ++k) EXPECT_LT(cpus[k - 1], cpus[k]);
+  EXPECT_EQ(runtime::available_cpu_count(), cpus.size());
+  // resolve_jobs(0) follows the mask, not hardware_concurrency.
+  EXPECT_EQ(runtime::resolve_jobs(0), cpus.size());
+}
+
+TEST(PartitionShards, IsAPureBalancedContiguousCover) {
+  for (std::size_t items : {0u, 1u, 7u, 64u, 1000u}) {
+    for (std::size_t shards : {1u, 2u, 3u, 7u, 64u}) {
+      const auto a = runtime::partition_shards(items, shards);
+      const auto b = runtime::partition_shards(items, shards);
+      EXPECT_EQ(a, b);  // pure function of (items, shards)
+      ASSERT_EQ(a.size(), shards);
+      std::size_t covered = 0;
+      for (std::size_t k = 0; k < shards; ++k) {
+        EXPECT_EQ(a[k].first, covered);  // contiguous, in order, no gaps
+        EXPECT_LE(a[k].first, a[k].second);
+        // Balanced to within one item.
+        EXPECT_LE(a[k].second - a[k].first, items / shards + 1);
+        covered = a[k].second;
+      }
+      EXPECT_EQ(covered, items);
+    }
+  }
+}
+
+TEST(Discovery, ReadsNodeDirsAndIntersectsWithTheMask) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(::testing::TempDir()) / "subsidy_topology_nodes";
+  fs::remove_all(root);
+  const std::vector<int> mask = runtime::available_cpus();
+  // node0 holds every CPU the process may use; node1 only CPUs beyond the
+  // mask (dropped); node2 is unreadable garbage (skipped); "nodeX" ignored.
+  fs::create_directories(root / "node0");
+  fs::create_directories(root / "node1");
+  fs::create_directories(root / "nodeX");
+  {
+    std::ofstream list(root / "node0" / "cpulist");
+    for (std::size_t k = 0; k < mask.size(); ++k) list << (k ? "," : "") << mask[k];
+    list << "\n";
+  }
+  {
+    std::ofstream list(root / "node1" / "cpulist");
+    list << (mask.back() + 1) << "-" << (mask.back() + 4) << "\n";
+  }
+  const runtime::Topology topo = runtime::discover_topology(root.string());
+  ASSERT_EQ(topo.num_domains(), 1u);
+  EXPECT_EQ(topo.domains[0].id, 0);
+  EXPECT_EQ(topo.domains[0].cpus, mask);
+  // A missing directory falls back to one flat domain over the whole mask.
+  const runtime::Topology flat = runtime::discover_topology((root / "absent").string());
+  ASSERT_EQ(flat.num_domains(), 1u);
+  EXPECT_EQ(flat.domains[0].cpus, mask);
+  fs::remove_all(root);
+}
+
+TEST(EffectiveTopology, OffIsFlatAndForcedFakesDomainsOnAnyBox) {
+  runtime::NumaConfig off;
+  off.mode = runtime::NumaMode::off;
+  EXPECT_EQ(runtime::effective_topology(off).num_domains(), 1u);
+
+  const runtime::Topology faked = runtime::effective_topology(forced(3));
+  ASSERT_EQ(faked.num_domains(), 3u);
+  std::size_t total = 0;
+  for (const runtime::MemoryDomain& domain : faked.domains) {
+    EXPECT_FALSE(domain.cpus.empty());
+    total += domain.cpus.size();
+  }
+  const std::size_t cpus = runtime::available_cpu_count();
+  // Contiguous split when there are enough CPUs, full duplication otherwise.
+  EXPECT_EQ(total, cpus >= 3 ? cpus : 3 * cpus);
+
+  // Pinning is a best-effort locality hint: never throws, even for bogus or
+  // empty CPU lists.
+  runtime::pin_current_thread({});
+  runtime::pin_current_thread(faked.domains[0].cpus);
+  runtime::pin_current_thread(runtime::available_cpus());
+}
+
+TEST(DomainForEach, RunsEveryItemOnceOnItsShardDomain) {
+  const runtime::Topology topo = runtime::effective_topology(forced(2));
+  constexpr std::size_t kItems = 10;
+  std::vector<int> runs(kItems, 0);
+  std::vector<std::size_t> domain_of(kItems, 99);
+  std::vector<int> setups;
+  std::mutex mu;
+  runtime::domain_for_each(
+      topo, 4, kItems,
+      [&](std::size_t d) {
+        const std::lock_guard<std::mutex> lock(mu);
+        setups.push_back(static_cast<int>(d));
+      },
+      [&](std::size_t i, std::size_t d) {
+        const std::lock_guard<std::mutex> lock(mu);
+        ++runs[i];
+        domain_of[i] = d;
+      });
+  EXPECT_EQ(setups.size(), 2u);
+  const auto shards = runtime::partition_shards(kItems, 2);
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(runs[i], 1) << i;
+    // The item -> domain map is exactly the pure contiguous partition.
+    EXPECT_EQ(domain_of[i], i < shards[0].second ? 0u : 1u) << i;
+  }
+}
+
+TEST(DomainForEach, InlinePathRunsSeriallyWithoutAPool) {
+  const runtime::Topology topo = runtime::effective_topology(forced(2));
+  std::vector<std::size_t> order;
+  runtime::domain_for_each(
+      topo, 1, 5, [](std::size_t) {},
+      [&](std::size_t i, std::size_t d) {
+        EXPECT_EQ(d, 0u);
+        order.push_back(i);  // no mutex: inline means the calling thread
+      });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(DomainForEach, RethrowsTheLowestItemFailureAfterDraining) {
+  const runtime::Topology topo = runtime::effective_topology(forced(2));
+  std::vector<int> runs(8, 0);
+  std::mutex mu;
+  try {
+    runtime::domain_for_each(
+        topo, 4, runs.size(), [](std::size_t) {},
+        [&](std::size_t i, std::size_t) {
+          {
+            const std::lock_guard<std::mutex> lock(mu);
+            ++runs[i];
+          }
+          if (i == 3 || i == 6) {
+            throw std::runtime_error("item " + std::to_string(i));
+          }
+        });
+    FAIL() << "expected the item-3 failure to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "item 3");  // lowest index wins, deterministically
+  }
+  for (std::size_t i = 0; i < runs.size(); ++i) EXPECT_EQ(runs[i], 1) << i;
+}
+
+void expect_rows_identical(const std::vector<runtime::SweepRow>& a,
+                           const std::vector<runtime::SweepRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    SCOPED_TRACE("row " + std::to_string(k));
+    EXPECT_EQ(a[k].policy_index, b[k].policy_index);
+    EXPECT_EQ(a[k].price_index, b[k].price_index);
+    EXPECT_EQ(a[k].result.state.utilization, b[k].result.state.utilization);
+    EXPECT_EQ(a[k].result.state.revenue, b[k].result.state.revenue);
+    EXPECT_EQ(a[k].result.state.welfare, b[k].result.state.welfare);
+    ASSERT_EQ(a[k].result.subsidies.size(), b[k].result.subsidies.size());
+    for (std::size_t j = 0; j < a[k].result.subsidies.size(); ++j) {
+      EXPECT_EQ(a[k].result.subsidies[j], b[k].result.subsidies[j]);
+    }
+  }
+}
+
+TEST(TopologyDeterminism, SweepRowsBitIdenticalForEveryNumaSetting) {
+  const auto mkt = market::section5_market();
+  const std::vector<double> caps = {0.0, 1.0, 2.0};
+  const std::vector<double> prices = num::linspace(0.1, 1.5, 11);
+
+  runtime::SweepOptions off;
+  off.jobs = 4;
+  off.chain_length = 3;
+  off.numa.mode = runtime::NumaMode::off;
+  const auto baseline = runtime::ParallelSweepRunner(mkt, off).run(caps, prices);
+
+  for (const runtime::NumaConfig& config :
+       {runtime::NumaConfig{}, forced(2), forced(3)}) {
+    runtime::SweepOptions options;
+    options.jobs = 4;
+    options.chain_length = 3;
+    options.numa = config;
+    const auto rows = runtime::ParallelSweepRunner(mkt, options).run(caps, prices);
+    expect_rows_identical(baseline, rows);
+  }
+}
+
+TEST(TopologyDeterminism, ShardedNashBatchMatchesTheDirectPlane) {
+  const auto mkt = market::section5_market();
+  const core::ModelEvaluator evaluator(mkt);
+  std::vector<core::NashBatchNode> nodes;
+  for (double p : num::linspace(0.2, 1.4, 9)) nodes.push_back({p, 1.0, {}, -1.0});
+
+  core::NashBatchStats direct_stats;
+  const std::vector<core::NashResult> direct =
+      core::solve_nash_many(evaluator, nodes, {}, {}, &direct_stats);
+
+  for (std::size_t jobs : {1u, 2u, 4u, 16u}) {
+    for (const runtime::NumaConfig& config :
+         {runtime::NumaConfig{}, forced(2), forced(3)}) {
+      core::NashBatchStats stats;
+      const std::vector<core::NashResult> sharded = runtime::solve_nash_many_sharded(
+          evaluator, nodes, jobs, config, {}, {}, &stats);
+      ASSERT_EQ(sharded.size(), direct.size());
+      for (std::size_t k = 0; k < direct.size(); ++k) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs) + " node " + std::to_string(k));
+        EXPECT_EQ(sharded[k].state.utilization, direct[k].state.utilization);
+        EXPECT_EQ(sharded[k].state.revenue, direct[k].state.revenue);
+        for (std::size_t j = 0; j < direct[k].subsidies.size(); ++j) {
+          EXPECT_EQ(sharded[k].subsidies[j], direct[k].subsidies[j]);
+        }
+      }
+      // Per-node counters sum to the direct plane's totals (same work,
+      // resharded). `passes` is intentionally excluded: it counts lockstep
+      // plane passes per chunk, so it scales with the chunk count.
+      EXPECT_EQ(stats.candidates, direct_stats.candidates);
+      EXPECT_EQ(stats.fallbacks, direct_stats.fallbacks);
+      EXPECT_EQ(stats.unresolved, direct_stats.unresolved);
+    }
+  }
+}
+
+TEST(TopologyDeterminism, SimTrajectoriesInvariantUnderFakedDomains) {
+  const auto mkt = market::section5_market();
+  const auto run_with = [&](const runtime::NumaConfig& config) {
+    sim::SimConfig sim_config;
+    sim_config.price = 0.8;
+    sim_config.ticks = 12;
+    sim_config.replicas = 3;
+    sim_config.jobs = 4;
+    sim_config.numa = config;
+    sim::AgentMarketEngine engine(
+        mkt, sim::AgentMarketEngine::uniform_groups(mkt, 300, 7, 2, 0.05, 0.1),
+        sim_config);
+    return engine.run();
+  };
+  runtime::NumaConfig off;
+  off.mode = runtime::NumaMode::off;
+  const sim::SimResult a = run_with(off);
+  const sim::SimResult b = run_with(forced(2));
+  ASSERT_EQ(a.final_phi.size(), b.final_phi.size());
+  for (std::size_t r = 0; r < a.final_phi.size(); ++r) {
+    EXPECT_EQ(a.final_phi[r], b.final_phi[r]) << "replica " << r;
+    EXPECT_EQ(a.final_populations[r], b.final_populations[r]) << "replica " << r;
+  }
+  EXPECT_EQ(a.decisions, b.decisions);
+  ASSERT_EQ(a.snapshots.num_rows(), b.snapshots.num_rows());
+}
+
+}  // namespace

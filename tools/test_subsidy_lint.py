@@ -32,6 +32,7 @@ lint = _load_lint()
 
 KERNEL_HEADER = "src/core/include/subsidy/core/market_kernel.hpp"
 SIMD_HEADER = "src/numerics/include/subsidy/numerics/simd.hpp"
+TOPOLOGY_HEADER = "src/runtime/include/subsidy/runtime/topology.hpp"
 
 
 class TreeFixture(unittest.TestCase):
@@ -84,6 +85,28 @@ class NoRawExpTest(TreeFixture):
         found = self.findings("no-raw-exp")
         self.assertEqual(len(found), 1)
         self.assertEqual(found[0].path, "src/core/include/subsidy/core/helpers.hpp")
+
+    def test_fires_in_the_avx512_dispatch_tu(self):
+        # simd_avx512.cpp is NOT the blessed simd.{hpp,cpp} home: a raw libm
+        # call there would diverge from the templated kernel it must clone.
+        self.write("src/numerics/src/simd_avx512.cpp",
+                   '#include "subsidy/numerics/simd.hpp"\n'
+                   "double bad(double x) { return std::exp(x); }\n")
+        found = self.findings("no-raw-exp")
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].path, "src/numerics/src/simd_avx512.cpp")
+        self.assertEqual(found[0].line, 2)
+
+    def test_fires_on_topology_header_in_closure(self):
+        # The sharding layer is kernel-adjacent: topology.hpp in the closure
+        # puts the TU under the same transcendental discipline.
+        self.write(TOPOLOGY_HEADER, "#pragma once\n")
+        self.write("src/runtime/src/fanout.cpp",
+                   '#include "subsidy/runtime/topology.hpp"\n'
+                   "double bad(double x) { return exp(x); }\n")
+        found = self.findings("no-raw-exp")
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].path, "src/runtime/src/fanout.cpp")
 
     def test_quiet_outside_kernel_closure(self):
         self.write("src/core/src/standalone.cpp",
@@ -156,6 +179,29 @@ class FpContractOffTest(TreeFixture):
         build = self.compile_commands("g++ -O2 -c solver.cpp")
         self.assertEqual(self.findings("fp-contract-off", build_dir=build), [])
 
+    def test_fires_on_topology_tu_without_flag(self):
+        self.write(TOPOLOGY_HEADER, "#pragma once\n")
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/runtime/topology.hpp"\n')
+        build = self.compile_commands("g++ -O2 -c solver.cpp")
+        found = self.findings("fp-contract-off", build_dir=build)
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].path, "src/core/src/solver.cpp")
+
+    def test_fires_when_required_dispatch_tu_is_not_compiled(self):
+        # A dropped simd_avx512.cpp sheds the AVX-512 path while every test
+        # stays green (the dispatcher silently falls back) — the presence
+        # check is what notices.
+        self.write("src/numerics/src/simd_avx512.cpp",
+                   '#include "subsidy/numerics/simd.hpp"\n')
+        self.write("src/core/src/solver.cpp",
+                   '#include "subsidy/core/market_kernel.hpp"\n')
+        build = self.compile_commands("g++ -O2 -ffp-contract=off -c solver.cpp")
+        found = self.findings("fp-contract-off", build_dir=build)
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].path, "src/numerics/src/simd_avx512.cpp")
+        self.assertIn("missing from", found[0].message)
+
     def test_skips_without_compile_commands(self):
         self.write("src/core/src/solver.cpp",
                    '#include "subsidy/core/market_kernel.hpp"\n')
@@ -205,6 +251,18 @@ class NoWallclockRngTest(TreeFixture):
         self.assertEqual(len(found), 1)
         self.assertEqual(found[0].path, "src/server/src/engine.cpp")
         self.assertEqual(found[0].line, 2)
+
+    def test_fires_on_clock_in_topology_source(self):
+        self.write("src/runtime/src/topology.cpp",
+                   "int discover() {\n"
+                   "  struct timespec ts;\n"
+                   "  clock_gettime(0, &ts);\n"
+                   "  return 0;\n"
+                   "}\n")
+        found = self.findings("no-wallclock-rng")
+        self.assertEqual(len(found), 1)
+        self.assertEqual(found[0].path, "src/runtime/src/topology.cpp")
+        self.assertEqual(found[0].line, 3)
 
     def test_quiet_on_counter_rng(self):
         self.write("src/sim/src/engine.cpp",
@@ -279,6 +337,26 @@ class PoolCaptureAuditTest(TreeFixture):
         self.assertEqual(len(found), 1)
         self.assertEqual(found[0].path, "src/server/src/engine.cpp")
         self.assertIn("&responses", found[0].message)
+
+    def test_fires_on_domain_for_each(self):
+        self.write("src/runtime/src/shard.cpp",
+                   "void run(const Topology& topo) {\n"
+                   "  std::vector<double> acc;\n"
+                   "  domain_for_each(topo, 4, 8, [](std::size_t) {},\n"
+                   "                  [&acc](std::size_t i, std::size_t d)"
+                   " { acc.push_back(i); });\n"
+                   "}\n")
+        found = self.findings("pool-capture-audit")
+        self.assertEqual(len(found), 1)
+        self.assertIn("&acc", found[0].message)
+
+    def test_fires_on_parallel_for_each(self):
+        self.write("src/sim/src/engine.cpp",
+                   "void step() {\n"
+                   "  int hits = 0;\n"
+                   "  parallel_for_each(units, jobs, [&hits](Unit& u) { ++hits; });\n"
+                   "}\n")
+        self.assertEqual(len(self.findings("pool-capture-audit")), 1)
 
     def test_quiet_on_const_capture(self):
         self.write("src/cli/src/commands.cpp",
